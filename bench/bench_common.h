@@ -1,0 +1,57 @@
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Every binary runs a reduced-scale sweep by default so the whole bench
+// suite finishes in minutes; set PBS_BENCH_FULL=1 to run the paper's scale
+// (|A| = 10^6, 1000 instances, d up to 10^5). Scale notes are printed into
+// the output so recorded runs are self-describing.
+
+#ifndef PBS_BENCH_BENCH_COMMON_H_
+#define PBS_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace pbs::bench {
+
+inline bool FullMode() {
+  const char* env = std::getenv("PBS_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+struct Scale {
+  size_t set_size;
+  int instances;
+  std::vector<size_t> d_grid;
+  std::vector<size_t> slow_d_grid;  // For O(d^2) schemes (PinSketch).
+};
+
+inline Scale DefaultScale() {
+  if (FullMode()) {
+    return Scale{1000000, 1000,
+                 {10, 100, 1000, 10000, 100000},
+                 {10, 100, 1000, 10000, 30000}};
+  }
+  return Scale{100000, 10, {10, 100, 1000, 10000}, {10, 100, 1000}};
+}
+
+/// Instance count for schemes with O(d^2) (or worse) per-instance cost;
+/// quick mode trades success-rate resolution for wall-clock time there.
+inline int SlowSchemeInstances(const Scale& scale) {
+  return FullMode() ? scale.instances : std::max(4, scale.instances / 4);
+}
+
+inline void PrintHeader(const char* what, const Scale& scale) {
+  std::printf("== %s ==\n", what);
+  std::printf("mode=%s |A|=%zu instances=%d\n", FullMode() ? "FULL" : "quick",
+              scale.set_size, scale.instances);
+  std::printf(
+      "(set PBS_BENCH_FULL=1 for the paper's scale: |A|=1e6, 1000 "
+      "instances)\n\n");
+}
+
+}  // namespace pbs::bench
+
+#endif  // PBS_BENCH_BENCH_COMMON_H_

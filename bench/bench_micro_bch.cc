@@ -1,0 +1,68 @@
+// Micro-benchmarks: BCH power-sum sketch encode / decode.
+//
+// Confirms the complexity story of the paper: per-element encoding is
+// O(t) field ops, decoding is O(t^2) -- the reason PinSketch (t ~ 1.38 d)
+// cannot scale and PBS (t ~ 13 per group) can.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "pbs/bch/power_sum_sketch.h"
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint64_t> Distinct(const GF2m& f, int count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::set<uint64_t> s;
+  while (static_cast<int>(s.size()) < count) {
+    s.insert(rng.NextBounded(f.order()) + 1);
+  }
+  return {s.begin(), s.end()};
+}
+
+void BM_SketchToggle(benchmark::State& state) {
+  GF2m f(static_cast<int>(state.range(0)));
+  const int t = static_cast<int>(state.range(1));
+  PowerSumSketch sketch(f, t);
+  uint64_t x = 1;
+  for (auto _ : state) {
+    sketch.Toggle(x);
+    x = (x % f.order()) + 1;
+  }
+}
+BENCHMARK(BM_SketchToggle)->Args({7, 13})->Args({11, 13})->Args({32, 13})
+    ->Args({32, 138})->Args({32, 1380});
+
+void BM_SketchDecode(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int errors = static_cast<int>(state.range(1));
+  GF2m f(m);
+  const int t = errors + errors / 3 + 1;
+  PowerSumSketch sketch(f, t);
+  for (uint64_t e : Distinct(f, errors, 42)) sketch.Toggle(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Decode());
+  }
+}
+// Bitmap-sized decodes (the per-group PBS cost) vs universe-sized decodes
+// (the PinSketch cost): the latter explodes quadratically.
+BENCHMARK(BM_SketchDecode)->Args({7, 5})->Args({11, 5})->Args({11, 17})
+    ->Args({32, 10})->Args({32, 100})->Args({32, 300});
+
+void BM_SketchSerialize(benchmark::State& state) {
+  GF2m f(11);
+  PowerSumSketch sketch(f, 13);
+  for (uint64_t e : Distinct(f, 10, 7)) sketch.Toggle(e);
+  for (auto _ : state) {
+    BitWriter w;
+    sketch.Serialize(&w);
+    benchmark::DoNotOptimize(w.bytes());
+  }
+}
+BENCHMARK(BM_SketchSerialize);
+
+}  // namespace
+}  // namespace pbs

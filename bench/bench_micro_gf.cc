@@ -1,0 +1,66 @@
+// Micro-benchmarks: GF(2^m) field arithmetic (google-benchmark).
+//
+// The table path (m <= 16) vs the clmul path (m > 16), plus the polynomial
+// primitives the BCH decoders are built from.
+
+#include <benchmark/benchmark.h>
+
+#include "pbs/common/rng.h"
+#include "pbs/gf/gf2m.h"
+#include "pbs/gf/gfpoly.h"
+
+namespace pbs {
+namespace {
+
+void BM_FieldMul(benchmark::State& state) {
+  GF2m f(static_cast<int>(state.range(0)));
+  Xoshiro256 rng(1);
+  const uint64_t a = rng.NextBounded(f.order()) + 1;
+  uint64_t b = rng.NextBounded(f.order()) + 1;
+  for (auto _ : state) {
+    b = f.Mul(a, b) | 1;
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_FieldMul)->Arg(7)->Arg(11)->Arg(16)->Arg(32)->Arg(63);
+
+void BM_FieldInv(benchmark::State& state) {
+  GF2m f(static_cast<int>(state.range(0)));
+  Xoshiro256 rng(2);
+  uint64_t a = rng.NextBounded(f.order()) + 1;
+  for (auto _ : state) {
+    a = f.Inv(a) | 1;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldInv)->Arg(7)->Arg(11)->Arg(32)->Arg(63);
+
+void BM_PolyEval(benchmark::State& state) {
+  GF2m f(11);
+  Xoshiro256 rng(3);
+  std::vector<uint64_t> coeffs(state.range(0));
+  for (auto& c : coeffs) c = rng.NextBounded(f.order()) + 1;
+  GFPoly p(f, coeffs);
+  uint64_t x = 5;
+  for (auto _ : state) {
+    x = (p.Eval(x) | 1) & f.order();
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_PolyEval)->Arg(5)->Arg(13)->Arg(40);
+
+void BM_PolyMul(benchmark::State& state) {
+  GF2m f(32);
+  Xoshiro256 rng(4);
+  std::vector<uint64_t> ca(state.range(0)), cb(state.range(0));
+  for (auto& c : ca) c = rng.NextBounded(f.order()) + 1;
+  for (auto& c : cb) c = rng.NextBounded(f.order()) + 1;
+  GFPoly a(f, ca), b(f, cb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Mul(b));
+  }
+}
+BENCHMARK(BM_PolyMul)->Arg(13)->Arg(64);
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,45 @@
+// Micro-benchmarks: invertible Bloom filter operations (the D.Digest /
+// Graphene substrate) and the xxHash64 primitive everything hashes with.
+
+#include <benchmark/benchmark.h>
+
+#include "pbs/common/rng.h"
+#include "pbs/hash/xxhash64.h"
+#include "pbs/ibf/invertible_bloom_filter.h"
+
+namespace pbs {
+namespace {
+
+void BM_XxHash64(benchmark::State& state) {
+  uint64_t x = 0x1234;
+  for (auto _ : state) {
+    x = XxHash64(x, 7);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_XxHash64);
+
+void BM_IbfInsert(benchmark::State& state) {
+  InvertibleBloomFilter ibf(static_cast<size_t>(state.range(0)), 4, 1, 32);
+  uint64_t x = 1;
+  for (auto _ : state) {
+    ibf.Insert(x++);
+  }
+}
+BENCHMARK(BM_IbfInsert)->Arg(200)->Arg(20000);
+
+void BM_IbfDecode(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  InvertibleBloomFilter a(2 * d, d > 200 ? 3 : 4, 2, 32);
+  InvertibleBloomFilter b(2 * d, d > 200 ? 3 : 4, 2, 32);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < d; ++i) a.Insert(rng.Next() | 1);
+  a.Subtract(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Decode());
+  }
+}
+BENCHMARK(BM_IbfDecode)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,148 @@
+// Anti-entropy repair between two key-value replicas (the Cassandra /
+// Spanner-style application from the paper's introduction).
+//
+// Each replica stores versioned key-value records. A record is summarized
+// by a 32-bit signature hash(key, version); reconciling the signature sets
+// with PBS identifies exactly the records that are missing or stale on
+// either side, after which only those records travel.
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pbs/common/rng.h"
+#include "pbs/core/reconciler.h"
+#include "pbs/hash/xxhash64.h"
+
+namespace {
+
+struct Record {
+  std::string key;
+  uint64_t version = 0;
+  std::string value;
+};
+
+class Replica {
+ public:
+  void Put(const std::string& key, uint64_t version,
+           const std::string& value) {
+    auto it = store_.find(key);
+    if (it == store_.end() || it->second.version < version) {
+      store_[key] = Record{key, version, value};
+    }
+  }
+
+  /// Signature of one (key, version) pair; the reconciliation universe.
+  static uint64_t Signature(const std::string& key, uint64_t version) {
+    uint64_t sig =
+        pbs::XxHash64(key.data(), key.size(), version ^ 0x5167) & 0xFFFFFFFF;
+    return sig == 0 ? 1 : sig;
+  }
+
+  std::vector<uint64_t> Signatures() const {
+    std::vector<uint64_t> sigs;
+    sigs.reserve(store_.size());
+    for (const auto& [key, record] : store_) {
+      sigs.push_back(Signature(key, record.version));
+    }
+    return sigs;
+  }
+
+  /// Index from signature to record, to answer fetch requests.
+  const Record* FindBySignature(uint64_t sig) const {
+    for (const auto& [key, record] : store_) {
+      if (Signature(key, record.version) == sig) return &record;
+    }
+    return nullptr;
+  }
+
+  size_t size() const { return store_.size(); }
+  const std::unordered_map<std::string, Record>& store() const {
+    return store_;
+  }
+
+ private:
+  std::unordered_map<std::string, Record> store_;
+};
+
+}  // namespace
+
+int main() {
+  pbs::Xoshiro256 rng(7);
+  Replica primary, secondary;
+
+  // Shared history: both replicas converged on 30000 records.
+  for (int i = 0; i < 30000; ++i) {
+    const std::string key = "user:" + std::to_string(i);
+    const std::string value = "profile-" + std::to_string(rng.Next() % 997);
+    primary.Put(key, 1, value);
+    secondary.Put(key, 1, value);
+  }
+  // Divergence: fresh writes on the primary (new keys + updated versions)
+  // and a few writes that only reached the secondary.
+  for (int i = 0; i < 120; ++i) {
+    primary.Put("user:" + std::to_string(30000 + i), 1, "new");
+  }
+  for (int i = 0; i < 80; ++i) {
+    primary.Put("user:" + std::to_string(i * 7), 2, "updated");
+  }
+  for (int i = 0; i < 40; ++i) {
+    secondary.Put("session:" + std::to_string(i), 1, "secondary-only");
+  }
+
+  std::printf("primary: %zu records, secondary: %zu records\n",
+              primary.size(), secondary.size());
+
+  // Reconcile the signature sets (secondary plays Alice: it learns the
+  // difference and drives the repair).
+  pbs::PbsConfig config;
+  config.max_rounds = 5;
+  auto result = pbs::PbsSession::Reconcile(
+      secondary.Signatures(), primary.Signatures(), config, 0xCA55);
+  std::printf("PBS: success=%s, %zu differing signatures, %zu bytes, %d "
+              "rounds\n",
+              result.success ? "yes" : "no", result.difference.size(),
+              result.data_bytes + result.estimator_bytes, result.rounds);
+  if (!result.success) return 1;
+
+  // Repair: for each differing signature, whichever side has the record
+  // pushes it; versioned Put keeps the newest copy.
+  size_t repair_bytes = 0;
+  int to_secondary = 0, to_primary = 0;
+  for (uint64_t sig : result.difference) {
+    if (const Record* r = primary.FindBySignature(sig)) {
+      secondary.Put(r->key, r->version, r->value);
+      repair_bytes += r->key.size() + r->value.size() + 8;
+      ++to_secondary;
+    } else if (const Record* r2 = secondary.FindBySignature(sig)) {
+      primary.Put(r2->key, r2->version, r2->value);
+      repair_bytes += r2->key.size() + r2->value.size() + 8;
+      ++to_primary;
+    }
+  }
+  std::printf("repair: %d records -> secondary, %d records -> primary, "
+              "%zu payload bytes\n",
+              to_secondary, to_primary, repair_bytes);
+
+  // Verify convergence key by key.
+  bool converged = primary.size() == secondary.size();
+  for (const auto& [key, record] : primary.store()) {
+    auto it = secondary.store().find(key);
+    converged = converged && it != secondary.store().end() &&
+                it->second.version == record.version &&
+                it->second.value == record.value;
+    if (!converged) break;
+  }
+  std::printf("replicas converged: %s (%zu records each)\n",
+              converged ? "yes" : "NO", primary.size());
+
+  const size_t naive = primary.size() * 4;
+  std::printf("bandwidth: %zu B of reconciliation vs %zu B to ship every "
+              "signature naively (%.0fx saving)\n",
+              result.data_bytes + result.estimator_bytes, naive,
+              static_cast<double>(naive) /
+                  (result.data_bytes + result.estimator_bytes));
+  return converged ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+#include "pbs/baselines/approx_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "pbs/ibf/bloom_filter.h"
+#include "pbs/ibf/cuckoo_filter.h"
+
+namespace pbs {
+
+namespace {
+
+// Fingerprint width whose 2f/2^w false-positive rate is closest to `fpr`
+// from below (f = slots per bucket pair = 8 candidate slots).
+int CuckooBitsFor(double fpr) {
+  for (int bits = 4; bits <= 16; ++bits) {
+    if (8.0 / (1u << bits) <= fpr) return bits;
+  }
+  return 16;
+}
+
+}  // namespace
+
+ApproxOutcome ApproxFilterReconcile(const std::vector<uint64_t>& a,
+                                    const std::vector<uint64_t>& b,
+                                    FilterKind kind, double fpr,
+                                    uint64_t seed) {
+  ApproxOutcome out;
+
+  if (kind == FilterKind::kBloom) {
+    BloomFilter fa = BloomFilter::ForCapacity(a.size(), fpr, seed);
+    BloomFilter fb = BloomFilter::ForCapacity(b.size(), fpr, seed ^ 1);
+    for (uint64_t e : a) fa.Insert(e);
+    for (uint64_t e : b) fb.Insert(e);
+    out.data_bytes = fa.byte_size() + fb.byte_size();
+    // Alice keeps what Bob's filter rejects (A-hat \ B) and vice versa.
+    for (uint64_t e : a) {
+      if (!fb.Contains(e)) out.estimated_diff.push_back(e);
+    }
+    for (uint64_t e : b) {
+      if (!fa.Contains(e)) out.estimated_diff.push_back(e);
+    }
+    return out;
+  }
+
+  const int bits = CuckooBitsFor(fpr);
+  CuckooFilter fa(a.size(), bits, seed);
+  CuckooFilter fb(b.size(), bits, seed ^ 1);
+  for (uint64_t e : a) fa.Insert(e);
+  for (uint64_t e : b) fb.Insert(e);
+  out.data_bytes = fa.byte_size() + fb.byte_size();
+  for (uint64_t e : a) {
+    if (!fb.Contains(e)) out.estimated_diff.push_back(e);
+  }
+  for (uint64_t e : b) {
+    if (!fa.Contains(e)) out.estimated_diff.push_back(e);
+  }
+  return out;
+}
+
+double EvaluateRecall(const ApproxOutcome& outcome,
+                      const std::vector<uint64_t>& truth_diff) {
+  if (truth_diff.empty()) return 1.0;
+  std::unordered_set<uint64_t> found(outcome.estimated_diff.begin(),
+                                     outcome.estimated_diff.end());
+  size_t hits = 0;
+  for (uint64_t e : truth_diff) {
+    if (found.count(e)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth_diff.size());
+}
+
+}  // namespace pbs

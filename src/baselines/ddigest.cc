@@ -1,0 +1,46 @@
+#include "pbs/baselines/ddigest.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "pbs/ibf/invertible_bloom_filter.h"
+
+namespace pbs {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+BaselineOutcome DDigestReconcile(const std::vector<uint64_t>& a,
+                                 const std::vector<uint64_t>& b, int d_est,
+                                 int sig_bits, uint64_t seed) {
+  BaselineOutcome out;
+  d_est = std::max(d_est, 1);
+  const size_t cells = static_cast<size_t>(2) * d_est;
+  const int num_hashes = d_est > 200 ? 3 : 4;
+
+  const auto encode_start = Clock::now();
+  InvertibleBloomFilter bob_ibf(cells, num_hashes, seed, sig_bits);
+  for (uint64_t e : b) bob_ibf.Insert(e);
+  out.data_bytes = bob_ibf.byte_size();
+
+  InvertibleBloomFilter alice_ibf(cells, num_hashes, seed, sig_bits);
+  for (uint64_t e : a) alice_ibf.Insert(e);
+  const auto decode_start = Clock::now();
+  out.encode_seconds = Seconds(encode_start, decode_start);
+
+  alice_ibf.Subtract(bob_ibf);
+  auto decoded = alice_ibf.Decode();
+  out.decode_seconds = Seconds(decode_start, Clock::now());
+
+  out.success = decoded.complete;
+  out.difference = std::move(decoded.positive);
+  out.difference.insert(out.difference.end(), decoded.negative.begin(),
+                        decoded.negative.end());
+  return out;
+}
+
+}  // namespace pbs

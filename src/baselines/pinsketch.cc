@@ -1,0 +1,53 @@
+#include "pbs/baselines/pinsketch.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "pbs/bch/power_sum_sketch.h"
+#include "pbs/common/bitio.h"
+#include "pbs/gf/gf2m.h"
+
+namespace pbs {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+BaselineOutcome PinSketchReconcile(const std::vector<uint64_t>& a,
+                                   const std::vector<uint64_t>& b, int t,
+                                   int sig_bits, uint64_t seed) {
+  BaselineOutcome out;
+  t = std::max(t, 1);
+  const GF2m field(sig_bits);
+
+  // Encode: both parties sketch their sets; Bob ships his to Alice.
+  const auto encode_start = Clock::now();
+  PowerSumSketch bob_sketch(field, t);
+  for (uint64_t e : b) bob_sketch.Toggle(e);
+  BitWriter w;
+  bob_sketch.Serialize(&w);
+  out.data_bytes = w.byte_size();
+
+  PowerSumSketch alice_sketch(field, t);
+  for (uint64_t e : a) alice_sketch.Toggle(e);
+  const auto decode_start = Clock::now();
+  out.encode_seconds = Seconds(encode_start, decode_start);
+
+  // Decode: the XOR of the sketches is the sketch of A /\triangle B.
+  BitReader r(w.bytes());
+  PowerSumSketch received = PowerSumSketch::Deserialize(&r, field, t);
+  received.Merge(alice_sketch);
+  auto decoded = received.Decode(/*verify=*/true, seed);
+  out.decode_seconds = Seconds(decode_start, Clock::now());
+
+  if (decoded.has_value()) {
+    out.success = true;
+    out.difference = std::move(*decoded);
+  }
+  return out;
+}
+
+}  // namespace pbs

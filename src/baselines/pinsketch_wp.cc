@@ -1,0 +1,149 @@
+#include "pbs/baselines/pinsketch_wp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "pbs/bch/power_sum_sketch.h"
+#include "pbs/common/checksum.h"
+#include "pbs/core/group_state.h"
+#include "pbs/core/messages.h"
+#include "pbs/gf/gf2m.h"
+
+namespace pbs {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+BaselineOutcome PinSketchWpReconcile(const std::vector<uint64_t>& a,
+                                     const std::vector<uint64_t>& b,
+                                     int d_used, int delta, int t,
+                                     int sig_bits, int max_rounds,
+                                     uint64_t seed, int report_sig_bits) {
+  BaselineOutcome out;
+  if (report_sig_bits <= 0) report_sig_bits = sig_bits;
+  t = std::max(t, 1);
+  const GF2m field(sig_bits);
+  const HashFamily family(seed);
+  const uint32_t g = d_used <= 0
+                         ? 1
+                         : static_cast<uint32_t>((d_used + delta - 1) / delta);
+  const int count_bits = wire::CountBits(t);
+
+  // One unit per group pair; in-memory simulation of both sides with exact
+  // wire accounting (bits counted at report_sig_bits width).
+  struct Unit {
+    UnitCore core;
+    std::unordered_set<uint64_t> alice_working;  // A_unit /\triangle D-hat.
+    std::vector<uint64_t> bob_elements;
+    uint64_t alice_checksum = 0;
+    uint64_t bob_checksum = 0;
+  };
+
+  std::vector<Unit> units(g);
+  for (uint32_t i = 0; i < g; ++i) units[i].core = UnitCore::Root(family, i);
+  {
+    for (uint64_t e : a) {
+      Unit& u = units[GroupOf(family, e, g)];
+      u.alice_working.insert(e);
+      u.alice_checksum = (u.alice_checksum + e) & SetChecksum::MaskFor(sig_bits);
+    }
+    for (uint64_t e : b) {
+      Unit& u = units[GroupOf(family, e, g)];
+      u.bob_elements.push_back(e);
+      u.bob_checksum = (u.bob_checksum + e) & SetChecksum::MaskFor(sig_bits);
+    }
+  }
+
+  std::unordered_set<uint64_t> diff;
+  auto toggle = [&diff](std::unordered_set<uint64_t>& working,
+                        uint64_t& checksum, uint64_t mask, uint64_t s) {
+    if (auto it = working.find(s); it != working.end()) {
+      working.erase(it);
+      checksum = (checksum - s) & mask;
+    } else {
+      working.insert(s);
+      checksum = (checksum + s) & mask;
+    }
+    if (auto it = diff.find(s); it != diff.end()) {
+      diff.erase(it);
+    } else {
+      diff.insert(s);
+    }
+  };
+  const uint64_t mask = SetChecksum::MaskFor(sig_bits);
+
+  size_t bits_on_wire = 0;
+  int round = 0;
+  while (!units.empty() && round < max_rounds) {
+    ++round;
+    std::vector<Unit> next_units;
+    for (Unit& unit : units) {
+      // Alice -> Bob: sketch of her working set (t syndromes).
+      const auto encode_start = Clock::now();
+      PowerSumSketch alice_sketch(field, t);
+      for (uint64_t e : unit.alice_working) alice_sketch.Toggle(e);
+      bits_on_wire += static_cast<size_t>(t) * report_sig_bits;
+
+      // Bob: merge with his sketch, decode.
+      PowerSumSketch merged(field, t);
+      for (uint64_t e : unit.bob_elements) merged.Toggle(e);
+      merged.Merge(alice_sketch);
+      const auto decode_start = Clock::now();
+      out.encode_seconds += Seconds(encode_start, decode_start);
+      auto decoded = merged.Decode(/*verify=*/true, seed ^ unit.core.key);
+      bits_on_wire += 1;  // ok/fail flag.
+
+      if (!decoded.has_value()) {
+        out.decode_seconds += Seconds(decode_start, Clock::now());
+        // Three-way split; children retry from the next round.
+        std::vector<Unit> children(3);
+        const uint64_t salt = unit.core.SplitSalt(family);
+        for (int c = 0; c < 3; ++c) {
+          children[c].core = unit.core.Child(family, static_cast<uint8_t>(c));
+        }
+        for (uint64_t e : unit.alice_working) {
+          Unit& ch = children[UnitCore::ChildIndexOf(e, salt)];
+          ch.alice_working.insert(e);
+          ch.alice_checksum = (ch.alice_checksum + e) & mask;
+        }
+        for (uint64_t e : unit.bob_elements) {
+          Unit& ch = children[UnitCore::ChildIndexOf(e, salt)];
+          ch.bob_elements.push_back(e);
+          ch.bob_checksum = (ch.bob_checksum + e) & mask;
+        }
+        for (Unit& ch : children) next_units.push_back(std::move(ch));
+        continue;
+      }
+
+      // Bob -> Alice: the recovered elements and his checksum.
+      bits_on_wire += count_bits +
+                      decoded->size() * static_cast<size_t>(report_sig_bits) +
+                      report_sig_bits;
+
+      // Alice: sub-universe check and toggle, then verify.
+      for (uint64_t s : *decoded) {
+        if (s == 0) continue;
+        if (!unit.core.InSubUniverse(family, s, g)) continue;
+        toggle(unit.alice_working, unit.alice_checksum, mask, s);
+      }
+      out.decode_seconds += Seconds(decode_start, Clock::now());
+      if (unit.alice_checksum != unit.bob_checksum) {
+        next_units.push_back(std::move(unit));
+      }
+    }
+    units = std::move(next_units);
+  }
+
+  out.success = units.empty();
+  out.rounds = round;
+  out.data_bytes = (bits_on_wire + 7) / 8;
+  out.difference.assign(diff.begin(), diff.end());
+  return out;
+}
+
+}  // namespace pbs

@@ -1,0 +1,49 @@
+#include "pbs/bch/berlekamp_massey.h"
+
+namespace pbs {
+
+BmResult BerlekampMassey(const GF2m& field,
+                         const std::vector<uint64_t>& syndromes) {
+  const int n_syms = static_cast<int>(syndromes.size());
+  std::vector<uint64_t> c{1};  // C(x): current connection polynomial.
+  std::vector<uint64_t> b{1};  // B(x): last C before L changed.
+  int l = 0;                   // Current linear complexity.
+  int shift = 1;               // x^shift multiplier for B.
+  uint64_t bd = 1;             // Discrepancy when B was saved.
+
+  for (int pos = 0; pos < n_syms; ++pos) {
+    // Discrepancy d = S_{pos+1} + sum_{i=1..L} C_i * S_{pos+1-i}.
+    uint64_t d = syndromes[pos];
+    for (int i = 1; i <= l && i <= pos; ++i) {
+      if (i < static_cast<int>(c.size())) {
+        d ^= field.Mul(c[i], syndromes[pos - i]);
+      }
+    }
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    const uint64_t coef = field.Div(d, bd);
+    if (2 * l <= pos) {
+      std::vector<uint64_t> t = c;
+      if (c.size() < b.size() + shift) c.resize(b.size() + shift, 0);
+      for (size_t i = 0; i < b.size(); ++i) {
+        c[i + shift] ^= field.Mul(coef, b[i]);
+      }
+      l = pos + 1 - l;
+      b = std::move(t);
+      bd = d;
+      shift = 1;
+    } else {
+      if (c.size() < b.size() + shift) c.resize(b.size() + shift, 0);
+      for (size_t i = 0; i < b.size(); ++i) {
+        c[i + shift] ^= field.Mul(coef, b[i]);
+      }
+      ++shift;
+    }
+  }
+
+  return BmResult{GFPoly(field, std::move(c)), l};
+}
+
+}  // namespace pbs

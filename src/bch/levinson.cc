@@ -1,0 +1,123 @@
+#include "pbs/bch/levinson.h"
+
+#include <cassert>
+#include <functional>
+
+namespace pbs {
+
+namespace {
+
+// Core Levinson recursion for a general (nonsymmetric) Toeplitz system
+// T x = rhs over GF(2^m), where T(i, j) = diag(i - j) and diag is defined
+// for lags -(v-1)..(v-1). Maintains the solution x_k of the k x k leading
+// system plus forward/backward auxiliary vectors f_k, g_k with
+// T_k f_k = e_0 and T_k g_k = e_{k-1}. In characteristic 2, + and -
+// coincide, which simplifies the updates. Returns nullopt when a leading
+// principal minor is singular (the recursion's regularity condition).
+std::optional<std::vector<uint64_t>> LevinsonSolveToeplitz(
+    const GF2m& field, const std::function<uint64_t(int)>& diag,
+    const std::vector<uint64_t>& rhs) {
+  const size_t v = rhs.size();
+  if (v == 0) return std::vector<uint64_t>{};
+  if (diag(0) == 0) return std::nullopt;  // 1x1 leading minor singular.
+
+  std::vector<uint64_t> x{field.Div(rhs[0], diag(0))};
+  std::vector<uint64_t> f{field.Inv(diag(0))};
+  std::vector<uint64_t> g{field.Inv(diag(0))};
+
+  for (size_t k = 1; k < v; ++k) {
+    // Residual of [f, 0] at the new last row: sum_j T(k, j) f_j.
+    uint64_t ef = 0;
+    for (size_t j = 0; j < k; ++j) {
+      ef ^= field.Mul(diag(static_cast<int>(k - j)), f[j]);
+    }
+    // Residual of [0, g] at the first row: sum_j T(0, j+1) g_j.
+    uint64_t eg = 0;
+    for (size_t j = 0; j < k; ++j) {
+      eg ^= field.Mul(diag(-static_cast<int>(j) - 1), g[j]);
+    }
+
+    // [f, 0] solves e_0 + ef e_k; [0, g] solves eg e_0 + e_k. Combine with
+    // denominator 1 - ef eg (char 2: XOR).
+    const uint64_t denom = 1 ^ field.Mul(ef, eg);
+    if (denom == 0) return std::nullopt;  // Singular leading minor.
+    const uint64_t dinv = field.Inv(denom);
+
+    std::vector<uint64_t> f_new(k + 1, 0), g_new(k + 1, 0);
+    for (size_t j = 0; j < k; ++j) {
+      f_new[j] ^= field.Mul(dinv, f[j]);
+      g_new[j + 1] ^= field.Mul(dinv, g[j]);
+      f_new[j + 1] ^= field.Mul(field.Mul(dinv, ef), g[j]);
+      g_new[j] ^= field.Mul(field.Mul(dinv, eg), f[j]);
+    }
+    f = std::move(f_new);
+    g = std::move(g_new);
+
+    // Extend the solution: residual of [x, 0] at the new last row; patch
+    // it with g (which excites only that row).
+    uint64_t ex = 0;
+    for (size_t j = 0; j < k; ++j) {
+      ex ^= field.Mul(diag(static_cast<int>(k - j)), x[j]);
+    }
+    const uint64_t correction = ex ^ rhs[k];
+    x.push_back(0);
+    for (size_t j = 0; j <= k; ++j) x[j] ^= field.Mul(correction, g[j]);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::optional<std::vector<uint64_t>> LevinsonSolveHankel(
+    const GF2m& field, const std::vector<uint64_t>& h,
+    const std::vector<uint64_t>& b) {
+  const size_t v = b.size();
+  if (v == 0) return std::vector<uint64_t>{};
+  assert(h.size() == 2 * v - 1);
+
+  // Row-reverse into Toeplitz form: (J H)(i, j) = h[(v-1-i) + j] depends
+  // only on i - j, with diagonal value h[(v-1) - (i-j)]; the right-hand
+  // side reverses with the rows and the solution vector is unchanged.
+  auto diag = [&h, v](int lag) {
+    return h[static_cast<size_t>(static_cast<int>(v) - 1 - lag)];
+  };
+  std::vector<uint64_t> reversed_b(b.rbegin(), b.rend());
+  return LevinsonSolveToeplitz(field, diag, reversed_b);
+}
+
+std::optional<std::vector<uint64_t>> LevinsonLocator(
+    const GF2m& field, const std::vector<uint64_t>& syndromes, int v) {
+  assert(v >= 0 && 2 * v <= static_cast<int>(syndromes.size()));
+  if (v == 0) return std::vector<uint64_t>{1};
+
+  // H(i, j) = S_{i + j + 1} (i, j 0-based), b_i = S_{v + i + 1}.
+  std::vector<uint64_t> h(2 * v - 1);
+  for (int i = 0; i < 2 * v - 1; ++i) h[i] = syndromes[i + 1 - 1];
+  std::vector<uint64_t> b(v);
+  for (int i = 0; i < v; ++i) b[i] = syndromes[v + i + 1 - 1];
+
+  auto solution = LevinsonSolveHankel(field, h, b);
+  if (!solution.has_value()) return std::nullopt;
+
+  // solution[j] multiplies S_{k - (j+1)}... map back to Lambda: the system
+  // rows are sum_j Lambda_j S_{k-j} = S_k with matrix entry S_{k-j} =
+  // S_{(v + i + 1) - j}; with H(i, jj) = S_{i + jj + 1} we used jj = v - j,
+  // so Lambda_j = solution[v - j].
+  std::vector<uint64_t> lambda(v + 1, 0);
+  lambda[0] = 1;
+  for (int j = 1; j <= v; ++j) lambda[j] = (*solution)[v - j];
+  if (lambda[v] == 0) return std::nullopt;  // Degree collapsed.
+
+  // Verify the recurrence across all provided syndromes.
+  const int total = static_cast<int>(syndromes.size());
+  for (int k = v + 1; k <= total; ++k) {
+    uint64_t acc = syndromes[k - 1];
+    for (int j = 1; j <= v; ++j) {
+      acc ^= field.Mul(lambda[j], syndromes[k - j - 1]);
+    }
+    if (acc != 0) return std::nullopt;
+  }
+  return lambda;
+}
+
+}  // namespace pbs

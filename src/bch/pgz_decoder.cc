@@ -1,0 +1,87 @@
+#include "pbs/bch/pgz_decoder.h"
+
+namespace pbs {
+
+namespace {
+
+// Gaussian elimination over GF(2^m). Returns false if singular.
+bool Solve(const GF2m& field, std::vector<std::vector<uint64_t>> a,
+           std::vector<uint64_t> rhs, std::vector<uint64_t>* out) {
+  const int n = static_cast<int>(rhs.size());
+  for (int col = 0; col < n; ++col) {
+    int pivot = -1;
+    for (int row = col; row < n; ++row) {
+      if (a[row][col] != 0) {
+        pivot = row;
+        break;
+      }
+    }
+    if (pivot < 0) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    const uint64_t inv = field.Inv(a[col][col]);
+    for (int j = col; j < n; ++j) a[col][j] = field.Mul(a[col][j], inv);
+    rhs[col] = field.Mul(rhs[col], inv);
+    for (int row = 0; row < n; ++row) {
+      if (row == col || a[row][col] == 0) continue;
+      const uint64_t factor = a[row][col];
+      for (int j = col; j < n; ++j) {
+        a[row][j] ^= field.Mul(factor, a[col][j]);
+      }
+      rhs[row] ^= field.Mul(factor, rhs[col]);
+    }
+  }
+  *out = std::move(rhs);
+  return true;
+}
+
+}  // namespace
+
+std::optional<GFPoly> PgzLocator(const GF2m& field,
+                                 const std::vector<uint64_t>& syndromes) {
+  const int t = static_cast<int>(syndromes.size()) / 2;
+  bool all_zero = true;
+  for (uint64_t s : syndromes) {
+    if (s != 0) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) return GFPoly::One(field);
+
+  // S(k) accessor with 1-based BCH indexing.
+  auto s = [&](int k) { return syndromes[k - 1]; };
+
+  for (int v = t; v >= 1; --v) {
+    // Rows k = v+1 .. 2v; unknowns Lambda_1..Lambda_v.
+    std::vector<std::vector<uint64_t>> a(v, std::vector<uint64_t>(v, 0));
+    std::vector<uint64_t> rhs(v, 0);
+    for (int row = 0; row < v; ++row) {
+      const int k = v + 1 + row;
+      for (int j = 1; j <= v; ++j) a[row][j - 1] = s(k - j);
+      rhs[row] = s(k);
+    }
+    std::vector<uint64_t> lambda_coeffs;
+    if (!Solve(field, std::move(a), std::move(rhs), &lambda_coeffs)) continue;
+
+    std::vector<uint64_t> poly(v + 1, 0);
+    poly[0] = 1;
+    for (int j = 1; j <= v; ++j) poly[j] = lambda_coeffs[j - 1];
+    GFPoly lambda(field, std::move(poly));
+    if (lambda.degree() != v) continue;  // Leading coefficient vanished.
+
+    // Verify the recurrence over the full syndrome window.
+    bool ok = true;
+    for (int k = v + 1; k <= 2 * t && ok; ++k) {
+      uint64_t acc = s(k);
+      for (int j = 1; j <= v; ++j) {
+        acc ^= field.Mul(lambda.coeff(j), s(k - j));
+      }
+      if (acc != 0) ok = false;
+    }
+    if (ok) return lambda;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pbs

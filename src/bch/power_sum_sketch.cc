@@ -1,0 +1,81 @@
+#include "pbs/bch/power_sum_sketch.h"
+
+#include <cassert>
+
+#include "pbs/bch/berlekamp_massey.h"
+#include "pbs/gf/roots.h"
+
+namespace pbs {
+
+PowerSumSketch::PowerSumSketch(const GF2m& field, int t)
+    : field_(field), t_(t), odd_(t, 0) {
+  assert(t >= 1);
+}
+
+void PowerSumSketch::Toggle(uint64_t element) {
+  assert(element >= 1 && element <= field_.order());
+  // Accumulate x^1, x^3, x^5, ... via repeated multiplication by x^2.
+  const uint64_t x2 = field_.Sqr(element);
+  uint64_t power = element;
+  for (int i = 0; i < t_; ++i) {
+    odd_[i] ^= power;
+    if (i + 1 < t_) power = field_.Mul(power, x2);
+  }
+}
+
+void PowerSumSketch::Merge(const PowerSumSketch& other) {
+  assert(t_ == other.t_ && field_ == other.field_);
+  for (int i = 0; i < t_; ++i) odd_[i] ^= other.odd_[i];
+}
+
+bool PowerSumSketch::IsZero() const {
+  for (uint64_t s : odd_) {
+    if (s != 0) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<uint64_t>> PowerSumSketch::Decode(
+    bool verify, uint64_t seed) const {
+  if (IsZero()) return std::vector<uint64_t>{};
+
+  // Expand to the full syndrome sequence S_1..S_2t using S_2k = S_k^2.
+  std::vector<uint64_t> syndromes(2 * t_, 0);
+  for (int k = 1; k <= 2 * t_; ++k) {
+    if (k % 2 == 1) {
+      syndromes[k - 1] = odd_[(k - 1) / 2];
+    } else {
+      syndromes[k - 1] = field_.Sqr(syndromes[k / 2 - 1]);
+    }
+  }
+
+  BmResult bm = BerlekampMassey(field_, syndromes);
+  if (!bm.IsConsistent() || bm.linear_complexity > t_) return std::nullopt;
+
+  // Roots of Lambda are the inverses of the sketched elements.
+  auto roots = FindDistinctNonzeroRoots(bm.lambda, seed);
+  if (!roots.has_value()) return std::nullopt;
+  std::vector<uint64_t> elements;
+  elements.reserve(roots->size());
+  for (uint64_t r : *roots) elements.push_back(field_.Inv(r));
+
+  if (verify) {
+    PowerSumSketch check(field_, t_);
+    for (uint64_t e : elements) check.Toggle(e);
+    if (check.odd_ != odd_) return std::nullopt;
+  }
+  return elements;
+}
+
+void PowerSumSketch::Serialize(BitWriter* writer) const {
+  for (uint64_t s : odd_) writer->WriteBits(s, field_.m());
+}
+
+PowerSumSketch PowerSumSketch::Deserialize(BitReader* reader,
+                                           const GF2m& field, int t) {
+  PowerSumSketch sketch(field, t);
+  for (int i = 0; i < t; ++i) sketch.odd_[i] = reader->ReadBits(field.m());
+  return sketch;
+}
+
+}  // namespace pbs

@@ -1,0 +1,73 @@
+#include "pbs/common/bitio.h"
+
+namespace pbs {
+
+void BitWriter::WriteBits(uint64_t value, int bits) {
+  if (bits <= 0) return;
+  if (bits < 64) value &= (uint64_t{1} << bits) - 1;
+  int written = 0;
+  while (written < bits) {
+    size_t byte_index = bit_size_ / 8;
+    int bit_offset = static_cast<int>(bit_size_ % 8);
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    int room = 8 - bit_offset;
+    int take = bits - written < room ? bits - written : room;
+    uint8_t chunk = static_cast<uint8_t>((value >> written) & ((1u << take) - 1));
+    bytes_[byte_index] |= static_cast<uint8_t>(chunk << bit_offset);
+    bit_size_ += take;
+    written += take;
+  }
+}
+
+void BitWriter::WriteVarint(uint64_t value) {
+  while (true) {
+    uint64_t group = value & 0x7F;
+    value >>= 7;
+    WriteBits(group, 7);
+    WriteBit(value != 0);
+    if (value == 0) break;
+  }
+}
+
+std::vector<uint8_t> BitWriter::TakeBytes() {
+  std::vector<uint8_t> out = std::move(bytes_);
+  bytes_.clear();
+  bit_size_ = 0;
+  return out;
+}
+
+uint64_t BitReader::ReadBits(int bits) {
+  if (bits <= 0) return 0;
+  if (pos_ + static_cast<size_t>(bits) > size_bits_) {
+    overflowed_ = true;
+    pos_ = size_bits_;
+    return 0;
+  }
+  uint64_t value = 0;
+  int read = 0;
+  while (read < bits) {
+    size_t byte_index = pos_ / 8;
+    int bit_offset = static_cast<int>(pos_ % 8);
+    int room = 8 - bit_offset;
+    int take = bits - read < room ? bits - read : room;
+    uint64_t chunk = (data_[byte_index] >> bit_offset) & ((1u << take) - 1);
+    value |= chunk << read;
+    pos_ += take;
+    read += take;
+  }
+  return value;
+}
+
+uint64_t BitReader::ReadVarint() {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    uint64_t group = ReadBits(7);
+    value |= group << shift;
+    shift += 7;
+    if (!ReadBit() || overflowed_ || shift >= 64) break;
+  }
+  return value;
+}
+
+}  // namespace pbs

@@ -1,0 +1,4 @@
+#include "pbs/common/checksum.h"
+
+// SetChecksum is header-only; this translation unit exists so the module has
+// a home in the build graph and a place for future non-inline helpers.

@@ -1,0 +1,69 @@
+#include "pbs/common/merkle.h"
+
+#include "pbs/hash/xxhash64.h"
+
+namespace pbs {
+
+namespace {
+constexpr uint64_t kLeafDomain = 0x4C454146ull;      // "LEAF"
+constexpr uint64_t kInteriorDomain = 0x4E4F4445ull;  // "NODE"
+constexpr uint64_t kEmptyRoot = 0xE3B0C44298FC1C14ull;
+}  // namespace
+
+uint64_t MerkleTree::HashLeaf(uint64_t value) {
+  return XxHash64(value, kLeafDomain);
+}
+
+uint64_t MerkleTree::HashInterior(uint64_t left, uint64_t right) {
+  uint64_t pair[2] = {left, right};
+  return XxHash64(pair, sizeof(pair), kInteriorDomain);
+}
+
+MerkleTree::MerkleTree(const std::vector<uint64_t>& leaves)
+    : leaf_count_(leaves.size()) {
+  std::vector<uint64_t> level;
+  level.reserve(leaves.size());
+  for (uint64_t v : leaves) level.push_back(HashLeaf(v));
+  if (level.empty()) level.push_back(kEmptyRoot);
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<uint64_t> above;
+    above.reserve((below.size() + 1) / 2);
+    for (size_t i = 0; i < below.size(); i += 2) {
+      // Odd node promotes by pairing with itself (Bitcoin convention).
+      const uint64_t right = i + 1 < below.size() ? below[i + 1] : below[i];
+      above.push_back(HashInterior(below[i], right));
+    }
+    levels_.push_back(std::move(above));
+  }
+}
+
+uint64_t MerkleTree::root() const { return levels_.back()[0]; }
+
+std::vector<MerkleTree::ProofNode> MerkleTree::Prove(size_t index) const {
+  std::vector<ProofNode> proof;
+  for (size_t depth = 0; depth + 1 < levels_.size(); ++depth) {
+    const auto& level = levels_[depth];
+    const size_t sibling = index ^ 1;
+    const uint64_t digest =
+        sibling < level.size() ? level[sibling] : level[index];
+    proof.push_back({digest, (index & 1) != 0});
+    index /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(uint64_t leaf_value,
+                        const std::vector<ProofNode>& proof,
+                        uint64_t root_digest) {
+  uint64_t digest = HashLeaf(leaf_value);
+  for (const ProofNode& node : proof) {
+    digest = node.sibling_on_left
+                 ? HashInterior(node.sibling_digest, digest)
+                 : HashInterior(digest, node.sibling_digest);
+  }
+  return digest == root_digest;
+}
+
+}  // namespace pbs

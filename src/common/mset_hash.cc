@@ -1,0 +1,25 @@
+#include "pbs/common/mset_hash.h"
+
+#include "pbs/hash/xxhash64.h"
+
+namespace pbs {
+
+void MsetHash::Add(uint64_t element) {
+  const uint64_t h1 = XxHash64(element, salt_ ^ 0x4D534554ull);  // "MSET"
+  const uint64_t h2 = XxHash64(element, salt_ ^ 0x58303152ull);
+  const uint64_t h3 = XxHash64(element, salt_ ^ 0x4D495833ull);
+  xor_ ^= h1;
+  sum_ += h2;
+  mix_ += h3 ^ (h1 * 0x9E3779B97F4A7C15ull);
+}
+
+void MsetHash::Remove(uint64_t element) {
+  const uint64_t h1 = XxHash64(element, salt_ ^ 0x4D534554ull);
+  const uint64_t h2 = XxHash64(element, salt_ ^ 0x58303152ull);
+  const uint64_t h3 = XxHash64(element, salt_ ^ 0x4D495833ull);
+  xor_ ^= h1;
+  sum_ -= h2;
+  mix_ -= h3 ^ (h1 * 0x9E3779B97F4A7C15ull);
+}
+
+}  // namespace pbs

@@ -1,0 +1,34 @@
+#include "pbs/common/transcript.h"
+
+namespace pbs {
+
+void Transcript::Record(int round, Direction direction,
+                        const std::string& label, size_t bytes) {
+  entries_.push_back({round, direction, label, bytes});
+  total_bytes_ += bytes;
+  if (round > max_round_) max_round_ = round;
+}
+
+size_t Transcript::BytesInRound(int round) const {
+  size_t sum = 0;
+  for (const auto& e : entries_) {
+    if (e.round == round) sum += e.bytes;
+  }
+  return sum;
+}
+
+size_t Transcript::BytesInDirection(Direction direction) const {
+  size_t sum = 0;
+  for (const auto& e : entries_) {
+    if (e.direction == direction) sum += e.bytes;
+  }
+  return sum;
+}
+
+void Transcript::Clear() {
+  entries_.clear();
+  total_bytes_ = 0;
+  max_round_ = 0;
+}
+
+}  // namespace pbs

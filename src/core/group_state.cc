@@ -1,0 +1,39 @@
+#include "pbs/core/group_state.h"
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+
+UnitCore UnitCore::Root(const HashFamily& family, uint32_t g) {
+  UnitCore unit;
+  unit.group = g;
+  unit.depth = 0;
+  unit.key = SplitMix64(family.master_seed() ^
+                        (0x726F6F74756E6974ull + g)).Next();
+  return unit;
+}
+
+uint64_t UnitCore::SplitSalt(const HashFamily& family) const {
+  return family.Salt(HashFamily::kSplitPartition, key, depth);
+}
+
+UnitCore UnitCore::Child(const HashFamily& family, uint8_t index) const {
+  UnitCore child;
+  child.group = group;
+  child.depth = static_cast<uint8_t>(depth + 1);
+  child.key = SplitMix64(key ^ (0xC0FFEEull + index)).Next();
+  child.split_path = split_path;
+  child.split_path.emplace_back(SplitSalt(family), index);
+  return child;
+}
+
+bool UnitCore::InSubUniverse(const HashFamily& family, uint64_t x,
+                             uint32_t num_groups) const {
+  if (GroupOf(family, x, num_groups) != group) return false;
+  for (const auto& [salt, index] : split_path) {
+    if (ChildIndexOf(x, salt) != index) return false;
+  }
+  return true;
+}
+
+}  // namespace pbs

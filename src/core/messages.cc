@@ -1,0 +1,4 @@
+#include "pbs/core/messages.h"
+
+// The wire helpers are constexpr and header-only; this translation unit
+// anchors the module in the build graph.

@@ -1,0 +1,4 @@
+#include "pbs/core/parity_bitmap.h"
+
+// ParityBitmap is header-only (template Build); this translation unit
+// anchors the module in the build graph.

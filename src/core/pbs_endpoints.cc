@@ -1,0 +1,456 @@
+#include "pbs/core/pbs_endpoints.h"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include <array>
+
+#include "pbs/common/bitio.h"
+#include "pbs/common/mset_hash.h"
+#include "pbs/core/messages.h"
+#include "pbs/core/parity_bitmap.h"
+#include "pbs/estimator/tow.h"
+
+namespace pbs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+// Signatures must be nonzero (Section 2.1 excludes 0 from the universe so
+// Procedure 1 can distinguish "no difference" from "difference is 0") and
+// fit the configured width. Violations are caller bugs, reported loudly.
+void ValidateElements(const std::vector<uint64_t>& elements, int sig_bits,
+                      const char* who) {
+  const uint64_t limit =
+      sig_bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << sig_bits) - 1;
+  for (uint64_t e : elements) {
+    if (e == 0) {
+      throw std::invalid_argument(
+          std::string(who) +
+          ": element 0 is excluded from the universe (Section 2.1)");
+    }
+    if (e > limit) {
+      throw std::invalid_argument(
+          std::string(who) + ": element exceeds sig_bits width");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Alice
+// ---------------------------------------------------------------------------
+
+struct PbsAlice::Impl {
+  PbsConfig config;
+  HashFamily family;
+  std::vector<uint64_t> elements;
+  PbsPlan plan;
+  bool plan_ready = false;
+  GF2m field{6};  // Replaced once the plan is known.
+
+  // One active reconciliation unit (Alice side).
+  struct Unit {
+    UnitCore core;
+    std::unordered_set<uint64_t> working;  // A_unit /\triangle D-hat so far.
+    SetChecksum checksum;
+    bool decoded_ok = false;   // Bob's last decode succeeded.
+    bool settled = false;      // Checksum verified.
+  };
+
+  std::vector<Unit> units;        // Canonical order, active units only.
+  std::vector<bool> last_settled; // Settled flags to ship in the next request.
+  bool have_flags = false;
+  std::unordered_set<uint64_t> diff;  // Accumulated D-hat (toggle semantics).
+  int round = 0;
+  PbsTimers timers;
+  uint64_t set_size_hint = 0;  // |A| sent in the estimate request.
+
+  Impl(std::vector<uint64_t> elems, const PbsConfig& cfg, uint64_t seed)
+      : config(cfg), family(seed), elements(std::move(elems)) {}
+
+  void BuildUnits() {
+    const uint32_t g = static_cast<uint32_t>(plan.params.g);
+    field = GF2m(plan.params.m);
+    units.clear();
+    units.resize(g);
+    for (uint32_t i = 0; i < g; ++i) {
+      units[i].core = UnitCore::Root(family, i);
+      units[i].checksum = SetChecksum(config.sig_bits);
+    }
+    for (uint64_t e : elements) {
+      Unit& u = units[GroupOf(family, e, g)];
+      u.working.insert(e);
+      u.checksum.Add(e);
+    }
+  }
+
+  // Replaces a decode-failed unit by its three children (in place).
+  std::vector<Unit> SplitUnit(Unit& parent) {
+    std::vector<Unit> children(3);
+    const uint64_t salt = parent.core.SplitSalt(family);
+    for (int c = 0; c < 3; ++c) {
+      children[c].core = parent.core.Child(family, static_cast<uint8_t>(c));
+      children[c].checksum = SetChecksum(config.sig_bits);
+    }
+    for (uint64_t e : parent.working) {
+      Unit& child = children[UnitCore::ChildIndexOf(e, salt)];
+      child.working.insert(e);
+      child.checksum.Add(e);
+    }
+    return children;
+  }
+
+  void Toggle(Unit& unit, uint64_t s) {
+    if (auto it = unit.working.find(s); it != unit.working.end()) {
+      unit.working.erase(it);
+      unit.checksum.Remove(s);
+    } else {
+      unit.working.insert(s);
+      unit.checksum.Add(s);
+    }
+    if (auto it = diff.find(s); it != diff.end()) {
+      diff.erase(it);
+    } else {
+      diff.insert(s);
+    }
+  }
+};
+
+PbsAlice::PbsAlice(std::vector<uint64_t> elements, const PbsConfig& config,
+                   uint64_t seed)
+    : impl_(std::make_unique<Impl>(std::move(elements), config, seed)) {
+  ValidateElements(impl_->elements, config.sig_bits, "PbsAlice");
+}
+
+PbsAlice::~PbsAlice() = default;
+
+std::vector<uint8_t> PbsAlice::MakeEstimateRequest() {
+  Impl& a = *impl_;
+  a.set_size_hint = a.elements.size();
+  TowSketch sketch(a.config.ell,
+                   a.family.Salt(HashFamily::kEstimator));
+  sketch.AddAll(a.elements);
+  BitWriter w;
+  w.WriteVarint(a.set_size_hint);
+  sketch.Serialize(&w, a.set_size_hint);
+  return w.TakeBytes();
+}
+
+void PbsAlice::HandleEstimateReply(const std::vector<uint8_t>& reply) {
+  BitReader r(reply);
+  const int d_used = static_cast<int>(r.ReadBits(32));
+  SetDifferenceEstimate(d_used);
+}
+
+void PbsAlice::SetDifferenceEstimate(int d_used) {
+  Impl& a = *impl_;
+  a.plan = PlanFor(a.config, d_used);
+  a.plan_ready = true;
+  a.BuildUnits();
+}
+
+std::vector<uint8_t> PbsAlice::MakeRoundRequest() {
+  Impl& a = *impl_;
+  assert(a.plan_ready);
+  ++a.round;
+  const auto start = Clock::now();
+
+  BitWriter w;
+  if (a.have_flags) {
+    for (bool settled : a.last_settled) w.WriteBit(settled);
+    a.have_flags = false;
+  }
+  for (const Impl::Unit& unit : a.units) {
+    if (unit.settled) continue;
+    const SaltedHash h(unit.core.BinSalt(a.family, a.round));
+    const ParityBitmap pb =
+        ParityBitmap::Build(unit.working, h, a.plan.params.n);
+    pb.ToSketch(a.field, a.plan.params.t).Serialize(&w);
+  }
+
+  a.timers.encode_seconds += Seconds(start, Clock::now());
+  return w.TakeBytes();
+}
+
+bool PbsAlice::HandleRoundReply(const std::vector<uint8_t>& reply) {
+  Impl& a = *impl_;
+  const auto start = Clock::now();
+  BitReader r(reply);
+  const int count_bits = wire::CountBits(a.plan.params.t);
+  const int m = a.plan.params.m;
+  const int sig_bits = a.config.sig_bits;
+  const uint32_t g = static_cast<uint32_t>(a.plan.params.g);
+
+  std::vector<Impl::Unit> next_units;
+  std::vector<bool> flags;
+  next_units.reserve(a.units.size());
+
+  for (Impl::Unit& unit : a.units) {
+    if (unit.settled) continue;
+    const bool failed = r.ReadBit();
+    if (failed) {
+      // Three-way split (Section 3.2); children reconcile from next round.
+      if (unit.core.depth < a.config.max_split_depth) {
+        for (Impl::Unit& child : a.SplitUnit(unit)) {
+          next_units.push_back(std::move(child));
+        }
+      } else {
+        next_units.push_back(std::move(unit));  // Depth cap: retry as-is.
+      }
+      continue;
+    }
+
+    const int count = static_cast<int>(r.ReadBits(count_bits));
+    std::vector<uint64_t> positions(count);
+    std::vector<uint64_t> xors(count);
+    for (int i = 0; i < count; ++i) positions[i] = r.ReadBits(m);
+    for (int i = 0; i < count; ++i) xors[i] = r.ReadBits(sig_bits);
+    const uint64_t bob_checksum = r.ReadBits(sig_bits);
+
+    // Recover each candidate distinct element (Procedures 1 and 3).
+    const SaltedHash h(unit.core.BinSalt(a.family, a.round));
+    ParityBitmap pb = ParityBitmap::Build(unit.working, h, a.plan.params.n);
+    for (int i = 0; i < count; ++i) {
+      const uint64_t pos = positions[i];
+      if (pos < 1 || pos > static_cast<uint64_t>(a.plan.params.n)) continue;
+      const uint64_t s = pb.xor_sum[pos] ^ xors[i];
+      if (s == 0) continue;  // XOR-cancelled fake.
+      if (a.config.subuniverse_check) {
+        if (BinIndex(s, h, a.plan.params.n) != pos) continue;  // Procedure 3.
+        if (!unit.core.InSubUniverse(a.family, s, g)) continue;
+      }
+      a.Toggle(unit, s);
+    }
+
+    const bool settled = unit.checksum.value() == bob_checksum;
+    flags.push_back(settled);
+    if (!settled) {
+      unit.decoded_ok = true;
+      next_units.push_back(std::move(unit));
+    }
+  }
+
+  a.units = std::move(next_units);
+  a.last_settled = std::move(flags);
+  a.have_flags = true;
+  a.timers.decode_seconds += Seconds(start, Clock::now());
+  return a.units.empty();
+}
+
+bool PbsAlice::finished() const {
+  return impl_->plan_ready && impl_->round > 0 && impl_->units.empty();
+}
+
+int PbsAlice::round() const { return impl_->round; }
+
+std::vector<uint64_t> PbsAlice::Difference() const {
+  return {impl_->diff.begin(), impl_->diff.end()};
+}
+
+bool PbsAlice::VerifyStrongDigest(
+    const std::vector<uint8_t>& digest_msg) const {
+  BitReader r(digest_msg);
+  std::array<uint64_t, 3> theirs;
+  for (auto& lane : theirs) lane = r.ReadBits(64);
+  if (r.overflowed()) return false;
+  // H(A /\triangle D-hat): start from A, toggle every recovered element.
+  MsetHash mine(impl_->family.Salt(HashFamily::kEstimator, 0x5742));
+  std::unordered_set<uint64_t> in_a(impl_->elements.begin(),
+                                    impl_->elements.end());
+  for (uint64_t e : impl_->elements) mine.Add(e);
+  for (uint64_t e : impl_->diff) mine.Toggle(e, !in_a.count(e));
+  return mine.digest() == theirs;
+}
+
+std::vector<uint64_t> PbsAlice::ElementsOnlyInA() const {
+  std::unordered_set<uint64_t> in_a(impl_->elements.begin(),
+                                    impl_->elements.end());
+  std::vector<uint64_t> only_in_a;
+  for (uint64_t e : impl_->diff) {
+    if (in_a.count(e)) only_in_a.push_back(e);
+  }
+  return only_in_a;
+}
+
+const PbsPlan& PbsAlice::plan() const { return impl_->plan; }
+const PbsTimers& PbsAlice::timers() const { return impl_->timers; }
+
+// ---------------------------------------------------------------------------
+// Bob
+// ---------------------------------------------------------------------------
+
+struct PbsBob::Impl {
+  PbsConfig config;
+  HashFamily family;
+  std::vector<uint64_t> elements;
+  PbsPlan plan;
+  bool plan_ready = false;
+  GF2m field{6};
+
+  struct Unit {
+    UnitCore core;
+    std::vector<uint64_t> elements;
+    uint64_t checksum = 0;
+    bool decode_failed = false;  // Last round's decode failed -> will split.
+  };
+
+  std::vector<Unit> units;
+  int round = 0;
+  PbsTimers timers;
+
+  Impl(std::vector<uint64_t> elems, const PbsConfig& cfg, uint64_t seed)
+      : config(cfg), family(seed), elements(std::move(elems)) {}
+
+  uint64_t ChecksumOf(const std::vector<uint64_t>& elems) const {
+    SetChecksum c(config.sig_bits);
+    for (uint64_t e : elems) c.Add(e);
+    return c.value();
+  }
+
+  void BuildUnits() {
+    const uint32_t g = static_cast<uint32_t>(plan.params.g);
+    field = GF2m(plan.params.m);
+    units.clear();
+    units.resize(g);
+    for (uint32_t i = 0; i < g; ++i) units[i].core = UnitCore::Root(family, i);
+    for (uint64_t e : elements) {
+      units[GroupOf(family, e, g)].elements.push_back(e);
+    }
+    for (Unit& u : units) u.checksum = ChecksumOf(u.elements);
+  }
+
+  std::vector<Unit> SplitUnit(Unit& parent) {
+    std::vector<Unit> children(3);
+    const uint64_t salt = parent.core.SplitSalt(family);
+    for (int c = 0; c < 3; ++c) {
+      children[c].core = parent.core.Child(family, static_cast<uint8_t>(c));
+    }
+    for (uint64_t e : parent.elements) {
+      children[UnitCore::ChildIndexOf(e, salt)].elements.push_back(e);
+    }
+    for (Unit& child : children) child.checksum = ChecksumOf(child.elements);
+    return children;
+  }
+};
+
+PbsBob::PbsBob(std::vector<uint64_t> elements, const PbsConfig& config,
+               uint64_t seed)
+    : impl_(std::make_unique<Impl>(std::move(elements), config, seed)) {
+  ValidateElements(impl_->elements, config.sig_bits, "PbsBob");
+}
+
+PbsBob::~PbsBob() = default;
+
+std::vector<uint8_t> PbsBob::HandleEstimateRequest(
+    const std::vector<uint8_t>& request) {
+  Impl& b = *impl_;
+  BitReader r(request);
+  const uint64_t alice_size = r.ReadVarint();
+  TowSketch alice_sketch = TowSketch::Deserialize(
+      &r, b.config.ell, b.family.Salt(HashFamily::kEstimator), alice_size);
+  TowSketch bob_sketch(b.config.ell, b.family.Salt(HashFamily::kEstimator));
+  bob_sketch.AddAll(b.elements);
+  const double d_hat = TowSketch::Estimate(alice_sketch, bob_sketch);
+  const int d_used = InflateEstimate(d_hat, b.config.gamma);
+  SetDifferenceEstimate(d_used);
+  BitWriter w;
+  w.WriteBits(static_cast<uint64_t>(d_used), 32);
+  return w.TakeBytes();
+}
+
+void PbsBob::SetDifferenceEstimate(int d_used) {
+  Impl& b = *impl_;
+  b.plan = PlanFor(b.config, d_used);
+  b.plan_ready = true;
+  b.BuildUnits();
+}
+
+std::vector<uint8_t> PbsBob::HandleRoundRequest(
+    const std::vector<uint8_t>& request) {
+  Impl& b = *impl_;
+  assert(b.plan_ready);
+  ++b.round;
+  BitReader r(request);
+
+  // Evolve the unit table exactly as Alice did: consume her settled flags
+  // for units whose decode succeeded last round, split the failed ones.
+  if (b.round > 1) {
+    std::vector<Impl::Unit> next_units;
+    next_units.reserve(b.units.size());
+    for (Impl::Unit& unit : b.units) {
+      if (unit.decode_failed) {
+        if (unit.core.depth < b.config.max_split_depth) {
+          for (Impl::Unit& child : b.SplitUnit(unit)) {
+            next_units.push_back(std::move(child));
+          }
+        } else {
+          unit.decode_failed = false;
+          next_units.push_back(std::move(unit));
+        }
+        continue;
+      }
+      const bool settled = r.ReadBit();
+      if (!settled) next_units.push_back(std::move(unit));
+    }
+    b.units = std::move(next_units);
+  }
+
+  BitWriter w;
+  const int count_bits = wire::CountBits(b.plan.params.t);
+  const int m = b.plan.params.m;
+  const int n = b.plan.params.n;
+  const int t = b.plan.params.t;
+  const int sig_bits = b.config.sig_bits;
+
+  for (Impl::Unit& unit : b.units) {
+    const auto encode_start = Clock::now();
+    PowerSumSketch alice_sketch =
+        PowerSumSketch::Deserialize(&r, b.field, t);
+    const SaltedHash h(unit.core.BinSalt(b.family, b.round));
+    const ParityBitmap pb = ParityBitmap::Build(unit.elements, h, n);
+    PowerSumSketch diff_sketch = pb.ToSketch(b.field, t);
+    diff_sketch.Merge(alice_sketch);
+    const auto decode_start = Clock::now();
+    b.timers.encode_seconds += Seconds(encode_start, decode_start);
+
+    const auto positions = diff_sketch.Decode();
+    if (!positions.has_value()) {
+      unit.decode_failed = true;
+      w.WriteBit(true);
+    } else {
+      unit.decode_failed = false;
+      w.WriteBit(false);
+      w.WriteBits(static_cast<uint64_t>(positions->size()), count_bits);
+      for (uint64_t pos : *positions) w.WriteBits(pos, m);
+      for (uint64_t pos : *positions) w.WriteBits(pb.xor_sum[pos], sig_bits);
+      w.WriteBits(unit.checksum, sig_bits);
+    }
+    b.timers.decode_seconds += Seconds(decode_start, Clock::now());
+  }
+
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> PbsBob::MakeStrongDigest() const {
+  MsetHash hash(impl_->family.Salt(HashFamily::kEstimator, 0x5742));
+  for (uint64_t e : impl_->elements) hash.Add(e);
+  BitWriter w;
+  for (uint64_t lane : hash.digest()) w.WriteBits(lane, 64);
+  return w.TakeBytes();
+}
+
+const PbsPlan& PbsBob::plan() const { return impl_->plan; }
+const PbsTimers& PbsBob::timers() const { return impl_->timers; }
+
+}  // namespace pbs

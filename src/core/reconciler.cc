@@ -1,0 +1,64 @@
+#include "pbs/core/reconciler.h"
+
+namespace pbs {
+
+PbsResult PbsSession::Reconcile(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b,
+                                const PbsConfig& config, uint64_t seed,
+                                int d_used, Transcript* transcript) {
+  PbsAlice alice(a, config, seed);
+  PbsBob bob(b, config, seed);
+  PbsResult result;
+
+  if (d_used >= 0) {
+    alice.SetDifferenceEstimate(d_used);
+    bob.SetDifferenceEstimate(d_used);
+  } else {
+    const auto request = alice.MakeEstimateRequest();
+    const auto reply = bob.HandleEstimateRequest(request);
+    alice.HandleEstimateReply(reply);
+    result.estimator_bytes = request.size() + reply.size();
+    if (transcript) {
+      transcript->Record(0, Direction::kAliceToBob, "estimate_request",
+                         request.size());
+      transcript->Record(0, Direction::kBobToAlice, "estimate_reply",
+                         reply.size());
+    }
+  }
+
+  bool finished = false;
+  while (!finished && alice.round() < config.max_rounds) {
+    const auto request = alice.MakeRoundRequest();
+    const auto reply = bob.HandleRoundRequest(request);
+    finished = alice.HandleRoundReply(reply);
+    result.data_bytes += request.size() + reply.size();
+    if (transcript) {
+      transcript->Record(alice.round(), Direction::kAliceToBob,
+                         "round_request", request.size());
+      transcript->Record(alice.round(), Direction::kBobToAlice, "round_reply",
+                         reply.size());
+    }
+  }
+
+  if (finished && config.strong_verification) {
+    const auto digest = bob.MakeStrongDigest();
+    finished = alice.VerifyStrongDigest(digest);
+    result.data_bytes += digest.size();
+    if (transcript) {
+      transcript->Record(alice.round(), Direction::kBobToAlice,
+                         "strong_digest", digest.size());
+    }
+  }
+
+  result.success = finished;
+  result.rounds = alice.round();
+  result.difference = alice.Difference();
+  result.encode_seconds =
+      alice.timers().encode_seconds + bob.timers().encode_seconds;
+  result.decode_seconds =
+      alice.timers().decode_seconds + bob.timers().decode_seconds;
+  result.plan = alice.plan();
+  return result;
+}
+
+}  // namespace pbs

@@ -1,0 +1,45 @@
+#include "pbs/estimator/minwise.h"
+
+#include <cassert>
+#include <limits>
+
+#include "pbs/common/rng.h"
+#include "pbs/hash/xxhash64.h"
+
+namespace pbs {
+
+MinwiseEstimator::MinwiseEstimator(int k, uint64_t seed)
+    : minima_(k, std::numeric_limits<uint64_t>::max()) {
+  assert(k >= 1);
+  SplitMix64 sm(seed ^ 0x6D696E77697365ull);  // "minwise"
+  seeds_.reserve(k);
+  for (int i = 0; i < k; ++i) seeds_.push_back(sm.Next());
+}
+
+void MinwiseEstimator::Add(uint64_t element) {
+  for (size_t i = 0; i < minima_.size(); ++i) {
+    const uint64_t h = XxHash64(element, seeds_[i]);
+    if (h < minima_[i]) minima_[i] = h;
+  }
+}
+
+void MinwiseEstimator::AddAll(const std::vector<uint64_t>& elements) {
+  for (uint64_t e : elements) Add(e);
+}
+
+double MinwiseEstimator::Estimate(const MinwiseEstimator& a, uint64_t size_a,
+                                  const MinwiseEstimator& b,
+                                  uint64_t size_b) {
+  assert(a.minima_.size() == b.minima_.size());
+  int matches = 0;
+  for (size_t i = 0; i < a.minima_.size(); ++i) {
+    if (a.minima_[i] == b.minima_[i]) ++matches;
+  }
+  const double jaccard =
+      static_cast<double>(matches) / static_cast<double>(a.minima_.size());
+  const double d = (1.0 - jaccard) / (1.0 + jaccard) *
+                   static_cast<double>(size_a + size_b);
+  return d < 0 ? 0 : d;
+}
+
+}  // namespace pbs

@@ -1,0 +1,57 @@
+#include "pbs/estimator/strata.h"
+
+#include <cassert>
+
+#include "pbs/hash/xxhash64.h"
+
+namespace pbs {
+
+StrataEstimator::StrataEstimator(int num_strata, size_t cells_per_stratum,
+                                 uint64_t seed, int sig_bits)
+    : seed_(seed), sig_bits_(sig_bits) {
+  assert(num_strata >= 1);
+  strata_.reserve(num_strata);
+  for (int i = 0; i < num_strata; ++i) {
+    strata_.emplace_back(cells_per_stratum, /*num_hashes=*/4,
+                         seed ^ (0x51A7A0000ull + i), sig_bits);
+  }
+}
+
+int StrataEstimator::StratumOf(uint64_t element) const {
+  const uint64_t h = XxHash64(element, seed_ ^ 0x5354524154414Cull);
+  const int tz = h == 0 ? 63 : __builtin_ctzll(h);
+  return tz >= num_strata() ? num_strata() - 1 : tz;
+}
+
+void StrataEstimator::Add(uint64_t element) {
+  strata_[StratumOf(element)].Insert(element);
+}
+
+void StrataEstimator::AddAll(const std::vector<uint64_t>& elements) {
+  for (uint64_t e : elements) Add(e);
+}
+
+double StrataEstimator::Estimate(const StrataEstimator& a,
+                                 const StrataEstimator& b) {
+  assert(a.num_strata() == b.num_strata());
+  uint64_t count = 0;
+  for (int i = a.num_strata() - 1; i >= 0; --i) {
+    InvertibleBloomFilter diff = a.strata_[i];
+    diff.Subtract(b.strata_[i]);
+    const auto decoded = diff.Decode();
+    if (!decoded.complete) {
+      return static_cast<double>(uint64_t{1} << (i + 1)) *
+             static_cast<double>(count);
+    }
+    count += decoded.positive.size() + decoded.negative.size();
+  }
+  return static_cast<double>(count);
+}
+
+size_t StrataEstimator::bit_size() const {
+  size_t bits = 0;
+  for (const auto& ibf : strata_) bits += ibf.bit_size();
+  return bits;
+}
+
+}  // namespace pbs

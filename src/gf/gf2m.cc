@@ -1,0 +1,78 @@
+#include "pbs/gf/gf2m.h"
+
+#include <cassert>
+#include <map>
+#include <mutex>
+
+namespace pbs {
+
+GF2m::GF2m(int m) {
+  assert(m >= 2 && m <= 63);
+  static std::map<int, std::shared_ptr<const State>> cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(m);
+  if (it != cache.end()) {
+    state_ = it->second;
+    return;
+  }
+
+  auto state = std::make_shared<State>();
+  state->m = m;
+  state->order = (uint64_t{1} << m) - 1;
+  state->modulus = gf2x::FindIrreducible(m);
+
+  if (m <= kMaxTableBits) {
+    const uint64_t order = state->order;
+    state->log.assign(order + 1, 0);
+    state->exp.assign(2 * order, 0);
+    // Find a generator g of the multiplicative group: iterate candidates and
+    // check that powers of g enumerate all `order` nonzero elements.
+    for (uint64_t g = 2; g <= order; ++g) {
+      uint64_t v = 1;
+      uint64_t count = 0;
+      bool full_cycle = true;
+      do {
+        state->exp[count] = v;
+        state->log[v] = static_cast<uint32_t>(count);
+        v = gf2x::MulMod(v, g, state->modulus);
+        ++count;
+        if (count > order) {
+          full_cycle = false;
+          break;
+        }
+      } while (v != 1);
+      if (full_cycle && count == order) break;
+      // Not a generator; wipe and retry (log entries get overwritten).
+    }
+    for (uint64_t k = 0; k < order; ++k) {
+      state->exp[order + k] = state->exp[k];
+    }
+  }
+
+  cache[m] = state;
+  state_ = state;
+}
+
+uint64_t GF2m::Inv(uint64_t a) const {
+  assert(a != 0);
+  if (!state_->log.empty()) {
+    uint64_t l = state_->log[a];
+    return state_->exp[l == 0 ? 0 : state_->order - l];
+  }
+  // Fermat: a^(2^m - 2).
+  return Pow(a, state_->order - 1);
+}
+
+uint64_t GF2m::Pow(uint64_t a, uint64_t e) const {
+  uint64_t result = 1;
+  uint64_t base = a;
+  while (e != 0) {
+    if (e & 1) result = Mul(result, base);
+    base = Sqr(base);
+    e >>= 1;
+  }
+  return result;
+}
+
+}  // namespace pbs

@@ -1,0 +1,145 @@
+#include "pbs/gf/gf2x.h"
+
+#include <array>
+#include <cassert>
+#include <mutex>
+
+#if defined(__PCLMUL__) && defined(__SSE4_1__)
+#include <smmintrin.h>
+#include <wmmintrin.h>
+#define PBS_USE_PCLMUL 1
+#endif
+
+namespace pbs::gf2x {
+
+int Degree(uint64_t a) {
+  if (a == 0) return -1;
+  return 63 - __builtin_clzll(a);
+}
+
+int Degree128(U128 a) {
+  uint64_t hi = static_cast<uint64_t>(a >> 64);
+  if (hi != 0) return 64 + Degree(hi);
+  return Degree(static_cast<uint64_t>(a));
+}
+
+#if defined(PBS_USE_PCLMUL)
+
+U128 ClMul(uint64_t a, uint64_t b) {
+  __m128i va = _mm_set_epi64x(0, static_cast<long long>(a));
+  __m128i vb = _mm_set_epi64x(0, static_cast<long long>(b));
+  __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
+  uint64_t lo = static_cast<uint64_t>(_mm_cvtsi128_si64(prod));
+  uint64_t hi = static_cast<uint64_t>(_mm_extract_epi64(prod, 1));
+  return (static_cast<U128>(hi) << 64) | lo;
+}
+
+#else
+
+U128 ClMul(uint64_t a, uint64_t b) {
+  // Portable shift-and-XOR fallback. (A masked-integer-multiply "ctmul"
+  // trick exists but silently corrupts dense 64-bit operands: up to 16
+  // partial products can collide on one bit position, and the resulting
+  // carry lands 4 positions up -- back in the *same* residue class the
+  // mask keeps. The plain loop is branch-light and always correct.)
+  U128 result = 0;
+  while (b != 0) {
+    const int i = __builtin_ctzll(b);
+    result ^= static_cast<U128>(a) << i;
+    b &= b - 1;
+  }
+  return result;
+}
+
+#endif  // PBS_USE_PCLMUL
+
+uint64_t Mod(U128 a, uint64_t f) {
+  const int m = Degree(f);
+  assert(m >= 1 && m <= 63);
+  int d = Degree128(a);
+  while (d >= m) {
+    a ^= static_cast<U128>(f) << (d - m);
+    d = Degree128(a);
+  }
+  return static_cast<uint64_t>(a);
+}
+
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t f) {
+  return Mod(ClMul(a, b), f);
+}
+
+uint64_t SqrMod(uint64_t a, uint64_t f) { return Mod(ClMul(a, a), f); }
+
+uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    // a mod b via long division.
+    int db = Degree(b);
+    int da = Degree(a);
+    while (da >= db && a != 0) {
+      a ^= b << (da - db);
+      da = Degree(a);
+    }
+    uint64_t t = a;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+bool IsIrreducible(uint64_t f) {
+  const int m = Degree(f);
+  if (m < 1) return false;
+  if (m == 1) return true;  // x and x+1.
+  if ((f & 1) == 0) return false;  // divisible by x.
+
+  // h = x^(2^k) mod f, iterated; record intermediate values at k = m/p for
+  // prime divisors p of m.
+  uint64_t h = 2;  // the polynomial x
+  // Collect the distinct prime divisors of m.
+  std::array<int, 8> primes{};
+  int num_primes = 0;
+  int mm = m;
+  for (int p = 2; p * p <= mm; ++p) {
+    if (mm % p == 0) {
+      primes[num_primes++] = p;
+      while (mm % p == 0) mm /= p;
+    }
+  }
+  if (mm > 1) primes[num_primes++] = mm;
+
+  for (int k = 1; k <= m; ++k) {
+    h = SqrMod(h, f);
+    for (int i = 0; i < num_primes; ++i) {
+      if (k == m / primes[i]) {
+        // gcd(x^(2^(m/p)) - x, f) must be 1.
+        if (Degree(Gcd(h ^ 2, f)) != 0) return false;
+      }
+    }
+  }
+  return h == 2;  // x^(2^m) == x (mod f)
+}
+
+uint64_t FindIrreducible(int m) {
+  assert(m >= 1 && m <= 63);
+  static std::array<uint64_t, 64> cache{};
+  static std::mutex mu;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (cache[m] != 0) return cache[m];
+  }
+  const uint64_t lead = uint64_t{1} << m;
+  uint64_t found = 0;
+  // An irreducible polynomial (other than x) has nonzero constant term.
+  for (uint64_t low = 1; low < lead; low += 2) {
+    if (IsIrreducible(lead | low)) {
+      found = lead | low;
+      break;
+    }
+  }
+  assert(found != 0);
+  std::lock_guard<std::mutex> lock(mu);
+  cache[m] = found;
+  return found;
+}
+
+}  // namespace pbs::gf2x

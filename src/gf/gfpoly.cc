@@ -1,0 +1,103 @@
+#include "pbs/gf/gfpoly.h"
+
+#include <cassert>
+
+namespace pbs {
+
+GFPoly GFPoly::Monomial(const GF2m& field, uint64_t c, int k) {
+  if (c == 0) return Zero(field);
+  std::vector<uint64_t> coeffs(k + 1, 0);
+  coeffs[k] = c;
+  return GFPoly(field, std::move(coeffs));
+}
+
+GFPoly GFPoly::Add(const GFPoly& other) const {
+  std::vector<uint64_t> out(std::max(coeffs_.size(), other.coeffs_.size()), 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = coeff(static_cast<int>(i)) ^ other.coeff(static_cast<int>(i));
+  }
+  return GFPoly(field_, std::move(out));
+}
+
+GFPoly GFPoly::Mul(const GFPoly& other) const {
+  if (IsZero() || other.IsZero()) return Zero(field_);
+  std::vector<uint64_t> out(coeffs_.size() + other.coeffs_.size() - 1, 0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0) continue;
+    for (size_t j = 0; j < other.coeffs_.size(); ++j) {
+      if (other.coeffs_[j] == 0) continue;
+      out[i + j] ^= field_.Mul(coeffs_[i], other.coeffs_[j]);
+    }
+  }
+  return GFPoly(field_, std::move(out));
+}
+
+GFPoly GFPoly::MulScalar(uint64_t c) const {
+  if (c == 0) return Zero(field_);
+  std::vector<uint64_t> out(coeffs_);
+  for (auto& v : out) v = field_.Mul(v, c);
+  return GFPoly(field_, std::move(out));
+}
+
+GFPoly GFPoly::ShiftUp(int k) const {
+  if (IsZero() || k == 0) return *this;
+  std::vector<uint64_t> out(coeffs_.size() + k, 0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) out[i + k] = coeffs_[i];
+  return GFPoly(field_, std::move(out));
+}
+
+std::pair<GFPoly, GFPoly> GFPoly::DivMod(const GFPoly& divisor) const {
+  assert(!divisor.IsZero());
+  if (degree() < divisor.degree()) return {Zero(field_), *this};
+  std::vector<uint64_t> rem(coeffs_);
+  std::vector<uint64_t> quot(degree() - divisor.degree() + 1, 0);
+  const uint64_t lead_inv = field_.Inv(divisor.leading());
+  for (int shift = degree() - divisor.degree(); shift >= 0; --shift) {
+    uint64_t top = rem[shift + divisor.degree()];
+    if (top == 0) continue;
+    uint64_t factor = field_.Mul(top, lead_inv);
+    quot[shift] = factor;
+    for (int i = 0; i <= divisor.degree(); ++i) {
+      rem[shift + i] ^= field_.Mul(factor, divisor.coeff(i));
+    }
+  }
+  return {GFPoly(field_, std::move(quot)), GFPoly(field_, std::move(rem))};
+}
+
+GFPoly GFPoly::Gcd(const GFPoly& other) const {
+  GFPoly a = *this;
+  GFPoly b = other;
+  while (!b.IsZero()) {
+    GFPoly r = a.Mod(b);
+    a = b;
+    b = r;
+  }
+  if (a.IsZero()) return a;
+  return a.MakeMonic();
+}
+
+GFPoly GFPoly::Derivative() const {
+  if (degree() < 1) return Zero(field_);
+  std::vector<uint64_t> out(coeffs_.size() - 1, 0);
+  // d/dx sum c_i x^i = sum (i mod 2) c_i x^(i-1) in characteristic 2.
+  for (size_t i = 1; i < coeffs_.size(); i += 2) {
+    out[i - 1] = coeffs_[i];
+  }
+  return GFPoly(field_, std::move(out));
+}
+
+uint64_t GFPoly::Eval(uint64_t x) const {
+  uint64_t acc = 0;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = field_.Mul(acc, x) ^ coeffs_[i];
+  }
+  return acc;
+}
+
+GFPoly GFPoly::MakeMonic() const {
+  assert(!IsZero());
+  if (leading() == 1) return *this;
+  return MulScalar(field_.Inv(leading()));
+}
+
+}  // namespace pbs

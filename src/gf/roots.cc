@@ -1,0 +1,114 @@
+#include "pbs/gf/roots.h"
+
+#include <cassert>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+
+namespace {
+
+// Computes the trace map polynomial Tr_beta(x) = sum_{i=0}^{m-1} (beta x)^(2^i)
+// reduced mod f, as a polynomial of degree < deg(f).
+GFPoly TracePolyMod(const GFPoly& f, uint64_t beta) {
+  const GF2m& field = f.field();
+  GFPoly term = GFPoly::Monomial(field, beta, 1).Mod(f);  // beta * x
+  GFPoly acc = term;
+  for (int i = 1; i < field.m(); ++i) {
+    term = term.SqrMod(f);
+    acc = acc.Add(term);
+  }
+  return acc;
+}
+
+// Recursively splits a monic squarefree polynomial that is known to be a
+// product of distinct linear factors.
+bool TraceSplit(const GFPoly& f, Xoshiro256& rng,
+                std::vector<uint64_t>* roots, int depth) {
+  const GF2m& field = f.field();
+  if (f.degree() <= 0) return true;
+  if (f.degree() == 1) {
+    // f = x + c (monic): root is c.
+    roots->push_back(f.coeff(0));
+    return true;
+  }
+  if (depth > 200) return false;  // Defensive: should never trigger.
+
+  // Try random beta until gcd(f, Tr_beta) is a proper factor. For a product
+  // of distinct linear factors, a uniformly random beta separates any fixed
+  // pair of roots with probability 1/2, so a few tries suffice.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    uint64_t beta = rng.NextBounded(field.order()) + 1;
+    GFPoly tr = TracePolyMod(f, beta);
+    // Tr_beta(x) and Tr_beta(x) + 1 partition the roots; gcd with either
+    // side yields the split. gcd(f, tr) collects roots with trace 0.
+    GFPoly g = f.Gcd(tr);
+    if (g.degree() > 0 && g.degree() < f.degree()) {
+      GFPoly h = f.Div(g);
+      return TraceSplit(g, rng, roots, depth + 1) &&
+             TraceSplit(h.MakeMonic(), rng, roots, depth + 1);
+    }
+  }
+  return false;
+}
+
+// Checks that f divides x^(2^m) - x, i.e. f is a product of distinct linear
+// factors over GF(2^m). Costs m modular squarings of degree < deg(f).
+bool SplitsIntoDistinctLinearFactors(const GFPoly& f) {
+  const GF2m& field = f.field();
+  GFPoly x = GFPoly::Monomial(field, 1, 1);
+  GFPoly h = x.Mod(f);
+  for (int i = 0; i < field.m(); ++i) {
+    h = h.SqrMod(f);
+  }
+  return h == x.Mod(f);
+}
+
+}  // namespace
+
+std::vector<uint64_t> ChienSearch(const GFPoly& f) {
+  const GF2m& field = f.field();
+  assert(field.order() < (uint64_t{1} << 20));
+  std::vector<uint64_t> roots;
+  for (uint64_t x = 1; x <= field.order(); ++x) {
+    if (f.Eval(x) == 0) roots.push_back(x);
+  }
+  return roots;
+}
+
+std::optional<std::vector<uint64_t>> FindDistinctNonzeroRoots(const GFPoly& f,
+                                                              uint64_t seed) {
+  if (f.IsZero()) return std::nullopt;
+  if (f.degree() == 0) return std::vector<uint64_t>{};
+  const GF2m& field = f.field();
+
+  // A root at zero means the constant term vanishes; error locators never
+  // have one, and its presence signals a miscorrected decode.
+  if (f.coeff(0) == 0) return std::nullopt;
+
+  if (field.order() < kChienThreshold) {
+    std::vector<uint64_t> roots = ChienSearch(f);
+    if (static_cast<int>(roots.size()) != f.degree()) return std::nullopt;
+    return roots;
+  }
+
+  // Large field: verify squarefreeness and full splitting first; both are
+  // necessary for trace splitting to terminate with deg(f) roots.
+  GFPoly monic = f.MakeMonic();
+  GFPoly deriv = monic.Derivative();
+  if (deriv.IsZero()) return std::nullopt;  // f is a square (char 2).
+  if (monic.Gcd(deriv).degree() != 0) return std::nullopt;
+  if (!SplitsIntoDistinctLinearFactors(monic)) return std::nullopt;
+
+  std::vector<uint64_t> roots;
+  roots.reserve(monic.degree());
+  Xoshiro256 rng(seed);
+  if (!TraceSplit(monic, rng, &roots, 0)) return std::nullopt;
+  if (static_cast<int>(roots.size()) != f.degree()) return std::nullopt;
+  for (uint64_t r : roots) {
+    if (r == 0) return std::nullopt;
+  }
+  return roots;
+}
+
+}  // namespace pbs

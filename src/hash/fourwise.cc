@@ -1,0 +1,49 @@
+#include "pbs/hash/fourwise.h"
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+
+namespace {
+
+// (a * b) mod (2^61 - 1) using 128-bit products and Mersenne folding.
+inline uint64_t MulMod(uint64_t a, uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod) & FourWiseHash::kPrime;
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t s = lo + hi;
+  if (s >= FourWiseHash::kPrime) s -= FourWiseHash::kPrime;
+  return s;
+}
+
+inline uint64_t AddMod(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  if (s >= FourWiseHash::kPrime) s -= FourWiseHash::kPrime;
+  return s;
+}
+
+}  // namespace
+
+FourWiseHash::FourWiseHash(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& a : a_) {
+    // Rejection-sample a uniform value in [0, p).
+    uint64_t v;
+    do {
+      v = sm.Next() & ((uint64_t{1} << 61) - 1);
+    } while (v >= kPrime);
+    a = v;
+  }
+}
+
+uint64_t FourWiseHash::Eval(uint64_t x) const {
+  uint64_t xm = x % kPrime;
+  // Horner evaluation: ((a3 x + a2) x + a1) x + a0.
+  uint64_t acc = a_[3];
+  acc = AddMod(MulMod(acc, xm), a_[2]);
+  acc = AddMod(MulMod(acc, xm), a_[1]);
+  acc = AddMod(MulMod(acc, xm), a_[0]);
+  return acc;
+}
+
+}  // namespace pbs

@@ -1,0 +1,18 @@
+#include "pbs/hash/hash_family.h"
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+
+uint64_t HashFamily::Salt(Role role, uint64_t a, uint64_t b, uint64_t c) const {
+  // Chain SplitMix64 over the coordinates; each step is a bijective mix of
+  // the accumulated state, so distinct (role, a, b, c) give distinct salts.
+  SplitMix64 sm(master_seed_ ^ (static_cast<uint64_t>(role) * 0xA24BAED4963EE407ull));
+  uint64_t s = sm.Next();
+  s ^= SplitMix64(a ^ s).Next();
+  s ^= SplitMix64(b ^ (s * 3)).Next();
+  s ^= SplitMix64(c ^ (s * 5)).Next();
+  return s;
+}
+
+}  // namespace pbs

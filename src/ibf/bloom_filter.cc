@@ -1,0 +1,44 @@
+#include "pbs/ibf/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pbs/hash/xxhash64.h"
+
+namespace pbs {
+
+BloomFilter::BloomFilter(size_t bits, int num_hashes, uint64_t salt)
+    : bits_(std::max<size_t>(bits, 8), false),
+      num_hashes_(std::max(num_hashes, 1)),
+      salt_(salt) {}
+
+BloomFilter BloomFilter::ForCapacity(size_t n, double fpr, uint64_t salt) {
+  n = std::max<size_t>(n, 1);
+  fpr = std::clamp(fpr, 1e-9, 0.5);
+  const double bits_per_key = -std::log(fpr) / (std::log(2.0) * std::log(2.0));
+  const size_t bits = static_cast<size_t>(std::ceil(bits_per_key * n));
+  const int k = std::max(1, static_cast<int>(std::round(
+                                std::log(2.0) * bits_per_key)));
+  return BloomFilter(bits, k, salt);
+}
+
+size_t BloomFilter::Index(uint64_t key, int probe) const {
+  // Double hashing: h1 + i*h2, both full-width xxHash64 digests.
+  const uint64_t h1 = XxHash64(key, salt_);
+  const uint64_t h2 = XxHash64(key, salt_ ^ 0xD6E8FEB86659FD93ull) | 1;
+  return static_cast<size_t>((h1 + static_cast<uint64_t>(probe) * h2) %
+                             bits_.size());
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  for (int i = 0; i < num_hashes_; ++i) bits_[Index(key, i)] = true;
+}
+
+bool BloomFilter::Contains(uint64_t key) const {
+  for (int i = 0; i < num_hashes_; ++i) {
+    if (!bits_[Index(key, i)]) return false;
+  }
+  return true;
+}
+
+}  // namespace pbs

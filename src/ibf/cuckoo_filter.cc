@@ -1,0 +1,99 @@
+#include "pbs/ibf/cuckoo_filter.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pbs/common/rng.h"
+#include "pbs/hash/xxhash64.h"
+
+namespace pbs {
+
+namespace {
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+CuckooFilter::CuckooFilter(size_t capacity, int fingerprint_bits,
+                           uint64_t salt)
+    : fp_bits_(std::clamp(fingerprint_bits, 4, 16)), salt_(salt) {
+  // 4 slots per bucket at ~95% load; power-of-two buckets so the
+  // partial-key XOR trick stays in range.
+  num_buckets_ = NextPowerOfTwo(
+      std::max<size_t>(1, (capacity + kSlots - 1) / kSlots * 100 / 95));
+  buckets_.assign(num_buckets_ * kSlots, 0);
+}
+
+uint16_t CuckooFilter::FingerprintOf(uint64_t key) const {
+  const uint64_t h = XxHash64(key, salt_ ^ 0xF16E52ull);
+  const uint16_t mask = static_cast<uint16_t>((1u << fp_bits_) - 1);
+  uint16_t fp = static_cast<uint16_t>(h & mask);
+  return fp == 0 ? 1 : fp;  // 0 marks an empty slot.
+}
+
+size_t CuckooFilter::IndexOf(uint64_t key) const {
+  return XxHash64(key, salt_ ^ 0x1D8ull) & (num_buckets_ - 1);
+}
+
+size_t CuckooFilter::AltIndex(size_t index, uint16_t fingerprint) const {
+  return (index ^ XxHash64(fingerprint, salt_ ^ 0xA17ull)) &
+         (num_buckets_ - 1);
+}
+
+bool CuckooFilter::InsertIntoBucket(size_t bucket, uint16_t fingerprint) {
+  for (int s = 0; s < kSlots; ++s) {
+    uint16_t& slot = buckets_[bucket * kSlots + s];
+    if (slot == 0) {
+      slot = fingerprint;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::Insert(uint64_t key) {
+  uint16_t fp = FingerprintOf(key);
+  size_t i1 = IndexOf(key);
+  size_t i2 = AltIndex(i1, fp);
+  if (InsertIntoBucket(i1, fp) || InsertIntoBucket(i2, fp)) return true;
+
+  // Evict: kick a random resident fingerprint to its alternate bucket.
+  Xoshiro256 rng(salt_ ^ key);
+  size_t bucket = rng.Next() & 1 ? i1 : i2;
+  for (int attempt = 0; attempt < kMaxEvictions; ++attempt) {
+    const int slot = static_cast<int>(rng.NextBounded(kSlots));
+    std::swap(fp, buckets_[bucket * kSlots + slot]);
+    bucket = AltIndex(bucket, fp);
+    if (InsertIntoBucket(bucket, fp)) return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::Contains(uint64_t key) const {
+  const uint16_t fp = FingerprintOf(key);
+  const size_t i1 = IndexOf(key);
+  const size_t i2 = AltIndex(i1, fp);
+  for (int s = 0; s < kSlots; ++s) {
+    if (buckets_[i1 * kSlots + s] == fp) return true;
+    if (buckets_[i2 * kSlots + s] == fp) return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::Delete(uint64_t key) {
+  const uint16_t fp = FingerprintOf(key);
+  for (size_t bucket : {IndexOf(key), AltIndex(IndexOf(key), fp)}) {
+    for (int s = 0; s < kSlots; ++s) {
+      uint16_t& slot = buckets_[bucket * kSlots + s];
+      if (slot == fp) {
+        slot = 0;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace pbs

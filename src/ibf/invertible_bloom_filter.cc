@@ -1,0 +1,125 @@
+#include "pbs/ibf/invertible_bloom_filter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "pbs/hash/xxhash64.h"
+
+namespace pbs {
+
+InvertibleBloomFilter::InvertibleBloomFilter(size_t cells, int num_hashes,
+                                             uint64_t salt, int sig_bits)
+    : num_hashes_(std::max(num_hashes, 1)), salt_(salt), sig_bits_(sig_bits) {
+  assert(sig_bits >= 8 && sig_bits <= 64);
+  subtable_size_ = std::max<size_t>((cells + num_hashes_ - 1) / num_hashes_, 1);
+  cells_.assign(subtable_size_ * num_hashes_, IbfCell{});
+}
+
+size_t InvertibleBloomFilter::CellIndex(uint64_t key, int subtable) const {
+  const uint64_t h = XxHash64(key, salt_ + static_cast<uint64_t>(subtable));
+  return static_cast<size_t>(subtable) * subtable_size_ +
+         static_cast<size_t>(h % subtable_size_);
+}
+
+uint64_t InvertibleBloomFilter::CheckHash(uint64_t key) const {
+  const uint64_t h = XxHash64(key, salt_ ^ 0xA5A5A5A55A5A5A5Aull);
+  return sig_bits_ >= 64 ? h : (h & ((uint64_t{1} << sig_bits_) - 1));
+}
+
+void InvertibleBloomFilter::Apply(uint64_t key, int64_t delta) {
+  const uint64_t check = CheckHash(key);
+  for (int s = 0; s < num_hashes_; ++s) {
+    IbfCell& cell = cells_[CellIndex(key, s)];
+    cell.count += delta;
+    cell.key_sum ^= key;
+    cell.hash_sum ^= check;
+  }
+}
+
+void InvertibleBloomFilter::Insert(uint64_t key) { Apply(key, +1); }
+void InvertibleBloomFilter::Erase(uint64_t key) { Apply(key, -1); }
+
+void InvertibleBloomFilter::Subtract(const InvertibleBloomFilter& other) {
+  assert(cells_.size() == other.cells_.size());
+  assert(num_hashes_ == other.num_hashes_ && salt_ == other.salt_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].count -= other.cells_[i].count;
+    cells_[i].key_sum ^= other.cells_[i].key_sum;
+    cells_[i].hash_sum ^= other.cells_[i].hash_sum;
+  }
+}
+
+bool InvertibleBloomFilter::IsPure(const IbfCell& cell) const {
+  if (cell.count != 1 && cell.count != -1) return false;
+  if (cell.key_sum == 0) return false;
+  return CheckHash(cell.key_sum) == cell.hash_sum;
+}
+
+InvertibleBloomFilter::DecodeResult InvertibleBloomFilter::Decode() const {
+  InvertibleBloomFilter work = *this;
+  DecodeResult result;
+
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < work.cells_.size(); ++i) {
+    if (work.IsPure(work.cells_[i])) queue.push_back(i);
+  }
+  while (!queue.empty()) {
+    const size_t idx = queue.front();
+    queue.pop_front();
+    const IbfCell cell = work.cells_[idx];
+    if (!work.IsPure(cell)) continue;  // Already consumed via another cell.
+    const uint64_t key = cell.key_sum;
+    const int64_t side = cell.count;
+    if (side > 0) {
+      result.positive.push_back(key);
+    } else {
+      result.negative.push_back(key);
+    }
+    work.Apply(key, -side);
+    for (int s = 0; s < work.num_hashes_; ++s) {
+      const size_t neighbor = work.CellIndex(key, s);
+      if (work.IsPure(work.cells_[neighbor])) queue.push_back(neighbor);
+    }
+  }
+
+  result.complete = true;
+  for (const IbfCell& cell : work.cells_) {
+    if (cell.count != 0 || cell.key_sum != 0 || cell.hash_sum != 0) {
+      result.complete = false;
+      break;
+    }
+  }
+  return result;
+}
+
+void InvertibleBloomFilter::Serialize(BitWriter* writer) const {
+  for (const IbfCell& cell : cells_) {
+    writer->WriteBits(static_cast<uint64_t>(cell.count), sig_bits_);
+    writer->WriteBits(cell.key_sum, sig_bits_);
+    writer->WriteBits(cell.hash_sum, sig_bits_);
+  }
+}
+
+InvertibleBloomFilter InvertibleBloomFilter::Deserialize(
+    BitReader* reader, size_t cells, int num_hashes, uint64_t salt,
+    int sig_bits) {
+  InvertibleBloomFilter ibf(cells, num_hashes, salt, sig_bits);
+  for (IbfCell& cell : ibf.cells_) {
+    uint64_t raw = reader->ReadBits(sig_bits);
+    // Sign-extend the wire count.
+    const uint64_t sign_bit = uint64_t{1} << (sig_bits - 1);
+    int64_t count;
+    if (raw & sign_bit) {
+      count = static_cast<int64_t>(raw | ~((uint64_t{1} << sig_bits) - 1));
+    } else {
+      count = static_cast<int64_t>(raw);
+    }
+    cell.count = count;
+    cell.key_sum = reader->ReadBits(sig_bits);
+    cell.hash_sum = reader->ReadBits(sig_bits);
+  }
+  return ibf;
+}
+
+}  // namespace pbs

@@ -1,0 +1,45 @@
+// Approximate filter-exchange reconciliation (Section 7's BF-based
+// lineage: [9, 19, 25]).
+//
+// Alice and Bob exchange membership filters of their sets; each side keeps
+// the elements the other's filter rejects. False positives make the result
+// an *underestimate* of A /\triangle B -- "only suitable for applications
+// that do not require perfect data synchronization" -- which is exactly
+// what these reconcilers measure: the recall achieved for a given filter
+// budget, with either a Bloom-filter or a cuckoo-filter transport.
+
+#ifndef PBS_BASELINES_APPROX_FILTER_H_
+#define PBS_BASELINES_APPROX_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbs {
+
+/// Outcome of one approximate reconciliation.
+struct ApproxOutcome {
+  /// Estimated difference (a subset of the true difference w.h.p., minus
+  /// the false-positive misses).
+  std::vector<uint64_t> estimated_diff;
+  size_t data_bytes = 0;
+  /// |estimated n truth| / |truth| -- filled by EvaluateRecall.
+  double recall = 0.0;
+};
+
+enum class FilterKind { kBloom, kCuckoo };
+
+/// Bidirectional filter exchange at false-positive budget `fpr` (Bloom) or
+/// the nearest-achievable cuckoo fingerprint width.
+ApproxOutcome ApproxFilterReconcile(const std::vector<uint64_t>& a,
+                                    const std::vector<uint64_t>& b,
+                                    FilterKind kind, double fpr,
+                                    uint64_t seed);
+
+/// Computes recall of `outcome` against the ground-truth difference.
+double EvaluateRecall(const ApproxOutcome& outcome,
+                      const std::vector<uint64_t>& truth_diff);
+
+}  // namespace pbs
+
+#endif  // PBS_BASELINES_APPROX_FILTER_H_

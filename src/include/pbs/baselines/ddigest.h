@@ -1,0 +1,25 @@
+// Difference Digest (D.Digest) baseline [15] (Sections 7, 8.1).
+//
+// Bob sends an IBF of B with 2 d-hat cells (3 hashes when d-hat > 200, 4
+// otherwise, the configuration guideline of [15]); Alice subtracts her own
+// IBF and peels. Each cell carries three log|U|-bit fields, which is where
+// the "roughly 6 d log|U|" communication overhead comes from.
+
+#ifndef PBS_BASELINES_DDIGEST_H_
+#define PBS_BASELINES_DDIGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pbs/baselines/pinsketch.h"  // BaselineOutcome.
+
+namespace pbs {
+
+/// Reconciles a and b via one IBF exchange sized for `d_est` differences.
+BaselineOutcome DDigestReconcile(const std::vector<uint64_t>& a,
+                                 const std::vector<uint64_t>& b, int d_est,
+                                 int sig_bits, uint64_t seed);
+
+}  // namespace pbs
+
+#endif  // PBS_BASELINES_DDIGEST_H_

@@ -1,0 +1,36 @@
+// PinSketch baseline [13] (Section 7).
+//
+// The whole universe U is conceptually a |U|-bit bitmap; a set is sketched
+// by t BCH syndromes of its characteristic vector, i.e. the odd power sums
+// of its elements over GF(2^log|U|). Communication is t log|U| bits with
+// t = ceil(1.38 d-hat) (Section 8.1.1); decoding costs O(t^2) field
+// operations -- the computational bottleneck PBS removes.
+
+#ifndef PBS_BASELINES_PINSKETCH_H_
+#define PBS_BASELINES_PINSKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbs {
+
+/// Common result type for the baseline reconciliation schemes.
+struct BaselineOutcome {
+  bool success = false;
+  std::vector<uint64_t> difference;
+  size_t data_bytes = 0;
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+  int rounds = 1;
+};
+
+/// Reconciles a and b with one PinSketch exchange of capacity t.
+/// `sig_bits` is the signature width (the BCH field is GF(2^sig_bits)).
+BaselineOutcome PinSketchReconcile(const std::vector<uint64_t>& a,
+                                   const std::vector<uint64_t>& b, int t,
+                                   int sig_bits, uint64_t seed);
+
+}  // namespace pbs
+
+#endif  // PBS_BASELINES_PINSKETCH_H_

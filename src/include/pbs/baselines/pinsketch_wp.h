@@ -1,0 +1,37 @@
+// PinSketch "with partition" (PinSketch/WP) baseline (Section 8.3).
+//
+// PBS's algorithmic trick -- hash-partition both sets into g = d/delta
+// groups and reconcile each group pair independently -- applied to
+// PinSketch. Per group pair, Alice sends a PinSketch of her group (capacity
+// t over GF(2^log|U|)); Bob decodes the merged sketch, obtaining the
+// distinct elements *directly* (no parity bitmap, no XOR-sum indirection),
+// and replies with them plus a checksum; BCH failures split the group three
+// ways exactly as in PBS. The communication difference the paper isolates:
+// the (t - delta) log|U| safety margin here costs 3-4x the PBS margin of
+// (t - delta) log n.
+
+#ifndef PBS_BASELINES_PINSKETCH_WP_H_
+#define PBS_BASELINES_PINSKETCH_WP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pbs/baselines/pinsketch.h"  // BaselineOutcome.
+
+namespace pbs {
+
+/// Multi-round partitioned PinSketch. `d_used` sizes the grouping
+/// (g = ceil(d_used/delta)); `t` is the per-group BCH capacity (use the
+/// same t the PBS optimizer picked, per Section 8.3). `report_sig_bits`
+/// lets Appendix J.3 account communication as if signatures were wider
+/// (e.g. 256 bits) while still computing over sig_bits-wide elements;
+/// pass 0 to use sig_bits.
+BaselineOutcome PinSketchWpReconcile(const std::vector<uint64_t>& a,
+                                     const std::vector<uint64_t>& b,
+                                     int d_used, int delta, int t,
+                                     int sig_bits, int max_rounds,
+                                     uint64_t seed, int report_sig_bits = 0);
+
+}  // namespace pbs
+
+#endif  // PBS_BASELINES_PINSKETCH_WP_H_

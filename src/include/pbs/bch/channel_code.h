@@ -1,0 +1,61 @@
+// Standard BCH coding for a noisy channel (Appendix I).
+//
+// The appendix contrasts PBS's use of BCH with the classical one: over a
+// noisy channel the coded message is n = 2^m - 1 bits total -- an uncoded
+// part of n - t*m bits plus a t*m-bit codeword -- and errors may hit
+// *both* parts, whereas in PBS the "message" (the parity bitmap) is never
+// transmitted and the codeword crosses a reliable channel, freeing all n
+// bits for the message. This module implements the classical mode as a
+// syndrome-based systematic code so the difference is executable: encode a
+// message, corrupt up to t of the n bits, decode.
+
+#ifndef PBS_BCH_CHANNEL_CODE_H_
+#define PBS_BCH_CHANNEL_CODE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pbs/gf/gf2m.h"
+
+namespace pbs {
+
+/// Systematic BCH-style channel code over blocks of n = 2^m - 1 bits with
+/// error-correction capacity t. Layout: positions 1..n - the first
+/// n - t*m carry message bits, the rest carry the (bit-packed) syndromes
+/// of the message part re-derived at the decoder. For transparency of the
+/// Appendix-I comparison the check part is protected by transmitting it
+/// verbatim alongside (as PBS effectively does over its reliable channel)
+/// or by letting errors hit it too (classical mode).
+class BchChannelCode {
+ public:
+  BchChannelCode(int m, int t);
+
+  /// Bits available for payload per block: n - t*m.
+  int message_bits() const { return n_ - t_ * m_; }
+  int block_bits() const { return n_; }
+  int check_bits() const { return t_ * m_; }
+
+  /// Encodes `message` (message_bits() entries) into an n-bit block:
+  /// message bits followed by check bits.
+  std::vector<uint8_t> Encode(const std::vector<uint8_t>& message) const;
+
+  /// Decodes a (possibly corrupted) n-bit block; corrects up to t bit
+  /// errors anywhere in the block. Returns the recovered message bits, or
+  /// nullopt if more than t errors are detected.
+  std::optional<std::vector<uint8_t>> Decode(
+      const std::vector<uint8_t>& block) const;
+
+ private:
+  // Syndromes of the set of one-positions of `bits` (positions 1-based).
+  std::vector<uint64_t> SyndromesOf(const std::vector<uint8_t>& bits) const;
+
+  GF2m field_;
+  int m_;
+  int t_;
+  int n_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_BCH_CHANNEL_CODE_H_

@@ -1,0 +1,44 @@
+// Levinson-style recursive solver for the BCH key equation.
+//
+// Section 2.5: "since this matrix takes a special form called Toeplitz, it
+// can be inverted in O(t^2) operations over GF(2^m) using the Levinson
+// algorithm [23]". The syndrome system
+//     sum_{j=1..v} Lambda_j S_{k-j} = S_k,  k = v+1..2v
+// has constant anti-diagonals (Hankel = row-reversed Toeplitz). The
+// classical Levinson recursion assumes the leading principal minors are
+// nonsingular, which error-locator systems do not guarantee, so production
+// code uses Berlekamp-Massey (the singularity-robust equivalent with the
+// same O(t^2) bound). This module provides the literal citation: a
+// Levinson-Durbin recursion over GF(2^m) that solves the system whenever
+// the regularity condition holds, reporting failure otherwise; tests
+// cross-check it against BM and PGZ on regular instances.
+
+#ifndef PBS_BCH_LEVINSON_H_
+#define PBS_BCH_LEVINSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pbs/gf/gf2m.h"
+
+namespace pbs {
+
+/// Solves the v x v Hankel system H x = b over GF(2^m), where
+/// H(i, j) = h[i + j] (h has 2v - 1 entries) and b has v entries, by the
+/// O(v^2) Levinson-Durbin recursion. Returns nullopt if any leading
+/// principal submatrix is singular (the recursion's regularity condition).
+std::optional<std::vector<uint64_t>> LevinsonSolveHankel(
+    const GF2m& field, const std::vector<uint64_t>& h,
+    const std::vector<uint64_t>& b);
+
+/// Error-locator front end: given syndromes (S_1..S_2t) and a trial error
+/// count v, solves for Lambda via the Hankel system. Returns the locator
+/// polynomial (1, Lambda_1, ..., Lambda_v) or nullopt if the system is
+/// Levinson-irregular or inconsistent with the remaining syndromes.
+std::optional<std::vector<uint64_t>> LevinsonLocator(
+    const GF2m& field, const std::vector<uint64_t>& syndromes, int v);
+
+}  // namespace pbs
+
+#endif  // PBS_BCH_LEVINSON_H_

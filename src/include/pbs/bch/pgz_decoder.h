@@ -1,0 +1,31 @@
+// Peterson-Gorenstein-Zierler (PGZ) error-locator solver.
+//
+// Reference decoder used to cross-validate Berlekamp-Massey: the locator
+// coefficients satisfy the Hankel linear system
+//     sum_{j=1..v} Lambda_j S_{k-j} = S_k,   k = v+1 .. 2v,
+// which PGZ solves directly by Gaussian elimination, shrinking v until the
+// system is nonsingular. Section 2.5 notes this Toeplitz-structured system
+// can be solved in O(t^2) by Levinson's algorithm; BM achieves the same
+// bound and is what the production path uses. PGZ is O(v^3) and exists for
+// verification and ablation benchmarks.
+
+#ifndef PBS_BCH_PGZ_DECODER_H_
+#define PBS_BCH_PGZ_DECODER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pbs/gf/gfpoly.h"
+
+namespace pbs {
+
+/// Solves for the error-locator polynomial from `syndromes` =
+/// (S_1, ..., S_2t), assuming at most t errors. Returns nullopt if no
+/// consistent locator of degree <= t exists.
+std::optional<GFPoly> PgzLocator(const GF2m& field,
+                                 const std::vector<uint64_t>& syndromes);
+
+}  // namespace pbs
+
+#endif  // PBS_BCH_PGZ_DECODER_H_

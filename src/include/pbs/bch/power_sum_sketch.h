@@ -1,0 +1,83 @@
+// The BCH "sketch": odd power sums of a set of nonzero field elements.
+//
+// This is the codeword xi_A of Sections 1.3.1 / 2.5. A set P of nonzero
+// elements of GF(2^m) is summarized by its t odd power sums
+//     S_k = sum_{p in P} p^k,   k = 1, 3, 5, ..., 2t-1,
+// which is exactly a syndrome vector of a binary BCH code with designed
+// distance 2t+1 (even-indexed syndromes are implied: S_2k = S_k^2 in
+// characteristic 2). Two crucial properties:
+//
+//  * Linearity: the XOR of two sketches is the sketch of the symmetric
+//    difference of the two sets. Bob XORs Alice's sketch of her parity
+//    bitmap with his own to get the sketch of the *difference* bitmap.
+//  * Decodability: if the difference has at most t elements, they are
+//    recovered by Berlekamp-Massey + root finding; if it has more, the
+//    decoder detects failure with high probability (Section 3.2's
+//    "BCH decoding exception").
+//
+// Wire size is exactly t*m bits -- the paper's "t log n" term (PBS, with
+// m = log2(n+1)) or "t log |U|" (PinSketch).
+
+#ifndef PBS_BCH_POWER_SUM_SKETCH_H_
+#define PBS_BCH_POWER_SUM_SKETCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pbs/common/bitio.h"
+#include "pbs/gf/gf2m.h"
+
+namespace pbs {
+
+/// BCH power-sum sketch with capacity t over GF(2^m).
+class PowerSumSketch {
+ public:
+  PowerSumSketch(const GF2m& field, int t);
+
+  /// Toggles membership of `element` (must be in [1, 2^m - 1]). Adding an
+  /// element twice removes it -- the sketch is a symmetric-difference
+  /// accumulator, mirroring parity-bitmap semantics.
+  void Toggle(uint64_t element);
+
+  /// XORs `other` into this sketch (same field and t required): the result
+  /// sketches the symmetric difference of the two underlying sets.
+  void Merge(const PowerSumSketch& other);
+
+  /// Attempts to recover the sketched set. Succeeds iff the set has at most
+  /// t elements and the decode is structurally consistent; otherwise
+  /// returns nullopt (decode failure). Recovered elements are unsorted.
+  /// If `verify` is set, the decoded set's power sums are recomputed and
+  /// compared against the syndromes, catching silent miscorrections.
+  /// `seed` randomizes trace-based root finding in large fields.
+  std::optional<std::vector<uint64_t>> Decode(
+      bool verify = true, uint64_t seed = 0x9E3779B97F4A7C15ull) const;
+
+  /// Serializes as t fields of m bits each.
+  void Serialize(BitWriter* writer) const;
+
+  /// Reads a sketch serialized by Serialize.
+  static PowerSumSketch Deserialize(BitReader* reader, const GF2m& field,
+                                    int t);
+
+  /// Wire size in bits: t * m.
+  int bit_size() const { return t_ * field_.m(); }
+
+  int t() const { return t_; }
+  const GF2m& field() const { return field_; }
+  /// Odd syndromes (S_1, S_3, ..., S_{2t-1}).
+  const std::vector<uint64_t>& odd_syndromes() const { return odd_; }
+
+  /// True if every syndrome is zero (empty symmetric difference, or -- with
+  /// negligible probability -- an undetectable error pattern).
+  bool IsZero() const;
+
+ private:
+  GF2m field_;
+  int t_;
+  std::vector<uint64_t> odd_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_BCH_POWER_SUM_SKETCH_H_

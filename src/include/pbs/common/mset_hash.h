@@ -1,0 +1,63 @@
+// Incremental multiset hash (MSet-XOR-Hash style [10]).
+//
+// Section 2.2.3: applications that cannot tolerate even the O(10^-12)
+// false-verification probability of the 32-bit modular checksum can verify
+// H(A /\triangle D-hat) == H(B) with a one-way multiset hash at
+// O(max{|A|+d, |B|}) extra computation and constant communication. This is
+// that hash: each element contributes XxHash64-derived digests XORed (and
+// summed) into a fixed-size state, so the hash is order-independent and
+// incrementally updatable -- exactly the properties the checksum loop
+// needs, with a 192-bit state in place of a 32-bit sum.
+
+#ifndef PBS_COMMON_MSET_HASH_H_
+#define PBS_COMMON_MSET_HASH_H_
+
+#include <array>
+#include <cstdint>
+
+namespace pbs {
+
+/// 192-bit incremental multiset hash over 64-bit elements.
+class MsetHash {
+ public:
+  /// Both parties must agree on the salt.
+  explicit MsetHash(uint64_t salt = 0) : salt_(salt) {}
+
+  /// Adds one element occurrence.
+  void Add(uint64_t element);
+
+  /// Removes one previously added occurrence.
+  void Remove(uint64_t element);
+
+  /// Toggle for symmetric-difference updates.
+  void Toggle(uint64_t element, bool add) {
+    add ? Add(element) : Remove(element);
+  }
+
+  /// The 192-bit digest (xor-lane, sum-lane, count-entangled lane).
+  std::array<uint64_t, 3> digest() const { return {xor_, sum_, mix_}; }
+
+  friend bool operator==(const MsetHash& a, const MsetHash& b) {
+    return a.xor_ == b.xor_ && a.sum_ == b.sum_ && a.mix_ == b.mix_ &&
+           a.salt_ == b.salt_;
+  }
+  friend bool operator!=(const MsetHash& a, const MsetHash& b) {
+    return !(a == b);
+  }
+
+  void Reset() { xor_ = sum_ = mix_ = 0; }
+
+ private:
+  uint64_t salt_;
+  // Three independent accumulation lanes; an adversary must defeat all of
+  // them simultaneously. The xor lane alone would be vulnerable to
+  // even-multiplicity erasure; the sum lane restores multiplicity
+  // sensitivity modulo 2^64.
+  uint64_t xor_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t mix_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_COMMON_MSET_HASH_H_

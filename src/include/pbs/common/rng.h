@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation for experiments and tests.
+//
+// All randomness in the repository flows through these generators so that
+// every experiment is reproducible from a single seed. SplitMix64 is used
+// for seeding / salting; Xoshiro256** is the workhorse generator.
+
+#ifndef PBS_COMMON_RNG_H_
+#define PBS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace pbs {
+
+/// SplitMix64: tiny, full-period 2^64 generator; ideal for deriving
+/// independent seeds and hash salts from one master seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 256-bit-state generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  uint64_t Next();
+
+  /// Uniform value in [0, bound) without modulo bias (Lemire reduction).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+  uint64_t operator()() { return Next(); }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace pbs
+
+#endif  // PBS_COMMON_RNG_H_

@@ -1,0 +1,61 @@
+// Communication accounting for reconciliation protocols.
+//
+// Every protocol in this repository (PBS and all baselines) routes its
+// messages through a Transcript, which records, per round and per direction,
+// the exact number of bytes serialized on the wire. The evaluation section
+// of the paper reports "Data Transmitted (KB)"; those numbers come from
+// Transcript::total_bytes().
+
+#ifndef PBS_COMMON_TRANSCRIPT_H_
+#define PBS_COMMON_TRANSCRIPT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbs {
+
+/// Direction of a protocol message.
+enum class Direction { kAliceToBob, kBobToAlice };
+
+/// One recorded message.
+struct TranscriptEntry {
+  int round = 0;
+  Direction direction = Direction::kAliceToBob;
+  std::string label;
+  size_t bytes = 0;
+};
+
+/// Byte/round ledger for one protocol execution.
+class Transcript {
+ public:
+  /// Records a message of `bytes` bytes sent in `direction` during `round`.
+  void Record(int round, Direction direction, const std::string& label,
+              size_t bytes);
+
+  /// Total bytes across all messages and rounds.
+  size_t total_bytes() const { return total_bytes_; }
+
+  /// Total bytes sent during one round.
+  size_t BytesInRound(int round) const;
+
+  /// Bytes for one direction across all rounds.
+  size_t BytesInDirection(Direction direction) const;
+
+  /// Highest round index recorded (0 if nothing recorded).
+  int max_round() const { return max_round_; }
+
+  const std::vector<TranscriptEntry>& entries() const { return entries_; }
+
+  void Clear();
+
+ private:
+  std::vector<TranscriptEntry> entries_;
+  size_t total_bytes_ = 0;
+  int max_round_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_COMMON_TRANSCRIPT_H_

@@ -1,0 +1,66 @@
+// Reconciliation-unit bookkeeping shared by both PBS endpoints.
+//
+// A "unit" is one independently reconciled pair: initially one of the g
+// group pairs of Section 3; after a BCH decoding exception it is one of the
+// three sub-group pairs of Section 3.2 (recursively). Both endpoints must
+// evolve identical unit tables from the same observable events (Bob's
+// decode failures, Alice's settled flags), so all lineage-dependent
+// derivations -- child keys, split salts, sub-universe membership -- live
+// here.
+
+#ifndef PBS_CORE_GROUP_STATE_H_
+#define PBS_CORE_GROUP_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pbs/hash/hash_family.h"
+
+namespace pbs {
+
+/// Identity and lineage of one reconciliation unit.
+struct UnitCore {
+  uint64_t key = 0;    ///< Deterministic lineage key (salts derive from it).
+  uint32_t group = 0;  ///< Root group index.
+  uint8_t depth = 0;   ///< Number of three-way splits above this unit.
+  /// (split salt, child index) per ancestor split, root-first. Used both to
+  /// partition elements and to verify recovered elements' sub-universe
+  /// membership (Procedure 3 extended to split lineage).
+  std::vector<std::pair<uint64_t, uint8_t>> split_path;
+
+  /// Root unit for group `g` of a session keyed by `family`.
+  static UnitCore Root(const HashFamily& family, uint32_t g);
+
+  /// The salt partitioning this unit three ways when it splits.
+  uint64_t SplitSalt(const HashFamily& family) const;
+
+  /// The `index`-th child (0..2) produced by a split.
+  UnitCore Child(const HashFamily& family, uint8_t index) const;
+
+  /// Which child (0..2) element `x` belongs to under this unit's split.
+  static uint8_t ChildIndexOf(uint64_t x, uint64_t split_salt) {
+    return static_cast<uint8_t>(SaltedHash(split_salt).Bucket(x, 3));
+  }
+
+  /// True iff `x` hashes into this unit: correct root group under the
+  /// session's group-partition hash and the correct child at every split.
+  bool InSubUniverse(const HashFamily& family, uint64_t x,
+                     uint32_t num_groups) const;
+
+  /// Bin-partition salt for this unit in round `round`.
+  uint64_t BinSalt(const HashFamily& family, int round) const {
+    return family.Salt(HashFamily::kBinPartition, static_cast<uint64_t>(round),
+                       key);
+  }
+};
+
+/// Group index of `x` for a session with `num_groups` groups.
+inline uint32_t GroupOf(const HashFamily& family, uint64_t x,
+                        uint32_t num_groups) {
+  return static_cast<uint32_t>(
+      family.Get(HashFamily::kGroupPartition).Bucket(x, num_groups));
+}
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_GROUP_STATE_H_

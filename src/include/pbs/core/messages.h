@@ -1,0 +1,41 @@
+// Wire-format helpers for PBS protocol messages.
+//
+// Message layouts (all bit-packed; see bitio.h):
+//
+//  EstimateRequest  (Alice -> Bob):
+//    varint |A| ; ell counters of ceil(log2(2|A|+1)) bits (zig-zag).
+//  EstimateReply    (Bob -> Alice):
+//    32-bit d_used = ceil(gamma * d-hat).
+//  RoundRequest     (Alice -> Bob), round k:
+//    k >= 2: one settled bit per unit that decoded OK in round k-1;
+//    then, per active unit in canonical order: BCH sketch (t*m bits).
+//  RoundReply       (Bob -> Alice), per active unit:
+//    1 bit decode-failed;
+//    on success: count (ceil(log2(t+1)) bits), count * position (m bits),
+//    count * XOR sum (sig_bits), checksum (sig_bits).
+//
+// The canonical unit order evolves deterministically on both sides:
+// settled units are dropped, failed units are replaced in place by their
+// three children, survivors stay put (Section 3.2 / 3.3).
+
+#ifndef PBS_CORE_MESSAGES_H_
+#define PBS_CORE_MESSAGES_H_
+
+#include <cstdint>
+
+namespace pbs::wire {
+
+/// Smallest width holding values 0..max_value.
+constexpr int BitWidthFor(uint64_t max_value) {
+  int bits = 1;
+  while ((uint64_t{1} << bits) <= max_value) ++bits;
+  return bits;
+}
+
+/// Width of the per-unit "number of decoded positions" field; the count is
+/// at most t by construction.
+constexpr int CountBits(int t) { return BitWidthFor(static_cast<uint64_t>(t)); }
+
+}  // namespace pbs::wire
+
+#endif  // PBS_CORE_MESSAGES_H_

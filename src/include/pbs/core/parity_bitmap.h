@@ -1,0 +1,60 @@
+// Hash-partitioning of a group into n bins and its parity-bitmap encoding
+// (Section 2.2.1).
+//
+// Bin indices run 1..n so that, with n = 2^m - 1, every index is a nonzero
+// element of GF(2^m) and the parity bitmap's BCH sketch (power_sum_sketch.h)
+// can treat odd-parity bins directly as field elements.
+
+#ifndef PBS_CORE_PARITY_BITMAP_H_
+#define PBS_CORE_PARITY_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pbs/bch/power_sum_sketch.h"
+#include "pbs/hash/hash_family.h"
+
+namespace pbs {
+
+/// Bin index of `x` under hash `h`: a value in [1, n].
+inline uint64_t BinIndex(uint64_t x, const SaltedHash& h, int n) {
+  return h.Bucket(x, static_cast<uint64_t>(n)) + 1;
+}
+
+/// One group's elements scattered into n bins: per-bin XOR sums (the
+/// Procedure-1 "XOR sum" s_B of each subset) and per-bin parities (the
+/// parity bitmap A[1..n]).
+struct ParityBitmap {
+  int n = 0;
+  std::vector<uint64_t> xor_sum;  ///< Index 0 unused; 1..n valid.
+  std::vector<uint8_t> parity;    ///< Cardinality parity per bin.
+
+  /// Bins `elements` under `h`.
+  template <typename Container>
+  static ParityBitmap Build(const Container& elements, const SaltedHash& h,
+                            int n) {
+    ParityBitmap pb;
+    pb.n = n;
+    pb.xor_sum.assign(n + 1, 0);
+    pb.parity.assign(n + 1, 0);
+    for (uint64_t e : elements) {
+      const uint64_t bin = BinIndex(e, h, n);
+      pb.xor_sum[bin] ^= e;
+      pb.parity[bin] ^= 1;
+    }
+    return pb;
+  }
+
+  /// BCH sketch of the odd-parity bin set (the codeword xi of Procedure 2).
+  PowerSumSketch ToSketch(const GF2m& field, int t) const {
+    PowerSumSketch sketch(field, t);
+    for (int i = 1; i <= n; ++i) {
+      if (parity[i]) sketch.Toggle(static_cast<uint64_t>(i));
+    }
+    return sketch;
+  }
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_PARITY_BITMAP_H_

@@ -1,0 +1,114 @@
+// The two PBS protocol endpoints.
+//
+// Alice initiates and ultimately learns A /\triangle B; Bob answers. The
+// endpoints exchange opaque byte buffers, so callers can run them over any
+// transport (the in-memory PbsSession in reconciler.h, or a real socket as
+// in examples/). Message flow per Sections 2-3:
+//
+//   Alice                       Bob
+//   MakeEstimateRequest  ---->  HandleEstimateRequest
+//   HandleEstimateReply  <----        (ToW estimate, d_used = gamma*d-hat)
+//   MakeRoundRequest     ---->  HandleRoundRequest      \  repeated until
+//   HandleRoundReply     <----                          /  all units settle
+//
+// If d is known a priori (the Sections 2-5 setting), call
+// SetDifferenceEstimate on both endpoints and skip the estimate exchange.
+
+#ifndef PBS_CORE_PBS_ENDPOINTS_H_
+#define PBS_CORE_PBS_ENDPOINTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "pbs/common/checksum.h"
+#include "pbs/core/group_state.h"
+#include "pbs/core/params.h"
+#include "pbs/gf/gf2m.h"
+#include "pbs/hash/hash_family.h"
+
+namespace pbs {
+
+/// Cumulative CPU-time breakdown of one endpoint (seconds).
+struct PbsTimers {
+  double encode_seconds = 0.0;  ///< Binning + sketch construction.
+  double decode_seconds = 0.0;  ///< BCH decoding / element recovery + verify.
+};
+
+/// The initiating endpoint; learns the set difference.
+class PbsAlice {
+ public:
+  /// `elements` is Alice's set A (nonzero sig_bits-wide signatures).
+  /// Both endpoints must be constructed with the same config and seed.
+  PbsAlice(std::vector<uint64_t> elements, const PbsConfig& config,
+           uint64_t seed);
+  ~PbsAlice();
+
+  /// Estimation phase (optional; Section 6.2).
+  std::vector<uint8_t> MakeEstimateRequest();
+  void HandleEstimateReply(const std::vector<uint8_t>& reply);
+
+  /// Skips estimation: size the plan for `d_used` expected differences.
+  void SetDifferenceEstimate(int d_used);
+
+  /// Builds the round-k request (advances the round counter).
+  std::vector<uint8_t> MakeRoundRequest();
+
+  /// Consumes Bob's reply; returns true when every unit has settled.
+  bool HandleRoundReply(const std::vector<uint8_t>& reply);
+
+  /// True once all units verified their checksums.
+  bool finished() const;
+
+  /// Rounds executed so far.
+  int round() const;
+
+  /// The reconciled difference D-hat_1 /\triangle ... /\triangle D-hat_r
+  /// (valid answer once finished()).
+  std::vector<uint64_t> Difference() const;
+
+  /// Strong-verification epilogue (config.strong_verification): checks
+  /// Bob's multiset-hash digest against H(A /\triangle D-hat).
+  bool VerifyStrongDigest(const std::vector<uint8_t>& digest_msg) const;
+
+  /// Bidirectional completion (Section 1.1): the elements of the
+  /// difference that Alice holds (A \ B), which she ships to Bob so he can
+  /// form A u B as well. Valid once finished().
+  std::vector<uint64_t> ElementsOnlyInA() const;
+
+  const PbsPlan& plan() const;
+  const PbsTimers& timers() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The responding endpoint.
+class PbsBob {
+ public:
+  PbsBob(std::vector<uint64_t> elements, const PbsConfig& config,
+         uint64_t seed);
+  ~PbsBob();
+
+  std::vector<uint8_t> HandleEstimateRequest(
+      const std::vector<uint8_t>& request);
+  void SetDifferenceEstimate(int d_used);
+
+  std::vector<uint8_t> HandleRoundRequest(const std::vector<uint8_t>& request);
+
+  /// Strong-verification epilogue: the 192-bit multiset hash of B.
+  std::vector<uint8_t> MakeStrongDigest() const;
+
+  const PbsPlan& plan() const;
+  const PbsTimers& timers() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_PBS_ENDPOINTS_H_

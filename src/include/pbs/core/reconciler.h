@@ -1,0 +1,49 @@
+// One-call PBS reconciliation over an in-memory channel.
+//
+// PbsSession wires a PbsAlice and PbsBob together, runs the estimate
+// exchange (or accepts an externally supplied estimate) and up to
+// config.max_rounds protocol rounds, and returns everything the evaluation
+// needs: the recovered difference, per-direction byte counts, round count,
+// and encode/decode timing breakdowns.
+
+#ifndef PBS_CORE_RECONCILER_H_
+#define PBS_CORE_RECONCILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pbs/common/transcript.h"
+#include "pbs/core/params.h"
+#include "pbs/core/pbs_endpoints.h"
+
+namespace pbs {
+
+/// Outcome of one reconciliation.
+struct PbsResult {
+  bool success = false;          ///< All units settled within max_rounds.
+  int rounds = 0;                ///< Rounds actually executed.
+  std::vector<uint64_t> difference;  ///< Alice's recovered A /\triangle B.
+  size_t data_bytes = 0;         ///< Protocol bytes (excl. estimator).
+  size_t estimator_bytes = 0;    ///< Estimate request + reply bytes.
+  double encode_seconds = 0.0;   ///< Both endpoints' sketch/bin time.
+  double decode_seconds = 0.0;   ///< Both endpoints' decode/recovery time.
+  PbsPlan plan;                  ///< The parameterization used.
+};
+
+/// In-memory protocol driver.
+class PbsSession {
+ public:
+  /// Reconciles `a` and `b`. If `d_used >= 0` the estimate exchange is
+  /// skipped and both endpoints are sized for d_used (callers that already
+  /// ran an estimator, or the "d known" setting of Sections 2-5).
+  /// If `transcript` is non-null each message is recorded there too.
+  static PbsResult Reconcile(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b,
+                             const PbsConfig& config, uint64_t seed,
+                             int d_used = -1,
+                             Transcript* transcript = nullptr);
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_RECONCILER_H_

@@ -1,0 +1,42 @@
+// Min-wise set-difference estimator (Appendix B baseline).
+//
+// k independent min-hashes estimate the Jaccard similarity J = |A n B| /
+// |A u B| as the fraction of matching minima [8]; the difference cardinality
+// follows as d = (1 - J) / (1 + J) * (|A| + |B|).
+
+#ifndef PBS_ESTIMATOR_MINWISE_H_
+#define PBS_ESTIMATOR_MINWISE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbs {
+
+/// One party's bank of k min-hash values.
+class MinwiseEstimator {
+ public:
+  MinwiseEstimator(int k, uint64_t seed);
+
+  void Add(uint64_t element);
+  void AddAll(const std::vector<uint64_t>& elements);
+
+  /// Estimated |A /\triangle B| given both sketches and both set sizes.
+  static double Estimate(const MinwiseEstimator& a, uint64_t size_a,
+                         const MinwiseEstimator& b, uint64_t size_b);
+
+  /// Wire size: k hash values of `value_bits` bits.
+  static size_t BitSize(int k, int value_bits) {
+    return static_cast<size_t>(k) * value_bits;
+  }
+
+  const std::vector<uint64_t>& minima() const { return minima_; }
+
+ private:
+  std::vector<uint64_t> minima_;
+  std::vector<uint64_t> seeds_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_ESTIMATOR_MINWISE_H_

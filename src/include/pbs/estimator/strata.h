@@ -1,0 +1,53 @@
+// Strata estimator (Eppstein et al. [15]), reproduced as an estimator
+// baseline for Appendix B.
+//
+// Elements are assigned to stratum i with probability 2^-(i+1) (the number
+// of trailing zero bits of a hash); each stratum holds a small IBF. To
+// estimate |A /\triangle B|, the per-stratum IBFs are subtracted and decoded
+// from the deepest stratum downward; the first stratum that fails to decode
+// scales the count of everything recovered so far by 2^(i+1).
+
+#ifndef PBS_ESTIMATOR_STRATA_H_
+#define PBS_ESTIMATOR_STRATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pbs/ibf/invertible_bloom_filter.h"
+
+namespace pbs {
+
+/// One party's strata sketch.
+class StrataEstimator {
+ public:
+  /// `num_strata` IBF levels of `cells_per_stratum` cells each.
+  StrataEstimator(int num_strata, size_t cells_per_stratum, uint64_t seed,
+                  int sig_bits);
+
+  void Add(uint64_t element);
+  void AddAll(const std::vector<uint64_t>& elements);
+
+  /// Estimates |A /\triangle B| from two strata sketches built with the
+  /// same parameters and seed.
+  static double Estimate(const StrataEstimator& a, const StrataEstimator& b);
+
+  /// Wire size in bits (all strata IBFs).
+  size_t bit_size() const;
+
+  int num_strata() const { return static_cast<int>(strata_.size()); }
+
+ private:
+  int StratumOf(uint64_t element) const;
+
+  std::vector<InvertibleBloomFilter> strata_;
+  uint64_t seed_;
+  int sig_bits_;
+};
+
+/// Default sizing from [15]: 32 strata of 80 cells.
+inline constexpr int kStrataDefaultLevels = 32;
+inline constexpr size_t kStrataDefaultCells = 80;
+
+}  // namespace pbs
+
+#endif  // PBS_ESTIMATOR_STRATA_H_

@@ -1,0 +1,99 @@
+// The finite field GF(2^m), 2 <= m <= 63.
+//
+// PBS uses two very different field sizes. The parity-bitmap BCH codes of
+// Section 2.5 live in small fields (m = log2(n+1), n in {63..2047}), where
+// log/antilog tables make multiplication a couple of table lookups. The
+// PinSketch baseline (Section 7) sketches the full 32-bit universe and needs
+// GF(2^32), where tables are infeasible and multiplication is carry-less
+// multiply + modular reduction (gf2x.h).
+//
+// A GF2m value is a uint64_t whose bits are the coefficients of the
+// residue-class representative; 0 is the additive identity, 1 the
+// multiplicative identity. Field objects are cheap to copy (shared-state
+// handle) and safe to share across threads after construction.
+
+#ifndef PBS_GF_GF2M_H_
+#define PBS_GF_GF2M_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pbs/gf/gf2x.h"
+
+namespace pbs {
+
+/// GF(2^m) with the canonical (smallest) irreducible modulus of degree m.
+class GF2m {
+ public:
+  /// Largest m for which log/antilog tables are built (2^17 entries).
+  static constexpr int kMaxTableBits = 16;
+
+  /// Constructs (or retrieves from a process-wide cache) the field GF(2^m).
+  explicit GF2m(int m);
+
+  /// Field extension degree m.
+  int m() const { return state_->m; }
+
+  /// Multiplicative group order 2^m - 1; also the largest valid element.
+  uint64_t order() const { return state_->order; }
+
+  /// The modulus polynomial, leading x^m bit included.
+  uint64_t modulus() const { return state_->modulus; }
+
+  /// Addition (= subtraction) is XOR.
+  static uint64_t Add(uint64_t a, uint64_t b) { return a ^ b; }
+
+  /// Field multiplication.
+  uint64_t Mul(uint64_t a, uint64_t b) const {
+    if (state_->log.empty()) {
+      if (a == 0 || b == 0) return 0;
+      return gf2x::MulMod(a, b, state_->modulus);
+    }
+    if (a == 0 || b == 0) return 0;
+    return state_->exp[state_->log[a] + state_->log[b]];
+  }
+
+  /// Squaring (cheaper than Mul in the table-free path).
+  uint64_t Sqr(uint64_t a) const {
+    if (state_->log.empty()) return gf2x::SqrMod(a, state_->modulus);
+    if (a == 0) return 0;
+    uint64_t l = 2 * state_->log[a];
+    uint64_t o = state_->order;
+    return state_->exp[l >= o ? l - o : l];
+  }
+
+  /// Multiplicative inverse; `a` must be nonzero.
+  uint64_t Inv(uint64_t a) const;
+
+  /// a / b; `b` must be nonzero.
+  uint64_t Div(uint64_t a, uint64_t b) const { return Mul(a, Inv(b)); }
+
+  /// a^e by square-and-multiply (a^0 = 1, including 0^0 = 1 by convention).
+  uint64_t Pow(uint64_t a, uint64_t e) const;
+
+  /// True if `a` is a canonical field element (< 2^m).
+  bool IsValid(uint64_t a) const { return a <= state_->order; }
+
+  /// True if the two handles denote the same field.
+  friend bool operator==(const GF2m& x, const GF2m& y) {
+    return x.state_->m == y.state_->m;
+  }
+
+ private:
+  struct State {
+    int m;
+    uint64_t order;
+    uint64_t modulus;
+    // log[a] for a in [1, order]; exp[k] for k in [0, 2*order-1] so that
+    // exp[log[a] + log[b]] never needs a modulo.
+    std::vector<uint32_t> log;
+    std::vector<uint64_t> exp;
+  };
+
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_GF_GF2M_H_

@@ -1,0 +1,58 @@
+// Polynomials over GF(2) packed into machine words.
+//
+// This is the bottom layer of the BCH stack: GF(2^m) (gf2m.h) is defined as
+// GF(2)[x] modulo an irreducible polynomial of degree m. Rather than
+// hard-coding a table of moduli (and risking a transcription error), the
+// library *finds* the lexicographically smallest irreducible polynomial of
+// each degree with a Rabin irreducibility test; the result is deterministic,
+// cached, and verified independently by unit tests.
+//
+// Representation: a polynomial of degree <= 63 is a uint64_t whose bit i is
+// the coefficient of x^i. Products of two such polynomials need up to 127
+// bits and use unsigned __int128.
+
+#ifndef PBS_GF_GF2X_H_
+#define PBS_GF_GF2X_H_
+
+#include <cstdint>
+
+namespace pbs::gf2x {
+
+using U128 = unsigned __int128;
+
+/// Degree of `a` (-1 for the zero polynomial).
+int Degree(uint64_t a);
+
+/// Degree of a 128-bit packed polynomial (-1 for zero).
+int Degree128(U128 a);
+
+/// Carry-less multiplication of two 64-bit polynomials (128-bit product).
+/// Uses PCLMULQDQ when compiled for a machine that has it; otherwise a
+/// constant-time masked-multiply fallback.
+U128 ClMul(uint64_t a, uint64_t b);
+
+/// Reduces a 128-bit polynomial modulo `f` (deg f = m, 1 <= m <= 63; the
+/// leading x^m bit must be set in `f`). Returns a polynomial of degree < m.
+uint64_t Mod(U128 a, uint64_t f);
+
+/// (a * b) mod f.
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t f);
+
+/// a^2 mod f.
+uint64_t SqrMod(uint64_t a, uint64_t f);
+
+/// Greatest common divisor of two packed polynomials.
+uint64_t Gcd(uint64_t a, uint64_t b);
+
+/// Rabin's irreducibility test for `f` (degree taken from the leading bit).
+/// f is irreducible over GF(2) iff x^(2^m) == x (mod f) and, for every prime
+/// p dividing m, gcd(x^(2^(m/p)) - x, f) = 1.
+bool IsIrreducible(uint64_t f);
+
+/// Smallest (as an integer) irreducible polynomial of degree m, 1 <= m <= 63.
+/// Deterministic; cached after the first call per degree.
+uint64_t FindIrreducible(int m);
+
+}  // namespace pbs::gf2x
+
+#endif  // PBS_GF_GF2X_H_

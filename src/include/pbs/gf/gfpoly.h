@@ -1,0 +1,92 @@
+// Dense univariate polynomials with coefficients in GF(2^m).
+//
+// Used by the BCH decoders: Berlekamp-Massey produces an error-locator
+// polynomial Lambda; root finding (roots.h) factors it. All operations are
+// schoolbook -- degrees here are bounded by the BCH error-correction
+// capacity t, which is small for PBS (<= ~60) and moderate for PinSketch
+// (t = 1.38 d-hat), so O(t^2) arithmetic matches the complexity the paper
+// ascribes to ECC decoding.
+
+#ifndef PBS_GF_GFPOLY_H_
+#define PBS_GF_GFPOLY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pbs/gf/gf2m.h"
+
+namespace pbs {
+
+/// Polynomial over GF(2^m). coeff(i) multiplies x^i. The zero polynomial has
+/// degree -1. Invariant: the leading stored coefficient is nonzero.
+class GFPoly {
+ public:
+  explicit GFPoly(const GF2m& field) : field_(field) {}
+  GFPoly(const GF2m& field, std::vector<uint64_t> coeffs)
+      : field_(field), coeffs_(std::move(coeffs)) {
+    Trim();
+  }
+
+  static GFPoly Zero(const GF2m& field) { return GFPoly(field); }
+  static GFPoly One(const GF2m& field) { return GFPoly(field, {1}); }
+  /// The monomial c * x^k.
+  static GFPoly Monomial(const GF2m& field, uint64_t c, int k);
+
+  const GF2m& field() const { return field_; }
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  bool IsZero() const { return coeffs_.empty(); }
+
+  /// Coefficient of x^i (0 beyond the stored degree).
+  uint64_t coeff(int i) const {
+    return (i >= 0 && i < static_cast<int>(coeffs_.size())) ? coeffs_[i] : 0;
+  }
+  uint64_t leading() const { return coeffs_.empty() ? 0 : coeffs_.back(); }
+  const std::vector<uint64_t>& coeffs() const { return coeffs_; }
+
+  GFPoly Add(const GFPoly& other) const;
+  GFPoly Mul(const GFPoly& other) const;
+  GFPoly MulScalar(uint64_t c) const;
+  /// Multiplies by x^k.
+  GFPoly ShiftUp(int k) const;
+
+  /// Quotient and remainder; divisor must be nonzero.
+  std::pair<GFPoly, GFPoly> DivMod(const GFPoly& divisor) const;
+  GFPoly Mod(const GFPoly& divisor) const { return DivMod(divisor).second; }
+  GFPoly Div(const GFPoly& divisor) const { return DivMod(divisor).first; }
+
+  /// Monic greatest common divisor.
+  GFPoly Gcd(const GFPoly& other) const;
+
+  /// Formal derivative (over characteristic 2: even-power terms vanish).
+  GFPoly Derivative() const;
+
+  /// Horner evaluation at a field point.
+  uint64_t Eval(uint64_t x) const;
+
+  /// this / leading-coefficient.
+  GFPoly MakeMonic() const;
+
+  /// (this * other) mod m.
+  GFPoly MulMod(const GFPoly& other, const GFPoly& m) const {
+    return Mul(other).Mod(m);
+  }
+  /// this^2 mod m.
+  GFPoly SqrMod(const GFPoly& m) const { return Mul(*this).Mod(m); }
+
+  friend bool operator==(const GFPoly& a, const GFPoly& b) {
+    return a.coeffs_ == b.coeffs_;
+  }
+
+ private:
+  void Trim() {
+    while (!coeffs_.empty() && coeffs_.back() == 0) coeffs_.pop_back();
+  }
+
+  GF2m field_;
+  std::vector<uint64_t> coeffs_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_GF_GFPOLY_H_

@@ -1,0 +1,44 @@
+// Root finding for error-locator polynomials over GF(2^m).
+//
+// Two strategies, selected by field size:
+//  * Chien search -- exhaustive evaluation over all nonzero field elements.
+//    For the parity-bitmap fields of PBS (n = 2^m - 1 <= 2047) this costs
+//    O(n * deg) and is both simple and fast.
+//  * Berlekamp trace splitting -- for large fields (PinSketch over the
+//    32-bit universe) exhaustive search is impossible; instead the
+//    polynomial is recursively split with gcd(f, Tr(beta x) + c) where
+//    Tr is the absolute trace GF(2^m) -> GF(2).
+//
+// Both paths report failure (nullopt) unless the polynomial splits into
+// exactly deg(f) *distinct* roots -- the BCH decode-failure detection that
+// Section 3.2 relies on ("the decoder would report a failure").
+
+#ifndef PBS_GF_ROOTS_H_
+#define PBS_GF_ROOTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pbs/gf/gfpoly.h"
+
+namespace pbs {
+
+/// Field-size threshold (on 2^m - 1) below which Chien search is used.
+inline constexpr uint64_t kChienThreshold = uint64_t{1} << 13;
+
+/// Finds all roots of `f`, requiring deg(f) distinct roots in GF(2^m)*
+/// (zero roots are rejected too: error locators satisfy Lambda(0) = 1).
+/// Returns nullopt if f is not a product of distinct nonzero linear factors.
+/// `seed` randomizes the trace-splitting path (any value is fine;
+/// determinism in tests comes from passing a fixed seed).
+std::optional<std::vector<uint64_t>> FindDistinctNonzeroRoots(
+    const GFPoly& f, uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+/// Exhaustive Chien-style search (exposed for testing): evaluates f at every
+/// nonzero element. Precondition: field order < 2^20.
+std::vector<uint64_t> ChienSearch(const GFPoly& f);
+
+}  // namespace pbs
+
+#endif  // PBS_GF_ROOTS_H_

@@ -1,0 +1,39 @@
+// Four-wise independent hashing onto {+1, -1} for the Tug-of-War estimator.
+//
+// Section 6.1 requires a family F of four-wise independent hash functions
+// mapping U to {+1, -1} with equal probability (Fact 1 in Appendix A). The
+// classic construction is a uniformly random degree-3 polynomial over a
+// prime field: h(x) = a3 x^3 + a2 x^2 + a1 x + a0 mod p with p = 2^61 - 1,
+// mapped to +/-1 by a balanced predicate on the result.
+
+#ifndef PBS_HASH_FOURWISE_H_
+#define PBS_HASH_FOURWISE_H_
+
+#include <cstdint>
+
+namespace pbs {
+
+/// Degree-3 polynomial hash over GF(p), p = 2^61 - 1 (Mersenne), giving a
+/// 4-wise independent family. Sign() maps the field value to +/-1.
+class FourWiseHash {
+ public:
+  /// Coefficients are derived deterministically from `seed`; drawing seeds
+  /// independently yields independent family members.
+  explicit FourWiseHash(uint64_t seed);
+
+  /// The polynomial value in [0, p).
+  uint64_t Eval(uint64_t x) const;
+
+  /// Balanced +/-1 map: parity of the low bit of Eval. Because the field
+  /// size is odd, the bias is < 2^-60 and irrelevant in practice.
+  int Sign(uint64_t x) const { return (Eval(x) & 1) ? 1 : -1; }
+
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+
+ private:
+  uint64_t a_[4];  // a_[k] multiplies x^k.
+};
+
+}  // namespace pbs
+
+#endif  // PBS_HASH_FOURWISE_H_

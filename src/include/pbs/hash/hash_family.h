@@ -1,0 +1,75 @@
+// Salted hash families for consistent hash-partitioning.
+//
+// PBS needs an unbounded supply of mutually independent hash functions:
+// h' partitions a set into g groups (Section 3); within each group a fresh h
+// per round partitions the group into n bins (Sections 2.2.1, 2.4); a fresh
+// salt per three-way split partitions failed groups into sub-groups
+// (Section 3.2). HashFamily derives each function from (master seed, role,
+// round, group, split-depth) via SplitMix64-mixed salts over xxHash64, so
+// both endpoints construct identical functions without communication.
+
+#ifndef PBS_HASH_HASH_FAMILY_H_
+#define PBS_HASH_HASH_FAMILY_H_
+
+#include <cstdint>
+
+#include "pbs/hash/xxhash64.h"
+
+namespace pbs {
+
+/// One keyed hash function u64 -> u64.
+class SaltedHash {
+ public:
+  explicit SaltedHash(uint64_t salt) : salt_(salt) {}
+
+  uint64_t operator()(uint64_t x) const { return XxHash64(x, salt_); }
+
+  /// Hash reduced to [0, buckets). `buckets` must be > 0.
+  uint64_t Bucket(uint64_t x, uint64_t buckets) const {
+    // Fixed-point multiply avoids modulo bias for buckets << 2^64.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(operator()(x)) * buckets) >> 64);
+  }
+
+  uint64_t salt() const { return salt_; }
+
+ private:
+  uint64_t salt_;
+};
+
+/// Derives the salts used across a PBS session. A fixed role constant keeps
+/// the group-partition hash, per-round bin hashes, and estimator hashes
+/// disjoint even though they share the master seed.
+class HashFamily {
+ public:
+  enum Role : uint64_t {
+    kGroupPartition = 1,
+    kBinPartition = 2,
+    kSplitPartition = 3,
+    kEstimator = 4,
+    kIbf = 5,
+    kBloom = 6,
+    kStrata = 7,
+  };
+
+  explicit HashFamily(uint64_t master_seed) : master_seed_(master_seed) {}
+
+  /// Deterministic salt for (role, index triple).
+  uint64_t Salt(Role role, uint64_t a = 0, uint64_t b = 0,
+                uint64_t c = 0) const;
+
+  /// Hash function for a (role, indices) slot.
+  SaltedHash Get(Role role, uint64_t a = 0, uint64_t b = 0,
+                 uint64_t c = 0) const {
+    return SaltedHash(Salt(role, a, b, c));
+  }
+
+  uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  uint64_t master_seed_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_HASH_HASH_FAMILY_H_

@@ -1,0 +1,43 @@
+// Classic Bloom filter.
+//
+// Substrate for the Graphene baseline (Section 7): Graphene sends a Bloom
+// filter of B so the receiver can prune its candidate set before the IBF
+// stage, and drops the BF when its O(|B|) cost outweighs the IBF savings.
+
+#ifndef PBS_IBF_BLOOM_FILTER_H_
+#define PBS_IBF_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbs {
+
+/// Standard Bloom filter over 64-bit keys with k independent salted hashes.
+class BloomFilter {
+ public:
+  /// `bits` cells, `num_hashes` probes per key, salts derived from `salt`.
+  BloomFilter(size_t bits, int num_hashes, uint64_t salt);
+
+  /// Sizes a filter for `n` keys at target false-positive rate `fpr`
+  /// (standard 1.44 n log2(1/fpr) formula, k = ln2 * bits/n).
+  static BloomFilter ForCapacity(size_t n, double fpr, uint64_t salt);
+
+  void Insert(uint64_t key);
+  bool Contains(uint64_t key) const;
+
+  size_t bit_count() const { return bits_.size(); }
+  size_t byte_size() const { return (bits_.size() + 7) / 8; }
+  int num_hashes() const { return num_hashes_; }
+
+ private:
+  size_t Index(uint64_t key, int probe) const;
+
+  std::vector<bool> bits_;
+  int num_hashes_;
+  uint64_t salt_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_IBF_BLOOM_FILTER_H_

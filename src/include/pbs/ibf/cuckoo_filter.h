@@ -1,0 +1,63 @@
+// Cuckoo filter (Fan et al.), the substrate of the cuckoo-filter
+// reconciliation scheme [25] the paper surveys in Section 7.
+//
+// Buckets of 4 fingerprint slots with partial-key cuckoo hashing: an item
+// occupies bucket h or bucket h XOR hash(fingerprint), so membership tests
+// and deletions work from the fingerprint alone. Like Bloom filters it
+// yields false positives, which is why filter-exchange reconciliation is
+// approximate (underestimates the difference) -- the property
+// baselines/approx_filter.h quantifies.
+
+#ifndef PBS_IBF_CUCKOO_FILTER_H_
+#define PBS_IBF_CUCKOO_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbs {
+
+/// Cuckoo filter over 64-bit keys with 4-slot buckets.
+class CuckooFilter {
+ public:
+  /// `capacity` items at ~95% load, `fingerprint_bits` in [4, 16].
+  CuckooFilter(size_t capacity, int fingerprint_bits, uint64_t salt);
+
+  /// Inserts a key; returns false if the filter is too full (insert failed
+  /// after the eviction budget). A failed insert leaves a random victim
+  /// fingerprint displaced (standard cuckoo-filter semantics).
+  bool Insert(uint64_t key);
+
+  /// Membership test (false positives possible, no false negatives for
+  /// successfully inserted keys).
+  bool Contains(uint64_t key) const;
+
+  /// Deletes one copy of a key's fingerprint; returns false if absent.
+  bool Delete(uint64_t key);
+
+  /// Wire size: buckets * 4 slots * fingerprint bits. (buckets_ stores one
+  /// entry per slot, so its size is already buckets * kSlots.)
+  size_t bit_size() const { return buckets_.size() * fp_bits_; }
+  size_t byte_size() const { return (bit_size() + 7) / 8; }
+
+  size_t bucket_count() const { return buckets_.size() / kSlots; }
+  int fingerprint_bits() const { return fp_bits_; }
+
+  static constexpr int kSlots = 4;
+  static constexpr int kMaxEvictions = 500;
+
+ private:
+  uint16_t FingerprintOf(uint64_t key) const;
+  size_t IndexOf(uint64_t key) const;
+  size_t AltIndex(size_t index, uint16_t fingerprint) const;
+  bool InsertIntoBucket(size_t bucket, uint16_t fingerprint);
+
+  std::vector<uint16_t> buckets_;  // bucket-major, kSlots per bucket; 0 = empty.
+  size_t num_buckets_;
+  int fp_bits_;
+  uint64_t salt_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_IBF_CUCKOO_FILTER_H_

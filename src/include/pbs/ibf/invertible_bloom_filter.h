@@ -1,0 +1,92 @@
+// Invertible Bloom filter (IBF / IBLT).
+//
+// The data structure behind Difference Digest [15] and the IBF stage of
+// Graphene [32] (Section 7). Each cell holds three fields of log|U| bits
+// each -- count, keySum, hashSum -- so an IBF with c cells costs 3*c*log|U|
+// bits on the wire; D.Digest uses c = 2*d-hat cells, hence the "roughly
+// 6 d log|U|" communication overhead the paper quotes.
+//
+// The table is partitioned into k equal subtables and each key maps to one
+// cell per subtable, guaranteeing k *distinct* cells per key (the layout
+// used by the reference IBLT implementations). Subtracting two IBFs yields
+// an IBF of the symmetric difference, which is recovered by peeling pure
+// cells, exactly like the erasure-decoding of Tornado codes the paper
+// mentions.
+
+#ifndef PBS_IBF_INVERTIBLE_BLOOM_FILTER_H_
+#define PBS_IBF_INVERTIBLE_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pbs/common/bitio.h"
+
+namespace pbs {
+
+/// One IBF cell. `count` is interpreted modulo 2^sig_bits with two's
+/// complement semantics (the wire carries sig_bits per field).
+struct IbfCell {
+  int64_t count = 0;
+  uint64_t key_sum = 0;   // XOR of keys.
+  uint64_t hash_sum = 0;  // XOR of check-hashes of keys.
+};
+
+/// Invertible Bloom filter over nonzero keys of width sig_bits.
+class InvertibleBloomFilter {
+ public:
+  /// `cells` total cells (rounded up to a multiple of `num_hashes`),
+  /// `num_hashes` subtables, hash salts derived from `salt`,
+  /// `sig_bits` signature width (wire width of each cell field).
+  InvertibleBloomFilter(size_t cells, int num_hashes, uint64_t salt,
+                        int sig_bits);
+
+  /// Adds a key (count +1 in each mapped cell).
+  void Insert(uint64_t key);
+  /// Removes a key (count -1); need not have been inserted (deletions of
+  /// foreign keys are what subtraction produces).
+  void Erase(uint64_t key);
+
+  /// Cell-wise subtraction: afterwards this IBF represents
+  /// (this-set) minus (other-set) with signed counts.
+  void Subtract(const InvertibleBloomFilter& other);
+
+  struct DecodeResult {
+    std::vector<uint64_t> positive;  ///< Keys with net count +1 (this side).
+    std::vector<uint64_t> negative;  ///< Keys with net count -1 (other side).
+    bool complete = false;           ///< True iff peeling emptied the IBF.
+  };
+
+  /// Peels the IBF (non-destructively). complete == false means decoding
+  /// failed: too many differences for the cell budget.
+  DecodeResult Decode() const;
+
+  /// Wire size: cells * 3 fields * sig_bits.
+  size_t bit_size() const { return cells_.size() * 3 * sig_bits_; }
+  size_t byte_size() const { return (bit_size() + 7) / 8; }
+
+  void Serialize(BitWriter* writer) const;
+  static InvertibleBloomFilter Deserialize(BitReader* reader, size_t cells,
+                                           int num_hashes, uint64_t salt,
+                                           int sig_bits);
+
+  size_t cell_count() const { return cells_.size(); }
+  int num_hashes() const { return num_hashes_; }
+  const IbfCell& cell(size_t i) const { return cells_[i]; }
+
+ private:
+  size_t CellIndex(uint64_t key, int subtable) const;
+  uint64_t CheckHash(uint64_t key) const;
+  void Apply(uint64_t key, int64_t delta);
+  // Peeling helper: is this cell recoverable right now?
+  bool IsPure(const IbfCell& cell) const;
+
+  std::vector<IbfCell> cells_;
+  int num_hashes_;
+  uint64_t salt_;
+  int sig_bits_;
+  size_t subtable_size_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_IBF_INVERTIBLE_BLOOM_FILTER_H_

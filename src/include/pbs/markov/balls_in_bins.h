@@ -1,0 +1,56 @@
+// The balls-into-bins dynamic program of Appendix E.
+//
+// One PBS round throws the i yet-unreconciled distinct elements ("balls")
+// uniformly into the n bins of a fresh hash partition. Balls that land alone
+// are reconciled ("good"); balls sharing a bin remain "bad". Appendix E
+// decomposes the composite state "j bad balls" into sub-states (j, k) --
+// j bad balls occupying exactly k bad bins -- and derives the recurrence
+//
+//   M~(i,j,k) = (i-j+1)/n * M~(i-1, j-2, k-1)
+//             +       k/n * M~(i-1, j-1, k)
+//             + (1 - (i-1-j+k)/n) * M~(i-1, j, k)
+//
+// (the three cases: the i-th ball joins a good bin, joins a bad bin, or
+// opens a new bin). Summing over k yields the one-round transition
+// probabilities M(i, j) of the Markov chain in Section 4.
+
+#ifndef PBS_MARKOV_BALLS_IN_BINS_H_
+#define PBS_MARKOV_BALLS_IN_BINS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pbs {
+
+/// Dense table of M~(i, j, k) for 0 <= i, j, k <= t_max.
+class BallsInBinsTable {
+ public:
+  /// Builds the DP for n bins, tracking up to t_max balls.
+  BallsInBinsTable(int n, int t_max);
+
+  /// Probability that throwing i balls leaves j bad balls in k bad bins.
+  double Prob(int i, int j, int k) const;
+
+  /// One-round transition probability M(i, j) = sum_k M~(i, j, k).
+  double Transition(int i, int j) const;
+
+  int n() const { return n_; }
+  int t_max() const { return t_max_; }
+
+ private:
+  size_t Index(int i, int j, int k) const {
+    return (static_cast<size_t>(i) * (t_max_ + 1) + j) * (t_max_ + 1) + k;
+  }
+
+  int n_;
+  int t_max_;
+  std::vector<double> table_;
+};
+
+/// Probability that d balls thrown into n bins all land in distinct bins --
+/// the "ideal case" probability prod_{k=1}^{d-1} (1 - k/n) of Section 2.2.1.
+double IdealCaseProbability(int d, int n);
+
+}  // namespace pbs
+
+#endif  // PBS_MARKOV_BALLS_IN_BINS_H_

@@ -1,0 +1,40 @@
+// The Markov chain of Section 4: states 0..t (bad balls at the start of a
+// round), transitions M(i, j) from the balls-into-bins DP, and the r-round
+// success probability Pr[x ->r 0] = (M^r)(x, 0).
+
+#ifndef PBS_MARKOV_TRANSITION_MATRIX_H_
+#define PBS_MARKOV_TRANSITION_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pbs {
+
+/// Dense (t+1) x (t+1) row-stochastic matrix.
+class TransitionMatrix {
+ public:
+  /// Builds M for a PBS round with n bins, states 0..t.
+  static TransitionMatrix ForRound(int n, int t);
+
+  int size() const { return static_cast<int>(dim_); }
+  double At(int i, int j) const { return data_[i * dim_ + j]; }
+
+  /// Matrix product (same dimensions).
+  TransitionMatrix Multiply(const TransitionMatrix& other) const;
+
+  /// M^r (r >= 0; r = 0 is the identity).
+  TransitionMatrix Power(int r) const;
+
+  /// Row sums (should be ~1 for states whose mass is fully tracked).
+  double RowSum(int i) const;
+
+ private:
+  explicit TransitionMatrix(size_t dim) : dim_(dim), data_(dim * dim, 0.0) {}
+
+  size_t dim_;
+  std::vector<double> data_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_MARKOV_TRANSITION_MATRIX_H_

@@ -1,0 +1,50 @@
+// Aggregation and table formatting for experiment output.
+
+#ifndef PBS_SIM_METRICS_H_
+#define PBS_SIM_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pbs {
+
+/// Aggregated statistics over a batch of reconciliation instances.
+struct RunStats {
+  int instances = 0;
+  double success_rate = 0.0;
+  double mean_bytes = 0.0;
+  double mean_encode_seconds = 0.0;
+  double mean_decode_seconds = 0.0;
+  double mean_rounds = 0.0;
+  /// mean_bytes / (d * sig_bits/8): multiples of the information-theoretic
+  /// minimum d log|U| (Section 1.1).
+  double overhead_ratio = 0.0;
+};
+
+/// Column-aligned text table with a CSV echo (easy to plot).
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders aligned text followed by a `# csv:`-prefixed CSV block.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formatting helpers.
+std::string FormatDouble(double v, int precision = 4);
+std::string FormatScientific(double v, int precision = 2);
+std::string FormatBytes(double bytes);
+
+}  // namespace pbs
+
+#endif  // PBS_SIM_METRICS_H_

@@ -1,0 +1,78 @@
+// Experiment runner: executes a reconciliation scheme over a batch of
+// generated set pairs and aggregates the Section-8 metrics.
+//
+// Estimation follows the paper's accounting: PBS, PinSketch and D.Digest
+// are all driven by the same ToW estimate (ell = 128 sketches, 336 bytes at
+// |S| = 10^6), whose bytes are *excluded* from the reported communication
+// overhead; Graphene receives the same estimate for free (Section 6.2).
+// The runner computes the estimate with TowEstimateFromDifference -- an
+// O(ell*d) shortcut that is distributed identically to the full two-sided
+// exchange (common elements cancel).
+
+#ifndef PBS_SIM_RUNNER_H_
+#define PBS_SIM_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "pbs/core/params.h"
+#include "pbs/sim/metrics.h"
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+
+/// Which scheme to run.
+enum class Scheme {
+  kPbs,
+  kPinSketch,
+  kDDigest,
+  kGraphene,
+  kPinSketchWp,
+};
+
+const char* SchemeName(Scheme scheme);
+
+/// One experiment configuration (a point on a figure's x-axis).
+struct ExperimentConfig {
+  size_t set_size = 100000;  ///< |A| (paper: 10^6).
+  size_t d = 100;            ///< |A \ B|.
+  int sig_bits = 32;         ///< Signature width log|U|.
+  int instances = 50;        ///< Set pairs per point (paper: 1000).
+  uint64_t seed = 0xB5;      ///< Master seed (instance i derives from it).
+  bool use_estimator = true; ///< false: d is known exactly (Sections 2-5).
+  PbsConfig pbs;             ///< PBS knobs (r, p0, delta, optimizer ranges).
+  /// Appendix J.3: account PinSketch/WP + PBS signatures at this width
+  /// while computing over sig_bits (0 = off).
+  int report_sig_bits = 0;
+  /// Worker threads for independent instances (1 = serial). Results are
+  /// identical regardless of thread count: every instance derives its own
+  /// seed and timing/byte metrics are summed commutatively. Set to 0 to
+  /// use the hardware concurrency.
+  int threads = 1;
+};
+
+/// Per-instance measurement (also usable for custom aggregation).
+struct InstanceOutcome {
+  bool correct = false;  ///< Protocol succeeded AND difference == truth.
+  size_t bytes = 0;
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+  int rounds = 1;
+};
+
+/// Runs one instance of `scheme` on `pair`.
+InstanceOutcome RunInstance(Scheme scheme, const ExperimentConfig& config,
+                            const SetPair& pair, uint64_t seed);
+
+/// Generates config.instances pairs and aggregates.
+RunStats RunScheme(Scheme scheme, const ExperimentConfig& config);
+
+/// Like RunScheme but with a caller-supplied per-instance callback (used by
+/// the rounds-PMF experiment of Appendix J.1).
+RunStats RunSchemeWithCallback(
+    Scheme scheme, const ExperimentConfig& config,
+    const std::function<void(const InstanceOutcome&)>& callback);
+
+}  // namespace pbs
+
+#endif  // PBS_SIM_RUNNER_H_

@@ -1,0 +1,37 @@
+// Workload generation matching the paper's experiment setup (Section 8).
+//
+// "Elements in A are drawn from U uniformly at random without replacement.
+//  |A| - d of the elements in A are then sampled, also uniformly at random
+//  without replacement, to make up set B, so that A /\triangle B contains
+//  exactly d elements." The universe is all nonzero `sig_bits`-wide strings
+// (0 is excluded per Section 2.1).
+
+#ifndef PBS_SIM_WORKLOAD_H_
+#define PBS_SIM_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbs {
+
+/// One generated instance: B is a subset of A and |A \ B| = d.
+struct SetPair {
+  std::vector<uint64_t> a;
+  std::vector<uint64_t> b;
+  std::vector<uint64_t> truth_diff;  ///< A \ B (== A /\triangle B here).
+};
+
+/// Generates a set pair per the paper's recipe.
+/// Requires d <= size_a and size_a << 2^sig_bits.
+SetPair GenerateSetPair(size_t size_a, size_t d, int sig_bits, uint64_t seed);
+
+/// Generates a pair where both sides have exclusive elements:
+/// |A \ B| = d_a_only, |B \ A| = d_b_only, |A n B| = common.
+/// Exercises the general (non-subset) reconciliation paths.
+SetPair GenerateTwoSidedPair(size_t common, size_t d_a_only, size_t d_b_only,
+                             int sig_bits, uint64_t seed);
+
+}  // namespace pbs
+
+#endif  // PBS_SIM_WORKLOAD_H_

@@ -1,0 +1,72 @@
+#include "pbs/markov/balls_in_bins.h"
+
+#include <cassert>
+
+namespace pbs {
+
+BallsInBinsTable::BallsInBinsTable(int n, int t_max)
+    : n_(n), t_max_(t_max) {
+  assert(n >= 1 && t_max >= 0);
+  const size_t dim = static_cast<size_t>(t_max_ + 1);
+  table_.assign(dim * dim * dim, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(n_);
+
+  // Base case i = 0: no balls, no bad balls, no bad bins.
+  table_[Index(0, 0, 0)] = 1.0;
+
+  for (int i = 1; i <= t_max_; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      // k bad bins each hold >= 2 bad balls, so k <= j / 2.
+      for (int k = 0; k <= j / 2; ++k) {
+        double p = 0.0;
+        // Case 1: the i-th ball joins a bin holding a single (good) ball,
+        // converting it to a bad bin with two bad balls. The previous
+        // sub-state was (j-2, k-1) with (i-1)-(j-2) = i-j+1 good bins.
+        if (j >= 2 && k >= 1) {
+          p += static_cast<double>(i - j + 1) * inv_n *
+               table_[Index(i - 1, j - 2, k - 1)];
+        }
+        // Case 2: the i-th ball joins one of the k existing bad bins.
+        if (j >= 1) {
+          p += static_cast<double>(k) * inv_n *
+               table_[Index(i - 1, j - 1, k)];
+        }
+        // Case 3: the i-th ball opens an empty bin (becomes a good ball).
+        // Previous sub-state (j, k) had (i-1-j) good bins and k bad bins.
+        {
+          const double occupied =
+              static_cast<double>((i - 1 - j) + k) * inv_n;
+          if (i - 1 - j >= 0) {
+            p += (1.0 - occupied) * table_[Index(i - 1, j, k)];
+          }
+        }
+        table_[Index(i, j, k)] = p;
+      }
+    }
+  }
+}
+
+double BallsInBinsTable::Prob(int i, int j, int k) const {
+  if (i < 0 || j < 0 || k < 0 || i > t_max_ || j > t_max_ || k > t_max_) {
+    return 0.0;
+  }
+  return table_[Index(i, j, k)];
+}
+
+double BallsInBinsTable::Transition(int i, int j) const {
+  if (i < 0 || j < 0 || i > t_max_ || j > t_max_) return 0.0;
+  double sum = 0.0;
+  for (int k = 0; k <= j / 2; ++k) sum += Prob(i, j, k);
+  return sum;
+}
+
+double IdealCaseProbability(int d, int n) {
+  double p = 1.0;
+  for (int k = 1; k < d; ++k) {
+    p *= 1.0 - static_cast<double>(k) / static_cast<double>(n);
+    if (p <= 0.0) return 0.0;
+  }
+  return p;
+}
+
+}  // namespace pbs

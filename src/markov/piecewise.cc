@@ -1,0 +1,49 @@
+#include "pbs/markov/piecewise.h"
+
+#include "pbs/markov/success_probability.h"
+#include "pbs/markov/transition_matrix.h"
+
+namespace pbs {
+
+double ExpectedReconciledWithin(int n, int t, int k, int x) {
+  if (x <= 0) return 0.0;
+  if (x > t) return 0.0;  // Truncated as in Appendix D.
+  const TransitionMatrix mk = TransitionMatrix::ForRound(n, t).Power(k);
+  double expected = 0.0;
+  for (int y = 0; y <= x; ++y) {
+    expected += static_cast<double>(x - y) * mk.At(x, y);
+  }
+  return expected;
+}
+
+std::vector<double> ExpectedRoundFractions(int n, int t, int d, int g,
+                                           int rounds) {
+  const TransitionMatrix m = TransitionMatrix::ForRound(n, t);
+  const double p = 1.0 / static_cast<double>(g);
+
+  // within[k] = E[reconciled within k rounds] for one group, unconditioned.
+  std::vector<double> within(rounds + 1, 0.0);
+  TransitionMatrix mk = m.Power(0);
+  for (int k = 1; k <= rounds; ++k) {
+    mk = mk.Multiply(m);
+    double acc = 0.0;
+    for (int x = 1; x <= t && x <= d; ++x) {
+      const double w = BinomialPmf(d, p, x);
+      double cond = 0.0;
+      for (int y = 0; y <= x; ++y) {
+        cond += static_cast<double>(x - y) * mk.At(x, y);
+      }
+      acc += w * cond;
+    }
+    within[k] = acc;
+  }
+
+  std::vector<double> fractions(rounds, 0.0);
+  for (int k = 1; k <= rounds; ++k) {
+    fractions[k - 1] = (within[k] - within[k - 1]) * static_cast<double>(g) /
+                       static_cast<double>(d);
+  }
+  return fractions;
+}
+
+}  // namespace pbs

@@ -1,0 +1,178 @@
+#include "pbs/markov/success_probability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace pbs {
+
+double BinomialPmf(int d, double p, int x) {
+  if (x < 0 || x > d) return 0.0;
+  if (p <= 0.0) return x == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return x == d ? 1.0 : 0.0;
+  const double log_choose = std::lgamma(d + 1.0) - std::lgamma(x + 1.0) -
+                            std::lgamma(d - x + 1.0);
+  const double log_pmf = log_choose + x * std::log(p) +
+                         (d - x) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double SingleGroupSuccess(int n, int t, int r, int x) {
+  assert(x >= 0);
+  if (x == 0) return 1.0;
+  if (x > t) return 0.0;  // Appendix D: pessimistic truncation.
+  const TransitionMatrix m = TransitionMatrix::ForRound(n, t);
+  return m.Power(r).At(x, 0);
+}
+
+double Alpha(int n, int t, int r, int d, int g) {
+  assert(g >= 1);
+  const TransitionMatrix mr = TransitionMatrix::ForRound(n, t).Power(r);
+  const double p = 1.0 / static_cast<double>(g);
+  double alpha = 0.0;
+  for (int x = 0; x <= t && x <= d; ++x) {
+    const double w = BinomialPmf(d, p, x);
+    const double success = x == 0 ? 1.0 : mr.At(x, 0);
+    alpha += w * success;
+  }
+  return alpha;
+}
+
+double OverallSuccessLowerBound(double alpha, int g) {
+  const double alpha_g = std::pow(alpha, g);
+  return 1.0 - 2.0 * (1.0 - alpha_g);
+}
+
+double SuccessLowerBound(int n, int t, int r, int d, int g) {
+  return OverallSuccessLowerBound(Alpha(n, t, r, d, g), g);
+}
+
+namespace {
+
+// S_r(x) with three-way splits, memoized over (r, x). `mp[r]` caches M^r.
+class SplitSuccessModel {
+ public:
+  SplitSuccessModel(int n, int t, int max_r, int max_x)
+      : t_(t), max_x_(max_x),
+        cache_(static_cast<size_t>(max_r + 1) * (max_x + 1), -1.0) {
+    TransitionMatrix m = TransitionMatrix::ForRound(n, t);
+    powers_.reserve(max_r + 1);
+    powers_.push_back(m.Power(0));
+    for (int r = 1; r <= max_r; ++r) {
+      powers_.push_back(powers_.back().Multiply(m));
+    }
+    // Precompute log-factorials for multinomial weights.
+    log_fact_.resize(max_x + 1, 0.0);
+    for (int i = 1; i <= max_x; ++i) {
+      log_fact_[i] = log_fact_[i - 1] + std::log(static_cast<double>(i));
+    }
+  }
+
+  double Success(int r, int x) {
+    if (x == 0) return 1.0;
+    if (r <= 0) return 0.0;
+    if (x > max_x_) return 0.0;  // Beyond tracked range: pessimistic.
+    double& slot = cache_[static_cast<size_t>(r) * (max_x_ + 1) + x];
+    if (slot >= 0.0) return slot;
+    double result;
+    if (x <= t_) {
+      result = powers_[r].At(x, 0);
+    } else {
+      // BCH failure burns this round; the group splits into three
+      // sub-group pairs by an independent hash (multinomial 1/3 each),
+      // and every part must finish within r - 1 rounds.
+      const double log3 = std::log(3.0);
+      double acc = 0.0;
+      for (int x1 = 0; x1 <= x; ++x1) {
+        const double s1 = Success(r - 1, x1);
+        if (s1 == 0.0) continue;
+        for (int x2 = 0; x2 <= x - x1; ++x2) {
+          const int x3 = x - x1 - x2;
+          const double s2 = Success(r - 1, x2);
+          if (s2 == 0.0) continue;
+          const double s3 = Success(r - 1, x3);
+          if (s3 == 0.0) continue;
+          const double log_w = log_fact_[x] - log_fact_[x1] -
+                               log_fact_[x2] - log_fact_[x3] - x * log3;
+          acc += std::exp(log_w) * s1 * s2 * s3;
+        }
+      }
+      result = acc;
+    }
+    slot = result;
+    return result;
+  }
+
+ private:
+  int t_;
+  int max_x_;
+  std::vector<TransitionMatrix> powers_;
+  std::vector<double> cache_;
+  std::vector<double> log_fact_;
+};
+
+// Track the Binomial tail far enough that the ignored mass is < 1e-12.
+int TailCutoff(int d, double p, int t) {
+  int x = t;
+  double tail = 1.0;
+  // Crude but safe: extend until pmf < 1e-13 and x > 4 * mean.
+  const double mean = d * p;
+  while (x < d && (BinomialPmf(d, p, x) > 1e-13 || x < 4 * mean + 10)) {
+    ++x;
+    if (x > t + 200) break;  // Defensive cap; pmf is long gone by here.
+  }
+  (void)tail;
+  return x;
+}
+
+}  // namespace
+
+double SingleGroupSuccessWithSplits(int n, int t, int r, int x) {
+  SplitSuccessModel model(n, t, r, std::max(x, t) + 1);
+  return model.Success(r, x);
+}
+
+double AlphaWithSplits(int n, int t, int r, int d, int g) {
+  assert(g >= 1);
+  const double p = 1.0 / static_cast<double>(g);
+  const int x_max = std::min(d, TailCutoff(d, p, t));
+  SplitSuccessModel model(n, t, r, x_max);
+  double alpha = 0.0;
+  for (int x = 0; x <= x_max; ++x) {
+    alpha += BinomialPmf(d, p, x) * model.Success(r, x);
+  }
+  return alpha;
+}
+
+double SuccessLowerBoundWithSplits(int n, int t, int r, int d, int g) {
+  return OverallSuccessLowerBound(AlphaWithSplits(n, t, r, d, g), g);
+}
+
+double AlphaCalibrated(int n, int t, int r, int d, int g, double base_penalty,
+                       double split_penalty) {
+  assert(g >= 1);
+  const double p = 1.0 / static_cast<double>(g);
+  const int x_max = std::min(d, TailCutoff(d, p, t));
+  SplitSuccessModel model(n, t, r, x_max);
+  double fail = 0.0;
+  for (int x = 1; x <= x_max; ++x) {
+    const double w = BinomialPmf(d, p, x);
+    const double path_fail = 1.0 - model.Success(r, x);
+    fail += w * path_fail * (x <= t ? base_penalty : split_penalty);
+  }
+  // Mass beyond the tracked tail counts as full failure.
+  double tracked = 0.0;
+  for (int x = 0; x <= x_max; ++x) tracked += BinomialPmf(d, p, x);
+  fail += std::max(0.0, 1.0 - tracked);
+  return std::max(0.0, 1.0 - fail);
+}
+
+double SuccessLowerBoundCalibrated(int n, int t, int r, int d, int g,
+                                   double base_penalty,
+                                   double split_penalty) {
+  return OverallSuccessLowerBound(
+      AlphaCalibrated(n, t, r, d, g, base_penalty, split_penalty), g);
+}
+
+}  // namespace pbs

@@ -1,0 +1,54 @@
+#include "pbs/markov/transition_matrix.h"
+
+#include <cassert>
+
+#include "pbs/markov/balls_in_bins.h"
+
+namespace pbs {
+
+TransitionMatrix TransitionMatrix::ForRound(int n, int t) {
+  BallsInBinsTable dp(n, t);
+  TransitionMatrix m(t + 1);
+  for (int i = 0; i <= t; ++i) {
+    for (int j = 0; j <= t; ++j) {
+      m.data_[i * m.dim_ + j] = dp.Transition(i, j);
+    }
+  }
+  return m;
+}
+
+TransitionMatrix TransitionMatrix::Multiply(const TransitionMatrix& other) const {
+  assert(dim_ == other.dim_);
+  TransitionMatrix out(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    for (size_t k = 0; k < dim_; ++k) {
+      const double v = data_[i * dim_ + k];
+      if (v == 0.0) continue;
+      for (size_t j = 0; j < dim_; ++j) {
+        out.data_[i * dim_ + j] += v * other.data_[k * dim_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+TransitionMatrix TransitionMatrix::Power(int r) const {
+  assert(r >= 0);
+  TransitionMatrix result(dim_);
+  for (size_t i = 0; i < dim_; ++i) result.data_[i * dim_ + i] = 1.0;
+  TransitionMatrix base = *this;
+  while (r > 0) {
+    if (r & 1) result = result.Multiply(base);
+    r >>= 1;
+    if (r > 0) base = base.Multiply(base);
+  }
+  return result;
+}
+
+double TransitionMatrix::RowSum(int i) const {
+  double sum = 0.0;
+  for (size_t j = 0; j < dim_; ++j) sum += data_[i * dim_ + j];
+  return sum;
+}
+
+}  // namespace pbs

@@ -1,0 +1,111 @@
+#include "pbs/sim/gossip.h"
+
+#include "pbs/common/rng.h"
+#include "pbs/core/pbs_endpoints.h"
+
+namespace pbs {
+
+namespace {
+
+// Runs one pairwise PBS session; applies the difference to both peers.
+// Returns bytes used, or 0 on failure (round cap exceeded).
+size_t ReconcilePeers(std::unordered_set<uint64_t>* alice_set,
+                      std::unordered_set<uint64_t>* bob_set,
+                      const PbsConfig& config, uint64_t seed,
+                      bool* ok) {
+  std::vector<uint64_t> a(alice_set->begin(), alice_set->end());
+  std::vector<uint64_t> b(bob_set->begin(), bob_set->end());
+  PbsAlice alice(std::move(a), config, seed);
+  PbsBob bob(std::move(b), config, seed);
+
+  size_t bytes = 0;
+  {
+    const auto request = alice.MakeEstimateRequest();
+    const auto reply = bob.HandleEstimateRequest(request);
+    alice.HandleEstimateReply(reply);
+    bytes += request.size() + reply.size();
+  }
+  bool finished = false;
+  while (!finished && alice.round() < config.max_rounds) {
+    const auto request = alice.MakeRoundRequest();
+    const auto reply = bob.HandleRoundRequest(request);
+    finished = alice.HandleRoundReply(reply);
+    bytes += request.size() + reply.size();
+  }
+  *ok = finished;
+  if (!finished) return bytes;
+
+  // Both sides adopt the union: Alice learns the full difference; the
+  // elements only she had are "pushed" to Bob (their payload transfer is
+  // outside the reconciliation byte count, as in the paper).
+  for (uint64_t e : alice.Difference()) {
+    if (!alice_set->count(e)) alice_set->insert(e);
+  }
+  for (uint64_t e : alice.ElementsOnlyInA()) bob_set->insert(e);
+  // Elements only Bob had are now in Alice's set via the difference; Bob
+  // already has them.
+  return bytes;
+}
+
+}  // namespace
+
+GossipResult RunGossip(const GossipConfig& config) {
+  GossipResult result;
+  Xoshiro256 rng(config.seed);
+  const uint64_t mask = config.sig_bits >= 64
+                            ? ~uint64_t{0}
+                            : (uint64_t{1} << config.sig_bits) - 1;
+
+  // Build peer sets: shared history + per-peer fresh elements.
+  std::vector<std::unordered_set<uint64_t>> peers(config.num_peers);
+  std::unordered_set<uint64_t> used;
+  auto fresh_element = [&]() {
+    while (true) {
+      const uint64_t v = rng.Next() & mask;
+      if (v != 0 && used.insert(v).second) return v;
+    }
+  };
+  for (size_t i = 0; i < config.shared_elements; ++i) {
+    const uint64_t v = fresh_element();
+    for (auto& peer : peers) peer.insert(v);
+  }
+  for (auto& peer : peers) {
+    for (size_t i = 0; i < config.fresh_per_peer; ++i) {
+      peer.insert(fresh_element());
+    }
+  }
+
+  // Topology: provided edges or complete graph.
+  std::vector<std::pair<int, int>> edges = config.topology;
+  if (edges.empty()) {
+    for (int i = 0; i < config.num_peers; ++i) {
+      for (int j = i + 1; j < config.num_peers; ++j) edges.emplace_back(i, j);
+    }
+  }
+
+  auto all_equal = [&peers]() {
+    for (size_t p = 1; p < peers.size(); ++p) {
+      if (peers[p] != peers[0]) return false;
+    }
+    return true;
+  };
+
+  while (result.sweeps < config.max_sweeps && !all_equal()) {
+    ++result.sweeps;
+    for (const auto& [i, j] : edges) {
+      bool ok = false;
+      result.naive_bytes += peers[j].size() * (config.sig_bits / 8);
+      result.pbs_bytes += ReconcilePeers(
+          &peers[i], &peers[j], config.pbs,
+          config.seed * 1000003 + result.sweeps * 131 + i * 17 + j, &ok);
+      ++result.reconciliations;
+      if (!ok) ++result.failed_sessions;
+    }
+  }
+
+  result.converged = all_equal();
+  result.final_set_size = peers[0].size();
+  return result;
+}
+
+}  // namespace pbs

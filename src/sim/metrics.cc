@@ -1,0 +1,87 @@
+#include "pbs/sim/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pbs {
+
+ResultTable::ResultTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ResultTable::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  {
+    size_t total = 0;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      total += widths[c] + (c == 0 ? 0 : 2);
+    }
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit_row(row);
+
+  os << "# csv: ";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << columns_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << "# csv: ";
+    for (size_t c = 0; c < row.size(); ++c) os << (c == 0 ? "" : ",") << row[c];
+    os << '\n';
+  }
+  return os.str();
+}
+
+void ResultTable::Print() const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatScientific(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace pbs

@@ -1,0 +1,204 @@
+#include "pbs/sim/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "pbs/baselines/ddigest.h"
+#include "pbs/baselines/graphene.h"
+#include "pbs/baselines/pinsketch.h"
+#include "pbs/baselines/pinsketch_wp.h"
+#include "pbs/core/reconciler.h"
+#include "pbs/estimator/tow.h"
+
+namespace pbs {
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kPbs: return "PBS";
+    case Scheme::kPinSketch: return "PinSketch";
+    case Scheme::kDDigest: return "D.Digest";
+    case Scheme::kGraphene: return "Graphene";
+    case Scheme::kPinSketchWp: return "PinSketch/WP";
+  }
+  return "?";
+}
+
+namespace {
+
+bool DifferenceMatches(std::vector<uint64_t> got,
+                       std::vector<uint64_t> truth) {
+  std::sort(got.begin(), got.end());
+  std::sort(truth.begin(), truth.end());
+  return got == truth;
+}
+
+}  // namespace
+
+InstanceOutcome RunInstance(Scheme scheme, const ExperimentConfig& config,
+                            const SetPair& pair, uint64_t seed) {
+  InstanceOutcome outcome;
+
+  // Estimation phase, shared across schemes (Section 6.2). The shortcut is
+  // statistically identical to the full exchange; see runner.h.
+  double d_hat = static_cast<double>(pair.truth_diff.size());
+  if (config.use_estimator) {
+    d_hat = TowEstimateFromDifference(pair.truth_diff, config.pbs.ell,
+                                      seed ^ 0xE571A70Eull);
+  }
+  const int d_raw = std::max(0, static_cast<int>(std::llround(d_hat)));
+  const int d_inflated = InflateEstimate(d_hat, config.pbs.gamma);
+
+  switch (scheme) {
+    case Scheme::kPbs: {
+      PbsConfig cfg = config.pbs;
+      cfg.sig_bits = config.sig_bits;
+      PbsResult r = PbsSession::Reconcile(pair.a, pair.b, cfg, seed,
+                                          d_inflated, nullptr);
+      outcome.correct =
+          r.success && DifferenceMatches(r.difference, pair.truth_diff);
+      outcome.bytes = r.data_bytes;
+      if (config.report_sig_bits > config.sig_bits) {
+        // Appendix J.3 accounting: XOR sums and checksums scale with the
+        // signature width; sketches and positions do not.
+        const double extra_per_sig =
+            static_cast<double>(config.report_sig_bits - config.sig_bits) /
+            8.0;
+        const double sig_fields =
+            static_cast<double>(pair.truth_diff.size()) +  // XOR sums.
+            static_cast<double>(r.plan.params.g);          // Checksums.
+        outcome.bytes += static_cast<size_t>(extra_per_sig * sig_fields);
+      }
+      outcome.encode_seconds = r.encode_seconds;
+      outcome.decode_seconds = r.decode_seconds;
+      outcome.rounds = r.rounds;
+      break;
+    }
+    case Scheme::kPinSketch: {
+      const int t = std::max(1, d_inflated);
+      BaselineOutcome r =
+          PinSketchReconcile(pair.a, pair.b, t, config.sig_bits, seed);
+      outcome.correct =
+          r.success && DifferenceMatches(r.difference, pair.truth_diff);
+      outcome.bytes = r.data_bytes;
+      outcome.encode_seconds = r.encode_seconds;
+      outcome.decode_seconds = r.decode_seconds;
+      outcome.rounds = r.rounds;
+      break;
+    }
+    case Scheme::kDDigest: {
+      BaselineOutcome r =
+          DDigestReconcile(pair.a, pair.b, std::max(d_raw, 1),
+                           config.sig_bits, seed);
+      outcome.correct =
+          r.success && DifferenceMatches(r.difference, pair.truth_diff);
+      outcome.bytes = r.data_bytes;
+      outcome.encode_seconds = r.encode_seconds;
+      outcome.decode_seconds = r.decode_seconds;
+      outcome.rounds = r.rounds;
+      break;
+    }
+    case Scheme::kGraphene: {
+      BaselineOutcome r = GrapheneReconcile(pair.a, pair.b,
+                                            std::max(d_inflated, 1),
+                                            config.sig_bits, seed);
+      outcome.correct =
+          r.success && DifferenceMatches(r.difference, pair.truth_diff);
+      outcome.bytes = r.data_bytes;
+      outcome.encode_seconds = r.encode_seconds;
+      outcome.decode_seconds = r.decode_seconds;
+      outcome.rounds = r.rounds;
+      break;
+    }
+    case Scheme::kPinSketchWp: {
+      // Same delta and t as PBS (Section 8.3): derive t from the PBS plan.
+      PbsConfig cfg = config.pbs;
+      cfg.sig_bits = config.sig_bits;
+      const PbsPlan plan = PlanFor(cfg, d_inflated);
+      BaselineOutcome r = PinSketchWpReconcile(
+          pair.a, pair.b, d_inflated, cfg.delta, plan.params.t,
+          config.sig_bits, cfg.max_rounds, seed, config.report_sig_bits);
+      outcome.correct =
+          r.success && DifferenceMatches(r.difference, pair.truth_diff);
+      outcome.bytes = r.data_bytes;
+      outcome.encode_seconds = r.encode_seconds;
+      outcome.decode_seconds = r.decode_seconds;
+      outcome.rounds = r.rounds;
+      break;
+    }
+  }
+  return outcome;
+}
+
+RunStats RunSchemeWithCallback(
+    Scheme scheme, const ExperimentConfig& config,
+    const std::function<void(const InstanceOutcome&)>& callback) {
+  RunStats stats;
+  stats.instances = config.instances;
+
+  auto run_one = [&](int i) {
+    const uint64_t instance_seed =
+        config.seed * 0x9E3779B97F4A7C15ull + 0xABCDEFull * (i + 1);
+    const SetPair pair = GenerateSetPair(config.set_size, config.d,
+                                         config.sig_bits, instance_seed);
+    return RunInstance(scheme, config, pair, instance_seed ^ 0x5CE1E);
+  };
+  auto accumulate = [&stats](const InstanceOutcome& outcome) {
+    stats.success_rate += outcome.correct ? 1.0 : 0.0;
+    stats.mean_bytes += static_cast<double>(outcome.bytes);
+    stats.mean_encode_seconds += outcome.encode_seconds;
+    stats.mean_decode_seconds += outcome.decode_seconds;
+    stats.mean_rounds += outcome.rounds;
+  };
+
+  int threads = config.threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::clamp(threads, 1, std::max(1, config.instances));
+
+  if (threads == 1) {
+    for (int i = 0; i < config.instances; ++i) {
+      const InstanceOutcome outcome = run_one(i);
+      accumulate(outcome);
+      if (callback) callback(outcome);
+    }
+  } else {
+    std::vector<InstanceOutcome> outcomes(config.instances);
+    std::atomic<int> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&] {
+        for (int i = next.fetch_add(1); i < config.instances;
+             i = next.fetch_add(1)) {
+          outcomes[i] = run_one(i);
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    for (const InstanceOutcome& outcome : outcomes) {
+      accumulate(outcome);
+      if (callback) callback(outcome);
+    }
+  }
+  const double n = std::max(config.instances, 1);
+  stats.success_rate /= n;
+  stats.mean_bytes /= n;
+  stats.mean_encode_seconds /= n;
+  stats.mean_decode_seconds /= n;
+  stats.mean_rounds /= n;
+  const int effective_sig =
+      config.report_sig_bits > 0 ? config.report_sig_bits : config.sig_bits;
+  const double minimum =
+      static_cast<double>(config.d) * effective_sig / 8.0;
+  stats.overhead_ratio = minimum > 0 ? stats.mean_bytes / minimum : 0.0;
+  return stats;
+}
+
+RunStats RunScheme(Scheme scheme, const ExperimentConfig& config) {
+  return RunSchemeWithCallback(scheme, config, nullptr);
+}
+
+}  // namespace pbs

@@ -1,0 +1,71 @@
+#include "pbs/sim/workload.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+
+namespace {
+
+// Draws `count` distinct nonzero values of `sig_bits` width not already in
+// `used`, appending them to `used` and returning them.
+std::vector<uint64_t> DrawDistinct(size_t count, int sig_bits,
+                                   std::unordered_set<uint64_t>* used,
+                                   Xoshiro256* rng) {
+  const uint64_t mask = sig_bits >= 64 ? ~uint64_t{0}
+                                       : (uint64_t{1} << sig_bits) - 1;
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const uint64_t v = rng->Next() & mask;
+    if (v == 0) continue;  // 0 is excluded from the universe (Section 2.1).
+    if (used->insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+SetPair GenerateSetPair(size_t size_a, size_t d, int sig_bits, uint64_t seed) {
+  assert(d <= size_a);
+  Xoshiro256 rng(seed);
+  std::unordered_set<uint64_t> used;
+  used.reserve(size_a * 2);
+
+  SetPair pair;
+  pair.a = DrawDistinct(size_a, sig_bits, &used, &rng);
+
+  // Remove d random positions from A to form B: Fisher-Yates the first d
+  // slots, which leaves a[0..d) as the exclusive elements.
+  for (size_t i = 0; i < d; ++i) {
+    const size_t j = i + static_cast<size_t>(rng.NextBounded(size_a - i));
+    std::swap(pair.a[i], pair.a[j]);
+  }
+  pair.truth_diff.assign(pair.a.begin(), pair.a.begin() + d);
+  pair.b.assign(pair.a.begin() + d, pair.a.end());
+  return pair;
+}
+
+SetPair GenerateTwoSidedPair(size_t common, size_t d_a_only, size_t d_b_only,
+                             int sig_bits, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::unordered_set<uint64_t> used;
+  used.reserve((common + d_a_only + d_b_only) * 2);
+
+  const auto shared = DrawDistinct(common, sig_bits, &used, &rng);
+  const auto a_only = DrawDistinct(d_a_only, sig_bits, &used, &rng);
+  const auto b_only = DrawDistinct(d_b_only, sig_bits, &used, &rng);
+
+  SetPair pair;
+  pair.a = shared;
+  pair.a.insert(pair.a.end(), a_only.begin(), a_only.end());
+  pair.b = shared;
+  pair.b.insert(pair.b.end(), b_only.begin(), b_only.end());
+  pair.truth_diff = a_only;
+  pair.truth_diff.insert(pair.truth_diff.end(), b_only.begin(), b_only.end());
+  return pair;
+}
+
+}  // namespace pbs

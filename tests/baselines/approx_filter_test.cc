@@ -1,0 +1,83 @@
+#include "pbs/baselines/approx_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+class ApproxBothKinds : public ::testing::TestWithParam<FilterKind> {};
+
+TEST_P(ApproxBothKinds, HighRecallAtLowFpr) {
+  SetPair pair = GenerateTwoSidedPair(5000, 100, 80, 32, 1);
+  auto out = ApproxFilterReconcile(pair.a, pair.b, GetParam(), 0.001, 7);
+  out.recall = EvaluateRecall(out, pair.truth_diff);
+  EXPECT_GE(out.recall, 0.95);
+}
+
+TEST_P(ApproxBothKinds, NoFalseDifferences) {
+  // Everything reported must truly be a difference (filters have no false
+  // negatives, so common elements are never reported).
+  SetPair pair = GenerateTwoSidedPair(3000, 40, 40, 32, 2);
+  auto out = ApproxFilterReconcile(pair.a, pair.b, GetParam(), 0.01, 9);
+  std::unordered_set<uint64_t> truth(pair.truth_diff.begin(),
+                                     pair.truth_diff.end());
+  for (uint64_t e : out.estimated_diff) {
+    EXPECT_TRUE(truth.count(e)) << e;
+  }
+}
+
+TEST_P(ApproxBothKinds, UnderestimationAtHighFpr) {
+  // The Section-7 point: with a loose filter the scheme misses a
+  // noticeable share of real differences.
+  SetPair pair = GenerateTwoSidedPair(20000, 400, 400, 32, 3);
+  auto out = ApproxFilterReconcile(pair.a, pair.b, GetParam(), 0.10, 11);
+  const double recall = EvaluateRecall(out, pair.truth_diff);
+  EXPECT_LT(recall, 0.995);  // Imperfect...
+  EXPECT_GT(recall, 0.5);    // ...but not useless.
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ApproxBothKinds,
+                         ::testing::Values(FilterKind::kBloom,
+                                           FilterKind::kCuckoo),
+                         [](const auto& info) {
+                           return info.param == FilterKind::kBloom ? "Bloom"
+                                                                   : "Cuckoo";
+                         });
+
+TEST(ApproxFilter, TighterFprImprovesRecallAndCostsBytes) {
+  SetPair pair = GenerateTwoSidedPair(10000, 200, 200, 32, 4);
+  auto loose = ApproxFilterReconcile(pair.a, pair.b, FilterKind::kBloom,
+                                     0.05, 13);
+  auto tight = ApproxFilterReconcile(pair.a, pair.b, FilterKind::kBloom,
+                                     0.001, 13);
+  EXPECT_GE(EvaluateRecall(tight, pair.truth_diff),
+            EvaluateRecall(loose, pair.truth_diff));
+  EXPECT_GT(tight.data_bytes, loose.data_bytes);
+}
+
+TEST(ApproxFilter, FilterCostScalesWithSetsNotDifference) {
+  // The structural reason exact schemes win when d << |A|: filter bytes
+  // are O(|A| + |B|) regardless of d.
+  SetPair small_d = GenerateSetPair(20000, 10, 32, 5);
+  SetPair large_d = GenerateSetPair(20000, 1000, 32, 6);
+  auto a = ApproxFilterReconcile(small_d.a, small_d.b, FilterKind::kBloom,
+                                 0.01, 15);
+  auto b = ApproxFilterReconcile(large_d.a, large_d.b, FilterKind::kBloom,
+                                 0.01, 15);
+  EXPECT_NEAR(static_cast<double>(a.data_bytes), b.data_bytes,
+              0.05 * a.data_bytes);
+}
+
+TEST(ApproxFilter, RecallOfEmptyTruthIsOne) {
+  SetPair pair = GenerateSetPair(1000, 0, 32, 7);
+  auto out =
+      ApproxFilterReconcile(pair.a, pair.b, FilterKind::kCuckoo, 0.01, 17);
+  EXPECT_EQ(EvaluateRecall(out, pair.truth_diff), 1.0);
+}
+
+}  // namespace
+}  // namespace pbs

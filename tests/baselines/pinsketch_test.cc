@@ -1,0 +1,71 @@
+#include "pbs/baselines/pinsketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+bool Matches(std::vector<uint64_t> got, std::vector<uint64_t> want) {
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  return got == want;
+}
+
+TEST(PinSketch, IdenticalSets) {
+  SetPair pair = GenerateSetPair(2000, 0, 32, 1);
+  auto out = PinSketchReconcile(pair.a, pair.b, 5, 32, 1);
+  EXPECT_TRUE(out.success);
+  EXPECT_TRUE(out.difference.empty());
+}
+
+class PinSketchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PinSketchSweep, ExactRecoveryWithinCapacity) {
+  const int d = GetParam();
+  SetPair pair = GenerateSetPair(std::max(2000, 3 * d), d, 32, 10 + d);
+  const int t = static_cast<int>(std::ceil(1.38 * d));
+  auto out = PinSketchReconcile(pair.a, pair.b, t, 32, d);
+  ASSERT_TRUE(out.success);
+  EXPECT_TRUE(Matches(out.difference, pair.truth_diff));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ds, PinSketchSweep,
+                         ::testing::Values(1, 3, 10, 50, 200));
+
+TEST(PinSketch, WireSizeIsTLogU) {
+  SetPair pair = GenerateSetPair(1000, 10, 32, 3);
+  auto out = PinSketchReconcile(pair.a, pair.b, 14, 32, 3);
+  EXPECT_EQ(out.data_bytes, 14u * 32 / 8);
+}
+
+TEST(PinSketch, OverCapacityDetected) {
+  SetPair pair = GenerateSetPair(2000, 40, 32, 5);
+  auto out = PinSketchReconcile(pair.a, pair.b, 10, 32, 5);
+  EXPECT_FALSE(out.success);
+}
+
+TEST(PinSketch, CommunicationNearOptimal) {
+  // 1.38x the minimum: the paper's Figure 1b observation.
+  const int d = 100;
+  SetPair pair = GenerateSetPair(5000, d, 32, 7);
+  const int t = static_cast<int>(std::ceil(1.38 * d));
+  auto out = PinSketchReconcile(pair.a, pair.b, t, 32, 7);
+  ASSERT_TRUE(out.success);
+  const double ratio = static_cast<double>(out.data_bytes) / (d * 4.0);
+  EXPECT_NEAR(ratio, 1.38, 0.02);
+}
+
+TEST(PinSketch, TwoSidedDifference) {
+  SetPair pair = GenerateTwoSidedPair(1500, 12, 9, 32, 9);
+  auto out = PinSketchReconcile(pair.a, pair.b, 30, 32, 9);
+  ASSERT_TRUE(out.success);
+  EXPECT_TRUE(Matches(out.difference, pair.truth_diff));
+}
+
+}  // namespace
+}  // namespace pbs

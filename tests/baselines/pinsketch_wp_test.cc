@@ -1,0 +1,80 @@
+#include "pbs/baselines/pinsketch_wp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+bool Matches(std::vector<uint64_t> got, std::vector<uint64_t> want) {
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  return got == want;
+}
+
+TEST(PinSketchWp, IdenticalSets) {
+  SetPair pair = GenerateSetPair(2000, 0, 32, 1);
+  auto out = PinSketchWpReconcile(pair.a, pair.b, 0, 5, 13, 32, 3, 1);
+  EXPECT_TRUE(out.success);
+  EXPECT_TRUE(out.difference.empty());
+}
+
+class PinSketchWpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PinSketchWpSweep, RecoversDifference) {
+  const int d = GetParam();
+  int ok = 0;
+  constexpr int kTrials = 8;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SetPair pair =
+        GenerateSetPair(std::max(2000, 4 * d), d, 32, 13 * d + trial);
+    auto out =
+        PinSketchWpReconcile(pair.a, pair.b, d, 5, 13, 32, 3, trial);
+    if (out.success) {
+      EXPECT_TRUE(Matches(out.difference, pair.truth_diff)) << "d=" << d;
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, kTrials - 1) << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ds, PinSketchWpSweep,
+                         ::testing::Values(5, 25, 100, 500));
+
+TEST(PinSketchWp, CommunicationExceedsPbsMarginRatio) {
+  // Per-group overhead: sketch t*32 bits vs PBS's t*log n. With t=13 and
+  // g = d/5 groups, PinSketch/WP costs >= g * t * 32 bits.
+  const int d = 250;
+  SetPair pair = GenerateSetPair(5000, d, 32, 3);
+  auto out = PinSketchWpReconcile(pair.a, pair.b, d, 5, 13, 32, 3, 3);
+  ASSERT_TRUE(out.success);
+  EXPECT_GE(out.data_bytes, static_cast<size_t>(d / 5) * 13 * 32 / 8);
+}
+
+TEST(PinSketchWp, ReportSigBitsScalesAccounting) {
+  const int d = 100;
+  SetPair pair = GenerateSetPair(3000, d, 32, 5);
+  auto out32 = PinSketchWpReconcile(pair.a, pair.b, d, 5, 13, 32, 3, 5, 0);
+  auto out256 =
+      PinSketchWpReconcile(pair.a, pair.b, d, 5, 13, 32, 3, 5, 256);
+  ASSERT_TRUE(out32.success);
+  ASSERT_TRUE(out256.success);
+  // Appendix J.3: at 256-bit signatures everything scales by ~8x.
+  EXPECT_NEAR(static_cast<double>(out256.data_bytes) / out32.data_bytes, 8.0,
+              0.5);
+}
+
+TEST(PinSketchWp, SplitsHandleOverloadedGroups) {
+  // Underestimate d so several groups exceed t; splits must still converge
+  // given enough rounds.
+  SetPair pair = GenerateSetPair(4000, 120, 32, 7);
+  auto out = PinSketchWpReconcile(pair.a, pair.b, 30, 5, 13, 32, 8, 7);
+  EXPECT_TRUE(out.success);
+  EXPECT_TRUE(Matches(out.difference, pair.truth_diff));
+}
+
+}  // namespace
+}  // namespace pbs

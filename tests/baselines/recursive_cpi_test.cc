@@ -1,0 +1,80 @@
+#include "pbs/baselines/recursive_cpi.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+bool Matches(std::vector<uint64_t> got, std::vector<uint64_t> want) {
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  return got == want;
+}
+
+TEST(RecursiveCpi, IdenticalSetsOneRound) {
+  SetPair pair = GenerateSetPair(2000, 0, 32, 1);
+  auto out = RecursiveCpiReconcile(pair.a, pair.b, 5, 32, 32, 1);
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(out.rounds, 1);
+  EXPECT_TRUE(out.difference.empty());
+}
+
+TEST(RecursiveCpi, SmallDifferenceWithinCapacityOneRound) {
+  SetPair pair = GenerateSetPair(2000, 4, 32, 2);
+  auto out = RecursiveCpiReconcile(pair.a, pair.b, 5, 32, 32, 2);
+  ASSERT_TRUE(out.success);
+  EXPECT_EQ(out.rounds, 1);
+  EXPECT_TRUE(Matches(out.difference, pair.truth_diff));
+}
+
+class RecursiveCpiSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecursiveCpiSweep, ConvergesToExactDifference) {
+  const int d = GetParam();
+  SetPair pair = GenerateSetPair(std::max(2000, 3 * d), d, 32, 3 + d);
+  auto out = RecursiveCpiReconcile(pair.a, pair.b, 5, 32, 40, 3);
+  ASSERT_TRUE(out.success) << "d=" << d;
+  EXPECT_TRUE(Matches(out.difference, pair.truth_diff));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ds, RecursiveCpiSweep,
+                         ::testing::Values(1, 10, 50, 200, 800));
+
+TEST(RecursiveCpi, RoundsGrowLogarithmically) {
+  // The Section-7 claim PBS improves on: O(log d) rounds of exchange.
+  double prev_rounds = 0;
+  for (int d : {8, 64, 512}) {
+    SetPair pair = GenerateSetPair(4 * d, d, 32, 100 + d);
+    auto out = RecursiveCpiReconcile(pair.a, pair.b, 5, 32, 40, 5);
+    ASSERT_TRUE(out.success);
+    EXPECT_GE(out.rounds, prev_rounds) << "d=" << d;
+    // Within a couple of rounds of log2(d / t-bar) + constant.
+    EXPECT_LE(out.rounds, std::log2(d) + 4) << "d=" << d;
+    prev_rounds = out.rounds;
+  }
+}
+
+TEST(RecursiveCpi, NeedsMoreRoundsThanPbsTarget) {
+  // At d = 500 the recursion needs well over the r = 3 PBS budget.
+  SetPair pair = GenerateSetPair(2000, 500, 32, 7);
+  auto capped = RecursiveCpiReconcile(pair.a, pair.b, 5, 32, 3, 7);
+  EXPECT_FALSE(capped.success);
+  auto uncapped = RecursiveCpiReconcile(pair.a, pair.b, 5, 32, 40, 7);
+  EXPECT_TRUE(uncapped.success);
+  EXPECT_GT(uncapped.rounds, 3);
+}
+
+TEST(RecursiveCpi, TwoSidedDifference) {
+  SetPair pair = GenerateTwoSidedPair(1500, 30, 20, 32, 9);
+  auto out = RecursiveCpiReconcile(pair.a, pair.b, 5, 32, 40, 9);
+  ASSERT_TRUE(out.success);
+  EXPECT_TRUE(Matches(out.difference, pair.truth_diff));
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,105 @@
+#include "pbs/bch/channel_code.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint8_t> RandomMessage(int bits, Xoshiro256* rng) {
+  std::vector<uint8_t> message(bits);
+  for (auto& bit : message) bit = rng->Next() & 1;
+  return message;
+}
+
+TEST(ChannelCode, RateMatchesAppendixI) {
+  // n = 2^m - 1 total, t*m check bits, n - t*m message bits.
+  BchChannelCode code(8, 5);
+  EXPECT_EQ(code.block_bits(), 255);
+  EXPECT_EQ(code.check_bits(), 40);
+  EXPECT_EQ(code.message_bits(), 215);
+}
+
+TEST(ChannelCode, CleanBlockRoundTrips) {
+  BchChannelCode code(8, 5);
+  Xoshiro256 rng(1);
+  const auto message = RandomMessage(code.message_bits(), &rng);
+  const auto block = code.Encode(message);
+  EXPECT_EQ(static_cast<int>(block.size()), code.block_bits());
+  auto decoded = code.Decode(block);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+class ChannelErrors : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelErrors, MessageBitErrorsCorrected) {
+  const int errors = GetParam();
+  BchChannelCode code(9, 8);
+  Xoshiro256 rng(10 + errors);
+  const auto message = RandomMessage(code.message_bits(), &rng);
+  auto block = code.Encode(message);
+  std::set<int> positions;
+  while (static_cast<int>(positions.size()) < errors) {
+    positions.insert(
+        static_cast<int>(rng.NextBounded(code.message_bits())));
+  }
+  for (int pos : positions) block[pos] ^= 1;
+  auto decoded = code.Decode(block);
+  ASSERT_TRUE(decoded.has_value()) << errors << " errors";
+  EXPECT_EQ(*decoded, message);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ChannelErrors,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(ChannelCode, CheckBitErrorsToleratedWhenMessageClean) {
+  BchChannelCode code(8, 5);
+  Xoshiro256 rng(3);
+  const auto message = RandomMessage(code.message_bits(), &rng);
+  auto block = code.Encode(message);
+  // Flip three check bits.
+  block[code.message_bits() + 1] ^= 1;
+  block[code.message_bits() + 7] ^= 1;
+  block[code.message_bits() + 20] ^= 1;
+  auto decoded = code.Decode(block);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(ChannelCode, FarTooManyErrorsDetectedOrConsistent) {
+  BchChannelCode code(8, 4);
+  Xoshiro256 rng(5);
+  const auto message = RandomMessage(code.message_bits(), &rng);
+  auto block = code.Encode(message);
+  for (int i = 0; i < 40; ++i) {
+    block[rng.NextBounded(code.block_bits())] ^= 1;
+  }
+  auto decoded = code.Decode(block);
+  if (decoded.has_value()) {
+    // Any accepted decode must re-encode to within t of the received
+    // block (the decoder's acceptance contract).
+    const auto reencoded = code.Encode(*decoded);
+    int mismatches = 0;
+    for (int i = 0; i < code.block_bits(); ++i) {
+      if (reencoded[i] != block[i]) ++mismatches;
+    }
+    EXPECT_LE(mismatches, 4);
+  }
+}
+
+TEST(ChannelCode, PbsModeCarriesMoreMessageBitsThanChannelMode) {
+  // The Appendix-I comparison, executable: for the same (n, t), PBS's
+  // reliable-codeword setting leaves all n bits for the "message" (the
+  // parity bitmap), while the noisy-channel mode only n - t*m.
+  BchChannelCode code(7, 13);
+  EXPECT_EQ(code.block_bits(), 127);     // PBS: bitmap length n = 127.
+  EXPECT_EQ(code.message_bits(), 36);    // Channel mode: 127 - 13*7.
+  EXPECT_LT(code.message_bits(), code.block_bits());
+}
+
+}  // namespace
+}  // namespace pbs

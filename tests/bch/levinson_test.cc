@@ -1,0 +1,130 @@
+#include "pbs/bch/levinson.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pbs/bch/berlekamp_massey.h"
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint64_t> SyndromesOf(const GF2m& f,
+                                  const std::vector<uint64_t>& locators,
+                                  int t) {
+  std::vector<uint64_t> s(2 * t, 0);
+  for (uint64_t x : locators) {
+    uint64_t p = 1;
+    for (int k = 1; k <= 2 * t; ++k) {
+      p = f.Mul(p, x);
+      s[k - 1] ^= p;
+    }
+  }
+  return s;
+}
+
+std::vector<uint64_t> DistinctNonzero(const GF2m& f, int count,
+                                      Xoshiro256* rng) {
+  std::set<uint64_t> s;
+  while (static_cast<int>(s.size()) < count) {
+    s.insert(rng->NextBounded(f.order()) + 1);
+  }
+  return {s.begin(), s.end()};
+}
+
+TEST(LevinsonSolve, OneByOneSystem) {
+  GF2m f(8);
+  auto x = LevinsonSolveHankel(f, {7}, {21});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(f.Mul(7, (*x)[0]), 21u);
+}
+
+TEST(LevinsonSolve, SingularLeadingEntryRejected) {
+  GF2m f(8);
+  EXPECT_FALSE(LevinsonSolveHankel(f, {0}, {5}).has_value());
+}
+
+TEST(LevinsonSolve, MatchesDirectSubstitutionOnRandomRegularSystems) {
+  GF2m f(11);
+  Xoshiro256 rng(3);
+  int solved = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int v = 2 + static_cast<int>(rng.NextBounded(8));
+    std::vector<uint64_t> h(2 * v - 1), b(v);
+    for (auto& e : h) e = rng.NextBounded(f.order() + 1);
+    for (auto& e : b) e = rng.NextBounded(f.order() + 1);
+    auto x = LevinsonSolveHankel(f, h, b);
+    if (!x.has_value()) continue;  // Irregular instance; allowed.
+    ++solved;
+    // Substitute: H x must equal b.
+    for (int i = 0; i < v; ++i) {
+      uint64_t acc = 0;
+      for (int j = 0; j < v; ++j) acc ^= f.Mul(h[i + j], (*x)[j]);
+      EXPECT_EQ(acc, b[i]) << "trial " << trial << " row " << i;
+    }
+  }
+  EXPECT_GE(solved, 40);  // Random systems are regular w.h.p.
+}
+
+// On regular error-locator instances Levinson must agree with BM.
+class LevinsonVsBm : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LevinsonVsBm, LocatorsAgreeOnRegularInstances) {
+  const auto [m, errors] = GetParam();
+  GF2m f(m);
+  Xoshiro256 rng(m * 17 + errors);
+  int compared = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto locators = DistinctNonzero(f, errors, &rng);
+    const auto syndromes = SyndromesOf(f, locators, errors);
+    auto lev = LevinsonLocator(f, syndromes, errors);
+    if (!lev.has_value()) continue;  // Levinson-irregular; BM handles these.
+    auto bm = BerlekampMassey(f, syndromes);
+    ASSERT_TRUE(bm.IsConsistent());
+    ASSERT_EQ(static_cast<int>(lev->size()) - 1, bm.lambda.degree());
+    for (int j = 0; j <= bm.lambda.degree(); ++j) {
+      EXPECT_EQ((*lev)[j], bm.lambda.coeff(j));
+    }
+    ++compared;
+  }
+  EXPECT_GE(compared, 10) << "too many irregular instances";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LevinsonVsBm,
+                         ::testing::Combine(::testing::Values(8, 11, 32),
+                                            ::testing::Values(2, 5, 9, 13)));
+
+TEST(LevinsonLocator, ZeroErrorsIsConstantOne) {
+  GF2m f(8);
+  auto lambda = LevinsonLocator(f, std::vector<uint64_t>(8, 0), 0);
+  ASSERT_TRUE(lambda.has_value());
+  EXPECT_EQ(*lambda, std::vector<uint64_t>{1});
+}
+
+TEST(LevinsonLocator, InconsistentSyndromesRejected) {
+  // Syndromes of 5 errors cannot be explained with v = 2.
+  GF2m f(11);
+  Xoshiro256 rng(9);
+  const auto locators = DistinctNonzero(f, 5, &rng);
+  const auto syndromes = SyndromesOf(f, locators, 5);
+  EXPECT_FALSE(LevinsonLocator(f, syndromes, 2).has_value());
+}
+
+TEST(LevinsonLocator, QuadraticCostObservation) {
+  // Structural, not a timing assertion: solving v and 2v systems both
+  // succeed on regular instances, exercising the O(v^2) recursion depth.
+  GF2m f(32);
+  Xoshiro256 rng(21);
+  for (int v : {8, 16, 32}) {
+    const auto locators = DistinctNonzero(f, v, &rng);
+    const auto syndromes = SyndromesOf(f, locators, v);
+    auto lambda = LevinsonLocator(f, syndromes, v);
+    if (lambda.has_value()) {
+      EXPECT_EQ(lambda->size(), static_cast<size_t>(v) + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,198 @@
+#include "pbs/bch/power_sum_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint64_t> DistinctNonzero(const GF2m& f, int count,
+                                      Xoshiro256* rng) {
+  std::set<uint64_t> s;
+  while (static_cast<int>(s.size()) < count) {
+    s.insert(rng->NextBounded(f.order()) + 1);
+  }
+  return {s.begin(), s.end()};
+}
+
+TEST(PowerSumSketch, EmptyDecodesToEmptySet) {
+  GF2m f(8);
+  PowerSumSketch s(f, 5);
+  EXPECT_TRUE(s.IsZero());
+  auto decoded = s.Decode();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PowerSumSketch, ToggleTwiceCancels) {
+  GF2m f(8);
+  PowerSumSketch s(f, 5);
+  s.Toggle(100);
+  EXPECT_FALSE(s.IsZero());
+  s.Toggle(100);
+  EXPECT_TRUE(s.IsZero());
+}
+
+TEST(PowerSumSketch, MergeEqualsSymmetricDifference) {
+  GF2m f(10);
+  PowerSumSketch sa(f, 8), sb(f, 8), sd(f, 8);
+  // A = {1,2,3,4}, B = {3,4,5}; A /\triangle B = {1,2,5}.
+  for (uint64_t e : {1, 2, 3, 4}) sa.Toggle(e);
+  for (uint64_t e : {3, 4, 5}) sb.Toggle(e);
+  for (uint64_t e : {1, 2, 5}) sd.Toggle(e);
+  sa.Merge(sb);
+  EXPECT_EQ(sa.odd_syndromes(), sd.odd_syndromes());
+}
+
+TEST(PowerSumSketch, WireSizeIsTTimesM) {
+  GF2m f(11);
+  PowerSumSketch s(f, 13);
+  EXPECT_EQ(s.bit_size(), 13 * 11);
+  BitWriter w;
+  s.Serialize(&w);
+  EXPECT_EQ(w.bit_size(), 13u * 11u);
+}
+
+TEST(PowerSumSketch, SerializeRoundTrips) {
+  GF2m f(11);
+  Xoshiro256 rng(3);
+  PowerSumSketch s(f, 7);
+  for (uint64_t e : DistinctNonzero(f, 5, &rng)) s.Toggle(e);
+  BitWriter w;
+  s.Serialize(&w);
+  BitReader r(w.bytes());
+  PowerSumSketch back = PowerSumSketch::Deserialize(&r, f, 7);
+  EXPECT_EQ(back.odd_syndromes(), s.odd_syndromes());
+}
+
+// Decode must recover exactly the toggled set whenever |set| <= t,
+// across field sizes (Chien + trace paths) and fill levels.
+class SketchRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SketchRoundTrip, DecodesExactSet) {
+  const auto [m, count, t] = GetParam();
+  if (count > t) GTEST_SKIP();
+  GF2m f(m);
+  Xoshiro256 rng(m * 1007 + count * 13 + t);
+  auto elements = DistinctNonzero(f, count, &rng);
+  PowerSumSketch s(f, t);
+  for (uint64_t e : elements) s.Toggle(e);
+  auto decoded = s.Decode();
+  ASSERT_TRUE(decoded.has_value());
+  std::sort(decoded->begin(), decoded->end());
+  EXPECT_EQ(*decoded, elements);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitmapFields, SketchRoundTrip,
+    ::testing::Combine(::testing::Values(6, 7, 8, 9, 10, 11),
+                       ::testing::Values(0, 1, 2, 5, 13, 17),
+                       ::testing::Values(13, 17)));
+
+INSTANTIATE_TEST_SUITE_P(
+    UniverseFields, SketchRoundTrip,
+    ::testing::Combine(::testing::Values(32, 63),
+                       ::testing::Values(0, 1, 5, 13, 40),
+                       ::testing::Values(13, 40)));
+
+// Over capacity: the decoder must report failure, not hallucinate.
+class SketchOverflow : public ::testing::TestWithParam<int> {};
+
+TEST_P(SketchOverflow, OverCapacityDetected) {
+  const int m = GetParam();
+  GF2m f(m);
+  const int t = 5;
+  Xoshiro256 rng(m * 31);
+  int failures = 0;
+  constexpr int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto elements = DistinctNonzero(f, t + 3 + trial % 5, &rng);
+    PowerSumSketch s(f, t);
+    for (uint64_t e : elements) s.Toggle(e);
+    auto decoded = s.Decode(/*verify=*/true);
+    if (!decoded.has_value()) {
+      ++failures;
+      continue;
+    }
+    // If decode "succeeded", verify=true guarantees the result's syndromes
+    // match -- but it must not equal the real set (which has > t elements).
+    EXPECT_LT(decoded->size(), elements.size());
+  }
+  EXPECT_GE(failures, kTrials * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, SketchOverflow,
+                         ::testing::Values(7, 8, 10, 11, 32));
+
+TEST(PowerSumSketch, CapacityExactlyTDecodes) {
+  GF2m f(11);
+  Xoshiro256 rng(8);
+  const int t = 17;
+  auto elements = DistinctNonzero(f, t, &rng);
+  PowerSumSketch s(f, t);
+  for (uint64_t e : elements) s.Toggle(e);
+  auto decoded = s.Decode();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->size(), static_cast<size_t>(t));
+}
+
+TEST(PowerSumSketch, TwoSketchDifferenceDecodesAcrossParties) {
+  // The PinSketch use case: Alice and Bob sketch overlapping sets; the
+  // merged sketch decodes to the symmetric difference.
+  GF2m f(32);
+  Xoshiro256 rng(21);
+  const int t = 10;
+  auto common = DistinctNonzero(f, 500, &rng);
+  PowerSumSketch sa(f, t), sb(f, t);
+  for (uint64_t e : common) {
+    sa.Toggle(e);
+    sb.Toggle(e);
+  }
+  std::vector<uint64_t> diff;
+  for (uint64_t e : DistinctNonzero(f, 600, &rng)) {
+    bool in_common = std::find(common.begin(), common.end(), e) != common.end();
+    if (!in_common && diff.size() < 7) diff.push_back(e);
+  }
+  ASSERT_EQ(diff.size(), 7u);
+  for (size_t i = 0; i < diff.size(); ++i) {
+    (i % 2 == 0 ? sa : sb).Toggle(diff[i]);
+  }
+  sa.Merge(sb);
+  auto decoded = sa.Decode();
+  ASSERT_TRUE(decoded.has_value());
+  std::sort(decoded->begin(), decoded->end());
+  std::sort(diff.begin(), diff.end());
+  EXPECT_EQ(*decoded, diff);
+}
+
+TEST(PowerSumSketch, VerificationCatchesTamperedSyndromes) {
+  GF2m f(8);
+  Xoshiro256 rng(9);
+  PowerSumSketch s(f, 4);
+  for (uint64_t e : DistinctNonzero(f, 3, &rng)) s.Toggle(e);
+  // Corrupt by merging a bogus single-element sketch into only the first
+  // syndrome position via a crafted sketch of capacity 1... simplest:
+  // serialize, flip a bit, deserialize.
+  BitWriter w;
+  s.Serialize(&w);
+  auto bytes = w.TakeBytes();
+  bytes[0] ^= 1;
+  BitReader r(bytes);
+  PowerSumSketch corrupted = PowerSumSketch::Deserialize(&r, f, 4);
+  // Either decode fails, or (rarely) it decodes to some *different* set
+  // that legitimately matches the corrupted syndromes.
+  auto decoded = corrupted.Decode(/*verify=*/true);
+  if (decoded.has_value()) {
+    PowerSumSketch check(f, 4);
+    for (uint64_t e : *decoded) check.Toggle(e);
+    EXPECT_EQ(check.odd_syndromes(), corrupted.odd_syndromes());
+  }
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,128 @@
+#include "pbs/common/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+TEST(BitWriter, EmptyWriterHasNoBytes) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_size(), 0u);
+  EXPECT_EQ(w.byte_size(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitWriter, SingleBitOccupiesOneByte) {
+  BitWriter w;
+  w.WriteBit(true);
+  EXPECT_EQ(w.bit_size(), 1u);
+  EXPECT_EQ(w.byte_size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+}
+
+TEST(BitWriter, BitsPackLsbFirst) {
+  BitWriter w;
+  w.WriteBits(0b1011, 4);
+  w.WriteBits(0b0110, 4);
+  ASSERT_EQ(w.byte_size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b01101011);
+}
+
+TEST(BitWriter, ValueIsMaskedToWidth) {
+  BitWriter w;
+  w.WriteBits(0xFF, 4);  // Only low 4 bits should be kept.
+  ASSERT_EQ(w.byte_size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0x0F);
+}
+
+TEST(BitWriter, ZeroWidthWritesNothing) {
+  BitWriter w;
+  w.WriteBits(123, 0);
+  EXPECT_EQ(w.bit_size(), 0u);
+}
+
+TEST(BitWriter, SixtyFourBitValueRoundTrips) {
+  BitWriter w;
+  const uint64_t v = 0xDEADBEEFCAFEBABEull;
+  w.WriteBits(v, 64);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.ReadBits(64), v);
+}
+
+TEST(BitReader, ReadPastEndSetsOverflow) {
+  BitWriter w;
+  w.WriteBits(0x3, 2);
+  BitReader r(w.bytes());
+  r.ReadBits(8);  // Stream has 8 physical bits (one byte).
+  EXPECT_FALSE(r.overflowed());
+  r.ReadBits(1);
+  EXPECT_TRUE(r.overflowed());
+  EXPECT_EQ(r.ReadBits(5), 0u);  // Subsequent reads return zero.
+}
+
+TEST(BitReader, RemainingBitsTracksPosition) {
+  BitWriter w;
+  w.WriteBits(0xFFFF, 16);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.remaining_bits(), 16u);
+  r.ReadBits(5);
+  EXPECT_EQ(r.remaining_bits(), 11u);
+}
+
+TEST(Varint, SmallValuesUseOneGroup) {
+  BitWriter w;
+  w.WriteVarint(100);
+  EXPECT_EQ(w.bit_size(), 8u);  // 7 payload bits + 1 continuation.
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.ReadVarint(), 100u);
+}
+
+TEST(Varint, LargeValuesRoundTrip) {
+  const uint64_t values[] = {0,    1,     127,        128,
+                             1000, 1u << 20, ~uint64_t{0}};
+  for (uint64_t v : values) {
+    BitWriter w;
+    w.WriteVarint(v);
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.ReadVarint(), v) << "value " << v;
+  }
+}
+
+TEST(BitIo, TakeBytesResetsWriter) {
+  BitWriter w;
+  w.WriteBits(0xAB, 8);
+  auto bytes = w.TakeBytes();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(w.bit_size(), 0u);
+  w.WriteBits(0xCD, 8);
+  EXPECT_EQ(w.bytes()[0], 0xCD);
+}
+
+// Property: any sequence of mixed-width writes reads back identically.
+class BitIoRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitIoRoundTrip, RandomMixedWidths) {
+  Xoshiro256 rng(GetParam());
+  std::vector<std::pair<uint64_t, int>> writes;
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    const int bits = 1 + static_cast<int>(rng.NextBounded(64));
+    uint64_t value = rng.Next();
+    if (bits < 64) value &= (uint64_t{1} << bits) - 1;
+    writes.emplace_back(value, bits);
+    w.WriteBits(value, bits);
+  }
+  BitReader r(w.bytes());
+  for (const auto& [value, bits] : writes) {
+    EXPECT_EQ(r.ReadBits(bits), value);
+  }
+  EXPECT_FALSE(r.overflowed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIoRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,81 @@
+#include "pbs/common/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+TEST(SetChecksum, EmptyIsZero) {
+  SetChecksum c(32);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SetChecksum, AddThenRemoveRestores) {
+  SetChecksum c(32);
+  c.Add(12345);
+  c.Add(67890);
+  c.Remove(12345);
+  c.Remove(67890);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SetChecksum, OrderIndependent) {
+  SetChecksum c1(32), c2(32);
+  c1.Add(1); c1.Add(2); c1.Add(3);
+  c2.Add(3); c2.Add(1); c2.Add(2);
+  EXPECT_EQ(c1.value(), c2.value());
+}
+
+TEST(SetChecksum, WrapsModulo32Bits) {
+  SetChecksum c(32);
+  c.Add(0xFFFFFFFFull);
+  c.Add(1);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SetChecksum, RemoveWrapsBelowZero) {
+  SetChecksum c(32);
+  c.Remove(1);
+  EXPECT_EQ(c.value(), 0xFFFFFFFFull);
+}
+
+TEST(SetChecksum, SixtyFourBitWidth) {
+  SetChecksum c(64);
+  c.Add(~uint64_t{0});
+  c.Add(1);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SetChecksum, DistinguishesDifferentSetsWithHighProbability) {
+  // Sanity: across random distinct small sets the checksum rarely collides.
+  Xoshiro256 rng(7);
+  int collisions = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    SetChecksum c1(32), c2(32);
+    for (int i = 0; i < 5; ++i) c1.Add(rng.Next() & 0xFFFFFFFF);
+    for (int i = 0; i < 5; ++i) c2.Add(rng.Next() & 0xFFFFFFFF);
+    if (c1.value() == c2.value()) ++collisions;
+  }
+  EXPECT_LE(collisions, 2);
+}
+
+TEST(SetChecksum, SymmetricDifferenceVerificationSemantics) {
+  // The Section 2.2.3 identity: c(A /\triangle D) == c(B) when D == A/\triangle B.
+  const std::vector<uint64_t> a = {10, 20, 30, 40};
+  const std::vector<uint64_t> b = {10, 20, 50};
+  // A triangle B = {30, 40, 50}.
+  SetChecksum ca(32);
+  for (auto e : a) ca.Add(e);
+  // Apply D with toggle semantics.
+  ca.Remove(30);
+  ca.Remove(40);
+  ca.Add(50);
+  SetChecksum cb(32);
+  for (auto e : b) cb.Add(e);
+  EXPECT_EQ(ca.value(), cb.value());
+}
+
+}  // namespace
+}  // namespace pbs

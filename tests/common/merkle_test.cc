@@ -1,0 +1,102 @@
+#include "pbs/common/merkle.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint64_t> Leaves(size_t count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> leaves(count);
+  for (auto& leaf : leaves) leaf = rng.Next();
+  return leaves;
+}
+
+TEST(MerkleTree, EmptyTreeHasSentinelRoot) {
+  MerkleTree a({}), b({});
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.leaf_count(), 0u);
+}
+
+TEST(MerkleTree, SingleLeafRootIsLeafHash) {
+  MerkleTree tree({42});
+  EXPECT_EQ(tree.root(), MerkleTree::HashLeaf(42));
+}
+
+TEST(MerkleTree, RootIsDeterministic) {
+  const auto leaves = Leaves(100, 1);
+  EXPECT_EQ(MerkleTree(leaves).root(), MerkleTree(leaves).root());
+}
+
+TEST(MerkleTree, RootSensitiveToAnyLeafChange) {
+  auto leaves = Leaves(50, 2);
+  const uint64_t root = MerkleTree(leaves).root();
+  for (size_t i = 0; i < leaves.size(); i += 7) {
+    auto mutated = leaves;
+    mutated[i] ^= 1;
+    EXPECT_NE(MerkleTree(mutated).root(), root) << "leaf " << i;
+  }
+}
+
+TEST(MerkleTree, RootSensitiveToLeafOrder) {
+  auto leaves = Leaves(8, 3);
+  auto swapped = leaves;
+  std::swap(swapped[0], swapped[7]);
+  EXPECT_NE(MerkleTree(leaves).root(), MerkleTree(swapped).root());
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleProofTest, AllProofsVerify) {
+  const size_t count = GetParam();
+  const auto leaves = Leaves(count, count);
+  MerkleTree tree(leaves);
+  for (size_t i = 0; i < count; ++i) {
+    const auto proof = tree.Prove(i);
+    EXPECT_TRUE(MerkleTree::Verify(leaves[i], proof, tree.root()))
+        << "leaf " << i;
+  }
+}
+
+// Powers of two and awkward odd sizes (odd-node promotion).
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 64, 100, 257));
+
+TEST(MerkleTree, WrongLeafFailsVerification) {
+  const auto leaves = Leaves(16, 5);
+  MerkleTree tree(leaves);
+  const auto proof = tree.Prove(3);
+  EXPECT_FALSE(MerkleTree::Verify(leaves[3] ^ 1, proof, tree.root()));
+}
+
+TEST(MerkleTree, WrongRootFailsVerification) {
+  const auto leaves = Leaves(16, 6);
+  MerkleTree tree(leaves);
+  const auto proof = tree.Prove(3);
+  EXPECT_FALSE(MerkleTree::Verify(leaves[3], proof, tree.root() ^ 1));
+}
+
+TEST(MerkleTree, TamperedProofFailsVerification) {
+  const auto leaves = Leaves(32, 7);
+  MerkleTree tree(leaves);
+  auto proof = tree.Prove(10);
+  proof[1].sibling_digest ^= 0x10;
+  EXPECT_FALSE(MerkleTree::Verify(leaves[10], proof, tree.root()));
+}
+
+TEST(MerkleTree, ProofLengthIsLogarithmic) {
+  const auto leaves = Leaves(256, 8);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.Prove(0).size(), 8u);
+}
+
+TEST(MerkleTree, LeafAndInteriorDomainsSeparated) {
+  // A leaf digest must not be confusable with an interior digest of the
+  // same bytes (second-preimage structure attacks).
+  EXPECT_NE(MerkleTree::HashLeaf(7), MerkleTree::HashInterior(7, 7));
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,82 @@
+#include "pbs/common/mset_hash.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+TEST(MsetHash, EmptyHashesEqual) {
+  EXPECT_TRUE(MsetHash(1) == MsetHash(1));
+}
+
+TEST(MsetHash, SaltSeparatesHashes) {
+  MsetHash a(1), b(2);
+  a.Add(42);
+  b.Add(42);
+  EXPECT_TRUE(a != b);
+}
+
+TEST(MsetHash, OrderIndependent) {
+  MsetHash a(7), b(7);
+  a.Add(1); a.Add(2); a.Add(3);
+  b.Add(3); b.Add(1); b.Add(2);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(MsetHash, AddRemoveRoundTrips) {
+  MsetHash a(7);
+  const MsetHash empty(7);
+  a.Add(100);
+  a.Add(200);
+  a.Remove(100);
+  a.Remove(200);
+  EXPECT_TRUE(a == empty);
+}
+
+TEST(MsetHash, MultiplicityMatters) {
+  // {x, x} must hash differently from {} and from {x} -- the property the
+  // plain XOR of hashes lacks.
+  MsetHash once(3), twice(3), empty(3);
+  once.Add(5);
+  twice.Add(5);
+  twice.Add(5);
+  EXPECT_TRUE(once != twice);
+  EXPECT_TRUE(twice != empty);
+}
+
+TEST(MsetHash, SymmetricDifferenceVerificationSemantics) {
+  // The strong-verification identity: H(A) updated by toggling A triangle B
+  // equals H(B).
+  MsetHash ha(9), hb(9);
+  const std::vector<uint64_t> a = {10, 20, 30, 40};
+  const std::vector<uint64_t> b = {10, 20, 50};
+  for (auto e : a) ha.Add(e);
+  for (auto e : b) hb.Add(e);
+  ha.Remove(30);
+  ha.Remove(40);
+  ha.Add(50);
+  EXPECT_TRUE(ha == hb);
+}
+
+TEST(MsetHash, RandomSetsCollisionFree) {
+  Xoshiro256 rng(11);
+  MsetHash reference(5);
+  for (int i = 0; i < 100; ++i) reference.Add(rng.Next());
+  for (int trial = 0; trial < 500; ++trial) {
+    MsetHash other(5);
+    for (int i = 0; i < 100; ++i) other.Add(rng.Next());
+    EXPECT_TRUE(other != reference);
+  }
+}
+
+TEST(MsetHash, ResetClearsState) {
+  MsetHash a(1);
+  a.Add(99);
+  a.Reset();
+  EXPECT_TRUE(a == MsetHash(1));
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,50 @@
+#include "pbs/common/transcript.h"
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+TEST(Transcript, EmptyTotals) {
+  Transcript t;
+  EXPECT_EQ(t.total_bytes(), 0u);
+  EXPECT_EQ(t.max_round(), 0);
+}
+
+TEST(Transcript, AccumulatesBytes) {
+  Transcript t;
+  t.Record(1, Direction::kAliceToBob, "req", 100);
+  t.Record(1, Direction::kBobToAlice, "rep", 50);
+  t.Record(2, Direction::kAliceToBob, "req", 25);
+  EXPECT_EQ(t.total_bytes(), 175u);
+  EXPECT_EQ(t.max_round(), 2);
+}
+
+TEST(Transcript, PerRoundBreakdown) {
+  Transcript t;
+  t.Record(1, Direction::kAliceToBob, "a", 10);
+  t.Record(2, Direction::kAliceToBob, "b", 20);
+  t.Record(2, Direction::kBobToAlice, "c", 30);
+  EXPECT_EQ(t.BytesInRound(1), 10u);
+  EXPECT_EQ(t.BytesInRound(2), 50u);
+  EXPECT_EQ(t.BytesInRound(3), 0u);
+}
+
+TEST(Transcript, PerDirectionBreakdown) {
+  Transcript t;
+  t.Record(1, Direction::kAliceToBob, "a", 10);
+  t.Record(1, Direction::kBobToAlice, "b", 99);
+  EXPECT_EQ(t.BytesInDirection(Direction::kAliceToBob), 10u);
+  EXPECT_EQ(t.BytesInDirection(Direction::kBobToAlice), 99u);
+}
+
+TEST(Transcript, ClearResets) {
+  Transcript t;
+  t.Record(1, Direction::kAliceToBob, "a", 10);
+  t.Clear();
+  EXPECT_EQ(t.total_bytes(), 0u);
+  EXPECT_TRUE(t.entries().empty());
+}
+
+}  // namespace
+}  // namespace pbs

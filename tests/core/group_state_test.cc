@@ -1,0 +1,112 @@
+#include "pbs/core/group_state.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+TEST(GroupState, RootUnitsHaveDistinctKeys) {
+  HashFamily family(42);
+  std::set<uint64_t> keys;
+  for (uint32_t g = 0; g < 500; ++g) {
+    EXPECT_TRUE(keys.insert(UnitCore::Root(family, g).key).second);
+  }
+}
+
+TEST(GroupState, ChildrenDeterministicAndDistinct) {
+  HashFamily family(42);
+  UnitCore root = UnitCore::Root(family, 3);
+  UnitCore c0 = root.Child(family, 0);
+  UnitCore c0_again = root.Child(family, 0);
+  UnitCore c1 = root.Child(family, 1);
+  EXPECT_EQ(c0.key, c0_again.key);
+  EXPECT_NE(c0.key, c1.key);
+  EXPECT_EQ(c0.depth, 1);
+  EXPECT_EQ(c0.group, 3u);
+  EXPECT_EQ(c0.split_path.size(), 1u);
+}
+
+TEST(GroupState, GroupPartitionIsConsistent) {
+  HashFamily f1(7), f2(7);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.Next();
+    EXPECT_EQ(GroupOf(f1, x, 200), GroupOf(f2, x, 200));
+  }
+}
+
+TEST(GroupState, RootSubUniverseMatchesGroupHash) {
+  HashFamily family(9);
+  Xoshiro256 rng(2);
+  const uint32_t g = 50;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t x = rng.Next();
+    const uint32_t group = GroupOf(family, x, g);
+    for (uint32_t other = 0; other < g; other += 7) {
+      const bool expected = other == group;
+      EXPECT_EQ(UnitCore::Root(family, other).InSubUniverse(family, x, g),
+                expected);
+    }
+  }
+}
+
+TEST(GroupState, SplitPartitionsElementsExactly) {
+  HashFamily family(11);
+  UnitCore root = UnitCore::Root(family, 0);
+  const uint64_t salt = root.SplitSalt(family);
+  Xoshiro256 rng(3);
+  int counts[3] = {};
+  for (int i = 0; i < 30000; ++i) {
+    const uint8_t c = UnitCore::ChildIndexOf(rng.Next(), salt);
+    ASSERT_LT(c, 3);
+    ++counts[c];
+  }
+  // Roughly uniform thirds.
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(GroupState, ChildSubUniverseRequiresFullPath) {
+  HashFamily family(13);
+  const uint32_t g = 10;
+  Xoshiro256 rng(4);
+  UnitCore root = UnitCore::Root(family, 2);
+  const uint64_t salt = root.SplitSalt(family);
+  UnitCore children[3] = {root.Child(family, 0), root.Child(family, 1),
+                          root.Child(family, 2)};
+  int checked = 0;
+  for (int i = 0; i < 50000 && checked < 300; ++i) {
+    const uint64_t x = rng.Next();
+    if (GroupOf(family, x, g) != 2) continue;
+    ++checked;
+    const uint8_t expected = UnitCore::ChildIndexOf(x, salt);
+    for (uint8_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(children[c].InSubUniverse(family, x, g), c == expected);
+    }
+  }
+  EXPECT_GE(checked, 300);
+}
+
+TEST(GroupState, GrandchildrenPathsNested) {
+  HashFamily family(17);
+  UnitCore root = UnitCore::Root(family, 0);
+  UnitCore child = root.Child(family, 1);
+  UnitCore grandchild = child.Child(family, 2);
+  EXPECT_EQ(grandchild.depth, 2);
+  EXPECT_EQ(grandchild.split_path.size(), 2u);
+  EXPECT_EQ(grandchild.split_path[0].second, 1);
+  EXPECT_EQ(grandchild.split_path[1].second, 2);
+}
+
+TEST(GroupState, BinSaltVariesByRound) {
+  HashFamily family(19);
+  UnitCore root = UnitCore::Root(family, 0);
+  EXPECT_NE(root.BinSalt(family, 1), root.BinSalt(family, 2));
+  EXPECT_EQ(root.BinSalt(family, 1), root.BinSalt(family, 1));
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,61 @@
+#include "pbs/core/params.h"
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+TEST(Params, PlanForPaperInstance) {
+  PbsConfig config;
+  const PbsPlan plan = PlanFor(config, 1000);
+  EXPECT_EQ(plan.params.g, 200);
+  EXPECT_EQ(plan.params.n, 127);
+  EXPECT_EQ(plan.params.m, 7);
+  EXPECT_EQ(plan.params.t, 13);
+}
+
+TEST(Params, PlanForZeroDifference) {
+  PbsConfig config;
+  const PbsPlan plan = PlanFor(config, 0);
+  EXPECT_EQ(plan.params.g, 1);
+  EXPECT_GE(plan.params.t, 1);
+  EXPECT_GE(plan.params.n, 63);
+}
+
+TEST(Params, PlanScalesGroupsWithD) {
+  PbsConfig config;
+  EXPECT_EQ(PlanFor(config, 10000).params.g, 2000);
+  EXPECT_EQ(PlanFor(config, 12).params.g, 3);
+}
+
+TEST(Params, FallbackWhenInfeasible) {
+  PbsConfig config;
+  config.target_rounds = 1;  // Infeasible within the default n range.
+  const PbsPlan plan = PlanFor(config, 1000);
+  // Still returns a runnable parameterization (widest corner).
+  EXPECT_GE(plan.params.n, 63);
+  EXPECT_GE(plan.params.t, 5);
+  EXPECT_EQ(plan.params.lower_bound, 0.0);
+}
+
+TEST(Params, InflateEstimateMatchesPaperGamma) {
+  EXPECT_EQ(InflateEstimate(100.0, 1.38), 138);
+  EXPECT_EQ(InflateEstimate(0.0, 1.38), 0);
+  EXPECT_EQ(InflateEstimate(-3.0, 1.38), 0);
+  EXPECT_EQ(InflateEstimate(1.0, 1.38), 2);  // Ceil.
+}
+
+TEST(Params, DeltaSweepChangesGrouping) {
+  for (int delta : {3, 5, 10, 30}) {
+    PbsConfig config;
+    config.delta = delta;
+    config.optimizer.t_low = 1.5;
+    config.optimizer.t_high = 3.5;
+    const PbsPlan plan = PlanFor(config, 3000);
+    EXPECT_EQ(plan.params.g, (3000 + delta - 1) / delta) << "delta=" << delta;
+    EXPECT_GE(plan.params.t, static_cast<int>(1.5 * delta)) << delta;
+  }
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,104 @@
+// Golden wire-format tests: the protocol's serialized layouts, pinned.
+//
+// These tests freeze observable wire properties -- message sizes computed
+// from the plan, field layouts, varint framing -- so that accidental
+// format changes (which would break cross-version interop) fail loudly.
+
+#include <gtest/gtest.h>
+
+#include "pbs/core/messages.h"
+#include "pbs/core/pbs_endpoints.h"
+#include "pbs/estimator/tow.h"
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+TEST(WireFormat, CountBitsWidths) {
+  EXPECT_EQ(wire::BitWidthFor(1), 1);
+  EXPECT_EQ(wire::BitWidthFor(2), 2);
+  EXPECT_EQ(wire::BitWidthFor(13), 4);
+  EXPECT_EQ(wire::BitWidthFor(17), 5);
+  EXPECT_EQ(wire::CountBits(13), 4);
+  EXPECT_EQ(wire::CountBits(16), 5);
+}
+
+TEST(WireFormat, RoundOneRequestIsExactlyGSketches) {
+  SetPair pair = GenerateSetPair(2000, 100, 32, 1);
+  PbsConfig config;
+  PbsAlice alice(pair.a, config, 7);
+  alice.SetDifferenceEstimate(100);
+  const auto& p = alice.plan().params;
+  const auto request = alice.MakeRoundRequest();
+  EXPECT_EQ(request.size(),
+            (static_cast<size_t>(p.g) * p.t * p.m + 7) / 8);
+}
+
+TEST(WireFormat, RoundOneReplyLayout) {
+  // Reply = per unit: 1 fail bit + count + positions + xors + checksum.
+  SetPair pair = GenerateSetPair(2000, 0, 32, 2);  // No differences.
+  PbsConfig config;
+  PbsAlice alice(pair.a, config, 9);
+  PbsBob bob(pair.b, config, 9);
+  alice.SetDifferenceEstimate(0);
+  bob.SetDifferenceEstimate(0);
+  const auto& p = alice.plan().params;
+  const auto reply = bob.HandleRoundRequest(alice.MakeRoundRequest());
+  // d=0 -> g=1 unit, zero decoded positions:
+  // 1 + count_bits + 0 + 32 bits.
+  const size_t expected_bits = 1 + wire::CountBits(p.t) + 32;
+  EXPECT_EQ(reply.size(), (expected_bits + 7) / 8);
+}
+
+TEST(WireFormat, EstimateRequestSizeMatchesFormula) {
+  SetPair pair = GenerateSetPair(1000, 10, 32, 3);
+  PbsConfig config;
+  PbsAlice alice(pair.a, config, 11);
+  const auto request = alice.MakeEstimateRequest();
+  // varint(|A| = 1000) = 2 groups of 8 bits; 128 counters of
+  // ceil(log2(2001)) = 11 bits.
+  const size_t expected_bits = 16 + 128 * 11;
+  EXPECT_EQ(request.size(), (expected_bits + 7) / 8);
+}
+
+TEST(WireFormat, EstimateReplyIsFourBytes) {
+  SetPair pair = GenerateSetPair(1000, 10, 32, 4);
+  PbsConfig config;
+  PbsAlice alice(pair.a, config, 13);
+  PbsBob bob(pair.b, config, 13);
+  const auto reply = bob.HandleEstimateRequest(alice.MakeEstimateRequest());
+  EXPECT_EQ(reply.size(), 4u);
+}
+
+TEST(WireFormat, StrongDigestIsTwentyFourBytes) {
+  PbsConfig config;
+  PbsBob bob({1, 2, 3}, config, 15);
+  EXPECT_EQ(bob.MakeStrongDigest().size(), 24u);
+}
+
+TEST(WireFormat, PaperFormulaOneFirstRoundBytes) {
+  // Formula (1): per group, t log n + delta_i log n + delta_i log|U| +
+  // log|U| bits (+ 1 status bit and a count field in this implementation).
+  // Verify against a d = 0 instance where delta_i = 0 for the single group
+  // and an exact-d instance at the paper's parameters.
+  SetPair pair = GenerateSetPair(20000, 1000, 32, 5);
+  PbsConfig config;
+  PbsAlice alice(pair.a, config, 17);
+  PbsBob bob(pair.b, config, 17);
+  alice.SetDifferenceEstimate(1000);
+  bob.SetDifferenceEstimate(1000);
+  const auto& p = alice.plan().params;
+  ASSERT_EQ(p.n, 127);
+  ASSERT_EQ(p.t, 13);
+  const auto request = alice.MakeRoundRequest();
+  const auto reply = bob.HandleRoundRequest(request);
+  const double total_bits = 8.0 * (request.size() + reply.size());
+  // Paper formula totalled over g groups with sum(delta_i) = d:
+  // g*(t*7 + 32) + d*(7 + 32) bits = 200*123 + 1000*39 = 63.6 kbit.
+  const double formula_bits = p.g * (p.t * 7.0 + 32.0) + 1000.0 * (7 + 32);
+  // Implementation overhead (fail bits, count fields) is < 5%.
+  EXPECT_NEAR(total_bits, formula_bits, 0.05 * formula_bits);
+}
+
+}  // namespace
+}  // namespace pbs

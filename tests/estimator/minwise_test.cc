@@ -1,0 +1,53 @@
+#include "pbs/estimator/minwise.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+TEST(MinwiseEstimator, IdenticalSetsEstimateZero) {
+  MinwiseEstimator a(64, 5), b(64, 5);
+  std::vector<uint64_t> set = {5, 10, 15, 20, 25};
+  a.AddAll(set);
+  b.AddAll(set);
+  EXPECT_EQ(MinwiseEstimator::Estimate(a, set.size(), b, set.size()), 0.0);
+}
+
+TEST(MinwiseEstimator, DisjointSetsEstimateFullSize) {
+  MinwiseEstimator a(256, 5), b(256, 5);
+  std::vector<uint64_t> sa, sb;
+  for (uint64_t i = 1; i <= 500; ++i) sa.push_back(i);
+  for (uint64_t i = 1001; i <= 1500; ++i) sb.push_back(i);
+  a.AddAll(sa);
+  b.AddAll(sb);
+  const double est = MinwiseEstimator::Estimate(a, 500, b, 500);
+  EXPECT_NEAR(est, 1000.0, 150.0);
+}
+
+TEST(MinwiseEstimator, RoughAccuracyOnOverlappingSets) {
+  const size_t d = 400;
+  SetPair pair = GenerateSetPair(2000, d, 32, 17);
+  MinwiseEstimator a(512, 3), b(512, 3);
+  a.AddAll(pair.a);
+  b.AddAll(pair.b);
+  const double est =
+      MinwiseEstimator::Estimate(a, pair.a.size(), b, pair.b.size());
+  EXPECT_GT(est, d * 0.4);
+  EXPECT_LT(est, d * 2.5);
+}
+
+TEST(MinwiseEstimator, SpaceAccounting) {
+  EXPECT_EQ(MinwiseEstimator::BitSize(128, 32), 4096u);
+}
+
+TEST(MinwiseEstimator, InsensitiveToInsertionOrder) {
+  MinwiseEstimator a(64, 9), b(64, 9);
+  a.Add(1); a.Add(2); a.Add(3);
+  b.Add(3); b.Add(1); b.Add(2);
+  EXPECT_EQ(a.minima(), b.minima());
+}
+
+}  // namespace
+}  // namespace pbs

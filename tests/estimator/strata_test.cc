@@ -1,0 +1,60 @@
+#include "pbs/estimator/strata.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+TEST(StrataEstimator, IdenticalSetsEstimateZero) {
+  StrataEstimator a(16, 40, 7, 32), b(16, 40, 7, 32);
+  std::vector<uint64_t> set;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 500; ++i) set.push_back(rng.Next() | 1);
+  a.AddAll(set);
+  b.AddAll(set);
+  EXPECT_EQ(StrataEstimator::Estimate(a, b), 0.0);
+}
+
+TEST(StrataEstimator, SmallDifferenceExact) {
+  // With d well below the per-stratum capacity every stratum decodes and
+  // the estimate is exact.
+  SetPair pair = GenerateSetPair(2000, 20, 32, 3);
+  StrataEstimator a(kStrataDefaultLevels, kStrataDefaultCells, 9, 32);
+  StrataEstimator b(kStrataDefaultLevels, kStrataDefaultCells, 9, 32);
+  a.AddAll(pair.a);
+  b.AddAll(pair.b);
+  EXPECT_EQ(StrataEstimator::Estimate(a, b), 20.0);
+}
+
+class StrataAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrataAccuracy, WithinFactorTwoTypically) {
+  const int d = GetParam();
+  int within = 0;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SetPair pair = GenerateSetPair(4 * d + 1000, d, 32, 100 + trial);
+    StrataEstimator a(kStrataDefaultLevels, kStrataDefaultCells, trial, 32);
+    StrataEstimator b(kStrataDefaultLevels, kStrataDefaultCells, trial, 32);
+    a.AddAll(pair.a);
+    b.AddAll(pair.b);
+    const double est = StrataEstimator::Estimate(a, b);
+    if (est >= d / 2.0 && est <= d * 2.0) ++within;
+  }
+  EXPECT_GE(within, kTrials * 7 / 10) << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StrataAccuracy,
+                         ::testing::Values(100, 1000, 5000));
+
+TEST(StrataEstimator, WireSizeMuchLargerThanTow) {
+  // The Appendix-B point: Strata costs tens of KB; ToW costs ~336 bytes.
+  StrataEstimator s(kStrataDefaultLevels, kStrataDefaultCells, 1, 32);
+  EXPECT_GT(s.bit_size() / 8, 10000u);
+}
+
+}  // namespace
+}  // namespace pbs

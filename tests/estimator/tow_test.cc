@@ -1,0 +1,135 @@
+#include "pbs/estimator/tow.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pbs/common/rng.h"
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+TEST(TowSketch, IdenticalSetsEstimateZero) {
+  TowSketch a(16, 42), b(16, 42);
+  std::vector<uint64_t> set = {1, 2, 3, 4, 5};
+  a.AddAll(set);
+  b.AddAll(set);
+  EXPECT_EQ(TowSketch::Estimate(a, b), 0.0);
+}
+
+TEST(TowSketch, AddAllMatchesAdd) {
+  TowSketch a(32, 7), b(32, 7);
+  std::vector<uint64_t> set = {10, 20, 30};
+  a.AddAll(set);
+  for (uint64_t e : set) b.Add(e);
+  EXPECT_EQ(a.counters(), b.counters());
+}
+
+TEST(TowSketch, UnbiasedOverManySeeds) {
+  // E[d-hat] = d (Appendix A): average the single-sketch estimator over
+  // many independent hash draws.
+  constexpr int kD = 40;
+  constexpr int kTrials = 3000;
+  SplitMix64 seeds(3);
+  double sum = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<uint64_t> diff;
+    for (int i = 0; i < kD; ++i) diff.push_back(1000 + i);
+    sum += TowEstimateFromDifference(diff, 1, seeds.Next());
+  }
+  const double mean = sum / kTrials;
+  // Var of single sketch = 2d^2-2d; stderr = sqrt(var/kTrials) ~ 1.02.
+  EXPECT_NEAR(mean, kD, 5 * std::sqrt((2.0 * kD * kD - 2 * kD) / kTrials));
+}
+
+TEST(TowSketch, VarianceMatchesTheory) {
+  // Var[(Y_A - Y_B)^2] = 2d^2 - 2d for a single sketch (Appendix A).
+  constexpr int kD = 30;
+  constexpr int kTrials = 4000;
+  SplitMix64 seeds(11);
+  std::vector<uint64_t> diff;
+  for (int i = 0; i < kD; ++i) diff.push_back(5000 + 17 * i);
+  double sum = 0, sum_sq = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const double est = TowEstimateFromDifference(diff, 1, seeds.Next());
+    sum += est;
+    sum_sq += est * est;
+  }
+  const double mean = sum / kTrials;
+  const double var = sum_sq / kTrials - mean * mean;
+  const double theory = 2.0 * kD * kD - 2.0 * kD;
+  EXPECT_NEAR(var, theory, 0.25 * theory);
+}
+
+TEST(TowSketch, MoreSketchesReduceVariance) {
+  constexpr int kD = 50;
+  SplitMix64 seeds(13);
+  std::vector<uint64_t> diff;
+  for (int i = 0; i < kD; ++i) diff.push_back(999 + i * 3);
+  auto spread = [&](int ell) {
+    double sum = 0, sum_sq = 0;
+    constexpr int kTrials = 300;
+    SplitMix64 local(seeds.Next());
+    for (int t = 0; t < kTrials; ++t) {
+      const double est = TowEstimateFromDifference(diff, ell, local.Next());
+      sum += est;
+      sum_sq += est * est;
+    }
+    const double mean = sum / kTrials;
+    return sum_sq / kTrials - mean * mean;
+  };
+  EXPECT_GT(spread(1), 4 * spread(32));
+}
+
+TEST(TowSketch, DifferenceShortcutMatchesSubsetWorkloadExactly) {
+  // For the paper's B-subset-of-A workload, Y(A) - Y(B) = Y(A \ B), so the
+  // runner's shortcut equals the two-sided estimate bit-for-bit. (For
+  // two-sided differences the B-side signs flip, which leaves the squared
+  // estimator identically *distributed* but not identical per-instance.)
+  const uint64_t seed = 99;
+  SetPair pair = GenerateSetPair(800, 11, 32, 5);
+  TowSketch a(64, seed), b(64, seed);
+  a.AddAll(pair.a);
+  b.AddAll(pair.b);
+  const double full = TowSketch::Estimate(a, b);
+  const double shortcut = TowEstimateFromDifference(pair.truth_diff, 64, seed);
+  EXPECT_DOUBLE_EQ(full, shortcut);
+}
+
+TEST(TowSketch, SerializeRoundTrips) {
+  TowSketch a(32, 5);
+  std::vector<uint64_t> set;
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 200; ++i) set.push_back(rng.Next() | 1);
+  a.AddAll(set);
+  BitWriter w;
+  a.Serialize(&w, set.size());
+  BitReader r(w.bytes());
+  TowSketch back = TowSketch::Deserialize(&r, 32, 5, set.size());
+  EXPECT_EQ(back.counters(), a.counters());
+}
+
+TEST(TowSketch, PaperWireSize) {
+  // ell = 128 sketches over |S| = 10^6: 128 * 21 bits = 336 bytes.
+  EXPECT_EQ(TowSketch::BitSize(128, 1000000) / 8, 336);
+}
+
+TEST(TowSketch, GammaCoverageAtEll128) {
+  // Pr[d <= 1.38 * d-hat] >= 0.99 (Section 6.2). Monte-Carlo re-validation
+  // with a modest trial count.
+  constexpr int kD = 200;
+  constexpr int kTrials = 400;
+  SplitMix64 seeds(77);
+  std::vector<uint64_t> diff;
+  for (int i = 0; i < kD; ++i) diff.push_back(31 * (i + 1));
+  int covered = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const double d_hat = TowEstimateFromDifference(diff, 128, seeds.Next());
+    if (kD <= kTowGamma * d_hat) ++covered;
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 0.97);
+}
+
+}  // namespace
+}  // namespace pbs

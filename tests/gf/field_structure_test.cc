@@ -1,0 +1,124 @@
+// Structural field properties the decoders rely on implicitly:
+// Frobenius, the absolute trace map, and the trace-polynomial identity
+// behind Berlekamp trace splitting (gf/roots.cc).
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+#include "pbs/gf/gf2m.h"
+
+namespace pbs {
+namespace {
+
+// Absolute trace Tr(x) = x + x^2 + x^4 + ... + x^(2^(m-1)).
+uint64_t Trace(const GF2m& f, uint64_t x) {
+  uint64_t acc = 0;
+  uint64_t term = x;
+  for (int i = 0; i < f.m(); ++i) {
+    acc ^= term;
+    term = f.Sqr(term);
+  }
+  return acc;
+}
+
+class FieldStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(FieldStructure, FrobeniusFixesExactlyGf2) {
+  // x^2 == x holds exactly for the prime subfield {0, 1}.
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam());
+  EXPECT_EQ(f.Sqr(0), 0u);
+  EXPECT_EQ(f.Sqr(1), 1u);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t x = rng.NextBounded(f.order() - 1) + 2;
+    EXPECT_NE(f.Sqr(x), x) << x;
+  }
+}
+
+TEST_P(FieldStructure, FrobeniusOrderIsM) {
+  // Applying squaring m times is the identity.
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 1);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t x = rng.NextBounded(f.order() + 1);
+    uint64_t y = x;
+    for (int k = 0; k < f.m(); ++k) y = f.Sqr(y);
+    EXPECT_EQ(y, x);
+  }
+}
+
+TEST_P(FieldStructure, TraceLandsInGf2) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 2);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t tr = Trace(f, rng.NextBounded(f.order() + 1));
+    EXPECT_TRUE(tr == 0 || tr == 1);
+  }
+}
+
+TEST_P(FieldStructure, TraceIsAdditive) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 3);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t x = rng.NextBounded(f.order() + 1);
+    const uint64_t y = rng.NextBounded(f.order() + 1);
+    EXPECT_EQ(Trace(f, GF2m::Add(x, y)),
+              Trace(f, x) ^ Trace(f, y));
+  }
+}
+
+TEST_P(FieldStructure, TraceInvariantUnderFrobenius) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 4);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t x = rng.NextBounded(f.order() + 1);
+    EXPECT_EQ(Trace(f, f.Sqr(x)), Trace(f, x));
+  }
+}
+
+TEST_P(FieldStructure, TraceIsBalanced) {
+  // Exactly half the field has trace 0 -- the property that makes a random
+  // beta split a root pair with probability 1/2 in TraceSplit.
+  const int m = GetParam();
+  if (m > 14) GTEST_SKIP() << "exhaustive sweep only for small fields";
+  GF2m f(m);
+  uint64_t zeros = 0;
+  for (uint64_t x = 0; x <= f.order(); ++x) {
+    if (Trace(f, x) == 0) ++zeros;
+  }
+  EXPECT_EQ(zeros, (f.order() + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, FieldStructure,
+                         ::testing::Values(3, 7, 8, 11, 13, 32, 63));
+
+TEST(FieldStructure, SquaringIsBijective) {
+  // In characteristic 2 every element has a unique square root; exhaustive
+  // in GF(2^10).
+  GF2m f(10);
+  std::vector<bool> seen(f.order() + 1, false);
+  for (uint64_t x = 0; x <= f.order(); ++x) {
+    const uint64_t s = f.Sqr(x);
+    EXPECT_FALSE(seen[s]);
+    seen[s] = true;
+  }
+}
+
+TEST(FieldStructure, MultiplicativeGroupIsCyclicOfFullOrder) {
+  // Some element generates all of GF(2^8)* (exhaustive order check).
+  GF2m f(8);
+  bool found_generator = false;
+  for (uint64_t g = 2; g <= 20 && !found_generator; ++g) {
+    uint64_t v = g;
+    uint64_t steps = 1;
+    while (v != 1) {
+      v = f.Mul(v, g);
+      ++steps;
+    }
+    found_generator = steps == f.order();
+  }
+  EXPECT_TRUE(found_generator);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,160 @@
+#include "pbs/gf/gf2m.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+// Field-axiom property sweep over both implementation paths: table-based
+// (m <= 16) and clmul-based (m > 16).
+class GF2mField : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t RandomNonzero(const GF2m& f, Xoshiro256* rng) {
+    return rng->NextBounded(f.order()) + 1;
+  }
+};
+
+TEST_P(GF2mField, MultiplicativeIdentity) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t a = RandomNonzero(f, &rng);
+    EXPECT_EQ(f.Mul(a, 1), a);
+    EXPECT_EQ(f.Mul(1, a), a);
+  }
+}
+
+TEST_P(GF2mField, ZeroAnnihilates) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(f.Mul(RandomNonzero(f, &rng), 0), 0u);
+  }
+}
+
+TEST_P(GF2mField, MulCommutativeAssociative) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 2);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = RandomNonzero(f, &rng);
+    const uint64_t b = RandomNonzero(f, &rng);
+    const uint64_t c = RandomNonzero(f, &rng);
+    EXPECT_EQ(f.Mul(a, b), f.Mul(b, a));
+    EXPECT_EQ(f.Mul(f.Mul(a, b), c), f.Mul(a, f.Mul(b, c)));
+  }
+}
+
+TEST_P(GF2mField, DistributesOverAddition) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 3);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = RandomNonzero(f, &rng);
+    const uint64_t b = RandomNonzero(f, &rng);
+    const uint64_t c = RandomNonzero(f, &rng);
+    EXPECT_EQ(f.Mul(a, GF2m::Add(b, c)),
+              GF2m::Add(f.Mul(a, b), f.Mul(a, c)));
+  }
+}
+
+TEST_P(GF2mField, InverseIsTwoSided) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 4);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = RandomNonzero(f, &rng);
+    const uint64_t inv = f.Inv(a);
+    EXPECT_NE(inv, 0u);
+    EXPECT_EQ(f.Mul(a, inv), 1u);
+    EXPECT_EQ(f.Mul(inv, a), 1u);
+  }
+}
+
+TEST_P(GF2mField, SqrMatchesMul) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 5);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng.NextBounded(f.order() + 1);
+    EXPECT_EQ(f.Sqr(a), f.Mul(a, a));
+  }
+}
+
+TEST_P(GF2mField, FrobeniusIsAdditive) {
+  // (a + b)^2 = a^2 + b^2 in characteristic 2.
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 6);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng.NextBounded(f.order() + 1);
+    const uint64_t b = rng.NextBounded(f.order() + 1);
+    EXPECT_EQ(f.Sqr(GF2m::Add(a, b)), GF2m::Add(f.Sqr(a), f.Sqr(b)));
+  }
+}
+
+TEST_P(GF2mField, PowMatchesRepeatedMul) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 7);
+  const uint64_t a = RandomNonzero(f, &rng);
+  uint64_t acc = 1;
+  for (uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(f.Pow(a, e), acc);
+    acc = f.Mul(acc, a);
+  }
+}
+
+TEST_P(GF2mField, FermatLittleTheorem) {
+  // a^(2^m - 1) = 1 for nonzero a.
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(f.Pow(RandomNonzero(f, &rng), f.order()), 1u);
+  }
+}
+
+TEST_P(GF2mField, DivRoundTrips) {
+  GF2m f(GetParam());
+  Xoshiro256 rng(GetParam() + 9);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t a = RandomNonzero(f, &rng);
+    const uint64_t b = RandomNonzero(f, &rng);
+    EXPECT_EQ(f.Mul(f.Div(a, b), b), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeFields, GF2mField,
+                         ::testing::Values(2, 3, 4, 6, 7, 8, 10, 11, 12, 16,
+                                           17, 20, 24, 32, 40, 48, 63));
+
+TEST(GF2m, TablePathMatchesClmulPath) {
+  // Exhaustively compare GF(2^6) table multiplication against raw gf2x.
+  GF2m f(6);
+  const uint64_t modulus = f.modulus();
+  for (uint64_t a = 0; a < 64; ++a) {
+    for (uint64_t b = 0; b < 64; ++b) {
+      EXPECT_EQ(f.Mul(a, b), gf2x::MulMod(a, b, modulus));
+    }
+  }
+}
+
+TEST(GF2m, AllInversesExhaustiveSmallField) {
+  GF2m f(8);
+  for (uint64_t a = 1; a <= f.order(); ++a) {
+    EXPECT_EQ(f.Mul(a, f.Inv(a)), 1u);
+  }
+}
+
+TEST(GF2m, CachedHandlesShareState) {
+  GF2m f1(11), f2(11);
+  EXPECT_TRUE(f1 == f2);
+  EXPECT_EQ(f1.modulus(), f2.modulus());
+}
+
+TEST(GF2m, OrderAndBitmapSizesMatchPbsPlans) {
+  // The bitmap sizes used by PBS: n = 2^m - 1 for m in 6..11.
+  for (int m = 6; m <= 11; ++m) {
+    GF2m f(m);
+    EXPECT_EQ(f.order(), (uint64_t{1} << m) - 1);
+  }
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,120 @@
+#include "pbs/gf/gf2x.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+
+namespace pbs::gf2x {
+namespace {
+
+TEST(Gf2x, DegreeOfZeroIsMinusOne) {
+  EXPECT_EQ(Degree(0), -1);
+  EXPECT_EQ(Degree128(0), -1);
+}
+
+TEST(Gf2x, DegreeBasics) {
+  EXPECT_EQ(Degree(1), 0);
+  EXPECT_EQ(Degree(2), 1);   // x
+  EXPECT_EQ(Degree(0b1011), 3);
+  EXPECT_EQ(Degree(uint64_t{1} << 63), 63);
+  EXPECT_EQ(Degree128(static_cast<U128>(1) << 100), 100);
+}
+
+TEST(Gf2x, ClMulSmallCases) {
+  // (x+1)(x+1) = x^2 + 1 over GF(2).
+  EXPECT_EQ(static_cast<uint64_t>(ClMul(0b11, 0b11)), 0b101u);
+  // x * x = x^2.
+  EXPECT_EQ(static_cast<uint64_t>(ClMul(2, 2)), 4u);
+  // (x^2+x+1)(x+1) = x^3 + 1.
+  EXPECT_EQ(static_cast<uint64_t>(ClMul(0b111, 0b11)), 0b1001u);
+  EXPECT_EQ(static_cast<uint64_t>(ClMul(0, 12345)), 0u);
+  EXPECT_EQ(static_cast<uint64_t>(ClMul(1, 12345)), 12345u);
+}
+
+TEST(Gf2x, ClMulCommutativeAndDistributive) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng.Next(), b = rng.Next(), c = rng.Next();
+    EXPECT_EQ(ClMul(a, b), ClMul(b, a));
+    EXPECT_EQ(ClMul(a, b ^ c), ClMul(a, b) ^ ClMul(a, c));
+  }
+}
+
+TEST(Gf2x, ClMulHighBitsReachUpperWord) {
+  const U128 p = ClMul(uint64_t{1} << 63, uint64_t{1} << 63);
+  EXPECT_EQ(Degree128(p), 126);
+}
+
+TEST(Gf2x, ModReducesDegree) {
+  const uint64_t f = 0b10011;  // x^4 + x + 1.
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t r = Mod(rng.Next(), f);
+    EXPECT_LT(Degree(r), 4);
+  }
+}
+
+TEST(Gf2x, ModIsIdentityBelowModulus) {
+  const uint64_t f = 0b10011;
+  for (uint64_t v = 0; v < 16; ++v) EXPECT_EQ(Mod(v, f), v);
+}
+
+TEST(Gf2x, MulModMatchesKnownField) {
+  // GF(16) with x^4 + x + 1: x^3 * x = x^4 = x + 1.
+  const uint64_t f = 0b10011;
+  EXPECT_EQ(MulMod(0b1000, 0b0010, f), 0b0011u);
+}
+
+TEST(Gf2x, GcdBasics) {
+  // gcd(x^2+1, x+1) = x+1 since x^2+1 = (x+1)^2 over GF(2).
+  EXPECT_EQ(Gcd(0b101, 0b11), 0b11u);
+  EXPECT_EQ(Gcd(0, 0b101), 0b101u);
+  EXPECT_EQ(Gcd(0b101, 0), 0b101u);
+  // Coprime: gcd(x^2+x+1, x) = 1.
+  EXPECT_EQ(Gcd(0b111, 0b10), 1u);
+}
+
+TEST(Gf2x, IsIrreducibleKnownPolynomials) {
+  EXPECT_TRUE(IsIrreducible(0b111));        // x^2+x+1.
+  EXPECT_TRUE(IsIrreducible(0b1011));       // x^3+x+1.
+  EXPECT_TRUE(IsIrreducible(0b10011));      // x^4+x+1.
+  EXPECT_TRUE(IsIrreducible(0x11B));        // x^8+x^4+x^3+x+1 (AES).
+  EXPECT_FALSE(IsIrreducible(0b110));       // x^2+x = x(x+1).
+  EXPECT_FALSE(IsIrreducible(0b101));       // x^2+1 = (x+1)^2.
+  EXPECT_FALSE(IsIrreducible(0b1010011));   // Even number of terms: 1 is a root.
+}
+
+TEST(Gf2x, CyclotomicQuinticIsIrreducible) {
+  EXPECT_TRUE(IsIrreducible(0b11111));  // x^4+x^3+x^2+x+1, ord_5(2)=4.
+}
+
+TEST(Gf2x, ReducibleProductsDetected) {
+  // Product of the two irreducible cubics: (x^3+x+1)(x^3+x^2+1), degree 6.
+  const uint64_t product = static_cast<uint64_t>(ClMul(0b1011, 0b1101));
+  EXPECT_FALSE(IsIrreducible(product));
+}
+
+// FindIrreducible must return an irreducible polynomial of the right degree
+// for every supported m.
+class FindIrreducibleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FindIrreducibleTest, ReturnsIrreducibleOfCorrectDegree) {
+  const int m = GetParam();
+  const uint64_t f = FindIrreducible(m);
+  EXPECT_EQ(Degree(f), m);
+  EXPECT_TRUE(IsIrreducible(f));
+  // Minimality: no smaller polynomial with the same leading term works.
+  if (m <= 12) {
+    for (uint64_t low = 1; (uint64_t{1} << m | low) < f; low += 2) {
+      EXPECT_FALSE(IsIrreducible((uint64_t{1} << m) | low));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDegrees, FindIrreducibleTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                           13, 14, 15, 16, 20, 24, 31, 32, 33,
+                                           40, 48, 63));
+
+}  // namespace
+}  // namespace pbs::gf2x

@@ -1,0 +1,159 @@
+#include "pbs/gf/gfpoly.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+GFPoly RandomPoly(const GF2m& f, int degree, Xoshiro256* rng) {
+  std::vector<uint64_t> coeffs(degree + 1);
+  for (auto& c : coeffs) c = rng->NextBounded(f.order() + 1);
+  coeffs[degree] = rng->NextBounded(f.order()) + 1;  // Nonzero leading.
+  return GFPoly(f, std::move(coeffs));
+}
+
+TEST(GFPoly, ZeroAndOne) {
+  GF2m f(8);
+  EXPECT_TRUE(GFPoly::Zero(f).IsZero());
+  EXPECT_EQ(GFPoly::Zero(f).degree(), -1);
+  EXPECT_EQ(GFPoly::One(f).degree(), 0);
+  EXPECT_EQ(GFPoly::One(f).coeff(0), 1u);
+}
+
+TEST(GFPoly, TrimsLeadingZeros) {
+  GF2m f(8);
+  GFPoly p(f, {1, 2, 0, 0});
+  EXPECT_EQ(p.degree(), 1);
+}
+
+TEST(GFPoly, AddIsXorOfCoefficients) {
+  GF2m f(8);
+  GFPoly a(f, {1, 2, 3});
+  GFPoly b(f, {4, 2, 3});
+  GFPoly sum = a.Add(b);
+  EXPECT_EQ(sum.degree(), 0);  // x^2 and x terms cancel.
+  EXPECT_EQ(sum.coeff(0), 5u);
+}
+
+TEST(GFPoly, SelfAddIsZero) {
+  GF2m f(10);
+  Xoshiro256 rng(1);
+  GFPoly p = RandomPoly(f, 7, &rng);
+  EXPECT_TRUE(p.Add(p).IsZero());
+}
+
+TEST(GFPoly, MulDegreesAdd) {
+  GF2m f(8);
+  Xoshiro256 rng(2);
+  GFPoly a = RandomPoly(f, 5, &rng);
+  GFPoly b = RandomPoly(f, 3, &rng);
+  EXPECT_EQ(a.Mul(b).degree(), 8);
+}
+
+TEST(GFPoly, MulByZeroAndOne) {
+  GF2m f(8);
+  Xoshiro256 rng(3);
+  GFPoly p = RandomPoly(f, 4, &rng);
+  EXPECT_TRUE(p.Mul(GFPoly::Zero(f)).IsZero());
+  EXPECT_TRUE(p.Mul(GFPoly::One(f)) == p);
+}
+
+TEST(GFPoly, DivModReconstructs) {
+  GF2m f(11);
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    GFPoly a = RandomPoly(f, 2 + static_cast<int>(rng.NextBounded(10)), &rng);
+    GFPoly b = RandomPoly(f, 1 + static_cast<int>(rng.NextBounded(5)), &rng);
+    auto [q, r] = a.DivMod(b);
+    EXPECT_LT(r.degree(), b.degree());
+    EXPECT_TRUE(q.Mul(b).Add(r) == a);
+  }
+}
+
+TEST(GFPoly, GcdOfCoprimeIsOne) {
+  GF2m f(8);
+  // (x + 1) and (x + 2) are coprime.
+  GFPoly a(f, {1, 1});
+  GFPoly b(f, {2, 1});
+  GFPoly g = a.Gcd(b);
+  EXPECT_EQ(g.degree(), 0);
+}
+
+TEST(GFPoly, GcdFindsCommonFactor) {
+  GF2m f(8);
+  Xoshiro256 rng(5);
+  GFPoly common(f, {3, 7, 1});  // Some quadratic.
+  GFPoly a = common.Mul(RandomPoly(f, 3, &rng));
+  GFPoly b = common.Mul(RandomPoly(f, 4, &rng));
+  GFPoly g = a.Gcd(b);
+  // gcd is a multiple of `common` (could be larger if the random cofactors
+  // share factors): check common divides gcd.
+  EXPECT_GE(g.degree(), 2);
+  EXPECT_TRUE(g.Mod(common.MakeMonic()).IsZero());
+}
+
+TEST(GFPoly, DerivativeKillsEvenPowers) {
+  GF2m f(8);
+  // p = c4 x^4 + c3 x^3 + c2 x^2 + c1 x + c0 -> p' = c3 x^2 + c1.
+  GFPoly p(f, {9, 8, 7, 6, 5});
+  GFPoly d = p.Derivative();
+  EXPECT_EQ(d.degree(), 2);
+  EXPECT_EQ(d.coeff(0), 8u);
+  EXPECT_EQ(d.coeff(1), 0u);
+  EXPECT_EQ(d.coeff(2), 6u);
+}
+
+TEST(GFPoly, EvalMatchesManualExpansion) {
+  GF2m f(8);
+  GFPoly p(f, {5, 3, 1});  // x^2 + 3x + 5.
+  for (uint64_t x = 0; x < 30; ++x) {
+    const uint64_t expected =
+        GF2m::Add(GF2m::Add(f.Mul(x, x), f.Mul(3, x)), 5);
+    EXPECT_EQ(p.Eval(x), expected);
+  }
+}
+
+TEST(GFPoly, EvalAtRootsOfProductVanishes) {
+  GF2m f(10);
+  // Build (x - r1)(x - r2)(x - r3); subtraction == addition.
+  const uint64_t roots[] = {17, 923, 400};
+  GFPoly p = GFPoly::One(f);
+  for (uint64_t r : roots) p = p.Mul(GFPoly(f, {r, 1}));
+  for (uint64_t r : roots) EXPECT_EQ(p.Eval(r), 0u);
+  EXPECT_NE(p.Eval(5), 0u);
+}
+
+TEST(GFPoly, MakeMonicNormalizesLeading) {
+  GF2m f(9);
+  Xoshiro256 rng(6);
+  GFPoly p = RandomPoly(f, 6, &rng);
+  GFPoly monic = p.MakeMonic();
+  EXPECT_EQ(monic.leading(), 1u);
+  EXPECT_EQ(monic.degree(), p.degree());
+}
+
+TEST(GFPoly, MulModStaysBelowModulus) {
+  GF2m f(8);
+  Xoshiro256 rng(7);
+  GFPoly modulus = RandomPoly(f, 5, &rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    GFPoly a = RandomPoly(f, 4, &rng);
+    GFPoly b = RandomPoly(f, 4, &rng);
+    EXPECT_LT(a.MulMod(b, modulus).degree(), modulus.degree());
+  }
+}
+
+TEST(GFPoly, ShiftUpMultipliesByPowerOfX) {
+  GF2m f(8);
+  GFPoly p(f, {1, 2});
+  GFPoly shifted = p.ShiftUp(3);
+  EXPECT_EQ(shifted.degree(), 4);
+  EXPECT_EQ(shifted.coeff(3), 1u);
+  EXPECT_EQ(shifted.coeff(4), 2u);
+  EXPECT_EQ(shifted.coeff(0), 0u);
+}
+
+}  // namespace
+}  // namespace pbs

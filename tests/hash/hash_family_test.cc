@@ -1,0 +1,78 @@
+#include "pbs/hash/hash_family.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace pbs {
+namespace {
+
+TEST(SaltedHash, BucketInRange) {
+  SaltedHash h(123);
+  for (uint64_t x = 0; x < 10000; ++x) {
+    EXPECT_LT(h.Bucket(x, 7), 7u);
+  }
+}
+
+TEST(SaltedHash, BucketUniform) {
+  SaltedHash h(55);
+  constexpr uint64_t kBuckets = 16;
+  constexpr int kSamples = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[h.Bucket(i, kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) EXPECT_NEAR(c, expected, 6 * std::sqrt(expected));
+}
+
+TEST(HashFamily, SameSeedSameSalts) {
+  HashFamily f1(42), f2(42);
+  EXPECT_EQ(f1.Salt(HashFamily::kBinPartition, 1, 2),
+            f2.Salt(HashFamily::kBinPartition, 1, 2));
+}
+
+TEST(HashFamily, DistinctRolesGiveDistinctSalts) {
+  HashFamily f(42);
+  std::set<uint64_t> salts;
+  for (auto role :
+       {HashFamily::kGroupPartition, HashFamily::kBinPartition,
+        HashFamily::kSplitPartition, HashFamily::kEstimator, HashFamily::kIbf,
+        HashFamily::kBloom, HashFamily::kStrata}) {
+    EXPECT_TRUE(salts.insert(f.Salt(role)).second);
+  }
+}
+
+TEST(HashFamily, DistinctIndicesGiveDistinctSalts) {
+  HashFamily f(42);
+  std::set<uint64_t> salts;
+  for (uint64_t round = 0; round < 20; ++round) {
+    for (uint64_t unit = 0; unit < 50; ++unit) {
+      EXPECT_TRUE(
+          salts.insert(f.Salt(HashFamily::kBinPartition, round, unit)).second)
+          << "round " << round << " unit " << unit;
+    }
+  }
+}
+
+TEST(HashFamily, PerRoundHashesAreIndependent) {
+  // The multi-round correctness of Section 2.4 requires that two elements
+  // colliding under round k's hash are unlikely to collide under round k+1's.
+  HashFamily f(7);
+  SaltedHash h1 = f.Get(HashFamily::kBinPartition, 1, 0);
+  SaltedHash h2 = f.Get(HashFamily::kBinPartition, 2, 0);
+  constexpr uint64_t kBins = 127;
+  int both = 0, first = 0;
+  for (uint64_t x = 1; x < 20000; ++x) {
+    const bool c1 = h1.Bucket(x, kBins) == h1.Bucket(x + 20000, kBins);
+    const bool c2 = h2.Bucket(x, kBins) == h2.Bucket(x + 20000, kBins);
+    if (c1) ++first;
+    if (c1 && c2) ++both;
+  }
+  // P[collide twice] ~ P[collide]^2; with ~157 first-round collisions we
+  // expect ~1 double collision.
+  EXPECT_GT(first, 100);
+  EXPECT_LT(both, 12);
+}
+
+}  // namespace
+}  // namespace pbs

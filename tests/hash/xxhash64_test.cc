@@ -1,0 +1,80 @@
+#include "pbs/hash/xxhash64.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pbs {
+namespace {
+
+// Canonical test vector from the xxHash specification.
+TEST(XxHash64, EmptyInputSeedZero) {
+  EXPECT_EQ(XxHash64(nullptr, 0, 0), 0xEF46DB3751D8E999ull);
+}
+
+TEST(XxHash64, DeterministicAcrossCalls) {
+  const std::string data = "parity bitmap sketch";
+  EXPECT_EQ(XxHash64(data.data(), data.size(), 7),
+            XxHash64(data.data(), data.size(), 7));
+}
+
+TEST(XxHash64, SeedChangesDigest) {
+  const std::string data = "set reconciliation";
+  EXPECT_NE(XxHash64(data.data(), data.size(), 1),
+            XxHash64(data.data(), data.size(), 2));
+}
+
+TEST(XxHash64, AllInputLengthsConsistent) {
+  // Exercise every code path: <4, <8, <32, and >=32-byte inputs, including
+  // the stripe loop plus each tail branch.
+  std::vector<uint8_t> buf(100);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<uint8_t>(i * 7);
+  std::vector<uint64_t> digests;
+  for (size_t len = 0; len <= buf.size(); ++len) {
+    digests.push_back(XxHash64(buf.data(), len, 0));
+  }
+  // All prefixes must hash differently (overwhelmingly likely).
+  for (size_t i = 0; i < digests.size(); ++i) {
+    for (size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(digests[i], digests[j]) << "lengths " << i << " vs " << j;
+    }
+  }
+}
+
+TEST(XxHash64, IntegerOverloadMatchesByteHash) {
+  const uint64_t v = 0x0123456789ABCDEFull;
+  uint8_t bytes[8];
+  std::memcpy(bytes, &v, 8);
+  EXPECT_EQ(XxHash64(v, 99), XxHash64(bytes, 8, 99));
+}
+
+TEST(XxHash64, AvalancheOnSingleBitFlip) {
+  // Flipping any input bit should change ~half the output bits.
+  const uint64_t base = 0xABCDEF0123456789ull;
+  const uint64_t h0 = XxHash64(base, 0);
+  for (int bit = 0; bit < 64; ++bit) {
+    const uint64_t h1 = XxHash64(base ^ (uint64_t{1} << bit), 0);
+    const int flipped = __builtin_popcountll(h0 ^ h1);
+    EXPECT_GE(flipped, 12) << "bit " << bit;
+    EXPECT_LE(flipped, 52) << "bit " << bit;
+  }
+}
+
+TEST(XxHash64, BucketUniformity) {
+  constexpr int kBuckets = 64;
+  constexpr int kSamples = 64000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[XxHash64(static_cast<uint64_t>(i), 5) % kBuckets];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 6 * std::sqrt(expected));
+  }
+}
+
+}  // namespace
+}  // namespace pbs

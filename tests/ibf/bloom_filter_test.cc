@@ -1,0 +1,57 @@
+#include "pbs/ibf/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf = BloomFilter::ForCapacity(1000, 0.01, 7);
+  Xoshiro256 rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) bf.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(bf.Contains(k));
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  constexpr double kTarget = 0.02;
+  BloomFilter bf = BloomFilter::ForCapacity(5000, kTarget, 11);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 5000; ++i) bf.Insert(rng.Next() | 1);
+  int fp = 0;
+  constexpr int kProbes = 50000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bf.Contains(rng.Next() & ~uint64_t{1})) ++fp;  // Disjoint keys.
+  }
+  const double rate = static_cast<double>(fp) / kProbes;
+  EXPECT_LT(rate, kTarget * 2.5);
+  EXPECT_GT(rate, kTarget / 10);
+}
+
+TEST(BloomFilter, SizingFormulaMatchesTheory) {
+  // bits/key = 1.44 log2(1/fpr).
+  BloomFilter bf = BloomFilter::ForCapacity(10000, 0.01, 3);
+  const double bits_per_key = static_cast<double>(bf.bit_count()) / 10000;
+  EXPECT_NEAR(bits_per_key, 1.44 * std::log2(100.0), 0.5);
+}
+
+TEST(BloomFilter, EmptyContainsNothing) {
+  BloomFilter bf(1024, 4, 9);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(bf.Contains(rng.Next()));
+}
+
+TEST(BloomFilter, LowerFprCostsMoreBits) {
+  const auto a = BloomFilter::ForCapacity(1000, 0.1, 1);
+  const auto b = BloomFilter::ForCapacity(1000, 0.001, 1);
+  EXPECT_LT(a.bit_count(), b.bit_count());
+  EXPECT_LT(a.num_hashes(), b.num_hashes());
+}
+
+}  // namespace
+}  // namespace pbs

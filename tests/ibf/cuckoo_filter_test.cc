@@ -1,0 +1,75 @@
+#include "pbs/ibf/cuckoo_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+TEST(CuckooFilter, NoFalseNegatives) {
+  CuckooFilter cf(1000, 12, 1);
+  Xoshiro256 rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t k = rng.Next();
+    if (cf.Insert(k)) keys.push_back(k);
+  }
+  EXPECT_GE(keys.size(), 990u);  // ~95% load should accept nearly all.
+  for (uint64_t k : keys) EXPECT_TRUE(cf.Contains(k));
+}
+
+TEST(CuckooFilter, FalsePositiveRateNearTheory) {
+  const int bits = 10;
+  CuckooFilter cf(5000, bits, 2);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 5000; ++i) cf.Insert(rng.Next() | 1);
+  int fp = 0;
+  constexpr int kProbes = 100000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (cf.Contains(rng.Next() & ~uint64_t{1})) ++fp;
+  }
+  const double rate = static_cast<double>(fp) / kProbes;
+  const double theory = 8.0 / (1 << bits);  // 2 buckets * 4 slots / 2^bits.
+  EXPECT_LT(rate, theory * 2.0);
+}
+
+TEST(CuckooFilter, DeleteRemovesMembership) {
+  CuckooFilter cf(100, 12, 3);
+  EXPECT_TRUE(cf.Insert(42));
+  EXPECT_TRUE(cf.Contains(42));
+  EXPECT_TRUE(cf.Delete(42));
+  EXPECT_FALSE(cf.Contains(42));
+  EXPECT_FALSE(cf.Delete(42));
+}
+
+TEST(CuckooFilter, EvictionChainsStillFindBothBuckets) {
+  // Fill well past trivial occupancy; every accepted key must remain
+  // findable even after long eviction chains.
+  CuckooFilter cf(2000, 12, 4);
+  Xoshiro256 rng(4);
+  std::vector<uint64_t> accepted;
+  for (int i = 0; i < 1900; ++i) {
+    const uint64_t k = rng.Next();
+    if (cf.Insert(k)) accepted.push_back(k);
+  }
+  int missing = 0;
+  for (uint64_t k : accepted) {
+    if (!cf.Contains(k)) ++missing;
+  }
+  // A failed insert may displace one earlier victim; tolerance is tiny.
+  EXPECT_LE(missing, 2);
+}
+
+TEST(CuckooFilter, WireSizeFormula) {
+  CuckooFilter cf(1000, 12, 5);
+  EXPECT_EQ(cf.bit_size(), cf.bucket_count() * 4 * 12);
+}
+
+TEST(CuckooFilter, SmallerFingerprintsSmallerFilter) {
+  CuckooFilter small(1000, 6, 6), large(1000, 14, 6);
+  EXPECT_LT(small.byte_size(), large.byte_size());
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,163 @@
+#include "pbs/ibf/invertible_bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint64_t> RandomKeys(int count, int sig_bits, Xoshiro256* rng) {
+  std::set<uint64_t> s;
+  const uint64_t mask =
+      sig_bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << sig_bits) - 1;
+  while (static_cast<int>(s.size()) < count) {
+    const uint64_t v = rng->Next() & mask;
+    if (v != 0) s.insert(v);
+  }
+  return {s.begin(), s.end()};
+}
+
+TEST(Ibf, InsertThenEraseIsEmpty) {
+  InvertibleBloomFilter ibf(64, 4, 1, 32);
+  Xoshiro256 rng(1);
+  auto keys = RandomKeys(10, 32, &rng);
+  for (auto k : keys) ibf.Insert(k);
+  for (auto k : keys) ibf.Erase(k);
+  auto decoded = ibf.Decode();
+  EXPECT_TRUE(decoded.complete);
+  EXPECT_TRUE(decoded.positive.empty());
+  EXPECT_TRUE(decoded.negative.empty());
+}
+
+TEST(Ibf, DecodeRecoverData) {
+  InvertibleBloomFilter ibf(64, 4, 2, 32);
+  Xoshiro256 rng(2);
+  auto keys = RandomKeys(15, 32, &rng);
+  for (auto k : keys) ibf.Insert(k);
+  auto decoded = ibf.Decode();
+  ASSERT_TRUE(decoded.complete);
+  std::sort(decoded.positive.begin(), decoded.positive.end());
+  EXPECT_EQ(decoded.positive, keys);
+  EXPECT_TRUE(decoded.negative.empty());
+}
+
+TEST(Ibf, SubtractRecoversSymmetricDifference) {
+  Xoshiro256 rng(3);
+  auto common = RandomKeys(1000, 32, &rng);
+  auto a_only = RandomKeys(8, 32, &rng);
+  auto b_only = RandomKeys(6, 32, &rng);
+
+  InvertibleBloomFilter ia(60, 4, 7, 32), ib(60, 4, 7, 32);
+  for (auto k : common) {
+    ia.Insert(k);
+    ib.Insert(k);
+  }
+  for (auto k : a_only) ia.Insert(k);
+  for (auto k : b_only) ib.Insert(k);
+
+  ia.Subtract(ib);
+  auto decoded = ia.Decode();
+  ASSERT_TRUE(decoded.complete);
+  std::sort(decoded.positive.begin(), decoded.positive.end());
+  std::sort(decoded.negative.begin(), decoded.negative.end());
+  EXPECT_EQ(decoded.positive, a_only);
+  EXPECT_EQ(decoded.negative, b_only);
+}
+
+TEST(Ibf, OverloadedFilterReportsIncomplete) {
+  InvertibleBloomFilter ibf(16, 4, 4, 32);
+  Xoshiro256 rng(4);
+  for (auto k : RandomKeys(200, 32, &rng)) ibf.Insert(k);
+  auto decoded = ibf.Decode();
+  EXPECT_FALSE(decoded.complete);
+}
+
+TEST(Ibf, DecodeIsNonDestructive) {
+  InvertibleBloomFilter ibf(64, 4, 5, 32);
+  Xoshiro256 rng(5);
+  auto keys = RandomKeys(10, 32, &rng);
+  for (auto k : keys) ibf.Insert(k);
+  auto first = ibf.Decode();
+  auto second = ibf.Decode();
+  EXPECT_EQ(first.positive.size(), second.positive.size());
+  EXPECT_TRUE(second.complete);
+}
+
+TEST(Ibf, SerializeRoundTrips) {
+  InvertibleBloomFilter ibf(32, 4, 6, 32);
+  Xoshiro256 rng(6);
+  auto keys = RandomKeys(5, 32, &rng);
+  for (auto k : keys) ibf.Insert(k);
+  // Make a negative count to exercise sign extension.
+  ibf.Erase(0xDEAD);
+  BitWriter w;
+  ibf.Serialize(&w);
+  EXPECT_EQ(w.bit_size(), ibf.bit_size());
+  BitReader r(w.bytes());
+  auto back =
+      InvertibleBloomFilter::Deserialize(&r, 32, 4, 6, 32);
+  ASSERT_EQ(back.cell_count(), ibf.cell_count());
+  for (size_t i = 0; i < ibf.cell_count(); ++i) {
+    EXPECT_EQ(back.cell(i).count, ibf.cell(i).count);
+    EXPECT_EQ(back.cell(i).key_sum, ibf.cell(i).key_sum);
+    EXPECT_EQ(back.cell(i).hash_sum, ibf.cell(i).hash_sum);
+  }
+}
+
+TEST(Ibf, WireSizeIsThreeFieldsPerCell) {
+  InvertibleBloomFilter ibf(100, 4, 1, 32);
+  // 100 cells at 3 * 32 bits; cells rounded up to a multiple of num_hashes.
+  EXPECT_EQ(ibf.bit_size(), ibf.cell_count() * 3 * 32);
+  EXPECT_GE(ibf.cell_count(), 100u);
+}
+
+// Decode success rate at the D.Digest operating point: 2d cells for d
+// differences should decode with high probability.
+class IbfLoadFactor : public ::testing::TestWithParam<int> {};
+
+TEST_P(IbfLoadFactor, TwoCellsPerDifferenceUsuallyDecodes) {
+  const int d = GetParam();
+  Xoshiro256 rng(d);
+  int ok = 0;
+  constexpr int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    InvertibleBloomFilter ia(2 * d, d > 200 ? 3 : 4, trial, 32);
+    InvertibleBloomFilter ib(2 * d, d > 200 ? 3 : 4, trial, 32);
+    auto common = RandomKeys(200, 32, &rng);
+    auto diff = RandomKeys(d, 32, &rng);
+    for (auto k : common) {
+      ia.Insert(k);
+      ib.Insert(k);
+    }
+    for (auto k : diff) ia.Insert(k);
+    ia.Subtract(ib);
+    auto decoded = ia.Decode();
+    if (decoded.complete &&
+        decoded.positive.size() == static_cast<size_t>(d)) {
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, kTrials * 80 / 100) << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, IbfLoadFactor,
+                         ::testing::Values(20, 50, 100, 400));
+
+TEST(Ibf, SixtyFourBitSignatures) {
+  InvertibleBloomFilter ia(40, 4, 9, 64), ib(40, 4, 9, 64);
+  Xoshiro256 rng(9);
+  auto diff = RandomKeys(8, 64, &rng);
+  for (auto k : diff) ia.Insert(k);
+  ia.Subtract(ib);
+  auto decoded = ia.Decode();
+  ASSERT_TRUE(decoded.complete);
+  std::sort(decoded.positive.begin(), decoded.positive.end());
+  EXPECT_EQ(decoded.positive, diff);
+}
+
+}  // namespace
+}  // namespace pbs

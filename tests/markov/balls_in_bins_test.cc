@@ -1,0 +1,115 @@
+#include "pbs/markov/balls_in_bins.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+TEST(BallsInBins, BaseCaseZeroBalls) {
+  BallsInBinsTable dp(63, 10);
+  EXPECT_DOUBLE_EQ(dp.Prob(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dp.Prob(0, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dp.Transition(0, 0), 1.0);
+}
+
+TEST(BallsInBins, OneBallIsAlwaysGood) {
+  BallsInBinsTable dp(63, 10);
+  EXPECT_DOUBLE_EQ(dp.Transition(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dp.Transition(1, 1), 0.0);
+}
+
+TEST(BallsInBins, TwoBallsCollideWithProbOneOverN) {
+  const int n = 127;
+  BallsInBinsTable dp(n, 10);
+  EXPECT_NEAR(dp.Transition(2, 2), 1.0 / n, 1e-12);
+  EXPECT_NEAR(dp.Transition(2, 0), 1.0 - 1.0 / n, 1e-12);
+  EXPECT_DOUBLE_EQ(dp.Transition(2, 1), 0.0);  // Bad balls come in groups >= 2.
+}
+
+TEST(BallsInBins, RowsSumToOne) {
+  BallsInBinsTable dp(255, 20);
+  for (int i = 0; i <= 20; ++i) {
+    double sum = 0;
+    for (int j = 0; j <= 20; ++j) sum += dp.Transition(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << i;
+  }
+}
+
+TEST(BallsInBins, AllGoodMatchesIdealCaseProbability) {
+  // Transition(i, 0) is exactly the ideal-case probability of Section 2.2.1.
+  for (int n : {63, 127, 255}) {
+    BallsInBinsTable dp(n, 12);
+    for (int i = 1; i <= 12; ++i) {
+      EXPECT_NEAR(dp.Transition(i, 0), IdealCaseProbability(i, n), 1e-9)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(BallsInBins, IdealCasePaperExample) {
+  // d = 5, n = 255 -> 0.96 (Section 1.3.1).
+  EXPECT_NEAR(IdealCaseProbability(5, 255), 0.96, 0.005);
+}
+
+TEST(BallsInBins, OddBallCountsNeverSingleBad) {
+  // j = 1 is impossible: a lone ball is good by definition.
+  BallsInBinsTable dp(63, 15);
+  for (int i = 0; i <= 15; ++i) EXPECT_DOUBLE_EQ(dp.Transition(i, 1), 0.0);
+}
+
+TEST(BallsInBins, TypeExceptionProbabilitiesPaperExamples) {
+  // Section 2.3 (d=5, n=255): P(some bin has a nonzero even number of
+  // balls) ~ 0.04; P(some bin has >= 3 balls, odd) ~ 1.52e-4.
+  // Monte-Carlo against the same quantities to validate the model's
+  // decomposition (sub-state k tracks bad bins).
+  Xoshiro256 rng(5);
+  constexpr int kTrials = 400000;
+  int even_exception = 0, odd_exception = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int bins[255] = {};
+    for (int ball = 0; ball < 5; ++ball) ++bins[rng.NextBounded(255)];
+    bool has_even = false, has_odd3 = false;
+    for (int c : bins) {
+      if (c >= 2 && c % 2 == 0) has_even = true;
+      if (c >= 3 && c % 2 == 1) has_odd3 = true;
+    }
+    if (has_even) ++even_exception;
+    if (has_odd3) ++odd_exception;
+  }
+  EXPECT_NEAR(even_exception / static_cast<double>(kTrials), 0.039, 0.004);
+  EXPECT_NEAR(odd_exception / static_cast<double>(kTrials), 1.52e-4, 8e-5);
+}
+
+TEST(BallsInBins, MonteCarloMatchesDpDistribution) {
+  // Validate Transition(7, j) for n = 63 against simulation.
+  const int n = 63, balls = 7;
+  BallsInBinsTable dp(n, balls);
+  Xoshiro256 rng(9);
+  constexpr int kTrials = 200000;
+  std::vector<int> counts(balls + 1, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int bins[63] = {};
+    for (int b = 0; b < balls; ++b) ++bins[rng.NextBounded(n)];
+    int bad = 0;
+    for (int c : bins) {
+      if (c >= 2) bad += c;
+    }
+    ++counts[bad];
+  }
+  for (int j = 0; j <= balls; ++j) {
+    const double empirical = counts[j] / static_cast<double>(kTrials);
+    const double model = dp.Transition(balls, j);
+    EXPECT_NEAR(empirical, model, 5e-3 + 0.05 * model) << "j=" << j;
+  }
+}
+
+TEST(BallsInBins, MoreBinsMeanFewerBadBalls) {
+  BallsInBinsTable small(63, 10);
+  BallsInBinsTable large(1023, 10);
+  EXPECT_GT(large.Transition(10, 0), small.Transition(10, 0));
+}
+
+}  // namespace
+}  // namespace pbs

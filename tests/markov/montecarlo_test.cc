@@ -1,0 +1,116 @@
+// Monte-Carlo validation of the multi-round Markov chain (Section 4):
+// simulate the actual rethrow process -- bad balls rethrown with fresh
+// hashes each round -- and compare the empirical distribution of
+// "rounds until empty" and the visit distribution after r rounds against
+// M^r. This validates the Markov property itself (Dk depends only on
+// Dk-1), not just single-round marginals.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pbs/common/rng.h"
+#include "pbs/markov/transition_matrix.h"
+
+namespace pbs {
+namespace {
+
+// One round: throw `balls` into n bins, return the number of bad balls.
+int ThrowOnce(int balls, int n, Xoshiro256* rng) {
+  std::vector<int> counts(n, 0);
+  std::vector<int> bins(balls);
+  for (int i = 0; i < balls; ++i) {
+    bins[i] = static_cast<int>(rng->NextBounded(n));
+    ++counts[bins[i]];
+  }
+  int bad = 0;
+  for (int i = 0; i < balls; ++i) {
+    if (counts[bins[i]] >= 2) ++bad;
+  }
+  return bad;
+}
+
+struct McCase {
+  int n;
+  int x;
+  int r;
+};
+
+class MarkovMonteCarlo : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(MarkovMonteCarlo, MultiRoundDistributionMatchesMatrixPower) {
+  const auto [n, x, r] = GetParam();
+  const int t = 20;
+  const TransitionMatrix mr = TransitionMatrix::ForRound(n, t).Power(r);
+
+  constexpr int kTrials = 60000;
+  Xoshiro256 rng(n * 1000 + x * 10 + r);
+  std::vector<int> end_state(t + 1, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int balls = x;
+    for (int round = 0; round < r && balls > 0; ++round) {
+      balls = ThrowOnce(balls, n, &rng);
+    }
+    ++end_state[balls];
+  }
+
+  for (int y = 0; y <= x; ++y) {
+    const double model = mr.At(x, y);
+    const double empirical = end_state[y] / static_cast<double>(kTrials);
+    const double stderr3 =
+        3.0 * std::sqrt(std::max(model * (1 - model), 1e-9) / kTrials);
+    EXPECT_NEAR(empirical, model, stderr3 + 0.003)
+        << "n=" << n << " x=" << x << " r=" << r << " y=" << y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MarkovMonteCarlo,
+    ::testing::Values(McCase{63, 5, 1}, McCase{63, 5, 2}, McCase{63, 10, 2},
+                      McCase{127, 5, 2}, McCase{127, 13, 3},
+                      McCase{255, 8, 2}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_x" +
+             std::to_string(info.param.x) + "_r" +
+             std::to_string(info.param.r);
+    });
+
+TEST(MarkovMonteCarlo, MarkovPropertyHolds) {
+  // P[D2 = y | D1 = z, D0 = x] should equal P[D2 = y | D1 = z] regardless
+  // of x: condition on reaching z via different starting points and
+  // compare next-round distributions.
+  const int n = 63;
+  Xoshiro256 rng(99);
+  constexpr int kTrials = 400000;
+  const int z = 2;  // Condition on exactly 2 bad balls after round 1.
+  int counts_from_small[3] = {};  // D2 in {0, 2} from x = 4.
+  int total_small = 0;
+  int counts_from_large[3] = {};  // Same, from x = 8.
+  int total_large = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (int start : {4, 8}) {
+      if (ThrowOnce(start, n, &rng) != z) continue;
+      const int d2 = ThrowOnce(z, n, &rng);
+      const int slot = d2 == 0 ? 0 : 2;
+      if (start == 4) {
+        ++counts_from_small[slot];
+        ++total_small;
+      } else {
+        ++counts_from_large[slot];
+        ++total_large;
+      }
+    }
+  }
+  ASSERT_GT(total_small, 1000);
+  ASSERT_GT(total_large, 1000);
+  const double p_small =
+      counts_from_small[0] / static_cast<double>(total_small);
+  const double p_large =
+      counts_from_large[0] / static_cast<double>(total_large);
+  EXPECT_NEAR(p_small, p_large, 0.01);
+  // And both match the chain: M(2, 0) = 1 - 1/n.
+  EXPECT_NEAR(p_small, 1.0 - 1.0 / n, 0.01);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,116 @@
+#include "pbs/markov/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+TEST(Optimizer, ReproducesPaperOptimum) {
+  // d=1000, delta=5, r=3, p0=0.99 -> (n=127, t=13), 318 bits per group
+  // (Appendix H / Section 5.2).
+  OptimizerOptions options;
+  options.d = 1000;
+  auto plan = OptimizeParams(options);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->n, 127);
+  EXPECT_EQ(plan->t, 13);
+  EXPECT_EQ(plan->g, 200);
+  EXPECT_NEAR(plan->bits_per_group, 318.0, 0.5);
+  EXPECT_GE(plan->lower_bound, 0.99);
+}
+
+TEST(Optimizer, ObjectiveFormulaMatchesPaper) {
+  // (t + delta) log n + (delta + 1) log|U| with n=127, t=13:
+  // 18*7 + 6*32 = 126 + 192 = 318.
+  OptimizerOptions options;
+  options.d = 1000;
+  auto plan = OptimizeParams(options);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->bits_per_group,
+                   (plan->t + 5.0) * plan->m + 6.0 * 32);
+}
+
+TEST(Optimizer, GridContainsAllCombinations) {
+  OptimizerOptions options;
+  options.d = 1000;
+  const auto grid = EvaluateGrid(options);
+  // m in 6..11 (6 values), t in 8..17 (10 values).
+  EXPECT_EQ(grid.size(), 60u);
+}
+
+TEST(Optimizer, HigherP0NeedsMoreBits) {
+  OptimizerOptions lenient;
+  lenient.d = 1000;
+  lenient.p0 = 0.95;
+  OptimizerOptions strict = lenient;
+  strict.p0 = 239.0 / 240.0;
+  auto cheap = OptimizeParams(lenient);
+  auto costly = OptimizeParams(strict);
+  ASSERT_TRUE(cheap.has_value());
+  ASSERT_TRUE(costly.has_value());
+  EXPECT_LE(cheap->bits_per_group, costly->bits_per_group);
+}
+
+TEST(Optimizer, FewerRoundsNeedMoreBits) {
+  // Section 5.2: optimal comm overhead decreases with r.
+  double prev = 1e18;
+  for (int r = 2; r <= 4; ++r) {
+    OptimizerOptions options;
+    options.d = 1000;
+    options.r = r;
+    options.max_m = 13;
+    auto plan = OptimizeParams(options);
+    ASSERT_TRUE(plan.has_value()) << "r=" << r;
+    EXPECT_LE(plan->bits_per_group, prev) << "r=" << r;
+    prev = plan->bits_per_group;
+  }
+}
+
+TEST(Optimizer, RoundTradeoffNearPaperValues) {
+  // Paper Section 5.2: 402 / 318 / 288 bits for r = 2 / 3 / 4.
+  const double expected[] = {402, 318, 288};
+  for (int r = 2; r <= 4; ++r) {
+    OptimizerOptions options;
+    options.d = 1000;
+    options.r = r;
+    options.max_m = 13;
+    auto plan = OptimizeParams(options);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_NEAR(plan->bits_per_group, expected[r - 2], 20.0) << "r=" << r;
+  }
+}
+
+TEST(Optimizer, InfeasibleRangeReturnsNullopt) {
+  OptimizerOptions options;
+  options.d = 1000;
+  options.r = 1;  // One round with small n cannot hit 99%.
+  options.max_m = 11;
+  EXPECT_FALSE(OptimizeParams(options).has_value());
+}
+
+TEST(Optimizer, SmallDUsesOneGroupPerDeltaElements) {
+  OptimizerOptions options;
+  options.d = 10;
+  auto plan = OptimizeParams(options);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->g, 2);
+}
+
+TEST(Optimizer, ZeroDStillPlans) {
+  OptimizerOptions options;
+  options.d = 0;
+  auto plan = OptimizeParams(options);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->g, 1);
+}
+
+TEST(Optimizer, FeasibleCellsRespectBound) {
+  OptimizerOptions options;
+  options.d = 1000;
+  for (const auto& cell : EvaluateGrid(options)) {
+    EXPECT_EQ(cell.feasible, cell.lower_bound >= options.p0);
+  }
+}
+
+}  // namespace
+}  // namespace pbs

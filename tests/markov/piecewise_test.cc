@@ -1,0 +1,63 @@
+#include "pbs/markov/piecewise.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pbs {
+namespace {
+
+TEST(Piecewise, PaperRoundFractions) {
+  // Section 5.3: with d=1000, n=127, t=13, g=200 the expected proportions
+  // reconciled in rounds 1..4 are 0.962, 0.0380, 3.61e-4, 2.86e-6.
+  const auto fractions = ExpectedRoundFractions(127, 13, 1000, 200, 4);
+  ASSERT_EQ(fractions.size(), 4u);
+  EXPECT_NEAR(fractions[0], 0.962, 0.004);
+  EXPECT_NEAR(fractions[1], 0.0380, 0.002);
+  EXPECT_NEAR(fractions[2], 3.61e-4, 4e-5);
+  EXPECT_NEAR(fractions[3], 2.86e-6, 4e-7);
+}
+
+TEST(Piecewise, FractionsDecreaseGeometrically) {
+  const auto fractions = ExpectedRoundFractions(127, 13, 1000, 200, 4);
+  for (size_t k = 1; k < fractions.size(); ++k) {
+    EXPECT_LT(fractions[k], fractions[k - 1]);
+  }
+}
+
+TEST(Piecewise, FractionsSumBelowOne) {
+  const auto fractions = ExpectedRoundFractions(127, 13, 1000, 200, 6);
+  const double total =
+      std::accumulate(fractions.begin(), fractions.end(), 0.0);
+  EXPECT_LE(total, 1.0 + 1e-9);
+  // Nearly everything reconciles eventually; the deficit (~2e-3) is the
+  // Binomial mass truncated at t (Appendix D).
+  EXPECT_GT(total, 0.995);
+}
+
+TEST(Piecewise, FirstRoundCarriesVastMajority) {
+  // The "piecewise reconciliability" claim: > 95% in round one.
+  const auto fractions = ExpectedRoundFractions(127, 13, 1000, 200, 1);
+  EXPECT_GT(fractions[0], 0.95);
+}
+
+TEST(Piecewise, ConditionalExpectationMatchesHandComputation) {
+  // x = 2, one round: E[reconciled] = 2 * (1 - 1/n).
+  const int n = 63;
+  const double expected = 2.0 * (1.0 - 1.0 / n);
+  EXPECT_NEAR(ExpectedReconciledWithin(n, 13, 1, 2), expected, 1e-9);
+}
+
+TEST(Piecewise, ZeroOrOverCapacityYieldZero) {
+  EXPECT_DOUBLE_EQ(ExpectedReconciledWithin(127, 13, 3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedReconciledWithin(127, 13, 3, 14), 0.0);
+}
+
+TEST(Piecewise, LargerBitmapReconcilesFasterInRoundOne) {
+  const auto small = ExpectedRoundFractions(63, 13, 1000, 200, 1);
+  const auto large = ExpectedRoundFractions(1023, 13, 1000, 200, 1);
+  EXPECT_GT(large[0], small[0]);
+}
+
+}  // namespace
+}  // namespace pbs

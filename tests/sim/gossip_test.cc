@@ -1,0 +1,73 @@
+#include "pbs/sim/gossip.h"
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+GossipConfig SmallConfig() {
+  GossipConfig config;
+  config.num_peers = 4;
+  config.shared_elements = 2000;
+  config.fresh_per_peer = 40;
+  config.pbs.max_rounds = 5;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Gossip, CompleteGraphConvergesInOneOrTwoSweeps) {
+  const GossipResult result = RunGossip(SmallConfig());
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.sweeps, 2);
+  EXPECT_EQ(result.final_set_size, 2000u + 4u * 40u);
+}
+
+TEST(Gossip, RingTopologyNeedsMoreSweeps) {
+  GossipConfig ring = SmallConfig();
+  ring.num_peers = 6;
+  ring.topology = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}};
+  const GossipResult result = RunGossip(ring);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.sweeps, 1);
+  EXPECT_EQ(result.final_set_size, 2000u + 6u * 40u);
+}
+
+TEST(Gossip, LineTopologyConverges) {
+  GossipConfig line = SmallConfig();
+  line.num_peers = 5;
+  line.topology = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  const GossipResult result = RunGossip(line);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Gossip, ReconciliationBeatsNaiveInventoryExchange) {
+  const GossipResult result = RunGossip(SmallConfig());
+  ASSERT_TRUE(result.converged);
+  EXPECT_LT(result.pbs_bytes, result.naive_bytes / 5);
+}
+
+TEST(Gossip, AlreadyConvergedNeedsNoSweeps) {
+  GossipConfig config = SmallConfig();
+  config.fresh_per_peer = 0;
+  const GossipResult result = RunGossip(config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.sweeps, 0);
+  EXPECT_EQ(result.reconciliations, 0u);
+}
+
+TEST(Gossip, SweepCapReportsNonConvergence) {
+  GossipConfig config = SmallConfig();
+  config.max_sweeps = 0;
+  const GossipResult result = RunGossip(config);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(Gossip, DeterministicPerSeed) {
+  const GossipResult a = RunGossip(SmallConfig());
+  const GossipResult b = RunGossip(SmallConfig());
+  EXPECT_EQ(a.pbs_bytes, b.pbs_bytes);
+  EXPECT_EQ(a.sweeps, b.sweeps);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,84 @@
+#include "pbs/sim/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+ExperimentConfig SmallConfig(Scheme /*scheme*/) {
+  ExperimentConfig config;
+  config.set_size = 3000;
+  config.d = 50;
+  config.instances = 6;
+  config.seed = 77;
+  return config;
+}
+
+class RunnerAllSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(RunnerAllSchemes, HighSuccessAndSaneMetrics) {
+  const Scheme scheme = GetParam();
+  const auto stats = RunScheme(scheme, SmallConfig(scheme));
+  EXPECT_EQ(stats.instances, 6);
+  EXPECT_GE(stats.success_rate, 0.5) << SchemeName(scheme);
+  EXPECT_GT(stats.mean_bytes, 0.0);
+  EXPECT_GE(stats.mean_encode_seconds, 0.0);
+  EXPECT_GE(stats.mean_rounds, 1.0);
+  EXPECT_GT(stats.overhead_ratio, 0.9) << SchemeName(scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, RunnerAllSchemes,
+                         ::testing::Values(Scheme::kPbs, Scheme::kPinSketch,
+                                           Scheme::kDDigest, Scheme::kGraphene,
+                                           Scheme::kPinSketchWp),
+                         [](const auto& info) {
+                           std::string n = SchemeName(info.param);
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Runner, OverheadOrderingMatchesPaper) {
+  // PinSketch < PBS < D.Digest in communication overhead (Figure 1b).
+  ExperimentConfig config;
+  config.set_size = 4000;
+  config.d = 100;
+  config.instances = 5;
+  const auto pin = RunScheme(Scheme::kPinSketch, config);
+  const auto pbs = RunScheme(Scheme::kPbs, config);
+  const auto dd = RunScheme(Scheme::kDDigest, config);
+  EXPECT_LT(pin.mean_bytes, pbs.mean_bytes);
+  EXPECT_LT(pbs.mean_bytes, dd.mean_bytes);
+}
+
+TEST(Runner, CallbackSeesEveryInstance) {
+  ExperimentConfig config;
+  config.set_size = 1000;
+  config.d = 10;
+  config.instances = 4;
+  int calls = 0;
+  RunSchemeWithCallback(Scheme::kPbs, config,
+                        [&](const InstanceOutcome&) { ++calls; });
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(Runner, KnownDMatchesEstimatorPathOnSuccessRate) {
+  ExperimentConfig config;
+  config.set_size = 2000;
+  config.d = 40;
+  config.instances = 5;
+  config.use_estimator = false;
+  const auto stats = RunScheme(Scheme::kPbs, config);
+  EXPECT_GE(stats.success_rate, 0.8);
+}
+
+TEST(Runner, SchemeNamesStable) {
+  EXPECT_STREQ(SchemeName(Scheme::kPbs), "PBS");
+  EXPECT_STREQ(SchemeName(Scheme::kGraphene), "Graphene");
+  EXPECT_STREQ(SchemeName(Scheme::kPinSketchWp), "PinSketch/WP");
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,100 @@
+#include "pbs/sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pbs {
+namespace {
+
+TEST(Workload, SizesExact) {
+  SetPair pair = GenerateSetPair(10000, 137, 32, 1);
+  EXPECT_EQ(pair.a.size(), 10000u);
+  EXPECT_EQ(pair.b.size(), 10000u - 137u);
+  EXPECT_EQ(pair.truth_diff.size(), 137u);
+}
+
+TEST(Workload, BIsSubsetOfA) {
+  SetPair pair = GenerateSetPair(5000, 50, 32, 2);
+  std::unordered_set<uint64_t> a(pair.a.begin(), pair.a.end());
+  for (uint64_t e : pair.b) EXPECT_TRUE(a.count(e));
+}
+
+TEST(Workload, TruthDiffIsAMinusB) {
+  SetPair pair = GenerateSetPair(3000, 30, 32, 3);
+  std::unordered_set<uint64_t> b(pair.b.begin(), pair.b.end());
+  std::unordered_set<uint64_t> diff(pair.truth_diff.begin(),
+                                    pair.truth_diff.end());
+  EXPECT_EQ(diff.size(), 30u);
+  for (uint64_t e : pair.truth_diff) EXPECT_FALSE(b.count(e));
+  int missing = 0;
+  for (uint64_t e : pair.a) {
+    if (!b.count(e)) {
+      EXPECT_TRUE(diff.count(e));
+      ++missing;
+    }
+  }
+  EXPECT_EQ(missing, 30);
+}
+
+TEST(Workload, ElementsDistinctNonzeroAndInRange) {
+  SetPair pair = GenerateSetPair(20000, 10, 32, 4);
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t e : pair.a) {
+    EXPECT_NE(e, 0u);
+    EXPECT_LE(e, 0xFFFFFFFFull);
+    EXPECT_TRUE(seen.insert(e).second);
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  SetPair p1 = GenerateSetPair(1000, 10, 32, 42);
+  SetPair p2 = GenerateSetPair(1000, 10, 32, 42);
+  EXPECT_EQ(p1.a, p2.a);
+  EXPECT_EQ(p1.b, p2.b);
+  SetPair p3 = GenerateSetPair(1000, 10, 32, 43);
+  EXPECT_NE(p1.a, p3.a);
+}
+
+TEST(Workload, ZeroDifferenceMeansEqualSets) {
+  SetPair pair = GenerateSetPair(500, 0, 32, 5);
+  auto a = pair.a;
+  auto b = pair.b;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Workload, SixtyFourBitUniverse) {
+  SetPair pair = GenerateSetPair(1000, 10, 63, 6);
+  bool any_large = false;
+  for (uint64_t e : pair.a) {
+    if (e > 0xFFFFFFFFull) any_large = true;
+  }
+  EXPECT_TRUE(any_large);
+}
+
+TEST(Workload, TwoSidedPairStructure) {
+  SetPair pair = GenerateTwoSidedPair(1000, 17, 11, 32, 7);
+  EXPECT_EQ(pair.a.size(), 1017u);
+  EXPECT_EQ(pair.b.size(), 1011u);
+  EXPECT_EQ(pair.truth_diff.size(), 28u);
+  std::unordered_set<uint64_t> a(pair.a.begin(), pair.a.end());
+  std::unordered_set<uint64_t> b(pair.b.begin(), pair.b.end());
+  int a_only = 0, b_only = 0;
+  for (uint64_t e : pair.truth_diff) {
+    if (a.count(e)) {
+      EXPECT_FALSE(b.count(e));
+      ++a_only;
+    } else {
+      EXPECT_TRUE(b.count(e));
+      ++b_only;
+    }
+  }
+  EXPECT_EQ(a_only, 17);
+  EXPECT_EQ(b_only, 11);
+}
+
+}  // namespace
+}  // namespace pbs

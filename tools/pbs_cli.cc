@@ -1,0 +1,221 @@
+// pbs_cli: command-line set reconciliation over signature files.
+//
+// A signature file is plain text, one hex signature per line (nonzero,
+// up to 63 bits). Subcommands:
+//
+//   pbs_cli gen <file> <count> [--seed N]
+//       Generate a file of distinct random 32-bit signatures.
+//   pbs_cli mutate <in> <out> --drop N --add N [--seed N]
+//       Derive a diverged copy (drop N random lines, add N fresh ones).
+//   pbs_cli estimate <fileA> <fileB>
+//       ToW estimate of |A triangle B| (ell = 128).
+//   pbs_cli diff <fileA> <fileB> [--rounds N] [--p0 X] [--delta N]
+//       Reconcile with PBS; print the symmetric difference and stats.
+//   pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]
+//       Show the (g, n, t) parameterization the Section-5.1 optimizer
+//       picks for an expected difference of d.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "pbs/common/rng.h"
+#include "pbs/core/reconciler.h"
+#include "pbs/estimator/tow.h"
+#include "pbs/markov/optimizer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  pbs_cli gen <file> <count> [--seed N]\n"
+      "  pbs_cli mutate <in> <out> --drop N --add N [--seed N]\n"
+      "  pbs_cli estimate <fileA> <fileB>\n"
+      "  pbs_cli diff <fileA> <fileB> [--rounds N] [--p0 X] [--delta N]\n"
+      "  pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]\n");
+  return 2;
+}
+
+uint64_t FlagU64(int argc, char** argv, const char* flag, uint64_t def) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return def;
+}
+
+double FlagDouble(int argc, char** argv, const char* flag, double def) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return def;
+}
+
+bool LoadSignatures(const char* path, std::vector<uint64_t>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::string line;
+  std::unordered_set<uint64_t> seen;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const uint64_t v = std::strtoull(line.c_str(), nullptr, 16);
+    if (v == 0) {
+      std::fprintf(stderr, "warning: skipping zero/invalid line '%s'\n",
+                   line.c_str());
+      continue;
+    }
+    if (seen.insert(v).second) out->push_back(v);
+  }
+  return true;
+}
+
+bool SaveSignatures(const char* path, const std::vector<uint64_t>& sigs) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  for (uint64_t v : sigs) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIx64 "\n", v);
+    out << buf;
+  }
+  return true;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* path = argv[0];
+  const uint64_t count = std::strtoull(argv[1], nullptr, 10);
+  pbs::Xoshiro256 rng(FlagU64(argc, argv, "--seed", 1));
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> sigs;
+  while (sigs.size() < count) {
+    const uint64_t v = rng.Next() & 0xFFFFFFFF;
+    if (v != 0 && seen.insert(v).second) sigs.push_back(v);
+  }
+  if (!SaveSignatures(path, sigs)) return 1;
+  std::printf("wrote %zu signatures to %s\n", sigs.size(), path);
+  return 0;
+}
+
+int CmdMutate(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::vector<uint64_t> sigs;
+  if (!LoadSignatures(argv[0], &sigs)) return 1;
+  const uint64_t drop = FlagU64(argc, argv, "--drop", 0);
+  const uint64_t add = FlagU64(argc, argv, "--add", 0);
+  pbs::Xoshiro256 rng(FlagU64(argc, argv, "--seed", 2));
+  if (drop > sigs.size()) {
+    std::fprintf(stderr, "cannot drop %" PRIu64 " of %zu\n", drop,
+                 sigs.size());
+    return 1;
+  }
+  for (uint64_t i = 0; i < drop; ++i) {
+    const size_t j = i + rng.NextBounded(sigs.size() - i);
+    std::swap(sigs[i], sigs[j]);
+  }
+  sigs.erase(sigs.begin(), sigs.begin() + drop);
+  std::unordered_set<uint64_t> seen(sigs.begin(), sigs.end());
+  for (uint64_t i = 0; i < add;) {
+    const uint64_t v = rng.Next() & 0xFFFFFFFF;
+    if (v != 0 && seen.insert(v).second) {
+      sigs.push_back(v);
+      ++i;
+    }
+  }
+  if (!SaveSignatures(argv[1], sigs)) return 1;
+  std::printf("wrote %zu signatures to %s (dropped %" PRIu64 ", added %"
+              PRIu64 ")\n",
+              sigs.size(), argv[1], drop, add);
+  return 0;
+}
+
+int CmdEstimate(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::vector<uint64_t> a, b;
+  if (!LoadSignatures(argv[0], &a) || !LoadSignatures(argv[1], &b)) return 1;
+  pbs::TowSketch sa(pbs::kTowDefaultSketches, 7);
+  pbs::TowSketch sb(pbs::kTowDefaultSketches, 7);
+  sa.AddAll(a);
+  sb.AddAll(b);
+  const double d_hat = pbs::TowSketch::Estimate(sa, sb);
+  std::printf("|A|=%zu |B|=%zu d-hat=%.1f (use %d with gamma=%.2f)\n",
+              a.size(), b.size(), d_hat,
+              pbs::InflateEstimate(d_hat, pbs::kTowGamma), pbs::kTowGamma);
+  return 0;
+}
+
+int CmdDiff(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::vector<uint64_t> a, b;
+  if (!LoadSignatures(argv[0], &a) || !LoadSignatures(argv[1], &b)) return 1;
+  pbs::PbsConfig config;
+  config.max_rounds = static_cast<int>(FlagU64(argc, argv, "--rounds", 3));
+  config.target_rounds = config.max_rounds;
+  config.p0 = FlagDouble(argc, argv, "--p0", 0.99);
+  config.delta = static_cast<int>(FlagU64(argc, argv, "--delta", 5));
+  config.strong_verification = true;
+  pbs::Transcript transcript;
+  auto result = pbs::PbsSession::Reconcile(a, b, config, 0xC11, -1,
+                                           &transcript);
+  std::fprintf(stderr,
+               "success=%s rounds=%d bytes=%zu (+%zu estimator) "
+               "plan(g=%d n=%d t=%d)\n",
+               result.success ? "yes" : "no", result.rounds,
+               result.data_bytes, result.estimator_bytes,
+               result.plan.params.g, result.plan.params.n,
+               result.plan.params.t);
+  if (!result.success) return 1;
+  std::sort(result.difference.begin(), result.difference.end());
+  std::unordered_set<uint64_t> in_a(a.begin(), a.end());
+  for (uint64_t v : result.difference) {
+    std::printf("%c %" PRIx64 "\n", in_a.count(v) ? '-' : '+', v);
+  }
+  return 0;
+}
+
+int CmdPlan(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  pbs::PbsConfig config;
+  config.target_rounds = static_cast<int>(FlagU64(argc, argv, "--rounds", 3));
+  config.p0 = FlagDouble(argc, argv, "--p0", 0.99);
+  config.delta = static_cast<int>(FlagU64(argc, argv, "--delta", 5));
+  const int d = std::atoi(argv[0]);
+  const pbs::PbsPlan plan = pbs::PlanFor(config, d);
+  std::printf("d=%d delta=%d r=%d p0=%.4f\n", d, config.delta,
+              config.target_rounds, config.p0);
+  std::printf("  groups g = %d\n", plan.params.g);
+  std::printf("  bins   n = %d (m = %d)\n", plan.params.n, plan.params.m);
+  std::printf("  BCH    t = %d\n", plan.params.t);
+  std::printf("  success lower bound = %.4f\n", plan.params.lower_bound);
+  std::printf("  first-round bits/group = %.0f (total ~%.1f KB)\n",
+              plan.params.bits_per_group,
+              plan.params.bits_per_group * plan.params.g / 8192.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
+  if (cmd == "mutate") return CmdMutate(argc - 2, argv + 2);
+  if (cmd == "estimate") return CmdEstimate(argc - 2, argv + 2);
+  if (cmd == "diff") return CmdDiff(argc - 2, argv + 2);
+  if (cmd == "plan") return CmdPlan(argc - 2, argv + 2);
+  return Usage();
+}
