@@ -39,7 +39,7 @@ int main() {
     config.pbs.optimizer.min_m = 6;
     config.pbs.optimizer.max_m = 6;
     config.pbs.optimizer.t_high = 13.0;  // t up to 65 covers d = 60.
-    const RunStats stats = RunScheme(Scheme::kPbs, config);
+    const RunStats stats = RunScheme("pbs", config);
     table.AddRow({check_on ? "on" : "off",
                   FormatDouble(stats.success_rate, 3),
                   FormatDouble(stats.mean_rounds, 2),

@@ -23,22 +23,22 @@ int main() {
 
   ResultTable table({"d", "scheme", "success", "KB", "xMin", "encode_s",
                      "decode_s", "rounds"});
-  for (Scheme scheme :
-       {Scheme::kPbs, Scheme::kPinSketch, Scheme::kDDigest}) {
+  for (const std::string scheme : {"pbs", "pinsketch", "ddigest"}) {
     const auto& grid =
-        scheme == Scheme::kPinSketch ? scale.slow_d_grid : scale.d_grid;
+        scheme == "pinsketch" ? scale.slow_d_grid : scale.d_grid;
     for (size_t d : grid) {
       ExperimentConfig config;
       config.set_size = scale.set_size;
       config.d = d;
-      config.instances = scheme == Scheme::kPinSketch
+      config.instances = scheme == "pinsketch"
                              ? bench::SlowSchemeInstances(scale)
                              : scale.instances;
       config.threads = 0;
       config.seed = 0xF161 + d;
       config.pbs.p0 = 0.99;
       const RunStats stats = RunScheme(scheme, config);
-      table.AddRow({std::to_string(d), SchemeName(scheme),
+      table.AddRow({std::to_string(d),
+                    SchemeRegistry::Instance().DisplayName(scheme),
                     FormatDouble(stats.success_rate, 3),
                     FormatDouble(stats.mean_bytes / 1024.0, 3),
                     FormatDouble(stats.overhead_ratio, 2),

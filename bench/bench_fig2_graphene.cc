@@ -29,7 +29,7 @@ int main() {
 
   ResultTable table({"d", "scheme", "success", "KB", "xMin", "encode_s",
                      "decode_s"});
-  for (Scheme scheme : {Scheme::kPbs, Scheme::kGraphene}) {
+  for (const std::string scheme : {"pbs", "graphene"}) {
     for (size_t d : scale.d_grid) {
       ExperimentConfig config;
       config.set_size = scale.set_size;
@@ -39,7 +39,8 @@ int main() {
       config.seed = 0xF162 + d;
       config.pbs.p0 = 239.0 / 240.0;
       const RunStats stats = RunScheme(scheme, config);
-      table.AddRow({std::to_string(d), SchemeName(scheme),
+      table.AddRow({std::to_string(d),
+                    SchemeRegistry::Instance().DisplayName(scheme),
                     FormatDouble(stats.success_rate, 4),
                     FormatDouble(stats.mean_bytes / 1024.0, 3),
                     FormatDouble(stats.overhead_ratio, 2),

@@ -20,7 +20,7 @@ int main() {
 
   ResultTable table({"d", "scheme", "success", "KB", "xMin", "encode_s",
                      "decode_s", "rounds"});
-  for (Scheme scheme : {Scheme::kPbs, Scheme::kPinSketchWp}) {
+  for (const std::string scheme : {"pbs", "pinsketch-wp"}) {
     for (size_t d : scale.d_grid) {
       ExperimentConfig config;
       config.set_size = scale.set_size;
@@ -29,7 +29,8 @@ int main() {
       config.threads = 0;
       config.seed = 0xF163 + d;
       const RunStats stats = RunScheme(scheme, config);
-      table.AddRow({std::to_string(d), SchemeName(scheme),
+      table.AddRow({std::to_string(d),
+                    SchemeRegistry::Instance().DisplayName(scheme),
                     FormatDouble(stats.success_rate, 3),
                     FormatDouble(stats.mean_bytes / 1024.0, 3),
                     FormatDouble(stats.overhead_ratio, 2),

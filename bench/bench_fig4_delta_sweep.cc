@@ -31,7 +31,7 @@ int main() {
     config.pbs.delta = delta;
     // Wider bitmaps become attractive at large delta.
     config.pbs.optimizer.max_m = 13;
-    const RunStats stats = RunScheme(Scheme::kPbs, config);
+    const RunStats stats = RunScheme("pbs", config);
     const PbsPlan plan =
         PlanFor(config.pbs, static_cast<int>(1.38 * d));
     table.AddRow({std::to_string(delta), FormatDouble(stats.success_rate, 3),

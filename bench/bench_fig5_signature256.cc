@@ -21,7 +21,7 @@ int main() {
       "Figure 5: PBS vs PinSketch/WP at log|U| = 256 (simulated)", scale);
 
   ResultTable table({"d", "scheme", "KB@256", "xMin", "success"});
-  for (Scheme scheme : {Scheme::kPbs, Scheme::kPinSketchWp}) {
+  for (const std::string scheme : {"pbs", "pinsketch-wp"}) {
     for (size_t d : scale.d_grid) {
       ExperimentConfig config;
       config.set_size = scale.set_size;
@@ -31,7 +31,8 @@ int main() {
       config.seed = 0xF165 + d;
       config.report_sig_bits = 256;
       const RunStats stats = RunScheme(scheme, config);
-      table.AddRow({std::to_string(d), SchemeName(scheme),
+      table.AddRow({std::to_string(d),
+                    SchemeRegistry::Instance().DisplayName(scheme),
                     FormatDouble(stats.mean_bytes / 1024.0, 3),
                     FormatDouble(stats.overhead_ratio, 2),
                     FormatDouble(stats.success_rate, 3)});

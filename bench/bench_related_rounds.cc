@@ -34,7 +34,7 @@ int main() {
       config.d = d;
       config.instances = instances;
       config.seed = 0x5EC7 + d;
-      const RunStats stats = RunScheme(Scheme::kPbs, config);
+      const RunStats stats = RunScheme("pbs", config);
       rounds.AddRow({std::to_string(d), "PBS",
                      FormatDouble(stats.mean_rounds, 2),
                      FormatDouble(stats.mean_bytes / 1024.0, 3),

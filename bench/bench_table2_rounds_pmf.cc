@@ -35,7 +35,7 @@ int main() {
     config.pbs.max_rounds = 64;  // Run to completion.
     std::map<int, int> pmf;
     const RunStats stats = RunSchemeWithCallback(
-        Scheme::kPbs, config,
+        "pbs", config,
         [&pmf](const InstanceOutcome& outcome) { ++pmf[outcome.rounds]; });
     const double n = config.instances;
     int tail = 0;

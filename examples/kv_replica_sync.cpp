@@ -13,7 +13,8 @@
 #include <vector>
 
 #include "pbs/common/rng.h"
-#include "pbs/core/reconciler.h"
+#include "pbs/core/set_reconciler.h"
+#include "pbs/estimator/tow.h"
 #include "pbs/hash/xxhash64.h"
 
 namespace {
@@ -96,15 +97,28 @@ int main() {
               primary.size(), secondary.size());
 
   // Reconcile the signature sets (secondary plays Alice: it learns the
-  // difference and drives the repair).
-  pbs::PbsConfig config;
-  config.max_rounds = 5;
-  auto result = pbs::PbsSession::Reconcile(
-      secondary.Signatures(), primary.Signatures(), config, 0xCA55);
-  std::printf("PBS: success=%s, %zu differing signatures, %zu bytes, %d "
-              "rounds\n",
-              result.success ? "yes" : "no", result.difference.size(),
-              result.data_bytes + result.estimator_bytes, result.rounds);
+  // difference and drives the repair). Any registered scheme would do --
+  // swap the name to "graphene" or "ddigest" to compare.
+  const std::vector<uint64_t> secondary_sigs = secondary.Signatures();
+  const std::vector<uint64_t> primary_sigs = primary.Signatures();
+
+  // Estimate exchange: both sides build ToW sketches under a shared seed
+  // and the estimate is computed from the counter differences (Section 6).
+  const pbs::TowExchange estimate = pbs::TowEstimateExchange(
+      secondary_sigs, primary_sigs, pbs::kTowDefaultSketches, 0xE57);
+
+  pbs::SchemeOptions options;
+  options.pbs.max_rounds = 5;
+  auto reconciler =
+      pbs::SchemeRegistry::Instance().Create("pbs", options);
+  auto result =
+      reconciler->Reconcile(secondary_sigs, primary_sigs,
+                            estimate.d_hat, 0xCA55);
+  std::printf("%s: success=%s, %zu differing signatures, %zu bytes "
+              "(+%zu estimator), %d rounds\n",
+              reconciler->display_name(), result.success ? "yes" : "no",
+              result.difference.size(), result.data_bytes, estimate.bytes,
+              result.rounds);
   if (!result.success) return 1;
 
   // Repair: for each differing signature, whichever side has the record
@@ -141,8 +155,8 @@ int main() {
   const size_t naive = primary.size() * 4;
   std::printf("bandwidth: %zu B of reconciliation vs %zu B to ship every "
               "signature naively (%.0fx saving)\n",
-              result.data_bytes + result.estimator_bytes, naive,
+              result.data_bytes + estimate.bytes, naive,
               static_cast<double>(naive) /
-                  (result.data_bytes + result.estimator_bytes));
+                  (result.data_bytes + estimate.bytes));
   return converged ? 0 : 1;
 }

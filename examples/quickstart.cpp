@@ -1,41 +1,40 @@
-// Quickstart: reconcile two small sets with PBS in a dozen lines.
+// Quickstart: reconcile two small sets through the SetReconciler
+// interface in a dozen lines.
 //
 // Alice holds set A, Bob holds set B (32-bit signatures, 0 excluded).
-// One PbsSession::Reconcile call runs the full protocol -- ToW estimation,
-// parameter planning, sketch exchange, multi-round repair -- over an
-// in-memory channel, and returns the symmetric difference plus the exact
-// number of bytes a real deployment would have sent.
+// Every scheme in the repo -- PBS and the Section-7/8 baselines -- is
+// constructible by name from the SchemeRegistry and speaks the same
+// Reconcile() call, so the same code runs the full PBS protocol or any
+// baseline, and new schemes plug in without touching callers.
 
 #include <cstdio>
 #include <vector>
 
-#include "pbs/core/reconciler.h"
+#include "pbs/core/set_reconciler.h"
 
 int main() {
   // Two overlapping sets; their symmetric difference is {5, 6, 1001, 1002}.
   std::vector<uint64_t> alice_set = {1, 2, 3, 4, 5, 6, 42, 777};
   std::vector<uint64_t> bob_set = {1, 2, 3, 4, 42, 777, 1001, 1002};
 
-  pbs::PbsConfig config;          // delta=5, r=3, p0=0.99 -- paper defaults.
-  pbs::Transcript transcript;     // Records every message and its size.
+  pbs::SchemeOptions options;  // delta=5, r=3, p0=0.99 -- paper defaults.
+  auto& registry = pbs::SchemeRegistry::Instance();
 
-  pbs::PbsResult result = pbs::PbsSession::Reconcile(
-      alice_set, bob_set, config, /*seed=*/2026, /*d_used=*/-1, &transcript);
+  // The flagship scheme, by name. In this toy setting both sides know the
+  // exact difference cardinality, so we pass d_hat = 4 (a real deployment
+  // would run the ToW estimator first; see examples/kv_replica_sync.cpp).
+  auto reconciler = registry.Create("pbs", options);
+  pbs::ReconcileOutcome result =
+      reconciler->Reconcile(alice_set, bob_set, /*d_hat=*/4.0,
+                            /*seed=*/2026);
 
-  std::printf("success: %s after %d round(s)\n",
-              result.success ? "yes" : "no", result.rounds);
+  std::printf("%s: success=%s after %d round(s), plan %s\n",
+              reconciler->display_name(), result.success ? "yes" : "no",
+              result.rounds, result.params_summary.c_str());
   std::printf("difference (%zu elements):", result.difference.size());
   for (uint64_t e : result.difference) std::printf(" %llu",
                                                    (unsigned long long)e);
-  std::printf("\n");
-  std::printf("protocol bytes: %zu (+%zu for the estimator)\n",
-              result.data_bytes, result.estimator_bytes);
-  for (const auto& entry : transcript.entries()) {
-    std::printf("  round %d %s %-17s %zu bytes\n", entry.round,
-                entry.direction == pbs::Direction::kAliceToBob ? "A->B"
-                                                               : "B->A",
-                entry.label.c_str(), entry.bytes);
-  }
+  std::printf("\nprotocol bytes: %zu\n\n", result.data_bytes);
 
   // Alice applies the difference to obtain the union A u B.
   std::vector<uint64_t> reconciled = alice_set;
@@ -44,7 +43,19 @@ int main() {
     for (uint64_t a : alice_set) in_a = in_a || a == e;
     if (!in_a) reconciled.push_back(e);
   }
-  std::printf("Alice's reconciled set now has %zu elements (A u B)\n",
+  std::printf("Alice's reconciled set now has %zu elements (A u B)\n\n",
               reconciled.size());
+
+  // The same call runs every registered scheme -- the point of the
+  // interface. Compare their wire costs on this toy instance:
+  std::printf("%-14s %-14s %8s %7s  %s\n", "scheme", "display", "bytes",
+              "rounds", "params");
+  for (const std::string& name : registry.Names()) {
+    auto scheme = registry.Create(name, options);
+    const auto r = scheme->Reconcile(alice_set, bob_set, 4.0, 2026);
+    std::printf("%-14s %-14s %8zu %7d  %s\n", name.c_str(),
+                scheme->display_name(), r.data_bytes, r.rounds,
+                r.params_summary.c_str());
+  }
   return result.success ? 0 : 1;
 }

@@ -1,0 +1,54 @@
+#include "pbs/core/set_reconciler.h"
+
+#include <algorithm>
+
+namespace pbs {
+
+SchemeRegistry& SchemeRegistry::Instance() {
+  static SchemeRegistry* registry = [] {
+    auto* r = new SchemeRegistry();
+    RegisterBuiltinSchemes(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool SchemeRegistry::Register(const std::string& name,
+                              const std::string& display_name,
+                              SchemeFactory factory) {
+  if (Contains(name)) return false;
+  entries_.emplace_back(name, Entry{display_name, std::move(factory)});
+  return true;
+}
+
+std::unique_ptr<SetReconciler> SchemeRegistry::Create(
+    const std::string& name, const SchemeOptions& options) const {
+  for (const auto& [key, entry] : entries_) {
+    if (key == name) return entry.factory(options);
+  }
+  return nullptr;
+}
+
+bool SchemeRegistry::Contains(const std::string& name) const {
+  for (const auto& [key, entry] : entries_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SchemeRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) names.push_back(key);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string SchemeRegistry::DisplayName(const std::string& name) const {
+  for (const auto& [key, entry] : entries_) {
+    if (key == name) return entry.display_name;
+  }
+  return "";
+}
+
+}  // namespace pbs

@@ -71,6 +71,20 @@ TowSketch TowSketch::Deserialize(BitReader* reader, int ell, uint64_t seed,
   return sketch;
 }
 
+TowExchange TowEstimateExchange(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b, int ell,
+                                uint64_t seed) {
+  TowSketch sketch_a(ell, seed);
+  TowSketch sketch_b(ell, seed);
+  sketch_a.AddAll(a);
+  sketch_b.AddAll(b);
+  TowExchange exchange;
+  exchange.d_hat = TowSketch::Estimate(sketch_a, sketch_b);
+  exchange.bytes =
+      (static_cast<size_t>(TowSketch::BitSize(ell, b.size())) + 7) / 8;
+  return exchange;
+}
+
 double TowEstimateFromDifference(const std::vector<uint64_t>& sym_diff,
                                  int ell, uint64_t seed) {
   TowSketch diff_sketch(ell, seed);

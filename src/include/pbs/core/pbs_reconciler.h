@@ -1,0 +1,32 @@
+// SetReconciler adapter for PBS itself: wraps the PbsAlice/PbsBob endpoint
+// pair (via PbsSession) behind the polymorphic interface, applying the
+// gamma-conservative estimate inflation of Section 6.2 and the Appendix
+// J.3 wide-signature wire accounting.
+
+#ifndef PBS_CORE_PBS_RECONCILER_H_
+#define PBS_CORE_PBS_RECONCILER_H_
+
+#include "pbs/core/set_reconciler.h"
+
+namespace pbs {
+
+class PbsReconciler : public SetReconciler {
+ public:
+  explicit PbsReconciler(const SchemeOptions& options);
+
+  const char* name() const override { return "pbs"; }
+  const char* display_name() const override { return "PBS"; }
+  bool supports_rounds() const override { return true; }
+
+  ReconcileOutcome Reconcile(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b, double d_hat,
+                             uint64_t seed) const override;
+
+ private:
+  PbsConfig config_;       // options.pbs with sig_bits folded in.
+  int report_sig_bits_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_PBS_RECONCILER_H_

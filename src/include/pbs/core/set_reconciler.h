@@ -1,0 +1,147 @@
+// Polymorphic scheme abstraction: every reconciliation scheme in the repo
+// (PBS and the Section-7/8 baselines alike) is exposed behind one
+// interface, constructed by name from a string-keyed registry.
+//
+// The split of responsibilities mirrors the paper's experiment setup:
+// the *caller* (sim/runner, CLI, applications) owns workload generation
+// and the ToW estimate exchange, because the estimate is shared across
+// schemes (Section 6.2) and its bytes are excluded from the reported
+// communication overhead; the *scheme* owns its inflation policy
+// (gamma-conservative or raw), parameter planning, and the protocol
+// itself. New backends register themselves with SchemeRegistry and are
+// immediately usable from the runner, the benches, and pbs_cli without
+// touching any of them.
+
+#ifndef PBS_CORE_SET_RECONCILER_H_
+#define PBS_CORE_SET_RECONCILER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pbs/core/params.h"
+
+namespace pbs {
+
+/// Unified outcome of one reconciliation, merging what used to be
+/// core/PbsResult and baselines/BaselineOutcome.
+struct ReconcileOutcome {
+  bool success = false;          ///< Protocol settled within its round cap.
+  int rounds = 1;                ///< Message rounds actually executed.
+  std::vector<uint64_t> difference;  ///< Recovered A /\triangle B.
+  size_t data_bytes = 0;         ///< Protocol bytes (excl. estimator).
+  size_t estimator_bytes = 0;    ///< Estimate exchange bytes, if the scheme
+                                 ///< ran one itself (usually 0: the caller
+                                 ///< owns estimation, see header comment).
+  double encode_seconds = 0.0;   ///< Sketch/filter construction time.
+  double decode_seconds = 0.0;   ///< Decode/peel/recovery time.
+  std::string params_summary;    ///< Human-readable parameterization, e.g.
+                                 ///< "g=20 n=127 t=8" or "t=138".
+};
+
+/// Construction-time knobs shared by every scheme. PbsConfig doubles as the
+/// common parameter block (delta, target rounds, p0, gamma, optimizer
+/// ranges): the partitioned schemes read all of it, the single-shot
+/// baselines only the inflation factor gamma.
+struct SchemeOptions {
+  /// Signature width log|U| in bits (paper: 32).
+  int sig_bits = 32;
+  /// Appendix J.3: account signature-width-dependent wire fields at this
+  /// width while computing over sig_bits (0 = off). Schemes that do not
+  /// model it simply ignore it.
+  int report_sig_bits = 0;
+  /// PBS/partitioning knobs and the shared estimator policy.
+  PbsConfig pbs;
+};
+
+/// Interface implemented by every reconciliation scheme.
+///
+/// Implementations must be stateless after construction: Reconcile() is
+/// const and may be called concurrently from the runner's worker threads.
+class SetReconciler {
+ public:
+  virtual ~SetReconciler() = default;
+
+  /// Registry key, e.g. "pbs", "pinsketch-wp".
+  virtual const char* name() const = 0;
+  /// Paper-style label for tables/figures, e.g. "PBS", "PinSketch/WP".
+  virtual const char* display_name() const = 0;
+  /// True if the scheme can run additional repair rounds (PBS,
+  /// PinSketch/WP); false for one-shot sketch exchanges.
+  virtual bool supports_rounds() const { return false; }
+  /// True if the scheme's sizing consumes the caller's d-hat estimate.
+  /// A scheme returning false ignores the d_hat argument entirely.
+  virtual bool needs_estimate() const { return true; }
+
+  /// Reconciles `a` and `b` given the caller's estimate `d_hat` of
+  /// |A /\triangle B| (exact when the caller knows d, Sections 2-5; a ToW
+  /// estimate otherwise). Each scheme applies its own rounding/inflation
+  /// policy to d_hat. `seed` drives every random choice, so equal inputs
+  /// give bit-identical outcomes.
+  virtual ReconcileOutcome Reconcile(const std::vector<uint64_t>& a,
+                                     const std::vector<uint64_t>& b,
+                                     double d_hat, uint64_t seed) const = 0;
+};
+
+/// Builds a scheme instance from shared options.
+using SchemeFactory =
+    std::function<std::unique_ptr<SetReconciler>(const SchemeOptions&)>;
+
+/// String-keyed scheme registry. The five built-in schemes (pbs,
+/// pinsketch, pinsketch-wp, ddigest, graphene) are registered on first
+/// use; additional backends register via Register() or a static
+/// SchemeRegistrar at namespace scope.
+class SchemeRegistry {
+ public:
+  /// The process-wide registry (thread-safe lazy init; built-ins are
+  /// registered before the first caller returns).
+  static SchemeRegistry& Instance();
+
+  /// Registers a scheme. Returns false (and keeps the existing entry) if
+  /// the name is already taken.
+  bool Register(const std::string& name, const std::string& display_name,
+                SchemeFactory factory);
+
+  /// Constructs the named scheme, or nullptr if unknown.
+  std::unique_ptr<SetReconciler> Create(const std::string& name,
+                                        const SchemeOptions& options) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered scheme names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Display label for a registered name ("" if unknown). Does not
+  /// construct the scheme.
+  std::string DisplayName(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string display_name;
+    SchemeFactory factory;
+  };
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+/// Registers the five built-in schemes directly into `registry` (called
+/// once from SchemeRegistry::Instance(); defined in
+/// baselines/baseline_reconcilers.cc so the registration translation unit
+/// is always linked).
+void RegisterBuiltinSchemes(SchemeRegistry& registry);
+
+/// Static-registration helper for out-of-tree backends:
+///   static pbs::SchemeRegistrar reg("myscheme", "MyScheme", MakeMyScheme);
+struct SchemeRegistrar {
+  SchemeRegistrar(const std::string& name, const std::string& display_name,
+                  SchemeFactory factory) {
+    SchemeRegistry::Instance().Register(name, display_name,
+                                        std::move(factory));
+  }
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_SET_RECONCILER_H_

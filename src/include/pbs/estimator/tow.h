@@ -54,6 +54,19 @@ class TowSketch {
   std::vector<uint64_t> hash_seeds_;
 };
 
+/// One full estimate exchange between two in-memory sets: both sides
+/// build ell sketches under the shared `seed`, and d-hat is computed from
+/// the counter differences. `bytes` is the one-direction wire cost of
+/// shipping the responder's sketches (the Section-6.1 accounting callers
+/// such as pbs_cli and the examples report next to the protocol bytes).
+struct TowExchange {
+  double d_hat = 0.0;
+  size_t bytes = 0;
+};
+TowExchange TowEstimateExchange(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b, int ell,
+                                uint64_t seed);
+
 /// Computes the ToW estimate directly from the symmetric difference.
 /// Because common elements cancel in Y_i(A) - Y_i(B), the returned value is
 /// distributed *identically* to Estimate(sketch(A), sketch(B)) -- the

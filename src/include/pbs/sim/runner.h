@@ -1,36 +1,32 @@
 // Experiment runner: executes a reconciliation scheme over a batch of
 // generated set pairs and aggregates the Section-8 metrics.
 //
+// Schemes are resolved by name through pbs::SchemeRegistry ("pbs",
+// "pinsketch", "ddigest", "graphene", "pinsketch-wp", plus anything
+// registered by out-of-tree backends), so new schemes run through every
+// experiment without touching this file.
+//
 // Estimation follows the paper's accounting: PBS, PinSketch and D.Digest
 // are all driven by the same ToW estimate (ell = 128 sketches, 336 bytes at
 // |S| = 10^6), whose bytes are *excluded* from the reported communication
 // overhead; Graphene receives the same estimate for free (Section 6.2).
 // The runner computes the estimate with TowEstimateFromDifference -- an
 // O(ell*d) shortcut that is distributed identically to the full two-sided
-// exchange (common elements cancel).
+// exchange (common elements cancel) -- and hands the raw d-hat to the
+// scheme, which applies its own inflation policy.
 
 #ifndef PBS_SIM_RUNNER_H_
 #define PBS_SIM_RUNNER_H_
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
-#include "pbs/core/params.h"
+#include "pbs/core/set_reconciler.h"
 #include "pbs/sim/metrics.h"
 #include "pbs/sim/workload.h"
 
 namespace pbs {
-
-/// Which scheme to run.
-enum class Scheme {
-  kPbs,
-  kPinSketch,
-  kDDigest,
-  kGraphene,
-  kPinSketchWp,
-};
-
-const char* SchemeName(Scheme scheme);
 
 /// One experiment configuration (a point on a figure's x-axis).
 struct ExperimentConfig {
@@ -51,6 +47,9 @@ struct ExperimentConfig {
   int threads = 1;
 };
 
+/// The SchemeOptions a given experiment config hands to the registry.
+SchemeOptions SchemeOptionsFrom(const ExperimentConfig& config);
+
 /// Per-instance measurement (also usable for custom aggregation).
 struct InstanceOutcome {
   bool correct = false;  ///< Protocol succeeded AND difference == truth.
@@ -60,17 +59,21 @@ struct InstanceOutcome {
   int rounds = 1;
 };
 
-/// Runs one instance of `scheme` on `pair`.
-InstanceOutcome RunInstance(Scheme scheme, const ExperimentConfig& config,
+/// Runs one instance of `reconciler` on `pair`: computes the shared ToW
+/// estimate (or uses the exact d), reconciles, and checks the recovered
+/// difference against the ground truth.
+InstanceOutcome RunInstance(const SetReconciler& reconciler,
+                            const ExperimentConfig& config,
                             const SetPair& pair, uint64_t seed);
 
-/// Generates config.instances pairs and aggregates.
-RunStats RunScheme(Scheme scheme, const ExperimentConfig& config);
+/// Generates config.instances pairs and aggregates. `scheme` is a
+/// SchemeRegistry name; throws std::invalid_argument if unknown.
+RunStats RunScheme(const std::string& scheme, const ExperimentConfig& config);
 
 /// Like RunScheme but with a caller-supplied per-instance callback (used by
 /// the rounds-PMF experiment of Appendix J.1).
 RunStats RunSchemeWithCallback(
-    Scheme scheme, const ExperimentConfig& config,
+    const std::string& scheme, const ExperimentConfig& config,
     const std::function<void(const InstanceOutcome&)>& callback);
 
 }  // namespace pbs

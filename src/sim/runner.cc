@@ -2,28 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
+#include <memory>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
-#include "pbs/baselines/ddigest.h"
-#include "pbs/baselines/graphene.h"
-#include "pbs/baselines/pinsketch.h"
-#include "pbs/baselines/pinsketch_wp.h"
-#include "pbs/core/reconciler.h"
 #include "pbs/estimator/tow.h"
 
 namespace pbs {
-
-const char* SchemeName(Scheme scheme) {
-  switch (scheme) {
-    case Scheme::kPbs: return "PBS";
-    case Scheme::kPinSketch: return "PinSketch";
-    case Scheme::kDDigest: return "D.Digest";
-    case Scheme::kGraphene: return "Graphene";
-    case Scheme::kPinSketchWp: return "PinSketch/WP";
-  }
-  return "?";
-}
 
 namespace {
 
@@ -34,106 +20,60 @@ bool DifferenceMatches(std::vector<uint64_t> got,
   return got == truth;
 }
 
+std::unique_ptr<SetReconciler> CreateOrThrow(const std::string& scheme,
+                                             const ExperimentConfig& config) {
+  auto reconciler =
+      SchemeRegistry::Instance().Create(scheme, SchemeOptionsFrom(config));
+  if (!reconciler) {
+    std::string known;
+    for (const std::string& name : SchemeRegistry::Instance().Names()) {
+      known += known.empty() ? name : ", " + name;
+    }
+    throw std::invalid_argument("unknown scheme '" + scheme +
+                                "' (registered: " + known + ")");
+  }
+  return reconciler;
+}
+
 }  // namespace
 
-InstanceOutcome RunInstance(Scheme scheme, const ExperimentConfig& config,
-                            const SetPair& pair, uint64_t seed) {
-  InstanceOutcome outcome;
+SchemeOptions SchemeOptionsFrom(const ExperimentConfig& config) {
+  SchemeOptions options;
+  options.sig_bits = config.sig_bits;
+  options.report_sig_bits = config.report_sig_bits;
+  options.pbs = config.pbs;
+  return options;
+}
 
+InstanceOutcome RunInstance(const SetReconciler& reconciler,
+                            const ExperimentConfig& config,
+                            const SetPair& pair, uint64_t seed) {
   // Estimation phase, shared across schemes (Section 6.2). The shortcut is
   // statistically identical to the full exchange; see runner.h.
   double d_hat = static_cast<double>(pair.truth_diff.size());
-  if (config.use_estimator) {
+  if (config.use_estimator && reconciler.needs_estimate()) {
     d_hat = TowEstimateFromDifference(pair.truth_diff, config.pbs.ell,
                                       seed ^ 0xE571A70Eull);
   }
-  const int d_raw = std::max(0, static_cast<int>(std::llround(d_hat)));
-  const int d_inflated = InflateEstimate(d_hat, config.pbs.gamma);
 
-  switch (scheme) {
-    case Scheme::kPbs: {
-      PbsConfig cfg = config.pbs;
-      cfg.sig_bits = config.sig_bits;
-      PbsResult r = PbsSession::Reconcile(pair.a, pair.b, cfg, seed,
-                                          d_inflated, nullptr);
-      outcome.correct =
-          r.success && DifferenceMatches(r.difference, pair.truth_diff);
-      outcome.bytes = r.data_bytes;
-      if (config.report_sig_bits > config.sig_bits) {
-        // Appendix J.3 accounting: XOR sums and checksums scale with the
-        // signature width; sketches and positions do not.
-        const double extra_per_sig =
-            static_cast<double>(config.report_sig_bits - config.sig_bits) /
-            8.0;
-        const double sig_fields =
-            static_cast<double>(pair.truth_diff.size()) +  // XOR sums.
-            static_cast<double>(r.plan.params.g);          // Checksums.
-        outcome.bytes += static_cast<size_t>(extra_per_sig * sig_fields);
-      }
-      outcome.encode_seconds = r.encode_seconds;
-      outcome.decode_seconds = r.decode_seconds;
-      outcome.rounds = r.rounds;
-      break;
-    }
-    case Scheme::kPinSketch: {
-      const int t = std::max(1, d_inflated);
-      BaselineOutcome r =
-          PinSketchReconcile(pair.a, pair.b, t, config.sig_bits, seed);
-      outcome.correct =
-          r.success && DifferenceMatches(r.difference, pair.truth_diff);
-      outcome.bytes = r.data_bytes;
-      outcome.encode_seconds = r.encode_seconds;
-      outcome.decode_seconds = r.decode_seconds;
-      outcome.rounds = r.rounds;
-      break;
-    }
-    case Scheme::kDDigest: {
-      BaselineOutcome r =
-          DDigestReconcile(pair.a, pair.b, std::max(d_raw, 1),
-                           config.sig_bits, seed);
-      outcome.correct =
-          r.success && DifferenceMatches(r.difference, pair.truth_diff);
-      outcome.bytes = r.data_bytes;
-      outcome.encode_seconds = r.encode_seconds;
-      outcome.decode_seconds = r.decode_seconds;
-      outcome.rounds = r.rounds;
-      break;
-    }
-    case Scheme::kGraphene: {
-      BaselineOutcome r = GrapheneReconcile(pair.a, pair.b,
-                                            std::max(d_inflated, 1),
-                                            config.sig_bits, seed);
-      outcome.correct =
-          r.success && DifferenceMatches(r.difference, pair.truth_diff);
-      outcome.bytes = r.data_bytes;
-      outcome.encode_seconds = r.encode_seconds;
-      outcome.decode_seconds = r.decode_seconds;
-      outcome.rounds = r.rounds;
-      break;
-    }
-    case Scheme::kPinSketchWp: {
-      // Same delta and t as PBS (Section 8.3): derive t from the PBS plan.
-      PbsConfig cfg = config.pbs;
-      cfg.sig_bits = config.sig_bits;
-      const PbsPlan plan = PlanFor(cfg, d_inflated);
-      BaselineOutcome r = PinSketchWpReconcile(
-          pair.a, pair.b, d_inflated, cfg.delta, plan.params.t,
-          config.sig_bits, cfg.max_rounds, seed, config.report_sig_bits);
-      outcome.correct =
-          r.success && DifferenceMatches(r.difference, pair.truth_diff);
-      outcome.bytes = r.data_bytes;
-      outcome.encode_seconds = r.encode_seconds;
-      outcome.decode_seconds = r.decode_seconds;
-      outcome.rounds = r.rounds;
-      break;
-    }
-  }
+  const ReconcileOutcome r = reconciler.Reconcile(pair.a, pair.b, d_hat, seed);
+
+  InstanceOutcome outcome;
+  outcome.correct =
+      r.success && DifferenceMatches(r.difference, pair.truth_diff);
+  outcome.bytes = r.data_bytes;
+  outcome.encode_seconds = r.encode_seconds;
+  outcome.decode_seconds = r.decode_seconds;
+  outcome.rounds = r.rounds;
   return outcome;
 }
 
 RunStats RunSchemeWithCallback(
-    Scheme scheme, const ExperimentConfig& config,
+    const std::string& scheme, const ExperimentConfig& config,
     const std::function<void(const InstanceOutcome&)>& callback) {
+  const std::unique_ptr<SetReconciler> reconciler =
+      CreateOrThrow(scheme, config);
+
   RunStats stats;
   stats.instances = config.instances;
 
@@ -142,7 +82,7 @@ RunStats RunSchemeWithCallback(
         config.seed * 0x9E3779B97F4A7C15ull + 0xABCDEFull * (i + 1);
     const SetPair pair = GenerateSetPair(config.set_size, config.d,
                                          config.sig_bits, instance_seed);
-    return RunInstance(scheme, config, pair, instance_seed ^ 0x5CE1E);
+    return RunInstance(*reconciler, config, pair, instance_seed ^ 0x5CE1E);
   };
   auto accumulate = [&stats](const InstanceOutcome& outcome) {
     stats.success_rate += outcome.correct ? 1.0 : 0.0;
@@ -197,7 +137,8 @@ RunStats RunSchemeWithCallback(
   return stats;
 }
 
-RunStats RunScheme(Scheme scheme, const ExperimentConfig& config) {
+RunStats RunScheme(const std::string& scheme,
+                   const ExperimentConfig& config) {
   return RunSchemeWithCallback(scheme, config, nullptr);
 }
 

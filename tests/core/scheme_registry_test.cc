@@ -1,0 +1,212 @@
+// Conformance suite for the SetReconciler interface and SchemeRegistry:
+// every registered scheme, iterated by name, must recover the exact
+// difference over the sim/workload shapes with sane byte/round accounting,
+// and the adapters must produce results identical to the pre-refactor
+// direct calls they wrap.
+
+#include "pbs/core/set_reconciler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "pbs/baselines/ddigest.h"
+#include "pbs/baselines/graphene.h"
+#include "pbs/baselines/pinsketch.h"
+#include "pbs/baselines/pinsketch_wp.h"
+#include "pbs/core/reconciler.h"
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SchemeRegistry, AllBuiltinsRegistered) {
+  const auto names = SchemeRegistry::Instance().Names();
+  for (const char* expected :
+       {"pbs", "pinsketch", "pinsketch-wp", "ddigest", "graphene"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+    EXPECT_TRUE(SchemeRegistry::Instance().Contains(expected));
+  }
+}
+
+TEST(SchemeRegistry, UnknownNameYieldsNull) {
+  EXPECT_EQ(SchemeRegistry::Instance().Create("nope", SchemeOptions{}),
+            nullptr);
+  EXPECT_FALSE(SchemeRegistry::Instance().Contains("nope"));
+  EXPECT_EQ(SchemeRegistry::Instance().DisplayName("nope"), "");
+}
+
+TEST(SchemeRegistry, DuplicateRegistrationRejected) {
+  auto& registry = SchemeRegistry::Instance();
+  EXPECT_FALSE(registry.Register("pbs", "Imposter", nullptr));
+  EXPECT_EQ(registry.DisplayName("pbs"), "PBS");
+}
+
+TEST(SchemeRegistry, SelfDescription) {
+  const SchemeOptions options;
+  auto& registry = SchemeRegistry::Instance();
+  for (const std::string& name : registry.Names()) {
+    const auto scheme = registry.Create(name, options);
+    ASSERT_NE(scheme, nullptr) << name;
+    EXPECT_EQ(scheme->name(), name);
+    EXPECT_EQ(scheme->display_name(), registry.DisplayName(name)) << name;
+    EXPECT_TRUE(scheme->needs_estimate()) << name;
+  }
+  EXPECT_TRUE(registry.Create("pbs", options)->supports_rounds());
+  EXPECT_TRUE(registry.Create("pinsketch-wp", options)->supports_rounds());
+  EXPECT_FALSE(registry.Create("pinsketch", options)->supports_rounds());
+}
+
+// Every registered scheme must exactly recover the difference on the
+// workload generator's shapes (subset divergence and two-sided divergence)
+// when handed the exact d, and must report non-zero communication.
+class SchemeConformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchemeConformance, ExactRecoveryOnWorkloadShapes) {
+  const std::string name = GetParam();
+  const auto scheme =
+      SchemeRegistry::Instance().Create(name, SchemeOptions{});
+  ASSERT_NE(scheme, nullptr);
+
+  const SetPair shapes[] = {
+      GenerateSetPair(2000, 25, 32, 0xC0F1),
+      GenerateTwoSidedPair(1500, 15, 12, 32, 0xC0F2),
+  };
+  int shape = 0;
+  for (const SetPair& pair : shapes) {
+    SCOPED_TRACE(name + " shape " + std::to_string(shape++));
+    const double d_hat = static_cast<double>(pair.truth_diff.size());
+    const ReconcileOutcome r =
+        scheme->Reconcile(pair.a, pair.b, d_hat, 0x5EED);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(Sorted(r.difference), Sorted(pair.truth_diff));
+    EXPECT_GT(r.data_bytes, 0u);
+    EXPECT_GE(r.rounds, 1);
+    EXPECT_GE(r.encode_seconds, 0.0);
+    EXPECT_GE(r.decode_seconds, 0.0);
+    EXPECT_FALSE(r.params_summary.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeConformance,
+    ::testing::ValuesIn(SchemeRegistry::Instance().Names()),
+    [](const auto& info) {
+      std::string n = info.param;
+      for (char& c : n) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+// The adapters must be byte-, round- and element-identical to the direct
+// calls the experiment runner made before the refactor, for the same
+// (d_hat, seed) inputs.
+TEST(SchemeAdapterParity, MatchesDirectCalls) {
+  const SetPair pair = GenerateSetPair(3000, 40, 32, 0xAB1DE);
+  const double d_hat = 43.7;  // Typical noisy ToW output.
+  const uint64_t seed = 0x9A17;
+  const SchemeOptions options;
+  const PbsConfig& base = options.pbs;
+  const int d_raw = std::max(0, static_cast<int>(std::llround(d_hat)));
+  const int d_inflated = InflateEstimate(d_hat, base.gamma);
+  auto& registry = SchemeRegistry::Instance();
+
+  {
+    PbsConfig cfg = base;
+    cfg.sig_bits = options.sig_bits;
+    const PbsResult direct =
+        PbsSession::Reconcile(pair.a, pair.b, cfg, seed, d_inflated, nullptr);
+    const ReconcileOutcome via =
+        registry.Create("pbs", options)->Reconcile(pair.a, pair.b, d_hat,
+                                                   seed);
+    EXPECT_EQ(via.success, direct.success);
+    EXPECT_EQ(via.data_bytes, direct.data_bytes);
+    EXPECT_EQ(via.rounds, direct.rounds);
+    EXPECT_EQ(Sorted(via.difference), Sorted(direct.difference));
+  }
+  {
+    const int t = std::max(1, d_inflated);
+    const BaselineOutcome direct =
+        PinSketchReconcile(pair.a, pair.b, t, options.sig_bits, seed);
+    const ReconcileOutcome via = registry.Create("pinsketch", options)
+                                     ->Reconcile(pair.a, pair.b, d_hat, seed);
+    EXPECT_EQ(via.success, direct.success);
+    EXPECT_EQ(via.data_bytes, direct.data_bytes);
+    EXPECT_EQ(via.rounds, direct.rounds);
+    EXPECT_EQ(Sorted(via.difference), Sorted(direct.difference));
+  }
+  {
+    const BaselineOutcome direct = DDigestReconcile(
+        pair.a, pair.b, std::max(d_raw, 1), options.sig_bits, seed);
+    const ReconcileOutcome via = registry.Create("ddigest", options)
+                                     ->Reconcile(pair.a, pair.b, d_hat, seed);
+    EXPECT_EQ(via.success, direct.success);
+    EXPECT_EQ(via.data_bytes, direct.data_bytes);
+    EXPECT_EQ(via.rounds, direct.rounds);
+    EXPECT_EQ(Sorted(via.difference), Sorted(direct.difference));
+  }
+  {
+    const BaselineOutcome direct = GrapheneReconcile(
+        pair.a, pair.b, std::max(d_inflated, 1), options.sig_bits, seed);
+    const ReconcileOutcome via = registry.Create("graphene", options)
+                                     ->Reconcile(pair.a, pair.b, d_hat, seed);
+    EXPECT_EQ(via.success, direct.success);
+    EXPECT_EQ(via.data_bytes, direct.data_bytes);
+    EXPECT_EQ(via.rounds, direct.rounds);
+    EXPECT_EQ(Sorted(via.difference), Sorted(direct.difference));
+  }
+  {
+    PbsConfig cfg = base;
+    cfg.sig_bits = options.sig_bits;
+    const PbsPlan plan = PlanFor(cfg, d_inflated);
+    const BaselineOutcome direct = PinSketchWpReconcile(
+        pair.a, pair.b, d_inflated, cfg.delta, plan.params.t,
+        options.sig_bits, cfg.max_rounds, seed, options.report_sig_bits);
+    const ReconcileOutcome via = registry.Create("pinsketch-wp", options)
+                                     ->Reconcile(pair.a, pair.b, d_hat, seed);
+    EXPECT_EQ(via.success, direct.success);
+    EXPECT_EQ(via.data_bytes, direct.data_bytes);
+    EXPECT_EQ(via.rounds, direct.rounds);
+    EXPECT_EQ(Sorted(via.difference), Sorted(direct.difference));
+  }
+}
+
+// Appendix J.3 accounting through the interface: wide-signature reporting
+// must add (report_sig_bits - sig_bits)/8 bytes per signature-width field
+// to PBS, exactly as the runner used to.
+TEST(SchemeAdapterParity, WideSignatureAccounting) {
+  const SetPair pair = GenerateSetPair(2000, 30, 32, 0xF00D);
+  const double d_hat = static_cast<double>(pair.truth_diff.size());
+  const uint64_t seed = 0xBEEF;
+
+  SchemeOptions narrow;
+  SchemeOptions wide = narrow;
+  wide.report_sig_bits = 256;
+  auto& registry = SchemeRegistry::Instance();
+
+  const auto narrow_out =
+      registry.Create("pbs", narrow)->Reconcile(pair.a, pair.b, d_hat, seed);
+  const auto wide_out =
+      registry.Create("pbs", wide)->Reconcile(pair.a, pair.b, d_hat, seed);
+  ASSERT_TRUE(narrow_out.success);
+  ASSERT_TRUE(wide_out.success);
+  // Same protocol run, strictly more accounted bytes.
+  EXPECT_EQ(Sorted(wide_out.difference), Sorted(narrow_out.difference));
+  EXPECT_GT(wide_out.data_bytes, narrow_out.data_bytes);
+  const size_t extra = wide_out.data_bytes - narrow_out.data_bytes;
+  // At least the difference's XOR sums must have been widened.
+  EXPECT_GE(extra, (256 - 32) / 8 * narrow_out.difference.size());
+}
+
+}  // namespace
+}  // namespace pbs

@@ -131,5 +131,25 @@ TEST(TowSketch, GammaCoverageAtEll128) {
   EXPECT_GE(static_cast<double>(covered) / kTrials, 0.97);
 }
 
+TEST(TowSketch, EstimateExchangeMatchesManualSketches) {
+  std::vector<uint64_t> a, b;
+  for (uint64_t i = 1; i <= 600; ++i) a.push_back(i * 3);
+  for (uint64_t i = 1; i <= 600; ++i) {
+    if (i % 10 != 0) b.push_back(i * 3);  // 60 A-only elements.
+  }
+  const TowExchange exchange = TowEstimateExchange(a, b, 128, 0xE57);
+
+  TowSketch sa(128, 0xE57), sb(128, 0xE57);
+  sa.AddAll(a);
+  sb.AddAll(b);
+  EXPECT_DOUBLE_EQ(exchange.d_hat, TowSketch::Estimate(sa, sb));
+  EXPECT_EQ(exchange.bytes,
+            (static_cast<size_t>(TowSketch::BitSize(128, b.size())) + 7) / 8);
+  EXPECT_GT(exchange.bytes, 0u);
+  // The estimate should land in the right ballpark of the true d = 60.
+  EXPECT_GT(exchange.d_hat, 10.0);
+  EXPECT_LT(exchange.d_hat, 300.0);
+}
+
 }  // namespace
 }  // namespace pbs

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace pbs {
 namespace {
 
-ExperimentConfig SmallConfig(Scheme /*scheme*/) {
+ExperimentConfig SmallConfig() {
   ExperimentConfig config;
   config.set_size = 3000;
   config.d = 50;
@@ -14,25 +17,24 @@ ExperimentConfig SmallConfig(Scheme /*scheme*/) {
   return config;
 }
 
-class RunnerAllSchemes : public ::testing::TestWithParam<Scheme> {};
+class RunnerAllSchemes : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(RunnerAllSchemes, HighSuccessAndSaneMetrics) {
-  const Scheme scheme = GetParam();
-  const auto stats = RunScheme(scheme, SmallConfig(scheme));
+  const std::string scheme = GetParam();
+  const auto stats = RunScheme(scheme, SmallConfig());
   EXPECT_EQ(stats.instances, 6);
-  EXPECT_GE(stats.success_rate, 0.5) << SchemeName(scheme);
+  EXPECT_GE(stats.success_rate, 0.5) << scheme;
   EXPECT_GT(stats.mean_bytes, 0.0);
   EXPECT_GE(stats.mean_encode_seconds, 0.0);
   EXPECT_GE(stats.mean_rounds, 1.0);
-  EXPECT_GT(stats.overhead_ratio, 0.9) << SchemeName(scheme);
+  EXPECT_GT(stats.overhead_ratio, 0.9) << scheme;
 }
 
 INSTANTIATE_TEST_SUITE_P(Schemes, RunnerAllSchemes,
-                         ::testing::Values(Scheme::kPbs, Scheme::kPinSketch,
-                                           Scheme::kDDigest, Scheme::kGraphene,
-                                           Scheme::kPinSketchWp),
+                         ::testing::Values("pbs", "pinsketch", "ddigest",
+                                           "graphene", "pinsketch-wp"),
                          [](const auto& info) {
-                           std::string n = SchemeName(info.param);
+                           std::string n = info.param;
                            for (char& c : n) {
                              if (!isalnum(static_cast<unsigned char>(c)))
                                c = '_';
@@ -46,9 +48,9 @@ TEST(Runner, OverheadOrderingMatchesPaper) {
   config.set_size = 4000;
   config.d = 100;
   config.instances = 5;
-  const auto pin = RunScheme(Scheme::kPinSketch, config);
-  const auto pbs = RunScheme(Scheme::kPbs, config);
-  const auto dd = RunScheme(Scheme::kDDigest, config);
+  const auto pin = RunScheme("pinsketch", config);
+  const auto pbs = RunScheme("pbs", config);
+  const auto dd = RunScheme("ddigest", config);
   EXPECT_LT(pin.mean_bytes, pbs.mean_bytes);
   EXPECT_LT(pbs.mean_bytes, dd.mean_bytes);
 }
@@ -59,7 +61,7 @@ TEST(Runner, CallbackSeesEveryInstance) {
   config.d = 10;
   config.instances = 4;
   int calls = 0;
-  RunSchemeWithCallback(Scheme::kPbs, config,
+  RunSchemeWithCallback("pbs", config,
                         [&](const InstanceOutcome&) { ++calls; });
   EXPECT_EQ(calls, 4);
 }
@@ -70,14 +72,27 @@ TEST(Runner, KnownDMatchesEstimatorPathOnSuccessRate) {
   config.d = 40;
   config.instances = 5;
   config.use_estimator = false;
-  const auto stats = RunScheme(Scheme::kPbs, config);
+  const auto stats = RunScheme("pbs", config);
   EXPECT_GE(stats.success_rate, 0.8);
 }
 
-TEST(Runner, SchemeNamesStable) {
-  EXPECT_STREQ(SchemeName(Scheme::kPbs), "PBS");
-  EXPECT_STREQ(SchemeName(Scheme::kGraphene), "Graphene");
-  EXPECT_STREQ(SchemeName(Scheme::kPinSketchWp), "PinSketch/WP");
+TEST(Runner, UnknownSchemeThrowsWithRegisteredNames) {
+  ExperimentConfig config;
+  config.instances = 1;
+  try {
+    RunScheme("no-such-scheme", config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("pbs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("graphene"), std::string::npos);
+  }
+}
+
+TEST(Runner, SchemeDisplayNamesStable) {
+  const auto& registry = SchemeRegistry::Instance();
+  EXPECT_EQ(registry.DisplayName("pbs"), "PBS");
+  EXPECT_EQ(registry.DisplayName("graphene"), "Graphene");
+  EXPECT_EQ(registry.DisplayName("pinsketch-wp"), "PinSketch/WP");
 }
 
 }  // namespace

@@ -9,11 +9,15 @@
 //       Derive a diverged copy (drop N random lines, add N fresh ones).
 //   pbs_cli estimate <fileA> <fileB>
 //       ToW estimate of |A triangle B| (ell = 128).
-//   pbs_cli diff <fileA> <fileB> [--rounds N] [--p0 X] [--delta N]
-//       Reconcile with PBS; print the symmetric difference and stats.
+//   pbs_cli diff <fileA> <fileB> [--scheme S] [--rounds N] [--p0 X]
+//           [--delta N]
+//       Reconcile with scheme S (default pbs; see --list-schemes); print
+//       the symmetric difference and stats.
 //   pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]
 //       Show the (g, n, t) parameterization the Section-5.1 optimizer
 //       picks for an expected difference of d.
+//   pbs_cli list-schemes   (also: pbs_cli --list-schemes)
+//       List every scheme registered with the SchemeRegistry.
 
 #include <algorithm>
 #include <cinttypes>
@@ -26,7 +30,7 @@
 #include <vector>
 
 #include "pbs/common/rng.h"
-#include "pbs/core/reconciler.h"
+#include "pbs/core/set_reconciler.h"
 #include "pbs/estimator/tow.h"
 #include "pbs/markov/optimizer.h"
 
@@ -39,8 +43,10 @@ int Usage() {
       "  pbs_cli gen <file> <count> [--seed N]\n"
       "  pbs_cli mutate <in> <out> --drop N --add N [--seed N]\n"
       "  pbs_cli estimate <fileA> <fileB>\n"
-      "  pbs_cli diff <fileA> <fileB> [--rounds N] [--p0 X] [--delta N]\n"
-      "  pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]\n");
+      "  pbs_cli diff <fileA> <fileB> [--scheme S] [--rounds N] [--p0 X]\n"
+      "          [--delta N]\n"
+      "  pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]\n"
+      "  pbs_cli list-schemes\n");
   return 2;
 }
 
@@ -56,6 +62,14 @@ uint64_t FlagU64(int argc, char** argv, const char* flag, uint64_t def) {
 double FlagDouble(int argc, char** argv, const char* flag, double def) {
   for (int i = 0; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return def;
+}
+
+const char* FlagStr(int argc, char** argv, const char* flag,
+                    const char* def) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return def;
 }
@@ -158,26 +172,54 @@ int CmdEstimate(int argc, char** argv) {
   return 0;
 }
 
+int CmdListSchemes() {
+  const auto& registry = pbs::SchemeRegistry::Instance();
+  const pbs::SchemeOptions options;
+  std::printf("%-14s %-14s %7s %9s\n", "name", "display", "rounds",
+              "estimate");
+  for (const std::string& name : registry.Names()) {
+    const auto scheme = registry.Create(name, options);
+    std::printf("%-14s %-14s %7s %9s\n", name.c_str(),
+                scheme->display_name(),
+                scheme->supports_rounds() ? "multi" : "single",
+                scheme->needs_estimate() ? "needs" : "-");
+  }
+  return 0;
+}
+
 int CmdDiff(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::vector<uint64_t> a, b;
   if (!LoadSignatures(argv[0], &a) || !LoadSignatures(argv[1], &b)) return 1;
-  pbs::PbsConfig config;
-  config.max_rounds = static_cast<int>(FlagU64(argc, argv, "--rounds", 3));
-  config.target_rounds = config.max_rounds;
-  config.p0 = FlagDouble(argc, argv, "--p0", 0.99);
-  config.delta = static_cast<int>(FlagU64(argc, argv, "--delta", 5));
-  config.strong_verification = true;
-  pbs::Transcript transcript;
-  auto result = pbs::PbsSession::Reconcile(a, b, config, 0xC11, -1,
-                                           &transcript);
+  pbs::SchemeOptions options;
+  options.pbs.max_rounds =
+      static_cast<int>(FlagU64(argc, argv, "--rounds", 3));
+  options.pbs.target_rounds = options.pbs.max_rounds;
+  options.pbs.p0 = FlagDouble(argc, argv, "--p0", 0.99);
+  options.pbs.delta = static_cast<int>(FlagU64(argc, argv, "--delta", 5));
+  options.pbs.strong_verification = true;
+
+  const char* scheme_name = FlagStr(argc, argv, "--scheme", "pbs");
+  const auto reconciler =
+      pbs::SchemeRegistry::Instance().Create(scheme_name, options);
+  if (!reconciler) {
+    std::fprintf(stderr, "unknown scheme '%s'; run pbs_cli list-schemes\n",
+                 scheme_name);
+    return 2;
+  }
+
+  // Estimate exchange (Section 6): ToW sketches under a shared seed.
+  const pbs::TowExchange estimate =
+      pbs::TowEstimateExchange(a, b, options.pbs.ell, 0xE57);
+
+  auto result = reconciler->Reconcile(a, b, estimate.d_hat, 0xC11);
   std::fprintf(stderr,
-               "success=%s rounds=%d bytes=%zu (+%zu estimator) "
-               "plan(g=%d n=%d t=%d)\n",
-               result.success ? "yes" : "no", result.rounds,
-               result.data_bytes, result.estimator_bytes,
-               result.plan.params.g, result.plan.params.n,
-               result.plan.params.t);
+               "scheme=%s success=%s rounds=%d bytes=%zu (+%zu estimator) "
+               "params(%s)\n",
+               reconciler->display_name(), result.success ? "yes" : "no",
+               result.rounds, result.data_bytes,
+               result.estimator_bytes + estimate.bytes,
+               result.params_summary.c_str());
   if (!result.success) return 1;
   std::sort(result.difference.begin(), result.difference.end());
   std::unordered_set<uint64_t> in_a(a.begin(), a.end());
@@ -217,5 +259,8 @@ int main(int argc, char** argv) {
   if (cmd == "estimate") return CmdEstimate(argc - 2, argv + 2);
   if (cmd == "diff") return CmdDiff(argc - 2, argv + 2);
   if (cmd == "plan") return CmdPlan(argc - 2, argv + 2);
+  if (cmd == "list-schemes" || cmd == "--list-schemes") {
+    return CmdListSchemes();
+  }
   return Usage();
 }
