@@ -1,11 +1,15 @@
-// PBS over a real transport: two processes reconcile across a UNIX
-// socketpair.
+// Set reconciliation over a real transport: two processes reconcile
+// across a UNIX socketpair through the framed session layer.
 //
-// Demonstrates that the PbsAlice/PbsBob endpoints are transport-agnostic:
-// the parent process (Alice) and a forked child (Bob) exchange
-// length-prefixed frames over a socket, run the estimate phase plus as many
-// rounds as needed, and the strong-verification digest (Section 2.2.3)
-// certifies the result end to end.
+// Before the session layer existed this example hand-rolled its own
+// length-prefixed framing around the PbsAlice/PbsBob endpoints. Now both
+// processes just hand their set and a ByteTransport to the session driver
+// (core/wire_session.h): the child serves as the responder, the parent
+// initiates with the scheme named on the command line (default pbs, with
+// strong verification on), and the driver does the handshake, the ToW
+// estimate exchange, the per-scheme rounds, and the byte accounting.
+//
+// Usage: example_socket_sync [scheme]     (any name from `--list-schemes`)
 
 #include <sys/socket.h>
 #include <sys/types.h>
@@ -13,72 +17,19 @@
 #include <unistd.h>
 
 #include <cstdio>
-#include <cstring>
 #include <vector>
 
-#include "pbs/core/pbs_endpoints.h"
+#include "pbs/core/transport.h"
+#include "pbs/core/wire_session.h"
 #include "pbs/sim/workload.h"
 
-namespace {
-
-// Length-prefixed framing over a stream socket.
-bool SendFrame(int fd, const std::vector<uint8_t>& payload) {
-  uint32_t len = static_cast<uint32_t>(payload.size());
-  if (write(fd, &len, sizeof(len)) != sizeof(len)) return false;
-  size_t sent = 0;
-  while (sent < payload.size()) {
-    const ssize_t n = write(fd, payload.data() + sent, payload.size() - sent);
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
+int main(int argc, char** argv) {
+  const char* scheme = argc > 1 ? argv[1] : "pbs";
+  if (!pbs::SchemeRegistry::Instance().Contains(scheme)) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme);
+    return 2;
   }
-  return true;
-}
 
-bool RecvFrame(int fd, std::vector<uint8_t>* payload) {
-  uint32_t len = 0;
-  size_t got = 0;
-  while (got < sizeof(len)) {
-    const ssize_t n = read(fd, reinterpret_cast<char*>(&len) + got,
-                           sizeof(len) - got);
-    if (n <= 0) return false;
-    got += static_cast<size_t>(n);
-  }
-  payload->assign(len, 0);
-  got = 0;
-  while (got < len) {
-    const ssize_t n = read(fd, payload->data() + got, len - got);
-    if (n <= 0) return false;
-    got += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-constexpr uint64_t kSessionSeed = 0x50C4E7;
-
-int RunBob(int fd, std::vector<uint64_t> elements) {
-  pbs::PbsConfig config;
-  config.max_rounds = 8;
-  pbs::PbsBob bob(std::move(elements), config, kSessionSeed);
-
-  std::vector<uint8_t> frame;
-  if (!RecvFrame(fd, &frame)) return 1;
-  if (!SendFrame(fd, bob.HandleEstimateRequest(frame))) return 1;
-
-  // Serve rounds until Alice closes the connection, then ship the strong
-  // digest when she asks with an empty frame.
-  while (RecvFrame(fd, &frame)) {
-    if (frame.empty()) {
-      if (!SendFrame(fd, bob.MakeStrongDigest())) return 1;
-      break;
-    }
-    if (!SendFrame(fd, bob.HandleRoundRequest(frame))) return 1;
-  }
-  return 0;
-}
-
-}  // namespace
-
-int main() {
   // A shared corpus with 600 records missing on Alice's side and 200
   // records only she has.
   pbs::SetPair pair = pbs::GenerateTwoSidedPair(80000, 200, 600, 32, 41);
@@ -97,59 +48,40 @@ int main() {
   }
   if (child == 0) {
     close(fds[0]);
-    const int rc = RunBob(fds[1], std::move(pair.b));
-    close(fds[1]);
-    _exit(rc);
+    auto transport = pbs::MakeFdTransport(fds[1]);
+    const pbs::SessionResult r = pbs::RunResponderSession(*transport,
+                                                          pair.b);
+    _exit(r.ok ? 0 : 1);
   }
   close(fds[1]);
-  const int fd = fds[0];
 
-  pbs::PbsConfig config;
-  config.max_rounds = 8;
-  pbs::PbsAlice alice(pair.a, config, kSessionSeed);
-
-  size_t wire_bytes = 0;
-  std::vector<uint8_t> frame = alice.MakeEstimateRequest();
-  wire_bytes += frame.size();
-  SendFrame(fd, frame);
-  RecvFrame(fd, &frame);
-  wire_bytes += frame.size();
-  alice.HandleEstimateReply(frame);
-  std::printf("estimated difference (gamma-inflated): %d -> plan g=%d n=%d "
-              "t=%d\n",
-              alice.plan().d_used, alice.plan().params.g,
-              alice.plan().params.n, alice.plan().params.t);
-
-  bool finished = false;
-  while (!finished && alice.round() < config.max_rounds) {
-    frame = alice.MakeRoundRequest();
-    wire_bytes += frame.size();
-    if (!SendFrame(fd, frame) || !RecvFrame(fd, &frame)) break;
-    wire_bytes += frame.size();
-    finished = alice.HandleRoundReply(frame);
-    std::printf("round %d done (%s)\n", alice.round(),
-                finished ? "settled" : "continuing");
-  }
-
-  bool verified = false;
-  if (finished) {
-    SendFrame(fd, {});  // Ask for the strong digest.
-    if (RecvFrame(fd, &frame)) {
-      wire_bytes += frame.size();
-      verified = alice.VerifyStrongDigest(frame);
-    }
-  }
-  close(fd);
+  auto transport = pbs::MakeFdTransport(fds[0]);
+  pbs::SessionConfig config;
+  config.scheme_name = scheme;
+  config.options.pbs.max_rounds = 8;
+  config.options.pbs.strong_verification = true;
+  const pbs::SessionResult result =
+      pbs::RunInitiatorSession(*transport, config, pair.a);
+  transport.reset();  // EOF to the child if the session aborted early.
   int status = 0;
   waitpid(child, &status, 0);
 
-  std::printf("reconciled %zu differences over %zu wire bytes; strong "
-              "verification: %s\n",
-              alice.Difference().size(), wire_bytes,
-              verified ? "PASS" : "FAIL");
+  if (!result.ok) {
+    std::fprintf(stderr, "session failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("scheme=%s d-hat=%.1f -> %s in %d rounds; params(%s)\n",
+              result.scheme.c_str(), result.d_hat,
+              result.outcome.success ? "reconciled" : "FAILED",
+              result.outcome.rounds, result.outcome.params_summary.c_str());
+  std::printf("recovered %zu differences: %zu payload bytes (+%zu estimator)"
+              " carried in %zu wire bytes / %d frames\n",
+              result.outcome.difference.size(), result.outcome.data_bytes,
+              result.outcome.estimator_bytes, result.outcome.wire_bytes,
+              result.outcome.wire_frames);
   const bool correct =
-      finished && verified &&
-      alice.Difference().size() == pair.truth_diff.size();
+      result.outcome.success &&
+      result.outcome.difference.size() == pair.truth_diff.size();
   std::printf("%s\n", correct ? "OK" : "MISMATCH");
   return correct ? 0 : 1;
 }

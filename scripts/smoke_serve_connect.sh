@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Loopback serve/connect smoke test: reconciles a 10k-element set with 100
+# differences over TCP for EVERY scheme in the registry, as CI's end-to-end
+# check of the framed session layer (docs/WIRE_FORMAT.md).
+#
+# Usage: scripts/smoke_serve_connect.sh [path-to-pbs_cli]   (default build/pbs_cli)
+set -euo pipefail
+
+CLI="${1:-build/pbs_cli}"
+PORT="${SMOKE_PORT:-7911}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" gen "$WORK/a.txt" 10000 --seed 7 >/dev/null
+"$CLI" mutate "$WORK/a.txt" "$WORK/b.txt" --drop 50 --add 50 --seed 8 >/dev/null
+
+schemes=$("$CLI" list-schemes | tail -n +2 | awk '{print $1}')
+for scheme in $schemes; do
+  : >"$WORK/serve.log"
+  "$CLI" serve "$WORK/b.txt" --port "$PORT" --once 2>"$WORK/serve.log" &
+  serve_pid=$!
+  # Wait for the listener, not a fixed delay: serve logs "serving ..."
+  # after bind+listen succeed.
+  for _ in $(seq 1 100); do
+    grep -q "^serving " "$WORK/serve.log" && break
+    sleep 0.1
+  done
+  out=$("$CLI" connect "$WORK/a.txt" --host 127.0.0.1 --port "$PORT" \
+        --scheme "$scheme" --quiet)
+  wait "$serve_pid" || { echo "FAIL: serve side ($scheme)"; cat "$WORK/serve.log"; exit 1; }
+  if [[ "$out" != "100 differences" ]]; then
+    echo "FAIL: $scheme recovered '$out', expected '100 differences'"
+    exit 1
+  fi
+  echo "OK: $scheme reconciled 10000 keys / 100 diffs over TCP"
+done
+echo "smoke test passed for all schemes"

@@ -37,27 +37,35 @@ double CostBits(double epsilon, size_t set_b, double d_est, int sig_bits,
 
 }  // namespace
 
-BaselineOutcome GrapheneReconcile(const std::vector<uint64_t>& a,
-                                  const std::vector<uint64_t>& b, int d_est,
-                                  int sig_bits, uint64_t seed,
-                                  const GrapheneConfig& config) {
-  BaselineOutcome out;
+GraphenePlan GrapheneChoosePlan(int d_est, size_t set_b_size, int sig_bits,
+                                const GrapheneConfig& config) {
   const double d_clamped = std::max(d_est, 1);
-
-  // Choose epsilon by the cost model.
   double best_eps = 1.0;
-  double best_cost = CostBits(1.0, b.size(), d_clamped, sig_bits, config);
+  double best_cost = CostBits(1.0, set_b_size, d_clamped, sig_bits, config);
   for (double eps : config.epsilon_grid) {
-    const double cost = CostBits(eps, b.size(), d_clamped, sig_bits, config);
+    const double cost = CostBits(eps, set_b_size, d_clamped, sig_bits, config);
     if (cost < best_cost) {
       best_cost = cost;
       best_eps = eps;
     }
   }
+  GraphenePlan plan;
+  plan.epsilon = best_eps;
+  const double expected = best_eps < 1.0 ? best_eps * d_clamped : d_clamped;
+  plan.cells = CellsFor(expected, config);
+  return plan;
+}
 
-  const bool use_bf = best_eps < 1.0;
-  const double expected = use_bf ? best_eps * d_clamped : d_clamped;
-  const size_t cells = CellsFor(expected, config);
+BaselineOutcome GrapheneReconcile(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b, int d_est,
+                                  int sig_bits, uint64_t seed,
+                                  const GrapheneConfig& config) {
+  BaselineOutcome out;
+  const GraphenePlan plan = GrapheneChoosePlan(d_est, b.size(), sig_bits,
+                                               config);
+  const double best_eps = plan.epsilon;
+  const bool use_bf = plan.use_bf();
+  const size_t cells = plan.cells;
 
   // --- Bob encodes ---
   const auto encode_start = Clock::now();

@@ -1,5 +1,8 @@
 #include "pbs/common/bitio.h"
 
+#include <cassert>
+#include <cstring>
+
 namespace pbs {
 
 void BitWriter::WriteBits(uint64_t value, int bits) {
@@ -29,6 +32,17 @@ void BitWriter::WriteVarint(uint64_t value) {
   }
 }
 
+void BitWriter::AlignToByte() {
+  const int slack = static_cast<int>(bit_size_ % 8);
+  if (slack != 0) WriteBits(0, 8 - slack);
+}
+
+void BitWriter::WriteBytes(const uint8_t* data, size_t size) {
+  assert(bit_size_ % 8 == 0 && "WriteBytes requires byte alignment");
+  bytes_.insert(bytes_.end(), data, data + size);
+  bit_size_ += size * 8;
+}
+
 std::vector<uint8_t> BitWriter::TakeBytes() {
   std::vector<uint8_t> out = std::move(bytes_);
   bytes_.clear();
@@ -56,6 +70,23 @@ uint64_t BitReader::ReadBits(int bits) {
     read += take;
   }
   return value;
+}
+
+void BitReader::AlignToByte() {
+  const int slack = static_cast<int>(pos_ % 8);
+  if (slack != 0) ReadBits(8 - slack);
+}
+
+bool BitReader::ReadBytes(uint8_t* out, size_t size) {
+  assert(pos_ % 8 == 0 && "ReadBytes requires byte alignment");
+  if (pos_ + size * 8 > size_bits_) {
+    overflowed_ = true;
+    pos_ = size_bits_;
+    return false;
+  }
+  std::memcpy(out, data_ + pos_ / 8, size);
+  pos_ += size * 8;
+  return true;
 }
 
 uint64_t BitReader::ReadVarint() {

@@ -1,0 +1,87 @@
+#include "pbs/core/messages.h"
+
+#include <cstring>
+
+#include "pbs/common/checksum.h"
+
+namespace pbs::wire {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'P', 'B', 'S', 'W'};
+
+void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+uint8_t SchemeWireId(const std::string& name) {
+  if (name == "pbs") return 1;
+  if (name == "pinsketch") return 2;
+  if (name == "pinsketch-wp") return 3;
+  if (name == "ddigest") return 4;
+  if (name == "graphene") return 5;
+  return 0;
+}
+
+std::vector<uint8_t> EncodeFrame(const WireFrame& frame) {
+  std::vector<uint8_t> out(kFrameHeaderSize + frame.payload.size());
+  std::memcpy(out.data(), kMagic, 4);
+  out[4] = frame.version;
+  out[5] = static_cast<uint8_t>(frame.type);
+  out[6] = frame.scheme;
+  out[7] = 0;  // flags, reserved.
+  PutU32(out.data() + 8, frame.round);
+  PutU32(out.data() + 12, static_cast<uint32_t>(frame.payload.size()));
+  // CRC over the header (with the checksum field still zero) chained over
+  // the payload, so corruption anywhere in the frame is caught.
+  uint32_t crc = Crc32(out.data(), 16);
+  crc = Crc32(frame.payload.data(), frame.payload.size(), crc);
+  PutU32(out.data() + 16, crc);
+  if (!frame.payload.empty()) {
+    std::memcpy(out.data() + kFrameHeaderSize, frame.payload.data(),
+                frame.payload.size());
+  }
+  return out;
+}
+
+FrameStatus DecodeFrame(const uint8_t* data, size_t size, WireFrame* frame,
+                        size_t* consumed) {
+  if (size < kFrameHeaderSize) return FrameStatus::kTruncated;
+  if (std::memcmp(data, kMagic, 4) != 0) return FrameStatus::kBadMagic;
+  if (data[4] != kWireVersion) return FrameStatus::kBadVersion;
+  const uint32_t length = GetU32(data + 12);
+  if (length > kMaxFramePayload) return FrameStatus::kBadLength;
+  if (size < kFrameHeaderSize + length) return FrameStatus::kTruncated;
+  uint32_t crc = Crc32(data, 16);
+  crc = Crc32(data + kFrameHeaderSize, length, crc);
+  if (crc != GetU32(data + 16)) return FrameStatus::kBadChecksum;
+  frame->version = data[4];
+  frame->type = static_cast<FrameType>(data[5]);
+  frame->scheme = data[6];
+  frame->round = GetU32(data + 8);
+  frame->payload.assign(data + kFrameHeaderSize,
+                        data + kFrameHeaderSize + length);
+  *consumed = kFrameHeaderSize + length;
+  return FrameStatus::kOk;
+}
+
+FrameStatus InspectFrameHeader(const uint8_t* header, size_t* payload_length) {
+  if (std::memcmp(header, kMagic, 4) != 0) return FrameStatus::kBadMagic;
+  if (header[4] != kWireVersion) return FrameStatus::kBadVersion;
+  const uint32_t length = GetU32(header + 12);
+  if (length > kMaxFramePayload) return FrameStatus::kBadLength;
+  *payload_length = length;
+  return FrameStatus::kOk;
+}
+
+}  // namespace pbs::wire

@@ -1,0 +1,274 @@
+#include "pbs/core/transport.h"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pbs {
+
+namespace {
+
+// ------------------------------------------------------------- loopback --
+
+// One direction of the loopback pair. Senders append, receivers block on
+// the condition variable; `closed` turns pending and future reads into EOF.
+struct LoopbackPipe {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<uint8_t> buffer;
+  bool closed = false;
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex);
+    closed = true;
+    ready.notify_all();
+  }
+};
+
+class LoopbackTransport : public ByteTransport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackPipe> out,
+                    std::shared_ptr<LoopbackPipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~LoopbackTransport() override {
+    out_->Close();
+    in_->Close();
+  }
+
+  bool Send(const uint8_t* data, size_t size) override {
+    std::lock_guard<std::mutex> lock(out_->mutex);
+    if (out_->closed) return false;
+    out_->buffer.insert(out_->buffer.end(), data, data + size);
+    out_->ready.notify_all();
+    return true;
+  }
+
+  bool Recv(uint8_t* data, size_t size) override {
+    std::unique_lock<std::mutex> lock(in_->mutex);
+    size_t got = 0;
+    while (got < size) {
+      in_->ready.wait(lock, [this] {
+        return !in_->buffer.empty() || in_->closed;
+      });
+      if (in_->buffer.empty()) return false;  // Closed with nothing left.
+      while (got < size && !in_->buffer.empty()) {
+        data[got++] = in_->buffer.front();
+        in_->buffer.pop_front();
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::shared_ptr<LoopbackPipe> out_;
+  std::shared_ptr<LoopbackPipe> in_;
+};
+
+// ------------------------------------------------------------------- fd --
+
+class FdTransport : public ByteTransport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+
+  ~FdTransport() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Send(const uint8_t* data, size_t size) override {
+    size_t sent = 0;
+    while (sent < size) {
+      // send(MSG_NOSIGNAL) so a peer that vanished mid-session fails this
+      // one transport instead of SIGPIPE-killing a serving process; fall
+      // back to write() for non-socket fds (pipes).
+      ssize_t n;
+      if (is_socket_) {
+        n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK) {
+          is_socket_ = false;
+          continue;
+        }
+      } else {
+        n = ::write(fd_, data + sent, size - sent);
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Recv(uint8_t* data, size_t size) override {
+    size_t got = 0;
+    while (got < size) {
+      const ssize_t n = ::read(fd_, data + got, size - got);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;  // EOF mid-message.
+      got += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+ private:
+  int fd_;
+  bool is_socket_ = true;  // Downgraded on the first ENOTSOCK.
+};
+
+void SetErr(std::string* error, const char* what) {
+  if (error) *error = std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::pair<std::unique_ptr<ByteTransport>, std::unique_ptr<ByteTransport>>
+MakeLoopbackTransportPair() {
+  auto a_to_b = std::make_shared<LoopbackPipe>();
+  auto b_to_a = std::make_shared<LoopbackPipe>();
+  return {std::make_unique<LoopbackTransport>(a_to_b, b_to_a),
+          std::make_unique<LoopbackTransport>(b_to_a, a_to_b)};
+}
+
+std::unique_ptr<ByteTransport> MakeFdTransport(int fd) {
+  return std::make_unique<FdTransport>(fd);
+}
+
+std::unique_ptr<ByteTransport> TcpConnect(const std::string& host,
+                                          uint16_t port, std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+  if (rc != 0) {
+    if (error) *error = std::string("getaddrinfo: ") + gai_strerror(rc);
+    return nullptr;
+  }
+  int fd = -1;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    SetErr(error, "connect");
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<FdTransport>(fd);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::unique_ptr<TcpListener> TcpListener::Listen(uint16_t port,
+                                                 std::string* error) {
+  const int fd = ::socket(AF_INET6, SOCK_STREAM, 0);
+  int bound = -1;
+  if (fd >= 0) {
+    // Dual-stack: accept IPv4 and IPv6 clients on one socket.
+    const int off = 0;
+    ::setsockopt(fd, IPPROTO_IPV6, IPV6_V6ONLY, &off, sizeof(off));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in6 addr{};
+    addr.sin6_family = AF_INET6;
+    addr.sin6_addr = in6addr_any;
+    addr.sin6_port = htons(port);
+    bound = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  int use_fd = fd;
+  if (fd < 0 || bound != 0) {
+    if (fd >= 0) ::close(fd);
+    // IPv6 unavailable (containers): fall back to plain IPv4.
+    use_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (use_fd < 0) {
+      SetErr(error, "socket");
+      return nullptr;
+    }
+    const int one = 1;
+    ::setsockopt(use_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr4{};
+    addr4.sin_family = AF_INET;
+    addr4.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr4.sin_port = htons(port);
+    if (::bind(use_fd, reinterpret_cast<sockaddr*>(&addr4), sizeof(addr4)) !=
+        0) {
+      SetErr(error, "bind");
+      ::close(use_fd);
+      return nullptr;
+    }
+  }
+  if (::listen(use_fd, 8) != 0) {
+    SetErr(error, "listen");
+    ::close(use_fd);
+    return nullptr;
+  }
+  sockaddr_storage bound_addr{};
+  socklen_t len = sizeof(bound_addr);
+  uint16_t actual = port;
+  if (::getsockname(use_fd, reinterpret_cast<sockaddr*>(&bound_addr), &len) ==
+      0) {
+    if (bound_addr.ss_family == AF_INET6) {
+      actual = ntohs(reinterpret_cast<sockaddr_in6*>(&bound_addr)->sin6_port);
+    } else {
+      actual = ntohs(reinterpret_cast<sockaddr_in*>(&bound_addr)->sin_port);
+    }
+  }
+  return std::unique_ptr<TcpListener>(new TcpListener(use_fd, actual));
+}
+
+std::unique_ptr<ByteTransport> TcpListener::Accept() {
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      // Idle cap on served connections: a client that connects and then
+      // sends nothing must not wedge a sequential accept loop forever.
+      // Recv fails with EAGAIN after the timeout and the session aborts.
+      timeval idle{};
+      idle.tv_sec = 30;
+      ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &idle, sizeof(idle));
+      return std::make_unique<FdTransport>(client);
+    }
+    if (errno != EINTR) return nullptr;
+  }
+}
+
+}  // namespace pbs

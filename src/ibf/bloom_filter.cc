@@ -41,4 +41,17 @@ bool BloomFilter::Contains(uint64_t key) const {
   return true;
 }
 
+void BloomFilter::Serialize(BitWriter* writer) const {
+  for (bool bit : bits_) writer->WriteBit(bit);
+}
+
+BloomFilter BloomFilter::Deserialize(BitReader* reader, size_t bits,
+                                     int num_hashes, uint64_t salt) {
+  BloomFilter filter(bits, num_hashes, salt);
+  for (size_t i = 0; i < filter.bits_.size(); ++i) {
+    filter.bits_[i] = reader->ReadBit();
+  }
+  return filter;
+}
+
 }  // namespace pbs

@@ -30,6 +30,15 @@ class PinSketchReconciler : public SetReconciler {
                              const std::vector<uint64_t>& b, double d_hat,
                              uint64_t seed) const override;
 
+  /// Wire-session engines (docs/WIRE_FORMAT.md); parity with Reconcile()
+  /// is pinned by tests/core/wire_session_test.cc.
+  std::unique_ptr<ReconcileInitiator> CreateInitiator(
+      std::vector<uint64_t> elements, double d_hat,
+      uint64_t seed) const override;
+  std::unique_ptr<ReconcileResponder> CreateResponder(
+      std::vector<uint64_t> elements, double d_hat,
+      uint64_t seed) const override;
+
  private:
   int sig_bits_;
   double gamma_;
@@ -46,6 +55,15 @@ class DDigestReconciler : public SetReconciler {
                              const std::vector<uint64_t>& b, double d_hat,
                              uint64_t seed) const override;
 
+  /// Wire-session engines (docs/WIRE_FORMAT.md); parity with Reconcile()
+  /// is pinned by tests/core/wire_session_test.cc.
+  std::unique_ptr<ReconcileInitiator> CreateInitiator(
+      std::vector<uint64_t> elements, double d_hat,
+      uint64_t seed) const override;
+  std::unique_ptr<ReconcileResponder> CreateResponder(
+      std::vector<uint64_t> elements, double d_hat,
+      uint64_t seed) const override;
+
  private:
   int sig_bits_;
 };
@@ -60,6 +78,15 @@ class GrapheneReconciler : public SetReconciler {
   ReconcileOutcome Reconcile(const std::vector<uint64_t>& a,
                              const std::vector<uint64_t>& b, double d_hat,
                              uint64_t seed) const override;
+
+  /// Wire-session engines (docs/WIRE_FORMAT.md); parity with Reconcile()
+  /// is pinned by tests/core/wire_session_test.cc.
+  std::unique_ptr<ReconcileInitiator> CreateInitiator(
+      std::vector<uint64_t> elements, double d_hat,
+      uint64_t seed) const override;
+  std::unique_ptr<ReconcileResponder> CreateResponder(
+      std::vector<uint64_t> elements, double d_hat,
+      uint64_t seed) const override;
 
  private:
   int sig_bits_;
@@ -77,6 +104,15 @@ class PinSketchWpReconciler : public SetReconciler {
   ReconcileOutcome Reconcile(const std::vector<uint64_t>& a,
                              const std::vector<uint64_t>& b, double d_hat,
                              uint64_t seed) const override;
+
+  /// Wire-session engines (docs/WIRE_FORMAT.md); parity with Reconcile()
+  /// is pinned by tests/core/wire_session_test.cc.
+  std::unique_ptr<ReconcileInitiator> CreateInitiator(
+      std::vector<uint64_t> elements, double d_hat,
+      uint64_t seed) const override;
+  std::unique_ptr<ReconcileResponder> CreateResponder(
+      std::vector<uint64_t> elements, double d_hat,
+      uint64_t seed) const override;
 
  private:
   PbsConfig config_;       // Shares delta/t planning with PBS (Section 8.3).

@@ -34,6 +34,20 @@ struct GrapheneConfig {
   int ibf_hashes = 4;
 };
 
+/// The cost model's resolved choice for one exchange: the BF false-positive
+/// rate (1.0 = BF dropped) and the IBF cell budget. Exposed so the wire
+/// responder (baselines/baseline_endpoints) plans identically to the
+/// in-memory GrapheneReconcile for the same (d_est, |B|).
+struct GraphenePlan {
+  double epsilon = 1.0;  ///< Chosen BF false-positive rate (1.0 = no BF).
+  size_t cells = 0;      ///< IBF cells.
+  bool use_bf() const { return epsilon < 1.0; }
+};
+
+/// Runs the per-epsilon cost model of Section 8.2 over `config`'s grid.
+GraphenePlan GrapheneChoosePlan(int d_est, size_t set_b_size, int sig_bits,
+                                const GrapheneConfig& config = {});
+
 /// Reconciles a and b given an estimate `d_est` of |A \ B| (Graphene needs
 /// no separate estimator message; the paper credits it 336 bytes for this).
 BaselineOutcome GrapheneReconcile(const std::vector<uint64_t>& a,

@@ -33,6 +33,15 @@ class BitWriter {
   /// is not fixed by the protocol.
   void WriteVarint(uint64_t value);
 
+  /// Zero-pads to the next byte boundary (no-op when already aligned).
+  /// The framed wire format aligns before embedding opaque sub-messages so
+  /// they can be copied out without shifting.
+  void AlignToByte();
+
+  /// Appends `size` raw bytes. The stream must be byte-aligned (call
+  /// AlignToByte() first); enforced with an assert in debug builds.
+  void WriteBytes(const uint8_t* data, size_t size);
+
   /// Number of bits written so far.
   size_t bit_size() const { return bit_size_; }
 
@@ -68,6 +77,13 @@ class BitReader {
 
   /// Reads a varint written by BitWriter::WriteVarint.
   uint64_t ReadVarint();
+
+  /// Skips to the next byte boundary (no-op when already aligned).
+  void AlignToByte();
+
+  /// Reads `size` raw bytes into `out`. The stream must be byte-aligned;
+  /// returns false (and sets overflow) if fewer than `size` bytes remain.
+  bool ReadBytes(uint8_t* out, size_t size);
 
   /// True if a read has run past the end of the stream.
   bool overflowed() const { return overflowed_; }

@@ -10,9 +10,16 @@
 #ifndef PBS_COMMON_CHECKSUM_H_
 #define PBS_COMMON_CHECKSUM_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace pbs {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `size` bytes.
+/// Used by the framed wire format (core/messages.h) to reject corrupted
+/// frames; `seed` chains incremental computations (pass a previous result
+/// to continue where it left off).
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
 
 /// Incremental modular-sum checksum over a multiset of fixed-width
 /// signatures. Width `bits` must be in [1, 64].

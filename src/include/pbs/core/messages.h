@@ -21,7 +21,10 @@
 #ifndef PBS_CORE_MESSAGES_H_
 #define PBS_CORE_MESSAGES_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace pbs::wire {
 
@@ -35,6 +38,97 @@ constexpr int BitWidthFor(uint64_t max_value) {
 /// Width of the per-unit "number of decoded positions" field; the count is
 /// at most t by construction.
 constexpr int CountBits(int t) { return BitWidthFor(static_cast<uint64_t>(t)); }
+
+// ---------------------------------------------------------------------------
+// Framed session layer (docs/WIRE_FORMAT.md).
+//
+// Everything above describes the *contents* of protocol messages; this part
+// describes the envelope that carries them over a byte stream. A frame is a
+// fixed 20-byte header followed by an opaque payload:
+//
+//   offset  size  field
+//        0     4  magic "PBSW" (bytes 50 42 53 57)
+//        4     1  version (kWireVersion)
+//        5     1  frame type (FrameType)
+//        6     1  scheme id (SchemeWireId; 0 = named in the HELLO payload)
+//        7     1  flags (reserved, must be 0 in version 1)
+//        8     4  round number, little-endian
+//       12     4  payload length, little-endian
+//       16     4  CRC-32 of header bytes [0, 16) then the payload
+//       20     -  payload
+// ---------------------------------------------------------------------------
+
+/// Wire protocol version carried in every frame header. Bumped on any
+/// incompatible layout change; a responder rejects frames whose version it
+/// does not speak (see docs/WIRE_FORMAT.md for the compatibility rules).
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Frame header size in bytes.
+inline constexpr size_t kFrameHeaderSize = 20;
+
+/// Hard cap on a single frame's payload (64 MiB): a length field beyond
+/// this is treated as corruption. Stream readers allocate the payload
+/// buffer from this length *before* the checksum can be verified, so the
+/// cap is sized to the largest legitimate frame (a few MiB at the
+/// schemes' capacity limits) with ~10x headroom, not to what the field
+/// could express.
+inline constexpr uint32_t kMaxFramePayload = 1u << 26;
+
+/// Frame types of wire version 1. The session is a strict ping-pong driven
+/// by the initiator; see core/wire_session.h for the state machine.
+enum class FrameType : uint8_t {
+  kHello = 1,           ///< Initiator's handshake (scheme name + options).
+  kHelloAck = 2,        ///< Responder accepts the handshake.
+  kEstimateRequest = 3, ///< Initiator's ToW sketch of its set.
+  kEstimateReply = 4,   ///< Responder's d-hat computed from both sketches.
+  kSchemeRequest = 5,   ///< Scheme-specific round payload, initiator side.
+  kSchemeReply = 6,     ///< Scheme-specific round payload, responder side.
+  kDone = 7,            ///< Initiator's outcome summary; responder echoes.
+  kError = 8,           ///< Either side aborts; payload is a UTF-8 message.
+};
+
+/// Stable one-byte ids for the built-in schemes, carried in the header so
+/// sniffers/loggers can classify frames without parsing the HELLO payload.
+/// Out-of-tree schemes use 0 and are identified by name in the HELLO.
+uint8_t SchemeWireId(const std::string& name);
+
+/// A decoded frame: header fields plus the payload bytes.
+struct WireFrame {
+  uint8_t version = kWireVersion;  ///< Protocol version (kWireVersion).
+  FrameType type = FrameType::kHello;  ///< Frame type.
+  uint8_t scheme = 0;              ///< SchemeWireId of the session's scheme.
+  uint32_t round = 0;              ///< Scheme round (0 during handshake).
+  std::vector<uint8_t> payload;    ///< Opaque payload bytes.
+};
+
+/// Result of decoding a frame from a byte buffer.
+enum class FrameStatus {
+  kOk,           ///< Frame decoded; *consumed bytes were used.
+  kTruncated,    ///< Buffer ends mid-header or mid-payload; read more.
+  kBadMagic,     ///< First four bytes are not "PBSW".
+  kBadVersion,   ///< Unsupported version byte.
+  kBadLength,    ///< Payload length exceeds kMaxFramePayload.
+  kBadChecksum,  ///< CRC-32 mismatch (header or payload corrupted).
+};
+
+/// Serializes `frame` (header + payload) into a contiguous buffer. The
+/// checksum and length fields are computed here; frame.version is
+/// respected so tests can emit alien versions.
+std::vector<uint8_t> EncodeFrame(const WireFrame& frame);
+
+/// Decodes one frame from the front of [data, data+size). On kOk, `*frame`
+/// holds the frame and `*consumed` the total bytes used. On any other
+/// status, outputs are untouched (kTruncated callers should retry with more
+/// bytes; everything else is fatal for the stream).
+FrameStatus DecodeFrame(const uint8_t* data, size_t size, WireFrame* frame,
+                        size_t* consumed);
+
+/// Validates a complete header (kFrameHeaderSize bytes) and extracts the
+/// payload length, so stream readers know how many more bytes to pull
+/// before calling DecodeFrame on the assembled buffer. Returns kOk,
+/// kBadMagic, kBadVersion, or kBadLength (the checksum spans the payload
+/// and is only checked by DecodeFrame).
+FrameStatus InspectFrameHeader(const uint8_t* header, size_t* payload_length);
 
 }  // namespace pbs::wire
 

@@ -22,6 +22,16 @@ class PbsReconciler : public SetReconciler {
                              const std::vector<uint64_t>& b, double d_hat,
                              uint64_t seed) const override;
 
+  /// Wire-session engines wrapping PbsAlice / PbsBob (docs/WIRE_FORMAT.md,
+  /// "pbs payloads"). A loopback session recovers the identical difference
+  /// to Reconcile() for equal (d_hat, seed).
+  std::unique_ptr<ReconcileInitiator> CreateInitiator(
+      std::vector<uint64_t> elements, double d_hat,
+      uint64_t seed) const override;
+  std::unique_ptr<ReconcileResponder> CreateResponder(
+      std::vector<uint64_t> elements, double d_hat,
+      uint64_t seed) const override;
+
  private:
   PbsConfig config_;       // options.pbs with sig_bits folded in.
   int report_sig_bits_ = 0;

@@ -40,6 +40,14 @@ struct ReconcileOutcome {
   double decode_seconds = 0.0;   ///< Decode/peel/recovery time.
   std::string params_summary;    ///< Human-readable parameterization, e.g.
                                  ///< "g=20 n=127 t=8" or "t=138".
+  /// Framed bytes actually moved by the session layer (handshake, estimate
+  /// exchange, frame headers, payloads — both directions). Zero for
+  /// in-memory Reconcile() calls, which transfer nothing; filled by
+  /// core/wire_session.h so callers can report *true* transfer sizes next
+  /// to the abstract data_bytes accounting above.
+  size_t wire_bytes = 0;
+  /// Frames exchanged by the session layer (both directions; 0 in-memory).
+  int wire_frames = 0;
 };
 
 /// Construction-time knobs shared by every scheme. PbsConfig doubles as the
@@ -57,10 +65,57 @@ struct SchemeOptions {
   PbsConfig pbs;
 };
 
+/// One side's protocol engine for reconciling over a byte stream: the
+/// *initiator* (the paper's Alice) drives a strict ping-pong of opaque
+/// payloads and ultimately learns the difference. Payloads are scheme-
+/// specific (documented in docs/WIRE_FORMAT.md); the session driver in
+/// core/wire_session.h wraps each one in a checksummed WireFrame and moves
+/// it across a ByteTransport, so endpoint implementations never see
+/// framing or sockets.
+///
+/// Call sequence: while !done(): NextRequest() -> (peer) -> HandleReply().
+/// After done(), TakeOutcome() yields the same ReconcileOutcome the
+/// scheme's in-memory Reconcile() would have produced for the same inputs,
+/// estimate, and seed (the wire_session parity tests pin this).
+class ReconcileInitiator {
+ public:
+  virtual ~ReconcileInitiator() = default;
+
+  /// Builds the next request payload. Precondition: !done(). Advances the
+  /// scheme's round state.
+  virtual std::vector<uint8_t> NextRequest() = 0;
+
+  /// Consumes the responder's reply to the last request. Returns false on
+  /// a malformed reply (the session is then aborted with a wire error).
+  virtual bool HandleReply(const std::vector<uint8_t>& reply) = 0;
+
+  /// True once the protocol has settled (successfully or not); no further
+  /// requests may be produced.
+  virtual bool done() const = 0;
+
+  /// The reconciliation outcome. Valid once done(); may be called once.
+  virtual ReconcileOutcome TakeOutcome() = 0;
+};
+
+/// The responding side (the paper's Bob): a pure request -> reply state
+/// machine. The responder learns protocol parameters from the first
+/// request payload and needs no outcome of its own.
+class ReconcileResponder {
+ public:
+  virtual ~ReconcileResponder() = default;
+
+  /// Produces the reply payload for one request. Returns false on a
+  /// malformed request (the session is then aborted with a wire error).
+  virtual bool HandleRequest(const std::vector<uint8_t>& request,
+                             std::vector<uint8_t>* reply) = 0;
+};
+
 /// Interface implemented by every reconciliation scheme.
 ///
 /// Implementations must be stateless after construction: Reconcile() is
 /// const and may be called concurrently from the runner's worker threads.
+/// CreateInitiator()/CreateResponder() mint fresh per-session state, so a
+/// single SetReconciler can serve many concurrent wire sessions.
 class SetReconciler {
  public:
   virtual ~SetReconciler() = default;
@@ -84,6 +139,27 @@ class SetReconciler {
   virtual ReconcileOutcome Reconcile(const std::vector<uint64_t>& a,
                                      const std::vector<uint64_t>& b,
                                      double d_hat, uint64_t seed) const = 0;
+
+  /// Mints the initiator-side engine for one wire session over `elements`
+  /// (the initiator's set A). `d_hat` and `seed` have exactly the
+  /// Reconcile() semantics — the scheme applies the same inflation policy
+  /// and derives the same random choices, so a session and an in-memory
+  /// call recover identical differences. Returns nullptr if the scheme
+  /// has no wire protocol (the session driver then reports an error).
+  virtual std::unique_ptr<ReconcileInitiator> CreateInitiator(
+      std::vector<uint64_t> /*elements*/, double /*d_hat*/,
+      uint64_t /*seed*/) const {
+    return nullptr;
+  }
+
+  /// Mints the responder-side engine for one wire session over `elements`
+  /// (the responder's set B). Protocol parameters the responder cannot
+  /// derive from `d_hat` arrive in the first request payload.
+  virtual std::unique_ptr<ReconcileResponder> CreateResponder(
+      std::vector<uint64_t> /*elements*/, double /*d_hat*/,
+      uint64_t /*seed*/) const {
+    return nullptr;
+  }
 };
 
 /// Builds a scheme instance from shared options.

@@ -1,0 +1,84 @@
+// Byte-stream transports for the framed session layer.
+//
+// The session driver (core/wire_session.h) is written against the abstract
+// ByteTransport so the same protocol code runs over an in-memory loopback
+// pair (tests, single-process demos), a connected POSIX stream socket
+// (pbs_cli serve/connect, examples/socket_sync), or any transport an
+// application supplies (TLS, QUIC streams, message buses carrying a
+// byte-stream abstraction).
+
+#ifndef PBS_CORE_TRANSPORT_H_
+#define PBS_CORE_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace pbs {
+
+/// A reliable, ordered, blocking byte stream — the minimal contract the
+/// framed wire format needs. Implementations must deliver bytes exactly
+/// once and in order (TCP semantics); framing, checksums, and message
+/// boundaries live one layer up in core/messages.h.
+class ByteTransport {
+ public:
+  virtual ~ByteTransport() = default;
+
+  /// Writes exactly `size` bytes. Returns false on a broken/closed peer
+  /// (after which the transport is unusable).
+  virtual bool Send(const uint8_t* data, size_t size) = 0;
+
+  /// Reads exactly `size` bytes, blocking until they arrive. Returns false
+  /// on EOF or error before `size` bytes were received.
+  virtual bool Recv(uint8_t* data, size_t size) = 0;
+};
+
+/// In-memory transport pair: bytes sent on one end are received on the
+/// other. Thread-safe; Recv blocks on a condition variable, so the two
+/// session halves can run on separate threads (or interleaved on one
+/// thread, since the ping-pong protocol never reads before the peer's
+/// write completed). Destroying either end unblocks the peer with EOF.
+std::pair<std::unique_ptr<ByteTransport>, std::unique_ptr<ByteTransport>>
+MakeLoopbackTransportPair();
+
+/// Transport over an open POSIX stream file descriptor (socketpair, pipe
+/// pair, or connected socket). Takes ownership: the fd is closed on
+/// destruction. Short reads/writes and EINTR are handled internally.
+std::unique_ptr<ByteTransport> MakeFdTransport(int fd);
+
+/// Connects to host:port (TCP, IPv4/IPv6 via getaddrinfo). Returns nullptr
+/// and fills `*error` on failure.
+std::unique_ptr<ByteTransport> TcpConnect(const std::string& host,
+                                          uint16_t port, std::string* error);
+
+/// A listening TCP socket accepting one connection at a time.
+class TcpListener {
+ public:
+  ~TcpListener();
+  TcpListener(TcpListener&&) noexcept;
+  TcpListener& operator=(TcpListener&&) noexcept;
+
+  /// Binds and listens on `port` (0 picks an ephemeral port; read it back
+  /// with port()). Returns nullptr and fills `*error` on failure.
+  static std::unique_ptr<TcpListener> Listen(uint16_t port,
+                                             std::string* error);
+
+  /// Blocks until a client connects; returns its transport (nullptr on
+  /// error, e.g. the listener was closed).
+  std::unique_ptr<ByteTransport> Accept();
+
+  /// The bound port (resolves ephemeral port 0 requests).
+  uint16_t port() const { return port_; }
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_TRANSPORT_H_

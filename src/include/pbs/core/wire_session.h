@@ -1,0 +1,93 @@
+// The framed session driver: multi-round reconciliation over byte streams.
+//
+// ReconcileSession glues the three lower pieces together so two *processes*
+// can reconcile key sets with any registered scheme:
+//
+//   SchemeRegistry  ->  ReconcileInitiator / ReconcileResponder engines
+//   core/messages   ->  checksummed, versioned WireFrame envelopes
+//   core/transport  ->  loopback or TCP byte streams
+//
+// Session state machine (initiator drives; every arrow is one frame):
+//
+//   initiator                         responder
+//   HELLO (scheme, options, seed) --> validate, look up scheme
+//   [estimate phase unless the initiator supplied an exact d]
+//   ESTIMATE_REQ (ToW sketch A)   --> sketch B, d-hat = Estimate(A, B)
+//                                 <-- ESTIMATE_REPLY (d-hat)
+//   [scheme phase: ping-pong until the initiator engine settles]
+//   SCHEME_REQ (round k payload)  --> engine.HandleRequest
+//                                 <-- SCHEME_REPLY (round k payload)
+//   DONE (summary)                --> log
+//                                 <-- DONE (ack)
+//
+// Either side may abort with an ERROR frame; transport failure at any
+// point fails the session. The responder adopts the initiator's options
+// (delta, rounds, p0, gamma, sig_bits, ...) from the HELLO payload, so the
+// two engines always plan identical parameterizations.
+
+#ifndef PBS_CORE_WIRE_SESSION_H_
+#define PBS_CORE_WIRE_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pbs/core/set_reconciler.h"
+#include "pbs/core/transport.h"
+
+namespace pbs {
+
+/// Everything the initiator pins for one session. The responder adopts
+/// these from the HELLO frame; it contributes only its element set.
+struct SessionConfig {
+  /// Registry key of the scheme to run (must exist on both sides).
+  std::string scheme_name = "pbs";
+  /// Scheme construction knobs; plan-affecting fields travel in the HELLO.
+  SchemeOptions options;
+  /// Master seed: drives every random choice of both engines, exactly like
+  /// the `seed` argument of SetReconciler::Reconcile.
+  uint64_t seed = 0xC11;
+  /// Seed of the ToW estimate exchange (kept separate from `seed` so the
+  /// estimator and the scheme never share hash functions).
+  uint64_t estimate_seed = 0xE57;
+  /// When >= 0, skip the estimate phase and hand this d to both engines
+  /// (the "d known" setting of Sections 2-5, and the parity tests' way of
+  /// matching an in-memory Reconcile call exactly).
+  double exact_d = -1.0;
+};
+
+/// Result of driving one side of a session to completion.
+struct SessionResult {
+  bool ok = false;        ///< Handshake + protocol + transport all succeeded.
+  std::string error;      ///< Human-readable failure cause when !ok.
+  std::string scheme;     ///< Registry key of the scheme that ran.
+  double d_hat = 0.0;     ///< The difference estimate the engines consumed.
+  /// Scheme outcome with wire_bytes/wire_frames filled in. Only the
+  /// initiator recovers the difference; the responder's outcome carries
+  /// accounting fields (and success mirrored from the DONE summary).
+  ReconcileOutcome outcome;
+};
+
+/// Drives the initiator (Alice) side: handshake, optional estimate
+/// exchange, scheme ping-pong, DONE. `elements` is the initiator's set A.
+/// Blocks until the session settles or fails.
+SessionResult RunInitiatorSession(ByteTransport& transport,
+                                  const SessionConfig& config,
+                                  const std::vector<uint64_t>& elements);
+
+/// Drives the responder (Bob) side: accepts one HELLO, adopts its options,
+/// serves estimate + scheme requests until DONE or error. `elements` is
+/// the responder's set B. Blocks until the peer finishes or fails.
+SessionResult RunResponderSession(ByteTransport& transport,
+                                  const std::vector<uint64_t>& elements);
+
+/// Convenience for tests and demos: runs the responder on a second thread
+/// over an in-memory loopback pair and the initiator on the calling
+/// thread; returns the initiator's result.
+SessionResult RunLoopbackSession(const SessionConfig& config,
+                                 const std::vector<uint64_t>& a,
+                                 const std::vector<uint64_t>& b);
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_WIRE_SESSION_H_

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "pbs/common/bitio.h"
+
 namespace pbs {
 
 /// Standard Bloom filter over 64-bit keys with k independent salted hashes.
@@ -29,6 +31,16 @@ class BloomFilter {
   size_t bit_count() const { return bits_.size(); }
   size_t byte_size() const { return (bits_.size() + 7) / 8; }
   int num_hashes() const { return num_hashes_; }
+
+  /// Serializes the raw bit array (bit_count() bits; geometry travels
+  /// separately — the Graphene wire payload carries bit count and hash
+  /// count next to the array).
+  void Serialize(BitWriter* writer) const;
+
+  /// Reads a filter serialized by Serialize. `bits`, `num_hashes`, and
+  /// `salt` must match the sender's construction.
+  static BloomFilter Deserialize(BitReader* reader, size_t bits,
+                                 int num_hashes, uint64_t salt);
 
  private:
   size_t Index(uint64_t key, int probe) const;

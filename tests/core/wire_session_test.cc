@@ -1,0 +1,286 @@
+// Framed session layer: frame codec robustness and end-to-end parity.
+//
+// Three layers of guarantees, matching docs/WIRE_FORMAT.md:
+//  1. Codec: EncodeFrame/DecodeFrame round-trip arbitrary frames, and every
+//     truncation or single-byte corruption is rejected, never mis-decoded.
+//  2. Transports: loopback and TCP move frames intact.
+//  3. Sessions: for EVERY scheme in the registry, a loopback session
+//     recovers a difference identical to the in-memory Reconcile() call
+//     with the same estimate and seed — the wire protocol is a faithful
+//     split of the algorithm, not a re-implementation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "pbs/common/bitio.h"
+#include "pbs/common/rng.h"
+#include "pbs/core/messages.h"
+#include "pbs/core/set_reconciler.h"
+#include "pbs/core/transport.h"
+#include "pbs/core/wire_session.h"
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+using wire::FrameStatus;
+using wire::FrameType;
+using wire::WireFrame;
+
+WireFrame RandomFrame(Xoshiro256* rng) {
+  WireFrame frame;
+  frame.type = static_cast<FrameType>(1 + rng->NextBounded(8));
+  frame.scheme = static_cast<uint8_t>(rng->NextBounded(6));
+  frame.round = static_cast<uint32_t>(rng->Next());
+  frame.payload.resize(rng->NextBounded(512));
+  for (auto& byte : frame.payload) {
+    byte = static_cast<uint8_t>(rng->Next());
+  }
+  return frame;
+}
+
+TEST(WireFrameCodec, FuzzRoundTrip) {
+  Xoshiro256 rng(0xF00D);
+  for (int i = 0; i < 500; ++i) {
+    const WireFrame frame = RandomFrame(&rng);
+    const std::vector<uint8_t> encoded = wire::EncodeFrame(frame);
+    ASSERT_EQ(encoded.size(), wire::kFrameHeaderSize + frame.payload.size());
+    WireFrame decoded;
+    size_t consumed = 0;
+    ASSERT_EQ(wire::DecodeFrame(encoded.data(), encoded.size(), &decoded,
+                                &consumed),
+              FrameStatus::kOk);
+    EXPECT_EQ(consumed, encoded.size());
+    EXPECT_EQ(decoded.version, frame.version);
+    EXPECT_EQ(decoded.type, frame.type);
+    EXPECT_EQ(decoded.scheme, frame.scheme);
+    EXPECT_EQ(decoded.round, frame.round);
+    EXPECT_EQ(decoded.payload, frame.payload);
+  }
+}
+
+TEST(WireFrameCodec, EveryTruncationIsDetected) {
+  Xoshiro256 rng(0xBEEF);
+  WireFrame frame = RandomFrame(&rng);
+  frame.payload.resize(37);
+  const std::vector<uint8_t> encoded = wire::EncodeFrame(frame);
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    WireFrame decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(wire::DecodeFrame(encoded.data(), len, &decoded, &consumed),
+              FrameStatus::kTruncated)
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireFrameCodec, EverySingleByteCorruptionIsRejected) {
+  Xoshiro256 rng(0xCAFE);
+  WireFrame frame = RandomFrame(&rng);
+  frame.payload.resize(64);
+  const std::vector<uint8_t> encoded = wire::EncodeFrame(frame);
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::vector<uint8_t> corrupt = encoded;
+      corrupt[i] ^= flip;
+      WireFrame decoded;
+      size_t consumed = 0;
+      const FrameStatus status = wire::DecodeFrame(
+          corrupt.data(), corrupt.size(), &decoded, &consumed);
+      // A flipped length byte can also read as "need more bytes"; any
+      // other corruption must be flagged outright. What is never OK is
+      // silently decoding.
+      EXPECT_NE(status, FrameStatus::kOk) << "byte " << i;
+    }
+  }
+}
+
+TEST(WireFrameCodec, AlienVersionRejected) {
+  WireFrame frame;
+  frame.version = wire::kWireVersion + 1;
+  frame.payload = {1, 2, 3};
+  const std::vector<uint8_t> encoded = wire::EncodeFrame(frame);
+  WireFrame decoded;
+  size_t consumed = 0;
+  EXPECT_EQ(wire::DecodeFrame(encoded.data(), encoded.size(), &decoded,
+                              &consumed),
+            FrameStatus::kBadVersion);
+}
+
+TEST(LoopbackTransport, MovesBytesBothWays) {
+  auto pair = MakeLoopbackTransportPair();
+  const uint8_t ping[3] = {1, 2, 3};
+  ASSERT_TRUE(pair.first->Send(ping, 3));
+  uint8_t buf[3] = {0, 0, 0};
+  ASSERT_TRUE(pair.second->Recv(buf, 3));
+  EXPECT_EQ(buf[2], 3);
+  ASSERT_TRUE(pair.second->Send(buf, 3));
+  ASSERT_TRUE(pair.first->Recv(buf, 3));
+  // Dropping one end turns further reads on the other into EOF.
+  pair.first.reset();
+  EXPECT_FALSE(pair.second->Recv(buf, 1));
+}
+
+// ------------------------------------------------------------- sessions --
+
+SchemeOptions TestOptions() {
+  SchemeOptions options;
+  options.pbs.max_rounds = 8;
+  options.pbs.target_rounds = 3;
+  return options;
+}
+
+// Registry-wide parity: the loopback session must recover the *identical*
+// difference vector (same elements, same order) as the in-memory call.
+TEST(WireSession, LoopbackMatchesInMemoryReconcileForEveryScheme) {
+  const SetPair pair = GenerateTwoSidedPair(4000, 40, 60, 32, 0xA11CE);
+  const double d_hat = static_cast<double>(pair.truth_diff.size());
+  const uint64_t seed = 0x5EED;
+
+  for (const std::string& name : SchemeRegistry::Instance().Names()) {
+    SCOPED_TRACE(name);
+    SchemeOptions options = TestOptions();
+    const auto reconciler = SchemeRegistry::Instance().Create(name, options);
+    ASSERT_NE(reconciler, nullptr);
+    const ReconcileOutcome direct =
+        reconciler->Reconcile(pair.a, pair.b, d_hat, seed);
+
+    SessionConfig config;
+    config.scheme_name = name;
+    config.options = options;
+    config.seed = seed;
+    config.exact_d = d_hat;
+    const SessionResult session = RunLoopbackSession(config, pair.a, pair.b);
+
+    ASSERT_TRUE(session.ok) << session.error;
+    EXPECT_EQ(session.outcome.success, direct.success);
+    EXPECT_EQ(session.outcome.rounds, direct.rounds);
+    EXPECT_EQ(session.outcome.difference, direct.difference)
+        << "wire session and in-memory Reconcile diverged";
+    EXPECT_GT(session.outcome.wire_bytes,
+              session.outcome.data_bytes)  // Frames add overhead.
+        << "wire accounting missing";
+    EXPECT_GE(session.outcome.wire_frames, 5);
+  }
+}
+
+// With no exact_d, the session runs its ToW estimate exchange; the
+// recovered difference must still be exactly the truth.
+TEST(WireSession, EstimatePhaseEndToEnd) {
+  const SetPair pair = GenerateTwoSidedPair(3000, 30, 50, 32, 0xB0B);
+  for (const std::string& name : SchemeRegistry::Instance().Names()) {
+    SCOPED_TRACE(name);
+    SessionConfig config;
+    config.scheme_name = name;
+    config.options = TestOptions();
+    config.seed = 0x7357;
+    config.estimate_seed = 0xE571;
+    const SessionResult session = RunLoopbackSession(config, pair.a, pair.b);
+    ASSERT_TRUE(session.ok) << session.error;
+    EXPECT_GT(session.d_hat, 0.0);
+    EXPECT_GT(session.outcome.estimator_bytes, 0u);
+    // The wire estimate phase must hand the engines the same d-hat an
+    // in-memory caller would have used — so session and direct call agree
+    // even when a scheme (legitimately, probabilistically) fails to decode
+    // under an unlucky estimate.
+    const auto reconciler =
+        SchemeRegistry::Instance().Create(name, config.options);
+    const ReconcileOutcome direct =
+        reconciler->Reconcile(pair.a, pair.b, session.d_hat, config.seed);
+    EXPECT_EQ(session.outcome.success, direct.success);
+    EXPECT_EQ(session.outcome.difference, direct.difference);
+    if (session.outcome.success) {
+      std::vector<uint64_t> recovered = session.outcome.difference;
+      std::vector<uint64_t> truth = pair.truth_diff;
+      std::sort(recovered.begin(), recovered.end());
+      std::sort(truth.begin(), truth.end());
+      EXPECT_EQ(recovered, truth);
+    }
+  }
+}
+
+TEST(WireSession, UnknownSchemeIsRejectedByResponder) {
+  // Craft a HELLO for a scheme the registry does not know by running the
+  // initiator against a live responder: the initiator fails fast locally,
+  // so instead register nothing and check the error text path via a
+  // direct config with a bogus name.
+  SessionConfig config;
+  config.scheme_name = "no-such-scheme";
+  const SessionResult result =
+      RunLoopbackSession(config, {1, 2, 3}, {1, 2, 4});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no-such-scheme"), std::string::npos);
+}
+
+TEST(WireSession, OutOfRangeConfigFailsFastWithoutTruncation) {
+  // delta = 300 does not fit the HELLO's u8; the session must refuse to
+  // send a silently truncated config.
+  SessionConfig config;
+  config.options.pbs.delta = 300;
+  const SessionResult result = RunLoopbackSession(config, {1, 2}, {1, 3});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("delta"), std::string::npos) << result.error;
+}
+
+TEST(WireSession, RespondersRejectOversizedSizingFields) {
+  // A 4-byte request claiming a huge capacity must be rejected before any
+  // allocation — these fields arrive from the network.
+  const std::vector<uint64_t> set_b = {1, 2, 3};
+  BitWriter w;
+  w.WriteBits(0xFFFFFFFFu, 32);
+  const std::vector<uint8_t> huge = w.TakeBytes();
+  for (const std::string& name :
+       {std::string("pinsketch"), std::string("ddigest"),
+        std::string("graphene"), std::string("pinsketch-wp")}) {
+    SCOPED_TRACE(name);
+    const auto scheme =
+        SchemeRegistry::Instance().Create(name, SchemeOptions());
+    auto responder = scheme->CreateResponder(set_b, 1.0, 7);
+    ASSERT_NE(responder, nullptr);
+    std::vector<uint8_t> reply;
+    std::vector<uint8_t> request = huge;
+    if (name == "pinsketch-wp") {
+      // Round-1 header is (g, t); a claimed g*t far beyond the request's
+      // actual sketch bytes must be rejected too.
+      BitWriter wp;
+      wp.WriteBits(0x00FFFFFFu, 32);
+      wp.WriteBits(0x00FFFFFFu, 32);
+      request = wp.TakeBytes();
+    }
+    EXPECT_FALSE(responder->HandleRequest(request, &reply));
+  }
+}
+
+TEST(WireSession, TcpEndToEnd) {
+  const SetPair pair = GenerateTwoSidedPair(2000, 20, 30, 32, 0x7C9);
+  std::string error;
+  auto listener = TcpListener::Listen(0, &error);
+  ASSERT_NE(listener, nullptr) << error;
+
+  SessionResult responder_result;
+  std::thread server([&] {
+    auto transport = listener->Accept();
+    ASSERT_NE(transport, nullptr);
+    responder_result = RunResponderSession(*transport, pair.b);
+  });
+
+  auto client = TcpConnect("127.0.0.1", listener->port(), &error);
+  ASSERT_NE(client, nullptr) << error;
+  SessionConfig config;
+  config.scheme_name = "pbs";
+  config.options = TestOptions();
+  config.options.pbs.strong_verification = true;
+  const SessionResult result =
+      RunInitiatorSession(*client, config, pair.a);
+  server.join();
+
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(responder_result.ok) << responder_result.error;
+  EXPECT_TRUE(result.outcome.success);
+  EXPECT_EQ(result.outcome.difference.size(), pair.truth_diff.size());
+  EXPECT_EQ(responder_result.outcome.rounds, result.outcome.rounds);
+}
+
+}  // namespace
+}  // namespace pbs

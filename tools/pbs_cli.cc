@@ -16,6 +16,13 @@
 //   pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]
 //       Show the (g, n, t) parameterization the Section-5.1 optimizer
 //       picks for an expected difference of d.
+//   pbs_cli serve <file> [--port N] [--once]
+//       Hold a key set and serve framed reconciliation sessions over TCP
+//       (any scheme; the client picks). --once exits after one session.
+//   pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]
+//           [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]
+//       Reconcile the local file against a remote serve instance and
+//       print the symmetric difference (relative to the local set).
 //   pbs_cli list-schemes   (also: pbs_cli --list-schemes)
 //       List every scheme registered with the SchemeRegistry.
 
@@ -31,6 +38,8 @@
 
 #include "pbs/common/rng.h"
 #include "pbs/core/set_reconciler.h"
+#include "pbs/core/transport.h"
+#include "pbs/core/wire_session.h"
 #include "pbs/estimator/tow.h"
 #include "pbs/markov/optimizer.h"
 
@@ -46,6 +55,9 @@ int Usage() {
       "  pbs_cli diff <fileA> <fileB> [--scheme S] [--rounds N] [--p0 X]\n"
       "          [--delta N]\n"
       "  pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]\n"
+      "  pbs_cli serve <file> [--port N] [--once]\n"
+      "  pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]\n"
+      "          [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]\n"
       "  pbs_cli list-schemes\n");
   return 2;
 }
@@ -229,6 +241,116 @@ int CmdDiff(int argc, char** argv) {
   return 0;
 }
 
+bool FlagPresent(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::vector<uint64_t> elements;
+  if (!LoadSignatures(argv[0], &elements)) return 1;
+  const auto port = static_cast<uint16_t>(FlagU64(argc, argv, "--port", 7557));
+  const bool once = FlagPresent(argc, argv, "--once");
+
+  std::string error;
+  auto listener = pbs::TcpListener::Listen(port, &error);
+  if (!listener) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serving %zu keys on port %u (%s)\n", elements.size(),
+               listener->port(), once ? "single session" : "loop");
+  while (true) {
+    auto transport = listener->Accept();
+    if (!transport) {
+      std::fprintf(stderr, "serve: accept failed\n");
+      return 1;
+    }
+    const pbs::SessionResult result =
+        pbs::RunResponderSession(*transport, elements);
+    if (result.ok) {
+      std::fprintf(stderr,
+                   "session scheme=%s success=%s rounds=%d d-hat=%.1f "
+                   "wire=%zuB/%d frames\n",
+                   result.scheme.c_str(),
+                   result.outcome.success ? "yes" : "no",
+                   result.outcome.rounds, result.d_hat,
+                   result.outcome.wire_bytes, result.outcome.wire_frames);
+    } else {
+      std::fprintf(stderr, "session failed: %s\n", result.error.c_str());
+    }
+    if (once) return result.ok && result.outcome.success ? 0 : 1;
+  }
+}
+
+int CmdConnect(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::vector<uint64_t> elements;
+  if (!LoadSignatures(argv[0], &elements)) return 1;
+
+  pbs::SessionConfig config;
+  config.scheme_name = FlagStr(argc, argv, "--scheme", "pbs");
+  // --rounds means the same as in `diff`: both the plan's round target
+  // and the hard cap.
+  config.options.pbs.max_rounds =
+      static_cast<int>(FlagU64(argc, argv, "--rounds", 3));
+  config.options.pbs.target_rounds = config.options.pbs.max_rounds;
+  config.options.pbs.p0 = FlagDouble(argc, argv, "--p0", 0.99);
+  config.options.pbs.delta =
+      static_cast<int>(FlagU64(argc, argv, "--delta", 5));
+  config.options.pbs.strong_verification = true;
+  config.seed = FlagU64(argc, argv, "--seed", 0xC11);
+  config.estimate_seed = config.seed ^ 0xE57A11CE;
+  config.exact_d = FlagDouble(argc, argv, "--exact-d", -1.0);
+  const bool quiet = FlagPresent(argc, argv, "--quiet");
+
+  if (!pbs::SchemeRegistry::Instance().Contains(config.scheme_name)) {
+    std::fprintf(stderr, "unknown scheme '%s'; run pbs_cli list-schemes\n",
+                 config.scheme_name.c_str());
+    return 2;
+  }
+
+  const char* host = FlagStr(argc, argv, "--host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(FlagU64(argc, argv, "--port", 7557));
+  std::string error;
+  auto transport = pbs::TcpConnect(host, port, &error);
+  if (!transport) {
+    std::fprintf(stderr, "connect: %s\n", error.c_str());
+    return 1;
+  }
+
+  const pbs::SessionResult result =
+      pbs::RunInitiatorSession(*transport, config, elements);
+  if (!result.ok) {
+    std::fprintf(stderr, "session failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "scheme=%s success=%s rounds=%d d-hat=%.1f payload=%zuB "
+               "(+%zuB estimator) wire=%zuB in %d frames params(%s)\n",
+               result.scheme.c_str(),
+               result.outcome.success ? "yes" : "no", result.outcome.rounds,
+               result.d_hat, result.outcome.data_bytes,
+               result.outcome.estimator_bytes, result.outcome.wire_bytes,
+               result.outcome.wire_frames,
+               result.outcome.params_summary.c_str());
+  if (!result.outcome.success) return 1;
+  std::vector<uint64_t> difference = result.outcome.difference;
+  std::sort(difference.begin(), difference.end());
+  if (!quiet) {
+    std::unordered_set<uint64_t> local(elements.begin(), elements.end());
+    for (uint64_t v : difference) {
+      std::printf("%c %" PRIx64 "\n", local.count(v) ? '-' : '+', v);
+    }
+  } else {
+    std::printf("%zu differences\n", difference.size());
+  }
+  return 0;
+}
+
 int CmdPlan(int argc, char** argv) {
   if (argc < 1) return Usage();
   pbs::PbsConfig config;
@@ -259,6 +381,8 @@ int main(int argc, char** argv) {
   if (cmd == "estimate") return CmdEstimate(argc - 2, argv + 2);
   if (cmd == "diff") return CmdDiff(argc - 2, argv + 2);
   if (cmd == "plan") return CmdPlan(argc - 2, argv + 2);
+  if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
+  if (cmd == "connect") return CmdConnect(argc - 2, argv + 2);
   if (cmd == "list-schemes" || cmd == "--list-schemes") {
     return CmdListSchemes();
   }
