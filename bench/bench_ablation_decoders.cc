@@ -18,6 +18,8 @@
 #include "pbs/gf/roots.h"
 #include "pbs/sim/metrics.h"
 
+#include "bench_common.h"
+
 using namespace pbs;
 
 namespace {
@@ -57,7 +59,8 @@ int main() {
   std::printf("== Ablation: locator solvers and root finders ==\n\n");
 
   std::printf("(1) BM vs PGZ locator time (GF(2^32), 20 reps each):\n");
-  ResultTable solver({"t=errors", "bm_ms", "pgz_ms", "agree"});
+  bench::Recorder solver("ablation_decoders_solver",
+                         {"t=errors", "bm_ms", "pgz_ms", "agree"});
   GF2m f32(32);
   Xoshiro256 rng(1);
   for (int t : {5, 10, 20, 40, 80}) {
@@ -80,7 +83,8 @@ int main() {
   solver.Print();
 
   std::printf("\n(2) Chien vs trace-split root finding (deg = 13):\n");
-  ResultTable roots({"field", "chien_ms", "trace_ms"});
+  bench::Recorder roots("ablation_decoders_roots",
+                        {"field", "chien_ms", "trace_ms"});
   for (int m : {8, 10, 11, 13}) {
     GF2m f(m);
     Xoshiro256 local(m);

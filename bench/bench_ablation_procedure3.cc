@@ -23,7 +23,7 @@ int main() {
       "%d instances\n\n",
       instances);
 
-  ResultTable table(
+  bench::Recorder table("ablation_procedure3", 
       {"check", "success@r<=8", "mean_rounds", "KB"});
   for (bool check_on : {true, false}) {
     ExperimentConfig config;

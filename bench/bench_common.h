@@ -4,6 +4,12 @@
 // suite finishes in minutes; set PBS_BENCH_FULL=1 to run the paper's scale
 // (|A| = 10^6, 1000 instances, d up to 10^5). Scale notes are printed into
 // the output so recorded runs are self-describing.
+//
+// Machine-readable output: when PBS_BENCH_JSON=<path> is set, every
+// Recorder row (and any direct JsonEmitter call) is appended to <path> as
+// one JSON object per line, tagged with the bench name and scale mode.
+// scripts/collect_bench.py merges such runs into BENCH_pbs.json, the
+// repo's recorded perf trajectory (see docs/BENCHMARKS.md).
 
 #ifndef PBS_BENCH_BENCH_COMMON_H_
 #define PBS_BENCH_BENCH_COMMON_H_
@@ -12,7 +18,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "pbs/sim/metrics.h"
 
 namespace pbs::bench {
 
@@ -51,6 +60,126 @@ inline void PrintHeader(const char* what, const Scale& scale) {
       "(set PBS_BENCH_FULL=1 for the paper's scale: |A|=1e6, 1000 "
       "instances)\n\n");
 }
+
+// ---------------------------------------------------------------------------
+// JSON-lines emission (PBS_BENCH_JSON=<path>).
+// ---------------------------------------------------------------------------
+
+/// Appends one JSON object per emitted record to the file named by the
+/// PBS_BENCH_JSON environment variable; inert when the variable is unset.
+/// Values that parse fully as numbers are emitted as JSON numbers, all
+/// others as escaped strings.
+class JsonEmitter {
+ public:
+  static JsonEmitter& Instance() {
+    static JsonEmitter emitter;
+    return emitter;
+  }
+
+  bool enabled() const { return file_ != nullptr; }
+
+  /// Emits {"bench": <bench>, "mode": quick|full, <key>: <value>, ...}.
+  void Emit(const std::string& bench,
+            const std::vector<std::pair<std::string, std::string>>& fields) {
+    if (file_ == nullptr) return;
+    std::string line = "{\"bench\":" + Quote(bench) + ",\"mode\":" +
+                       Quote(FullMode() ? "full" : "quick");
+    for (const auto& [key, value] : fields) {
+      line += "," + Quote(key) + ":" + ValueLiteral(value);
+    }
+    line += "}\n";
+    std::fputs(line.c_str(), file_);
+    std::fflush(file_);
+  }
+
+ private:
+  JsonEmitter() {
+    const char* path = std::getenv("PBS_BENCH_JSON");
+    if (path != nullptr && path[0] != '\0') file_ = std::fopen(path, "a");
+  }
+  ~JsonEmitter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  // True iff `s` matches the JSON number grammar exactly:
+  // -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?. strtod alone is too
+  // permissive ("inf", "nan", hex, ".5", "5.", "+5" all parse but are
+  // invalid JSON literals and would make collectors drop the record).
+  static bool IsJsonNumber(const std::string& s) {
+    size_t i = 0;
+    const size_t n = s.size();
+    const auto digits = [&] {
+      const size_t start = i;
+      while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+      return i > start;
+    };
+    if (i < n && s[i] == '-') ++i;
+    if (i < n && s[i] == '0') {
+      ++i;  // A leading 0 must stand alone before '.'/'e'.
+    } else {
+      if (!digits()) return false;
+    }
+    if (i < n && s[i] == '.') {
+      ++i;
+      if (!digits()) return false;
+    }
+    if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return i == n && n > 0;
+  }
+
+  static std::string ValueLiteral(const std::string& value) {
+    return IsJsonNumber(value) ? value : Quote(value);
+  }
+
+  std::FILE* file_ = nullptr;
+};
+
+/// Drop-in wrapper around ResultTable that additionally streams every row
+/// to the JSON emitter under a stable bench name. The figure/table benches
+/// use this so one PBS_BENCH_JSON run captures the whole sweep.
+class Recorder {
+ public:
+  Recorder(std::string bench, std::vector<std::string> columns)
+      : bench_(std::move(bench)), columns_(columns), table_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    const size_t n = std::min(columns_.size(), cells.size());
+    fields.reserve(n);
+    for (size_t i = 0; i < n; ++i) fields.emplace_back(columns_[i], cells[i]);
+    JsonEmitter::Instance().Emit(bench_, fields);
+    table_.AddRow(std::move(cells));
+  }
+
+  void Print() const { table_.Print(); }
+
+ private:
+  std::string bench_;
+  std::vector<std::string> columns_;
+  ResultTable table_;
+};
 
 }  // namespace pbs::bench
 

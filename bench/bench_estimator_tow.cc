@@ -22,7 +22,8 @@ int main() {
   std::printf("== Section 6: ToW estimator (ell = 128, %d trials) ==\n\n",
               trials);
 
-  ResultTable accuracy({"d", "mean_dhat", "rel_bias", "var", "var_theory",
+  bench::Recorder accuracy("estimator_tow_accuracy",
+                           {"d", "mean_dhat", "rel_bias", "var", "var_theory",
                         "P[d<=1.38dhat]"});
   SplitMix64 seeds(0xE57);
   for (int d : {10, 100, 1000, 10000}) {
@@ -52,7 +53,7 @@ int main() {
 
   // Space comparison (Appendix B).
   std::printf("Estimator space at |S| = 10^6 (bytes on the wire):\n");
-  ResultTable space({"estimator", "bytes"});
+  bench::Recorder space("estimator_tow_space", {"estimator", "bytes"});
   space.AddRow({"ToW (ell=128)",
                 std::to_string(TowSketch::BitSize(128, 1000000) / 8)});
   StrataEstimator strata(kStrataDefaultLevels, kStrataDefaultCells, 1, 32);

@@ -21,7 +21,7 @@ int main() {
   bench::PrintHeader("Figure 1: PBS vs PinSketch vs D.Digest (p0 = 0.99)",
                      scale);
 
-  ResultTable table({"d", "scheme", "success", "KB", "xMin", "encode_s",
+  bench::Recorder table("fig1_pinsketch_ddigest", {"d", "scheme", "success", "KB", "xMin", "encode_s",
                      "decode_s", "rounds"});
   for (const std::string scheme : {"pbs", "pinsketch", "ddigest"}) {
     const auto& grid =

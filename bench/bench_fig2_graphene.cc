@@ -27,7 +27,7 @@ int main() {
   bench::PrintHeader("Figure 2: PBS vs Graphene (p0 = 239/240, B in A)",
                      scale);
 
-  ResultTable table({"d", "scheme", "success", "KB", "xMin", "encode_s",
+  bench::Recorder table("fig2_graphene", {"d", "scheme", "success", "KB", "xMin", "encode_s",
                      "decode_s"});
   for (const std::string scheme : {"pbs", "graphene"}) {
     for (size_t d : scale.d_grid) {

@@ -18,7 +18,7 @@ int main() {
   const auto scale = bench::DefaultScale();
   bench::PrintHeader("Figure 3: PBS vs PinSketch/WP (p0 = 0.99)", scale);
 
-  ResultTable table({"d", "scheme", "success", "KB", "xMin", "encode_s",
+  bench::Recorder table("fig3_pinsketch_wp", {"d", "scheme", "success", "KB", "xMin", "encode_s",
                      "decode_s", "rounds"});
   for (const std::string scheme : {"pbs", "pinsketch-wp"}) {
     for (size_t d : scale.d_grid) {

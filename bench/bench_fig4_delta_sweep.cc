@@ -19,7 +19,7 @@ int main() {
   bench::PrintHeader("Figure 4: PBS delta sweep (p0 = 0.99)", scale);
   std::printf("d = %zu\n\n", d);
 
-  ResultTable table({"delta", "success", "KB", "xMin", "encode_s",
+  bench::Recorder table("fig4_delta_sweep", {"delta", "success", "KB", "xMin", "encode_s",
                      "decode_s", "n", "t"});
   for (int delta : {3, 6, 9, 12, 15, 18, 21, 24, 27, 30}) {
     ExperimentConfig config;

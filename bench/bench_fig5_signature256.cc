@@ -20,7 +20,7 @@ int main() {
   bench::PrintHeader(
       "Figure 5: PBS vs PinSketch/WP at log|U| = 256 (simulated)", scale);
 
-  ResultTable table({"d", "scheme", "KB@256", "xMin", "success"});
+  bench::Recorder table("fig5_signature256", {"d", "scheme", "KB@256", "xMin", "success"});
   for (const std::string scheme : {"pbs", "pinsketch-wp"}) {
     for (size_t d : scale.d_grid) {
       ExperimentConfig config;

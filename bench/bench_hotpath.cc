@@ -1,0 +1,206 @@
+// Hot-path microbench: allocating (seed-style) vs Workspace decode paths.
+//
+// Measures the per-unit PBS round cycle -- parity-bitmap binning, power-sum
+// sketching, wire round-trip, BCH decode, element recovery -- in two
+// implementations of the same arithmetic:
+//   alloc: fresh std::vector-backed objects per call, the shape of the code
+//          before the Workspace refactor (still exercised via the
+//          convenience wrappers Build/ToSketch/Decode);
+//   ws:    reused buffers + pbs::Workspace scratch (BuildInto/ToSketchInto/
+//          DecodeInto), the production hot path, allocation-free in steady
+//          state (tests/core/hotpath_alloc_test.cc).
+// Also isolates the BCH decode kernel and the PGZ reference solver.
+//
+// Output: one table row per (kernel, path, n, t, d) with ns/op and op/s;
+// JSON via PBS_BENCH_JSON (see docs/BENCHMARKS.md).
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "pbs/bch/pgz_decoder.h"
+#include "pbs/bch/power_sum_sketch.h"
+#include "pbs/common/bitio.h"
+#include "pbs/common/workspace.h"
+#include "pbs/core/parity_bitmap.h"
+#include "pbs/gf/gf2m.h"
+#include "pbs/hash/hash_family.h"
+#include "pbs/sim/metrics.h"
+
+namespace {
+
+using pbs::BitReader;
+using pbs::BitWriter;
+using pbs::GF2m;
+using pbs::HashFamily;
+using pbs::ParityBitmap;
+using pbs::PowerSumSketch;
+using pbs::SaltedHash;
+using pbs::Workspace;
+
+struct Case {
+  int m;  // Field degree; n = 2^m - 1 bins.
+  int t;  // BCH capacity.
+  int d;  // Planted differences per unit.
+};
+
+// Runs `op` repeatedly for ~`budget_seconds` of wall clock (after untimed
+// warm-up passes) split over several repetitions, and returns the best
+// (minimum) ns per operation -- the repetition least disturbed by
+// scheduling noise.
+double TimeNs(const std::function<void()>& op, double budget_seconds) {
+  using Clock = std::chrono::steady_clock;
+  op();  // Warm-up: sizes every reused buffer, loads tables.
+  op();
+  constexpr int kRepetitions = 5;
+  double best_ns = 1e18;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    int iters = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int i = 0; i < 16; ++i) op();
+      iters += 16;
+      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    } while (elapsed < budget_seconds / kRepetitions);
+    best_ns = std::min(best_ns, elapsed * 1e9 / iters);
+  }
+  return best_ns;
+}
+
+std::string FormatOps(double ns) {
+  return pbs::FormatDouble(1e9 / ns / 1e6, 3);  // Million ops per second.
+}
+
+int main_impl() {
+  const bool full = pbs::bench::FullMode();
+  const double budget = full ? 1.0 : 0.25;
+  std::printf("== Hot path: allocating vs workspace decode cycle ==\n");
+  std::printf("mode=%s budget=%.2fs/case\n\n", full ? "FULL" : "quick",
+              budget);
+
+  pbs::bench::Recorder rec(
+      "hotpath", {"kernel", "path", "n", "t", "d", "ns_per_op", "Mops"});
+
+  const std::vector<Case> cases = {{8, 8, 4}, {9, 12, 6}, {11, 16, 8}};
+  const HashFamily family(0xBE7C4);
+
+  for (const Case& c : cases) {
+    const GF2m field(c.m);
+    const int n = static_cast<int>(field.order());
+    // One unit's elements: shared base + d Bob-only differences. Sized at
+    // the paper's delta ~ 5 distinct elements per group times a few shared.
+    std::vector<uint64_t> alice, bob;
+    for (uint64_t e = 1; e <= 30; ++e) {
+      alice.push_back(e * 2654435761u % 0xFFFFFFFFu + 1);
+      bob.push_back(e * 2654435761u % 0xFFFFFFFFu + 1);
+    }
+    for (uint64_t e = 1; e <= static_cast<uint64_t>(c.d); ++e) {
+      bob.push_back(e * 40503u + 7);
+    }
+
+    uint64_t round = 0;
+
+    // ---- Full round cycle, allocating path (pre-refactor shape). ----
+    const std::function<void()> cycle_alloc = [&] {
+      const SaltedHash h(family.Salt(HashFamily::kBinPartition, ++round));
+      BitWriter w;
+      const ParityBitmap pb_a = ParityBitmap::Build(alice, h, n);
+      pb_a.ToSketch(field, c.t).Serialize(&w);
+      const std::vector<uint8_t> wire = w.TakeBytes();
+      BitReader r(wire);
+      PowerSumSketch from_wire = PowerSumSketch::Deserialize(&r, field, c.t);
+      const ParityBitmap pb_b = ParityBitmap::Build(bob, h, n);
+      PowerSumSketch diff = pb_b.ToSketch(field, c.t);
+      diff.Merge(from_wire);
+      const auto positions = diff.Decode();
+      if (positions.has_value()) {
+        std::vector<uint64_t> recovered;
+        for (uint64_t pos : *positions) {
+          const uint64_t s = pb_a.xor_sum[pos] ^ pb_b.xor_sum[pos];
+          if (s != 0 && BinIndex(s, h, n) == pos) recovered.push_back(s);
+        }
+      }
+    };
+
+    // ---- Full round cycle, workspace path (production shape). ----
+    Workspace ws;
+    ParityBitmap pb_a, pb_b;
+    PowerSumSketch sk_a(field, c.t), sk_wire(field, c.t), sk_diff(field, c.t);
+    BitWriter writer;
+    std::vector<uint64_t> positions, recovered;
+    const std::function<void()> cycle_ws = [&] {
+      const SaltedHash h(family.Salt(HashFamily::kBinPartition, ++round));
+      ParityBitmap::BuildInto(alice, h, n, &pb_a);
+      pb_a.ToSketchInto(&sk_a);
+      writer.Clear();
+      sk_a.Serialize(&writer);
+      BitReader r(writer.bytes());
+      sk_wire.ReadFrom(&r);
+      ParityBitmap::BuildInto(bob, h, n, &pb_b);
+      pb_b.ToSketchInto(&sk_diff);
+      sk_diff.Merge(sk_wire);
+      if (sk_diff.DecodeInto(&positions, ws)) {
+        recovered.clear();
+        for (uint64_t pos : positions) {
+          const uint64_t s = pb_a.xor_sum[pos] ^ pb_b.xor_sum[pos];
+          if (s != 0 && BinIndex(s, h, n) == pos) recovered.push_back(s);
+        }
+      }
+    };
+
+    // ---- BCH decode kernel only (fixed difference sketch). ----
+    PowerSumSketch planted(field, c.t);
+    for (uint64_t e = 1; e <= static_cast<uint64_t>(c.d); ++e) {
+      planted.Toggle(e * 37 % field.order() + 1);
+    }
+    const std::function<void()> decode_alloc = [&] { (void)planted.Decode(); };
+    const std::function<void()> decode_ws = [&] { (void)planted.DecodeInto(&positions, ws); };
+
+    // ---- PGZ reference solver (wrapper vs in-place workspace). ----
+    std::vector<uint64_t> syndromes(2 * c.t, 0);
+    for (int k = 1; k <= 2 * c.t; ++k) {
+      syndromes[k - 1] = (k % 2 == 1)
+                             ? planted.odd_syndromes()[(k - 1) / 2]
+                             : field.Sqr(syndromes[k / 2 - 1]);
+    }
+    std::vector<uint64_t> lambda(c.t + 1, 0);
+    const std::function<void()> pgz_alloc = [&] { (void)pbs::PgzLocator(field, syndromes); };
+    const std::function<void()> pgz_ws = [&] {
+      (void)pbs::PgzLocatorWs(field, syndromes, ws, lambda);
+    };
+
+    const struct {
+      const char* kernel;
+      const char* path;
+      const std::function<void()>* op;
+    } rows[] = {
+        {"round_cycle", "alloc", &cycle_alloc},
+        {"round_cycle", "ws", &cycle_ws},
+        {"bch_decode", "alloc", &decode_alloc},
+        {"bch_decode", "ws", &decode_ws},
+        {"pgz", "alloc", &pgz_alloc},
+        {"pgz", "ws", &pgz_ws},
+    };
+    for (const auto& row : rows) {
+      const double ns = TimeNs(*row.op, budget);
+      rec.AddRow({row.kernel, row.path, std::to_string(n),
+                  std::to_string(c.t), std::to_string(c.d),
+                  pbs::FormatDouble(ns, 1), FormatOps(ns)});
+    }
+  }
+
+  rec.Print();
+  std::printf(
+      "\nround_cycle = bin + sketch + wire + BCH-decode + recover for one "
+      "unit;\nws rows reuse buffers through pbs::Workspace, alloc rows "
+      "rebuild them per call.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -26,7 +26,8 @@ int main() {
   (void)scale;
 
   std::printf("(1) Rounds of message exchange: PBS vs recursive bisection\n");
-  ResultTable rounds({"d", "scheme", "mean_rounds", "KB", "success"});
+  bench::Recorder rounds("related_rounds",
+                         {"d", "scheme", "mean_rounds", "KB", "success"});
   for (size_t d : {size_t{10}, size_t{100}, size_t{1000}}) {
     {
       ExperimentConfig config;
@@ -60,7 +61,8 @@ int main() {
       "\nCheck: RecursiveCPI rounds grow ~log2(d) while PBS stays <= 3.\n\n");
 
   std::printf("(2) Approximate filter exchange: recall vs budget\n");
-  ResultTable approx({"filter", "fpr", "KB", "recall"});
+  bench::Recorder approx("related_approx_filters",
+                         {"filter", "fpr", "KB", "recall"});
   SetPair pair = GenerateTwoSidedPair(set_size / 2, 300, 300, 32, 99);
   for (FilterKind kind : {FilterKind::kBloom, FilterKind::kCuckoo}) {
     for (double fpr : {0.05, 0.01, 0.001}) {

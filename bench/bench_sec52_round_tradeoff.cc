@@ -12,13 +12,15 @@
 #include "pbs/markov/optimizer.h"
 #include "pbs/sim/metrics.h"
 
+#include "bench_common.h"
+
 using namespace pbs;
 
 int main() {
   std::printf("== Section 5.2: optimal comm/group vs round target r ==\n");
   std::printf("d=1000, delta=5, p0=0.99 (paper: 591/402/318/288 bits)\n\n");
 
-  ResultTable table({"r", "n", "t", "bits_per_group", "bound"});
+  bench::Recorder table("sec52_round_tradeoff", {"r", "n", "t", "bits_per_group", "bound"});
   for (int r = 1; r <= 4; ++r) {
     OptimizerOptions options;
     options.d = 1000;

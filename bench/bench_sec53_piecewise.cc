@@ -21,7 +21,8 @@ int main() {
 
   std::printf("Analytical (d=1000, n=127, t=13, g=200):\n");
   const auto fractions = ExpectedRoundFractions(127, 13, 1000, 200, 4);
-  ResultTable analytic({"round", "expected_fraction", "paper"});
+  bench::Recorder analytic("sec53_piecewise_analytic",
+                           {"round", "expected_fraction", "paper"});
   const char* paper[] = {"0.962", "0.0380", "3.61e-04", "2.86e-06"};
   for (int k = 0; k < 4; ++k) {
     analytic.AddRow({std::to_string(k + 1),
@@ -62,7 +63,8 @@ int main() {
       }
     }
   }
-  ResultTable empirical({"round", "measured_fraction_in_round"});
+  bench::Recorder empirical("sec53_piecewise_empirical",
+                            {"round", "measured_fraction_in_round"});
   double prev = 0.0;
   for (int round = 1; round <= 4; ++round) {
     const double cum = recovered_by_round[round] / instances;

@@ -11,14 +11,19 @@
 #include "pbs/markov/success_probability.h"
 #include "pbs/sim/metrics.h"
 
+#include "bench_common.h"
+
 using namespace pbs;
 
 namespace {
 
-void PrintGrid(const char* title, double (*fn)(int, int)) {
+void PrintGrid(const char* title, const char* model, double (*fn)(int, int)) {
   std::printf("%s\n", title);
-  ResultTable table({"t", "n=63", "n=127", "n=255", "n=511", "n=1023",
-                     "n=2047"});
+  // Distinct JSON bench name per model so BENCH_pbs.json rows stay
+  // attributable (and identical cells across models don't dedupe away).
+  bench::Recorder table(std::string("table1_param_grid_") + model,
+                        {"t", "n=63", "n=127", "n=255", "n=511", "n=1023",
+                         "n=2047"});
   for (int t = 8; t <= 17; ++t) {
     std::vector<std::string> row = {std::to_string(t)};
     for (int n : {63, 127, 255, 511, 1023, 2047}) {
@@ -37,14 +42,14 @@ int main() {
   std::printf("== Table 1: success-probability lower bound grid ==\n");
   std::printf("d=1000, delta=5 (g=200), r=3\n\n");
 
-  PrintGrid("Calibrated model (reproduces the paper's Table 1):",
+  PrintGrid("Calibrated model (reproduces the paper's Table 1):", "calibrated",
             [](int n, int t) {
               return SuccessLowerBoundCalibrated(n, t, 3, 1000, 200);
             });
-  PrintGrid("Raw split-aware model:", [](int n, int t) {
+  PrintGrid("Raw split-aware model:", "splits", [](int n, int t) {
     return SuccessLowerBoundWithSplits(n, t, 3, 1000, 200);
   });
-  PrintGrid("Appendix-D truncated model (Pr[x->0]=0 for x>t):",
+  PrintGrid("Appendix-D truncated model (Pr[x->0]=0 for x>t):", "truncated",
             [](int n, int t) { return SuccessLowerBound(n, t, 3, 1000, 200); });
 
   std::printf("Paper's Table 1 row t=13: 93.9%% 99.1%% 99.8%% >99.9%% ...\n");

@@ -23,7 +23,7 @@ int main() {
   bench::PrintHeader("Table 2: rounds-to-completion PMF (unbounded rounds)",
                      scale);
 
-  ResultTable table({"d", "r=1", "r=2", "r=3", "r>=4", "mean_rounds",
+  bench::Recorder table("table2_rounds_pmf", {"d", "r=1", "r=2", "r=3", "r>=4", "mean_rounds",
                      "success"});
   for (size_t d : scale.d_grid) {
     ExperimentConfig config;

@@ -27,7 +27,7 @@ int main() {
               bench::FullMode() ? "FULL" : "quick", set_size, instances);
   (void)scale;
 
-  ResultTable table({"d", "scheme", "payload_B", "estimator_B", "wire_B",
+  bench::Recorder table("wire_overhead", {"d", "scheme", "payload_B", "estimator_B", "wire_B",
                      "frames", "overhead", "success"});
   for (size_t d : {size_t{10}, size_t{100}, size_t{1000}}) {
     for (const std::string& name : SchemeRegistry::Instance().Names()) {

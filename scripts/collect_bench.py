@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Merge PBS_BENCH_JSON runs into the repo's recorded perf trajectory.
+
+Each bench binary, when run with PBS_BENCH_JSON=<path>, appends one JSON
+object per result row to <path> (JSON lines). This script folds one or
+more such files into BENCH_pbs.json, the cumulative machine-readable
+record benches are tracked by (see docs/BENCHMARKS.md):
+
+    PBS_BENCH_JSON=/tmp/run.jsonl build/bench_hotpath
+    scripts/collect_bench.py /tmp/run.jsonl            # merge into BENCH_pbs.json
+
+Records are deduplicated exactly (identical JSON objects collapse), so
+re-merging the same run is idempotent. Pass --run-id to tag the records
+of this merge (e.g. a git SHA or CI run number).
+"""
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+SCHEMA = 1
+
+
+def load_jsonl(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                print(f"{path}:{lineno}: skipping malformed line ({err})",
+                      file=sys.stderr)
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+",
+                        help="JSON-lines files written via PBS_BENCH_JSON")
+    parser.add_argument("--out", default="BENCH_pbs.json",
+                        help="merged trajectory file (default: %(default)s)")
+    parser.add_argument("--run-id", default=None,
+                        help="optional tag stored on this merge's records")
+    args = parser.parse_args()
+
+    out_path = Path(args.out)
+    merged = {"schema": SCHEMA, "updated": None, "records": []}
+    if out_path.exists():
+        with open(out_path, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+        if isinstance(existing, dict) and "records" in existing:
+            merged["records"] = existing["records"]
+        elif isinstance(existing, list):  # Tolerate a bare-array seed file.
+            merged["records"] = existing
+
+    seen = {json.dumps(r, sort_keys=True) for r in merged["records"]}
+    added = 0
+    for path in args.inputs:
+        for record in load_jsonl(path):
+            if args.run_id is not None:
+                record.setdefault("run_id", args.run_id)
+            key = json.dumps(record, sort_keys=True)
+            if key in seen:
+                continue
+            seen.add(key)
+            merged["records"].append(record)
+            added += 1
+
+    merged["updated"] = datetime.now(timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ")
+    merged["records"].sort(key=lambda r: (str(r.get("bench", "")),
+                                          json.dumps(r, sort_keys=True)))
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=1)
+        fh.write("\n")
+    print(f"{out_path}: {added} new record(s), "
+          f"{len(merged['records'])} total")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,22 +1,35 @@
 #include "pbs/bch/berlekamp_massey.h"
 
+#include <cassert>
+#include <cstring>
+#include <utility>
+
 namespace pbs {
 
-BmResult BerlekampMassey(const GF2m& field,
-                         const std::vector<uint64_t>& syndromes) {
+BmWsResult BerlekampMasseyWs(const GF2m& field, Span<const uint64_t> syndromes,
+                             Workspace& ws, Span<uint64_t> lambda_out) {
   const int n_syms = static_cast<int>(syndromes.size());
-  std::vector<uint64_t> c{1};  // C(x): current connection polynomial.
-  std::vector<uint64_t> b{1};  // B(x): last C before L changed.
-  int l = 0;                   // Current linear complexity.
-  int shift = 1;               // x^shift multiplier for B.
-  uint64_t bd = 1;             // Discrepancy when B was saved.
+  assert(static_cast<int>(lambda_out.size()) >= n_syms + 1);
+  // C(x) lives in lambda_out; B(x) and the save-copy T in workspace
+  // scratch. All sizes stay <= n_syms + 1; slots past the tracked size are
+  // kept zero so the final trim and callers can read lambda_out directly.
+  for (size_t i = 0; i < lambda_out.size(); ++i) lambda_out[i] = 0;
+  lambda_out[0] = 1;
+  size_t c_size = 1;
+  auto b_buf = ws.Take<uint64_t>(n_syms + 1);  // B(x): last C before L grew.
+  auto t_buf = ws.Take<uint64_t>(n_syms + 1);
+  b_buf[0] = 1;
+  size_t b_size = 1;
+  int l = 0;        // Current linear complexity.
+  int shift = 1;    // x^shift multiplier for B.
+  uint64_t bd = 1;  // Discrepancy when B was saved.
 
   for (int pos = 0; pos < n_syms; ++pos) {
     // Discrepancy d = S_{pos+1} + sum_{i=1..L} C_i * S_{pos+1-i}.
     uint64_t d = syndromes[pos];
     for (int i = 1; i <= l && i <= pos; ++i) {
-      if (i < static_cast<int>(c.size())) {
-        d ^= field.Mul(c[i], syndromes[pos - i]);
+      if (i < static_cast<int>(c_size)) {
+        d ^= field.Mul(lambda_out[i], syndromes[pos - i]);
       }
     }
     if (d == 0) {
@@ -25,25 +38,37 @@ BmResult BerlekampMassey(const GF2m& field,
     }
     const uint64_t coef = field.Div(d, bd);
     if (2 * l <= pos) {
-      std::vector<uint64_t> t = c;
-      if (c.size() < b.size() + shift) c.resize(b.size() + shift, 0);
-      for (size_t i = 0; i < b.size(); ++i) {
-        c[i + shift] ^= field.Mul(coef, b[i]);
+      std::memcpy(t_buf.data(), lambda_out.data(), c_size * sizeof(uint64_t));
+      const size_t t_size = c_size;
+      if (c_size < b_size + shift) c_size = b_size + shift;
+      for (size_t i = 0; i < b_size; ++i) {
+        lambda_out[i + shift] ^= field.Mul(coef, b_buf[i]);
       }
       l = pos + 1 - l;
-      b = std::move(t);
+      // B <- old C: swap the scratch buffers instead of copying again.
+      std::swap(b_buf, t_buf);
+      b_size = t_size;
       bd = d;
       shift = 1;
     } else {
-      if (c.size() < b.size() + shift) c.resize(b.size() + shift, 0);
-      for (size_t i = 0; i < b.size(); ++i) {
-        c[i + shift] ^= field.Mul(coef, b[i]);
+      if (c_size < b_size + shift) c_size = b_size + shift;
+      for (size_t i = 0; i < b_size; ++i) {
+        lambda_out[i + shift] ^= field.Mul(coef, b_buf[i]);
       }
       ++shift;
     }
   }
 
-  return BmResult{GFPoly(field, std::move(c)), l};
+  return BmWsResult{
+      PolyDegree(lambda_out.first(c_size)), l};
+}
+
+BmResult BerlekampMassey(const GF2m& field,
+                         const std::vector<uint64_t>& syndromes) {
+  Workspace ws;
+  std::vector<uint64_t> lambda(syndromes.size() + 1, 0);
+  const BmWsResult r = BerlekampMasseyWs(field, syndromes, ws, lambda);
+  return BmResult{GFPoly(field, std::move(lambda)), r.linear_complexity};
 }
 
 }  // namespace pbs

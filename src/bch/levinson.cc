@@ -1,7 +1,7 @@
 #include "pbs/bch/levinson.h"
 
 #include <cassert>
-#include <functional>
+#include <utility>
 
 namespace pbs {
 
@@ -12,18 +12,28 @@ namespace {
 // for lags -(v-1)..(v-1). Maintains the solution x_k of the k x k leading
 // system plus forward/backward auxiliary vectors f_k, g_k with
 // T_k f_k = e_0 and T_k g_k = e_{k-1}. In characteristic 2, + and -
-// coincide, which simplifies the updates. Returns nullopt when a leading
-// principal minor is singular (the recursion's regularity condition).
-std::optional<std::vector<uint64_t>> LevinsonSolveToeplitz(
-    const GF2m& field, const std::function<uint64_t(int)>& diag,
-    const std::vector<uint64_t>& rhs) {
+// coincide, which simplifies the updates. Writes the solution into `x`
+// (v slots) and returns false when a leading principal minor is singular
+// (the recursion's regularity condition). `Diag` is a compile-time functor
+// so the lag lookup inlines (a std::function here would cost an indirect
+// call -- and possibly an allocation -- per coefficient).
+template <typename Diag>
+bool LevinsonSolveToeplitzWs(const GF2m& field, const Diag& diag,
+                             Span<const uint64_t> rhs, Workspace& ws,
+                             Span<uint64_t> x) {
   const size_t v = rhs.size();
-  if (v == 0) return std::vector<uint64_t>{};
-  if (diag(0) == 0) return std::nullopt;  // 1x1 leading minor singular.
+  if (v == 0) return true;
+  assert(x.size() >= v);
+  if (diag(0) == 0) return false;  // 1x1 leading minor singular.
 
-  std::vector<uint64_t> x{field.Div(rhs[0], diag(0))};
-  std::vector<uint64_t> f{field.Inv(diag(0))};
-  std::vector<uint64_t> g{field.Inv(diag(0))};
+  x[0] = field.Div(rhs[0], diag(0));
+  // f/g are double-buffered: each step's update reads both old vectors.
+  auto f = ws.Take<uint64_t>(v);
+  auto g = ws.Take<uint64_t>(v);
+  auto f_next = ws.Take<uint64_t>(v);
+  auto g_next = ws.Take<uint64_t>(v);
+  f[0] = field.Inv(diag(0));
+  g[0] = f[0];
 
   for (size_t k = 1; k < v; ++k) {
     // Residual of [f, 0] at the new last row: sum_j T(k, j) f_j.
@@ -40,18 +50,21 @@ std::optional<std::vector<uint64_t>> LevinsonSolveToeplitz(
     // [f, 0] solves e_0 + ef e_k; [0, g] solves eg e_0 + e_k. Combine with
     // denominator 1 - ef eg (char 2: XOR).
     const uint64_t denom = 1 ^ field.Mul(ef, eg);
-    if (denom == 0) return std::nullopt;  // Singular leading minor.
+    if (denom == 0) return false;  // Singular leading minor.
     const uint64_t dinv = field.Inv(denom);
 
-    std::vector<uint64_t> f_new(k + 1, 0), g_new(k + 1, 0);
-    for (size_t j = 0; j < k; ++j) {
-      f_new[j] ^= field.Mul(dinv, f[j]);
-      g_new[j + 1] ^= field.Mul(dinv, g[j]);
-      f_new[j + 1] ^= field.Mul(field.Mul(dinv, ef), g[j]);
-      g_new[j] ^= field.Mul(field.Mul(dinv, eg), f[j]);
+    for (size_t j = 0; j <= k; ++j) {
+      f_next[j] = 0;
+      g_next[j] = 0;
     }
-    f = std::move(f_new);
-    g = std::move(g_new);
+    for (size_t j = 0; j < k; ++j) {
+      f_next[j] ^= field.Mul(dinv, f[j]);
+      g_next[j + 1] ^= field.Mul(dinv, g[j]);
+      f_next[j + 1] ^= field.Mul(field.Mul(dinv, ef), g[j]);
+      g_next[j] ^= field.Mul(field.Mul(dinv, eg), f[j]);
+    }
+    std::swap(f, f_next);
+    std::swap(g, g_next);
 
     // Extend the solution: residual of [x, 0] at the new last row; patch
     // it with g (which excites only that row).
@@ -60,10 +73,10 @@ std::optional<std::vector<uint64_t>> LevinsonSolveToeplitz(
       ex ^= field.Mul(diag(static_cast<int>(k - j)), x[j]);
     }
     const uint64_t correction = ex ^ rhs[k];
-    x.push_back(0);
+    x[k] = 0;
     for (size_t j = 0; j <= k; ++j) x[j] ^= field.Mul(correction, g[j]);
   }
-  return x;
+  return true;
 }
 
 }  // namespace
@@ -78,44 +91,66 @@ std::optional<std::vector<uint64_t>> LevinsonSolveHankel(
   // Row-reverse into Toeplitz form: (J H)(i, j) = h[(v-1-i) + j] depends
   // only on i - j, with diagonal value h[(v-1) - (i-j)]; the right-hand
   // side reverses with the rows and the solution vector is unchanged.
+  Workspace ws;
   auto diag = [&h, v](int lag) {
     return h[static_cast<size_t>(static_cast<int>(v) - 1 - lag)];
   };
   std::vector<uint64_t> reversed_b(b.rbegin(), b.rend());
-  return LevinsonSolveToeplitz(field, diag, reversed_b);
+  std::vector<uint64_t> x(v, 0);
+  if (!LevinsonSolveToeplitzWs(field, diag, reversed_b, ws, x)) {
+    return std::nullopt;
+  }
+  return x;
 }
 
-std::optional<std::vector<uint64_t>> LevinsonLocator(
-    const GF2m& field, const std::vector<uint64_t>& syndromes, int v) {
+bool LevinsonLocatorWs(const GF2m& field, Span<const uint64_t> syndromes,
+                       int v, Workspace& ws, Span<uint64_t> lambda_out) {
   assert(v >= 0 && 2 * v <= static_cast<int>(syndromes.size()));
-  if (v == 0) return std::vector<uint64_t>{1};
+  assert(static_cast<int>(lambda_out.size()) >= v + 1);
+  for (size_t i = 0; i < lambda_out.size(); ++i) lambda_out[i] = 0;
+  lambda_out[0] = 1;
+  if (v == 0) return true;
 
-  // H(i, j) = S_{i + j + 1} (i, j 0-based), b_i = S_{v + i + 1}.
-  std::vector<uint64_t> h(2 * v - 1);
-  for (int i = 0; i < 2 * v - 1; ++i) h[i] = syndromes[i + 1 - 1];
-  std::vector<uint64_t> b(v);
-  for (int i = 0; i < v; ++i) b[i] = syndromes[v + i + 1 - 1];
-
-  auto solution = LevinsonSolveHankel(field, h, b);
-  if (!solution.has_value()) return std::nullopt;
+  // The Hankel system H(i, j) = S_{i + j + 1}, b_i = S_{v + i + 1},
+  // row-reversed into Toeplitz form as in LevinsonSolveHankel: the lag
+  // diagonal is h[(v-1) - lag] = S_{v - lag}, and the reversed right-hand
+  // side is b_rev[i] = S_{2v - i}.
+  auto diag = [&syndromes, v](int lag) {
+    return syndromes[static_cast<size_t>(v - 1 - lag)];
+  };
+  auto rhs = ws.Take<uint64_t>(v);
+  for (int i = 0; i < v; ++i) rhs[i] = syndromes[2 * v - i - 1];
+  auto solution = ws.Take<uint64_t>(v);
+  if (!LevinsonSolveToeplitzWs(field, diag, rhs.cspan(), ws,
+                               solution.span())) {
+    return false;
+  }
 
   // solution[j] multiplies S_{k - (j+1)}... map back to Lambda: the system
   // rows are sum_j Lambda_j S_{k-j} = S_k with matrix entry S_{k-j} =
   // S_{(v + i + 1) - j}; with H(i, jj) = S_{i + jj + 1} we used jj = v - j,
   // so Lambda_j = solution[v - j].
-  std::vector<uint64_t> lambda(v + 1, 0);
-  lambda[0] = 1;
-  for (int j = 1; j <= v; ++j) lambda[j] = (*solution)[v - j];
-  if (lambda[v] == 0) return std::nullopt;  // Degree collapsed.
+  for (int j = 1; j <= v; ++j) lambda_out[j] = solution[v - j];
+  if (lambda_out[v] == 0) return false;  // Degree collapsed.
 
   // Verify the recurrence across all provided syndromes.
   const int total = static_cast<int>(syndromes.size());
   for (int k = v + 1; k <= total; ++k) {
     uint64_t acc = syndromes[k - 1];
     for (int j = 1; j <= v; ++j) {
-      acc ^= field.Mul(lambda[j], syndromes[k - j - 1]);
+      acc ^= field.Mul(lambda_out[j], syndromes[k - j - 1]);
     }
-    if (acc != 0) return std::nullopt;
+    if (acc != 0) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<uint64_t>> LevinsonLocator(
+    const GF2m& field, const std::vector<uint64_t>& syndromes, int v) {
+  Workspace ws;
+  std::vector<uint64_t> lambda(v + 1, 0);
+  if (!LevinsonLocatorWs(field, syndromes, v, ws, lambda)) {
+    return std::nullopt;
   }
   return lambda;
 }

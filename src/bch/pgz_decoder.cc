@@ -1,45 +1,55 @@
 #include "pbs/bch/pgz_decoder.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace pbs {
 
 namespace {
 
-// Gaussian elimination over GF(2^m). Returns false if singular.
-bool Solve(const GF2m& field, std::vector<std::vector<uint64_t>> a,
-           std::vector<uint64_t> rhs, std::vector<uint64_t>* out) {
-  const int n = static_cast<int>(rhs.size());
+// In-place Gaussian elimination over GF(2^m) on the row-major n x n matrix
+// `a` with right-hand side `rhs`; on success `rhs` holds the solution.
+// Returns false if singular. Destroys `a` either way -- callers refill the
+// scratch per attempt instead of deep-copying it (the seed code took the
+// matrix by value, costing a heap copy per shrink step).
+bool SolveInPlace(const GF2m& field, uint64_t* a, uint64_t* rhs, int n) {
   for (int col = 0; col < n; ++col) {
     int pivot = -1;
     for (int row = col; row < n; ++row) {
-      if (a[row][col] != 0) {
+      if (a[row * n + col] != 0) {
         pivot = row;
         break;
       }
     }
     if (pivot < 0) return false;
-    std::swap(a[col], a[pivot]);
-    std::swap(rhs[col], rhs[pivot]);
-    const uint64_t inv = field.Inv(a[col][col]);
-    for (int j = col; j < n; ++j) a[col][j] = field.Mul(a[col][j], inv);
+    if (pivot != col) {
+      std::swap_ranges(a + col * n, a + (col + 1) * n, a + pivot * n);
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    const uint64_t inv = field.Inv(a[col * n + col]);
+    for (int j = col; j < n; ++j) a[col * n + j] = field.Mul(a[col * n + j], inv);
     rhs[col] = field.Mul(rhs[col], inv);
     for (int row = 0; row < n; ++row) {
-      if (row == col || a[row][col] == 0) continue;
-      const uint64_t factor = a[row][col];
+      if (row == col || a[row * n + col] == 0) continue;
+      const uint64_t factor = a[row * n + col];
       for (int j = col; j < n; ++j) {
-        a[row][j] ^= field.Mul(factor, a[col][j]);
+        a[row * n + j] ^= field.Mul(factor, a[col * n + j]);
       }
       rhs[row] ^= field.Mul(factor, rhs[col]);
     }
   }
-  *out = std::move(rhs);
   return true;
 }
 
 }  // namespace
 
-std::optional<GFPoly> PgzLocator(const GF2m& field,
-                                 const std::vector<uint64_t>& syndromes) {
+int PgzLocatorWs(const GF2m& field, Span<const uint64_t> syndromes,
+                 Workspace& ws, Span<uint64_t> lambda_out) {
   const int t = static_cast<int>(syndromes.size()) / 2;
+  assert(static_cast<int>(lambda_out.size()) >= t + 1);
+  for (size_t i = 0; i < lambda_out.size(); ++i) lambda_out[i] = 0;
+  lambda_out[0] = 1;
+
   bool all_zero = true;
   for (uint64_t s : syndromes) {
     if (s != 0) {
@@ -47,41 +57,48 @@ std::optional<GFPoly> PgzLocator(const GF2m& field,
       break;
     }
   }
-  if (all_zero) return GFPoly::One(field);
+  if (all_zero) return 0;  // Lambda = 1.
 
   // S(k) accessor with 1-based BCH indexing.
-  auto s = [&](int k) { return syndromes[k - 1]; };
+  auto s = [&syndromes](int k) { return syndromes[k - 1]; };
 
+  auto matrix = ws.Take<uint64_t>(static_cast<size_t>(t) * t);
+  auto rhs = ws.Take<uint64_t>(t);
   for (int v = t; v >= 1; --v) {
-    // Rows k = v+1 .. 2v; unknowns Lambda_1..Lambda_v.
-    std::vector<std::vector<uint64_t>> a(v, std::vector<uint64_t>(v, 0));
-    std::vector<uint64_t> rhs(v, 0);
+    // Rows k = v+1 .. 2v; unknowns Lambda_1..Lambda_v. Refill the scratch
+    // in place -- SolveInPlace destroyed last attempt's contents.
     for (int row = 0; row < v; ++row) {
       const int k = v + 1 + row;
-      for (int j = 1; j <= v; ++j) a[row][j - 1] = s(k - j);
+      for (int j = 1; j <= v; ++j) matrix[row * v + j - 1] = s(k - j);
       rhs[row] = s(k);
     }
-    std::vector<uint64_t> lambda_coeffs;
-    if (!Solve(field, std::move(a), std::move(rhs), &lambda_coeffs)) continue;
-
-    std::vector<uint64_t> poly(v + 1, 0);
-    poly[0] = 1;
-    for (int j = 1; j <= v; ++j) poly[j] = lambda_coeffs[j - 1];
-    GFPoly lambda(field, std::move(poly));
-    if (lambda.degree() != v) continue;  // Leading coefficient vanished.
+    if (!SolveInPlace(field, matrix.data(), rhs.data(), v)) continue;
+    if (rhs[v - 1] == 0) continue;  // Leading coefficient vanished.
 
     // Verify the recurrence over the full syndrome window.
     bool ok = true;
     for (int k = v + 1; k <= 2 * t && ok; ++k) {
       uint64_t acc = s(k);
       for (int j = 1; j <= v; ++j) {
-        acc ^= field.Mul(lambda.coeff(j), s(k - j));
+        acc ^= field.Mul(rhs[j - 1], s(k - j));
       }
       if (acc != 0) ok = false;
     }
-    if (ok) return lambda;
+    if (!ok) continue;
+
+    for (int j = 1; j <= v; ++j) lambda_out[j] = rhs[j - 1];
+    return v;
   }
-  return std::nullopt;
+  return -1;
+}
+
+std::optional<GFPoly> PgzLocator(const GF2m& field,
+                                 const std::vector<uint64_t>& syndromes) {
+  Workspace ws;
+  const int t = static_cast<int>(syndromes.size()) / 2;
+  std::vector<uint64_t> lambda(t + 1, 0);
+  if (PgzLocatorWs(field, syndromes, ws, lambda) < 0) return std::nullopt;
+  return GFPoly(field, std::move(lambda));
 }
 
 }  // namespace pbs

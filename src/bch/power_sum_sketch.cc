@@ -1,5 +1,6 @@
 #include "pbs/bch/power_sum_sketch.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "pbs/bch/berlekamp_massey.h"
@@ -12,20 +13,30 @@ PowerSumSketch::PowerSumSketch(const GF2m& field, int t)
   assert(t >= 1);
 }
 
+void PowerSumSketch::ToggleInto(const GF2m& field, uint64_t element,
+                                Span<uint64_t> odd) {
+  // Accumulate x^1, x^3, x^5, ... via repeated multiplication by x^2.
+  const uint64_t x2 = field.Sqr(element);
+  uint64_t power = element;
+  const size_t t = odd.size();
+  for (size_t i = 0; i < t; ++i) {
+    odd[i] ^= power;
+    if (i + 1 < t) power = field.Mul(power, x2);
+  }
+}
+
 void PowerSumSketch::Toggle(uint64_t element) {
   assert(element >= 1 && element <= field_.order());
-  // Accumulate x^1, x^3, x^5, ... via repeated multiplication by x^2.
-  const uint64_t x2 = field_.Sqr(element);
-  uint64_t power = element;
-  for (int i = 0; i < t_; ++i) {
-    odd_[i] ^= power;
-    if (i + 1 < t_) power = field_.Mul(power, x2);
-  }
+  ToggleInto(field_, element, odd_);
 }
 
 void PowerSumSketch::Merge(const PowerSumSketch& other) {
   assert(t_ == other.t_ && field_ == other.field_);
   for (int i = 0; i < t_; ++i) odd_[i] ^= other.odd_[i];
+}
+
+void PowerSumSketch::Reset() {
+  std::fill(odd_.begin(), odd_.end(), 0);
 }
 
 bool PowerSumSketch::IsZero() const {
@@ -35,12 +46,13 @@ bool PowerSumSketch::IsZero() const {
   return true;
 }
 
-std::optional<std::vector<uint64_t>> PowerSumSketch::Decode(
-    bool verify, uint64_t seed) const {
-  if (IsZero()) return std::vector<uint64_t>{};
+bool PowerSumSketch::DecodeInto(std::vector<uint64_t>* out, Workspace& ws,
+                                bool verify, uint64_t seed) const {
+  out->clear();
+  if (IsZero()) return true;
 
   // Expand to the full syndrome sequence S_1..S_2t using S_2k = S_k^2.
-  std::vector<uint64_t> syndromes(2 * t_, 0);
+  auto syndromes = ws.Take<uint64_t>(2 * t_);
   for (int k = 1; k <= 2 * t_; ++k) {
     if (k % 2 == 1) {
       syndromes[k - 1] = odd_[(k - 1) / 2];
@@ -49,21 +61,38 @@ std::optional<std::vector<uint64_t>> PowerSumSketch::Decode(
     }
   }
 
-  BmResult bm = BerlekampMassey(field_, syndromes);
-  if (!bm.IsConsistent() || bm.linear_complexity > t_) return std::nullopt;
+  auto lambda = ws.Take<uint64_t>(2 * t_ + 1);
+  const BmWsResult bm =
+      BerlekampMasseyWs(field_, syndromes.cspan(), ws, lambda.span());
+  if (!bm.IsConsistent() || bm.linear_complexity > t_) return false;
 
-  // Roots of Lambda are the inverses of the sketched elements.
-  auto roots = FindDistinctNonzeroRoots(bm.lambda, seed);
-  if (!roots.has_value()) return std::nullopt;
-  std::vector<uint64_t> elements;
-  elements.reserve(roots->size());
-  for (uint64_t r : *roots) elements.push_back(field_.Inv(r));
+  // Roots of Lambda are the inverses of the sketched elements. A nonzero
+  // sketch never yields a degree-0 locator (L = 0 would mean an all-zero
+  // syndrome sequence), so bm.degree >= 1 here.
+  auto roots = ws.Take<uint64_t>(bm.degree);
+  const int count = FindDistinctNonzeroRootsWs(
+      field_, lambda.cspan().first(bm.degree + 1), ws, roots.span(), seed);
+  if (count < 0) return false;
+  for (int i = 0; i < count; ++i) out->push_back(field_.Inv(roots[i]));
 
   if (verify) {
-    PowerSumSketch check(field_, t_);
-    for (uint64_t e : elements) check.Toggle(e);
-    if (check.odd_ != odd_) return std::nullopt;
+    auto check = ws.Take<uint64_t>(t_);
+    for (uint64_t e : *out) ToggleInto(field_, e, check.span());
+    for (int i = 0; i < t_; ++i) {
+      if (check[i] != odd_[i]) {
+        out->clear();
+        return false;
+      }
+    }
   }
+  return true;
+}
+
+std::optional<std::vector<uint64_t>> PowerSumSketch::Decode(
+    bool verify, uint64_t seed) const {
+  Workspace ws;
+  std::vector<uint64_t> elements;
+  if (!DecodeInto(&elements, ws, verify, seed)) return std::nullopt;
   return elements;
 }
 
@@ -74,8 +103,12 @@ void PowerSumSketch::Serialize(BitWriter* writer) const {
 PowerSumSketch PowerSumSketch::Deserialize(BitReader* reader,
                                            const GF2m& field, int t) {
   PowerSumSketch sketch(field, t);
-  for (int i = 0; i < t; ++i) sketch.odd_[i] = reader->ReadBits(field.m());
+  sketch.ReadFrom(reader);
   return sketch;
+}
+
+void PowerSumSketch::ReadFrom(BitReader* reader) {
+  for (int i = 0; i < t_; ++i) odd_[i] = reader->ReadBits(field_.m());
 }
 
 }  // namespace pbs

@@ -1,0 +1,37 @@
+#include "pbs/common/workspace.h"
+
+#include <algorithm>
+
+namespace pbs {
+
+std::vector<unsigned char>* Workspace::Borrow(size_t bytes) {
+  std::vector<unsigned char>* buf;
+  if (!free_.empty()) {
+    buf = free_.back();
+    free_.pop_back();
+  } else {
+    owned_.push_back(std::make_unique<std::vector<unsigned char>>());
+    buf = owned_.back().get();
+  }
+  ++outstanding_;
+  FitAndZero(buf, bytes, /*preserve=*/0);
+  return buf;
+}
+
+void Workspace::FitAndZero(std::vector<unsigned char>* buf, size_t bytes,
+                           size_t preserve) {
+  const size_t old_capacity = buf->capacity();
+  buf->resize(bytes);
+  bytes_reserved_ += buf->capacity() - old_capacity;
+  preserve = std::min(preserve, bytes);
+  if (bytes > preserve) {
+    std::memset(buf->data() + preserve, 0, bytes - preserve);
+  }
+}
+
+void Workspace::Return(std::vector<unsigned char>* buf) {
+  free_.push_back(buf);
+  --outstanding_;
+}
+
+}  // namespace pbs

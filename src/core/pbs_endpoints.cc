@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -11,6 +12,7 @@
 
 #include "pbs/common/bitio.h"
 #include "pbs/common/mset_hash.h"
+#include "pbs/common/workspace.h"
 #include "pbs/core/messages.h"
 #include "pbs/core/parity_bitmap.h"
 #include "pbs/estimator/tow.h"
@@ -76,12 +78,27 @@ struct PbsAlice::Impl {
   PbsTimers timers;
   uint64_t set_size_hint = 0;  // |A| sent in the estimate request.
 
+  // Round-processing scratch, reused across rounds so steady-state
+  // encoding/decoding allocates nothing: the named buffers keep their
+  // peak capacity. Allocations that remain are proportional to productive
+  // events only (recovered differences entering `diff`/`working`, unit
+  // splits). Alice's paths need no Workspace -- the BCH decode (which
+  // does) runs on Bob's side.
+  BitWriter writer;
+  ParityBitmap pb_scratch;
+  std::optional<PowerSumSketch> sketch_scratch;  // Re-made per plan.
+  std::vector<uint64_t> positions_scratch;
+  std::vector<uint64_t> xors_scratch;
+  std::vector<Unit> next_units_scratch;
+  std::vector<bool> flags_scratch;
+
   Impl(std::vector<uint64_t> elems, const PbsConfig& cfg, uint64_t seed)
       : config(cfg), family(seed), elements(std::move(elems)) {}
 
   void BuildUnits() {
     const uint32_t g = static_cast<uint32_t>(plan.params.g);
     field = GF2m(plan.params.m);
+    sketch_scratch.emplace(field, plan.params.t);
     units.clear();
     units.resize(g);
     for (uint32_t i = 0; i < g; ++i) {
@@ -161,12 +178,19 @@ void PbsAlice::SetDifferenceEstimate(int d_used) {
 }
 
 std::vector<uint8_t> PbsAlice::MakeRoundRequest() {
+  std::vector<uint8_t> out;
+  MakeRoundRequest(&out);
+  return out;
+}
+
+void PbsAlice::MakeRoundRequest(std::vector<uint8_t>* out) {
   Impl& a = *impl_;
   assert(a.plan_ready);
   ++a.round;
   const auto start = Clock::now();
 
-  BitWriter w;
+  BitWriter& w = a.writer;
+  w.Clear();
   if (a.have_flags) {
     for (bool settled : a.last_settled) w.WriteBit(settled);
     a.have_flags = false;
@@ -174,13 +198,13 @@ std::vector<uint8_t> PbsAlice::MakeRoundRequest() {
   for (const Impl::Unit& unit : a.units) {
     if (unit.settled) continue;
     const SaltedHash h(unit.core.BinSalt(a.family, a.round));
-    const ParityBitmap pb =
-        ParityBitmap::Build(unit.working, h, a.plan.params.n);
-    pb.ToSketch(a.field, a.plan.params.t).Serialize(&w);
+    ParityBitmap::BuildInto(unit.working, h, a.plan.params.n, &a.pb_scratch);
+    a.pb_scratch.ToSketchInto(&*a.sketch_scratch);
+    a.sketch_scratch->Serialize(&w);
   }
 
   a.timers.encode_seconds += Seconds(start, Clock::now());
-  return w.TakeBytes();
+  out->assign(w.bytes().begin(), w.bytes().end());
 }
 
 bool PbsAlice::HandleRoundReply(const std::vector<uint8_t>& reply) {
@@ -192,8 +216,10 @@ bool PbsAlice::HandleRoundReply(const std::vector<uint8_t>& reply) {
   const int sig_bits = a.config.sig_bits;
   const uint32_t g = static_cast<uint32_t>(a.plan.params.g);
 
-  std::vector<Impl::Unit> next_units;
-  std::vector<bool> flags;
+  std::vector<Impl::Unit>& next_units = a.next_units_scratch;
+  std::vector<bool>& flags = a.flags_scratch;
+  next_units.clear();
+  flags.clear();
   next_units.reserve(a.units.size());
 
   for (Impl::Unit& unit : a.units) {
@@ -212,15 +238,18 @@ bool PbsAlice::HandleRoundReply(const std::vector<uint8_t>& reply) {
     }
 
     const int count = static_cast<int>(r.ReadBits(count_bits));
-    std::vector<uint64_t> positions(count);
-    std::vector<uint64_t> xors(count);
+    std::vector<uint64_t>& positions = a.positions_scratch;
+    std::vector<uint64_t>& xors = a.xors_scratch;
+    positions.resize(count);
+    xors.resize(count);
     for (int i = 0; i < count; ++i) positions[i] = r.ReadBits(m);
     for (int i = 0; i < count; ++i) xors[i] = r.ReadBits(sig_bits);
     const uint64_t bob_checksum = r.ReadBits(sig_bits);
 
     // Recover each candidate distinct element (Procedures 1 and 3).
     const SaltedHash h(unit.core.BinSalt(a.family, a.round));
-    ParityBitmap pb = ParityBitmap::Build(unit.working, h, a.plan.params.n);
+    ParityBitmap& pb = a.pb_scratch;
+    ParityBitmap::BuildInto(unit.working, h, a.plan.params.n, &pb);
     for (int i = 0; i < count; ++i) {
       const uint64_t pos = positions[i];
       if (pos < 1 || pos > static_cast<uint64_t>(a.plan.params.n)) continue;
@@ -241,8 +270,9 @@ bool PbsAlice::HandleRoundReply(const std::vector<uint8_t>& reply) {
     }
   }
 
-  a.units = std::move(next_units);
-  a.last_settled = std::move(flags);
+  a.units.swap(next_units);
+  next_units.clear();  // Frees settled/moved-from units promptly.
+  a.last_settled.assign(flags.begin(), flags.end());
   a.have_flags = true;
   a.timers.decode_seconds += Seconds(start, Clock::now());
   return a.units.empty();
@@ -309,6 +339,16 @@ struct PbsBob::Impl {
   int round = 0;
   PbsTimers timers;
 
+  // Round-processing scratch (see PbsAlice::Impl): reused so steady-state
+  // request handling allocates nothing.
+  Workspace ws;
+  BitWriter writer;
+  ParityBitmap pb_scratch;
+  std::optional<PowerSumSketch> alice_sketch_scratch;  // Re-made per plan.
+  std::optional<PowerSumSketch> diff_sketch_scratch;
+  std::vector<uint64_t> positions_scratch;
+  std::vector<Unit> next_units_scratch;
+
   Impl(std::vector<uint64_t> elems, const PbsConfig& cfg, uint64_t seed)
       : config(cfg), family(seed), elements(std::move(elems)) {}
 
@@ -321,6 +361,8 @@ struct PbsBob::Impl {
   void BuildUnits() {
     const uint32_t g = static_cast<uint32_t>(plan.params.g);
     field = GF2m(plan.params.m);
+    alice_sketch_scratch.emplace(field, plan.params.t);
+    diff_sketch_scratch.emplace(field, plan.params.t);
     units.clear();
     units.resize(g);
     for (uint32_t i = 0; i < g; ++i) units[i].core = UnitCore::Root(family, i);
@@ -378,6 +420,13 @@ void PbsBob::SetDifferenceEstimate(int d_used) {
 
 std::vector<uint8_t> PbsBob::HandleRoundRequest(
     const std::vector<uint8_t>& request) {
+  std::vector<uint8_t> reply;
+  HandleRoundRequest(request, &reply);
+  return reply;
+}
+
+void PbsBob::HandleRoundRequest(const std::vector<uint8_t>& request,
+                                std::vector<uint8_t>* reply) {
   Impl& b = *impl_;
   assert(b.plan_ready);
   ++b.round;
@@ -386,7 +435,8 @@ std::vector<uint8_t> PbsBob::HandleRoundRequest(
   // Evolve the unit table exactly as Alice did: consume her settled flags
   // for units whose decode succeeded last round, split the failed ones.
   if (b.round > 1) {
-    std::vector<Impl::Unit> next_units;
+    std::vector<Impl::Unit>& next_units = b.next_units_scratch;
+    next_units.clear();
     next_units.reserve(b.units.size());
     for (Impl::Unit& unit : b.units) {
       if (unit.decode_failed) {
@@ -403,43 +453,46 @@ std::vector<uint8_t> PbsBob::HandleRoundRequest(
       const bool settled = r.ReadBit();
       if (!settled) next_units.push_back(std::move(unit));
     }
-    b.units = std::move(next_units);
+    b.units.swap(next_units);
+    next_units.clear();  // Frees settled/moved-from units promptly.
   }
 
-  BitWriter w;
+  BitWriter& w = b.writer;
+  w.Clear();
   const int count_bits = wire::CountBits(b.plan.params.t);
   const int m = b.plan.params.m;
   const int n = b.plan.params.n;
-  const int t = b.plan.params.t;
   const int sig_bits = b.config.sig_bits;
 
   for (Impl::Unit& unit : b.units) {
     const auto encode_start = Clock::now();
-    PowerSumSketch alice_sketch =
-        PowerSumSketch::Deserialize(&r, b.field, t);
+    PowerSumSketch& alice_sketch = *b.alice_sketch_scratch;
+    alice_sketch.ReadFrom(&r);
     const SaltedHash h(unit.core.BinSalt(b.family, b.round));
-    const ParityBitmap pb = ParityBitmap::Build(unit.elements, h, n);
-    PowerSumSketch diff_sketch = pb.ToSketch(b.field, t);
+    ParityBitmap& pb = b.pb_scratch;
+    ParityBitmap::BuildInto(unit.elements, h, n, &pb);
+    PowerSumSketch& diff_sketch = *b.diff_sketch_scratch;
+    pb.ToSketchInto(&diff_sketch);
     diff_sketch.Merge(alice_sketch);
     const auto decode_start = Clock::now();
     b.timers.encode_seconds += Seconds(encode_start, decode_start);
 
-    const auto positions = diff_sketch.Decode();
-    if (!positions.has_value()) {
+    std::vector<uint64_t>& positions = b.positions_scratch;
+    if (!diff_sketch.DecodeInto(&positions, b.ws)) {
       unit.decode_failed = true;
       w.WriteBit(true);
     } else {
       unit.decode_failed = false;
       w.WriteBit(false);
-      w.WriteBits(static_cast<uint64_t>(positions->size()), count_bits);
-      for (uint64_t pos : *positions) w.WriteBits(pos, m);
-      for (uint64_t pos : *positions) w.WriteBits(pb.xor_sum[pos], sig_bits);
+      w.WriteBits(static_cast<uint64_t>(positions.size()), count_bits);
+      for (uint64_t pos : positions) w.WriteBits(pos, m);
+      for (uint64_t pos : positions) w.WriteBits(pb.xor_sum[pos], sig_bits);
       w.WriteBits(unit.checksum, sig_bits);
     }
     b.timers.decode_seconds += Seconds(decode_start, Clock::now());
   }
 
-  return w.TakeBytes();
+  reply->assign(w.bytes().begin(), w.bytes().end());
 }
 
 std::vector<uint8_t> PbsBob::MakeStrongDigest() const {

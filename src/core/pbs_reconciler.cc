@@ -40,16 +40,19 @@ class PbsInitiator : public ReconcileInitiator {
     if (awaiting_digest_) {
       return {kPbsDigest};
     }
-    const std::vector<uint8_t> body = alice_.MakeRoundRequest();
-    pending_request_bytes_ = body.size();
-    BitWriter w;
+    // Round body and frame writer are member scratch: per-round heap
+    // traffic is just the one returned vector the interface requires.
+    alice_.MakeRoundRequest(&body_scratch_);
+    pending_request_bytes_ = body_scratch_.size();
+    BitWriter& w = frame_writer_;
+    w.Clear();
     w.WriteBits(kPbsRound, 8);
     if (alice_.round() == 1) {
       // First round: ship d_used so Bob plans the same (g, n, t).
       w.WriteBits(static_cast<uint32_t>(d_used_), 32);
     }
-    w.WriteBytes(body.data(), body.size());
-    return w.TakeBytes();
+    w.WriteBytes(body_scratch_.data(), body_scratch_.size());
+    return w.bytes();
   }
 
   bool HandleReply(const std::vector<uint8_t>& reply) override {
@@ -103,6 +106,8 @@ class PbsInitiator : public ReconcileInitiator {
   int report_sig_bits_;
   int d_used_;
   PbsAlice alice_;
+  std::vector<uint8_t> body_scratch_;
+  BitWriter frame_writer_;
   size_t pending_request_bytes_ = 0;
   size_t data_bytes_ = 0;
   bool awaiting_digest_ = false;
@@ -134,14 +139,15 @@ class PbsResponder : public ReconcileResponder {
       bob_.SetDifferenceEstimate(static_cast<int>(d_used));
       first_round_ = false;
     }
-    std::vector<uint8_t> body(r.remaining_bits() / 8);
-    if (!r.ReadBytes(body.data(), body.size())) return false;
-    *reply = bob_.HandleRoundRequest(body);
+    body_scratch_.resize(r.remaining_bits() / 8);
+    if (!r.ReadBytes(body_scratch_.data(), body_scratch_.size())) return false;
+    bob_.HandleRoundRequest(body_scratch_, reply);
     return true;
   }
 
  private:
   PbsBob bob_;
+  std::vector<uint8_t> body_scratch_;
   bool first_round_ = true;
 };
 

@@ -27,9 +27,10 @@ PbsResult PbsSession::Reconcile(const std::vector<uint64_t>& a,
   }
 
   bool finished = false;
+  std::vector<uint8_t> request, reply;  // Reused across the rounds.
   while (!finished && alice.round() < config.max_rounds) {
-    const auto request = alice.MakeRoundRequest();
-    const auto reply = bob.HandleRoundRequest(request);
+    alice.MakeRoundRequest(&request);
+    bob.HandleRoundRequest(request, &reply);
     finished = alice.HandleRoundReply(reply);
     result.data_bytes += request.size() + reply.size();
     if (transcript) {

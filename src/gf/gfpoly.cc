@@ -1,8 +1,57 @@
 #include "pbs/gf/gfpoly.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace pbs {
+
+int PolyDegree(Span<const uint64_t> coeffs) {
+  for (size_t i = coeffs.size(); i-- > 0;) {
+    if (coeffs[i] != 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint64_t PolyEval(const GF2m& field, Span<const uint64_t> coeffs, uint64_t x) {
+  uint64_t acc = 0;
+  for (size_t i = coeffs.size(); i-- > 0;) {
+    acc = field.Mul(acc, x) ^ coeffs[i];
+  }
+  return acc;
+}
+
+void PolyMulInto(const GF2m& field, Span<const uint64_t> a,
+                 Span<const uint64_t> b, Span<uint64_t> out) {
+  if (a.empty() || b.empty()) return;
+  assert(out.size() >= a.size() + b.size() - 1);
+  assert(out.data() != a.data() && out.data() != b.data());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (b[j] == 0) continue;
+      out[i + j] ^= field.Mul(a[i], b[j]);
+    }
+  }
+}
+
+void PolyAddInto(Span<const uint64_t> a, Span<const uint64_t> b,
+                 Span<uint64_t> out) {
+  assert(out.size() >= std::max(a.size(), b.size()));
+  for (size_t i = 0; i < out.size(); ++i) {
+    const uint64_t av = i < a.size() ? a[i] : 0;
+    const uint64_t bv = i < b.size() ? b[i] : 0;
+    out[i] = av ^ bv;
+  }
+}
+
+void PolyDerivativeInto(Span<const uint64_t> a, Span<uint64_t> out) {
+  if (a.size() <= 1) return;
+  assert(out.size() >= a.size() - 1);
+  for (size_t i = 1; i < a.size(); ++i) {
+    out[i - 1] = (i % 2 == 1) ? a[i] : 0;
+  }
+}
 
 GFPoly GFPoly::Monomial(const GF2m& field, uint64_t c, int k) {
   if (c == 0) return Zero(field);
@@ -13,22 +62,14 @@ GFPoly GFPoly::Monomial(const GF2m& field, uint64_t c, int k) {
 
 GFPoly GFPoly::Add(const GFPoly& other) const {
   std::vector<uint64_t> out(std::max(coeffs_.size(), other.coeffs_.size()), 0);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = coeff(static_cast<int>(i)) ^ other.coeff(static_cast<int>(i));
-  }
+  PolyAddInto(coeffs_, other.coeffs_, out);
   return GFPoly(field_, std::move(out));
 }
 
 GFPoly GFPoly::Mul(const GFPoly& other) const {
   if (IsZero() || other.IsZero()) return Zero(field_);
   std::vector<uint64_t> out(coeffs_.size() + other.coeffs_.size() - 1, 0);
-  for (size_t i = 0; i < coeffs_.size(); ++i) {
-    if (coeffs_[i] == 0) continue;
-    for (size_t j = 0; j < other.coeffs_.size(); ++j) {
-      if (other.coeffs_[j] == 0) continue;
-      out[i + j] ^= field_.Mul(coeffs_[i], other.coeffs_[j]);
-    }
-  }
+  PolyMulInto(field_, coeffs_, other.coeffs_, out);
   return GFPoly(field_, std::move(out));
 }
 
@@ -79,19 +120,12 @@ GFPoly GFPoly::Gcd(const GFPoly& other) const {
 GFPoly GFPoly::Derivative() const {
   if (degree() < 1) return Zero(field_);
   std::vector<uint64_t> out(coeffs_.size() - 1, 0);
-  // d/dx sum c_i x^i = sum (i mod 2) c_i x^(i-1) in characteristic 2.
-  for (size_t i = 1; i < coeffs_.size(); i += 2) {
-    out[i - 1] = coeffs_[i];
-  }
+  PolyDerivativeInto(coeffs_, out);
   return GFPoly(field_, std::move(out));
 }
 
 uint64_t GFPoly::Eval(uint64_t x) const {
-  uint64_t acc = 0;
-  for (size_t i = coeffs_.size(); i-- > 0;) {
-    acc = field_.Mul(acc, x) ^ coeffs_[i];
-  }
-  return acc;
+  return PolyEval(field_, coeffs_, x);
 }
 
 GFPoly GFPoly::MakeMonic() const {

@@ -76,6 +76,51 @@ std::vector<uint64_t> ChienSearch(const GFPoly& f) {
   return roots;
 }
 
+int ChienSearchInto(const GF2m& field, Span<const uint64_t> coeffs,
+                    Span<uint64_t> out) {
+  assert(field.order() < (uint64_t{1} << 20));
+  // The zero polynomial vanishes everywhere; writing its "roots" would
+  // overrun any out span, so reject it explicitly (the degree-based size
+  // precondition below is vacuous for it).
+  if (PolyDegree(coeffs) < 0) return 0;
+  assert(static_cast<int>(out.size()) >= PolyDegree(coeffs));
+  int count = 0;
+  for (uint64_t x = 1; x <= field.order(); ++x) {
+    if (PolyEval(field, coeffs, x) == 0) out[count++] = x;
+  }
+  return count;
+}
+
+int FindDistinctNonzeroRootsWs(const GF2m& field, Span<const uint64_t> coeffs,
+                               Workspace& ws, Span<uint64_t> out,
+                               uint64_t seed) {
+  const int degree = PolyDegree(coeffs);
+  if (degree < 0) return -1;
+  if (degree == 0) return 0;
+  if (coeffs[0] == 0) return -1;  // Root at zero: miscorrected decode.
+
+  (void)ws;  // The Chien path needs no scratch beyond `out` itself.
+  if (field.order() < kChienThreshold) {
+    // Evaluate only the meaningful prefix: trailing zeros past the degree
+    // would cost Horner steps without changing the result.
+    const int count = ChienSearchInto(
+        field, coeffs.first(static_cast<size_t>(degree) + 1), out);
+    if (count != degree) return -1;
+    return count;
+  }
+
+  // Large field (PinSketch universe): the trace-splitting path allocates;
+  // it sits outside the PBS parity-bitmap hot path.
+  GFPoly f(field, std::vector<uint64_t>(
+                      coeffs.data(),
+                      coeffs.data() + static_cast<size_t>(degree) + 1));
+  auto roots = FindDistinctNonzeroRoots(f, seed);
+  if (!roots.has_value()) return -1;
+  assert(roots->size() <= out.size());
+  for (size_t i = 0; i < roots->size(); ++i) out[i] = (*roots)[i];
+  return static_cast<int>(roots->size());
+}
+
 std::optional<std::vector<uint64_t>> FindDistinctNonzeroRoots(const GFPoly& f,
                                                               uint64_t seed) {
   if (f.IsZero()) return std::nullopt;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
+#include <cstring>
 
 #include "pbs/hash/xxhash64.h"
 
@@ -28,9 +28,14 @@ uint64_t InvertibleBloomFilter::CheckHash(uint64_t key) const {
 }
 
 void InvertibleBloomFilter::Apply(uint64_t key, int64_t delta) {
+  ApplyTo(cells_.data(), key, delta);
+}
+
+void InvertibleBloomFilter::ApplyTo(IbfCell* cells, uint64_t key,
+                                    int64_t delta) const {
   const uint64_t check = CheckHash(key);
   for (int s = 0; s < num_hashes_; ++s) {
-    IbfCell& cell = cells_[CellIndex(key, s)];
+    IbfCell& cell = cells[CellIndex(key, s)];
     cell.count += delta;
     cell.key_sum ^= key;
     cell.hash_sum ^= check;
@@ -57,40 +62,62 @@ bool InvertibleBloomFilter::IsPure(const IbfCell& cell) const {
 }
 
 InvertibleBloomFilter::DecodeResult InvertibleBloomFilter::Decode() const {
-  InvertibleBloomFilter work = *this;
+  Workspace ws;
   DecodeResult result;
+  DecodeInto(ws, &result);
+  return result;
+}
 
-  std::deque<size_t> queue;
-  for (size_t i = 0; i < work.cells_.size(); ++i) {
-    if (work.IsPure(work.cells_[i])) queue.push_back(i);
+void InvertibleBloomFilter::DecodeInto(Workspace& ws,
+                                       DecodeResult* out) const {
+  out->positive.clear();
+  out->negative.clear();
+  out->complete = false;
+
+  const size_t n = cells_.size();
+  auto work = ws.Take<IbfCell>(n);
+  std::memcpy(work.data(), cells_.data(), n * sizeof(IbfCell));
+
+  // Pending pure-cell stack. Peeling order is irrelevant (any pure cell
+  // may be consumed next), so LIFO replaces the seed code's deque. A cell
+  // can be re-pushed each time a neighbor's peel re-purifies it, so the
+  // stack can transiently outgrow n; Resize doubles it on demand.
+  auto stack = ws.Take<size_t>(n + 1);
+  size_t stack_size = 0;
+  const auto push = [&stack, &stack_size](size_t idx) {
+    if (stack_size == stack.size()) stack.Resize(2 * stack.size());
+    stack[stack_size++] = idx;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    if (IsPure(work[i])) push(i);
   }
-  while (!queue.empty()) {
-    const size_t idx = queue.front();
-    queue.pop_front();
-    const IbfCell cell = work.cells_[idx];
-    if (!work.IsPure(cell)) continue;  // Already consumed via another cell.
+  while (stack_size > 0) {
+    const size_t idx = stack[--stack_size];
+    const IbfCell cell = work[idx];
+    if (!IsPure(cell)) continue;  // Already consumed via another cell.
     const uint64_t key = cell.key_sum;
     const int64_t side = cell.count;
     if (side > 0) {
-      result.positive.push_back(key);
+      out->positive.push_back(key);
     } else {
-      result.negative.push_back(key);
+      out->negative.push_back(key);
     }
-    work.Apply(key, -side);
-    for (int s = 0; s < work.num_hashes_; ++s) {
-      const size_t neighbor = work.CellIndex(key, s);
-      if (work.IsPure(work.cells_[neighbor])) queue.push_back(neighbor);
+    ApplyTo(work.data(), key, -side);
+    for (int s = 0; s < num_hashes_; ++s) {
+      const size_t neighbor = CellIndex(key, s);
+      if (IsPure(work[neighbor])) push(neighbor);
     }
   }
 
-  result.complete = true;
-  for (const IbfCell& cell : work.cells_) {
+  out->complete = true;
+  for (size_t i = 0; i < n; ++i) {
+    const IbfCell& cell = work[i];
     if (cell.count != 0 || cell.key_sum != 0 || cell.hash_sum != 0) {
-      result.complete = false;
+      out->complete = false;
       break;
     }
   }
-  return result;
 }
 
 void InvertibleBloomFilter::Serialize(BitWriter* writer) const {

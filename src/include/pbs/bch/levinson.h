@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "pbs/common/workspace.h"
 #include "pbs/gf/gf2m.h"
 
 namespace pbs {
@@ -38,6 +39,13 @@ std::optional<std::vector<uint64_t>> LevinsonSolveHankel(
 /// Levinson-irregular or inconsistent with the remaining syndromes.
 std::optional<std::vector<uint64_t>> LevinsonLocator(
     const GF2m& field, const std::vector<uint64_t>& syndromes, int v);
+
+/// Workspace variant of LevinsonLocator: writes (1, Lambda_1, ...,
+/// Lambda_v) into `lambda_out` (at least v + 1 slots) and returns true on
+/// success. The recursion's working vectors are drawn from `ws`;
+/// allocation-free once `ws` is warm.
+bool LevinsonLocatorWs(const GF2m& field, Span<const uint64_t> syndromes,
+                       int v, Workspace& ws, Span<uint64_t> lambda_out);
 
 }  // namespace pbs
 

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "pbs/common/workspace.h"
 #include "pbs/gf/gfpoly.h"
 
 namespace pbs {
@@ -25,6 +26,14 @@ namespace pbs {
 /// consistent locator of degree <= t exists.
 std::optional<GFPoly> PgzLocator(const GF2m& field,
                                  const std::vector<uint64_t>& syndromes);
+
+/// Workspace variant: writes (1, Lambda_1, ..., Lambda_v) into `lambda_out`
+/// (at least t + 1 slots; slots past the degree are zeroed) and returns the
+/// locator degree v >= 0, or -1 if no consistent locator exists. The
+/// elimination runs in place on one flat workspace matrix -- no per-attempt
+/// copies. Allocation-free once `ws` is warm.
+int PgzLocatorWs(const GF2m& field, Span<const uint64_t> syndromes,
+                 Workspace& ws, Span<uint64_t> lambda_out);
 
 }  // namespace pbs
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "pbs/common/bitio.h"
+#include "pbs/common/workspace.h"
 #include "pbs/gf/gf2m.h"
 
 namespace pbs {
@@ -44,6 +45,9 @@ class PowerSumSketch {
   /// sketches the symmetric difference of the two underlying sets.
   void Merge(const PowerSumSketch& other);
 
+  /// Resets to the empty set (all syndromes zero), keeping the storage.
+  void Reset();
+
   /// Attempts to recover the sketched set. Succeeds iff the set has at most
   /// t elements and the decode is structurally consistent; otherwise
   /// returns nullopt (decode failure). Recovered elements are unsorted.
@@ -53,12 +57,25 @@ class PowerSumSketch {
   std::optional<std::vector<uint64_t>> Decode(
       bool verify = true, uint64_t seed = 0x9E3779B97F4A7C15ull) const;
 
+  /// Workspace variant of Decode: clears `*out` and appends the recovered
+  /// elements. Returns false on decode failure. Once `ws` and `out` have
+  /// reached their steady-state capacities this performs no heap
+  /// allocation for Chien-searchable fields (every PBS parity-bitmap
+  /// field); large PinSketch fields fall back to allocating root finding.
+  bool DecodeInto(std::vector<uint64_t>* out, Workspace& ws,
+                  bool verify = true,
+                  uint64_t seed = 0x9E3779B97F4A7C15ull) const;
+
   /// Serializes as t fields of m bits each.
   void Serialize(BitWriter* writer) const;
 
   /// Reads a sketch serialized by Serialize.
   static PowerSumSketch Deserialize(BitReader* reader, const GF2m& field,
                                     int t);
+
+  /// Overwrites this sketch from the wire, reusing its storage (same field
+  /// and t as at serialization time required).
+  void ReadFrom(BitReader* reader);
 
   /// Wire size in bits: t * m.
   int bit_size() const { return t_ * field_.m(); }
@@ -73,6 +90,11 @@ class PowerSumSketch {
   bool IsZero() const;
 
  private:
+  /// XORs the odd power sums x^1, x^3, ..., x^(2t-1) of `element` into
+  /// `odd` (t = odd.size()).
+  static void ToggleInto(const GF2m& field, uint64_t element,
+                         Span<uint64_t> odd);
+
   GF2m field_;
   int t_;
   std::vector<uint64_t> odd_;

@@ -55,6 +55,14 @@ class BitWriter {
   /// Moves the packed bytes out; the writer is left empty.
   std::vector<uint8_t> TakeBytes();
 
+  /// Empties the stream but keeps the byte buffer's capacity, so a writer
+  /// reused across protocol rounds stops allocating once it has seen its
+  /// peak message size.
+  void Clear() {
+    bytes_.clear();
+    bit_size_ = 0;
+  }
+
  private:
   std::vector<uint8_t> bytes_;
   size_t bit_size_ = 0;

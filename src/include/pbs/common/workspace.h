@@ -1,0 +1,202 @@
+// Reusable scratch memory for the decode/encode hot path.
+//
+// The paper's computational claim (Section 7: PBS decodes an order of
+// magnitude faster than PinSketch because each per-group BCH decode is
+// tiny) only survives implementation if the per-decode constant stays
+// small -- and a heap allocation per temporary vector per layer per round
+// dwarfs the field arithmetic it wraps. A Workspace is an arena of
+// growable, recyclable byte buffers from which every hot-path layer
+// (gf/ root search, bch/ decoders, ibf/ peeling, core/ round processing)
+// borrows typed scratch via RAII leases. Buffers are returned on lease
+// destruction and reused by later borrows, so once a steady state is
+// reached (every call site has seen its peak size), borrowing allocates
+// nothing: tests/core/hotpath_alloc_test.cc pins this with counting
+// global new/delete hooks.
+//
+// Ownership rules (see docs/ARCHITECTURE.md, "Hot path & Workspace"):
+//  * A Workspace is single-threaded state. Sessions/endpoints own one;
+//    kernels take `Workspace&` and may borrow freely, including from
+//    nested calls (leases need not be released LIFO).
+//  * A Scratch<T> lease pins its bytes until destroyed; Resize() may move
+//    them (re-fetch data() afterwards), returning the lease recycles them.
+//  * Functions taking `Workspace&` must not keep references to borrowed
+//    memory past their return unless the lease itself is handed back to
+//    the caller.
+
+#ifndef PBS_COMMON_WORKSPACE_H_
+#define PBS_COMMON_WORKSPACE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace pbs {
+
+/// Minimal non-owning view of a contiguous T range (C++17 stand-in for
+/// std::span). Hot-path kernel signatures take Span instead of
+/// std::vector so callers can pass workspace scratch, vector storage, or
+/// sub-ranges without copying.
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(T* data, size_t size) : data_(data), size_(size) {}
+  /// Implicit view of vector storage (const and mutable).
+  template <typename U, typename = std::enable_if_t<
+                            std::is_same_v<std::remove_const_t<T>, U>>>
+  Span(std::vector<U>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT
+  template <typename U, typename = std::enable_if_t<
+                            std::is_same_v<std::remove_const_t<T>, U>>>
+  Span(const std::vector<U>& v)  // NOLINT
+      : data_(v.data()), size_(v.size()) {
+    static_assert(std::is_const_v<T>,
+                  "mutable Span over const vector storage");
+  }
+
+  T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T* begin() const { return data_; }
+  T* end() const { return data_ + size_; }
+  /// The first `n` elements (n <= size()).
+  Span<T> first(size_t n) const {
+    assert(n <= size_);
+    return Span<T>(data_, n);
+  }
+  /// Conversion to a const view.
+  operator Span<const T>() const { return {data_, size_}; }  // NOLINT
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+class Workspace;
+
+/// RAII lease of a typed scratch buffer drawn from a Workspace. Move-only;
+/// destruction returns the underlying bytes to the pool for reuse.
+template <typename T>
+class Scratch {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Workspace scratch holds raw bytes; T must be trivially "
+                "copyable");
+
+ public:
+  Scratch() = default;
+  Scratch(Scratch&& other) noexcept { *this = std::move(other); }
+  Scratch& operator=(Scratch&& other) noexcept {
+    Release();
+    ws_ = other.ws_;
+    buf_ = other.buf_;
+    size_ = other.size_;
+    other.ws_ = nullptr;
+    other.buf_ = nullptr;
+    other.size_ = 0;
+    return *this;
+  }
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+  ~Scratch() { Release(); }
+
+  T* data() const {
+    return buf_ ? reinterpret_cast<T*>(buf_->data()) : nullptr;
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  Span<T> span() const { return Span<T>(data(), size_); }
+  Span<const T> cspan() const { return Span<const T>(data(), size_); }
+
+  /// Grows (or shrinks) the lease to `n` elements; existing contents are
+  /// preserved up to min(old, new) and any new tail is zeroed. May move
+  /// the bytes -- re-fetch data() after calling. Allocates only when `n`
+  /// exceeds every size this underlying buffer has ever had.
+  void Resize(size_t n);
+
+  /// Returns the buffer to the pool early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class Workspace;
+  Scratch(Workspace* ws, std::vector<unsigned char>* buf, size_t n)
+      : ws_(ws), buf_(buf), size_(n) {}
+
+  Workspace* ws_ = nullptr;
+  std::vector<unsigned char>* buf_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// A pool of recyclable scratch buffers. See the file comment for the
+/// ownership rules; see Take<T>() for the borrowing primitive.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Borrows a zero-filled scratch buffer of `n` elements of T. The
+  /// lease's bytes stay valid (and exclusively owned) until the returned
+  /// Scratch is destroyed or Release()d.
+  template <typename T>
+  Scratch<T> Take(size_t n) {
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "pool buffers are new-aligned only");
+    std::vector<unsigned char>* buf = Borrow(n * sizeof(T));
+    return Scratch<T>(this, buf, n);
+  }
+
+  /// Number of buffers currently held by the pool (not leased out).
+  size_t free_buffers() const { return free_.size(); }
+  /// Number of leases currently outstanding.
+  size_t outstanding() const { return outstanding_; }
+  /// Total bytes of backing capacity across all pool-owned buffers,
+  /// leased or free. Stable across iterations == steady state reached.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  template <typename T>
+  friend class Scratch;
+
+  std::vector<unsigned char>* Borrow(size_t bytes);
+  void FitAndZero(std::vector<unsigned char>* buf, size_t bytes,
+                  size_t preserve);
+  void Return(std::vector<unsigned char>* buf);
+
+  // All buffers ever created, owned here; free_ holds the subset not
+  // currently leased. Raw pointers into owned_ stay stable because the
+  // unique_ptr targets never move.
+  std::vector<std::unique_ptr<std::vector<unsigned char>>> owned_;
+  std::vector<std::vector<unsigned char>*> free_;
+  size_t outstanding_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+template <typename T>
+void Scratch<T>::Resize(size_t n) {
+  assert(ws_ != nullptr);
+  ws_->FitAndZero(buf_, n * sizeof(T), size_ * sizeof(T));
+  size_ = n;
+}
+
+template <typename T>
+void Scratch<T>::Release() {
+  if (ws_ != nullptr) ws_->Return(buf_);
+  ws_ = nullptr;
+  buf_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace pbs
+
+#endif  // PBS_COMMON_WORKSPACE_H_

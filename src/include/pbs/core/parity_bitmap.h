@@ -29,28 +29,45 @@ struct ParityBitmap {
   std::vector<uint64_t> xor_sum;  ///< Index 0 unused; 1..n valid.
   std::vector<uint8_t> parity;    ///< Cardinality parity per bin.
 
-  /// Bins `elements` under `h`.
+  /// Bins `elements` under `h` into `*pb`, reusing its buffers (assign
+  /// keeps capacity, so a bitmap reused across rounds stops allocating
+  /// once sized). The hot-path form of Build.
+  template <typename Container>
+  static void BuildInto(const Container& elements, const SaltedHash& h, int n,
+                        ParityBitmap* pb) {
+    pb->n = n;
+    pb->xor_sum.assign(n + 1, 0);
+    pb->parity.assign(n + 1, 0);
+    for (uint64_t e : elements) {
+      const uint64_t bin = BinIndex(e, h, n);
+      pb->xor_sum[bin] ^= e;
+      pb->parity[bin] ^= 1;
+    }
+  }
+
+  /// Bins `elements` under `h` into a fresh bitmap.
   template <typename Container>
   static ParityBitmap Build(const Container& elements, const SaltedHash& h,
                             int n) {
     ParityBitmap pb;
-    pb.n = n;
-    pb.xor_sum.assign(n + 1, 0);
-    pb.parity.assign(n + 1, 0);
-    for (uint64_t e : elements) {
-      const uint64_t bin = BinIndex(e, h, n);
-      pb.xor_sum[bin] ^= e;
-      pb.parity[bin] ^= 1;
-    }
+    BuildInto(elements, h, n, &pb);
     return pb;
   }
 
-  /// BCH sketch of the odd-parity bin set (the codeword xi of Procedure 2).
+  /// BCH sketch of the odd-parity bin set (the codeword xi of Procedure 2),
+  /// written into `*sketch` (which must already have the target field and
+  /// t; its previous contents are discarded).
+  void ToSketchInto(PowerSumSketch* sketch) const {
+    sketch->Reset();
+    for (int i = 1; i <= n; ++i) {
+      if (parity[i]) sketch->Toggle(static_cast<uint64_t>(i));
+    }
+  }
+
+  /// BCH sketch of the odd-parity bin set, freshly allocated.
   PowerSumSketch ToSketch(const GF2m& field, int t) const {
     PowerSumSketch sketch(field, t);
-    for (int i = 1; i <= n; ++i) {
-      if (parity[i]) sketch.Toggle(static_cast<uint64_t>(i));
-    }
+    ToSketchInto(&sketch);
     return sketch;
   }
 };

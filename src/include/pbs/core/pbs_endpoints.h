@@ -55,6 +55,11 @@ class PbsAlice {
   /// Builds the round-k request (advances the round counter).
   std::vector<uint8_t> MakeRoundRequest();
 
+  /// Buffer-reusing form: writes the request into `*out` (cleared first).
+  /// With a caller-reused `out`, steady-state round encoding performs no
+  /// heap allocation (tests/core/hotpath_alloc_test.cc).
+  void MakeRoundRequest(std::vector<uint8_t>* out);
+
   /// Consumes Bob's reply; returns true when every unit has settled.
   bool HandleRoundReply(const std::vector<uint8_t>& reply);
 
@@ -97,6 +102,11 @@ class PbsBob {
   void SetDifferenceEstimate(int d_used);
 
   std::vector<uint8_t> HandleRoundRequest(const std::vector<uint8_t>& request);
+
+  /// Buffer-reusing form: writes the reply into `*reply` (cleared first);
+  /// see PbsAlice::MakeRoundRequest(std::vector<uint8_t>*).
+  void HandleRoundRequest(const std::vector<uint8_t>& request,
+                          std::vector<uint8_t>* reply);
 
   /// Strong-verification epilogue: the 192-bit multiset hash of B.
   std::vector<uint8_t> MakeStrongDigest() const;

@@ -14,9 +14,42 @@
 #include <utility>
 #include <vector>
 
+#include "pbs/common/workspace.h"
 #include "pbs/gf/gf2m.h"
 
 namespace pbs {
+
+// ---------------------------------------------------------------------------
+// Span kernels -- the allocation-free core of polynomial arithmetic.
+//
+// A polynomial is any contiguous coefficient range (coeffs[i] multiplies
+// x^i); trailing zeros are permitted and ignored. The owning GFPoly class
+// below delegates to these, and the hot-path decoders (Berlekamp-Massey,
+// Chien search, PGZ) call them directly on Workspace scratch.
+// ---------------------------------------------------------------------------
+
+/// Degree of the coefficient range: index of the highest nonzero entry,
+/// or -1 for the (possibly empty) all-zero range.
+int PolyDegree(Span<const uint64_t> coeffs);
+
+/// Horner evaluation at a field point.
+uint64_t PolyEval(const GF2m& field, Span<const uint64_t> coeffs, uint64_t x);
+
+/// Schoolbook product into `out`, which must hold at least
+/// a.size() + b.size() - 1 entries (0 slots required when either input is
+/// empty) and must not alias the inputs. `out` is fully overwritten.
+void PolyMulInto(const GF2m& field, Span<const uint64_t> a,
+                 Span<const uint64_t> b, Span<uint64_t> out);
+
+/// XOR-sum into `out` (size >= max(a.size(), b.size())); fully overwritten.
+/// Aliasing `out` with either input is allowed.
+void PolyAddInto(Span<const uint64_t> a, Span<const uint64_t> b,
+                 Span<uint64_t> out);
+
+/// Formal derivative into `out` (size >= a.size() - 1; 0 slots when
+/// a.size() <= 1). In characteristic 2 the even-power terms vanish.
+/// Aliasing `out` with `a` is allowed.
+void PolyDerivativeInto(Span<const uint64_t> a, Span<uint64_t> out);
 
 /// Polynomial over GF(2^m). coeff(i) multiplies x^i. The zero polynomial has
 /// degree -1. Invariant: the leading stored coefficient is nonzero.

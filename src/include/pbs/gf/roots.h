@@ -35,9 +35,27 @@ inline constexpr uint64_t kChienThreshold = uint64_t{1} << 13;
 std::optional<std::vector<uint64_t>> FindDistinctNonzeroRoots(
     const GFPoly& f, uint64_t seed = 0x9E3779B97F4A7C15ull);
 
+/// Workspace variant of FindDistinctNonzeroRoots over a raw coefficient
+/// range. Writes the roots into `out` (at least PolyDegree(coeffs) slots)
+/// and returns their count, or -1 if the polynomial is not a product of
+/// distinct nonzero linear factors. The Chien path (order < kChienThreshold,
+/// i.e. every PBS parity-bitmap field) performs no heap allocation; larger
+/// fields fall back to the allocating trace-splitting path.
+int FindDistinctNonzeroRootsWs(const GF2m& field, Span<const uint64_t> coeffs,
+                               Workspace& ws, Span<uint64_t> out,
+                               uint64_t seed = 0x9E3779B97F4A7C15ull);
+
 /// Exhaustive Chien-style search (exposed for testing): evaluates f at every
 /// nonzero element. Precondition: field order < 2^20.
 std::vector<uint64_t> ChienSearch(const GFPoly& f);
+
+/// Allocation-free Chien search: writes every root of `coeffs` in GF(2^m)*
+/// into `out` and returns the count. `out` needs at least
+/// PolyDegree(coeffs) slots (a degree-d polynomial has at most d roots).
+/// The zero polynomial reports 0 roots (it has no meaningful locator
+/// factorization). Precondition: field order < 2^20.
+int ChienSearchInto(const GF2m& field, Span<const uint64_t> coeffs,
+                    Span<uint64_t> out);
 
 }  // namespace pbs
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "pbs/common/bitio.h"
+#include "pbs/common/workspace.h"
 
 namespace pbs {
 
@@ -60,6 +61,12 @@ class InvertibleBloomFilter {
   /// failed: too many differences for the cell budget.
   DecodeResult Decode() const;
 
+  /// Workspace variant of Decode: the peeled working copy and the pending
+  /// pure-cell queue live in `ws` scratch, and `out`'s vectors are cleared
+  /// and refilled in place. No heap allocation once `ws` and `out` are at
+  /// steady-state capacity.
+  void DecodeInto(Workspace& ws, DecodeResult* out) const;
+
   /// Wire size: cells * 3 fields * sig_bits.
   size_t bit_size() const { return cells_.size() * 3 * sig_bits_; }
   size_t byte_size() const { return (bit_size() + 7) / 8; }
@@ -77,6 +84,9 @@ class InvertibleBloomFilter {
   size_t CellIndex(uint64_t key, int subtable) const;
   uint64_t CheckHash(uint64_t key) const;
   void Apply(uint64_t key, int64_t delta);
+  // Apply against an external cell array laid out like cells_ (the
+  // peeling working copy).
+  void ApplyTo(IbfCell* cells, uint64_t key, int64_t delta) const;
   // Peeling helper: is this cell recoverable right now?
   bool IsPure(const IbfCell& cell) const;
 

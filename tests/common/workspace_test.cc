@@ -1,0 +1,117 @@
+#include "pbs/common/workspace.h"
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+TEST(Workspace, LeaseIsZeroFilledAndSized) {
+  Workspace ws;
+  auto s = ws.Take<uint64_t>(17);
+  ASSERT_EQ(s.size(), 17u);
+  for (size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], 0u);
+  EXPECT_EQ(ws.outstanding(), 1u);
+  EXPECT_EQ(ws.free_buffers(), 0u);
+}
+
+TEST(Workspace, ReturnedBufferIsRecycledAndRezeroed) {
+  Workspace ws;
+  uint64_t* first_data = nullptr;
+  {
+    auto s = ws.Take<uint64_t>(8);
+    first_data = s.data();
+    for (size_t i = 0; i < 8; ++i) s[i] = 0xDEADBEEFull + i;
+  }
+  EXPECT_EQ(ws.outstanding(), 0u);
+  EXPECT_EQ(ws.free_buffers(), 1u);
+  auto s2 = ws.Take<uint64_t>(8);
+  EXPECT_EQ(s2.data(), first_data);  // Same buffer, recycled.
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(s2[i], 0u);
+}
+
+TEST(Workspace, NonLifoReturnOrderIsFine) {
+  Workspace ws;
+  auto a = ws.Take<uint32_t>(4);
+  auto b = ws.Take<uint32_t>(4);
+  auto c = ws.Take<uint32_t>(4);
+  EXPECT_EQ(ws.outstanding(), 3u);
+  a.Release();  // Out of order w.r.t. c.
+  c.Release();
+  b.Release();
+  EXPECT_EQ(ws.outstanding(), 0u);
+  EXPECT_EQ(ws.free_buffers(), 3u);
+}
+
+TEST(Workspace, SteadyStateReservationIsStable) {
+  Workspace ws;
+  // Warm-up: a nested borrow pattern with its peak sizes.
+  for (int iter = 0; iter < 2; ++iter) {
+    auto outer = ws.Take<uint64_t>(100);
+    auto inner = ws.Take<uint8_t>(333);
+    auto deep = ws.Take<uint64_t>(7);
+    deep.Release();
+    inner.Release();
+    outer.Release();
+  }
+  const size_t reserved = ws.bytes_reserved();
+  ASSERT_GT(reserved, 0u);
+  // Steady state: identical pattern must not grow the pool.
+  for (int iter = 0; iter < 50; ++iter) {
+    auto outer = ws.Take<uint64_t>(100);
+    auto inner = ws.Take<uint8_t>(333);
+    auto deep = ws.Take<uint64_t>(7);
+  }
+  EXPECT_EQ(ws.bytes_reserved(), reserved);
+  EXPECT_EQ(ws.free_buffers(), 3u);
+}
+
+TEST(Workspace, ResizePreservesPrefixAndZeroesTail) {
+  Workspace ws;
+  auto s = ws.Take<uint64_t>(4);
+  for (size_t i = 0; i < 4; ++i) s[i] = i + 1;
+  s.Resize(9);
+  ASSERT_EQ(s.size(), 9u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(s[i], i + 1);
+  for (size_t i = 4; i < 9; ++i) EXPECT_EQ(s[i], 0u);
+  s.Resize(2);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[1], 2u);
+}
+
+TEST(Workspace, MoveTransfersOwnership) {
+  Workspace ws;
+  auto a = ws.Take<uint64_t>(3);
+  a[0] = 42;
+  Scratch<uint64_t> b = std::move(a);
+  EXPECT_EQ(a.data(), nullptr);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 42u);
+  EXPECT_EQ(ws.outstanding(), 1u);
+  b.Release();
+  EXPECT_EQ(ws.outstanding(), 0u);
+}
+
+TEST(Workspace, SpanOverVectorAndScratch) {
+  std::vector<uint64_t> v(5);
+  std::iota(v.begin(), v.end(), 10);
+  Span<const uint64_t> sv = v;
+  ASSERT_EQ(sv.size(), 5u);
+  EXPECT_EQ(sv[0], 10u);
+  EXPECT_EQ(sv.first(2).size(), 2u);
+
+  Workspace ws;
+  auto s = ws.Take<uint64_t>(5);
+  Span<uint64_t> ms = s.span();
+  ms[3] = 77;
+  EXPECT_EQ(s[3], 77u);
+  Span<const uint64_t> cs = s.cspan();
+  EXPECT_EQ(cs[3], 77u);
+}
+
+}  // namespace
+}  // namespace pbs
