@@ -1,0 +1,163 @@
+// Concurrent-session bench: N clients reconcile against ONE server
+// process (net/ReconcileServer — a single poll loop holding one sans-I/O
+// SessionEngine per connection), for every registered scheme.
+//
+// Two things are measured and printed per scheme:
+//  * throughput — wall-clock for all N interleaved sessions and the
+//    derived sessions/s of the single-threaded server loop;
+//  * parity — every concurrently-served session must recover a difference
+//    BYTE-IDENTICAL to the blocking drivers (RunInitiatorSession /
+//    RunResponderSession over a dedicated transport) run with the same
+//    config, elements, and seed.
+//
+// Quick mode serves 32 clients over 20k-element sets; PBS_BENCH_FULL=1
+// scales to 128 clients over 100k-element sets.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "pbs/core/transport.h"
+#include "pbs/core/wire_session.h"
+#include "pbs/net/reconcile_server.h"
+#include "pbs/sim/workload.h"
+
+namespace {
+
+using pbs::SessionConfig;
+using pbs::SessionResult;
+
+// The blocking-driver reference: same config, same sets, dedicated
+// loopback transport pair, one thread per side.
+SessionResult BlockingReference(const SessionConfig& config,
+                                const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b) {
+  auto transports = pbs::MakeLoopbackTransportPair();
+  std::unique_ptr<pbs::ByteTransport> initiator_end =
+      std::move(transports.first);
+  std::unique_ptr<pbs::ByteTransport> responder_end =
+      std::move(transports.second);
+  std::thread responder([transport = std::move(responder_end), &b]() mutable {
+    pbs::RunResponderSession(*transport, b);
+  });
+  SessionResult result = pbs::RunInitiatorSession(*initiator_end, config, a);
+  initiator_end.reset();
+  responder.join();
+  return result;
+}
+
+SessionConfig ConfigFor(const std::string& scheme, int client,
+                        double exact_d) {
+  SessionConfig config;
+  config.scheme_name = scheme;
+  config.options.pbs.max_rounds = 8;
+  config.options.pbs.target_rounds = 3;
+  config.seed = 0xBE9C + static_cast<uint64_t>(client) * 0x9E37;
+  config.exact_d = exact_d;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = pbs::bench::FullMode();
+  const int clients = full ? 128 : 32;
+  const size_t common = full ? 100000 : 20000;
+  const pbs::SetPair pair = pbs::GenerateTwoSidedPair(common, 40, 60, 32, 7);
+  const double exact_d = static_cast<double>(pair.truth_diff.size());
+
+  std::printf("== concurrent sessions: %d clients vs one server ==\n",
+              clients);
+  std::printf("mode=%s |A|=%zu d=%zu\n\n", full ? "FULL" : "quick",
+              pair.a.size(), pair.truth_diff.size());
+
+  pbs::bench::Recorder table(
+      "concurrent_sessions",
+      {"scheme", "clients", "wall_ms", "sessions_per_s", "wire_B_per_session",
+       "parity"});
+
+  bool all_parity = true;
+  for (const std::string& scheme : pbs::SchemeRegistry::Instance().Names()) {
+    pbs::ServerOptions options;
+    options.max_sessions = clients;
+    std::string error;
+    auto server = pbs::ReconcileServer::Create(options, pair.b, &error);
+    if (!server) {
+      std::fprintf(stderr, "server: %s\n", error.c_str());
+      return 1;
+    }
+    std::thread serving([&server] { server->Run(); });
+
+    std::vector<SessionResult> results(clients);
+    std::atomic<int> failures{0};
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (int i = 0; i < clients; ++i) {
+        threads.emplace_back([&, i] {
+          std::string connect_error;
+          auto transport =
+              pbs::TcpConnect("127.0.0.1", server->port(), &connect_error);
+          if (!transport) {
+            failures.fetch_add(1);
+            return;
+          }
+          results[i] = pbs::RunInitiatorSession(
+              *transport, ConfigFor(scheme, i, exact_d), pair.a);
+          if (!results[i].ok || !results[i].outcome.success) {
+            failures.fetch_add(1);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const auto wall = std::chrono::steady_clock::now() - start;
+    server->Stop();
+    serving.join();
+
+    // Parity pass: every concurrent session vs its blocking-driver twin.
+    bool parity = failures.load() == 0;
+    size_t wire_bytes = 0;
+    for (int i = 0; i < clients && parity; ++i) {
+      const SessionResult reference =
+          BlockingReference(ConfigFor(scheme, i, exact_d), pair.a, pair.b);
+      parity = results[i].ok == reference.ok &&
+               results[i].outcome.success == reference.outcome.success &&
+               results[i].outcome.rounds == reference.outcome.rounds &&
+               results[i].outcome.difference ==
+                   reference.outcome.difference &&
+               results[i].outcome.wire_bytes ==
+                   reference.outcome.wire_bytes &&
+               results[i].outcome.wire_frames ==
+                   reference.outcome.wire_frames;
+      wire_bytes += results[i].outcome.wire_bytes;
+    }
+    all_parity = all_parity && parity;
+
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(wall).count();
+    char wall_buf[32], rate_buf[32];
+    std::snprintf(wall_buf, sizeof(wall_buf), "%.1f", wall_ms);
+    std::snprintf(rate_buf, sizeof(rate_buf), "%.0f",
+                  clients / (wall_ms / 1000.0));
+    table.AddRow({scheme, std::to_string(clients), wall_buf, rate_buf,
+                  std::to_string(wire_bytes / (parity ? clients : 1)),
+                  parity ? "yes" : "NO"});
+  }
+  table.Print();
+  if (!all_parity) {
+    std::fprintf(stderr,
+                 "FAIL: a concurrent session diverged from the blocking "
+                 "drivers\n");
+    return 1;
+  }
+  std::printf("\nall sessions byte-identical to the blocking drivers\n");
+  return 0;
+}

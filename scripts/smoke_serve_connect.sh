@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Loopback serve/connect smoke test: reconciles a 10k-element set with 100
 # differences over TCP for EVERY scheme in the registry, as CI's end-to-end
-# check of the framed session layer (docs/WIRE_FORMAT.md).
+# check of the framed session layer (docs/WIRE_FORMAT.md). Stage 2 then
+# points 8 PARALLEL connects (mixed schemes) at ONE serve process to prove
+# the poll-loop server (net/ReconcileServer) multiplexes sessions.
 #
 # Usage: scripts/smoke_serve_connect.sh [path-to-pbs_cli]   (default build/pbs_cli)
 set -euo pipefail
@@ -35,3 +37,48 @@ for scheme in $schemes; do
   echo "OK: $scheme reconciled 10000 keys / 100 diffs over TCP"
 done
 echo "smoke test passed for all schemes"
+
+# ---- stage 2: one server, 8 parallel clients ------------------------------
+: >"$WORK/serve.log"
+"$CLI" serve "$WORK/b.txt" --port "$PORT" --max-sessions 16 --stats \
+  2>"$WORK/serve.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+for _ in $(seq 1 100); do
+  grep -q "^serving " "$WORK/serve.log" && break
+  sleep 0.1
+done
+
+# Mixed schemes, distinct seeds, all against the same serve process.
+schemes_arr=($schemes)
+pids=()
+for i in $(seq 0 7); do
+  scheme="${schemes_arr[$(( i % ${#schemes_arr[@]} ))]}"
+  (
+    out=$("$CLI" connect "$WORK/a.txt" --host 127.0.0.1 --port "$PORT" \
+          --scheme "$scheme" --seed $(( 3000 + i )) --quiet)
+    [[ "$out" == "100 differences" ]] || {
+      echo "FAIL: parallel client $i ($scheme) got '$out'"
+      exit 1
+    }
+  ) &
+  pids+=($!)
+done
+fail=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || fail=1
+done
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+if [[ "$fail" != 0 ]]; then
+  echo "FAIL: parallel stage"
+  cat "$WORK/serve.log"
+  exit 1
+fi
+sessions=$(grep -c "^session scheme=" "$WORK/serve.log" || true)
+if [[ "$sessions" != 8 ]]; then
+  echo "FAIL: server logged $sessions sessions, expected 8"
+  cat "$WORK/serve.log"
+  exit 1
+fi
+echo "smoke test passed: 8 parallel clients against one server"

@@ -54,6 +54,28 @@ std::vector<uint8_t> EncodeFrame(const WireFrame& frame) {
   return out;
 }
 
+size_t AppendFrame(FrameType type, uint8_t scheme, uint32_t round,
+                   const uint8_t* payload, size_t payload_size,
+                   std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  out->resize(start + kFrameHeaderSize + payload_size);
+  uint8_t* p = out->data() + start;
+  std::memcpy(p, kMagic, 4);
+  p[4] = kWireVersion;
+  p[5] = static_cast<uint8_t>(type);
+  p[6] = scheme;
+  p[7] = 0;  // flags, reserved.
+  PutU32(p + 8, round);
+  PutU32(p + 12, static_cast<uint32_t>(payload_size));
+  uint32_t crc = Crc32(p, 16);
+  crc = Crc32(payload, payload_size, crc);
+  PutU32(p + 16, crc);
+  if (payload_size > 0) {
+    std::memcpy(p + kFrameHeaderSize, payload, payload_size);
+  }
+  return kFrameHeaderSize + payload_size;
+}
+
 FrameStatus DecodeFrame(const uint8_t* data, size_t size, WireFrame* frame,
                         size_t* consumed) {
   if (size < kFrameHeaderSize) return FrameStatus::kTruncated;

@@ -37,11 +37,19 @@ class PbsInitiator : public ReconcileInitiator {
   }
 
   std::vector<uint8_t> NextRequest() override {
+    std::vector<uint8_t> out;
+    NextRequestInto(&out);
+    return out;
+  }
+
+  void NextRequestInto(std::vector<uint8_t>* out) override {
     if (awaiting_digest_) {
-      return {kPbsDigest};
+      out->assign(1, kPbsDigest);
+      return;
     }
-    // Round body and frame writer are member scratch: per-round heap
-    // traffic is just the one returned vector the interface requires.
+    // Round body, frame writer, and the caller's `out` are all reused
+    // scratch: once every buffer has seen its peak round size, building a
+    // request performs zero heap allocations.
     alice_.MakeRoundRequest(&body_scratch_);
     pending_request_bytes_ = body_scratch_.size();
     BitWriter& w = frame_writer_;
@@ -52,7 +60,7 @@ class PbsInitiator : public ReconcileInitiator {
       w.WriteBits(static_cast<uint32_t>(d_used_), 32);
     }
     w.WriteBytes(body_scratch_.data(), body_scratch_.size());
-    return w.bytes();
+    out->assign(w.bytes().begin(), w.bytes().end());
   }
 
   bool HandleReply(const std::vector<uint8_t>& reply) override {

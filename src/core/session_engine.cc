@@ -1,0 +1,648 @@
+#include "pbs/core/session_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "pbs/common/bitio.h"
+#include "pbs/estimator/tow.h"
+
+namespace pbs {
+
+namespace {
+
+using wire::FrameStatus;
+using wire::FrameType;
+using wire::WireFrame;
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+const char* StatusName(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kTruncated: return "truncated frame";
+    case FrameStatus::kBadMagic: return "bad magic";
+    case FrameStatus::kBadVersion: return "unsupported wire version";
+    case FrameStatus::kBadLength: return "oversized frame";
+    case FrameStatus::kBadChecksum: return "frame checksum mismatch";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ handshake --
+
+constexpr uint8_t kHelloHasExactD = 1u << 0;
+constexpr uint8_t kHelloStrongVerification = 1u << 1;
+constexpr uint8_t kHelloSubuniverseCheck = 1u << 2;
+
+// Wire-carried difference estimates feed InflateEstimate's double->int
+// conversion and size per-scheme allocations. The responder-side engines
+// reject inflated capacities above 2^20 (kMaxWireDifference), so the
+// initiator bounds the raw estimate to 2^19 — leaving 2x headroom for any
+// sane inflation factor — and fails with a capacity error up front rather
+// than letting the peer report "malformed request" later. Non-finite
+// values are rejected outright.
+constexpr double kMaxWireEstimate = static_cast<double>(1 << 19);
+
+bool ValidEstimate(double d) {
+  return std::isfinite(d) && d >= 0.0 && d <= kMaxWireEstimate;
+}
+
+// The HELLO encodes these fields at fixed widths; sending silently
+// truncated values would make the responder plan with a different
+// configuration than the initiator, so out-of-range configs fail the
+// session up front with a diagnostic instead.
+bool ValidateSessionConfig(const SessionConfig& config, std::string* error) {
+  const PbsConfig& pbs = config.options.pbs;
+  auto fail = [error](const char* what) {
+    *error = std::string("config field out of wire range: ") + what;
+    return false;
+  };
+  if (config.scheme_name.empty() || config.scheme_name.size() > 64) {
+    return fail("scheme name (1-64 chars)");
+  }
+  if (config.options.sig_bits < 1 || config.options.sig_bits > 63) {
+    return fail("sig_bits (1-63)");
+  }
+  if (config.options.report_sig_bits < 0 ||
+      config.options.report_sig_bits > 255) {
+    return fail("report_sig_bits (0-255)");
+  }
+  if (pbs.delta < 1 || pbs.delta > 255) return fail("delta (1-255)");
+  if (pbs.target_rounds < 1 || pbs.target_rounds > 255) {
+    return fail("target_rounds (1-255)");
+  }
+  if (pbs.max_rounds < 1 || pbs.max_rounds > 255) {
+    return fail("max_rounds (1-255)");
+  }
+  if (pbs.max_split_depth < 0 || pbs.max_split_depth > 255) {
+    return fail("max_split_depth (0-255)");
+  }
+  if (pbs.ell < 1 || pbs.ell > 65535) return fail("ell (1-65535)");
+  if (config.exact_d >= 0.0 && !ValidEstimate(config.exact_d)) {
+    return fail("exact_d (finite, <= 1e9)");
+  }
+  return true;
+}
+
+std::vector<uint8_t> EncodeHello(const SessionConfig& config) {
+  BitWriter w;
+  w.WriteBits(config.scheme_name.size(), 8);
+  for (char c : config.scheme_name) {
+    w.WriteBits(static_cast<uint8_t>(c), 8);
+  }
+  const PbsConfig& pbs = config.options.pbs;
+  uint8_t flags = 0;
+  if (config.exact_d >= 0.0) flags |= kHelloHasExactD;
+  if (pbs.strong_verification) flags |= kHelloStrongVerification;
+  if (pbs.subuniverse_check) flags |= kHelloSubuniverseCheck;
+  w.WriteBits(flags, 8);
+  w.WriteBits(static_cast<uint8_t>(config.options.sig_bits), 8);
+  w.WriteBits(static_cast<uint8_t>(config.options.report_sig_bits), 8);
+  w.WriteBits(static_cast<uint8_t>(pbs.delta), 8);
+  w.WriteBits(static_cast<uint8_t>(pbs.target_rounds), 8);
+  w.WriteBits(static_cast<uint8_t>(pbs.max_rounds), 8);
+  w.WriteBits(static_cast<uint8_t>(pbs.max_split_depth), 8);
+  w.WriteBits(static_cast<uint16_t>(pbs.ell), 16);
+  w.WriteBits(DoubleBits(pbs.p0), 64);
+  w.WriteBits(DoubleBits(pbs.gamma), 64);
+  w.WriteBits(config.seed, 64);
+  w.WriteBits(config.estimate_seed, 64);
+  if (config.exact_d >= 0.0) w.WriteBits(DoubleBits(config.exact_d), 64);
+  return w.TakeBytes();
+}
+
+bool DecodeHello(const std::vector<uint8_t>& payload, SessionConfig* config) {
+  BitReader r(payload);
+  const uint64_t name_len = r.ReadBits(8);
+  if (name_len == 0 || name_len > 64) return false;
+  std::string name;
+  for (uint64_t i = 0; i < name_len; ++i) {
+    name.push_back(static_cast<char>(r.ReadBits(8)));
+  }
+  const uint8_t flags = static_cast<uint8_t>(r.ReadBits(8));
+  config->scheme_name = std::move(name);
+  config->options.sig_bits = static_cast<int>(r.ReadBits(8));
+  config->options.report_sig_bits = static_cast<int>(r.ReadBits(8));
+  PbsConfig& pbs = config->options.pbs;
+  pbs.delta = static_cast<int>(r.ReadBits(8));
+  pbs.target_rounds = static_cast<int>(r.ReadBits(8));
+  pbs.max_rounds = static_cast<int>(r.ReadBits(8));
+  pbs.max_split_depth = static_cast<int>(r.ReadBits(8));
+  pbs.ell = static_cast<int>(r.ReadBits(16));
+  pbs.p0 = BitsToDouble(r.ReadBits(64));
+  pbs.gamma = BitsToDouble(r.ReadBits(64));
+  pbs.sig_bits = config->options.sig_bits;
+  pbs.strong_verification = (flags & kHelloStrongVerification) != 0;
+  pbs.subuniverse_check = (flags & kHelloSubuniverseCheck) != 0;
+  config->seed = r.ReadBits(64);
+  config->estimate_seed = r.ReadBits(64);
+  config->exact_d = (flags & kHelloHasExactD) != 0
+                        ? BitsToDouble(r.ReadBits(64))
+                        : -1.0;
+  if (r.overflowed()) return false;
+  if ((flags & kHelloHasExactD) != 0 && !ValidEstimate(config->exact_d)) {
+    return false;
+  }
+  if (pbs.delta < 1 || pbs.max_rounds < 1 || pbs.ell < 1) return false;
+  if (config->options.sig_bits < 1 || config->options.sig_bits > 63) {
+    return false;
+  }
+  return true;
+}
+
+// DONE summary: success flag, rounds, recovered-difference cardinality.
+std::vector<uint8_t> EncodeDone(const ReconcileOutcome& outcome) {
+  BitWriter w;
+  w.WriteBits(outcome.success ? 1 : 0, 8);
+  w.WriteBits(static_cast<uint32_t>(outcome.rounds), 32);
+  w.WriteBits(outcome.difference.size(), 64);
+  return w.TakeBytes();
+}
+
+bool DecodeDone(const std::vector<uint8_t>& payload, bool* success,
+                int* rounds, uint64_t* diff_size) {
+  BitReader r(payload);
+  *success = r.ReadBits(8) != 0;
+  *rounds = static_cast<int>(r.ReadBits(32));
+  *diff_size = r.ReadBits(64);
+  return !r.overflowed();
+}
+
+std::string ErrorText(const WireFrame& frame) {
+  return std::string(frame.payload.begin(), frame.payload.end());
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ lifecycle --
+
+SessionEngine SessionEngine::Initiator(const SessionConfig& config,
+                                       std::vector<uint64_t> elements,
+                                       const SchemeRegistry* registry) {
+  return Initiator(config,
+                   std::make_shared<const std::vector<uint64_t>>(
+                       std::move(elements)),
+                   registry);
+}
+
+SessionEngine SessionEngine::Initiator(const SessionConfig& config,
+                                       SharedElements elements,
+                                       const SchemeRegistry* registry) {
+  return SessionEngine(/*is_initiator=*/true, config, std::move(elements),
+                       registry);
+}
+
+SessionEngine SessionEngine::Responder(std::vector<uint64_t> elements,
+                                       const SchemeRegistry* registry) {
+  return Responder(std::make_shared<const std::vector<uint64_t>>(
+                       std::move(elements)),
+                   registry);
+}
+
+SessionEngine SessionEngine::Responder(SharedElements elements,
+                                       const SchemeRegistry* registry) {
+  return SessionEngine(/*is_initiator=*/false, SessionConfig(),
+                       std::move(elements), registry);
+}
+
+SessionEngine::SessionEngine(bool is_initiator, const SessionConfig& config,
+                             SharedElements elements,
+                             const SchemeRegistry* registry)
+    : is_initiator_(is_initiator),
+      state_(is_initiator ? State::kAwaitHelloAck : State::kAwaitHello),
+      config_(config),
+      elements_(std::move(elements)),
+      registry_(registry) {
+  if (!is_initiator_) return;
+
+  result_.scheme = config_.scheme_name;
+  scheme_id_ = wire::SchemeWireId(config_.scheme_name);
+  std::string config_error;
+  if (!ValidateSessionConfig(config_, &config_error)) {
+    Fail(std::move(config_error));
+    return;
+  }
+  reconciler_ = this->registry().Create(config_.scheme_name, config_.options);
+  if (!reconciler_) {
+    Fail("unknown scheme '" + config_.scheme_name + "'");
+    return;
+  }
+  const std::vector<uint8_t> hello = EncodeHello(config_);
+  AppendOutbound(FrameType::kHello, 0, hello.data(), hello.size(),
+                 "sending HELLO");
+}
+
+const SchemeRegistry& SessionEngine::registry() const {
+  return registry_ != nullptr ? *registry_ : SchemeRegistry::Instance();
+}
+
+// ---------------------------------------------------------------- status --
+
+SessionStatus SessionEngine::Status() const {
+  // Outbound bytes drain first even when the session already settled or
+  // failed: a queued ERROR/DONE frame should still reach the peer.
+  if (out_pos_ < outbound_.size()) return SessionStatus::kWantWrite;
+  if (state_ == State::kSettled) return SessionStatus::kDone;
+  if (state_ == State::kFailed) return SessionStatus::kError;
+  return SessionStatus::kWantRead;
+}
+
+size_t SessionEngine::NeededBytes() const {
+  if (Status() != SessionStatus::kWantRead) return 0;
+  const size_t buffered = BufferedBytes();
+  if (buffered < wire::kFrameHeaderSize) {
+    return wire::kFrameHeaderSize - buffered;
+  }
+  // ProcessInbound consumed every complete frame and validated the
+  // buffered header, so what remains is a partial frame with a sane
+  // length field.
+  size_t payload_length = 0;
+  if (wire::InspectFrameHeader(inbound_.data() + in_pos_, &payload_length) !=
+      FrameStatus::kOk) {
+    return 1;  // Unreachable; defensive so a caller can still make progress.
+  }
+  return wire::kFrameHeaderSize + payload_length - buffered;
+}
+
+// ------------------------------------------------------------- outbound --
+
+void SessionEngine::AppendOutbound(FrameType type, uint32_t round,
+                                   const uint8_t* payload, size_t size,
+                                   const char* label) {
+  // Compact a fully-drained buffer before growing it again (keeps the
+  // buffer at its frame-peak size instead of creeping per session round).
+  if (out_pos_ == outbound_.size()) {
+    outbound_.clear();
+    out_pos_ = 0;
+  }
+  wire_bytes_ += wire::AppendFrame(type, scheme_id_, round, payload, size,
+                                   &outbound_);
+  wire_frames_ += 1;
+  write_label_ = label;
+  result_.outcome.wire_bytes = wire_bytes_;
+  result_.outcome.wire_frames = wire_frames_;
+}
+
+void SessionEngine::AppendError(const std::string& message) {
+  AppendOutbound(FrameType::kError, 0,
+                 reinterpret_cast<const uint8_t*>(message.data()),
+                 message.size(), "sending error");
+}
+
+size_t SessionEngine::Poll(uint8_t* out, size_t max) {
+  const size_t n = std::min(max, outbound_size());
+  if (n > 0) {
+    std::memcpy(out, outbound_data(), n);
+    ConsumeOutbound(n);
+  }
+  return n;
+}
+
+void SessionEngine::ConsumeOutbound(size_t n) {
+  out_pos_ += n;
+  if (out_pos_ >= outbound_.size()) {
+    outbound_.clear();
+    out_pos_ = 0;
+  }
+}
+
+void SessionEngine::FailTransport() {
+  if (state_ == State::kSettled || state_ == State::kFailed) {
+    // Already settled: the undeliverable bytes were courtesy frames (DONE
+    // ack, ERROR); drop them so Status() can report the terminal state.
+    outbound_.clear();
+    out_pos_ = 0;
+    return;
+  }
+  outbound_.clear();
+  out_pos_ = 0;
+  Fail(std::string("transport failed ") + write_label_);
+}
+
+// -------------------------------------------------------------- inbound --
+
+void SessionEngine::Feed(const uint8_t* data, size_t size) {
+  if (state_ == State::kSettled || state_ == State::kFailed) return;
+  inbound_.insert(inbound_.end(), data, data + size);
+  ProcessInbound();
+}
+
+void SessionEngine::FeedEof() {
+  if (state_ == State::kSettled || state_ == State::kFailed) return;
+  Fail(BufferedBytes() < wire::kFrameHeaderSize
+           ? "transport closed while reading frame header"
+           : "transport closed while reading frame payload");
+}
+
+void SessionEngine::ProcessInbound() {
+  while (state_ != State::kSettled && state_ != State::kFailed) {
+    const size_t buffered = BufferedBytes();
+    if (buffered < wire::kFrameHeaderSize) break;
+    size_t payload_length = 0;
+    FrameStatus status =
+        wire::InspectFrameHeader(inbound_.data() + in_pos_, &payload_length);
+    if (status == FrameStatus::kOk &&
+        buffered < wire::kFrameHeaderSize + payload_length) {
+      break;  // Partial frame: wait for more bytes.
+    }
+    size_t consumed = 0;
+    if (status == FrameStatus::kOk) {
+      status = wire::DecodeFrame(inbound_.data() + in_pos_, buffered, &frame_,
+                                 &consumed);
+    }
+    if (status != FrameStatus::kOk) {
+      // A malformed envelope is fatal for the stream. The responder tells
+      // the peer why before giving up (e.g. an initiator speaking a newer
+      // wire version learns "unsupported wire version" instead of
+      // watching the connection drop); the initiator just reports it.
+      if (!is_initiator_) AppendError(StatusName(status));
+      Fail(StatusName(status));
+      return;
+    }
+    in_pos_ += consumed;
+    wire_bytes_ += consumed;
+    wire_frames_ += 1;
+    result_.outcome.wire_bytes = wire_bytes_;
+    result_.outcome.wire_frames = wire_frames_;
+    DispatchFrame();
+  }
+  // Compact the consumed prefix. Memmove, not erase-with-realloc: the
+  // buffer stays at peak capacity, so steady-state rounds never allocate.
+  if (in_pos_ == inbound_.size()) {
+    inbound_.clear();
+    in_pos_ = 0;
+  } else if (in_pos_ > 0) {
+    const size_t remaining = inbound_.size() - in_pos_;
+    std::memmove(inbound_.data(), inbound_.data() + in_pos_, remaining);
+    inbound_.resize(remaining);
+    in_pos_ = 0;
+  }
+}
+
+void SessionEngine::DispatchFrame() {
+  if (is_initiator_) {
+    DispatchInitiator();
+  } else {
+    DispatchResponder();
+  }
+}
+
+// ------------------------------------------------------------- initiator --
+
+void SessionEngine::DispatchInitiator() {
+  if (frame_.type == FrameType::kError) {
+    Fail((state_ == State::kAwaitHelloAck ? "responder rejected: "
+                                          : "responder error: ") +
+         ErrorText(frame_));
+    return;
+  }
+  switch (state_) {
+    case State::kAwaitHelloAck: {
+      if (frame_.type != FrameType::kHelloAck) {
+        Fail("expected HELLO_ACK");
+        return;
+      }
+      if (config_.exact_d >= 0.0) {
+        result_.d_hat = d_hat_ = config_.exact_d;
+        StartSchemePhase();
+        return;
+      }
+      TowSketch sketch(config_.options.pbs.ell, config_.estimate_seed);
+      sketch.AddAll(*elements_);
+      BitWriter w;
+      w.WriteBits(elements_->size(), 64);
+      sketch.Serialize(&w, elements_->size());
+      estimator_payload_bytes_ += w.byte_size();
+      const std::vector<uint8_t> payload = w.TakeBytes();
+      AppendOutbound(FrameType::kEstimateRequest, 0, payload.data(),
+                     payload.size(), "sending estimate");
+      state_ = State::kAwaitEstimateReply;
+      return;
+    }
+    case State::kAwaitEstimateReply: {
+      if (frame_.type != FrameType::kEstimateReply) {
+        Fail("expected ESTIMATE_REPLY");
+        return;
+      }
+      BitReader r(frame_.payload);
+      d_hat_ = BitsToDouble(r.ReadBits(64));
+      estimator_payload_bytes_ += frame_.payload.size();
+      if (r.overflowed() || !std::isfinite(d_hat_) || d_hat_ < 0.0) {
+        Fail("malformed estimate reply");
+        return;
+      }
+      if (d_hat_ > kMaxWireEstimate) {
+        Fail("difference estimate exceeds wire session capacity "
+             "(d-hat > 2^19)");
+        return;
+      }
+      result_.d_hat = d_hat_;
+      StartSchemePhase();
+      return;
+    }
+    case State::kAwaitSchemeReply: {
+      if (frame_.type != FrameType::kSchemeReply) {
+        Fail("expected SCHEME_REPLY");
+        return;
+      }
+      if (!initiator_engine_->HandleReply(frame_.payload)) {
+        AppendError("malformed scheme reply");
+        Fail("malformed scheme reply");
+        return;
+      }
+      if (!initiator_engine_->done()) {
+        EmitNextRequest();
+        return;
+      }
+      result_.outcome = initiator_engine_->TakeOutcome();
+      result_.outcome.estimator_bytes += estimator_payload_bytes_;
+      const std::vector<uint8_t> done = EncodeDone(result_.outcome);
+      AppendOutbound(FrameType::kDone, exchange_, done.data(), done.size(),
+                     "sending DONE");
+      state_ = State::kAwaitDoneAck;
+      return;
+    }
+    case State::kAwaitDoneAck: {
+      if (frame_.type != FrameType::kDone) {
+        Fail("expected DONE ack");
+        return;
+      }
+      result_.ok = true;
+      Settle();
+      return;
+    }
+    default:
+      Fail("unexpected frame");
+      return;
+  }
+}
+
+void SessionEngine::StartSchemePhase() {
+  initiator_engine_ =
+      reconciler_->CreateInitiator(*elements_, d_hat_, config_.seed);
+  if (!initiator_engine_) {
+    AppendError("scheme has no wire protocol");
+    Fail("scheme '" + config_.scheme_name +
+         "' does not implement a wire protocol");
+    return;
+  }
+  state_ = State::kAwaitSchemeReply;
+  EmitNextRequest();
+}
+
+void SessionEngine::EmitNextRequest() {
+  ++exchange_;
+  initiator_engine_->NextRequestInto(&payload_scratch_);
+  AppendOutbound(FrameType::kSchemeRequest, exchange_, payload_scratch_.data(),
+                 payload_scratch_.size(), "sending round request");
+}
+
+// ------------------------------------------------------------- responder --
+
+void SessionEngine::DispatchResponder() {
+  if (frame_.type == FrameType::kError) {
+    Fail("initiator error: " + ErrorText(frame_));
+    return;
+  }
+  if (state_ == State::kAwaitHello) {
+    HandleHello();
+    return;
+  }
+  switch (frame_.type) {
+    case FrameType::kEstimateRequest:
+      HandleEstimateRequest();
+      return;
+    case FrameType::kSchemeRequest:
+      HandleSchemeRequest();
+      return;
+    case FrameType::kDone: {
+      bool success = false;
+      int rounds = 0;
+      uint64_t diff_size = 0;
+      if (!DecodeDone(frame_.payload, &success, &rounds, &diff_size)) {
+        Fail("malformed DONE");
+        return;
+      }
+      AppendOutbound(FrameType::kDone, frame_.round, nullptr, 0,
+                     "sending ack");
+      result_.ok = true;
+      result_.d_hat = d_hat_ < 0.0 ? 0.0 : d_hat_;
+      result_.outcome.success = success;
+      result_.outcome.rounds = rounds;
+      Settle();
+      return;
+    }
+    default:
+      AppendError("unexpected frame");
+      Fail("unexpected frame");
+      return;
+  }
+}
+
+void SessionEngine::HandleHello() {
+  if (frame_.type != FrameType::kHello) {
+    AppendError("expected HELLO");
+    Fail("expected HELLO");
+    return;
+  }
+  if (!DecodeHello(frame_.payload, &config_)) {
+    AppendError("malformed HELLO");
+    Fail("malformed HELLO");
+    return;
+  }
+  result_.scheme = config_.scheme_name;
+  scheme_id_ = wire::SchemeWireId(config_.scheme_name);
+  reconciler_ = registry().Create(config_.scheme_name, config_.options);
+  if (!reconciler_) {
+    const std::string message = "unknown scheme '" + config_.scheme_name + "'";
+    AppendError(message);
+    Fail(message);
+    return;
+  }
+  d_hat_ = config_.exact_d;  // -1 until the estimate phase runs.
+  AppendOutbound(FrameType::kHelloAck, 0, nullptr, 0, "sending ack");
+  state_ = State::kServing;
+}
+
+void SessionEngine::HandleEstimateRequest() {
+  BitReader r(frame_.payload);
+  const uint64_t remote_size = r.ReadBits(64);
+  // remote_size sets the per-counter width ceil(log2(2n+1)); cap it so a
+  // hostile value cannot push the width past 64 bits (UB in ReadBits) —
+  // real sets are orders of magnitude below this.
+  if (remote_size > (uint64_t{1} << 48)) {
+    AppendError("malformed estimate request");
+    Fail("malformed estimate request");
+    return;
+  }
+  TowSketch remote = TowSketch::Deserialize(
+      &r, config_.options.pbs.ell, config_.estimate_seed, remote_size);
+  if (r.overflowed()) {
+    AppendError("malformed estimate request");
+    Fail("malformed estimate request");
+    return;
+  }
+  TowSketch local(config_.options.pbs.ell, config_.estimate_seed);
+  local.AddAll(*elements_);
+  d_hat_ = TowSketch::Estimate(remote, local);
+  BitWriter w;
+  w.WriteBits(DoubleBits(d_hat_), 64);
+  const std::vector<uint8_t> payload = w.TakeBytes();
+  AppendOutbound(FrameType::kEstimateReply, 0, payload.data(), payload.size(),
+                 "sending estimate");
+}
+
+void SessionEngine::HandleSchemeRequest() {
+  if (!responder_engine_) {
+    if (d_hat_ < 0.0) {
+      AppendError("scheme round before estimate");
+      Fail("scheme round before estimate");
+      return;
+    }
+    responder_engine_ =
+        reconciler_->CreateResponder(*elements_, d_hat_, config_.seed);
+    if (!responder_engine_) {
+      AppendError("scheme has no wire protocol");
+      Fail("scheme '" + config_.scheme_name +
+           "' does not implement a wire protocol");
+      return;
+    }
+  }
+  if (!responder_engine_->HandleRequest(frame_.payload, &payload_scratch_)) {
+    AppendError("malformed scheme request");
+    Fail("malformed scheme request");
+    return;
+  }
+  AppendOutbound(FrameType::kSchemeReply, frame_.round, payload_scratch_.data(),
+                 payload_scratch_.size(), "sending reply");
+}
+
+// --------------------------------------------------------------- terminal --
+
+void SessionEngine::Fail(std::string error) {
+  result_.ok = false;
+  result_.error = std::move(error);
+  result_.outcome.wire_bytes = wire_bytes_;
+  result_.outcome.wire_frames = wire_frames_;
+  state_ = State::kFailed;
+}
+
+void SessionEngine::Settle() {
+  result_.outcome.wire_bytes = wire_bytes_;
+  result_.outcome.wire_frames = wire_frames_;
+  state_ = State::kSettled;
+}
+
+}  // namespace pbs

@@ -7,9 +7,11 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -69,6 +71,19 @@ class LoopbackTransport : public ByteTransport {
     return true;
   }
 
+  // Drains whatever is buffered without ever touching the condition
+  // variable, so one thread can pump both ends of a pair (sans-I/O
+  // session engines) with no deadlock path.
+  size_t TryRecv(uint8_t* data, size_t size) override {
+    std::lock_guard<std::mutex> lock(in_->mutex);
+    size_t got = 0;
+    while (got < size && !in_->buffer.empty()) {
+      data[got++] = in_->buffer.front();
+      in_->buffer.pop_front();
+    }
+    return got;
+  }
+
  private:
   std::shared_ptr<LoopbackPipe> out_;
   std::shared_ptr<LoopbackPipe> in_;
@@ -122,6 +137,31 @@ class FdTransport : public ByteTransport {
       got += static_cast<size_t>(n);
     }
     return true;
+  }
+
+  size_t TryRecv(uint8_t* data, size_t size) override {
+    while (true) {
+      ssize_t n;
+      if (is_socket_) {
+        n = ::recv(fd_, data, size, MSG_DONTWAIT);
+        if (n < 0 && errno == ENOTSOCK) {
+          is_socket_ = false;
+          continue;
+        }
+      } else {
+        // Non-socket fds (pipes): poll with zero timeout, then read.
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        if (::poll(&pfd, 1, 0) <= 0 || (pfd.revents & POLLIN) == 0) return 0;
+        n = ::read(fd_, data, size);
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return 0;  // EAGAIN or a hard error: nothing available now.
+      }
+      return static_cast<size_t>(n);  // n == 0 is EOF: also "nothing".
+    }
   }
 
  private:
@@ -269,6 +309,25 @@ std::unique_ptr<ByteTransport> TcpListener::Accept() {
     }
     if (errno != EINTR) return nullptr;
   }
+}
+
+int TcpListener::AcceptRaw() {
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return client;
+    }
+    if (errno != EINTR) return -1;  // Includes EAGAIN on a non-blocking fd.
+  }
+}
+
+bool TcpListener::SetNonBlocking(bool enabled) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd_, F_SETFL, wanted) == 0;
 }
 
 }  // namespace pbs

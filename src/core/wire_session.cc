@@ -1,545 +1,88 @@
 #include "pbs/core/wire_session.h"
 
-#include <cmath>
-#include <cstring>
-#include <thread>
-#include <utility>
-
-#include "pbs/common/bitio.h"
-#include "pbs/core/messages.h"
-#include "pbs/estimator/tow.h"
+#include <vector>
 
 namespace pbs {
 
 namespace {
 
-using wire::FrameStatus;
-using wire::FrameType;
-using wire::WireFrame;
-
-uint64_t DoubleBits(double value) {
-  uint64_t bits;
-  std::memcpy(&bits, &value, sizeof(bits));
-  return bits;
-}
-
-double BitsToDouble(uint64_t bits) {
-  double value;
-  std::memcpy(&value, &bits, sizeof(value));
-  return value;
-}
-
-const char* StatusName(FrameStatus status) {
-  switch (status) {
-    case FrameStatus::kOk: return "ok";
-    case FrameStatus::kTruncated: return "truncated frame";
-    case FrameStatus::kBadMagic: return "bad magic";
-    case FrameStatus::kBadVersion: return "unsupported wire version";
-    case FrameStatus::kBadLength: return "oversized frame";
-    case FrameStatus::kBadChecksum: return "frame checksum mismatch";
+// The blocking shell: one SessionEngine pumped over one ByteTransport.
+// kWantRead receives exactly the bytes the engine needs to finish the
+// frame in flight (header first, then payload), so the byte-for-byte
+// read pattern — and therefore every transport-level failure mode — is
+// identical to the historical hand-rolled drivers.
+SessionResult DriveBlocking(SessionEngine* engine, ByteTransport& transport) {
+  std::vector<uint8_t> buffer;
+  for (;;) {
+    switch (engine->Status()) {
+      case SessionStatus::kWantWrite: {
+        const size_t n = engine->outbound_size();
+        if (!transport.Send(engine->outbound_data(), n)) {
+          engine->FailTransport();
+          break;
+        }
+        engine->ConsumeOutbound(n);
+        break;
+      }
+      case SessionStatus::kWantRead: {
+        const size_t need = engine->NeededBytes();
+        buffer.resize(need);
+        if (!transport.Recv(buffer.data(), need)) {
+          engine->FeedEof();
+          break;
+        }
+        engine->Feed(buffer.data(), need);
+        break;
+      }
+      case SessionStatus::kDone:
+      case SessionStatus::kError:
+        return engine->TakeResult();
+    }
   }
-  return "unknown";
-}
-
-// Per-side accounting threaded through every frame send/receive.
-struct WireCounters {
-  size_t bytes = 0;
-  int frames = 0;
-};
-
-bool SendFrame(ByteTransport& transport, uint8_t scheme_id, FrameType type,
-               uint32_t round, std::vector<uint8_t> payload,
-               WireCounters* counters) {
-  WireFrame frame;
-  frame.type = type;
-  frame.scheme = scheme_id;
-  frame.round = round;
-  frame.payload = std::move(payload);
-  const std::vector<uint8_t> encoded = wire::EncodeFrame(frame);
-  if (!transport.Send(encoded.data(), encoded.size())) return false;
-  counters->bytes += encoded.size();
-  counters->frames += 1;
-  return true;
-}
-
-// Receives one frame: header first (to learn the payload length), then the
-// payload, then a full DecodeFrame pass so the checksum covers everything.
-FrameStatus RecvFrame(ByteTransport& transport, WireFrame* frame,
-                      WireCounters* counters, std::string* error) {
-  std::vector<uint8_t> buffer(wire::kFrameHeaderSize);
-  if (!transport.Recv(buffer.data(), buffer.size())) {
-    *error = "transport closed while reading frame header";
-    return FrameStatus::kTruncated;
-  }
-  size_t payload_length = 0;
-  FrameStatus status = wire::InspectFrameHeader(buffer.data(), &payload_length);
-  if (status != FrameStatus::kOk) {
-    *error = StatusName(status);
-    return status;
-  }
-  buffer.resize(wire::kFrameHeaderSize + payload_length);
-  if (payload_length > 0 &&
-      !transport.Recv(buffer.data() + wire::kFrameHeaderSize,
-                      payload_length)) {
-    *error = "transport closed while reading frame payload";
-    return FrameStatus::kTruncated;
-  }
-  size_t consumed = 0;
-  status = wire::DecodeFrame(buffer.data(), buffer.size(), frame, &consumed);
-  if (status != FrameStatus::kOk) {
-    *error = StatusName(status);
-    return status;
-  }
-  counters->bytes += consumed;
-  counters->frames += 1;
-  return FrameStatus::kOk;
-}
-
-bool SendError(ByteTransport& transport, uint8_t scheme_id,
-               const std::string& message, WireCounters* counters) {
-  return SendFrame(transport, scheme_id, FrameType::kError, 0,
-                   std::vector<uint8_t>(message.begin(), message.end()),
-                   counters);
-}
-
-std::string ErrorText(const WireFrame& frame) {
-  return std::string(frame.payload.begin(), frame.payload.end());
-}
-
-// ------------------------------------------------------------ handshake --
-
-constexpr uint8_t kHelloHasExactD = 1u << 0;
-constexpr uint8_t kHelloStrongVerification = 1u << 1;
-constexpr uint8_t kHelloSubuniverseCheck = 1u << 2;
-
-// Wire-carried difference estimates feed InflateEstimate's double->int
-// conversion and size per-scheme allocations. The responder-side engines
-// reject inflated capacities above 2^20 (kMaxWireDifference), so the
-// initiator bounds the raw estimate to 2^19 — leaving 2x headroom for any
-// sane inflation factor — and fails with a capacity error up front rather
-// than letting the peer report "malformed request" later. Non-finite
-// values are rejected outright.
-constexpr double kMaxWireEstimate = static_cast<double>(1 << 19);
-
-bool ValidEstimate(double d) {
-  return std::isfinite(d) && d >= 0.0 && d <= kMaxWireEstimate;
-}
-
-// The HELLO encodes these fields at fixed widths; sending silently
-// truncated values would make the responder plan with a different
-// configuration than the initiator, so out-of-range configs fail the
-// session up front with a diagnostic instead.
-bool ValidateSessionConfig(const SessionConfig& config, std::string* error) {
-  const PbsConfig& pbs = config.options.pbs;
-  auto fail = [error](const char* what) {
-    *error = std::string("config field out of wire range: ") + what;
-    return false;
-  };
-  if (config.scheme_name.empty() || config.scheme_name.size() > 64) {
-    return fail("scheme name (1-64 chars)");
-  }
-  if (config.options.sig_bits < 1 || config.options.sig_bits > 63) {
-    return fail("sig_bits (1-63)");
-  }
-  if (config.options.report_sig_bits < 0 ||
-      config.options.report_sig_bits > 255) {
-    return fail("report_sig_bits (0-255)");
-  }
-  if (pbs.delta < 1 || pbs.delta > 255) return fail("delta (1-255)");
-  if (pbs.target_rounds < 1 || pbs.target_rounds > 255) {
-    return fail("target_rounds (1-255)");
-  }
-  if (pbs.max_rounds < 1 || pbs.max_rounds > 255) {
-    return fail("max_rounds (1-255)");
-  }
-  if (pbs.max_split_depth < 0 || pbs.max_split_depth > 255) {
-    return fail("max_split_depth (0-255)");
-  }
-  if (pbs.ell < 1 || pbs.ell > 65535) return fail("ell (1-65535)");
-  if (config.exact_d >= 0.0 && !ValidEstimate(config.exact_d)) {
-    return fail("exact_d (finite, <= 1e9)");
-  }
-  return true;
-}
-
-std::vector<uint8_t> EncodeHello(const SessionConfig& config) {
-  BitWriter w;
-  w.WriteBits(config.scheme_name.size(), 8);
-  for (char c : config.scheme_name) {
-    w.WriteBits(static_cast<uint8_t>(c), 8);
-  }
-  const PbsConfig& pbs = config.options.pbs;
-  uint8_t flags = 0;
-  if (config.exact_d >= 0.0) flags |= kHelloHasExactD;
-  if (pbs.strong_verification) flags |= kHelloStrongVerification;
-  if (pbs.subuniverse_check) flags |= kHelloSubuniverseCheck;
-  w.WriteBits(flags, 8);
-  w.WriteBits(static_cast<uint8_t>(config.options.sig_bits), 8);
-  w.WriteBits(static_cast<uint8_t>(config.options.report_sig_bits), 8);
-  w.WriteBits(static_cast<uint8_t>(pbs.delta), 8);
-  w.WriteBits(static_cast<uint8_t>(pbs.target_rounds), 8);
-  w.WriteBits(static_cast<uint8_t>(pbs.max_rounds), 8);
-  w.WriteBits(static_cast<uint8_t>(pbs.max_split_depth), 8);
-  w.WriteBits(static_cast<uint16_t>(pbs.ell), 16);
-  w.WriteBits(DoubleBits(pbs.p0), 64);
-  w.WriteBits(DoubleBits(pbs.gamma), 64);
-  w.WriteBits(config.seed, 64);
-  w.WriteBits(config.estimate_seed, 64);
-  if (config.exact_d >= 0.0) w.WriteBits(DoubleBits(config.exact_d), 64);
-  return w.TakeBytes();
-}
-
-bool DecodeHello(const std::vector<uint8_t>& payload, SessionConfig* config) {
-  BitReader r(payload);
-  const uint64_t name_len = r.ReadBits(8);
-  if (name_len == 0 || name_len > 64) return false;
-  std::string name;
-  for (uint64_t i = 0; i < name_len; ++i) {
-    name.push_back(static_cast<char>(r.ReadBits(8)));
-  }
-  const uint8_t flags = static_cast<uint8_t>(r.ReadBits(8));
-  config->scheme_name = std::move(name);
-  config->options.sig_bits = static_cast<int>(r.ReadBits(8));
-  config->options.report_sig_bits = static_cast<int>(r.ReadBits(8));
-  PbsConfig& pbs = config->options.pbs;
-  pbs.delta = static_cast<int>(r.ReadBits(8));
-  pbs.target_rounds = static_cast<int>(r.ReadBits(8));
-  pbs.max_rounds = static_cast<int>(r.ReadBits(8));
-  pbs.max_split_depth = static_cast<int>(r.ReadBits(8));
-  pbs.ell = static_cast<int>(r.ReadBits(16));
-  pbs.p0 = BitsToDouble(r.ReadBits(64));
-  pbs.gamma = BitsToDouble(r.ReadBits(64));
-  pbs.sig_bits = config->options.sig_bits;
-  pbs.strong_verification = (flags & kHelloStrongVerification) != 0;
-  pbs.subuniverse_check = (flags & kHelloSubuniverseCheck) != 0;
-  config->seed = r.ReadBits(64);
-  config->estimate_seed = r.ReadBits(64);
-  config->exact_d = (flags & kHelloHasExactD) != 0
-                        ? BitsToDouble(r.ReadBits(64))
-                        : -1.0;
-  if (r.overflowed()) return false;
-  if ((flags & kHelloHasExactD) != 0 && !ValidEstimate(config->exact_d)) {
-    return false;
-  }
-  if (pbs.delta < 1 || pbs.max_rounds < 1 || pbs.ell < 1) return false;
-  if (config->options.sig_bits < 1 || config->options.sig_bits > 63) {
-    return false;
-  }
-  return true;
-}
-
-// DONE summary: success flag, rounds, recovered-difference cardinality.
-std::vector<uint8_t> EncodeDone(const ReconcileOutcome& outcome) {
-  BitWriter w;
-  w.WriteBits(outcome.success ? 1 : 0, 8);
-  w.WriteBits(static_cast<uint32_t>(outcome.rounds), 32);
-  w.WriteBits(outcome.difference.size(), 64);
-  return w.TakeBytes();
-}
-
-bool DecodeDone(const std::vector<uint8_t>& payload, bool* success,
-                int* rounds, uint64_t* diff_size) {
-  BitReader r(payload);
-  *success = r.ReadBits(8) != 0;
-  *rounds = static_cast<int>(r.ReadBits(32));
-  *diff_size = r.ReadBits(64);
-  return !r.overflowed();
-}
-
-SessionResult Fail(SessionResult result, std::string error) {
-  result.ok = false;
-  result.error = std::move(error);
-  return result;
 }
 
 }  // namespace
 
-// -------------------------------------------------------------- initiator --
-
 SessionResult RunInitiatorSession(ByteTransport& transport,
                                   const SessionConfig& config,
                                   const std::vector<uint64_t>& elements) {
-  SessionResult result;
-  result.scheme = config.scheme_name;
-  WireCounters counters;
-  const uint8_t scheme_id = wire::SchemeWireId(config.scheme_name);
-  auto finish = [&](SessionResult r) {
-    r.outcome.wire_bytes = counters.bytes;
-    r.outcome.wire_frames = counters.frames;
-    return r;
-  };
-
-  std::string config_error;
-  if (!ValidateSessionConfig(config, &config_error)) {
-    return finish(Fail(std::move(result), config_error));
-  }
-  const auto reconciler =
-      SchemeRegistry::Instance().Create(config.scheme_name, config.options);
-  if (!reconciler) {
-    return finish(Fail(std::move(result),
-                       "unknown scheme '" + config.scheme_name + "'"));
-  }
-
-  // HELLO / HELLO_ACK.
-  if (!SendFrame(transport, scheme_id, FrameType::kHello, 0,
-                 EncodeHello(config), &counters)) {
-    return finish(Fail(std::move(result), "transport failed sending HELLO"));
-  }
-  WireFrame frame;
-  std::string wire_error;
-  if (RecvFrame(transport, &frame, &counters, &wire_error) !=
-      FrameStatus::kOk) {
-    return finish(Fail(std::move(result), wire_error));
-  }
-  if (frame.type == FrameType::kError) {
-    return finish(
-        Fail(std::move(result), "responder rejected: " + ErrorText(frame)));
-  }
-  if (frame.type != FrameType::kHelloAck) {
-    return finish(Fail(std::move(result), "expected HELLO_ACK"));
-  }
-
-  // Estimate phase.
-  size_t estimator_payload_bytes = 0;
-  if (config.exact_d >= 0.0) {
-    result.d_hat = config.exact_d;
-  } else {
-    TowSketch sketch(config.options.pbs.ell, config.estimate_seed);
-    sketch.AddAll(elements);
-    BitWriter w;
-    w.WriteBits(elements.size(), 64);
-    sketch.Serialize(&w, elements.size());
-    estimator_payload_bytes += w.byte_size();
-    if (!SendFrame(transport, scheme_id, FrameType::kEstimateRequest, 0,
-                   w.TakeBytes(), &counters)) {
-      return finish(
-          Fail(std::move(result), "transport failed sending estimate"));
-    }
-    if (RecvFrame(transport, &frame, &counters, &wire_error) !=
-        FrameStatus::kOk) {
-      return finish(Fail(std::move(result), wire_error));
-    }
-    if (frame.type == FrameType::kError) {
-      return finish(
-          Fail(std::move(result), "responder error: " + ErrorText(frame)));
-    }
-    if (frame.type != FrameType::kEstimateReply) {
-      return finish(Fail(std::move(result), "expected ESTIMATE_REPLY"));
-    }
-    BitReader r(frame.payload);
-    result.d_hat = BitsToDouble(r.ReadBits(64));
-    estimator_payload_bytes += frame.payload.size();
-    if (r.overflowed() || !std::isfinite(result.d_hat) ||
-        result.d_hat < 0.0) {
-      return finish(Fail(std::move(result), "malformed estimate reply"));
-    }
-    if (result.d_hat > kMaxWireEstimate) {
-      return finish(Fail(std::move(result),
-                         "difference estimate exceeds wire session "
-                         "capacity (d-hat > 2^19)"));
-    }
-  }
-
-  // Scheme phase.
-  auto engine =
-      reconciler->CreateInitiator(elements, result.d_hat, config.seed);
-  if (!engine) {
-    SendError(transport, scheme_id, "scheme has no wire protocol", &counters);
-    return finish(Fail(std::move(result),
-                       "scheme '" + config.scheme_name +
-                           "' does not implement a wire protocol"));
-  }
-  uint32_t exchange = 0;
-  while (!engine->done()) {
-    ++exchange;
-    if (!SendFrame(transport, scheme_id, FrameType::kSchemeRequest, exchange,
-                   engine->NextRequest(), &counters)) {
-      return finish(
-          Fail(std::move(result), "transport failed sending round request"));
-    }
-    if (RecvFrame(transport, &frame, &counters, &wire_error) !=
-        FrameStatus::kOk) {
-      return finish(Fail(std::move(result), wire_error));
-    }
-    if (frame.type == FrameType::kError) {
-      return finish(
-          Fail(std::move(result), "responder error: " + ErrorText(frame)));
-    }
-    if (frame.type != FrameType::kSchemeReply) {
-      return finish(Fail(std::move(result), "expected SCHEME_REPLY"));
-    }
-    if (!engine->HandleReply(frame.payload)) {
-      SendError(transport, scheme_id, "malformed scheme reply", &counters);
-      return finish(Fail(std::move(result), "malformed scheme reply"));
-    }
-  }
-  result.outcome = engine->TakeOutcome();
-  result.outcome.estimator_bytes += estimator_payload_bytes;
-
-  // DONE / DONE ack.
-  if (!SendFrame(transport, scheme_id, FrameType::kDone, exchange,
-                 EncodeDone(result.outcome), &counters)) {
-    return finish(Fail(std::move(result), "transport failed sending DONE"));
-  }
-  if (RecvFrame(transport, &frame, &counters, &wire_error) !=
-          FrameStatus::kOk ||
-      frame.type != FrameType::kDone) {
-    return finish(Fail(std::move(result), "expected DONE ack"));
-  }
-  result.ok = true;
-  return finish(std::move(result));
+  SessionEngine engine = SessionEngine::Initiator(config, elements);
+  return DriveBlocking(&engine, transport);
 }
-
-// -------------------------------------------------------------- responder --
 
 SessionResult RunResponderSession(ByteTransport& transport,
                                   const std::vector<uint64_t>& elements) {
-  SessionResult result;
-  WireCounters counters;
-  auto finish = [&](SessionResult r) {
-    r.outcome.wire_bytes = counters.bytes;
-    r.outcome.wire_frames = counters.frames;
-    return r;
-  };
-
-  WireFrame frame;
-  std::string wire_error;
-  if (RecvFrame(transport, &frame, &counters, &wire_error) !=
-      FrameStatus::kOk) {
-    return finish(Fail(std::move(result), wire_error));
-  }
-  if (frame.type != FrameType::kHello) {
-    SendError(transport, 0, "expected HELLO", &counters);
-    return finish(Fail(std::move(result), "expected HELLO"));
-  }
-  SessionConfig config;
-  if (!DecodeHello(frame.payload, &config)) {
-    SendError(transport, 0, "malformed HELLO", &counters);
-    return finish(Fail(std::move(result), "malformed HELLO"));
-  }
-  result.scheme = config.scheme_name;
-  const uint8_t scheme_id = wire::SchemeWireId(config.scheme_name);
-  const auto reconciler =
-      SchemeRegistry::Instance().Create(config.scheme_name, config.options);
-  if (!reconciler) {
-    SendError(transport, scheme_id,
-              "unknown scheme '" + config.scheme_name + "'", &counters);
-    return finish(Fail(std::move(result),
-                       "unknown scheme '" + config.scheme_name + "'"));
-  }
-  if (!SendFrame(transport, scheme_id, FrameType::kHelloAck, 0, {},
-                 &counters)) {
-    return finish(Fail(std::move(result), "transport failed sending ack"));
-  }
-
-  double d_hat = config.exact_d;  // -1 until the estimate phase runs.
-  std::unique_ptr<ReconcileResponder> engine;
-  while (true) {
-    if (RecvFrame(transport, &frame, &counters, &wire_error) !=
-        FrameStatus::kOk) {
-      return finish(Fail(std::move(result), wire_error));
-    }
-    switch (frame.type) {
-      case FrameType::kEstimateRequest: {
-        BitReader r(frame.payload);
-        const uint64_t remote_size = r.ReadBits(64);
-        // remote_size sets the per-counter width ceil(log2(2n+1)); cap it
-        // so a hostile value cannot push the width past 64 bits (UB in
-        // ReadBits) — real sets are orders of magnitude below this.
-        if (remote_size > (uint64_t{1} << 48)) {
-          SendError(transport, scheme_id, "malformed estimate request",
-                    &counters);
-          return finish(Fail(std::move(result), "malformed estimate request"));
-        }
-        TowSketch remote = TowSketch::Deserialize(
-            &r, config.options.pbs.ell, config.estimate_seed, remote_size);
-        if (r.overflowed()) {
-          SendError(transport, scheme_id, "malformed estimate request",
-                    &counters);
-          return finish(Fail(std::move(result), "malformed estimate request"));
-        }
-        TowSketch local(config.options.pbs.ell, config.estimate_seed);
-        local.AddAll(elements);
-        d_hat = TowSketch::Estimate(remote, local);
-        BitWriter w;
-        w.WriteBits(DoubleBits(d_hat), 64);
-        if (!SendFrame(transport, scheme_id, FrameType::kEstimateReply, 0,
-                       w.TakeBytes(), &counters)) {
-          return finish(
-              Fail(std::move(result), "transport failed sending estimate"));
-        }
-        break;
-      }
-      case FrameType::kSchemeRequest: {
-        if (!engine) {
-          if (d_hat < 0.0) {
-            SendError(transport, scheme_id,
-                      "scheme round before estimate", &counters);
-            return finish(
-                Fail(std::move(result), "scheme round before estimate"));
-          }
-          engine = reconciler->CreateResponder(elements, d_hat, config.seed);
-          if (!engine) {
-            SendError(transport, scheme_id, "scheme has no wire protocol",
-                      &counters);
-            return finish(Fail(std::move(result),
-                               "scheme '" + config.scheme_name +
-                                   "' does not implement a wire protocol"));
-          }
-        }
-        std::vector<uint8_t> reply;
-        if (!engine->HandleRequest(frame.payload, &reply)) {
-          SendError(transport, scheme_id, "malformed scheme request",
-                    &counters);
-          return finish(Fail(std::move(result), "malformed scheme request"));
-        }
-        if (!SendFrame(transport, scheme_id, FrameType::kSchemeReply,
-                       frame.round, std::move(reply), &counters)) {
-          return finish(
-              Fail(std::move(result), "transport failed sending reply"));
-        }
-        break;
-      }
-      case FrameType::kDone: {
-        bool success = false;
-        int rounds = 0;
-        uint64_t diff_size = 0;
-        if (!DecodeDone(frame.payload, &success, &rounds, &diff_size)) {
-          return finish(Fail(std::move(result), "malformed DONE"));
-        }
-        SendFrame(transport, scheme_id, FrameType::kDone, frame.round, {},
-                  &counters);
-        result.ok = true;
-        result.d_hat = d_hat < 0.0 ? 0.0 : d_hat;
-        result.outcome.success = success;
-        result.outcome.rounds = rounds;
-        return finish(std::move(result));
-      }
-      case FrameType::kError:
-        return finish(
-            Fail(std::move(result), "initiator error: " + ErrorText(frame)));
-      default:
-        SendError(transport, scheme_id, "unexpected frame", &counters);
-        return finish(Fail(std::move(result), "unexpected frame"));
-    }
-  }
+  SessionEngine engine = SessionEngine::Responder(elements);
+  return DriveBlocking(&engine, transport);
 }
 
 SessionResult RunLoopbackSession(const SessionConfig& config,
                                  const std::vector<uint64_t>& a,
                                  const std::vector<uint64_t>& b) {
-  auto transports = MakeLoopbackTransportPair();
-  std::unique_ptr<ByteTransport> initiator_end = std::move(transports.first);
-  std::unique_ptr<ByteTransport> responder_end = std::move(transports.second);
-  std::thread responder([transport = std::move(responder_end), &b]() mutable {
-    RunResponderSession(*transport, b);
-  });
-  SessionResult result = RunInitiatorSession(*initiator_end, config, a);
-  // Drop the initiator's end first: if the session aborted before DONE the
-  // responder is still blocked in Recv, and the EOF unblocks it.
-  initiator_end.reset();
-  responder.join();
-  return result;
+  SessionEngine initiator = SessionEngine::Initiator(config, a);
+  SessionEngine responder = SessionEngine::Responder(b);
+  // Single-threaded pump: move whichever side's outbound bytes exist into
+  // the other side until neither makes progress. The strict ping-pong
+  // protocol guarantees that a healthy session always has exactly one
+  // side with pending output; both sides idle means both settled (or one
+  // failed before producing its next frame, e.g. a config error).
+  uint8_t chunk[4096];
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    while (initiator.Status() == SessionStatus::kWantWrite) {
+      const size_t n = initiator.Poll(chunk, sizeof(chunk));
+      responder.Feed(chunk, n);
+      progress = true;
+    }
+    while (responder.Status() == SessionStatus::kWantWrite) {
+      const size_t n = responder.Poll(chunk, sizeof(chunk));
+      initiator.Feed(chunk, n);
+      progress = true;
+    }
+  }
+  if (initiator.Status() == SessionStatus::kWantRead) initiator.FeedEof();
+  return initiator.TakeResult();
 }
 
 }  // namespace pbs

@@ -116,6 +116,15 @@ enum class FrameStatus {
 /// respected so tests can emit alien versions.
 std::vector<uint8_t> EncodeFrame(const WireFrame& frame);
 
+/// Streaming peer of EncodeFrame: appends one encoded kWireVersion frame
+/// (header + payload) to `*out` without disturbing its existing contents,
+/// and returns the encoded size. Outbound buffers reused across rounds
+/// warm to their peak capacity and stop allocating — the sans-I/O session
+/// engine's steady state depends on this.
+size_t AppendFrame(FrameType type, uint8_t scheme, uint32_t round,
+                   const uint8_t* payload, size_t payload_size,
+                   std::vector<uint8_t>* out);
+
 /// Decodes one frame from the front of [data, data+size). On kOk, `*frame`
 /// holds the frame and `*consumed` the total bytes used. On any other
 /// status, outputs are untouched (kTruncated callers should retry with more

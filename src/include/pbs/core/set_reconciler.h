@@ -85,6 +85,15 @@ class ReconcileInitiator {
   /// scheme's round state.
   virtual std::vector<uint8_t> NextRequest() = 0;
 
+  /// Buffer-reusing variant of NextRequest(): overwrites `*out` with the
+  /// next request payload. The default wraps NextRequest(); multi-round
+  /// schemes override it to reuse `out`'s capacity, which is what keeps
+  /// steady-state SessionEngine rounds allocation-free
+  /// (tests/core/hotpath_alloc_test.cc).
+  virtual void NextRequestInto(std::vector<uint8_t>* out) {
+    *out = NextRequest();
+  }
+
   /// Consumes the responder's reply to the last request. Returns false on
   /// a malformed reply (the session is then aborted with a wire error).
   virtual bool HandleReply(const std::vector<uint8_t>& reply) = 0;

@@ -33,6 +33,19 @@ class ByteTransport {
   /// Reads exactly `size` bytes, blocking until they arrive. Returns false
   /// on EOF or error before `size` bytes were received.
   virtual bool Recv(uint8_t* data, size_t size) = 0;
+
+  /// Best-effort non-blocking read: moves up to `size` bytes that are
+  /// *already available* into `data` and returns the count — 0 when
+  /// nothing is pending right now (including after EOF; use Recv to
+  /// distinguish). Never blocks. This is what lets a single thread pump a
+  /// SessionEngine pair over a transport pair with no blocking Recv and
+  /// therefore no deadlock (core/session_engine.h). The default returns 0;
+  /// the loopback and fd transports override it.
+  virtual size_t TryRecv(uint8_t* data, size_t size) {
+    (void)data;
+    (void)size;
+    return 0;
+  }
 };
 
 /// In-memory transport pair: bytes sent on one end are received on the
@@ -66,8 +79,24 @@ class TcpListener {
                                              std::string* error);
 
   /// Blocks until a client connects; returns its transport (nullptr on
-  /// error, e.g. the listener was closed).
+  /// error, e.g. the listener was closed). The accepted socket gets
+  /// TCP_NODELAY (the framed ping-pong is latency-bound, not
+  /// throughput-bound) and a 30 s receive timeout as an idle cap for
+  /// sequential accept loops.
   std::unique_ptr<ByteTransport> Accept();
+
+  /// Accepts one pending connection and returns its raw fd (-1 when none
+  /// is pending on a non-blocking listener, or on error). TCP_NODELAY is
+  /// set; no receive timeout is — event-loop callers (net/ReconcileServer)
+  /// own their idle policy. The caller owns the fd.
+  int AcceptRaw();
+
+  /// The listening socket, for event-loop integration (poll/epoll).
+  int fd() const { return fd_; }
+
+  /// Toggles O_NONBLOCK on the listening socket so AcceptRaw() (and the
+  /// fd in a poll set) never blocks.
+  bool SetNonBlocking(bool enabled);
 
   /// The bound port (resolves ephemeral port 0 requests).
   uint16_t port() const { return port_; }

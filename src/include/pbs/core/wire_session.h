@@ -1,11 +1,20 @@
-// The framed session driver: multi-round reconciliation over byte streams.
+// Blocking convenience drivers for the framed session layer.
 //
-// ReconcileSession glues the three lower pieces together so two *processes*
-// can reconcile key sets with any registered scheme:
+// The protocol itself lives in core/session_engine.h as a sans-I/O
+// poll/feed state machine (SessionEngine); this header is the thin
+// blocking shell around it for callers that own a dedicated connection
+// and are happy to park a thread on it:
 //
 //   SchemeRegistry  ->  ReconcileInitiator / ReconcileResponder engines
-//   core/messages   ->  checksummed, versioned WireFrame envelopes
+//   session_engine  ->  the protocol state machine (no I/O, no threads)
 //   core/transport  ->  loopback or TCP byte streams
+//
+// Each driver is a loop over SessionEngine::Status(): kWantWrite drains
+// the engine's outbound bytes into ByteTransport::Send, kWantRead feeds
+// exactly SessionEngine::NeededBytes() from ByteTransport::Recv, and the
+// terminal states return the SessionResult. Servers that multiplex many
+// peers should skip this shell and drive engines from an event loop —
+// net/reconcile_server.h does exactly that.
 //
 // Session state machine (initiator drives; every arrow is one frame):
 //
@@ -29,44 +38,12 @@
 #define PBS_CORE_WIRE_SESSION_H_
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
-#include "pbs/core/set_reconciler.h"
+#include "pbs/core/session_engine.h"
 #include "pbs/core/transport.h"
 
 namespace pbs {
-
-/// Everything the initiator pins for one session. The responder adopts
-/// these from the HELLO frame; it contributes only its element set.
-struct SessionConfig {
-  /// Registry key of the scheme to run (must exist on both sides).
-  std::string scheme_name = "pbs";
-  /// Scheme construction knobs; plan-affecting fields travel in the HELLO.
-  SchemeOptions options;
-  /// Master seed: drives every random choice of both engines, exactly like
-  /// the `seed` argument of SetReconciler::Reconcile.
-  uint64_t seed = 0xC11;
-  /// Seed of the ToW estimate exchange (kept separate from `seed` so the
-  /// estimator and the scheme never share hash functions).
-  uint64_t estimate_seed = 0xE57;
-  /// When >= 0, skip the estimate phase and hand this d to both engines
-  /// (the "d known" setting of Sections 2-5, and the parity tests' way of
-  /// matching an in-memory Reconcile call exactly).
-  double exact_d = -1.0;
-};
-
-/// Result of driving one side of a session to completion.
-struct SessionResult {
-  bool ok = false;        ///< Handshake + protocol + transport all succeeded.
-  std::string error;      ///< Human-readable failure cause when !ok.
-  std::string scheme;     ///< Registry key of the scheme that ran.
-  double d_hat = 0.0;     ///< The difference estimate the engines consumed.
-  /// Scheme outcome with wire_bytes/wire_frames filled in. Only the
-  /// initiator recovers the difference; the responder's outcome carries
-  /// accounting fields (and success mirrored from the DONE summary).
-  ReconcileOutcome outcome;
-};
 
 /// Drives the initiator (Alice) side: handshake, optional estimate
 /// exchange, scheme ping-pong, DONE. `elements` is the initiator's set A.
@@ -81,9 +58,10 @@ SessionResult RunInitiatorSession(ByteTransport& transport,
 SessionResult RunResponderSession(ByteTransport& transport,
                                   const std::vector<uint64_t>& elements);
 
-/// Convenience for tests and demos: runs the responder on a second thread
-/// over an in-memory loopback pair and the initiator on the calling
-/// thread; returns the initiator's result.
+/// Convenience for tests and demos: pumps an initiator and a responder
+/// SessionEngine against each other on the calling thread (sans-I/O: no
+/// transport, no second thread, no blocking anywhere) and returns the
+/// initiator's result.
 SessionResult RunLoopbackSession(const SessionConfig& config,
                                  const std::vector<uint64_t>& a,
                                  const std::vector<uint64_t>& b);

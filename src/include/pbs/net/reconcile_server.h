@@ -1,0 +1,116 @@
+// ReconcileServer: many concurrent reconciliations from one event loop.
+//
+// The sans-I/O split (core/session_engine.h) is what makes this layer
+// small: the server owns sockets, readiness, timeouts, and counters; each
+// accepted connection owns one responder-side SessionEngine, and the loop
+// just moves bytes between the two. One thread multiplexes every session
+// with poll(2) — no thread per peer, no blocking reads, write
+// backpressure handled by readiness (pending outbound bytes keep the
+// connection registered for writability until they drain).
+//
+// Policy knobs:
+//   * max_sessions   — connections beyond the cap are told why (a
+//                      best-effort ERROR frame) and closed;
+//   * idle timeout   — a peer that goes quiet mid-session is dropped;
+//   * serve_limit    — stop after N finished sessions (pbs_cli --once).
+//
+// Run() owns the calling thread until Stop() (thread-safe, wakes the
+// loop via a self-pipe) or the serve limit; RunOnce() exposes single
+// iterations for embeddings that already have a loop of their own.
+
+#ifndef PBS_NET_RECONCILE_SERVER_H_
+#define PBS_NET_RECONCILE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pbs/core/session_engine.h"
+
+namespace pbs {
+
+/// Construction-time server policy.
+struct ServerOptions {
+  /// TCP port to listen on (0 picks an ephemeral port; read it back with
+  /// port()).
+  uint16_t port = 0;
+  /// Concurrent-session cap. Peers accepted beyond it receive an ERROR
+  /// frame ("server at session capacity") and are closed immediately.
+  int max_sessions = 64;
+  /// Drop a connection with no inbound/outbound progress for this long.
+  int idle_timeout_ms = 30000;
+  /// Stop serving after this many sessions finished (completed, failed,
+  /// or timed out). 0 = serve until Stop().
+  uint64_t serve_limit = 0;
+};
+
+/// Monotonic counters, snapshot via ReconcileServer::stats().
+struct ServerStats {
+  uint64_t accepted = 0;           ///< Connections admitted into a session.
+  uint64_t completed = 0;          ///< Sessions that reached DONE.
+  uint64_t failed = 0;             ///< Sessions that ended in an error.
+  uint64_t timed_out = 0;          ///< Sessions dropped by the idle timeout.
+  uint64_t rejected_capacity = 0;  ///< Connections refused at max_sessions.
+  uint64_t bytes_in = 0;           ///< Total bytes read from peers.
+  uint64_t bytes_out = 0;          ///< Total bytes written to peers.
+  /// Completed sessions per scheme registry key.
+  std::map<std::string, uint64_t> completed_by_scheme;
+  /// Sessions currently in flight (gauge, not a counter).
+  uint64_t active = 0;
+};
+
+/// Single-threaded poll-loop server holding one responder SessionEngine
+/// per accepted connection. Construct with Create(), then either hand the
+/// calling thread to Run() or drive RunOnce() from an existing loop.
+/// Thread contract: Run()/RunOnce() from one thread; Stop()/stats()/
+/// port() from any thread.
+class ReconcileServer {
+ public:
+  /// Per-finished-session hook (called on the serving thread, after the
+  /// session closed): the responder-side SessionResult.
+  using SessionLogger = std::function<void(const SessionResult&)>;
+
+  /// Binds and listens. `elements` is the served key set (the responder
+  /// set of every session). Returns nullptr and fills *error on failure.
+  static std::unique_ptr<ReconcileServer> Create(
+      const ServerOptions& options, std::vector<uint64_t> elements,
+      std::string* error);
+
+  ~ReconcileServer();
+  ReconcileServer(const ReconcileServer&) = delete;
+  ReconcileServer& operator=(const ReconcileServer&) = delete;
+
+  /// The bound port (resolves ephemeral port-0 requests).
+  uint16_t port() const;
+
+  /// Serves until Stop() or the serve limit. Returns the number of
+  /// sessions finished over this call.
+  uint64_t Run();
+
+  /// One event-loop iteration: waits up to `timeout_ms` for readiness
+  /// (capped by the nearest idle deadline), then performs every ready
+  /// accept/read/write and finalizes settled sessions. Returns false once
+  /// the server should stop (Stop() called or serve limit reached).
+  bool RunOnce(int timeout_ms);
+
+  /// Asks the loop to stop; safe from any thread and from the logger.
+  void Stop();
+
+  /// Snapshot of the counters; safe from any thread.
+  ServerStats stats() const;
+
+  /// Installs the per-session hook. Call before Run().
+  void set_session_logger(SessionLogger logger);
+
+ private:
+  class Impl;
+  explicit ReconcileServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_NET_RECONCILE_SERVER_H_

@@ -7,12 +7,31 @@
 
 namespace pbs {
 
+namespace {
+
+// Thread-safe log-gamma: libm's lgamma() writes the process-global
+// `signgam`, a data race when concurrent sessions plan parameters at the
+// same time (flagged by the TSan CI job). All arguments here are
+// positive integers + 1, where the sign is always +, so the signgam
+// side channel carries no information anyway; lgamma_r discards it into
+// a local instead.
+double LGamma(double v) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(v, &sign);
+#else
+  return std::lgamma(v);
+#endif
+}
+
+}  // namespace
+
 double BinomialPmf(int d, double p, int x) {
   if (x < 0 || x > d) return 0.0;
   if (p <= 0.0) return x == 0 ? 1.0 : 0.0;
   if (p >= 1.0) return x == d ? 1.0 : 0.0;
-  const double log_choose = std::lgamma(d + 1.0) - std::lgamma(x + 1.0) -
-                            std::lgamma(d - x + 1.0);
+  const double log_choose =
+      LGamma(d + 1.0) - LGamma(x + 1.0) - LGamma(d - x + 1.0);
   const double log_pmf = log_choose + x * std::log(p) +
                          (d - x) * std::log1p(-p);
   return std::exp(log_pmf);

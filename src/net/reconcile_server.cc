@@ -1,0 +1,368 @@
+#include "pbs/net/reconcile_server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "pbs/core/messages.h"
+#include "pbs/core/transport.h"
+
+namespace pbs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool SetNonBlockingFd(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+class ReconcileServer::Impl {
+ public:
+  Impl(const ServerOptions& options, std::vector<uint64_t> elements,
+       std::unique_ptr<TcpListener> listener, int wake_read, int wake_write)
+      : options_(options),
+        // One copy for the whole server: every connection's engine shares
+        // this set instead of holding its own (memory would otherwise
+        // scale O(active_sessions * set_size)).
+        elements_(std::make_shared<const std::vector<uint64_t>>(
+            std::move(elements))),
+        listener_(std::move(listener)),
+        wake_read_(wake_read),
+        wake_write_(wake_write) {}
+
+  ~Impl() {
+    for (auto& [fd, conn] : connections_) {
+      (void)conn;
+      ::close(fd);
+    }
+    ::close(wake_read_);
+    ::close(wake_write_);
+  }
+
+  uint16_t port() const { return listener_->port(); }
+
+  void set_session_logger(SessionLogger logger) {
+    logger_ = std::move(logger);
+  }
+
+  void Stop() {
+    stop_.store(true, std::memory_order_release);
+    const uint8_t byte = 1;
+    // Best-effort: a full pipe already guarantees a wakeup.
+    (void)!::write(wake_write_, &byte, 1);
+  }
+
+  uint64_t Run() {
+    const uint64_t before = finished_;
+    while (RunOnce(/*timeout_ms=*/250)) {
+    }
+    return finished_ - before;
+  }
+
+  bool RunOnce(int timeout_ms) {
+    if (ShouldStop()) return false;
+
+    pollfds_.clear();
+    // Slot 0: the wake pipe; slot 1: the listener (only while below the
+    // session cap — beyond it we still accept, to say why we refuse).
+    pollfds_.push_back({wake_read_, POLLIN, 0});
+    pollfds_.push_back({listener_->fd(), POLLIN, 0});
+    poll_fd_of_slot_.clear();
+    poll_fd_of_slot_.push_back(-1);
+    poll_fd_of_slot_.push_back(-1);
+    for (auto& [fd, conn] : connections_) {
+      short events = POLLIN;  // Always: data, EOF, and resets all surface here.
+      if (conn.engine->outbound_size() > 0) events |= POLLOUT;
+      pollfds_.push_back({fd, events, 0});
+      poll_fd_of_slot_.push_back(fd);
+    }
+
+    const int wait_ms = ClampToIdleDeadline(timeout_ms);
+    const int ready = ::poll(pollfds_.data(),
+                             static_cast<nfds_t>(pollfds_.size()), wait_ms);
+    if (ready < 0 && errno != EINTR) {
+      // A persistent poll failure (e.g. ENOMEM) must not turn Run() into
+      // a hot spin: back off for the interval poll would have waited,
+      // and still fall through to the idle sweep below.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(1, wait_ms)));
+    }
+
+    if (ready > 0) {
+      if ((pollfds_[0].revents & POLLIN) != 0) DrainWakePipe();
+      if ((pollfds_[1].revents & POLLIN) != 0) AcceptPending();
+      for (size_t slot = 2; slot < pollfds_.size(); ++slot) {
+        const short revents = pollfds_[slot].revents;
+        if (revents == 0) continue;
+        const int fd = poll_fd_of_slot_[slot];
+        auto it = connections_.find(fd);
+        if (it == connections_.end()) continue;
+        ServiceConnection(fd, it->second, revents);
+      }
+    }
+    SweepIdle();
+    return !ShouldStop();
+  }
+
+  ServerStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;  // stats_.active is maintained under the same mutex.
+  }
+
+ private:
+  struct Connection {
+    std::unique_ptr<SessionEngine> engine;
+    Clock::time_point last_active;
+  };
+
+  bool ShouldStop() const {
+    if (stop_.load(std::memory_order_acquire)) return true;
+    return options_.serve_limit > 0 && finished_ >= options_.serve_limit;
+  }
+
+  void DrainWakePipe() {
+    uint8_t sink[64];
+    while (::read(wake_read_, sink, sizeof(sink)) > 0) {
+    }
+  }
+
+  // Nearest idle deadline bounds the poll timeout so a silent peer is
+  // dropped on time even when no fd ever becomes ready.
+  int ClampToIdleDeadline(int timeout_ms) const {
+    if (connections_.empty() || options_.idle_timeout_ms <= 0) {
+      return timeout_ms;
+    }
+    const Clock::time_point now = Clock::now();
+    Clock::time_point oldest = now;
+    for (const auto& [fd, conn] : connections_) {
+      (void)fd;
+      if (conn.last_active < oldest) oldest = conn.last_active;
+    }
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - oldest)
+            .count();
+    const int remaining =
+        static_cast<int>(options_.idle_timeout_ms - elapsed);
+    return std::max(0, std::min(timeout_ms, remaining));
+  }
+
+  void AcceptPending() {
+    while (true) {
+      const int fd = listener_->AcceptRaw();
+      if (fd < 0) return;
+      if (static_cast<int>(connections_.size()) >= options_.max_sessions) {
+        RejectAtCapacity(fd);
+        continue;
+      }
+      if (!SetNonBlockingFd(fd)) {
+        ::close(fd);
+        continue;
+      }
+      Connection conn;
+      conn.engine = std::make_unique<SessionEngine>(
+          SessionEngine::Responder(elements_));
+      conn.last_active = Clock::now();
+      connections_.emplace(fd, std::move(conn));
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.accepted += 1;
+        stats_.active += 1;
+      }
+    }
+  }
+
+  // A peer beyond the cap learns why instead of watching the connection
+  // drop: one best-effort ERROR frame, then close. The write is a single
+  // non-blocking attempt — a client too slow to take ~60 bytes gets the
+  // close alone.
+  void RejectAtCapacity(int fd) {
+    static const char kMessage[] = "server at session capacity";
+    std::vector<uint8_t> frame;
+    wire::AppendFrame(wire::FrameType::kError, 0, 0,
+                      reinterpret_cast<const uint8_t*>(kMessage),
+                      sizeof(kMessage) - 1, &frame);
+    SetNonBlockingFd(fd);
+    (void)!::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.rejected_capacity += 1;
+  }
+
+  void ServiceConnection(int fd, Connection& conn, short revents) {
+    bool peer_gone = false;
+    if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      peer_gone = !ReadReady(fd, conn);
+    }
+    if (!peer_gone) FlushWrites(fd, conn);
+    MaybeFinalize(fd, conn, peer_gone);
+  }
+
+  // Reads until EAGAIN, feeding the engine as bytes arrive. Returns false
+  // once the peer is gone (EOF or hard error).
+  bool ReadReady(int fd, Connection& conn) {
+    while (true) {
+      const ssize_t n = ::recv(fd, read_buffer_, sizeof(read_buffer_),
+                               MSG_DONTWAIT);
+      if (n > 0) {
+        conn.engine->Feed(read_buffer_, static_cast<size_t>(n));
+        conn.last_active = Clock::now();
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.bytes_in += static_cast<uint64_t>(n);
+        continue;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      }
+      // EOF or hard error: let the engine turn it into a diagnostic.
+      conn.engine->FeedEof();
+      return false;
+    }
+  }
+
+  // Writes the engine's pending outbound bytes until EAGAIN or empty.
+  // Anything left keeps the fd registered for POLLOUT (backpressure).
+  void FlushWrites(int fd, Connection& conn) {
+    while (conn.engine->outbound_size() > 0) {
+      const ssize_t n = ::send(fd, conn.engine->outbound_data(),
+                               conn.engine->outbound_size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.engine->ConsumeOutbound(static_cast<size_t>(n));
+        conn.last_active = Clock::now();
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.bytes_out += static_cast<uint64_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      conn.engine->FailTransport();
+      return;
+    }
+  }
+
+  // Closes and accounts a session once it settled and its last bytes
+  // (DONE ack, ERROR) are on the wire — or immediately when the peer is
+  // gone and nothing can be delivered anymore.
+  void MaybeFinalize(int fd, Connection& conn, bool peer_gone) {
+    const SessionStatus status = conn.engine->Status();
+    const bool settled =
+        status == SessionStatus::kDone || status == SessionStatus::kError;
+    if (!settled && !peer_gone) return;
+    if (settled && !peer_gone && conn.engine->outbound_size() > 0) return;
+    FinishSession(fd, /*timed_out=*/false);
+  }
+
+  void SweepIdle() {
+    if (options_.idle_timeout_ms <= 0) return;
+    const Clock::time_point cutoff =
+        Clock::now() - std::chrono::milliseconds(options_.idle_timeout_ms);
+    // Collect first: FinishSession erases from connections_.
+    idle_fds_.clear();
+    for (const auto& [fd, conn] : connections_) {
+      if (conn.last_active < cutoff) idle_fds_.push_back(fd);
+    }
+    for (int fd : idle_fds_) FinishSession(fd, /*timed_out=*/true);
+  }
+
+  void FinishSession(int fd, bool timed_out) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    SessionResult result = it->second.engine->TakeResult();
+    if (timed_out && result.error.empty()) {
+      result.ok = false;
+      result.error = "idle timeout";
+    }
+    ::close(fd);
+    connections_.erase(it);
+    finished_ += 1;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.active -= 1;
+      if (timed_out) {
+        stats_.timed_out += 1;
+      } else if (result.ok) {
+        stats_.completed += 1;
+        stats_.completed_by_scheme[result.scheme] += 1;
+      } else {
+        stats_.failed += 1;
+      }
+    }
+    if (logger_) logger_(result);
+  }
+
+  const ServerOptions options_;
+  const SessionEngine::SharedElements elements_;
+  std::unique_ptr<TcpListener> listener_;
+  const int wake_read_;
+  const int wake_write_;
+
+  std::unordered_map<int, Connection> connections_;
+  std::vector<pollfd> pollfds_;
+  std::vector<int> poll_fd_of_slot_;
+  std::vector<int> idle_fds_;
+  uint8_t read_buffer_[64 * 1024];
+  uint64_t finished_ = 0;  // Loop-thread only; stats_ has the split.
+
+  std::atomic<bool> stop_{false};
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+  SessionLogger logger_;
+};
+
+// ----------------------------------------------------------- public shim --
+
+std::unique_ptr<ReconcileServer> ReconcileServer::Create(
+    const ServerOptions& options, std::vector<uint64_t> elements,
+    std::string* error) {
+  auto listener = TcpListener::Listen(options.port, error);
+  if (!listener) return nullptr;
+  if (!listener->SetNonBlocking(true)) {
+    if (error) *error = "cannot make listener non-blocking";
+    return nullptr;
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    if (error) *error = std::string("pipe: ") + std::strerror(errno);
+    return nullptr;
+  }
+  SetNonBlockingFd(pipe_fds[0]);
+  SetNonBlockingFd(pipe_fds[1]);
+  auto impl = std::make_unique<Impl>(options, std::move(elements),
+                                     std::move(listener), pipe_fds[0],
+                                     pipe_fds[1]);
+  return std::unique_ptr<ReconcileServer>(
+      new ReconcileServer(std::move(impl)));
+}
+
+ReconcileServer::ReconcileServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+ReconcileServer::~ReconcileServer() = default;
+
+uint16_t ReconcileServer::port() const { return impl_->port(); }
+uint64_t ReconcileServer::Run() { return impl_->Run(); }
+bool ReconcileServer::RunOnce(int timeout_ms) {
+  return impl_->RunOnce(timeout_ms);
+}
+void ReconcileServer::Stop() { impl_->Stop(); }
+ServerStats ReconcileServer::stats() const { return impl_->stats(); }
+void ReconcileServer::set_session_logger(SessionLogger logger) {
+  impl_->set_session_logger(std::move(logger));
+}
+
+}  // namespace pbs

@@ -29,6 +29,7 @@
 #include "pbs/core/params.h"
 #include "pbs/core/parity_bitmap.h"
 #include "pbs/core/pbs_endpoints.h"
+#include "pbs/core/session_engine.h"
 #include "pbs/gf/gf2m.h"
 #include "pbs/hash/hash_family.h"
 #include "pbs/ibf/invertible_bloom_filter.h"
@@ -290,6 +291,135 @@ TEST(HotpathAlloc, DecoderKernelsAreAllocationFree) {
   EXPECT_TRUE(all_ok);
   EXPECT_EQ(after - before, 0u)
       << "BCH kernels allocated " << (after - before) << " times";
+}
+
+// ------------------------------------------------------- session engine --
+//
+// The sans-I/O session layer must add ZERO allocations of its own on the
+// round path: Feed's inbound buffering, frame decode, dispatch, the
+// reply/request scratch, and Poll's outbound staging all reuse warmed
+// buffers. To measure the layer in isolation, a probe scheme runs many
+// fixed-size rounds whose endpoint work is allocation-free by
+// construction; the scheme engines underneath are pinned separately above
+// (their remaining allocations are proportional to productive events —
+// recovered differences, unit splits — not to rounds processed).
+
+constexpr int kProbeRounds = 48;
+constexpr size_t kProbePayloadBytes = 384;
+
+class ProbeInitiator : public ReconcileInitiator {
+ public:
+  std::vector<uint8_t> NextRequest() override {
+    std::vector<uint8_t> out;
+    NextRequestInto(&out);
+    return out;
+  }
+  void NextRequestInto(std::vector<uint8_t>* out) override {
+    ++round_;
+    out->assign(kProbePayloadBytes, static_cast<uint8_t>(round_));
+  }
+  bool HandleReply(const std::vector<uint8_t>& reply) override {
+    data_bytes_ += kProbePayloadBytes + reply.size();
+    return reply.size() == kProbePayloadBytes;
+  }
+  bool done() const override { return round_ >= kProbeRounds; }
+  ReconcileOutcome TakeOutcome() override {
+    ReconcileOutcome outcome;
+    outcome.success = true;
+    outcome.rounds = kProbeRounds;
+    outcome.data_bytes = data_bytes_;
+    return outcome;
+  }
+
+ private:
+  int round_ = 0;
+  size_t data_bytes_ = 0;
+};
+
+class ProbeResponder : public ReconcileResponder {
+ public:
+  bool HandleRequest(const std::vector<uint8_t>& request,
+                     std::vector<uint8_t>* reply) override {
+    if (request.size() != kProbePayloadBytes) return false;
+    reply->assign(kProbePayloadBytes, request[0]);
+    return true;
+  }
+};
+
+class ProbeScheme : public SetReconciler {
+ public:
+  const char* name() const override { return "alloc-probe"; }
+  const char* display_name() const override { return "AllocProbe"; }
+  bool supports_rounds() const override { return true; }
+  ReconcileOutcome Reconcile(const std::vector<uint64_t>&,
+                             const std::vector<uint64_t>&, double,
+                             uint64_t) const override {
+    return ReconcileOutcome{};
+  }
+  std::unique_ptr<ReconcileInitiator> CreateInitiator(
+      std::vector<uint64_t>, double, uint64_t) const override {
+    return std::make_unique<ProbeInitiator>();
+  }
+  std::unique_ptr<ReconcileResponder> CreateResponder(
+      std::vector<uint64_t>, double, uint64_t) const override {
+    return std::make_unique<ProbeResponder>();
+  }
+};
+
+TEST(HotpathAlloc, SessionEngineSteadyStateRoundsAreAllocationFree) {
+  // A private registry keeps the probe scheme out of the registry-wide
+  // parity suites; the engines take it by injection.
+  SchemeRegistry registry;
+  ASSERT_TRUE(registry.Register("alloc-probe", "AllocProbe",
+                                [](const SchemeOptions&) {
+                                  return std::make_unique<ProbeScheme>();
+                                }));
+
+  SessionConfig config;
+  config.scheme_name = "alloc-probe";
+  config.exact_d = 4.0;  // Skip the (once-per-session) estimate phase.
+  const std::vector<uint64_t> elements = {1, 2, 3, 4};
+  SessionEngine initiator =
+      SessionEngine::Initiator(config, elements, &registry);
+  SessionEngine responder = SessionEngine::Responder(elements, &registry);
+
+  // One pump = one protocol exchange: the initiator's pending frame
+  // crosses, the responder's reply crosses back, and dispatch queues the
+  // next request.
+  uint8_t chunk[1024];
+  const auto pump_exchange = [&] {
+    while (initiator.Status() == SessionStatus::kWantWrite) {
+      const size_t n = initiator.Poll(chunk, sizeof(chunk));
+      responder.Feed(chunk, n);
+    }
+    while (responder.Status() == SessionStatus::kWantWrite) {
+      const size_t n = responder.Poll(chunk, sizeof(chunk));
+      initiator.Feed(chunk, n);
+    }
+  };
+
+  // Warm-up: handshake plus enough rounds for every buffer — inbound,
+  // outbound, frame payload, request/reply scratch — to reach peak size.
+  for (int i = 0; i < 8; ++i) pump_exchange();
+  ASSERT_EQ(initiator.Status(), SessionStatus::kWantWrite);
+
+  const std::uint64_t before = AllocCount();
+  for (int i = 0; i < 20; ++i) pump_exchange();
+  const std::uint64_t after = AllocCount();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state SessionEngine Feed/Poll round processing allocated "
+      << (after - before) << " times";
+
+  for (int i = 0; i < kProbeRounds + 4 &&
+                  initiator.Status() != SessionStatus::kDone;
+       ++i) {
+    pump_exchange();
+  }
+  ASSERT_EQ(initiator.Status(), SessionStatus::kDone)
+      << initiator.result().error;
+  EXPECT_TRUE(initiator.result().outcome.success);
+  EXPECT_EQ(initiator.result().outcome.rounds, kProbeRounds);
+  EXPECT_EQ(responder.Status(), SessionStatus::kDone);
 }
 
 // IBF peeling with workspace scratch and a reused result.

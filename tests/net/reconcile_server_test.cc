@@ -1,0 +1,205 @@
+// ReconcileServer: one poll loop serving many concurrent sessions.
+//
+// The stress test throws 32 concurrent clients — mixed schemes, mixed set
+// sizes — at a single server and checks every difference is recovered
+// exactly and the server's counters add up. Policy paths are pinned too:
+// the max-sessions cap answers with a capacity ERROR frame the client can
+// read, and the idle timeout reaps silent connections.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "pbs/common/rng.h"
+#include "pbs/core/transport.h"
+#include "pbs/core/wire_session.h"
+#include "pbs/net/reconcile_server.h"
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+// Polls `predicate` against the server stats until it holds or ~2 s pass.
+bool WaitForStats(const ReconcileServer& server,
+                  const std::function<bool(const ServerStats&)>& predicate) {
+  for (int i = 0; i < 400; ++i) {
+    if (predicate(server.stats())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return predicate(server.stats());
+}
+
+TEST(ReconcileServer, ThirtyTwoConcurrentMixedSessions) {
+  constexpr int kClients = 32;
+  // The server's key set; every client diverges from it differently.
+  const SetPair base = GenerateTwoSidedPair(3000, 0, 0, 32, 0xB0B);
+
+  ServerOptions options;
+  options.max_sessions = kClients;
+  std::string error;
+  auto server = ReconcileServer::Create(options, base.b, &error);
+  ASSERT_NE(server, nullptr) << error;
+  std::thread serving([&server] { server->Run(); });
+
+  const std::vector<std::string> schemes =
+      SchemeRegistry::Instance().Names();
+  std::vector<std::thread> clients;
+  std::vector<SessionResult> results(kClients);
+  std::vector<std::vector<uint64_t>> truths(kClients);
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      // Each client derives its own divergent copy of the server set:
+      // drop the first `i` elements and add `i + 5` fresh ones, so the
+      // true difference (2i + 5 elements) varies per client.
+      std::vector<uint64_t> local(base.b.begin() + i, base.b.end());
+      std::vector<uint64_t> truth(base.b.begin(), base.b.begin() + i);
+      Xoshiro256 rng(0x1000 + static_cast<uint64_t>(i));
+      std::unordered_set<uint64_t> taken(base.b.begin(), base.b.end());
+      for (int added = 0; added < i + 5;) {
+        const uint64_t fresh = rng.Next() & 0xFFFFFFFFu;
+        if (fresh == 0 || !taken.insert(fresh).second) continue;
+        local.push_back(fresh);
+        truth.push_back(fresh);
+        ++added;
+      }
+      std::sort(truth.begin(), truth.end());
+      truths[i] = truth;
+
+      SessionConfig config;
+      config.scheme_name = schemes[i % schemes.size()];
+      config.options.pbs.max_rounds = 8;
+      config.options.pbs.target_rounds = 3;
+      config.seed = 0x5EED + static_cast<uint64_t>(i);
+      config.estimate_seed = 0xE571 + static_cast<uint64_t>(i);
+      config.exact_d = static_cast<double>(truth.size());
+
+      std::string connect_error;
+      auto transport =
+          TcpConnect("127.0.0.1", server->port(), &connect_error);
+      if (!transport) {
+        failures.fetch_add(1);
+        return;
+      }
+      results[i] = RunInitiatorSession(*transport, config, local);
+      if (!results[i].ok) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every client recovered exactly its truth difference.
+  for (int i = 0; i < kClients; ++i) {
+    SCOPED_TRACE("client " + std::to_string(i) + " scheme " +
+                 schemes[i % schemes.size()]);
+    ASSERT_TRUE(results[i].ok) << results[i].error;
+    EXPECT_TRUE(results[i].outcome.success);
+    std::vector<uint64_t> recovered = results[i].outcome.difference;
+    std::sort(recovered.begin(), recovered.end());
+    EXPECT_EQ(recovered, truths[i]);
+  }
+
+  // Counters add up: 32 accepted, 32 completed, per-scheme tallies sum to
+  // 32, nothing failed or timed out, and in-flight count drained to zero.
+  ASSERT_TRUE(WaitForStats(*server, [](const ServerStats& s) {
+    return s.completed + s.failed + s.timed_out >= kClients && s.active == 0;
+  }));
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_EQ(stats.rejected_capacity, 0u);
+  uint64_t by_scheme = 0;
+  for (const auto& [scheme, count] : stats.completed_by_scheme) {
+    EXPECT_TRUE(std::find(schemes.begin(), schemes.end(), scheme) !=
+                schemes.end())
+        << scheme;
+    by_scheme += count;
+  }
+  EXPECT_EQ(by_scheme, static_cast<uint64_t>(kClients));
+  EXPECT_GT(stats.bytes_in, 0u);
+  EXPECT_GT(stats.bytes_out, 0u);
+
+  server->Stop();
+  serving.join();
+}
+
+TEST(ReconcileServer, CapacityRejectionTellsTheClientWhy) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  std::string error;
+  auto server = ReconcileServer::Create(options, {1, 2, 3}, &error);
+  ASSERT_NE(server, nullptr) << error;
+  std::thread serving([&server] { server->Run(); });
+
+  // Occupy the only slot with a connection that never speaks.
+  auto squatter = TcpConnect("127.0.0.1", server->port(), &error);
+  ASSERT_NE(squatter, nullptr) << error;
+  ASSERT_TRUE(WaitForStats(
+      *server, [](const ServerStats& s) { return s.accepted == 1; }));
+
+  // The next client is told why it was refused.
+  auto transport = TcpConnect("127.0.0.1", server->port(), &error);
+  ASSERT_NE(transport, nullptr) << error;
+  SessionConfig config;
+  config.exact_d = 1.0;
+  const SessionResult result =
+      RunInitiatorSession(*transport, config, {1, 2});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("server at session capacity"),
+            std::string::npos)
+      << result.error;
+
+  server->Stop();
+  serving.join();
+}
+
+TEST(ReconcileServer, IdleConnectionsAreReaped) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  std::string error;
+  auto server = ReconcileServer::Create(options, {1, 2, 3}, &error);
+  ASSERT_NE(server, nullptr) << error;
+  std::thread serving([&server] { server->Run(); });
+
+  auto silent = TcpConnect("127.0.0.1", server->port(), &error);
+  ASSERT_NE(silent, nullptr) << error;
+  EXPECT_TRUE(WaitForStats(*server, [](const ServerStats& s) {
+    return s.timed_out == 1 && s.active == 0;
+  }));
+
+  server->Stop();
+  serving.join();
+}
+
+// serve_limit powers `pbs_cli serve --once`: the loop returns by itself
+// after the configured number of sessions.
+TEST(ReconcileServer, ServeLimitStopsTheLoop) {
+  ServerOptions options;
+  options.serve_limit = 1;
+  std::string error;
+  auto server = ReconcileServer::Create(options, {1, 2, 3, 4}, &error);
+  ASSERT_NE(server, nullptr) << error;
+  std::thread serving([&server] { server->Run(); });
+
+  SessionConfig config;
+  config.exact_d = 2.0;
+  auto transport = TcpConnect("127.0.0.1", server->port(), &error);
+  ASSERT_NE(transport, nullptr) << error;
+  const SessionResult result =
+      RunInitiatorSession(*transport, config, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(result.ok) << result.error;
+  serving.join();  // Returns without Stop().
+  EXPECT_EQ(server->stats().completed, 1u);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -16,9 +16,12 @@
 //   pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]
 //       Show the (g, n, t) parameterization the Section-5.1 optimizer
 //       picks for an expected difference of d.
-//   pbs_cli serve <file> [--port N] [--once]
+//   pbs_cli serve <file> [--port N] [--once] [--max-sessions N] [--stats]
 //       Hold a key set and serve framed reconciliation sessions over TCP
-//       (any scheme; the client picks). --once exits after one session.
+//       from one poll loop (any scheme; the client picks; many clients
+//       concurrently). --once exits after one session; --max-sessions
+//       caps concurrent sessions (default 64); --stats prints the
+//       server's counters on exit.
 //   pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]
 //           [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]
 //       Reconcile the local file against a remote serve instance and
@@ -42,6 +45,7 @@
 #include "pbs/core/wire_session.h"
 #include "pbs/estimator/tow.h"
 #include "pbs/markov/optimizer.h"
+#include "pbs/net/reconcile_server.h"
 
 namespace {
 
@@ -55,7 +59,8 @@ int Usage() {
       "  pbs_cli diff <fileA> <fileB> [--scheme S] [--rounds N] [--p0 X]\n"
       "          [--delta N]\n"
       "  pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]\n"
-      "  pbs_cli serve <file> [--port N] [--once]\n"
+      "  pbs_cli serve <file> [--port N] [--once] [--max-sessions N]\n"
+      "          [--stats]\n"
       "  pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]\n"
       "          [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]\n"
       "  pbs_cli list-schemes\n");
@@ -254,23 +259,28 @@ int CmdServe(int argc, char** argv) {
   if (!LoadSignatures(argv[0], &elements)) return 1;
   const auto port = static_cast<uint16_t>(FlagU64(argc, argv, "--port", 7557));
   const bool once = FlagPresent(argc, argv, "--once");
+  const bool print_stats = FlagPresent(argc, argv, "--stats");
+
+  // One poll loop, one responder SessionEngine per connection: clients no
+  // longer queue behind each other (net/reconcile_server.h).
+  pbs::ServerOptions options;
+  options.port = port;
+  options.max_sessions =
+      static_cast<int>(FlagU64(argc, argv, "--max-sessions", 64));
+  options.idle_timeout_ms = 30000;
+  options.serve_limit = once ? 1 : 0;
 
   std::string error;
-  auto listener = pbs::TcpListener::Listen(port, &error);
-  if (!listener) {
+  const size_t key_count = elements.size();
+  auto server =
+      pbs::ReconcileServer::Create(options, std::move(elements), &error);
+  if (!server) {
     std::fprintf(stderr, "serve: %s\n", error.c_str());
     return 1;
   }
-  std::fprintf(stderr, "serving %zu keys on port %u (%s)\n", elements.size(),
-               listener->port(), once ? "single session" : "loop");
-  while (true) {
-    auto transport = listener->Accept();
-    if (!transport) {
-      std::fprintf(stderr, "serve: accept failed\n");
-      return 1;
-    }
-    const pbs::SessionResult result =
-        pbs::RunResponderSession(*transport, elements);
+  bool last_session_ok = false;
+  server->set_session_logger([&last_session_ok](
+                                 const pbs::SessionResult& result) {
     if (result.ok) {
       std::fprintf(stderr,
                    "session scheme=%s success=%s rounds=%d d-hat=%.1f "
@@ -282,8 +292,32 @@ int CmdServe(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "session failed: %s\n", result.error.c_str());
     }
-    if (once) return result.ok && result.outcome.success ? 0 : 1;
+    last_session_ok = result.ok && result.outcome.success;
+  });
+  std::fprintf(stderr,
+               "serving %zu keys on port %u (%s, max %d concurrent)\n",
+               key_count, server->port(),
+               once ? "single session" : "loop", options.max_sessions);
+  server->Run();
+  if (print_stats) {
+    const pbs::ServerStats stats = server->stats();
+    std::fprintf(stderr,
+                 "stats: accepted=%llu completed=%llu failed=%llu "
+                 "timed-out=%llu rejected=%llu in=%lluB out=%lluB\n",
+                 static_cast<unsigned long long>(stats.accepted),
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.failed),
+                 static_cast<unsigned long long>(stats.timed_out),
+                 static_cast<unsigned long long>(stats.rejected_capacity),
+                 static_cast<unsigned long long>(stats.bytes_in),
+                 static_cast<unsigned long long>(stats.bytes_out));
+    for (const auto& [scheme, count] : stats.completed_by_scheme) {
+      std::fprintf(stderr, "stats: scheme %s completed=%llu\n",
+                   scheme.c_str(),
+                   static_cast<unsigned long long>(count));
+    }
   }
+  return once ? (last_session_ok ? 0 : 1) : 0;
 }
 
 int CmdConnect(int argc, char** argv) {
