@@ -15,12 +15,16 @@
 #define PBS_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "pbs/common/cpu_features.h"
+#include "pbs/gf/gf2m.h"
 #include "pbs/sim/metrics.h"
 
 namespace pbs::bench {
@@ -59,6 +63,44 @@ inline void PrintHeader(const char* what, const Scale& scale) {
   std::printf(
       "(set PBS_BENCH_FULL=1 for the paper's scale: |A|=1e6, 1000 "
       "instances)\n\n");
+}
+
+/// Runs `op` repeatedly for ~`budget_seconds` of wall clock (after untimed
+/// warm-up passes) split over several repetitions, and returns the best
+/// (minimum) ns per operation -- the repetition least disturbed by
+/// scheduling noise. Shared by the kernel microbenches (bench_hotpath,
+/// bench_micro_gf, bench_micro_bch).
+inline double TimeNs(const std::function<void()>& op, double budget_seconds) {
+  using Clock = std::chrono::steady_clock;
+  op();  // Warm-up: sizes every reused buffer, loads tables.
+  op();
+  constexpr int kRepetitions = 5;
+  double best_ns = 1e18;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    int iters = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int i = 0; i < 16; ++i) op();
+      iters += 16;
+      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    } while (elapsed < budget_seconds / kRepetitions);
+    best_ns = std::min(best_ns, elapsed * 1e9 / iters);
+  }
+  return best_ns;
+}
+
+/// ns/op -> million ops per second, formatted for a table cell. Shared by
+/// the kernel microbenches.
+inline std::string FormatMops(double ns) {
+  return FormatDouble(1e9 / ns / 1e6, 3);
+}
+
+/// Dispatch label for single-element ops routed through a GF2m field: the
+/// log/antilog table path below kMaxTableBits, the runtime-dispatched
+/// carry-less path ("clmul" or "portable") above it.
+inline const char* FieldPathLabel(const GF2m& f) {
+  return f.has_tables() ? "table" : cpu::CarrylessMulBackend();
 }
 
 // ---------------------------------------------------------------------------

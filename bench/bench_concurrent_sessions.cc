@@ -11,12 +11,17 @@
 //    config, elements, and seed.
 //
 // Quick mode serves 32 clients over 20k-element sets; PBS_BENCH_FULL=1
-// scales to 128 clients over 100k-element sets.
+// scales to 128 clients over 100k-element sets. PBS_BENCH_THREADS=N hands
+// every server-side session N per-group decode threads
+// (ServerOptions::decode_threads); parity is still asserted against the
+// single-threaded blocking drivers, so the run doubles as an
+// any-thread-count equivalence check.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -69,23 +74,28 @@ int main() {
   const bool full = pbs::bench::FullMode();
   const int clients = full ? 128 : 32;
   const size_t common = full ? 100000 : 20000;
+  const char* threads_env = std::getenv("PBS_BENCH_THREADS");
+  const int decode_threads =
+      threads_env != nullptr ? std::max(1, std::atoi(threads_env)) : 1;
   const pbs::SetPair pair = pbs::GenerateTwoSidedPair(common, 40, 60, 32, 7);
   const double exact_d = static_cast<double>(pair.truth_diff.size());
 
   std::printf("== concurrent sessions: %d clients vs one server ==\n",
               clients);
-  std::printf("mode=%s |A|=%zu d=%zu\n\n", full ? "FULL" : "quick",
-              pair.a.size(), pair.truth_diff.size());
+  std::printf("mode=%s |A|=%zu d=%zu decode_threads=%d\n\n",
+              full ? "FULL" : "quick", pair.a.size(),
+              pair.truth_diff.size(), decode_threads);
 
   pbs::bench::Recorder table(
       "concurrent_sessions",
-      {"scheme", "clients", "wall_ms", "sessions_per_s", "wire_B_per_session",
-       "parity"});
+      {"scheme", "clients", "threads", "wall_ms", "sessions_per_s",
+       "wire_B_per_session", "parity"});
 
   bool all_parity = true;
   for (const std::string& scheme : pbs::SchemeRegistry::Instance().Names()) {
     pbs::ServerOptions options;
     options.max_sessions = clients;
+    options.decode_threads = decode_threads;
     std::string error;
     auto server = pbs::ReconcileServer::Create(options, pair.b, &error);
     if (!server) {
@@ -147,7 +157,8 @@ int main() {
     std::snprintf(wall_buf, sizeof(wall_buf), "%.1f", wall_ms);
     std::snprintf(rate_buf, sizeof(rate_buf), "%.0f",
                   clients / (wall_ms / 1000.0));
-    table.AddRow({scheme, std::to_string(clients), wall_buf, rate_buf,
+    table.AddRow({scheme, std::to_string(clients),
+                  std::to_string(decode_threads), wall_buf, rate_buf,
                   std::to_string(wire_bytes / (parity ? clients : 1)),
                   parity ? "yes" : "NO"});
   }

@@ -11,9 +11,14 @@
 //          state (tests/core/hotpath_alloc_test.cc).
 // Also isolates the BCH decode kernel and the PGZ reference solver.
 //
-// Output: one table row per (kernel, path, n, t, d) with ns/op and op/s;
-// JSON via PBS_BENCH_JSON (see docs/BENCHMARKS.md).
+// Output: one table row per (kernel, path, n, t, d, threads) with ns/op
+// and op/s; JSON via PBS_BENCH_JSON (see docs/BENCHMARKS.md). The
+// pbs_round_cycle rows drive the real PbsAlice/PbsBob endpoints over a
+// multi-group plan at decode_threads = 1/2/4 -- the per-group parallel
+// decode records (near-linear scaling expected on idle multi-core
+// hardware; single-core machines record the pool's overhead instead).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -26,9 +31,11 @@
 #include "pbs/common/bitio.h"
 #include "pbs/common/workspace.h"
 #include "pbs/core/parity_bitmap.h"
+#include "pbs/core/pbs_endpoints.h"
 #include "pbs/gf/gf2m.h"
 #include "pbs/hash/hash_family.h"
 #include "pbs/sim/metrics.h"
+#include "pbs/sim/workload.h"
 
 namespace {
 
@@ -40,40 +47,13 @@ using pbs::ParityBitmap;
 using pbs::PowerSumSketch;
 using pbs::SaltedHash;
 using pbs::Workspace;
+using pbs::bench::TimeNs;
 
 struct Case {
   int m;  // Field degree; n = 2^m - 1 bins.
   int t;  // BCH capacity.
   int d;  // Planted differences per unit.
 };
-
-// Runs `op` repeatedly for ~`budget_seconds` of wall clock (after untimed
-// warm-up passes) split over several repetitions, and returns the best
-// (minimum) ns per operation -- the repetition least disturbed by
-// scheduling noise.
-double TimeNs(const std::function<void()>& op, double budget_seconds) {
-  using Clock = std::chrono::steady_clock;
-  op();  // Warm-up: sizes every reused buffer, loads tables.
-  op();
-  constexpr int kRepetitions = 5;
-  double best_ns = 1e18;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
-    int iters = 0;
-    const auto start = Clock::now();
-    double elapsed = 0.0;
-    do {
-      for (int i = 0; i < 16; ++i) op();
-      iters += 16;
-      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
-    } while (elapsed < budget_seconds / kRepetitions);
-    best_ns = std::min(best_ns, elapsed * 1e9 / iters);
-  }
-  return best_ns;
-}
-
-std::string FormatOps(double ns) {
-  return pbs::FormatDouble(1e9 / ns / 1e6, 3);  // Million ops per second.
-}
 
 int main_impl() {
   const bool full = pbs::bench::FullMode();
@@ -83,7 +63,8 @@ int main_impl() {
               budget);
 
   pbs::bench::Recorder rec(
-      "hotpath", {"kernel", "path", "n", "t", "d", "ns_per_op", "Mops"});
+      "hotpath",
+      {"kernel", "path", "n", "t", "d", "threads", "ns_per_op", "Mops"});
 
   const std::vector<Case> cases = {{8, 8, 4}, {9, 12, 6}, {11, 16, 8}};
   const HashFamily family(0xBE7C4);
@@ -188,8 +169,69 @@ int main_impl() {
     for (const auto& row : rows) {
       const double ns = TimeNs(*row.op, budget);
       rec.AddRow({row.kernel, row.path, std::to_string(n),
-                  std::to_string(c.t), std::to_string(c.d),
-                  pbs::FormatDouble(ns, 1), FormatOps(ns)});
+                  std::to_string(c.t), std::to_string(c.d), "1",
+                  pbs::FormatDouble(ns, 1), pbs::bench::FormatMops(ns)});
+    }
+  }
+
+  // ---- Endpoint rounds over a multi-group plan: parallel decode. ----
+  // One op = the complete multi-round request/reply loop of a fresh
+  // endpoint pair. Construction, planning, and the pool spawn happen
+  // OUTSIDE the timed region (they are per-session setup, not per-round
+  // work), so the threads=N rows isolate what decode_threads actually
+  // parallelizes: the per-group encode/decode phases of every round.
+  // Reported is the best rep (least scheduler noise); near-linear scaling
+  // needs idle multi-core hardware -- single-core machines record the
+  // pool's fork/join overhead instead.
+  {
+    const int d = full ? 512 : 256;
+    const int reps = full ? 40 : 15;
+    const pbs::SetPair pair =
+        pbs::GenerateSetPair(4000, static_cast<size_t>(d), 32, 0x9A5EED);
+    std::vector<uint64_t> truth = pair.truth_diff;
+    std::sort(truth.begin(), truth.end());
+    for (int threads : {1, 2, 4}) {
+      pbs::PbsConfig cfg;
+      cfg.decode_threads = threads;
+      const uint64_t seed = 0xB0B;
+      int plan_n = 0;
+      int plan_t = 0;
+      bool ok = true;
+      double best_ns = 1e18;
+      std::vector<uint8_t> req, reply;
+      for (int rep = 0; rep < reps; ++rep) {
+        pbs::PbsAlice alice(pair.a, cfg, seed);
+        pbs::PbsBob bob(pair.b, cfg, seed);
+        alice.SetDifferenceEstimate(d);
+        bob.SetDifferenceEstimate(d);
+        const auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < cfg.max_rounds && !alice.finished(); ++r) {
+          alice.MakeRoundRequest(&req);
+          bob.HandleRoundRequest(req, &reply);
+          alice.HandleRoundReply(reply);
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        best_ns = std::min(
+            best_ns,
+            std::chrono::duration<double, std::nano>(stop - start).count());
+        plan_n = alice.plan().params.n;
+        plan_t = alice.plan().params.t;
+        ok = ok && alice.finished();
+        auto diff = alice.Difference();
+        std::sort(diff.begin(), diff.end());
+        ok = ok && diff == truth;
+      }
+      if (!ok) {
+        std::fprintf(stderr,
+                     "FAIL: threads=%d endpoint reconcile diverged from the "
+                     "planted difference\n",
+                     threads);
+        return 1;
+      }
+      rec.AddRow({"pbs_round_cycle", "endpoints", std::to_string(plan_n),
+                  std::to_string(plan_t), std::to_string(d),
+                  std::to_string(threads), pbs::FormatDouble(best_ns, 1),
+                  pbs::bench::FormatMops(best_ns)});
     }
   }
 

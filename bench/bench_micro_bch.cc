@@ -1,18 +1,33 @@
-// Micro-benchmarks: BCH power-sum sketch encode / decode.
+// Micro-benchmarks: BCH power-sum sketch kernels (Recorder harness).
 //
 // Confirms the complexity story of the paper: per-element encoding is
 // O(t) field ops, decoding is O(t^2) -- the reason PinSketch (t ~ 1.38 d)
-// cannot scale and PBS (t ~ 13 per group) can.
+// cannot scale and PBS (t ~ 13 per group) can. One table/JSON row per
+// (kernel, path, m, t, d); the toggle rows are tagged with the arithmetic
+// path they run on (log-table walk vs dispatched carry-less multiply), so
+// the trajectory file distinguishes the kernels across PRs.
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
+#include "pbs/bch/berlekamp_massey.h"
+#include "pbs/bch/levinson.h"
+#include "pbs/bch/pgz_decoder.h"
 #include "pbs/bch/power_sum_sketch.h"
+#include "pbs/common/cpu_features.h"
 #include "pbs/common/rng.h"
+#include "pbs/common/workspace.h"
 
-namespace pbs {
 namespace {
+
+using pbs::GF2m;
+using pbs::PowerSumSketch;
+using pbs::Span;
+using pbs::Workspace;
+using pbs::Xoshiro256;
 
 std::vector<uint64_t> Distinct(const GF2m& f, int count, uint64_t seed) {
   Xoshiro256 rng(seed);
@@ -23,46 +38,117 @@ std::vector<uint64_t> Distinct(const GF2m& f, int count, uint64_t seed) {
   return {s.begin(), s.end()};
 }
 
-void BM_SketchToggle(benchmark::State& state) {
-  GF2m f(static_cast<int>(state.range(0)));
-  const int t = static_cast<int>(state.range(1));
-  PowerSumSketch sketch(f, t);
-  uint64_t x = 1;
-  for (auto _ : state) {
-    sketch.Toggle(x);
-    x = (x % f.order()) + 1;
-  }
-}
-BENCHMARK(BM_SketchToggle)->Args({7, 13})->Args({11, 13})->Args({32, 13})
-    ->Args({32, 138})->Args({32, 1380});
+int main_impl() {
+  const bool full = pbs::bench::FullMode();
+  const double budget = full ? 0.6 : 0.15;
+  std::printf("== BCH power-sum sketch micro-benchmarks ==\n");
+  std::printf("mode=%s budget=%.2fs/case clmul_backend=%s\n\n",
+              full ? "FULL" : "quick", budget,
+              pbs::cpu::CarrylessMulBackend());
 
-void BM_SketchDecode(benchmark::State& state) {
-  const int m = static_cast<int>(state.range(0));
-  const int errors = static_cast<int>(state.range(1));
-  GF2m f(m);
-  const int t = errors + errors / 3 + 1;
-  PowerSumSketch sketch(f, t);
-  for (uint64_t e : Distinct(f, errors, 42)) sketch.Toggle(e);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sketch.Decode());
-  }
-}
-// Bitmap-sized decodes (the per-group PBS cost) vs universe-sized decodes
-// (the PinSketch cost): the latter explodes quadratically.
-BENCHMARK(BM_SketchDecode)->Args({7, 5})->Args({11, 5})->Args({11, 17})
-    ->Args({32, 10})->Args({32, 100})->Args({32, 300});
+  pbs::bench::Recorder rec(
+      "micro_bch", {"kernel", "path", "m", "t", "d", "ns_per_op", "Mops"});
+  const auto add = [&rec](const char* kernel, const std::string& path, int m,
+                          int t, int d, double ns) {
+    rec.AddRow({kernel, path, std::to_string(m), std::to_string(t),
+                std::to_string(d), pbs::FormatDouble(ns, 1), pbs::bench::FormatMops(ns)});
+  };
 
-void BM_SketchSerialize(benchmark::State& state) {
-  GF2m f(11);
-  PowerSumSketch sketch(f, 13);
-  for (uint64_t e : Distinct(f, 10, 7)) sketch.Toggle(e);
-  for (auto _ : state) {
-    BitWriter w;
-    sketch.Serialize(&w);
-    benchmark::DoNotOptimize(w.bytes());
+  // ---- Sketch toggle: one element's odd power sums (O(t) field ops). ----
+  // Bitmap-sized fields run the log-domain walk (gf2m.h OddPowerAccum);
+  // universe-sized fields the dispatched carry-less path.
+  {
+    const struct {
+      int m;
+      int t;
+    } cases[] = {{7, 13}, {11, 13}, {32, 13}, {32, 138}, {32, 1380}};
+    for (const auto& c : cases) {
+      GF2m f(c.m);
+      PowerSumSketch sketch(f, c.t);
+      uint64_t x = 1;
+      add("sketch_toggle", pbs::bench::FieldPathLabel(f), c.m, c.t, 1,
+          pbs::bench::TimeNs(
+              [&] {
+                sketch.Toggle(x);
+                x = (x % f.order()) + 1;
+              },
+              budget));
+    }
   }
+
+  // ---- Sketch decode: locator solve + root search (O(t^2) + search). ----
+  // Bitmap-sized decodes (the per-group PBS cost) vs universe-sized
+  // decodes (the PinSketch cost): the latter explodes quadratically.
+  {
+    const struct {
+      int m;
+      int errors;
+    } cases[] = {{7, 5}, {11, 5}, {11, 17}, {32, 10}, {32, 100}, {32, 300}};
+    Workspace ws;
+    std::vector<uint64_t> positions;
+    for (const auto& c : cases) {
+      GF2m f(c.m);
+      const int t = c.errors + c.errors / 3 + 1;
+      PowerSumSketch sketch(f, t);
+      for (uint64_t e : Distinct(f, c.errors, 42)) sketch.Toggle(e);
+      add("sketch_decode", pbs::bench::FieldPathLabel(f), c.m, t, c.errors,
+          pbs::bench::TimeNs(
+              [&] { (void)sketch.DecodeInto(&positions, ws); }, budget));
+    }
+  }
+
+  // ---- Locator solvers head-to-head at the per-group shape. ----
+  // t = 16 syndromes, v = 8 actual differences: the (n = 2047, t = 16)
+  // group decode's algebraic core, isolated from binning and root search.
+  {
+    constexpr int m = 11;
+    constexpr int t = 16;
+    constexpr int v = 8;
+    GF2m f(m);
+    PowerSumSketch sketch(f, t);
+    for (uint64_t e : Distinct(f, v, 7)) sketch.Toggle(e);
+    // Full even+odd syndrome window S_1..S_2t from the sketch's odd rows
+    // (S_2k = S_k^2 in characteristic 2).
+    std::vector<uint64_t> syndromes(2 * t, 0);
+    for (int k = 1; k <= 2 * t; ++k) {
+      syndromes[k - 1] = (k % 2 == 1) ? sketch.odd_syndromes()[(k - 1) / 2]
+                                      : f.Sqr(syndromes[k / 2 - 1]);
+    }
+    Workspace ws;
+    std::vector<uint64_t> lambda(t + 1, 0);
+    add("bm", "ws", m, t, v, pbs::bench::TimeNs([&] {
+          (void)pbs::BerlekampMasseyWs(f, Span<const uint64_t>(syndromes), ws,
+                                       Span<uint64_t>(lambda));
+        }, budget));
+    add("levinson", "ws", m, t, v, pbs::bench::TimeNs([&] {
+          (void)pbs::LevinsonLocatorWs(f, Span<const uint64_t>(syndromes), v,
+                                       ws, Span<uint64_t>(lambda));
+        }, budget));
+    add("pgz", "ws", m, t, v, pbs::bench::TimeNs([&] {
+          (void)pbs::PgzLocatorWs(f, Span<const uint64_t>(syndromes), ws,
+                                  Span<uint64_t>(lambda));
+        }, budget));
+  }
+
+  // ---- Serialization (t * m bits through the bit writer). ----
+  {
+    GF2m f(11);
+    PowerSumSketch sketch(f, 13);
+    for (uint64_t e : Distinct(f, 10, 7)) sketch.Toggle(e);
+    pbs::BitWriter w;
+    add("sketch_serialize", "ws", 11, 13, 10, pbs::bench::TimeNs([&] {
+          w.Clear();
+          sketch.Serialize(&w);
+        }, budget));
+  }
+
+  rec.Print();
+  std::printf(
+      "\nsketch_toggle is the per-element encode cost (O(t)); sketch_decode "
+      "the\nper-group recovery cost (O(t^2) solve + root search).\n");
+  return 0;
 }
-BENCHMARK(BM_SketchSerialize);
 
 }  // namespace
-}  // namespace pbs
+
+int main() { return main_impl(); }

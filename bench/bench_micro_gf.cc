@@ -1,66 +1,181 @@
-// Micro-benchmarks: GF(2^m) field arithmetic (google-benchmark).
+// Micro-benchmarks: GF(2^m) field arithmetic kernels (Recorder harness).
 //
-// The table path (m <= 16) vs the clmul path (m > 16), plus the polynomial
-// primitives the BCH decoders are built from.
+// One table/JSON row per (kernel, path, m, size): the table path (m <= 16)
+// vs the dispatched carry-less path (m > 16), the log-domain batch kernels
+// against their scalar per-element loops, the hardware vs portable
+// carry-less multiply, and Horner vs incremental Chien search -- the
+// kernel records scripts/collect_bench.py tracks across PRs (path
+// "horner" vs "incremental", "portable" vs "clmul"; see docs/BENCHMARKS.md).
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
+#include "pbs/common/cpu_features.h"
 #include "pbs/common/rng.h"
+#include "pbs/common/workspace.h"
 #include "pbs/gf/gf2m.h"
 #include "pbs/gf/gfpoly.h"
+#include "pbs/gf/roots.h"
 
-namespace pbs {
 namespace {
 
-void BM_FieldMul(benchmark::State& state) {
-  GF2m f(static_cast<int>(state.range(0)));
-  Xoshiro256 rng(1);
-  const uint64_t a = rng.NextBounded(f.order()) + 1;
-  uint64_t b = rng.NextBounded(f.order()) + 1;
-  for (auto _ : state) {
-    b = f.Mul(a, b) | 1;
-    benchmark::DoNotOptimize(b);
-  }
-}
-BENCHMARK(BM_FieldMul)->Arg(7)->Arg(11)->Arg(16)->Arg(32)->Arg(63);
+using pbs::GF2m;
+using pbs::GFPoly;
+using pbs::Span;
+using pbs::Workspace;
+using pbs::Xoshiro256;
 
-void BM_FieldInv(benchmark::State& state) {
-  GF2m f(static_cast<int>(state.range(0)));
-  Xoshiro256 rng(2);
-  uint64_t a = rng.NextBounded(f.order()) + 1;
-  for (auto _ : state) {
-    a = f.Inv(a) | 1;
-    benchmark::DoNotOptimize(a);
-  }
-}
-BENCHMARK(BM_FieldInv)->Arg(7)->Arg(11)->Arg(32)->Arg(63);
+int main_impl() {
+  const bool full = pbs::bench::FullMode();
+  const double budget = full ? 0.6 : 0.15;
+  std::printf("== GF(2^m) kernel micro-benchmarks ==\n");
+  std::printf("mode=%s budget=%.2fs/case clmul_backend=%s\n\n",
+              full ? "FULL" : "quick", budget,
+              pbs::cpu::CarrylessMulBackend());
 
-void BM_PolyEval(benchmark::State& state) {
-  GF2m f(11);
-  Xoshiro256 rng(3);
-  std::vector<uint64_t> coeffs(state.range(0));
-  for (auto& c : coeffs) c = rng.NextBounded(f.order()) + 1;
-  GFPoly p(f, coeffs);
-  uint64_t x = 5;
-  for (auto _ : state) {
-    x = (p.Eval(x) | 1) & f.order();
-    benchmark::DoNotOptimize(x);
-  }
-}
-BENCHMARK(BM_PolyEval)->Arg(5)->Arg(13)->Arg(40);
+  pbs::bench::Recorder rec(
+      "micro_gf", {"kernel", "path", "m", "size", "ns_per_op", "Mops"});
+  const auto add = [&rec](const char* kernel, const std::string& path, int m,
+                          size_t size, double ns) {
+    rec.AddRow({kernel, path, std::to_string(m), std::to_string(size),
+                pbs::FormatDouble(ns, 1), pbs::bench::FormatMops(ns)});
+  };
 
-void BM_PolyMul(benchmark::State& state) {
-  GF2m f(32);
-  Xoshiro256 rng(4);
-  std::vector<uint64_t> ca(state.range(0)), cb(state.range(0));
-  for (auto& c : ca) c = rng.NextBounded(f.order()) + 1;
-  for (auto& c : cb) c = rng.NextBounded(f.order()) + 1;
-  GFPoly a(f, ca), b(f, cb);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.Mul(b));
+  // ---- Single-element Mul / Inv: table vs dispatched carry-less. ----
+  for (int m : {7, 11, 16, 32, 63}) {
+    GF2m f(m);
+    Xoshiro256 rng(1);
+    const uint64_t a = rng.NextBounded(f.order()) + 1;
+    uint64_t b = rng.NextBounded(f.order()) + 1;
+    add("field_mul", pbs::bench::FieldPathLabel(f), m, 1,
+        pbs::bench::TimeNs([&] { b = f.Mul(a, b) | 1; }, budget));
+    uint64_t v = rng.NextBounded(f.order()) + 1;
+    add("field_inv", pbs::bench::FieldPathLabel(f), m, 1,
+        pbs::bench::TimeNs([&] { v = f.Inv(v) | 1; }, budget));
   }
+
+  // ---- Carry-less MulMod: hardware dispatch vs portable fallback. ----
+  // The table-free path multiplies through gf2x; both kernels are always
+  // compiled (modulo PBS_DISABLE_CLMUL), so both are recorded even when
+  // dispatch would pick only one.
+  for (int m : {17, 32, 63}) {
+    GF2m f(m);
+    Xoshiro256 rng(2);
+    const uint64_t modulus = f.modulus();
+    const uint64_t a = rng.NextBounded(f.order()) + 1;
+    uint64_t b = rng.NextBounded(f.order()) + 1;
+    add("mulmod", pbs::cpu::CarrylessMulBackend(), m, 1,
+        pbs::bench::TimeNs(
+            [&] { b = pbs::gf2x::MulMod(a, b, modulus) | 1; }, budget));
+    uint64_t c = rng.NextBounded(f.order()) + 1;
+    add("mulmod", "portable", m, 1,
+        pbs::bench::TimeNs(
+            [&] { c = pbs::gf2x::MulModPortable(a, c, modulus) | 1; },
+            budget));
+  }
+
+  // ---- Log-domain batch kernels vs scalar per-element loops. ----
+  {
+    constexpr int m = 11;
+    constexpr size_t size = 64;
+    GF2m f(m);
+    Xoshiro256 rng(3);
+    std::vector<uint64_t> src(size), dst(size, 0);
+    for (auto& x : src) x = rng.NextBounded(f.order()) + 1;
+    const uint64_t c = rng.NextBounded(f.order()) + 1;
+    add("mul_many_accum", "scalar", m, size, pbs::bench::TimeNs([&] {
+          for (size_t i = 0; i < size; ++i) dst[i] ^= f.Mul(c, src[i]);
+        }, budget));
+    add("mul_many_accum", "batch", m, size, pbs::bench::TimeNs([&] {
+          f.MulManyAccum(c, Span<const uint64_t>(src), Span<uint64_t>(dst));
+        }, budget));
+
+    std::vector<uint64_t> bvec(size);
+    for (auto& x : bvec) x = rng.NextBounded(f.order()) + 1;
+    uint64_t sink = 0;
+    add("dot", "scalar", m, size, pbs::bench::TimeNs([&] {
+          uint64_t acc = 0;
+          for (size_t i = 0; i < size; ++i) acc ^= f.Mul(src[i], bvec[i]);
+          sink ^= acc;
+        }, budget));
+    add("dot", "batch", m, size, pbs::bench::TimeNs([&] {
+          sink ^= f.Dot(Span<const uint64_t>(src), Span<const uint64_t>(bvec));
+        }, budget));
+
+    std::vector<uint64_t> powers(size);
+    const uint64_t base = rng.NextBounded(f.order()) + 1;
+    add("pow_table", "scalar", m, size, pbs::bench::TimeNs([&] {
+          powers[0] = 1;
+          for (size_t i = 1; i < size; ++i) powers[i] = f.Mul(powers[i - 1], base);
+        }, budget));
+    add("pow_table", "batch", m, size, pbs::bench::TimeNs([&] {
+          f.PowTableInto(base, Span<uint64_t>(powers));
+        }, budget));
+    if (sink == 0xDEAD) std::printf(" ");  // Defeat dead-code elimination.
+  }
+
+  // ---- Chien search: Horner reference vs incremental kernel. ----
+  // A degree-t locator with t planted roots, the per-group decode shape
+  // (n = 2^m - 1 candidate points, early exit once all roots found).
+  for (int m : {8, 11}) {
+    for (int deg : {8, 16}) {
+      GF2m f(m);
+      Xoshiro256 rng(static_cast<uint64_t>(m * 100 + deg));
+      GFPoly locator = GFPoly::One(f);
+      std::vector<bool> used(f.order() + 1, false);
+      for (int planted = 0; planted < deg;) {
+        const uint64_t r = rng.NextBounded(f.order()) + 1;
+        if (used[r]) continue;
+        used[r] = true;
+        locator = locator.Mul(GFPoly(f, {r, 1}));
+        ++planted;
+      }
+      const std::vector<uint64_t>& coeffs = locator.coeffs();
+      std::vector<uint64_t> out(deg);
+      Workspace ws;
+      int found = 0;
+      add("chien", "horner", m, deg, pbs::bench::TimeNs([&] {
+            found = pbs::ChienSearchInto(f, Span<const uint64_t>(coeffs),
+                                         Span<uint64_t>(out));
+          }, budget));
+      add("chien", "incremental", m, deg, pbs::bench::TimeNs([&] {
+            found = pbs::ChienSearchIncremental(
+                f, Span<const uint64_t>(coeffs), ws, Span<uint64_t>(out));
+          }, budget));
+      if (found != deg) {
+        std::fprintf(stderr, "FAIL: chien m=%d deg=%d found %d roots\n", m,
+                     deg, found);
+        return 1;
+      }
+    }
+  }
+
+  // ---- Polynomial primitives (unchanged shape, for the trajectory). ----
+  {
+    GF2m f(11);
+    Xoshiro256 rng(4);
+    for (size_t size : {5u, 13u, 40u}) {
+      std::vector<uint64_t> coeffs(size);
+      for (auto& c : coeffs) c = rng.NextBounded(f.order()) + 1;
+      GFPoly p(f, coeffs);
+      uint64_t x = 5;
+      add("poly_eval", "table", 11, size, pbs::bench::TimeNs([&] {
+            x = (p.Eval(x) | 1) & f.order();
+          }, budget));
+    }
+  }
+
+  rec.Print();
+  std::printf(
+      "\nmulmod rows record both dispatch paths; chien rows compare the "
+      "Horner\nreference against the incremental stride kernel the decode "
+      "hot path uses.\n");
+  return 0;
 }
-BENCHMARK(BM_PolyMul)->Arg(13)->Arg(64);
 
 }  // namespace
-}  // namespace pbs
+
+int main() { return main_impl(); }

@@ -12,6 +12,18 @@ record benches are tracked by (see docs/BENCHMARKS.md):
 Records are deduplicated exactly (identical JSON objects collapse), so
 re-merging the same run is idempotent. Pass --run-id to tag the records
 of this merge (e.g. a git SHA or CI run number).
+
+Comparison mode: --compare <baseline_run_id> additionally matches every
+just-merged ns_per_op record against the trajectory records tagged with
+that baseline run id (same bench, same identity fields -- kernel, path,
+n, t, ...; fields missing on either side, such as columns added after the
+baseline was recorded, are ignored) and prints per-kernel speedup ratios
+(baseline / new; > 1 is faster). Any record slower than baseline by more
+than --regression-tolerance (default 10%) fails the script, so CI can
+gate on kernel regressions:
+
+    scripts/collect_bench.py run.jsonl --run-id pr5 --compare pr3 \\
+        --report bench_delta.txt
 """
 
 import argparse
@@ -21,6 +33,13 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 SCHEMA = 1
+
+# Fields that carry measurements or merge metadata rather than identity:
+# two records describing the same kernel configuration differ only here.
+MEASUREMENT_KEYS = {
+    "ns_per_op", "Mops", "wall_ms", "sessions_per_s", "wire_B_per_session",
+    "parity", "run_id",
+}
 
 
 def load_jsonl(path):
@@ -38,6 +57,81 @@ def load_jsonl(path):
     return records
 
 
+def identity(record):
+    return {k: v for k, v in record.items() if k not in MEASUREMENT_KEYS}
+
+
+def matches(new, base):
+    """Same kernel configuration: every identity field present on BOTH
+    sides must agree (columns only one side has -- e.g. added after the
+    baseline was recorded -- do not block the match)."""
+    new_id, base_id = identity(new), identity(base)
+    shared = set(new_id) & set(base_id)
+    return bool(shared) and all(new_id[k] == base_id[k] for k in shared)
+
+
+def describe(record):
+    parts = [str(record.get("bench", "?"))]
+    for key in ("kernel", "path", "scheme", "m", "n", "t", "d", "size",
+                "threads", "mode"):
+        if key in record:
+            parts.append(f"{key}={record[key]}")
+    return " ".join(parts)
+
+
+def compare(new_records, trajectory, baseline_run_id, tolerance, report_path):
+    baseline = [r for r in trajectory
+                if r.get("run_id") == baseline_run_id and "ns_per_op" in r]
+    if not baseline:
+        print(f"--compare: no ns_per_op records with run_id "
+              f"'{baseline_run_id}' in the trajectory", file=sys.stderr)
+        return 1
+
+    lines = [f"kernel speedups vs run_id '{baseline_run_id}' "
+             f"(ratio = baseline / new; > 1 is faster, "
+             f"regression threshold {tolerance:.0%}):", ""]
+    regressions = []
+    compared = 0
+    for new in new_records:
+        if "ns_per_op" not in new:
+            continue
+        candidates = [b for b in baseline if matches(new, b)]
+        if not candidates:
+            continue
+        # Ambiguity (a baseline predating a new identity column) resolves
+        # to the fastest baseline: the strictest bar for the new kernel.
+        base = min(candidates, key=lambda r: float(r["ns_per_op"]))
+        new_ns = float(new["ns_per_op"])
+        base_ns = float(base["ns_per_op"])
+        ratio = base_ns / new_ns if new_ns > 0 else float("inf")
+        flag = ""
+        if new_ns > base_ns * (1.0 + tolerance):
+            flag = "  << REGRESSION"
+            regressions.append(describe(new))
+        lines.append(f"  {describe(new):<60} {base_ns:>12.1f} -> "
+                     f"{new_ns:>12.1f} ns/op   x{ratio:5.2f}{flag}")
+        compared += 1
+
+    lines.append("")
+    lines.append(f"{compared} record(s) compared, "
+                 f"{len(regressions)} regression(s)")
+    text = "\n".join(lines)
+    print(text)
+    if report_path:
+        Path(report_path).write_text(text + "\n", encoding="utf-8")
+        print(f"delta report written to {report_path}")
+    if regressions:
+        print("FAIL: kernel regression(s) beyond tolerance:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    if compared == 0:
+        print("--compare: no new record matched the baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("inputs", nargs="+",
@@ -46,6 +140,16 @@ def main():
                         help="merged trajectory file (default: %(default)s)")
     parser.add_argument("--run-id", default=None,
                         help="optional tag stored on this merge's records")
+    parser.add_argument("--compare", metavar="BASELINE_RUN_ID", default=None,
+                        help="compare the merged records against the "
+                             "trajectory records with this run_id and fail "
+                             "on regressions")
+    parser.add_argument("--regression-tolerance", type=float, default=0.10,
+                        help="fractional slowdown vs baseline that counts "
+                             "as a regression (default: %(default)s)")
+    parser.add_argument("--report", default=None,
+                        help="also write the --compare delta report to this "
+                             "file")
     args = parser.parse_args()
 
     out_path = Path(args.out)
@@ -60,10 +164,12 @@ def main():
 
     seen = {json.dumps(r, sort_keys=True) for r in merged["records"]}
     added = 0
+    new_records = []
     for path in args.inputs:
         for record in load_jsonl(path):
             if args.run_id is not None:
                 record.setdefault("run_id", args.run_id)
+            new_records.append(record)
             key = json.dumps(record, sort_keys=True)
             if key in seen:
                 continue
@@ -80,6 +186,10 @@ def main():
         fh.write("\n")
     print(f"{out_path}: {added} new record(s), "
           f"{len(merged['records'])} total")
+
+    if args.compare is not None:
+        return compare(new_records, merged["records"], args.compare,
+                       args.regression_tolerance, args.report)
     return 0
 
 

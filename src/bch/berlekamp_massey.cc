@@ -1,5 +1,6 @@
 #include "pbs/bch/berlekamp_massey.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <utility>
@@ -25,12 +26,14 @@ BmWsResult BerlekampMasseyWs(const GF2m& field, Span<const uint64_t> syndromes,
   uint64_t bd = 1;  // Discrepancy when B was saved.
 
   for (int pos = 0; pos < n_syms; ++pos) {
-    // Discrepancy d = S_{pos+1} + sum_{i=1..L} C_i * S_{pos+1-i}.
+    // Discrepancy d = S_{pos+1} + sum_{i=1..L} C_i * S_{pos+1-i}, batched
+    // as a reversed inner product (gf2m.h DotRev: log-domain, zero-skip).
+    const int window = std::min({l, pos, static_cast<int>(c_size) - 1});
     uint64_t d = syndromes[pos];
-    for (int i = 1; i <= l && i <= pos; ++i) {
-      if (i < static_cast<int>(c_size)) {
-        d ^= field.Mul(lambda_out[i], syndromes[pos - i]);
-      }
+    if (window > 0) {
+      d ^= field.DotRev(
+          Span<const uint64_t>(lambda_out.data() + 1, window),
+          Span<const uint64_t>(syndromes.data() + pos - window, window));
     }
     if (d == 0) {
       ++shift;
@@ -41,9 +44,8 @@ BmWsResult BerlekampMasseyWs(const GF2m& field, Span<const uint64_t> syndromes,
       std::memcpy(t_buf.data(), lambda_out.data(), c_size * sizeof(uint64_t));
       const size_t t_size = c_size;
       if (c_size < b_size + shift) c_size = b_size + shift;
-      for (size_t i = 0; i < b_size; ++i) {
-        lambda_out[i + shift] ^= field.Mul(coef, b_buf[i]);
-      }
+      field.MulManyAccum(coef, Span<const uint64_t>(b_buf.data(), b_size),
+                         Span<uint64_t>(lambda_out.data() + shift, b_size));
       l = pos + 1 - l;
       // B <- old C: swap the scratch buffers instead of copying again.
       std::swap(b_buf, t_buf);
@@ -52,9 +54,8 @@ BmWsResult BerlekampMasseyWs(const GF2m& field, Span<const uint64_t> syndromes,
       shift = 1;
     } else {
       if (c_size < b_size + shift) c_size = b_size + shift;
-      for (size_t i = 0; i < b_size; ++i) {
-        lambda_out[i + shift] ^= field.Mul(coef, b_buf[i]);
-      }
+      field.MulManyAccum(coef, Span<const uint64_t>(b_buf.data(), b_size),
+                         Span<uint64_t>(lambda_out.data() + shift, b_size));
       ++shift;
     }
   }

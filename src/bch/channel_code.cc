@@ -18,15 +18,10 @@ std::vector<uint64_t> BchChannelCode::SyndromesOf(
   // Odd power sums of the positions whose bit is 1 (positions 1..n map to
   // the nonzero field elements), identical to PowerSumSketch's kernel.
   std::vector<uint64_t> odd(t_, 0);
+  Span<uint64_t> odd_span(odd);
   for (int pos = 1; pos <= static_cast<int>(bits.size()); ++pos) {
     if (!bits[pos - 1]) continue;
-    const uint64_t x = static_cast<uint64_t>(pos);
-    const uint64_t x2 = field_.Sqr(x);
-    uint64_t power = x;
-    for (int i = 0; i < t_; ++i) {
-      odd[i] ^= power;
-      if (i + 1 < t_) power = field_.Mul(power, x2);
-    }
+    field_.OddPowerAccum(static_cast<uint64_t>(pos), odd_span);
   }
   return odd;
 }

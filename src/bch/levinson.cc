@@ -8,44 +8,47 @@ namespace pbs {
 namespace {
 
 // Core Levinson recursion for a general (nonsymmetric) Toeplitz system
-// T x = rhs over GF(2^m), where T(i, j) = diag(i - j) and diag is defined
-// for lags -(v-1)..(v-1). Maintains the solution x_k of the k x k leading
-// system plus forward/backward auxiliary vectors f_k, g_k with
-// T_k f_k = e_0 and T_k g_k = e_{k-1}. In characteristic 2, + and -
-// coincide, which simplifies the updates. Writes the solution into `x`
-// (v slots) and returns false when a leading principal minor is singular
-// (the recursion's regularity condition). `Diag` is a compile-time functor
-// so the lag lookup inlines (a std::function here would cost an indirect
-// call -- and possibly an allocation -- per coefficient).
-template <typename Diag>
-bool LevinsonSolveToeplitzWs(const GF2m& field, const Diag& diag,
+// T x = rhs over GF(2^m), where T(i, j) = diags[(i - j) + (v - 1)] with
+// the 2v-1 lag diagonals packed densely (lag -(v-1) first). Maintains the
+// solution x_k of the k x k leading system plus forward/backward auxiliary
+// vectors f_k, g_k with T_k f_k = e_0 and T_k g_k = e_{k-1}. In
+// characteristic 2, + and - coincide, which simplifies the updates. The
+// dense-diagonal layout (instead of the previous lag functor) is what lets
+// the residual sums and vector updates run through the log-domain batch
+// kernels of gf2m.h: every inner loop is a DotRev window or a
+// MulManyAccum. Writes the solution into `x` (v slots) and returns false
+// when a leading principal minor is singular (the recursion's regularity
+// condition).
+bool LevinsonSolveToeplitzWs(const GF2m& field, Span<const uint64_t> diags,
                              Span<const uint64_t> rhs, Workspace& ws,
                              Span<uint64_t> x) {
   const size_t v = rhs.size();
   if (v == 0) return true;
+  assert(diags.size() == 2 * v - 1);
   assert(x.size() >= v);
-  if (diag(0) == 0) return false;  // 1x1 leading minor singular.
+  const uint64_t diag0 = diags[v - 1];
+  if (diag0 == 0) return false;  // 1x1 leading minor singular.
 
-  x[0] = field.Div(rhs[0], diag(0));
+  x[0] = field.Div(rhs[0], diag0);
   // f/g are double-buffered: each step's update reads both old vectors.
   auto f = ws.Take<uint64_t>(v);
   auto g = ws.Take<uint64_t>(v);
   auto f_next = ws.Take<uint64_t>(v);
   auto g_next = ws.Take<uint64_t>(v);
-  f[0] = field.Inv(diag(0));
+  f[0] = field.Inv(diag0);
   g[0] = f[0];
 
   for (size_t k = 1; k < v; ++k) {
-    // Residual of [f, 0] at the new last row: sum_j T(k, j) f_j.
-    uint64_t ef = 0;
-    for (size_t j = 0; j < k; ++j) {
-      ef ^= field.Mul(diag(static_cast<int>(k - j)), f[j]);
-    }
-    // Residual of [0, g] at the first row: sum_j T(0, j+1) g_j.
-    uint64_t eg = 0;
-    for (size_t j = 0; j < k; ++j) {
-      eg ^= field.Mul(diag(-static_cast<int>(j) - 1), g[j]);
-    }
+    const Span<const uint64_t> fk(f.data(), k);
+    const Span<const uint64_t> gk(g.data(), k);
+    // Residual of [f, 0] at the new last row: sum_j T(k, j) f_j =
+    // sum_j diags[(v-1) + (k-j)] f[j].
+    const uint64_t ef =
+        field.DotRev(fk, Span<const uint64_t>(diags.data() + v, k));
+    // Residual of [0, g] at the first row: sum_j T(0, j+1) g_j =
+    // sum_j diags[(v-2) - j] g[j].
+    const uint64_t eg =
+        field.DotRev(gk, Span<const uint64_t>(diags.data() + (v - 1 - k), k));
 
     // [f, 0] solves e_0 + ef e_k; [0, g] solves eg e_0 + e_k. Combine with
     // denominator 1 - ef eg (char 2: XOR).
@@ -57,24 +60,23 @@ bool LevinsonSolveToeplitzWs(const GF2m& field, const Diag& diag,
       f_next[j] = 0;
       g_next[j] = 0;
     }
-    for (size_t j = 0; j < k; ++j) {
-      f_next[j] ^= field.Mul(dinv, f[j]);
-      g_next[j + 1] ^= field.Mul(dinv, g[j]);
-      f_next[j + 1] ^= field.Mul(field.Mul(dinv, ef), g[j]);
-      g_next[j] ^= field.Mul(field.Mul(dinv, eg), f[j]);
-    }
+    field.MulManyAccum(dinv, fk, Span<uint64_t>(f_next.data(), k));
+    field.MulManyAccum(dinv, gk, Span<uint64_t>(g_next.data() + 1, k));
+    field.MulManyAccum(field.Mul(dinv, ef), gk,
+                       Span<uint64_t>(f_next.data() + 1, k));
+    field.MulManyAccum(field.Mul(dinv, eg), fk,
+                       Span<uint64_t>(g_next.data(), k));
     std::swap(f, f_next);
     std::swap(g, g_next);
 
     // Extend the solution: residual of [x, 0] at the new last row; patch
     // it with g (which excites only that row).
-    uint64_t ex = 0;
-    for (size_t j = 0; j < k; ++j) {
-      ex ^= field.Mul(diag(static_cast<int>(k - j)), x[j]);
-    }
+    const uint64_t ex =
+        field.DotRev(Span<const uint64_t>(x.data(), k),
+                     Span<const uint64_t>(diags.data() + v, k));
     const uint64_t correction = ex ^ rhs[k];
     x[k] = 0;
-    for (size_t j = 0; j <= k; ++j) x[j] ^= field.Mul(correction, g[j]);
+    field.MulManyAccum(correction, Span<const uint64_t>(g.data(), k + 1), x);
   }
   return true;
 }
@@ -89,15 +91,14 @@ std::optional<std::vector<uint64_t>> LevinsonSolveHankel(
   assert(h.size() == 2 * v - 1);
 
   // Row-reverse into Toeplitz form: (J H)(i, j) = h[(v-1-i) + j] depends
-  // only on i - j, with diagonal value h[(v-1) - (i-j)]; the right-hand
-  // side reverses with the rows and the solution vector is unchanged.
+  // only on i - j, with lag diagonal h[(v-1) - lag] -- i.e. the dense
+  // diagonal array is h reversed; the right-hand side reverses with the
+  // rows and the solution vector is unchanged.
   Workspace ws;
-  auto diag = [&h, v](int lag) {
-    return h[static_cast<size_t>(static_cast<int>(v) - 1 - lag)];
-  };
+  std::vector<uint64_t> diags(h.rbegin(), h.rend());
   std::vector<uint64_t> reversed_b(b.rbegin(), b.rend());
   std::vector<uint64_t> x(v, 0);
-  if (!LevinsonSolveToeplitzWs(field, diag, reversed_b, ws, x)) {
+  if (!LevinsonSolveToeplitzWs(field, diags, reversed_b, ws, x)) {
     return std::nullopt;
   }
   return x;
@@ -113,15 +114,15 @@ bool LevinsonLocatorWs(const GF2m& field, Span<const uint64_t> syndromes,
 
   // The Hankel system H(i, j) = S_{i + j + 1}, b_i = S_{v + i + 1},
   // row-reversed into Toeplitz form as in LevinsonSolveHankel: the lag
-  // diagonal is h[(v-1) - lag] = S_{v - lag}, and the reversed right-hand
-  // side is b_rev[i] = S_{2v - i}.
-  auto diag = [&syndromes, v](int lag) {
-    return syndromes[static_cast<size_t>(v - 1 - lag)];
-  };
+  // diagonal is S_{v - lag}, so the dense array is the first 2v-1
+  // syndromes reversed, and the reversed right-hand side is
+  // b_rev[i] = S_{2v - i}.
+  auto diags = ws.Take<uint64_t>(2 * v - 1);
+  for (int i = 0; i < 2 * v - 1; ++i) diags[i] = syndromes[2 * v - 2 - i];
   auto rhs = ws.Take<uint64_t>(v);
   for (int i = 0; i < v; ++i) rhs[i] = syndromes[2 * v - i - 1];
   auto solution = ws.Take<uint64_t>(v);
-  if (!LevinsonSolveToeplitzWs(field, diag, rhs.cspan(), ws,
+  if (!LevinsonSolveToeplitzWs(field, diags.cspan(), rhs.cspan(), ws,
                                solution.span())) {
     return false;
   }
@@ -133,13 +134,14 @@ bool LevinsonLocatorWs(const GF2m& field, Span<const uint64_t> syndromes,
   for (int j = 1; j <= v; ++j) lambda_out[j] = solution[v - j];
   if (lambda_out[v] == 0) return false;  // Degree collapsed.
 
-  // Verify the recurrence across all provided syndromes.
+  // Verify the recurrence across all provided syndromes (the DotRev
+  // discrepancy form: S_k + sum_j Lambda_j S_{k-j}).
   const int total = static_cast<int>(syndromes.size());
   for (int k = v + 1; k <= total; ++k) {
-    uint64_t acc = syndromes[k - 1];
-    for (int j = 1; j <= v; ++j) {
-      acc ^= field.Mul(lambda_out[j], syndromes[k - j - 1]);
-    }
+    const uint64_t acc =
+        syndromes[k - 1] ^
+        field.DotRev(Span<const uint64_t>(lambda_out.data() + 1, v),
+                     Span<const uint64_t>(syndromes.data() + (k - v - 1), v));
     if (acc != 0) return false;
   }
   return true;

@@ -26,15 +26,18 @@ bool SolveInPlace(const GF2m& field, uint64_t* a, uint64_t* rhs, int n) {
       std::swap_ranges(a + col * n, a + (col + 1) * n, a + pivot * n);
       std::swap(rhs[col], rhs[pivot]);
     }
+    // Row scaling and elimination run through the log-domain batch
+    // kernels (gf2m.h): the pivot row's suffix from the pivot column on.
+    const int tail = n - col;
     const uint64_t inv = field.Inv(a[col * n + col]);
-    for (int j = col; j < n; ++j) a[col * n + j] = field.Mul(a[col * n + j], inv);
+    const Span<uint64_t> pivot_row(a + col * n + col, tail);
+    field.MulManyInto(inv, pivot_row, pivot_row);
     rhs[col] = field.Mul(rhs[col], inv);
     for (int row = 0; row < n; ++row) {
       if (row == col || a[row * n + col] == 0) continue;
       const uint64_t factor = a[row * n + col];
-      for (int j = col; j < n; ++j) {
-        a[row * n + j] ^= field.Mul(factor, a[col * n + j]);
-      }
+      field.MulManyAccum(factor, pivot_row,
+                         Span<uint64_t>(a + row * n + col, tail));
       rhs[row] ^= field.Mul(factor, rhs[col]);
     }
   }
@@ -75,13 +78,14 @@ int PgzLocatorWs(const GF2m& field, Span<const uint64_t> syndromes,
     if (!SolveInPlace(field, matrix.data(), rhs.data(), v)) continue;
     if (rhs[v - 1] == 0) continue;  // Leading coefficient vanished.
 
-    // Verify the recurrence over the full syndrome window.
+    // Verify the recurrence over the full syndrome window: acc = S_k +
+    // sum_j Lambda_j S_{k-j}, the DotRev discrepancy form.
     bool ok = true;
     for (int k = v + 1; k <= 2 * t && ok; ++k) {
-      uint64_t acc = s(k);
-      for (int j = 1; j <= v; ++j) {
-        acc ^= field.Mul(rhs[j - 1], s(k - j));
-      }
+      const uint64_t acc =
+          s(k) ^ field.DotRev(
+                     Span<const uint64_t>(rhs.data(), v),
+                     Span<const uint64_t>(syndromes.data() + (k - v - 1), v));
       if (acc != 0) ok = false;
     }
     if (!ok) continue;

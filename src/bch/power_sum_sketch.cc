@@ -15,14 +15,9 @@ PowerSumSketch::PowerSumSketch(const GF2m& field, int t)
 
 void PowerSumSketch::ToggleInto(const GF2m& field, uint64_t element,
                                 Span<uint64_t> odd) {
-  // Accumulate x^1, x^3, x^5, ... via repeated multiplication by x^2.
-  const uint64_t x2 = field.Sqr(element);
-  uint64_t power = element;
-  const size_t t = odd.size();
-  for (size_t i = 0; i < t; ++i) {
-    odd[i] ^= power;
-    if (i + 1 < t) power = field.Mul(power, x2);
-  }
+  // One log-domain walk over x^1, x^3, x^5, ... (table-free fields fall
+  // back to repeated carry-less multiplication by x^2 internally).
+  field.OddPowerAccum(element, odd);
 }
 
 void PowerSumSketch::Toggle(uint64_t element) {
@@ -33,6 +28,11 @@ void PowerSumSketch::Toggle(uint64_t element) {
 void PowerSumSketch::Merge(const PowerSumSketch& other) {
   assert(t_ == other.t_ && field_ == other.field_);
   for (int i = 0; i < t_; ++i) odd_[i] ^= other.odd_[i];
+}
+
+void PowerSumSketch::MergeOdd(Span<const uint64_t> odd_syndromes) {
+  assert(static_cast<int>(odd_syndromes.size()) == t_);
+  for (int i = 0; i < t_; ++i) odd_[i] ^= odd_syndromes[i];
 }
 
 void PowerSumSketch::Reset() {

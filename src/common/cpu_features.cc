@@ -1,0 +1,39 @@
+#include "pbs/common/cpu_features.h"
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_PMULL
+#define HWCAP_PMULL (1 << 4)
+#endif
+#endif
+
+namespace pbs::cpu {
+
+namespace {
+
+bool DetectCarrylessMul() {
+#if defined(PBS_DISABLE_CLMUL)
+  return false;
+#elif defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // The gf2x kernel uses _mm_clmulepi64_si128 + _mm_extract_epi64.
+  return __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+#elif defined(__aarch64__) && defined(__linux__) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return (getauxval(AT_HWCAP) & HWCAP_PMULL) != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool HasCarrylessMul() {
+  static const bool has = DetectCarrylessMul();
+  return has;
+}
+
+const char* CarrylessMulBackend() {
+  return HasCarrylessMul() ? "clmul" : "portable";
+}
+
+}  // namespace pbs::cpu

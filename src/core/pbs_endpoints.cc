@@ -12,6 +12,7 @@
 
 #include "pbs/common/bitio.h"
 #include "pbs/common/mset_hash.h"
+#include "pbs/common/parallel.h"
 #include "pbs/common/workspace.h"
 #include "pbs/core/messages.h"
 #include "pbs/core/parity_bitmap.h"
@@ -86,11 +87,23 @@ struct PbsAlice::Impl {
   // does) runs on Bob's side.
   BitWriter writer;
   ParityBitmap pb_scratch;
-  std::optional<PowerSumSketch> sketch_scratch;  // Re-made per plan.
   std::vector<uint64_t> positions_scratch;
   std::vector<uint64_t> xors_scratch;
   std::vector<Unit> next_units_scratch;
   std::vector<bool> flags_scratch;
+
+  // Per-group parallel encode (config.decode_threads != 1): the groups'
+  // parity bitmaps and sketches are independent, so phase A builds them
+  // concurrently -- one scratch block per worker, one flat staging slice
+  // per unit -- and phase B serializes the staged syndromes in canonical
+  // unit order, byte-identical to the serial writer.
+  struct WorkerScratch {
+    ParityBitmap pb;
+    std::optional<PowerSumSketch> sketch;  // Re-made per plan.
+  };
+  std::vector<std::unique_ptr<WorkerScratch>> workers;
+  std::unique_ptr<ParallelFor> pool;  // Null when decode_threads == 1.
+  std::vector<uint64_t> enc_syndromes;  // units.size() * t staging slots.
 
   Impl(std::vector<uint64_t> elems, const PbsConfig& cfg, uint64_t seed)
       : config(cfg), family(seed), elements(std::move(elems)) {}
@@ -98,7 +111,16 @@ struct PbsAlice::Impl {
   void BuildUnits() {
     const uint32_t g = static_cast<uint32_t>(plan.params.g);
     field = GF2m(plan.params.m);
-    sketch_scratch.emplace(field, plan.params.t);
+    const int nthreads = ParallelFor::ResolveThreads(config.decode_threads);
+    if (nthreads > 1 && pool == nullptr) {
+      pool = std::make_unique<ParallelFor>(nthreads);
+    }
+    const int scratch_count = pool != nullptr ? pool->threads() : 1;
+    workers.clear();
+    for (int i = 0; i < scratch_count; ++i) {
+      workers.push_back(std::make_unique<WorkerScratch>());
+      workers.back()->sketch.emplace(field, plan.params.t);
+    }
     units.clear();
     units.resize(g);
     for (uint32_t i = 0; i < g; ++i) {
@@ -188,19 +210,43 @@ void PbsAlice::MakeRoundRequest(std::vector<uint8_t>* out) {
   assert(a.plan_ready);
   ++a.round;
   const auto start = Clock::now();
+  const int t = a.plan.params.t;
+  const int m = a.plan.params.m;
+  const size_t n_units = a.units.size();
 
+  // Phase A (parallel over units): bin each group and stage its sketch's
+  // odd syndromes in the unit's flat slice.
+  a.enc_syndromes.resize(n_units * static_cast<size_t>(t));
+  const auto encode_unit = [&a, t](size_t u, int worker) {
+    const Impl::Unit& unit = a.units[u];
+    if (unit.settled) return;
+    Impl::WorkerScratch& scratch = *a.workers[worker];
+    const SaltedHash h(unit.core.BinSalt(a.family, a.round));
+    ParityBitmap::BuildInto(unit.working, h, a.plan.params.n, &scratch.pb);
+    scratch.pb.ToSketchInto(&*scratch.sketch);
+    const std::vector<uint64_t>& odd = scratch.sketch->odd_syndromes();
+    std::copy(odd.begin(), odd.end(),
+              a.enc_syndromes.begin() + u * static_cast<size_t>(t));
+  };
+  if (a.pool != nullptr) {
+    a.pool->Run(n_units, encode_unit);
+  } else {
+    for (size_t u = 0; u < n_units; ++u) encode_unit(u, 0);
+  }
+
+  // Phase B (serial): settled flags, then the staged syndromes in
+  // canonical unit order -- byte-identical to serializing each sketch
+  // inline, for any thread count.
   BitWriter& w = a.writer;
   w.Clear();
   if (a.have_flags) {
     for (bool settled : a.last_settled) w.WriteBit(settled);
     a.have_flags = false;
   }
-  for (const Impl::Unit& unit : a.units) {
-    if (unit.settled) continue;
-    const SaltedHash h(unit.core.BinSalt(a.family, a.round));
-    ParityBitmap::BuildInto(unit.working, h, a.plan.params.n, &a.pb_scratch);
-    a.pb_scratch.ToSketchInto(&*a.sketch_scratch);
-    a.sketch_scratch->Serialize(&w);
+  for (size_t u = 0; u < n_units; ++u) {
+    if (a.units[u].settled) continue;
+    const uint64_t* syn = a.enc_syndromes.data() + u * static_cast<size_t>(t);
+    for (int i = 0; i < t; ++i) w.WriteBits(syn[i], m);
   }
 
   a.timers.encode_seconds += Seconds(start, Clock::now());
@@ -341,13 +387,29 @@ struct PbsBob::Impl {
 
   // Round-processing scratch (see PbsAlice::Impl): reused so steady-state
   // request handling allocates nothing.
-  Workspace ws;
   BitWriter writer;
-  ParityBitmap pb_scratch;
-  std::optional<PowerSumSketch> alice_sketch_scratch;  // Re-made per plan.
-  std::optional<PowerSumSketch> diff_sketch_scratch;
-  std::vector<uint64_t> positions_scratch;
   std::vector<Unit> next_units_scratch;
+
+  // Per-group parallel decode (config.decode_threads != 1). The round is
+  // a three-phase pipeline: (1) serial -- stage every unit's peer sketch
+  // out of the request bitstream; (2) parallel over units -- bin, sketch,
+  // merge, BCH-decode each group into its flat result slice, each worker
+  // using its own Workspace/bitmap/sketch scratch; (3) serial -- write
+  // the reply in canonical unit order. Results are written to per-unit
+  // slots and serialized in order, so the reply bytes are identical for
+  // every thread count.
+  struct WorkerScratch {
+    Workspace ws;
+    ParityBitmap pb;
+    std::optional<PowerSumSketch> diff_sketch;  // Re-made per plan.
+    std::vector<uint64_t> positions;
+  };
+  std::vector<std::unique_ptr<WorkerScratch>> workers;
+  std::unique_ptr<ParallelFor> pool;  // Null when decode_threads == 1.
+  std::vector<uint64_t> alice_syndromes;  // units.size() * t, wire order.
+  std::vector<uint64_t> unit_positions;   // units.size() * t result slots.
+  std::vector<uint64_t> unit_xors;        // Matching per-position XOR sums.
+  std::vector<int> unit_counts;           // Recovered count, -1 = failed.
 
   Impl(std::vector<uint64_t> elems, const PbsConfig& cfg, uint64_t seed)
       : config(cfg), family(seed), elements(std::move(elems)) {}
@@ -361,8 +423,16 @@ struct PbsBob::Impl {
   void BuildUnits() {
     const uint32_t g = static_cast<uint32_t>(plan.params.g);
     field = GF2m(plan.params.m);
-    alice_sketch_scratch.emplace(field, plan.params.t);
-    diff_sketch_scratch.emplace(field, plan.params.t);
+    const int nthreads = ParallelFor::ResolveThreads(config.decode_threads);
+    if (nthreads > 1 && pool == nullptr) {
+      pool = std::make_unique<ParallelFor>(nthreads);
+    }
+    const int scratch_count = pool != nullptr ? pool->threads() : 1;
+    workers.clear();
+    for (int i = 0; i < scratch_count; ++i) {
+      workers.push_back(std::make_unique<WorkerScratch>());
+      workers.back()->diff_sketch.emplace(field, plan.params.t);
+    }
     units.clear();
     units.resize(g);
     for (uint32_t i = 0; i < g; ++i) units[i].core = UnitCore::Root(family, i);
@@ -462,35 +532,80 @@ void PbsBob::HandleRoundRequest(const std::vector<uint8_t>& request,
   const int count_bits = wire::CountBits(b.plan.params.t);
   const int m = b.plan.params.m;
   const int n = b.plan.params.n;
+  const int t = b.plan.params.t;
   const int sig_bits = b.config.sig_bits;
+  const size_t n_units = b.units.size();
+  const size_t stride = static_cast<size_t>(t);
 
-  for (Impl::Unit& unit : b.units) {
-    const auto encode_start = Clock::now();
-    PowerSumSketch& alice_sketch = *b.alice_sketch_scratch;
-    alice_sketch.ReadFrom(&r);
+  // Phase 1 (serial): stage every unit's peer sketch out of the request
+  // bitstream (the bit-serial reader forces canonical order here).
+  const auto read_start = Clock::now();
+  b.alice_syndromes.resize(n_units * stride);
+  for (size_t u = 0; u < n_units; ++u) {
+    uint64_t* syn = b.alice_syndromes.data() + u * stride;
+    for (int i = 0; i < t; ++i) syn[i] = r.ReadBits(m);
+  }
+  b.unit_counts.resize(n_units);
+  b.unit_positions.resize(n_units * stride);
+  b.unit_xors.resize(n_units * stride);
+
+  // Phase 2 (parallel over units): bin, sketch, merge, BCH-decode each
+  // group into its flat result slice. Shared state is read-only (element
+  // lists, field tables, hash family); every mutable object is per-worker
+  // or per-unit, as common/parallel.h's ownership rules require.
+  const auto decode_start = Clock::now();
+  b.timers.encode_seconds += Seconds(read_start, decode_start);
+  const auto decode_unit = [&b, n, stride](size_t u, int worker) {
+    const Impl::Unit& unit = b.units[u];
+    Impl::WorkerScratch& scratch = *b.workers[worker];
     const SaltedHash h(unit.core.BinSalt(b.family, b.round));
-    ParityBitmap& pb = b.pb_scratch;
-    ParityBitmap::BuildInto(unit.elements, h, n, &pb);
-    PowerSumSketch& diff_sketch = *b.diff_sketch_scratch;
-    pb.ToSketchInto(&diff_sketch);
-    diff_sketch.Merge(alice_sketch);
-    const auto decode_start = Clock::now();
-    b.timers.encode_seconds += Seconds(encode_start, decode_start);
+    ParityBitmap::BuildInto(unit.elements, h, n, &scratch.pb);
+    PowerSumSketch& diff_sketch = *scratch.diff_sketch;
+    scratch.pb.ToSketchInto(&diff_sketch);
+    diff_sketch.MergeOdd(Span<const uint64_t>(
+        b.alice_syndromes.data() + u * stride, stride));
+    if (!diff_sketch.DecodeInto(&scratch.positions, scratch.ws)) {
+      b.unit_counts[u] = -1;
+      return;
+    }
+    const int count = static_cast<int>(scratch.positions.size());
+    b.unit_counts[u] = count;
+    uint64_t* positions = b.unit_positions.data() + u * stride;
+    uint64_t* xors = b.unit_xors.data() + u * stride;
+    for (int i = 0; i < count; ++i) {
+      const uint64_t pos = scratch.positions[i];
+      positions[i] = pos;
+      xors[i] = scratch.pb.xor_sum[pos];
+    }
+  };
+  if (b.pool != nullptr) {
+    b.pool->Run(n_units, decode_unit);
+  } else {
+    for (size_t u = 0; u < n_units; ++u) decode_unit(u, 0);
+  }
 
-    std::vector<uint64_t>& positions = b.positions_scratch;
-    if (!diff_sketch.DecodeInto(&positions, b.ws)) {
+  // Phase 3 (serial): the reply in canonical unit order -- byte-identical
+  // to the serial per-unit writer for any thread count.
+  const auto write_start = Clock::now();
+  b.timers.decode_seconds += Seconds(decode_start, write_start);
+  for (size_t u = 0; u < n_units; ++u) {
+    Impl::Unit& unit = b.units[u];
+    const int count = b.unit_counts[u];
+    if (count < 0) {
       unit.decode_failed = true;
       w.WriteBit(true);
-    } else {
-      unit.decode_failed = false;
-      w.WriteBit(false);
-      w.WriteBits(static_cast<uint64_t>(positions.size()), count_bits);
-      for (uint64_t pos : positions) w.WriteBits(pos, m);
-      for (uint64_t pos : positions) w.WriteBits(pb.xor_sum[pos], sig_bits);
-      w.WriteBits(unit.checksum, sig_bits);
+      continue;
     }
-    b.timers.decode_seconds += Seconds(decode_start, Clock::now());
+    unit.decode_failed = false;
+    w.WriteBit(false);
+    w.WriteBits(static_cast<uint64_t>(count), count_bits);
+    const uint64_t* positions = b.unit_positions.data() + u * stride;
+    const uint64_t* xors = b.unit_xors.data() + u * stride;
+    for (int i = 0; i < count; ++i) w.WriteBits(positions[i], m);
+    for (int i = 0; i < count; ++i) w.WriteBits(xors[i], sig_bits);
+    w.WriteBits(unit.checksum, sig_bits);
   }
+  b.timers.encode_seconds += Seconds(write_start, Clock::now());
 
   reply->assign(w.bytes().begin(), w.bytes().end());
 }

@@ -213,7 +213,16 @@ SessionEngine SessionEngine::Responder(std::vector<uint64_t> elements,
 
 SessionEngine SessionEngine::Responder(SharedElements elements,
                                        const SchemeRegistry* registry) {
-  return SessionEngine(/*is_initiator=*/false, SessionConfig(),
+  return Responder(SessionConfig(), std::move(elements), registry);
+}
+
+SessionEngine SessionEngine::Responder(const SessionConfig& local_config,
+                                       SharedElements elements,
+                                       const SchemeRegistry* registry) {
+  // The HELLO decode overwrites every wire-carried field of config_;
+  // side-local knobs (decode_threads) are simply never written by it, so
+  // seeding config_ here is all that "honoring local defaults" takes.
+  return SessionEngine(/*is_initiator=*/false, local_config,
                        std::move(elements), registry);
 }
 

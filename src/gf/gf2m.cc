@@ -6,17 +6,55 @@
 
 namespace pbs {
 
+namespace {
+
+// a^e mod f via square-and-multiply on the raw carry-less layer; used while
+// building a field's tables (before the field object exists).
+uint64_t PowMod(uint64_t a, uint64_t e, uint64_t f) {
+  uint64_t result = 1;
+  uint64_t base = a;
+  while (e != 0) {
+    if (e & 1) result = gf2x::MulMod(result, base, f);
+    base = gf2x::MulMod(base, base, f);
+    e >>= 1;
+  }
+  return result;
+}
+
+// Distinct prime factors of `x` by trial division (x <= 2^16 - 1 here, so
+// this is a few dozen divisions). Returns the count.
+int DistinctPrimeFactors(uint64_t x, uint64_t out[16]) {
+  int count = 0;
+  for (uint64_t p = 2; p * p <= x; ++p) {
+    if (x % p == 0) {
+      out[count++] = p;
+      while (x % p == 0) x /= p;
+    }
+  }
+  if (x > 1) out[count++] = x;
+  return count;
+}
+
+}  // namespace
+
 GF2m::GF2m(int m) {
   assert(m >= 2 && m <= 63);
   static std::map<int, std::shared_ptr<const State>> cache;
   static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(m);
-  if (it != cache.end()) {
-    state_ = it->second;
-    return;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(m);
+    if (it != cache.end()) {
+      state_ = it->second;
+      return;
+    }
   }
 
+  // Build outside the lock: the 2^17-entry table construction is the
+  // expensive part, and holding the global mutex through it would stall
+  // every other thread's field lookup (including for different m). Two
+  // threads may race to build the same field; the first insert wins and
+  // the loser's state is simply dropped.
   auto state = std::make_shared<State>();
   state->m = m;
   state->order = (uint64_t{1} << m) - 1;
@@ -24,34 +62,44 @@ GF2m::GF2m(int m) {
 
   if (m <= kMaxTableBits) {
     const uint64_t order = state->order;
+    const uint64_t modulus = state->modulus;
     state->log.assign(order + 1, 0);
     state->exp.assign(2 * order, 0);
-    // Find a generator g of the multiplicative group: iterate candidates and
-    // check that powers of g enumerate all `order` nonzero elements.
+    // Find a generator of the multiplicative group: g generates iff its
+    // order is 2^m - 1, i.e. g^(order/p) != 1 for every prime p | order.
+    // This O(#primes * m) test per candidate replaces the seed code's full
+    // 2^m-step enumeration per failed candidate; the smallest passing g is
+    // unchanged, so the tables (and everything keyed off them) are
+    // bit-identical to before.
+    uint64_t primes[16];
+    const int num_primes = DistinctPrimeFactors(order, primes);
+    uint64_t gen = 0;
     for (uint64_t g = 2; g <= order; ++g) {
-      uint64_t v = 1;
-      uint64_t count = 0;
-      bool full_cycle = true;
-      do {
-        state->exp[count] = v;
-        state->log[v] = static_cast<uint32_t>(count);
-        v = gf2x::MulMod(v, g, state->modulus);
-        ++count;
-        if (count > order) {
-          full_cycle = false;
-          break;
-        }
-      } while (v != 1);
-      if (full_cycle && count == order) break;
-      // Not a generator; wipe and retry (log entries get overwritten).
+      bool is_generator = true;
+      for (int i = 0; i < num_primes && is_generator; ++i) {
+        if (PowMod(g, order / primes[i], modulus) == 1) is_generator = false;
+      }
+      if (is_generator) {
+        gen = g;
+        break;
+      }
     }
+    assert(gen != 0);  // The multiplicative group of a field is cyclic.
+    uint64_t v = 1;
+    for (uint64_t k = 0; k < order; ++k) {
+      state->exp[k] = v;
+      state->log[v] = static_cast<uint32_t>(k);
+      v = gf2x::MulMod(v, gen, modulus);
+    }
+    // Doubled tail: exp[log a + log b] never needs a modular reduction.
     for (uint64_t k = 0; k < order; ++k) {
       state->exp[order + k] = state->exp[k];
     }
   }
 
-  cache[m] = state;
-  state_ = state;
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = cache.emplace(m, std::move(state));
+  state_ = it->second;
 }
 
 uint64_t GF2m::Inv(uint64_t a) const {
@@ -73,6 +121,146 @@ uint64_t GF2m::Pow(uint64_t a, uint64_t e) const {
     e >>= 1;
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Log-domain batch kernels.
+// ---------------------------------------------------------------------------
+
+void GF2m::MulManyAccum(uint64_t c, Span<const uint64_t> src,
+                        Span<uint64_t> dst) const {
+  assert(dst.size() >= src.size());
+  if (c == 0) return;
+  const State& s = *state_;
+  if (s.log.empty()) {
+    for (size_t i = 0; i < src.size(); ++i) {
+      if (src[i] != 0) dst[i] ^= gf2x::MulMod(c, src[i], s.modulus);
+    }
+    return;
+  }
+  const uint32_t lc = s.log[c];
+  const uint32_t* log = s.log.data();
+  const uint64_t* exp = s.exp.data();
+  for (size_t i = 0; i < src.size(); ++i) {
+    const uint64_t v = src[i];
+    if (v != 0) dst[i] ^= exp[lc + log[v]];
+  }
+}
+
+void GF2m::MulManyInto(uint64_t c, Span<const uint64_t> src,
+                       Span<uint64_t> dst) const {
+  assert(dst.size() >= src.size());
+  if (c == 0) {
+    for (size_t i = 0; i < src.size(); ++i) dst[i] = 0;
+    return;
+  }
+  const State& s = *state_;
+  if (s.log.empty()) {
+    for (size_t i = 0; i < src.size(); ++i) {
+      dst[i] = src[i] == 0 ? 0 : gf2x::MulMod(c, src[i], s.modulus);
+    }
+    return;
+  }
+  const uint32_t lc = s.log[c];
+  const uint32_t* log = s.log.data();
+  const uint64_t* exp = s.exp.data();
+  for (size_t i = 0; i < src.size(); ++i) {
+    const uint64_t v = src[i];
+    dst[i] = v == 0 ? 0 : exp[lc + log[v]];
+  }
+}
+
+uint64_t GF2m::Dot(Span<const uint64_t> a, Span<const uint64_t> b) const {
+  assert(a.size() == b.size());
+  const State& s = *state_;
+  uint64_t acc = 0;
+  if (s.log.empty()) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != 0 && b[i] != 0) acc ^= gf2x::MulMod(a[i], b[i], s.modulus);
+    }
+    return acc;
+  }
+  const uint32_t* log = s.log.data();
+  const uint64_t* exp = s.exp.data();
+  for (size_t i = 0; i < a.size(); ++i) {
+    const uint64_t x = a[i], y = b[i];
+    if (x != 0 && y != 0) acc ^= exp[log[x] + log[y]];
+  }
+  return acc;
+}
+
+uint64_t GF2m::DotRev(Span<const uint64_t> a, Span<const uint64_t> b) const {
+  assert(a.size() == b.size());
+  const State& s = *state_;
+  const size_t n = a.size();
+  uint64_t acc = 0;
+  if (s.log.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t x = a[i], y = b[n - 1 - i];
+      if (x != 0 && y != 0) acc ^= gf2x::MulMod(x, y, s.modulus);
+    }
+    return acc;
+  }
+  const uint32_t* log = s.log.data();
+  const uint64_t* exp = s.exp.data();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t x = a[i], y = b[n - 1 - i];
+    if (x != 0 && y != 0) acc ^= exp[log[x] + log[y]];
+  }
+  return acc;
+}
+
+void GF2m::PowTableInto(uint64_t a, Span<uint64_t> out) const {
+  if (out.empty()) return;
+  out[0] = 1;
+  const State& s = *state_;
+  if (a == 0) {
+    for (size_t i = 1; i < out.size(); ++i) out[i] = 0;
+    return;
+  }
+  if (s.log.empty()) {
+    for (size_t i = 1; i < out.size(); ++i) {
+      out[i] = gf2x::MulMod(out[i - 1], a, s.modulus);
+    }
+    return;
+  }
+  const uint64_t order = s.order;
+  const uint64_t* exp = s.exp.data();
+  const uint32_t step = s.log[a];
+  uint64_t l = 0;
+  for (size_t i = 1; i < out.size(); ++i) {
+    l += step;
+    if (l >= order) l -= order;
+    out[i] = exp[l];
+  }
+}
+
+void GF2m::OddPowerAccum(uint64_t x, Span<uint64_t> odd) const {
+  assert(x != 0);
+  const State& s = *state_;
+  if (s.log.empty()) {
+    // Accumulate x^1, x^3, ... via repeated multiplication by x^2.
+    const uint64_t x2 = gf2x::SqrMod(x, s.modulus);
+    uint64_t power = x;
+    const size_t t = odd.size();
+    for (size_t i = 0; i < t; ++i) {
+      odd[i] ^= power;
+      if (i + 1 < t) power = gf2x::MulMod(power, x2, s.modulus);
+    }
+    return;
+  }
+  const uint64_t order = s.order;
+  const uint64_t* exp = s.exp.data();
+  const uint64_t lx = s.log[x];
+  // log(x^(2i+1)) walks by 2*log(x) mod order per term.
+  uint64_t step = 2 * lx;
+  if (step >= order) step -= order;
+  uint64_t l = lx;
+  for (size_t i = 0; i < odd.size(); ++i) {
+    odd[i] ^= exp[l];
+    l += step;
+    if (l >= order) l -= order;
+  }
 }
 
 }  // namespace pbs

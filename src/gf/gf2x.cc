@@ -4,10 +4,23 @@
 #include <cassert>
 #include <mutex>
 
-#if defined(__PCLMUL__) && defined(__SSE4_1__)
+#include "pbs/common/cpu_features.h"
+
+// The hardware kernels are compiled with per-function target attributes so
+// the rest of the library needs no -mpclmul/-march flags; they are only
+// ever *called* after cpu::HasCarrylessMul() confirmed the instructions
+// exist. PBS_DISABLE_CLMUL (CMake: -DPBS_DISABLE_CLMUL=ON) compiles them
+// out entirely, leaving the portable path as the only one -- the CI leg
+// that keeps the fallback honest.
+#if !defined(PBS_DISABLE_CLMUL) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
 #include <smmintrin.h>
 #include <wmmintrin.h>
-#define PBS_USE_PCLMUL 1
+#define PBS_HAVE_CLMUL_KERNEL 1
+#elif !defined(PBS_DISABLE_CLMUL) && defined(__aarch64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#include <arm_neon.h>
+#define PBS_HAVE_CLMUL_KERNEL 1
 #endif
 
 namespace pbs::gf2x {
@@ -23,20 +36,7 @@ int Degree128(U128 a) {
   return Degree(static_cast<uint64_t>(a));
 }
 
-#if defined(PBS_USE_PCLMUL)
-
-U128 ClMul(uint64_t a, uint64_t b) {
-  __m128i va = _mm_set_epi64x(0, static_cast<long long>(a));
-  __m128i vb = _mm_set_epi64x(0, static_cast<long long>(b));
-  __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
-  uint64_t lo = static_cast<uint64_t>(_mm_cvtsi128_si64(prod));
-  uint64_t hi = static_cast<uint64_t>(_mm_extract_epi64(prod, 1));
-  return (static_cast<U128>(hi) << 64) | lo;
-}
-
-#else
-
-U128 ClMul(uint64_t a, uint64_t b) {
+U128 ClMulPortable(uint64_t a, uint64_t b) {
   // Portable shift-and-XOR fallback. (A masked-integer-multiply "ctmul"
   // trick exists but silently corrupts dense 64-bit operands: up to 16
   // partial products can collide on one bit position, and the resulting
@@ -51,7 +51,38 @@ U128 ClMul(uint64_t a, uint64_t b) {
   return result;
 }
 
-#endif  // PBS_USE_PCLMUL
+#if defined(PBS_HAVE_CLMUL_KERNEL)
+#if defined(__x86_64__)
+
+__attribute__((target("pclmul,sse4.1")))
+static U128 ClMulHw(uint64_t a, uint64_t b) {
+  __m128i va = _mm_set_epi64x(0, static_cast<long long>(a));
+  __m128i vb = _mm_set_epi64x(0, static_cast<long long>(b));
+  __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
+  uint64_t lo = static_cast<uint64_t>(_mm_cvtsi128_si64(prod));
+  uint64_t hi = static_cast<uint64_t>(_mm_extract_epi64(prod, 1));
+  return (static_cast<U128>(hi) << 64) | lo;
+}
+
+#elif defined(__aarch64__)
+
+__attribute__((target("+crypto")))
+static U128 ClMulHw(uint64_t a, uint64_t b) {
+  return static_cast<U128>(
+      vmull_p64(static_cast<poly64_t>(a), static_cast<poly64_t>(b)));
+}
+
+#endif
+#endif  // PBS_HAVE_CLMUL_KERNEL
+
+U128 ClMul(uint64_t a, uint64_t b) {
+#if defined(PBS_HAVE_CLMUL_KERNEL)
+  // One cached bool; the branch predicts perfectly after the first call.
+  static const bool use_hw = cpu::HasCarrylessMul();
+  if (use_hw) return ClMulHw(a, b);
+#endif
+  return ClMulPortable(a, b);
+}
 
 uint64_t Mod(U128 a, uint64_t f) {
   const int m = Degree(f);
@@ -66,6 +97,10 @@ uint64_t Mod(U128 a, uint64_t f) {
 
 uint64_t MulMod(uint64_t a, uint64_t b, uint64_t f) {
   return Mod(ClMul(a, b), f);
+}
+
+uint64_t MulModPortable(uint64_t a, uint64_t b, uint64_t f) {
+  return Mod(ClMulPortable(a, b), f);
 }
 
 uint64_t SqrMod(uint64_t a, uint64_t f) { return Mod(ClMul(a, a), f); }

@@ -69,9 +69,14 @@ bool SplitsIntoDistinctLinearFactors(const GFPoly& f) {
 std::vector<uint64_t> ChienSearch(const GFPoly& f) {
   const GF2m& field = f.field();
   assert(field.order() < (uint64_t{1} << 20));
+  const int degree = f.degree();
   std::vector<uint64_t> roots;
   for (uint64_t x = 1; x <= field.order(); ++x) {
-    if (f.Eval(x) == 0) roots.push_back(x);
+    if (f.Eval(x) == 0) {
+      roots.push_back(x);
+      // A degree-d polynomial has at most d roots: nothing left to find.
+      if (static_cast<int>(roots.size()) == degree) break;
+    }
   }
   return roots;
 }
@@ -82,11 +87,92 @@ int ChienSearchInto(const GF2m& field, Span<const uint64_t> coeffs,
   // The zero polynomial vanishes everywhere; writing its "roots" would
   // overrun any out span, so reject it explicitly (the degree-based size
   // precondition below is vacuous for it).
-  if (PolyDegree(coeffs) < 0) return 0;
-  assert(static_cast<int>(out.size()) >= PolyDegree(coeffs));
+  const int degree = PolyDegree(coeffs);
+  if (degree < 0) return 0;
+  assert(static_cast<int>(out.size()) >= degree);
   int count = 0;
   for (uint64_t x = 1; x <= field.order(); ++x) {
-    if (PolyEval(field, coeffs, x) == 0) out[count++] = x;
+    if (PolyEval(field, coeffs, x) == 0) {
+      out[count++] = x;
+      if (count == degree) break;  // At most deg roots exist.
+    }
+  }
+  return count;
+}
+
+int ChienSearchIncremental(const GF2m& field, Span<const uint64_t> coeffs,
+                           Workspace& ws, Span<uint64_t> out) {
+  assert(field.has_tables());
+  const int degree = PolyDegree(coeffs);
+  if (degree < 0) return 0;
+  assert(static_cast<int>(out.size()) >= degree);
+  const uint64_t c0 = coeffs[0];
+  if (degree == 0) return 0;
+  if (degree == 1) {
+    // c1 x + c0: the only nonzero root candidate is c0 / c1 (zero -- i.e.
+    // c0 == 0 -- is outside the scanned domain, matching the exhaustive
+    // search, which never visits x = 0).
+    if (c0 == 0) return 0;
+    out[0] = field.Div(c0, coeffs[1]);
+    return 1;
+  }
+
+  const uint64_t order = field.order();
+  // One running term per nonzero coefficient c_j (j >= 1): its log starts
+  // at log(c_j) (the value at x = g^0 = 1) and advances by the stride j
+  // per point, since moving from g^i to g^(i+1) multiplies c_j x^j by g^j.
+  auto logs = ws.Take<uint32_t>(degree);
+  auto strides = ws.Take<uint32_t>(degree);
+  auto strides2 = ws.Take<uint32_t>(degree);  // 2j mod order, pair advance.
+  int terms = 0;
+  for (int j = 1; j <= degree; ++j) {
+    if (coeffs[j] != 0) {
+      logs[terms] = field.Log(coeffs[j]);
+      // j mod order keeps every log sum below 2*order (one conditional
+      // subtract suffices even for degrees at or above the group order).
+      const uint32_t stride =
+          static_cast<uint32_t>(static_cast<uint64_t>(j) % order);
+      strides[terms] = stride;
+      const uint32_t twice = 2 * stride;
+      strides2[terms] =
+          twice >= order ? twice - static_cast<uint32_t>(order) : twice;
+      ++terms;
+    }
+  }
+
+  uint32_t* ls = logs.data();
+  const uint32_t* js = strides.data();
+  const uint32_t* j2s = strides2.data();
+  // Two points per fused pass: both lookups go through the *doubled*
+  // antilog table (ls[k] and ls[k] + js[k] are both below 2*order, so
+  // neither needs the wrap applied first), and the stored log advances by
+  // 2j mod order in one step -- halving the ls[] store/reload and wrap
+  // traffic. Everything is raw-pointer and branch-free inside the term
+  // loop; the per-term work is one load + a few ALU ops with no
+  // dependency chain across terms, where Horner pays log/exp/log
+  // dependent lookups per coefficient.
+  const uint64_t* exp = field.exp_data();
+  const uint32_t order32 = static_cast<uint32_t>(order);
+  int count = 0;
+  uint64_t i = 0;
+  for (; i + 1 < order && count < degree; i += 2) {
+    uint64_t acc0 = c0;
+    uint64_t acc1 = c0;
+    for (int k = 0; k < terms; ++k) {
+      const uint32_t l = ls[k];
+      acc0 ^= exp[l];
+      acc1 ^= exp[l + js[k]];
+      const uint32_t next = l + j2s[k];
+      ls[k] = next >= order32 ? next - order32 : next;
+    }
+    if (acc0 == 0) out[count++] = exp[i];  // The points: x = g^i, g^(i+1).
+    if (acc1 == 0 && count < degree) out[count++] = exp[i + 1];
+  }
+  if (count < degree && i < order) {
+    // Odd group order: the last point has no pair partner.
+    uint64_t acc = c0;
+    for (int k = 0; k < terms; ++k) acc ^= exp[ls[k]];
+    if (acc == 0) out[count++] = exp[i];
   }
   return count;
 }
@@ -99,12 +185,11 @@ int FindDistinctNonzeroRootsWs(const GF2m& field, Span<const uint64_t> coeffs,
   if (degree == 0) return 0;
   if (coeffs[0] == 0) return -1;  // Root at zero: miscorrected decode.
 
-  (void)ws;  // The Chien path needs no scratch beyond `out` itself.
   if (field.order() < kChienThreshold) {
-    // Evaluate only the meaningful prefix: trailing zeros past the degree
-    // would cost Horner steps without changing the result.
-    const int count = ChienSearchInto(
-        field, coeffs.first(static_cast<size_t>(degree) + 1), out);
+    // Every Chien-sized field (order < 2^13 <= 2^kMaxTableBits) has its
+    // log/antilog tables built, so the incremental kernel always applies.
+    const int count = ChienSearchIncremental(
+        field, coeffs.first(static_cast<size_t>(degree) + 1), ws, out);
     if (count != degree) return -1;
     return count;
   }

@@ -89,6 +89,13 @@ class PowerSumSketch {
   /// negligible probability -- an undetectable error pattern).
   bool IsZero() const;
 
+  /// XORs a raw odd-syndrome block (t entries of another sketch over the
+  /// same field, e.g. a wire-read slice of a peer's sketch) into this one:
+  /// Merge() without materializing a second PowerSumSketch. Used by the
+  /// parallel per-group decode, which stages every peer sketch in one flat
+  /// buffer (core/pbs_endpoints.cc).
+  void MergeOdd(Span<const uint64_t> odd_syndromes);
+
  private:
   /// XORs the odd power sums x^1, x^3, ..., x^(2t-1) of `element` into
   /// `odd` (t = odd.size()).

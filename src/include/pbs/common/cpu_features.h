@@ -1,0 +1,27 @@
+// Runtime CPU feature detection for the dispatched arithmetic kernels.
+//
+// The table-free GF(2^m) path (signatures/checksums over the 32-bit-plus
+// universe) multiplies 64-bit carry-less polynomials. x86 has PCLMULQDQ and
+// AArch64 has PMULL for exactly this, but neither can be assumed at compile
+// time for a portable binary, so gf2x.cc compiles both the hardware kernel
+// (with a per-function target attribute -- no global -m flags needed) and
+// the portable shift-and-XOR fallback, and picks one at process start based
+// on what the running CPU reports. Building with -DPBS_DISABLE_CLMUL=ON
+// forces the portable path (CI keeps that leg compiled and tested).
+
+#ifndef PBS_COMMON_CPU_FEATURES_H_
+#define PBS_COMMON_CPU_FEATURES_H_
+
+namespace pbs::cpu {
+
+/// True when the running CPU offers a carry-less-multiply instruction the
+/// build has a kernel for (x86 PCLMULQDQ + SSE4.1, AArch64 PMULL).
+/// Detection runs once and is cached; always false under PBS_DISABLE_CLMUL.
+bool HasCarrylessMul();
+
+/// Dispatch label for logs and bench records: "clmul" or "portable".
+const char* CarrylessMulBackend();
+
+}  // namespace pbs::cpu
+
+#endif  // PBS_COMMON_CPU_FEATURES_H_

@@ -30,10 +30,18 @@
 
 namespace pbs {
 
-/// Cumulative CPU-time breakdown of one endpoint (seconds).
+/// Cumulative wall-time breakdown of one endpoint (seconds). Encode is
+/// everything that *produces* sketches and wire bytes: Alice's whole
+/// round request (her per-group bin + sketch pipeline -- parallel when
+/// PbsConfig::decode_threads > 1 -- plus serialization) and Bob's wire
+/// staging/serialization. Decode is Bob's per-group bin + sketch +
+/// BCH-decode pipeline, timed as one phase (it runs fused and, with
+/// decode_threads > 1, concurrently across groups, where per-unit CPU
+/// attribution would be meaningless). Both are wall-clock: with a pool,
+/// a phase's entry is its elapsed time, not the summed worker CPU.
 struct PbsTimers {
-  double encode_seconds = 0.0;  ///< Binning + sketch construction.
-  double decode_seconds = 0.0;  ///< BCH decoding / element recovery + verify.
+  double encode_seconds = 0.0;  ///< Sketch production + (de)serialization.
+  double decode_seconds = 0.0;  ///< Bob's per-group decode pipeline.
 };
 
 /// The initiating endpoint; learns the set difference.

@@ -104,10 +104,20 @@ class SessionEngine {
                                  const SchemeRegistry* registry = nullptr);
 
   /// Mints the responding (Bob) side over `elements` (his set B). The
-  /// scheme and all options arrive in the peer's HELLO.
+  /// scheme and all plan-affecting options arrive in the peer's HELLO.
   static SessionEngine Responder(std::vector<uint64_t> elements,
                                  const SchemeRegistry* registry = nullptr);
   static SessionEngine Responder(SharedElements elements,
+                                 const SchemeRegistry* registry = nullptr);
+
+  /// Responder with side-local defaults: fields of `local_config` that
+  /// never travel in the HELLO are honored for this side's engines --
+  /// currently options.pbs.decode_threads, the local per-group decode
+  /// parallelism (each peer parallelizes with its own resources; the
+  /// recovered difference is identical either way). Every plan-affecting
+  /// field is still adopted from the peer's HELLO.
+  static SessionEngine Responder(const SessionConfig& local_config,
+                                 SharedElements elements,
                                  const SchemeRegistry* registry = nullptr);
 
   SessionEngine(SessionEngine&&) = default;

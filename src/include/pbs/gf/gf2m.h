@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "pbs/common/workspace.h"
 #include "pbs/gf/gf2x.h"
 
 namespace pbs {
@@ -74,6 +75,68 @@ class GF2m {
 
   /// True if `a` is a canonical field element (< 2^m).
   bool IsValid(uint64_t a) const { return a <= state_->order; }
+
+  // -------------------------------------------------------------------------
+  // Log-domain access and batch kernels.
+  //
+  // The decode hot loops (Chien search, LFSR discrepancies, power-sum
+  // toggles) are long runs of multiplies against a fixed operand or a
+  // fixed stride. Routing each through Mul() costs a zero-branch and two
+  // log lookups per element; the kernels below hoist the fixed operand's
+  // log once and turn the loop body into add-and-index. The doubled exp
+  // table (2*order entries, see State) is what lets every kernel skip the
+  // modular reduction of log sums -- it doubles as the per-field "stride
+  // table" of the incremental Chien search (gf/roots.h).
+  // -------------------------------------------------------------------------
+
+  /// True when the log/antilog tables exist (m <= kMaxTableBits). The
+  /// log-domain kernels below work either way; table-free fields fall
+  /// back to carry-less multiplies internally.
+  bool has_tables() const { return !state_->log.empty(); }
+
+  /// Discrete log of nonzero `a` to the cached generator's base.
+  /// Precondition: has_tables() and a != 0.
+  uint32_t Log(uint64_t a) const { return state_->log[a]; }
+
+  /// Generator power exp(k), valid for k in [0, 2*order). Precondition:
+  /// has_tables().
+  uint64_t Exp(uint64_t k) const { return state_->exp[k]; }
+
+  /// Raw doubled antilog table (2*order entries, exp_data()[k] = g^k for
+  /// k in [0, 2*order)), for kernels whose inner loop cannot afford the
+  /// per-call indirection of Exp() (incremental Chien search).
+  /// Precondition: has_tables().
+  const uint64_t* exp_data() const { return state_->exp.data(); }
+
+  /// dst[i] ^= c * src[i] for every i (the row-update / LFSR-feedback
+  /// form). dst must hold at least src.size() entries; aliasing dst with
+  /// src is allowed. c == 0 is a no-op.
+  void MulManyAccum(uint64_t c, Span<const uint64_t> src,
+                    Span<uint64_t> dst) const;
+
+  /// dst[i] = c * src[i] for every i (row scaling). dst must hold at
+  /// least src.size() entries; aliasing dst with src is allowed.
+  void MulManyInto(uint64_t c, Span<const uint64_t> src,
+                   Span<uint64_t> dst) const;
+
+  /// XOR-accumulated inner product sum_i a[i] * b[i] over the common
+  /// prefix (sizes must match).
+  uint64_t Dot(Span<const uint64_t> a, Span<const uint64_t> b) const;
+
+  /// XOR-accumulated reversed inner product sum_i a[i] * b[n-1-i] with
+  /// n = b.size() (the LFSR-discrepancy / recurrence-check form: with
+  /// a = Lambda[1..v] and b = S[k-v .. k-1], this is
+  /// sum_j Lambda_j S_{k-j}). Sizes must match.
+  uint64_t DotRev(Span<const uint64_t> a, Span<const uint64_t> b) const;
+
+  /// Successive powers out[i] = a^i for i in [0, out.size()), a single
+  /// log-domain walk instead of out.size() multiplies.
+  void PowTableInto(uint64_t a, Span<uint64_t> out) const;
+
+  /// odd[i] ^= x^(2i+1) for i in [0, odd.size()): the odd power sums of
+  /// one element, the per-element cost of a BCH power-sum sketch toggle.
+  /// Precondition: x != 0.
+  void OddPowerAccum(uint64_t x, Span<uint64_t> odd) const;
 
   /// True if the two handles denote the same field.
   friend bool operator==(const GF2m& x, const GF2m& y) {

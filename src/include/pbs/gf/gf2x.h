@@ -27,9 +27,16 @@ int Degree(uint64_t a);
 int Degree128(U128 a);
 
 /// Carry-less multiplication of two 64-bit polynomials (128-bit product).
-/// Uses PCLMULQDQ when compiled for a machine that has it; otherwise a
-/// constant-time masked-multiply fallback.
+/// Dispatches at runtime to a hardware kernel (x86 PCLMULQDQ, AArch64
+/// PMULL; see common/cpu_features.h) when the CPU has one and the build
+/// allows it (PBS_DISABLE_CLMUL forces the fallback); otherwise the
+/// portable shift-and-XOR loop below.
 U128 ClMul(uint64_t a, uint64_t b);
+
+/// The portable shift-and-XOR kernel, always available regardless of
+/// dispatch. Exposed so the hardware path stays differentially tested
+/// (tests/gf/gf2x_test.cc) and benchmarkable against it.
+U128 ClMulPortable(uint64_t a, uint64_t b);
 
 /// Reduces a 128-bit polynomial modulo `f` (deg f = m, 1 <= m <= 63; the
 /// leading x^m bit must be set in `f`). Returns a polynomial of degree < m.
@@ -37,6 +44,10 @@ uint64_t Mod(U128 a, uint64_t f);
 
 /// (a * b) mod f.
 uint64_t MulMod(uint64_t a, uint64_t b, uint64_t f);
+
+/// (a * b) mod f through the portable ClMul kernel, bypassing dispatch
+/// (differential-test surface for the hardware path).
+uint64_t MulModPortable(uint64_t a, uint64_t b, uint64_t f);
 
 /// a^2 mod f.
 uint64_t SqrMod(uint64_t a, uint64_t f);

@@ -46,16 +46,33 @@ int FindDistinctNonzeroRootsWs(const GF2m& field, Span<const uint64_t> coeffs,
                                uint64_t seed = 0x9E3779B97F4A7C15ull);
 
 /// Exhaustive Chien-style search (exposed for testing): evaluates f at every
-/// nonzero element. Precondition: field order < 2^20.
+/// nonzero element by Horner's rule, stopping once deg(f) roots are found
+/// (a degree-d polynomial has at most d roots, so the tail scan is provably
+/// fruitless). Precondition: field order < 2^20.
 std::vector<uint64_t> ChienSearch(const GFPoly& f);
 
-/// Allocation-free Chien search: writes every root of `coeffs` in GF(2^m)*
-/// into `out` and returns the count. `out` needs at least
-/// PolyDegree(coeffs) slots (a degree-d polynomial has at most d roots).
-/// The zero polynomial reports 0 roots (it has no meaningful locator
-/// factorization). Precondition: field order < 2^20.
+/// Allocation-free Horner Chien search: writes every root of `coeffs` in
+/// GF(2^m)* into `out` and returns the count, early-exiting once
+/// PolyDegree(coeffs) roots are found. `out` needs at least
+/// PolyDegree(coeffs) slots. The zero polynomial reports 0 roots (it has
+/// no meaningful locator factorization). Precondition: field order < 2^20.
+/// This is the reference implementation the incremental kernel below is
+/// differentially tested against; the decode hot path uses the latter.
 int ChienSearchInto(const GF2m& field, Span<const uint64_t> coeffs,
                     Span<uint64_t> out);
+
+/// Incremental Chien search -- the decode-hot-path kernel. Walks the
+/// nonzero field elements in generator order (x = g^0, g^1, ...); for each
+/// nonzero coefficient c_j it keeps the log of the running term c_j x^j
+/// and advances it by the per-coefficient stride j each point, so one
+/// evaluation is an XOR-reduce of exp-table reads instead of deg(f) Horner
+/// multiplies. Early-exits once deg(f) roots are found; degree-1 locators
+/// are solved directly. Scratch (the per-term log/stride vectors) comes
+/// from `ws`. Finds the same root *set* as ChienSearchInto but reports it
+/// in generator order, not ascending order. Preconditions:
+/// field.has_tables() and out.size() >= PolyDegree(coeffs).
+int ChienSearchIncremental(const GF2m& field, Span<const uint64_t> coeffs,
+                           Workspace& ws, Span<uint64_t> out);
 
 }  // namespace pbs
 

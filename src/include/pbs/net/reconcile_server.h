@@ -45,6 +45,13 @@ struct ServerOptions {
   /// Stop serving after this many sessions finished (completed, failed,
   /// or timed out). 0 = serve until Stop().
   uint64_t serve_limit = 0;
+  /// Per-group decode parallelism handed to every session's responder
+  /// engine (PbsConfig::decode_threads: 1 = serial, 0 = one worker per
+  /// hardware thread). A server-local knob -- it never affects the wire
+  /// bytes or the recovered difference, only how fast a round's g
+  /// independent BCH decodes finish. Note each in-flight session owns its
+  /// own pool, so the thread budget is decode_threads * active sessions.
+  int decode_threads = 1;
 };
 
 /// Monotonic counters, snapshot via ReconcileServer::stats().

@@ -174,8 +174,10 @@ class ReconcileServer::Impl {
         continue;
       }
       Connection conn;
+      SessionConfig local_config;
+      local_config.options.pbs.decode_threads = options_.decode_threads;
       conn.engine = std::make_unique<SessionEngine>(
-          SessionEngine::Responder(elements_));
+          SessionEngine::Responder(local_config, elements_));
       conn.last_active = Clock::now();
       connections_.emplace(fd, std::move(conn));
       {

@@ -1,0 +1,108 @@
+// ParallelFor pool: full index coverage, worker-index discipline, reuse
+// across Run() calls, and the inline 1-thread path. The fork/join
+// handshake and the atomic work claim are the pool's entire concurrency
+// surface, so these tests double as the TSan target for it (CI runs
+// Parallel.* under -fsanitize=thread).
+
+#include "pbs/common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace pbs {
+namespace {
+
+TEST(Parallel, ResolveThreadsPassesThroughExplicitCounts) {
+  EXPECT_EQ(ParallelFor::ResolveThreads(1), 1);
+  EXPECT_EQ(ParallelFor::ResolveThreads(3), 3);
+  EXPECT_EQ(ParallelFor::ResolveThreads(16), 16);
+}
+
+TEST(Parallel, ResolveThreadsZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ParallelFor::ResolveThreads(0), 1);
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  ParallelFor pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  constexpr size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.Run(kCount, [&](size_t i, int) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, WorkerIndexStaysInRange) {
+  ParallelFor pool(3);
+  std::atomic<bool> out_of_range{false};
+  pool.Run(5000, [&](size_t, int worker) {
+    if (worker < 0 || worker >= 3) out_of_range.store(true);
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(Parallel, PerWorkerAccumulationSumsCorrectly) {
+  // The endpoint usage shape: every task writes only its own slot or its
+  // worker's scratch; results are combined after the join.
+  ParallelFor pool(4);
+  constexpr size_t kCount = 4096;
+  std::vector<uint64_t> per_worker(4, 0);
+  pool.Run(kCount,
+           [&](size_t i, int worker) { per_worker[worker] += i + 1; });
+  uint64_t total = 0;
+  for (uint64_t s : per_worker) total += s;
+  EXPECT_EQ(total, kCount * (kCount + 1) / 2);
+}
+
+TEST(Parallel, ReusableAcrossManyRuns) {
+  // The pool persists across rounds; hammer the fork/join handshake.
+  ParallelFor pool(4);
+  for (int run = 0; run < 200; ++run) {
+    std::atomic<size_t> sum{0};
+    pool.Run(64, [&](size_t i, int) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), size_t{64 * 63 / 2});
+  }
+}
+
+TEST(Parallel, SingleThreadPoolRunsInlineOnCaller) {
+  ParallelFor pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<int> workers;
+  pool.Run(16, [&](size_t, int worker) { workers.push_back(worker); });
+  ASSERT_EQ(workers.size(), 16u);
+  for (int w : workers) EXPECT_EQ(w, 0);
+}
+
+TEST(Parallel, CountZeroIsNoop) {
+  ParallelFor pool(2);
+  bool ran = false;
+  pool.Run(0, [&](size_t, int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Parallel, CountOneRunsInlineWithoutWakingWorkers) {
+  ParallelFor pool(4);
+  int calls = 0;
+  int seen_worker = -1;
+  pool.Run(1, [&](size_t i, int worker) {
+    ++calls;
+    seen_worker = worker;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_worker, 0);
+}
+
+TEST(Parallel, ClampsNonPositiveThreadCounts) {
+  ParallelFor pool(0);
+  EXPECT_EQ(pool.threads(), 1);
+  std::atomic<int> calls{0};
+  pool.Run(8, [&](size_t, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -181,6 +181,42 @@ TEST(SchemeAdapterParity, MatchesDirectCalls) {
   }
 }
 
+// PbsConfig::decode_threads is a local performance knob: for any thread
+// count the recovered difference, byte accounting, and round trajectory
+// must be identical to the serial run (the per-group parallel decode
+// stages results per unit and serializes them in canonical order). This
+// is the single- vs multi-threaded outcome-parity pin of the per-group
+// pool -- and, run under TSan (CI), its race detector.
+TEST(SchemeAdapterParity, PbsDecodeThreadsDoesNotChangeOutcome) {
+  // Two shapes: subset difference and two-sided difference (the general
+  // recovery path with elements on both sides).
+  const SetPair shapes[] = {GenerateSetPair(3000, 40, 32, 0x7EAD),
+                            GenerateTwoSidedPair(2000, 25, 35, 32, 0x51DE)};
+  auto& registry = SchemeRegistry::Instance();
+  for (const SetPair& pair : shapes) {
+    const double d_hat = static_cast<double>(pair.truth_diff.size()) + 1.3;
+    const uint64_t seed = 0xDEC0DE;
+    SchemeOptions serial;
+    serial.pbs.decode_threads = 1;
+    const ReconcileOutcome reference =
+        registry.Create("pbs", serial)->Reconcile(pair.a, pair.b, d_hat,
+                                                  seed);
+    ASSERT_TRUE(reference.success);
+    EXPECT_EQ(Sorted(reference.difference), Sorted(pair.truth_diff));
+    for (int threads : {2, 4, 0}) {  // 0 = one worker per hardware thread.
+      SchemeOptions mt = serial;
+      mt.pbs.decode_threads = threads;
+      const ReconcileOutcome parallel =
+          registry.Create("pbs", mt)->Reconcile(pair.a, pair.b, d_hat, seed);
+      EXPECT_EQ(parallel.success, reference.success) << threads;
+      EXPECT_EQ(parallel.data_bytes, reference.data_bytes) << threads;
+      EXPECT_EQ(parallel.rounds, reference.rounds) << threads;
+      EXPECT_EQ(Sorted(parallel.difference), Sorted(reference.difference))
+          << threads;
+    }
+  }
+}
+
 // Appendix J.3 accounting through the interface: wide-signature reporting
 // must add (report_sig_bits - sig_bits)/8 bytes per signature-width field
 // to PBS, exactly as the runner used to.

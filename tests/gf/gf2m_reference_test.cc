@@ -145,6 +145,83 @@ TEST_P(GF2mReferenceTest, SqrInvDivPowAgreeWithReference) {
   }
 }
 
+// The log-domain batch kernels (gf2m.h) must be element-for-element
+// identical to per-element Mul loops -- on the table path and on the
+// carry-less fallback alike, including zero operands (the batch kernels
+// zero-skip in log space; the scalar loops branch in Mul).
+TEST_P(GF2mReferenceTest, BatchKernelsMatchPerElementOps) {
+  const int m = GetParam();
+  const GF2m field(m);
+  Xoshiro256 rng(0xBA7C0000 + static_cast<uint64_t>(m));
+  constexpr size_t kSize = 40;
+
+  std::vector<uint64_t> src(kSize), other(kSize);
+  for (size_t i = 0; i < kSize; ++i) {
+    // Sprinkle zeros to exercise the zero-skip paths.
+    src[i] = i % 7 == 0 ? 0 : rng.NextBounded(field.order()) + 1;
+    other[i] = i % 5 == 0 ? 0 : rng.NextBounded(field.order()) + 1;
+  }
+  const uint64_t c = rng.NextBounded(field.order()) + 1;
+
+  // MulManyAccum / MulManyInto vs scalar loops (and c == 0 semantics).
+  std::vector<uint64_t> accum(kSize, 0xAB), expected_accum(kSize, 0xAB);
+  field.MulManyAccum(c, Span<const uint64_t>(src), Span<uint64_t>(accum));
+  for (size_t i = 0; i < kSize; ++i) {
+    expected_accum[i] ^= field.Mul(c, src[i]);
+  }
+  EXPECT_EQ(accum, expected_accum) << "m=" << m;
+  std::vector<uint64_t> scaled(kSize), expected_scaled(kSize);
+  field.MulManyInto(c, Span<const uint64_t>(src), Span<uint64_t>(scaled));
+  for (size_t i = 0; i < kSize; ++i) {
+    expected_scaled[i] = field.Mul(c, src[i]);
+  }
+  EXPECT_EQ(scaled, expected_scaled) << "m=" << m;
+  std::vector<uint64_t> untouched(kSize, 7);
+  field.MulManyAccum(0, Span<const uint64_t>(src), Span<uint64_t>(untouched));
+  EXPECT_EQ(untouched, std::vector<uint64_t>(kSize, 7)) << "m=" << m;
+
+  // Dot / DotRev vs scalar accumulation.
+  uint64_t dot = 0, dot_rev = 0;
+  for (size_t i = 0; i < kSize; ++i) {
+    dot ^= field.Mul(src[i], other[i]);
+    dot_rev ^= field.Mul(src[i], other[kSize - 1 - i]);
+  }
+  EXPECT_EQ(field.Dot(Span<const uint64_t>(src), Span<const uint64_t>(other)),
+            dot)
+      << "m=" << m;
+  EXPECT_EQ(
+      field.DotRev(Span<const uint64_t>(src), Span<const uint64_t>(other)),
+      dot_rev)
+      << "m=" << m;
+
+  // PowTableInto vs repeated multiplication, including base 0.
+  const uint64_t base = rng.NextBounded(field.order()) + 1;
+  std::vector<uint64_t> powers(kSize), expected_powers(kSize);
+  field.PowTableInto(base, Span<uint64_t>(powers));
+  expected_powers[0] = 1;
+  for (size_t i = 1; i < kSize; ++i) {
+    expected_powers[i] = field.Mul(expected_powers[i - 1], base);
+  }
+  EXPECT_EQ(powers, expected_powers) << "m=" << m;
+  field.PowTableInto(0, Span<uint64_t>(powers));
+  expected_powers.assign(kSize, 0);
+  expected_powers[0] = 1;
+  EXPECT_EQ(powers, expected_powers) << "m=" << m;
+
+  // OddPowerAccum vs the scalar odd-power walk.
+  const uint64_t x = rng.NextBounded(field.order()) + 1;
+  constexpr size_t kT = 16;
+  std::vector<uint64_t> odd(kT, 0x11), expected_odd(kT, 0x11);
+  field.OddPowerAccum(x, Span<uint64_t>(odd));
+  uint64_t power = x;
+  const uint64_t x2 = field.Sqr(x);
+  for (size_t i = 0; i < kT; ++i) {
+    expected_odd[i] ^= power;
+    power = field.Mul(power, x2);
+  }
+  EXPECT_EQ(odd, expected_odd) << "m=" << m;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSupportedDegrees, GF2mReferenceTest,
                          ::testing::Range(2, 64),
                          ::testing::PrintToStringParamName());

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "pbs/common/cpu_features.h"
 #include "pbs/common/rng.h"
 
 namespace pbs::gf2x {
@@ -115,6 +118,54 @@ INSTANTIATE_TEST_SUITE_P(AllDegrees, FindIrreducibleTest,
                          ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
                                            13, 14, 15, 16, 20, 24, 31, 32, 33,
                                            40, 48, 63));
+
+// ---------------------------------------------------------------------------
+// Dispatch differential: the hardware carry-less kernel (PCLMULQDQ/PMULL,
+// picked at runtime by cpu::HasCarrylessMul()) against the always-compiled
+// portable shift-and-XOR kernel. On machines without the instructions --
+// or under -DPBS_DISABLE_CLMUL=ON -- ClMul *is* ClMulPortable and the
+// comparison is trivially (but still meaningfully, for the build) true.
+// ---------------------------------------------------------------------------
+
+TEST(Gf2xDispatch, ClMulMatchesPortableOnRandomOperands) {
+  SCOPED_TRACE(std::string("backend: ") + cpu::CarrylessMulBackend());
+  Xoshiro256 rng(0xC1);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t a = rng.Next();
+    const uint64_t b = rng.Next();
+    ASSERT_EQ(ClMul(a, b), ClMulPortable(a, b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Gf2xDispatch, ClMulMatchesPortableOnEdgeOperands) {
+  const uint64_t edges[] = {0,    1,    2,       3,
+                            0xFF, ~0ull, 1ull << 63, (1ull << 63) | 1,
+                            0x8000000080000001ull, 0x5555555555555555ull,
+                            0xAAAAAAAAAAAAAAAAull};
+  for (uint64_t a : edges) {
+    for (uint64_t b : edges) {
+      EXPECT_EQ(ClMul(a, b), ClMulPortable(a, b)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+// The table-free GF(2^m) fields (m in [17, 63]) route every multiply
+// through MulMod; pin the dispatched path to the portable one over each
+// field's canonical modulus.
+TEST(Gf2xDispatch, MulModMatchesPortableForAllTableFreeFields) {
+  for (int m = 17; m <= 63; ++m) {
+    const uint64_t f = FindIrreducible(m);
+    Xoshiro256 rng(static_cast<uint64_t>(m) * 104729);
+    const uint64_t mask = (uint64_t{1} << m) - 1;
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t a = rng.Next() & mask;
+      const uint64_t b = rng.Next() & mask;
+      ASSERT_EQ(MulMod(a, b, f), MulModPortable(a, b, f))
+          << "m=" << m << " a=" << a << " b=" << b;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace pbs::gf2x

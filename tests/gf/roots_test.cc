@@ -105,6 +105,82 @@ TEST(Roots, ZeroRootRejected) {
   EXPECT_FALSE(FindDistinctNonzeroRoots(p, 1).has_value());
 }
 
+// The incremental Chien kernel must find exactly the root *set* of the
+// Horner reference for every table-backed field, over polynomials with
+// random (possibly zero) coefficients. It reports roots in generator
+// order rather than ascending order, so the comparison sorts both.
+TEST(ChienDifferential, IncrementalMatchesHornerForAllTableFields) {
+  Workspace ws;
+  for (int m = 2; m <= 16; ++m) {
+    GF2m f(m);
+    Xoshiro256 rng(static_cast<uint64_t>(m) * 7919);
+    const int trials = m <= 10 ? 24 : 6;
+    for (int trial = 0; trial < trials; ++trial) {
+      const int degree =
+          1 + static_cast<int>(rng.NextBounded(
+                  std::min<uint64_t>(10, f.order() - 1)));
+      std::vector<uint64_t> coeffs(degree + 1);
+      for (int j = 0; j < degree; ++j) {
+        coeffs[j] = rng.NextBounded(f.order() + 1);  // Zeros allowed.
+      }
+      coeffs[degree] = rng.NextBounded(f.order()) + 1;  // Nonzero leading.
+
+      std::vector<uint64_t> horner(degree);
+      const int horner_count = ChienSearchInto(
+          f, Span<const uint64_t>(coeffs), Span<uint64_t>(horner));
+      std::vector<uint64_t> incremental(degree);
+      const int inc_count = ChienSearchIncremental(
+          f, Span<const uint64_t>(coeffs), ws, Span<uint64_t>(incremental));
+
+      ASSERT_EQ(inc_count, horner_count)
+          << "m=" << m << " trial=" << trial << " degree=" << degree;
+      horner.resize(horner_count);
+      incremental.resize(inc_count);
+      std::sort(horner.begin(), horner.end());
+      std::sort(incremental.begin(), incremental.end());
+      EXPECT_EQ(incremental, horner) << "m=" << m << " trial=" << trial;
+    }
+  }
+}
+
+// Polynomials whose roots the incremental kernel must special-case:
+// planted full root sets (early exit on the last root), degree-1
+// locators (solved directly), and constants.
+TEST(ChienDifferential, PlantedRootsAndDegenerateShapes) {
+  Workspace ws;
+  GF2m f(9);
+  Xoshiro256 rng(0xC41E);
+  for (int count : {1, 2, 7, 20}) {
+    auto roots = DistinctNonzero(f, count, &rng);
+    const GFPoly p = PolyWithRoots(f, roots);
+    std::vector<uint64_t> found(count);
+    const int n = ChienSearchIncremental(
+        f, Span<const uint64_t>(p.coeffs()), ws, Span<uint64_t>(found));
+    ASSERT_EQ(n, count);
+    std::sort(found.begin(), found.end());
+    EXPECT_EQ(found, roots);
+  }
+  // Degree 1 with zero constant term: only root is x = 0, outside the
+  // scanned domain -- both kernels must report none.
+  std::vector<uint64_t> linear = {0, 5};
+  std::vector<uint64_t> out(1);
+  EXPECT_EQ(ChienSearchIncremental(f, Span<const uint64_t>(linear), ws,
+                                   Span<uint64_t>(out)),
+            0);
+  EXPECT_EQ(ChienSearchInto(f, Span<const uint64_t>(linear),
+                            Span<uint64_t>(out)),
+            0);
+  // Constants and the zero polynomial report no roots.
+  std::vector<uint64_t> constant = {3};
+  EXPECT_EQ(ChienSearchIncremental(f, Span<const uint64_t>(constant), ws,
+                                   Span<uint64_t>(out)),
+            0);
+  std::vector<uint64_t> zero = {0};
+  EXPECT_EQ(ChienSearchIncremental(f, Span<const uint64_t>(zero), ws,
+                                   Span<uint64_t>(out)),
+            0);
+}
+
 TEST(Roots, ChienSearchFindsAllRootsExhaustively) {
   GF2m f(6);
   auto p = PolyWithRoots(f, {1, 33, 62});

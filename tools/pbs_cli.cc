@@ -10,20 +10,24 @@
 //   pbs_cli estimate <fileA> <fileB>
 //       ToW estimate of |A triangle B| (ell = 128).
 //   pbs_cli diff <fileA> <fileB> [--scheme S] [--rounds N] [--p0 X]
-//           [--delta N]
+//           [--delta N] [--threads N]
 //       Reconcile with scheme S (default pbs; see --list-schemes); print
-//       the symmetric difference and stats.
+//       the symmetric difference and stats. --threads sets the per-group
+//       decode parallelism (PBS; 0 = all hardware threads).
 //   pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]
 //       Show the (g, n, t) parameterization the Section-5.1 optimizer
 //       picks for an expected difference of d.
 //   pbs_cli serve <file> [--port N] [--once] [--max-sessions N] [--stats]
+//           [--threads N]
 //       Hold a key set and serve framed reconciliation sessions over TCP
 //       from one poll loop (any scheme; the client picks; many clients
 //       concurrently). --once exits after one session; --max-sessions
 //       caps concurrent sessions (default 64); --stats prints the
-//       server's counters on exit.
+//       server's counters on exit; --threads sets each session's
+//       per-group decode parallelism.
 //   pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]
 //           [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]
+//           [--threads N]
 //       Reconcile the local file against a remote serve instance and
 //       print the symmetric difference (relative to the local set).
 //   pbs_cli list-schemes   (also: pbs_cli --list-schemes)
@@ -57,12 +61,13 @@ int Usage() {
       "  pbs_cli mutate <in> <out> --drop N --add N [--seed N]\n"
       "  pbs_cli estimate <fileA> <fileB>\n"
       "  pbs_cli diff <fileA> <fileB> [--scheme S] [--rounds N] [--p0 X]\n"
-      "          [--delta N]\n"
+      "          [--delta N] [--threads N]\n"
       "  pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]\n"
       "  pbs_cli serve <file> [--port N] [--once] [--max-sessions N]\n"
-      "          [--stats]\n"
+      "          [--stats] [--threads N]\n"
       "  pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]\n"
       "          [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]\n"
+      "          [--threads N]\n"
       "  pbs_cli list-schemes\n");
   return 2;
 }
@@ -214,6 +219,8 @@ int CmdDiff(int argc, char** argv) {
   options.pbs.target_rounds = options.pbs.max_rounds;
   options.pbs.p0 = FlagDouble(argc, argv, "--p0", 0.99);
   options.pbs.delta = static_cast<int>(FlagU64(argc, argv, "--delta", 5));
+  options.pbs.decode_threads =
+      static_cast<int>(FlagU64(argc, argv, "--threads", 1));
   options.pbs.strong_verification = true;
 
   const char* scheme_name = FlagStr(argc, argv, "--scheme", "pbs");
@@ -269,6 +276,8 @@ int CmdServe(int argc, char** argv) {
       static_cast<int>(FlagU64(argc, argv, "--max-sessions", 64));
   options.idle_timeout_ms = 30000;
   options.serve_limit = once ? 1 : 0;
+  options.decode_threads =
+      static_cast<int>(FlagU64(argc, argv, "--threads", 1));
 
   std::string error;
   const size_t key_count = elements.size();
@@ -335,6 +344,8 @@ int CmdConnect(int argc, char** argv) {
   config.options.pbs.p0 = FlagDouble(argc, argv, "--p0", 0.99);
   config.options.pbs.delta =
       static_cast<int>(FlagU64(argc, argv, "--delta", 5));
+  config.options.pbs.decode_threads =
+      static_cast<int>(FlagU64(argc, argv, "--threads", 1));
   config.options.pbs.strong_verification = true;
   config.seed = FlagU64(argc, argv, "--seed", 0xC11);
   config.estimate_seed = config.seed ^ 0xE57A11CE;
