@@ -14,13 +14,14 @@ re-merging the same run is idempotent. Pass --run-id to tag the records
 of this merge (e.g. a git SHA or CI run number).
 
 Comparison mode: --compare <baseline_run_id> additionally matches every
-just-merged ns_per_op record against the trajectory records tagged with
-that baseline run id (same bench, same identity fields -- kernel, path,
-n, t, ...; fields missing on either side, such as columns added after the
-baseline was recorded, are ignored) and prints per-kernel speedup ratios
-(baseline / new; > 1 is faster). Any record slower than baseline by more
+just-merged ns_per_op or sessions_per_s record against the trajectory
+records tagged with that baseline run id (same bench, same identity
+fields -- kernel, path, n, t, ...; fields missing on either side, such as
+columns added after the baseline was recorded, are ignored) and prints
+per-record speedup ratios (> 1 is faster: baseline/new for ns_per_op,
+new/baseline for sessions_per_s). Any record worse than baseline by more
 than --regression-tolerance (default 10%) fails the script, so CI can
-gate on kernel regressions:
+gate on kernel AND server-throughput regressions:
 
     scripts/collect_bench.py run.jsonl --run-id pr5 --compare pr3 \\
         --report bench_delta.txt
@@ -37,9 +38,23 @@ SCHEMA = 1
 # Fields that carry measurements or merge metadata rather than identity:
 # two records describing the same kernel configuration differ only here.
 MEASUREMENT_KEYS = {
-    "ns_per_op", "Mops", "wall_ms", "sessions_per_s", "wire_B_per_session",
-    "parity", "run_id",
+    "ns_per_op", "Mops", "wall_ms", "sessions_per_s", "p50_ms", "p99_ms",
+    "wire_B_per_session", "parity", "run_id",
 }
+
+# Metrics --compare gates on, and which direction is better. A record is
+# compared on its first metric present in this order.
+COMPARE_METRICS = (
+    ("ns_per_op", "lower"),
+    ("sessions_per_s", "higher"),
+)
+
+
+def compare_metric(record):
+    for key, direction in COMPARE_METRICS:
+        if key in record:
+            return key, direction
+    return None, None
 
 
 def load_jsonl(path):
@@ -73,7 +88,7 @@ def matches(new, base):
 def describe(record):
     parts = [str(record.get("bench", "?"))]
     for key in ("kernel", "path", "scheme", "m", "n", "t", "d", "size",
-                "threads", "mode"):
+                "sessions", "window", "shards", "threads", "mode"):
         if key in record:
             parts.append(f"{key}={record[key]}")
     return " ".join(parts)
@@ -81,35 +96,46 @@ def describe(record):
 
 def compare(new_records, trajectory, baseline_run_id, tolerance, report_path):
     baseline = [r for r in trajectory
-                if r.get("run_id") == baseline_run_id and "ns_per_op" in r]
+                if r.get("run_id") == baseline_run_id
+                and compare_metric(r)[0] is not None]
     if not baseline:
-        print(f"--compare: no ns_per_op records with run_id "
+        print(f"--compare: no comparable records with run_id "
               f"'{baseline_run_id}' in the trajectory", file=sys.stderr)
         return 1
 
-    lines = [f"kernel speedups vs run_id '{baseline_run_id}' "
-             f"(ratio = baseline / new; > 1 is faster, "
+    lines = [f"speedups vs run_id '{baseline_run_id}' "
+             f"(ratio > 1 is faster, "
              f"regression threshold {tolerance:.0%}):", ""]
     regressions = []
     compared = 0
     for new in new_records:
-        if "ns_per_op" not in new:
+        metric, direction = compare_metric(new)
+        if metric is None:
             continue
-        candidates = [b for b in baseline if matches(new, b)]
+        candidates = [b for b in baseline
+                      if metric in b and matches(new, b)]
         if not candidates:
             continue
         # Ambiguity (a baseline predating a new identity column) resolves
-        # to the fastest baseline: the strictest bar for the new kernel.
-        base = min(candidates, key=lambda r: float(r["ns_per_op"]))
-        new_ns = float(new["ns_per_op"])
-        base_ns = float(base["ns_per_op"])
-        ratio = base_ns / new_ns if new_ns > 0 else float("inf")
+        # to the strictest bar for the new record: the fastest baseline.
+        if direction == "lower":
+            base = min(candidates, key=lambda r: float(r[metric]))
+        else:
+            base = max(candidates, key=lambda r: float(r[metric]))
+        new_val = float(new[metric])
+        base_val = float(base[metric])
+        if direction == "lower":
+            ratio = base_val / new_val if new_val > 0 else float("inf")
+            regressed = new_val > base_val * (1.0 + tolerance)
+        else:
+            ratio = new_val / base_val if base_val > 0 else float("inf")
+            regressed = new_val < base_val * (1.0 - tolerance)
         flag = ""
-        if new_ns > base_ns * (1.0 + tolerance):
+        if regressed:
             flag = "  << REGRESSION"
             regressions.append(describe(new))
-        lines.append(f"  {describe(new):<60} {base_ns:>12.1f} -> "
-                     f"{new_ns:>12.1f} ns/op   x{ratio:5.2f}{flag}")
+        lines.append(f"  {describe(new):<60} {base_val:>12.1f} -> "
+                     f"{new_val:>12.1f} {metric}   x{ratio:5.2f}{flag}")
         compared += 1
 
     lines.append("")
@@ -121,7 +147,7 @@ def compare(new_records, trajectory, baseline_run_id, tolerance, report_path):
         Path(report_path).write_text(text + "\n", encoding="utf-8")
         print(f"delta report written to {report_path}")
     if regressions:
-        print("FAIL: kernel regression(s) beyond tolerance:", file=sys.stderr)
+        print("FAIL: regression(s) beyond tolerance:", file=sys.stderr)
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
         return 1

@@ -3,7 +3,9 @@
 # differences over TCP for EVERY scheme in the registry, as CI's end-to-end
 # check of the framed session layer (docs/WIRE_FORMAT.md). Stage 2 then
 # points 8 PARALLEL connects (mixed schemes) at ONE serve process to prove
-# the poll-loop server (net/ReconcileServer) multiplexes sessions.
+# the event-loop server (net/ReconcileServer) multiplexes sessions, and
+# stage 3 repeats that with 64 parallel connects against a `--shards 4`
+# server to exercise the acceptor->shard fd handoff end to end.
 #
 # Usage: scripts/smoke_serve_connect.sh [path-to-pbs_cli]   (default build/pbs_cli)
 set -euo pipefail
@@ -82,3 +84,51 @@ if [[ "$sessions" != 8 ]]; then
   exit 1
 fi
 echo "smoke test passed: 8 parallel clients against one server"
+
+# ---- stage 3: sharded server (--shards 4), 64 parallel clients ------------
+: >"$WORK/serve.log"
+"$CLI" serve "$WORK/b.txt" --port "$PORT" --shards 4 --max-sessions 64 \
+  --stats 2>"$WORK/serve.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+for _ in $(seq 1 100); do
+  grep -q "^serving " "$WORK/serve.log" && break
+  sleep 0.1
+done
+grep -q "4 shards" "$WORK/serve.log" || {
+  echo "FAIL: serve did not report 4 shards"
+  cat "$WORK/serve.log"
+  exit 1
+}
+
+pids=()
+for i in $(seq 0 63); do
+  scheme="${schemes_arr[$(( i % ${#schemes_arr[@]} ))]}"
+  (
+    out=$("$CLI" connect "$WORK/a.txt" --host 127.0.0.1 --port "$PORT" \
+          --scheme "$scheme" --seed $(( 4000 + i )) --quiet)
+    [[ "$out" == "100 differences" ]] || {
+      echo "FAIL: sharded client $i ($scheme) got '$out'"
+      exit 1
+    }
+  ) &
+  pids+=($!)
+done
+fail=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || fail=1
+done
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+if [[ "$fail" != 0 ]]; then
+  echo "FAIL: sharded stage"
+  cat "$WORK/serve.log"
+  exit 1
+fi
+sessions=$(grep -c "^session scheme=" "$WORK/serve.log" || true)
+if [[ "$sessions" != 64 ]]; then
+  echo "FAIL: sharded server logged $sessions sessions, expected 64"
+  cat "$WORK/serve.log"
+  exit 1
+fi
+echo "smoke test passed: 64 parallel clients against a 4-shard server"

@@ -274,7 +274,11 @@ std::unique_ptr<TcpListener> TcpListener::Listen(uint16_t port,
       return nullptr;
     }
   }
-  if (::listen(use_fd, 8) != 0) {
+  // Deep backlog: the sharded server batch-accepts from an event loop and
+  // the concurrency bench opens thousands of connections in one storm; a
+  // tiny backlog would drop SYNs and stall those clients on kernel
+  // retransmit timers. The kernel clamps to net.core.somaxconn.
+  if (::listen(use_fd, 4096) != 0) {
     SetErr(error, "listen");
     ::close(use_fd);
     return nullptr;

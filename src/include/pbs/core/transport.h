@@ -86,9 +86,11 @@ class TcpListener {
   std::unique_ptr<ByteTransport> Accept();
 
   /// Accepts one pending connection and returns its raw fd (-1 when none
-  /// is pending on a non-blocking listener, or on error). TCP_NODELAY is
-  /// set; no receive timeout is — event-loop callers (net/ReconcileServer)
-  /// own their idle policy. The caller owns the fd.
+  /// is pending on a non-blocking listener, or on error; errno is
+  /// preserved from accept(2) so callers can tell EAGAIN from fd
+  /// exhaustion — EMFILE/ENFILE — and back off accordingly). TCP_NODELAY
+  /// is set; no receive timeout is — event-loop callers
+  /// (net/ReconcileServer) own their idle policy. The caller owns the fd.
   int AcceptRaw();
 
   /// The listening socket, for event-loop integration (poll/epoll).

@@ -1,0 +1,123 @@
+// EventLoop: readiness notification behind one small interface.
+//
+// The sharded server (net/shard.h, net/reconcile_server.h) watches
+// hundreds to tens of thousands of fds per shard; poll(2)'s O(watched)
+// kernel scan per wakeup is what caps the old single-loop server. This
+// wrapper exposes level-triggered readiness over two backends:
+//
+//   * epoll  — Linux. O(ready) wakeups, fd set maintained in the kernel.
+//   * poll   — everywhere. The registration table is PERSISTENT: Add /
+//              Modify / Remove update one pollfd vector in place, so the
+//              historical rebuild-the-array-every-iteration waste is gone
+//              even on the fallback path.
+//
+// Backend selection: Backend::kAuto picks epoll on Linux and poll
+// elsewhere; the PBS_EVENT_LOOP environment variable ("epoll" / "poll")
+// overrides kAuto so CI can drive the fallback on Linux without a
+// separate build. Non-Linux builds compile only the poll backend
+// (requesting kEpoll degrades to poll).
+//
+// Thread contract: an EventLoop belongs to exactly one thread; every
+// method is loop-thread-only. Cross-thread wakeups are the OWNER's job
+// (register a pipe/eventfd and write to it from elsewhere) — see
+// Shard::Wake().
+//
+// Steady-state Wait() performs zero heap allocations: the ready-event
+// array and the backend's kernel-event scratch warm to the watched-fd
+// count and are reused.
+
+#ifndef PBS_NET_EVENT_LOOP_H_
+#define PBS_NET_EVENT_LOOP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct pollfd;  // The poll backend's table lives in the header-free pimpl.
+
+namespace pbs {
+
+/// Level-triggered readiness multiplexer; see the file comment.
+class EventLoop {
+ public:
+  /// Interest / readiness bits (backend-independent).
+  static constexpr uint32_t kRead = 1u << 0;   ///< fd readable (or EOF).
+  static constexpr uint32_t kWrite = 1u << 1;  ///< fd writable.
+  /// Peer hangup or fd error. Reported even when not requested; callers
+  /// should treat it like kRead (the next read surfaces EOF/the error).
+  static constexpr uint32_t kHangup = 1u << 2;
+
+  /// One ready fd, identified by the caller's registration tag (the fd
+  /// itself is deliberately absent: shards tag with session-slot indices
+  /// and never need a reverse lookup).
+  struct Event {
+    uint64_t tag;
+    uint32_t ready;  ///< kRead / kWrite / kHangup bits.
+  };
+
+  enum class Backend {
+    kAuto,   ///< epoll on Linux, poll elsewhere; PBS_EVENT_LOOP overrides.
+    kEpoll,  ///< epoll_wait (degrades to poll off Linux).
+    kPoll,   ///< poll(2) over the persistent registration table.
+  };
+
+  explicit EventLoop(Backend preferred = Backend::kAuto);
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when the backend could not initialize (epoll_create failure);
+  /// every later call is then a safe no-op returning failure.
+  bool ok() const { return ok_; }
+
+  /// "epoll" or "poll" — which backend actually runs.
+  const char* backend_name() const;
+
+  /// Registers `fd` for the `interest` bits under `tag`. One registration
+  /// per fd; re-adding an fd without removing it first is an error
+  /// (returns false).
+  bool Add(int fd, uint32_t interest, uint64_t tag);
+
+  /// Updates the interest bits and tag of a registered fd.
+  bool Modify(int fd, uint32_t interest, uint64_t tag);
+
+  /// Deregisters a fd (before or after closing is both fine for poll; for
+  /// epoll call BEFORE close, as the kernel drops closed fds itself and a
+  /// second removal would fail). Returns false if the fd was not
+  /// registered.
+  bool Remove(int fd);
+
+  /// Number of registered fds.
+  size_t watched() const { return watched_; }
+
+  /// Waits up to `timeout_ms` (-1 = forever) and fills events(). Returns
+  /// the number of ready events, 0 on timeout, and -1 on a backend error
+  /// (EINTR is swallowed and reported as 0). The events() view is valid
+  /// until the next Wait().
+  int Wait(int timeout_ms);
+
+  /// The ready events of the last Wait(), [0, its return value).
+  const Event* events() const { return ready_.data(); }
+
+ private:
+  bool use_epoll_ = false;
+  bool ok_ = false;
+  size_t watched_ = 0;
+  std::vector<Event> ready_;
+
+#ifdef __linux__
+  int epoll_fd_ = -1;
+  std::vector<uint8_t> epoll_scratch_;  // epoll_event array, opaque here.
+#endif
+
+  // poll backend: the persistent table. fds_[i] pairs with tags_[i];
+  // index_of_fd_ maps fd -> i; Remove swap-erases.
+  std::vector<struct pollfd> fds_;
+  std::vector<uint64_t> tags_;
+  std::unordered_map<int, size_t> index_of_fd_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_NET_EVENT_LOOP_H_

@@ -1,22 +1,43 @@
-// ReconcileServer: many concurrent reconciliations from one event loop.
+// ReconcileServer: many concurrent reconciliations from N event-loop
+// shards.
 //
 // The sans-I/O split (core/session_engine.h) is what makes this layer
 // small: the server owns sockets, readiness, timeouts, and counters; each
-// accepted connection owns one responder-side SessionEngine, and the loop
-// just moves bytes between the two. One thread multiplexes every session
-// with poll(2) — no thread per peer, no blocking reads, write
-// backpressure handled by readiness (pending outbound bytes keep the
-// connection registered for writability until they drain).
+// accepted connection owns one responder-side SessionEngine, and a shard
+// loop just moves bytes between the two.
+//
+// Topology (net/shard.h, net/event_loop.h):
+//
+//   Run() caller thread          N shard threads (--shards)
+//   ┌─────────────────────┐      ┌──────────────────────────────────┐
+//   │ acceptor event loop │  fd  │ shard event loop (epoll / poll)  │
+//   │  listener + wake    │─────▶│  slot-based session table        │
+//   │  batch accept       │ pipe │  one SessionEngine per session   │
+//   │  EMFILE backoff     │      │  LRU idle list, 64 KiB buffer    │
+//   │  capacity rejects   │      │  per-shard atomic counters       │
+//   └─────────────────────┘      └──────────────────────────────────┘
+//
+// Accepted connections are distributed round-robin by fd handoff (a
+// 4-byte write into the shard's pipe, which doubles as its wakeup
+// channel). A session lives its whole life on one shard: its engine,
+// buffers, idle bookkeeping, and counters are shard-local, so the
+// steady-state Feed/Poll path takes no locks and performs no heap
+// allocations; stats() aggregates the per-shard counters on demand.
 //
 // Policy knobs:
-//   * max_sessions   — connections beyond the cap are told why (a
-//                      best-effort ERROR frame) and closed;
-//   * idle timeout   — a peer that goes quiet mid-session is dropped;
-//   * serve_limit    — stop after N finished sessions (pbs_cli --once).
+//   * shards          — event-loop threads (1 keeps the old one-loop
+//                       behavior, results identical by test);
+//   * max_sessions    — connections beyond the cap are told why (a
+//                       best-effort ERROR frame) and closed;
+//   * idle timeout    — a peer that goes quiet mid-session is dropped;
+//   * serve_limit     — stop after N finished sessions (pbs_cli --once);
+//   * accept backoff  — on EMFILE/ENFILE the listener leaves the accept
+//                       loop for a short window instead of spinning hot.
 //
 // Run() owns the calling thread until Stop() (thread-safe, wakes the
 // loop via a self-pipe) or the serve limit; RunOnce() exposes single
-// iterations for embeddings that already have a loop of their own.
+// acceptor iterations for embeddings that already have a loop of their
+// own (shard threads still run in the background between calls).
 
 #ifndef PBS_NET_RECONCILE_SERVER_H_
 #define PBS_NET_RECONCILE_SERVER_H_
@@ -29,6 +50,7 @@
 #include <vector>
 
 #include "pbs/core/session_engine.h"
+#include "pbs/net/event_loop.h"
 
 namespace pbs {
 
@@ -37,14 +59,29 @@ struct ServerOptions {
   /// TCP port to listen on (0 picks an ephemeral port; read it back with
   /// port()).
   uint16_t port = 0;
-  /// Concurrent-session cap. Peers accepted beyond it receive an ERROR
-  /// frame ("server at session capacity") and are closed immediately.
+  /// Event-loop shard threads. 1 = one loop (the classic single-threaded
+  /// server, wire-identical results); 0 = one shard per hardware thread.
+  int shards = 1;
+  /// Concurrent-session cap, server-wide. Peers accepted beyond it
+  /// receive an ERROR frame ("server at session capacity") and are
+  /// closed immediately.
   int max_sessions = 64;
   /// Drop a connection with no inbound/outbound progress for this long.
   int idle_timeout_ms = 30000;
   /// Stop serving after this many sessions finished (completed, failed,
   /// or timed out). 0 = serve until Stop().
   uint64_t serve_limit = 0;
+  /// After accept(2) fails with EMFILE/ENFILE/ENOBUFS/ENOMEM, stop
+  /// watching the listener for this long instead of spinning on a
+  /// readiness the kernel cannot satisfy.
+  int accept_backoff_ms = 100;
+  /// Readiness backend for every loop (acceptor + shards). kAuto picks
+  /// epoll on Linux, poll elsewhere; PBS_EVENT_LOOP overrides kAuto.
+  EventLoop::Backend event_backend = EventLoop::Backend::kAuto;
+  /// Scheme registry served to every session's responder engine.
+  /// nullptr = the process-wide SchemeRegistry::Instance(); tests inject
+  /// their own.
+  const SchemeRegistry* registry = nullptr;
   /// Per-group decode parallelism handed to every session's responder
   /// engine (PbsConfig::decode_threads: 1 = serial, 0 = one worker per
   /// hardware thread). A server-local knob -- it never affects the wire
@@ -54,7 +91,9 @@ struct ServerOptions {
   int decode_threads = 1;
 };
 
-/// Monotonic counters, snapshot via ReconcileServer::stats().
+/// Monotonic counters, snapshot via ReconcileServer::stats() — an
+/// on-demand aggregation of the per-shard counter blocks plus the
+/// acceptor's own tallies.
 struct ServerStats {
   uint64_t accepted = 0;           ///< Connections admitted into a session.
   uint64_t completed = 0;          ///< Sessions that reached DONE.
@@ -69,15 +108,16 @@ struct ServerStats {
   uint64_t active = 0;
 };
 
-/// Single-threaded poll-loop server holding one responder SessionEngine
-/// per accepted connection. Construct with Create(), then either hand the
+/// Sharded event-loop server holding one responder SessionEngine per
+/// accepted connection. Construct with Create(), then either hand the
 /// calling thread to Run() or drive RunOnce() from an existing loop.
 /// Thread contract: Run()/RunOnce() from one thread; Stop()/stats()/
-/// port() from any thread.
+/// port() from any thread. The session logger runs on shard threads,
+/// serialized by an internal mutex.
 class ReconcileServer {
  public:
-  /// Per-finished-session hook (called on the serving thread, after the
-  /// session closed): the responder-side SessionResult.
+  /// Per-finished-session hook (called on the owning shard's thread,
+  /// after the session closed): the responder-side SessionResult.
   using SessionLogger = std::function<void(const SessionResult&)>;
 
   /// Binds and listens. `elements` is the served key set (the responder
@@ -93,14 +133,19 @@ class ReconcileServer {
   /// The bound port (resolves ephemeral port-0 requests).
   uint16_t port() const;
 
-  /// Serves until Stop() or the serve limit. Returns the number of
-  /// sessions finished over this call.
+  /// The number of shard threads actually serving.
+  int shard_count() const;
+
+  /// Serves until Stop() or the serve limit: spawns the shard threads,
+  /// runs the acceptor on the calling thread, joins the shards before
+  /// returning. Returns the number of sessions finished over this call.
   uint64_t Run();
 
-  /// One event-loop iteration: waits up to `timeout_ms` for readiness
-  /// (capped by the nearest idle deadline), then performs every ready
-  /// accept/read/write and finalizes settled sessions. Returns false once
-  /// the server should stop (Stop() called or serve limit reached).
+  /// One acceptor iteration: waits up to `timeout_ms` for listener/wake
+  /// readiness and performs every ready accept. Shard threads are
+  /// started on the first call and keep serving between calls. Returns
+  /// false once the server should stop (Stop() called or serve limit
+  /// reached) — shard threads are joined before that false returns.
   bool RunOnce(int timeout_ms);
 
   /// Asks the loop to stop; safe from any thread and from the logger.

@@ -1,0 +1,198 @@
+#include "pbs/net/event_loop.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace pbs {
+
+namespace {
+
+EventLoop::Backend ResolveAuto(EventLoop::Backend preferred) {
+  if (preferred != EventLoop::Backend::kAuto) return preferred;
+  if (const char* env = std::getenv("PBS_EVENT_LOOP")) {
+    if (std::strcmp(env, "poll") == 0) return EventLoop::Backend::kPoll;
+    if (std::strcmp(env, "epoll") == 0) return EventLoop::Backend::kEpoll;
+  }
+#ifdef __linux__
+  return EventLoop::Backend::kEpoll;
+#else
+  return EventLoop::Backend::kPoll;
+#endif
+}
+
+short ToPollEvents(uint32_t interest) {
+  short events = 0;
+  if (interest & EventLoop::kRead) events |= POLLIN;
+  if (interest & EventLoop::kWrite) events |= POLLOUT;
+  return events;
+}
+
+uint32_t FromPollRevents(short revents) {
+  uint32_t ready = 0;
+  if (revents & POLLIN) ready |= EventLoop::kRead;
+  if (revents & POLLOUT) ready |= EventLoop::kWrite;
+  if (revents & (POLLHUP | POLLERR | POLLNVAL)) ready |= EventLoop::kHangup;
+  return ready;
+}
+
+#ifdef __linux__
+uint32_t ToEpollEvents(uint32_t interest) {
+  uint32_t events = 0;
+  if (interest & EventLoop::kRead) events |= EPOLLIN;
+  if (interest & EventLoop::kWrite) events |= EPOLLOUT;
+  return events;
+}
+
+uint32_t FromEpollEvents(uint32_t events) {
+  uint32_t ready = 0;
+  if (events & EPOLLIN) ready |= EventLoop::kRead;
+  if (events & EPOLLOUT) ready |= EventLoop::kWrite;
+  if (events & (EPOLLHUP | EPOLLERR)) ready |= EventLoop::kHangup;
+  return ready;
+}
+#endif
+
+}  // namespace
+
+EventLoop::EventLoop(Backend preferred) {
+  const Backend backend = ResolveAuto(preferred);
+#ifdef __linux__
+  use_epoll_ = backend == Backend::kEpoll;
+  if (use_epoll_) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      // Fall back rather than fail: poll needs no kernel object.
+      use_epoll_ = false;
+    }
+  }
+#else
+  (void)backend;
+  use_epoll_ = false;
+#endif
+  ok_ = true;
+}
+
+EventLoop::~EventLoop() {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+}
+
+const char* EventLoop::backend_name() const {
+  return use_epoll_ ? "epoll" : "poll";
+}
+
+bool EventLoop::Add(int fd, uint32_t interest, uint64_t tag) {
+  if (!ok_ || fd < 0) return false;
+#ifdef __linux__
+  if (use_epoll_) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = ToEpollEvents(interest);
+    ev.data.u64 = tag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+    ++watched_;
+    if (epoll_scratch_.size() < watched_ * sizeof(struct epoll_event)) {
+      epoll_scratch_.resize(watched_ * sizeof(struct epoll_event));
+    }
+    if (ready_.capacity() < watched_) ready_.reserve(watched_);
+    return true;
+  }
+#endif
+  if (index_of_fd_.count(fd) != 0) return false;
+  index_of_fd_.emplace(fd, fds_.size());
+  fds_.push_back({fd, ToPollEvents(interest), 0});
+  tags_.push_back(tag);
+  ++watched_;
+  if (ready_.capacity() < watched_) ready_.reserve(watched_);
+  return true;
+}
+
+bool EventLoop::Modify(int fd, uint32_t interest, uint64_t tag) {
+  if (!ok_) return false;
+#ifdef __linux__
+  if (use_epoll_) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = ToEpollEvents(interest);
+    ev.data.u64 = tag;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+  }
+#endif
+  auto it = index_of_fd_.find(fd);
+  if (it == index_of_fd_.end()) return false;
+  fds_[it->second].events = ToPollEvents(interest);
+  tags_[it->second] = tag;
+  return true;
+}
+
+bool EventLoop::Remove(int fd) {
+  if (!ok_) return false;
+#ifdef __linux__
+  if (use_epoll_) {
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) return false;
+    --watched_;
+    return true;
+  }
+#endif
+  auto it = index_of_fd_.find(fd);
+  if (it == index_of_fd_.end()) return false;
+  const size_t i = it->second;
+  const size_t last = fds_.size() - 1;
+  if (i != last) {
+    fds_[i] = fds_[last];
+    tags_[i] = tags_[last];
+    index_of_fd_[fds_[i].fd] = i;
+  }
+  fds_.pop_back();
+  tags_.pop_back();
+  index_of_fd_.erase(it);
+  --watched_;
+  return true;
+}
+
+int EventLoop::Wait(int timeout_ms) {
+  if (!ok_) return -1;
+  ready_.clear();
+#ifdef __linux__
+  if (use_epoll_) {
+    const int cap = static_cast<int>(
+        epoll_scratch_.size() / sizeof(struct epoll_event));
+    if (cap == 0) {
+      // Nothing registered: epoll_wait needs maxevents >= 1; emulate the
+      // pure-timeout wait poll gives for free.
+      const int n = ::poll(nullptr, 0, timeout_ms);
+      return n < 0 && errno != EINTR ? -1 : 0;
+    }
+    auto* events = reinterpret_cast<struct epoll_event*>(
+        epoll_scratch_.data());
+    const int n = ::epoll_wait(epoll_fd_, events, cap, timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    for (int i = 0; i < n; ++i) {
+      ready_.push_back({events[i].data.u64, FromEpollEvents(events[i].events)});
+    }
+    return n;
+  }
+#endif
+  const int n = ::poll(fds_.data(), static_cast<nfds_t>(fds_.size()),
+                       timeout_ms);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  if (n > 0) {
+    for (size_t i = 0; i < fds_.size(); ++i) {
+      if (fds_[i].revents == 0) continue;
+      ready_.push_back({tags_[i], FromPollRevents(fds_[i].revents)});
+      if (static_cast<int>(ready_.size()) == n) break;
+    }
+  }
+  return static_cast<int>(ready_.size());
+}
+
+}  // namespace pbs

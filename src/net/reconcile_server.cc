@@ -5,18 +5,16 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
 #include <fcntl.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "pbs/core/messages.h"
 #include "pbs/core/transport.h"
+#include "pbs/net/shard.h"
 
 namespace pbs {
 
@@ -24,9 +22,19 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Acceptor event-loop tags.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
 bool SetNonBlockingFd(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+int ResolveShardCount(int requested) {
+  if (requested > 0) return std::min(requested, 64);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::max(1u, std::min(hw, 64u)));
 }
 
 }  // namespace
@@ -43,96 +51,157 @@ class ReconcileServer::Impl {
             std::move(elements))),
         listener_(std::move(listener)),
         wake_read_(wake_read),
-        wake_write_(wake_write) {}
+        wake_write_(wake_write),
+        loop_(options.event_backend) {
+    shared_.serve_limit = options_.serve_limit;
+    shared_.acceptor_wake_fd = wake_write_;
+
+    Shard::Options shard_options;
+    shard_options.idle_timeout_ms = options_.idle_timeout_ms;
+    shard_options.decode_threads = options_.decode_threads;
+    shard_options.backend = options_.event_backend;
+    const int shard_count = ResolveShardCount(options_.shards);
+    shards_.reserve(shard_count);
+    for (int i = 0; i < shard_count; ++i) {
+      shards_.push_back(std::make_unique<Shard>(
+          i, shard_options, elements_, options_.registry, &shared_));
+    }
+  }
 
   ~Impl() {
-    for (auto& [fd, conn] : connections_) {
-      (void)conn;
-      ::close(fd);
-    }
+    Shutdown();
     ::close(wake_read_);
     ::close(wake_write_);
   }
 
+  bool Init(std::string* error) {
+    if (!loop_.ok()) {
+      if (error) *error = "acceptor event loop initialization failed";
+      return false;
+    }
+    for (const auto& shard : shards_) {
+      if (!shard->ok()) {
+        if (error) *error = shard->error();
+        return false;
+      }
+    }
+    if (!loop_.Add(wake_read_, EventLoop::kRead, kWakeTag) ||
+        !loop_.Add(listener_->fd(), EventLoop::kRead, kListenerTag)) {
+      if (error) *error = "cannot register acceptor fds";
+      return false;
+    }
+    listener_watched_ = true;
+    return true;
+  }
+
   uint16_t port() const { return listener_->port(); }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
 
   void set_session_logger(SessionLogger logger) {
-    logger_ = std::move(logger);
+    shared_.logger = std::move(logger);
   }
 
   void Stop() {
-    stop_.store(true, std::memory_order_release);
+    shared_.stop.store(true, std::memory_order_release);
     const uint8_t byte = 1;
     // Best-effort: a full pipe already guarantees a wakeup.
     (void)!::write(wake_write_, &byte, 1);
   }
 
   uint64_t Run() {
-    const uint64_t before = finished_;
-    while (RunOnce(/*timeout_ms=*/250)) {
+    const uint64_t before = shared_.finished.load(std::memory_order_acquire);
+    EnsureStarted();
+    while (AcceptorOnce(/*timeout_ms=*/250)) {
     }
-    return finished_ - before;
+    Shutdown();
+    return shared_.finished.load(std::memory_order_acquire) - before;
   }
 
   bool RunOnce(int timeout_ms) {
-    if (ShouldStop()) return false;
-
-    pollfds_.clear();
-    // Slot 0: the wake pipe; slot 1: the listener (only while below the
-    // session cap — beyond it we still accept, to say why we refuse).
-    pollfds_.push_back({wake_read_, POLLIN, 0});
-    pollfds_.push_back({listener_->fd(), POLLIN, 0});
-    poll_fd_of_slot_.clear();
-    poll_fd_of_slot_.push_back(-1);
-    poll_fd_of_slot_.push_back(-1);
-    for (auto& [fd, conn] : connections_) {
-      short events = POLLIN;  // Always: data, EOF, and resets all surface here.
-      if (conn.engine->outbound_size() > 0) events |= POLLOUT;
-      pollfds_.push_back({fd, events, 0});
-      poll_fd_of_slot_.push_back(fd);
+    EnsureStarted();
+    if (!AcceptorOnce(timeout_ms)) {
+      Shutdown();
+      return false;
     }
-
-    const int wait_ms = ClampToIdleDeadline(timeout_ms);
-    const int ready = ::poll(pollfds_.data(),
-                             static_cast<nfds_t>(pollfds_.size()), wait_ms);
-    if (ready < 0 && errno != EINTR) {
-      // A persistent poll failure (e.g. ENOMEM) must not turn Run() into
-      // a hot spin: back off for the interval poll would have waited,
-      // and still fall through to the idle sweep below.
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(std::max(1, wait_ms)));
-    }
-
-    if (ready > 0) {
-      if ((pollfds_[0].revents & POLLIN) != 0) DrainWakePipe();
-      if ((pollfds_[1].revents & POLLIN) != 0) AcceptPending();
-      for (size_t slot = 2; slot < pollfds_.size(); ++slot) {
-        const short revents = pollfds_[slot].revents;
-        if (revents == 0) continue;
-        const int fd = poll_fd_of_slot_[slot];
-        auto it = connections_.find(fd);
-        if (it == connections_.end()) continue;
-        ServiceConnection(fd, it->second, revents);
-      }
-    }
-    SweepIdle();
-    return !ShouldStop();
+    return true;
   }
 
   ServerStats stats() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    return stats_;  // stats_.active is maintained under the same mutex.
+    ServerStats out;
+    out.accepted = accepted_.load(std::memory_order_relaxed);
+    out.rejected_capacity = rejected_.load(std::memory_order_relaxed);
+    out.active = shared_.active.load(std::memory_order_relaxed);
+    for (const auto& shard : shards_) {
+      const ShardStats& s = shard->stats();
+      out.completed += s.completed.load(std::memory_order_relaxed);
+      out.failed += s.failed.load(std::memory_order_relaxed);
+      out.timed_out += s.timed_out.load(std::memory_order_relaxed);
+      out.bytes_in += s.bytes_in.load(std::memory_order_relaxed);
+      out.bytes_out += s.bytes_out.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(s.scheme_mutex);
+      for (const auto& [scheme, count] : s.completed_by_scheme) {
+        out.completed_by_scheme[scheme] += count;
+      }
+    }
+    return out;
   }
 
  private:
-  struct Connection {
-    std::unique_ptr<SessionEngine> engine;
-    Clock::time_point last_active;
-  };
-
   bool ShouldStop() const {
-    if (stop_.load(std::memory_order_acquire)) return true;
-    return options_.serve_limit > 0 && finished_ >= options_.serve_limit;
+    return shared_.stop.load(std::memory_order_acquire);
+  }
+
+  void EnsureStarted() {
+    if (started_) return;
+    started_ = true;
+    threads_.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      threads_.emplace_back([s = shard.get()] { s->Loop(); });
+    }
+  }
+
+  // Idempotent: stop flag, wake + join every shard thread.
+  void Shutdown() {
+    shared_.stop.store(true, std::memory_order_release);
+    for (const auto& shard : shards_) shard->Wake();
+    for (auto& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    threads_.clear();
+  }
+
+  bool AcceptorOnce(int timeout_ms) {
+    if (ShouldStop()) return false;
+    int wait_ms = std::max(0, timeout_ms);
+    const Clock::time_point now = Clock::now();
+    if (!listener_watched_) {
+      if (now >= backoff_until_) {
+        ResumeAccepting();
+      } else {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                backoff_until_ - now)
+                .count();
+        wait_ms = std::min(wait_ms, static_cast<int>(remaining) + 1);
+      }
+    }
+    const int ready = loop_.Wait(wait_ms);
+    if (ready < 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(1, wait_ms)));
+    }
+    for (int i = 0; i < ready; ++i) {
+      const EventLoop::Event& event = loop_.events()[i];
+      if (event.tag == kWakeTag) {
+        DrainWakePipe();
+      } else if (event.tag == kListenerTag) {
+        AcceptPending();
+      }
+    }
+    if (!listener_watched_ && Clock::now() >= backoff_until_) {
+      ResumeAccepting();
+    }
+    return !ShouldStop();
   }
 
   void DrainWakePipe() {
@@ -141,31 +210,32 @@ class ReconcileServer::Impl {
     }
   }
 
-  // Nearest idle deadline bounds the poll timeout so a silent peer is
-  // dropped on time even when no fd ever becomes ready.
-  int ClampToIdleDeadline(int timeout_ms) const {
-    if (connections_.empty() || options_.idle_timeout_ms <= 0) {
-      return timeout_ms;
-    }
-    const Clock::time_point now = Clock::now();
-    Clock::time_point oldest = now;
-    for (const auto& [fd, conn] : connections_) {
-      (void)fd;
-      if (conn.last_active < oldest) oldest = conn.last_active;
-    }
-    const auto elapsed =
-        std::chrono::duration_cast<std::chrono::milliseconds>(now - oldest)
-            .count();
-    const int remaining =
-        static_cast<int>(options_.idle_timeout_ms - elapsed);
-    return std::max(0, std::min(timeout_ms, remaining));
-  }
-
+  // Batch accept: drains the listener's accept queue, admitting up to the
+  // session cap and distributing admitted fds round-robin across shards.
   void AcceptPending() {
     while (true) {
       const int fd = listener_->AcceptRaw();
-      if (fd < 0) return;
-      if (static_cast<int>(connections_.size()) >= options_.max_sessions) {
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+            errno == ENOMEM) {
+          // Out of fds (or kernel memory): readiness can't be satisfied,
+          // so polling the listener again would spin hot. Drop it from
+          // the loop for a backoff window; in-flight sessions keep
+          // draining and freeing fds in the meantime.
+          PauseAccepting();
+          return;
+        }
+        // Transient per-connection failures (ECONNABORTED, EPROTO, ...):
+        // skip this connection, keep draining the queue.
+        continue;
+      }
+      if (ShouldStop()) {
+        ::close(fd);
+        continue;
+      }
+      if (shared_.active.load(std::memory_order_relaxed) >=
+          static_cast<uint64_t>(options_.max_sessions)) {
         RejectAtCapacity(fd);
         continue;
       }
@@ -173,18 +243,37 @@ class ReconcileServer::Impl {
         ::close(fd);
         continue;
       }
-      Connection conn;
-      SessionConfig local_config;
-      local_config.options.pbs.decode_threads = options_.decode_threads;
-      conn.engine = std::make_unique<SessionEngine>(
-          SessionEngine::Responder(local_config, elements_));
-      conn.last_active = Clock::now();
-      connections_.emplace(fd, std::move(conn));
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.accepted += 1;
-        stats_.active += 1;
+      shared_.active.fetch_add(1, std::memory_order_relaxed);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      if (!shards_[next_shard_]->Handoff(fd)) {
+        // The shard's handoff pipe is full — thousands of adoptions
+        // already pending there. Treat as capacity.
+        shared_.active.fetch_sub(1, std::memory_order_relaxed);
+        accepted_.fetch_sub(1, std::memory_order_relaxed);
+        RejectAtCapacity(fd);
       }
+      next_shard_ = (next_shard_ + 1) % shards_.size();
+    }
+  }
+
+  void PauseAccepting() {
+    if (!listener_watched_) return;
+    loop_.Remove(listener_->fd());
+    listener_watched_ = false;
+    backoff_until_ =
+        Clock::now() +
+        std::chrono::milliseconds(std::max(1, options_.accept_backoff_ms));
+  }
+
+  void ResumeAccepting() {
+    if (listener_watched_) return;
+    if (loop_.Add(listener_->fd(), EventLoop::kRead, kListenerTag)) {
+      listener_watched_ = true;
+    } else {
+      // Re-registration failed (should not happen); retry next window
+      // rather than busy-loop.
+      backoff_until_ = Clock::now() + std::chrono::milliseconds(
+                                          std::max(1, options_.accept_backoff_ms));
     }
   }
 
@@ -201,110 +290,7 @@ class ReconcileServer::Impl {
     SetNonBlockingFd(fd);
     (void)!::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
     ::close(fd);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.rejected_capacity += 1;
-  }
-
-  void ServiceConnection(int fd, Connection& conn, short revents) {
-    bool peer_gone = false;
-    if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-      peer_gone = !ReadReady(fd, conn);
-    }
-    if (!peer_gone) FlushWrites(fd, conn);
-    MaybeFinalize(fd, conn, peer_gone);
-  }
-
-  // Reads until EAGAIN, feeding the engine as bytes arrive. Returns false
-  // once the peer is gone (EOF or hard error).
-  bool ReadReady(int fd, Connection& conn) {
-    while (true) {
-      const ssize_t n = ::recv(fd, read_buffer_, sizeof(read_buffer_),
-                               MSG_DONTWAIT);
-      if (n > 0) {
-        conn.engine->Feed(read_buffer_, static_cast<size_t>(n));
-        conn.last_active = Clock::now();
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.bytes_in += static_cast<uint64_t>(n);
-        continue;
-      }
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-      }
-      // EOF or hard error: let the engine turn it into a diagnostic.
-      conn.engine->FeedEof();
-      return false;
-    }
-  }
-
-  // Writes the engine's pending outbound bytes until EAGAIN or empty.
-  // Anything left keeps the fd registered for POLLOUT (backpressure).
-  void FlushWrites(int fd, Connection& conn) {
-    while (conn.engine->outbound_size() > 0) {
-      const ssize_t n = ::send(fd, conn.engine->outbound_data(),
-                               conn.engine->outbound_size(), MSG_NOSIGNAL);
-      if (n > 0) {
-        conn.engine->ConsumeOutbound(static_cast<size_t>(n));
-        conn.last_active = Clock::now();
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.bytes_out += static_cast<uint64_t>(n);
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-      conn.engine->FailTransport();
-      return;
-    }
-  }
-
-  // Closes and accounts a session once it settled and its last bytes
-  // (DONE ack, ERROR) are on the wire — or immediately when the peer is
-  // gone and nothing can be delivered anymore.
-  void MaybeFinalize(int fd, Connection& conn, bool peer_gone) {
-    const SessionStatus status = conn.engine->Status();
-    const bool settled =
-        status == SessionStatus::kDone || status == SessionStatus::kError;
-    if (!settled && !peer_gone) return;
-    if (settled && !peer_gone && conn.engine->outbound_size() > 0) return;
-    FinishSession(fd, /*timed_out=*/false);
-  }
-
-  void SweepIdle() {
-    if (options_.idle_timeout_ms <= 0) return;
-    const Clock::time_point cutoff =
-        Clock::now() - std::chrono::milliseconds(options_.idle_timeout_ms);
-    // Collect first: FinishSession erases from connections_.
-    idle_fds_.clear();
-    for (const auto& [fd, conn] : connections_) {
-      if (conn.last_active < cutoff) idle_fds_.push_back(fd);
-    }
-    for (int fd : idle_fds_) FinishSession(fd, /*timed_out=*/true);
-  }
-
-  void FinishSession(int fd, bool timed_out) {
-    auto it = connections_.find(fd);
-    if (it == connections_.end()) return;
-    SessionResult result = it->second.engine->TakeResult();
-    if (timed_out && result.error.empty()) {
-      result.ok = false;
-      result.error = "idle timeout";
-    }
-    ::close(fd);
-    connections_.erase(it);
-    finished_ += 1;
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      stats_.active -= 1;
-      if (timed_out) {
-        stats_.timed_out += 1;
-      } else if (result.ok) {
-        stats_.completed += 1;
-        stats_.completed_by_scheme[result.scheme] += 1;
-      } else {
-        stats_.failed += 1;
-      }
-    }
-    if (logger_) logger_(result);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
   }
 
   const ServerOptions options_;
@@ -313,17 +299,18 @@ class ReconcileServer::Impl {
   const int wake_read_;
   const int wake_write_;
 
-  std::unordered_map<int, Connection> connections_;
-  std::vector<pollfd> pollfds_;
-  std::vector<int> poll_fd_of_slot_;
-  std::vector<int> idle_fds_;
-  uint8_t read_buffer_[64 * 1024];
-  uint64_t finished_ = 0;  // Loop-thread only; stats_ has the split.
+  EventLoop loop_;  // Acceptor's own loop: listener + wake pipe.
+  bool listener_watched_ = false;
+  Clock::time_point backoff_until_{};
 
-  std::atomic<bool> stop_{false};
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
-  SessionLogger logger_;
+  ShardShared shared_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+  size_t next_shard_ = 0;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
 };
 
 // ----------------------------------------------------------- public shim --
@@ -347,6 +334,7 @@ std::unique_ptr<ReconcileServer> ReconcileServer::Create(
   auto impl = std::make_unique<Impl>(options, std::move(elements),
                                      std::move(listener), pipe_fds[0],
                                      pipe_fds[1]);
+  if (!impl->Init(error)) return nullptr;
   return std::unique_ptr<ReconcileServer>(
       new ReconcileServer(std::move(impl)));
 }
@@ -357,6 +345,7 @@ ReconcileServer::ReconcileServer(std::unique_ptr<Impl> impl)
 ReconcileServer::~ReconcileServer() = default;
 
 uint16_t ReconcileServer::port() const { return impl_->port(); }
+int ReconcileServer::shard_count() const { return impl_->shard_count(); }
 uint64_t ReconcileServer::Run() { return impl_->Run(); }
 bool ReconcileServer::RunOnce(int timeout_ms) {
   return impl_->RunOnce(timeout_ms);

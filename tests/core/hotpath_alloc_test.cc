@@ -16,7 +16,10 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -30,9 +33,11 @@
 #include "pbs/core/parity_bitmap.h"
 #include "pbs/core/pbs_endpoints.h"
 #include "pbs/core/session_engine.h"
+#include "pbs/core/transport.h"
 #include "pbs/gf/gf2m.h"
 #include "pbs/hash/hash_family.h"
 #include "pbs/ibf/invertible_bloom_filter.h"
+#include "pbs/net/reconcile_server.h"
 
 namespace {
 
@@ -420,6 +425,82 @@ TEST(HotpathAlloc, SessionEngineSteadyStateRoundsAreAllocationFree) {
   EXPECT_TRUE(initiator.result().outcome.success);
   EXPECT_EQ(initiator.result().outcome.rounds, kProbeRounds);
   EXPECT_EQ(responder.Status(), SessionStatus::kDone);
+}
+
+// ------------------------------------------------------------ shard loop --
+//
+// The server's whole steady-state serving path — EventLoop::Wait, the
+// shard's readiness dispatch, recv into the reused read buffer, engine
+// Feed/Poll, send, interest updates, LRU touch, per-shard counters — must
+// add ZERO allocations per round on top of the engine (pinned above).
+// The probe runs over a real TCP connection against a sharded server;
+// the ping-pong protocol guarantees that between the client receiving
+// reply k and sending request k+1 the server is idle, so the global
+// allocation counter sampled at exchanges 10 and 40 brackets exactly the
+// server threads' handling of 30 steady-state exchanges (the client side
+// of the loop below touches no heap: stack buffers + warmed engine).
+TEST(HotpathAlloc, ShardLoopSteadyStateRoundsAreAllocationFree) {
+  SchemeRegistry registry;
+  ASSERT_TRUE(registry.Register("alloc-probe", "AllocProbe",
+                                [](const SchemeOptions&) {
+                                  return std::make_unique<ProbeScheme>();
+                                }));
+
+  ServerOptions options;
+  options.registry = &registry;
+  options.shards = 2;  // Exercises the acceptor→shard handoff too.
+  options.serve_limit = 1;
+  std::string error;
+  auto server = ReconcileServer::Create(options, {1, 2, 3, 4}, &error);
+  ASSERT_NE(server, nullptr) << error;
+  std::thread serving([&server] { server->Run(); });
+
+  SessionConfig config;
+  config.scheme_name = "alloc-probe";
+  config.exact_d = 4.0;  // Skip the estimate phase.
+  SessionEngine initiator = SessionEngine::Initiator(
+      config, std::vector<uint64_t>{1, 2, 3, 4}, &registry);
+  auto transport = TcpConnect("127.0.0.1", server->port(), &error);
+  ASSERT_NE(transport, nullptr) << error;
+
+  uint8_t buf[1024];
+  int exchanges = 0;
+  std::uint64_t before = 0, after = 0;
+  while (true) {
+    const SessionStatus status = initiator.Status();
+    if (status == SessionStatus::kDone || status == SessionStatus::kError) {
+      break;
+    }
+    if (status == SessionStatus::kWantWrite) {
+      ASSERT_TRUE(
+          transport->Send(initiator.outbound_data(),
+                          initiator.outbound_size()));
+      initiator.ConsumeOutbound(initiator.outbound_size());
+      continue;
+    }
+    // kWantRead: one blocking read of exactly what the frame needs.
+    const size_t need = initiator.NeededBytes();
+    ASSERT_LE(need, sizeof(buf));
+    ASSERT_TRUE(transport->Recv(buf, need));
+    initiator.Feed(buf, need);
+    if (initiator.Status() != SessionStatus::kWantRead) {
+      // A full exchange completed: the server fully processed our last
+      // request and is idle again.
+      ++exchanges;
+      if (exchanges == 10) before = AllocCount();
+      if (exchanges == 40) after = AllocCount();
+    }
+  }
+  ASSERT_EQ(initiator.Status(), SessionStatus::kDone)
+      << initiator.result().error;
+  EXPECT_TRUE(initiator.result().outcome.success);
+  ASSERT_GE(exchanges, 40) << "probe session too short to sample";
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state shard serving loop allocated " << (after - before)
+      << " times over 30 exchanges";
+
+  serving.join();  // serve_limit = 1: returns by itself.
+  EXPECT_EQ(server->stats().completed, 1u);
 }
 
 // IBF peeling with workspace scratch and a reused result.

@@ -1,0 +1,195 @@
+// EventLoop: level-triggered readiness over epoll (Linux) and the
+// persistent-table poll fallback.
+//
+// Every test runs against BOTH backends — the shard loop must behave
+// identically whichever one the platform (or PBS_EVENT_LOOP) picks. On
+// non-Linux builds the kEpoll request degrades to poll, so the suite
+// still passes, just with both legs exercising the same backend.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "pbs/net/event_loop.h"
+
+namespace pbs {
+namespace {
+
+// A pipe pair the loop can watch; the read end is readable only after a
+// write, the write end is writable immediately.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int read_end() const { return fds[0]; }
+  int write_end() const { return fds[1]; }
+  void Put(char byte) { EXPECT_EQ(::write(fds[1], &byte, 1), 1); }
+  char Take() {
+    char byte = 0;
+    EXPECT_EQ(::read(fds[0], &byte, 1), 1);
+    return byte;
+  }
+};
+
+void ForEachBackend(
+    const std::function<void(EventLoop::Backend, const char*)>& body) {
+  {
+    SCOPED_TRACE("backend epoll (or its non-Linux poll degrade)");
+    body(EventLoop::Backend::kEpoll, "epoll");
+  }
+  {
+    SCOPED_TRACE("backend poll");
+    body(EventLoop::Backend::kPoll, "poll");
+  }
+}
+
+TEST(EventLoop, ReportsRequestedBackend) {
+  EventLoop poll_loop(EventLoop::Backend::kPoll);
+  ASSERT_TRUE(poll_loop.ok());
+  EXPECT_STREQ(poll_loop.backend_name(), "poll");
+#ifdef __linux__
+  EventLoop epoll_loop(EventLoop::Backend::kEpoll);
+  ASSERT_TRUE(epoll_loop.ok());
+  EXPECT_STREQ(epoll_loop.backend_name(), "epoll");
+#endif
+}
+
+TEST(EventLoop, WaitReportsReadAndWriteReadiness) {
+  ForEachBackend([](EventLoop::Backend backend, const char*) {
+    EventLoop loop(backend);
+    ASSERT_TRUE(loop.ok());
+    Pipe pipe;
+
+    // Nothing registered: Wait times out immediately.
+    EXPECT_EQ(loop.Wait(0), 0);
+
+    ASSERT_TRUE(loop.Add(pipe.read_end(), EventLoop::kRead, 7));
+    EXPECT_EQ(loop.watched(), 1u);
+    EXPECT_EQ(loop.Wait(0), 0);  // Empty pipe: not readable.
+
+    pipe.Put('x');
+    ASSERT_EQ(loop.Wait(1000), 1);
+    EXPECT_EQ(loop.events()[0].tag, 7u);
+    EXPECT_NE(loop.events()[0].ready & EventLoop::kRead, 0u);
+
+    // Level-triggered: still ready until drained.
+    ASSERT_EQ(loop.Wait(0), 1);
+    pipe.Take();
+    EXPECT_EQ(loop.Wait(0), 0);
+
+    // The write end is writable immediately.
+    ASSERT_TRUE(loop.Add(pipe.write_end(), EventLoop::kWrite, 9));
+    ASSERT_EQ(loop.Wait(1000), 1);
+    EXPECT_EQ(loop.events()[0].tag, 9u);
+    EXPECT_NE(loop.events()[0].ready & EventLoop::kWrite, 0u);
+  });
+}
+
+TEST(EventLoop, ModifySwapsInterestAndTag) {
+  ForEachBackend([](EventLoop::Backend backend, const char*) {
+    EventLoop loop(backend);
+    ASSERT_TRUE(loop.ok());
+    Pipe pipe;
+    pipe.Put('x');
+
+    ASSERT_TRUE(loop.Add(pipe.read_end(), EventLoop::kRead, 1));
+    ASSERT_EQ(loop.Wait(0), 1);
+
+    // Interest off: a readable fd no longer reports.
+    ASSERT_TRUE(loop.Modify(pipe.read_end(), 0, 1));
+    EXPECT_EQ(loop.Wait(0), 0);
+
+    // Interest back on under a new tag.
+    ASSERT_TRUE(loop.Modify(pipe.read_end(), EventLoop::kRead, 42));
+    ASSERT_EQ(loop.Wait(0), 1);
+    EXPECT_EQ(loop.events()[0].tag, 42u);
+
+    EXPECT_FALSE(loop.Modify(12345, EventLoop::kRead, 0));  // Unknown fd.
+  });
+}
+
+TEST(EventLoop, AddRejectsDuplicatesAndRemoveUnregisters) {
+  ForEachBackend([](EventLoop::Backend backend, const char*) {
+    EventLoop loop(backend);
+    ASSERT_TRUE(loop.ok());
+    Pipe pipe;
+
+    ASSERT_TRUE(loop.Add(pipe.read_end(), EventLoop::kRead, 1));
+    EXPECT_FALSE(loop.Add(pipe.read_end(), EventLoop::kRead, 2));
+    EXPECT_EQ(loop.watched(), 1u);
+
+    pipe.Put('x');
+    ASSERT_TRUE(loop.Remove(pipe.read_end()));
+    EXPECT_EQ(loop.watched(), 0u);
+    EXPECT_EQ(loop.Wait(0), 0);  // Readable but no longer watched.
+    EXPECT_FALSE(loop.Remove(pipe.read_end()));  // Already gone.
+  });
+}
+
+// The poll table (and epoll set) survives churn: registrations stay live
+// across unrelated Add/Remove, including the swap-erase path of the
+// persistent pollfd vector.
+TEST(EventLoop, RegistrationsSurviveChurn) {
+  ForEachBackend([](EventLoop::Backend backend, const char*) {
+    EventLoop loop(backend);
+    ASSERT_TRUE(loop.ok());
+    std::vector<Pipe> pipes(5);
+    for (size_t i = 0; i < pipes.size(); ++i) {
+      ASSERT_TRUE(loop.Add(pipes[i].read_end(), EventLoop::kRead, i));
+    }
+    // Remove from the middle (swap-erase moves the last entry into its
+    // slot) and from the front.
+    ASSERT_TRUE(loop.Remove(pipes[2].read_end()));
+    ASSERT_TRUE(loop.Remove(pipes[0].read_end()));
+    EXPECT_EQ(loop.watched(), 3u);
+
+    for (size_t i : {1u, 3u, 4u}) pipes[i].Put('x');
+    pipes[0].Put('x');  // Unwatched: must not report.
+    pipes[2].Put('x');
+
+    int seen[5] = {0, 0, 0, 0, 0};
+    const int n = loop.Wait(1000);
+    ASSERT_EQ(n, 3);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_LT(loop.events()[i].tag, 5u);
+      ++seen[loop.events()[i].tag];
+    }
+    EXPECT_EQ(seen[0], 0);
+    EXPECT_EQ(seen[1], 1);
+    EXPECT_EQ(seen[2], 0);
+    EXPECT_EQ(seen[3], 1);
+    EXPECT_EQ(seen[4], 1);
+  });
+}
+
+// The cross-thread wake pattern the shards use: another thread writes one
+// byte into a watched pipe and a blocked Wait returns.
+TEST(EventLoop, PipeWriteWakesABlockedWait) {
+  ForEachBackend([](EventLoop::Backend backend, const char*) {
+    EventLoop loop(backend);
+    ASSERT_TRUE(loop.ok());
+    Pipe pipe;
+    ASSERT_TRUE(loop.Add(pipe.read_end(), EventLoop::kRead, 0));
+
+    std::thread waker([&pipe] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      pipe.Put('w');
+    });
+    const int n = loop.Wait(5000);
+    waker.join();
+    ASSERT_EQ(n, 1);
+    EXPECT_EQ(pipe.Take(), 'w');
+  });
+}
+
+}  // namespace
+}  // namespace pbs

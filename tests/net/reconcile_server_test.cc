@@ -1,10 +1,15 @@
-// ReconcileServer: one poll loop serving many concurrent sessions.
+// ReconcileServer: N event-loop shards serving many concurrent sessions.
 //
 // The stress test throws 32 concurrent clients — mixed schemes, mixed set
-// sizes — at a single server and checks every difference is recovered
-// exactly and the server's counters add up. Policy paths are pinned too:
-// the max-sessions cap answers with a capacity ERROR frame the client can
-// read, and the idle timeout reaps silent connections.
+// sizes — at one server and checks every difference is recovered exactly
+// and the per-shard counters aggregate correctly; it runs once on the
+// classic single loop and once across 4 shards (the sharded leg is also
+// the TSan stress for the acceptor→shard fd handoff and the cross-thread
+// stats/Stop paths). Policy paths are pinned too: the max-sessions cap
+// answers with a capacity ERROR frame the client can read, the idle
+// timeout reaps a client that sent only a partial HELLO and went silent
+// (and its slot is reused), and the poll fallback backend serves
+// sessions identically to epoll.
 
 #include <gtest/gtest.h>
 
@@ -18,8 +23,10 @@
 #include <vector>
 
 #include "pbs/common/rng.h"
+#include "pbs/core/session_engine.h"
 #include "pbs/core/transport.h"
 #include "pbs/core/wire_session.h"
+#include "pbs/net/event_loop.h"
 #include "pbs/net/reconcile_server.h"
 #include "pbs/sim/workload.h"
 
@@ -36,13 +43,18 @@ bool WaitForStats(const ReconcileServer& server,
   return predicate(server.stats());
 }
 
-TEST(ReconcileServer, ThirtyTwoConcurrentMixedSessions) {
+// The 32-client mixed-scheme stress, parameterized over the server's
+// shard count and readiness backend so one body pins the single-loop
+// classic, the 4-shard handoff path, and the poll fallback.
+void RunMixedStress(int shards, EventLoop::Backend backend) {
   constexpr int kClients = 32;
   // The server's key set; every client diverges from it differently.
   const SetPair base = GenerateTwoSidedPair(3000, 0, 0, 32, 0xB0B);
 
   ServerOptions options;
   options.max_sessions = kClients;
+  options.shards = shards;
+  options.event_backend = backend;
   std::string error;
   auto server = ReconcileServer::Create(options, base.b, &error);
   ASSERT_NE(server, nullptr) << error;
@@ -132,6 +144,22 @@ TEST(ReconcileServer, ThirtyTwoConcurrentMixedSessions) {
   serving.join();
 }
 
+TEST(ReconcileServer, ThirtyTwoConcurrentMixedSessions) {
+  RunMixedStress(/*shards=*/1, EventLoop::Backend::kAuto);
+}
+
+// The sharded leg: the same 32 sessions handed off round-robin across 4
+// shard threads must aggregate to identical totals. (Also the TSan
+// target for the acceptor→shard pipe handoff and per-shard counters.)
+TEST(ReconcileServer, ShardedStressAggregatesPerShardStats) {
+  RunMixedStress(/*shards=*/4, EventLoop::Backend::kAuto);
+}
+
+// The persistent-table poll fallback serves sessions identically.
+TEST(ReconcileServer, PollBackendServesSessions) {
+  RunMixedStress(/*shards=*/2, EventLoop::Backend::kPoll);
+}
+
 TEST(ReconcileServer, CapacityRejectionTellsTheClientWhy) {
   ServerOptions options;
   options.max_sessions = 1;
@@ -175,6 +203,55 @@ TEST(ReconcileServer, IdleConnectionsAreReaped) {
   EXPECT_TRUE(WaitForStats(*server, [](const ServerStats& s) {
     return s.timed_out == 1 && s.active == 0;
   }));
+
+  server->Stop();
+  serving.join();
+}
+
+// A client that sends only a PARTIAL HELLO and goes silent must be
+// reaped by the idle timeout — the half-frame sits in the engine's
+// inbound buffer, never completing — and with max_sessions = 1 the
+// follow-up session proves the freed slot is actually reused.
+TEST(ReconcileServer, PartialHelloIsReapedAndSlotReused) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  options.idle_timeout_ms = 150;
+  std::string error;
+  auto server = ReconcileServer::Create(options, {1, 2, 3}, &error);
+  ASSERT_NE(server, nullptr) << error;
+  std::thread serving([&server] { server->Run(); });
+
+  // First 5 bytes of a genuine HELLO frame, then silence.
+  SessionConfig config;
+  config.exact_d = 1.0;
+  SessionEngine hello_source =
+      SessionEngine::Initiator(config, std::vector<uint64_t>{1, 2});
+  ASSERT_EQ(hello_source.Status(), SessionStatus::kWantWrite);
+  uint8_t partial[5];
+  ASSERT_EQ(hello_source.Poll(partial, sizeof(partial)), sizeof(partial));
+  auto mute = TcpConnect("127.0.0.1", server->port(), &error);
+  ASSERT_NE(mute, nullptr) << error;
+  ASSERT_TRUE(mute->Send(partial, sizeof(partial)));
+
+  ASSERT_TRUE(WaitForStats(*server, [](const ServerStats& s) {
+    return s.timed_out == 1 && s.active == 0;
+  }));
+  EXPECT_GT(server->stats().bytes_in, 0u);  // The partial bytes counted.
+
+  // The only slot is free again: a full session succeeds.
+  auto transport = TcpConnect("127.0.0.1", server->port(), &error);
+  ASSERT_NE(transport, nullptr) << error;
+  const SessionResult result =
+      RunInitiatorSession(*transport, config, {1, 2});
+  EXPECT_TRUE(result.ok) << result.error;
+  // The client returns on reading the DONE summary; the shard retires
+  // the session (and bumps `completed`) a beat later.
+  EXPECT_TRUE(WaitForStats(
+      *server, [](const ServerStats& s) { return s.completed == 1; }));
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.rejected_capacity, 0u);
 
   server->Stop();
   serving.join();

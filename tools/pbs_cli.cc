@@ -18,13 +18,14 @@
 //       Show the (g, n, t) parameterization the Section-5.1 optimizer
 //       picks for an expected difference of d.
 //   pbs_cli serve <file> [--port N] [--once] [--max-sessions N] [--stats]
-//           [--threads N]
+//           [--threads N] [--shards N]
 //       Hold a key set and serve framed reconciliation sessions over TCP
-//       from one poll loop (any scheme; the client picks; many clients
-//       concurrently). --once exits after one session; --max-sessions
-//       caps concurrent sessions (default 64); --stats prints the
-//       server's counters on exit; --threads sets each session's
-//       per-group decode parallelism.
+//       from N event-loop shards (any scheme; the client picks; many
+//       clients concurrently). --once exits after one session;
+//       --max-sessions caps concurrent sessions (default 64); --stats
+//       prints the server's counters on exit; --threads sets each
+//       session's per-group decode parallelism; --shards sets the
+//       event-loop thread count (default 1, 0 = all hardware threads).
 //   pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]
 //           [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]
 //           [--threads N]
@@ -64,7 +65,7 @@ int Usage() {
       "          [--delta N] [--threads N]\n"
       "  pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]\n"
       "  pbs_cli serve <file> [--port N] [--once] [--max-sessions N]\n"
-      "          [--stats] [--threads N]\n"
+      "          [--stats] [--threads N] [--shards N]\n"
       "  pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]\n"
       "          [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]\n"
       "          [--threads N]\n"
@@ -268,10 +269,12 @@ int CmdServe(int argc, char** argv) {
   const bool once = FlagPresent(argc, argv, "--once");
   const bool print_stats = FlagPresent(argc, argv, "--stats");
 
-  // One poll loop, one responder SessionEngine per connection: clients no
-  // longer queue behind each other (net/reconcile_server.h).
+  // N event-loop shards, one responder SessionEngine per connection:
+  // clients no longer queue behind each other, and shards spread the
+  // session work across cores (net/reconcile_server.h).
   pbs::ServerOptions options;
   options.port = port;
+  options.shards = static_cast<int>(FlagU64(argc, argv, "--shards", 1));
   options.max_sessions =
       static_cast<int>(FlagU64(argc, argv, "--max-sessions", 64));
   options.idle_timeout_ms = 30000;
@@ -304,9 +307,12 @@ int CmdServe(int argc, char** argv) {
     last_session_ok = result.ok && result.outcome.success;
   });
   std::fprintf(stderr,
-               "serving %zu keys on port %u (%s, max %d concurrent)\n",
+               "serving %zu keys on port %u (%s, max %d concurrent, "
+               "%d shard%s)\n",
                key_count, server->port(),
-               once ? "single session" : "loop", options.max_sessions);
+               once ? "single session" : "loop", options.max_sessions,
+               server->shard_count(),
+               server->shard_count() == 1 ? "" : "s");
   server->Run();
   if (print_stats) {
     const pbs::ServerStats stats = server->stats();
