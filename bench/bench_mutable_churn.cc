@@ -1,0 +1,324 @@
+// Mutable-store churn bench: what live updates cost, and what serving
+// under churn costs.
+//
+// Stage 1 — update throughput. For |set| in {1e4, 1e6}, applies balanced
+// insert/delete churn to a layout-configured MutableElementStore two
+// ways: the incremental path (ApplyInsert/ApplyDelete fold the element
+// into the per-group parity bitmaps, odd power sums, and checksums in
+// O(t)) and the rebuild path (every mutation followed by RebuildLayout(),
+// what a snapshot server without incremental maintenance would pay).
+// The incremental path must be >= 10x faster at |set| = 1e6 — the bench
+// exits nonzero otherwise, so CI gates the property.
+//
+// Stage 2 — serving under churn. 1,000 mixed-scheme sessions against a
+// 4-shard server backed by a mutable store, once with the set frozen
+// (static leg, the pr6 concurrent-sessions shape: |B| = 1000, d ~ 20)
+// and once with a writer thread churning 10% of the set per batch while
+// the clients reconcile. Reports sessions/s for both legs; the churn leg
+// measures the cost of per-session snapshot adoption plus concurrent
+// epoch publication.
+//
+// Env knobs: PBS_BENCH_SESSIONS=N overrides the per-leg session count,
+// PBS_BENCH_SHARDS=N the server shard count (default 4). PBS_BENCH_FULL=1
+// lengthens the stage-1 timing windows.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "pbs/core/element_store.h"
+#include "pbs/core/session_engine.h"
+#include "pbs/core/transport.h"
+#include "pbs/core/wire_session.h"
+#include "pbs/net/reconcile_server.h"
+#include "pbs/sim/workload.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string Format1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+// Unique nonzero 32-bit signatures: odd multiplier mod 2^32 is a bijection.
+uint64_t Sig(uint64_t i) { return (i * 2654435761u) & 0xFFFFFFFFu; }
+
+// ------------------------------------------------- stage 1: updates/s --
+
+struct UpdateRates {
+  double incremental_ns = 0.0;  // ns per mutation, incremental fold.
+  double rebuild_ns = 0.0;      // ns per mutation, mutation + full rebuild.
+};
+
+UpdateRates MeasureUpdates(size_t set_size) {
+  std::vector<uint64_t> initial;
+  initial.reserve(set_size);
+  for (uint64_t i = 1; i <= set_size; ++i) initial.push_back(Sig(i));
+  pbs::MutableElementStore store(std::move(initial));
+  pbs::PbsConfig config;
+  config.sig_bits = 32;
+  std::string error;
+  if (!store.ConfigureLayout(config, 0xC11, /*d_used=*/100, &error)) {
+    std::fprintf(stderr, "ConfigureLayout: %s\n", error.c_str());
+    std::exit(1);
+  }
+
+  UpdateRates rates;
+  const bool full = pbs::bench::FullMode();
+
+  // Incremental: rotate live elements out, fresh ones in — every
+  // mutation folds into bitmaps/syndromes/checksums in O(t).
+  {
+    const size_t pairs = full ? 200000 : 20000;
+    // Warm-up pass sizes the index past its snap-fit reserve.
+    store.ApplyInsert(Sig(set_size + 1));
+    store.ApplyDelete(Sig(set_size + 1));
+    const auto start = Clock::now();
+    for (size_t k = 0; k < pairs; ++k) {
+      store.ApplyDelete(Sig(1 + (k % set_size)));
+      store.ApplyInsert(Sig(set_size + 2 + k));
+    }
+    const double seconds = SecondsSince(start);
+    store.Publish();
+    rates.incremental_ns = seconds * 1e9 / (2.0 * pairs);
+    // Rotate back so the rebuild leg sees the same set size.
+  }
+
+  // Rebuild: each mutation pays a from-scratch layout recomputation,
+  // the cost a non-incremental snapshot server would carry per update.
+  {
+    const int reps = full ? 10 : 3;
+    (void)store.RebuildLayout();  // Warm-up.
+    const auto start = Clock::now();
+    for (int k = 0; k < reps; ++k) {
+      store.ApplyInsert(Sig(2 * set_size + 7 + static_cast<uint64_t>(k)));
+      auto layout = store.RebuildLayout();
+      if (layout == nullptr) std::exit(1);
+    }
+    rates.rebuild_ns = SecondsSince(start) * 1e9 / reps;
+  }
+  return rates;
+}
+
+// ----------------------------------------- stage 2: sessions vs churn --
+
+struct LegOutcome {
+  double wall_ms = 0.0;
+  size_t failures = 0;
+  size_t decode_misses = 0;
+  uint64_t epochs_published = 0;
+};
+
+// Drives `sessions` blocking initiator sessions from a fixed worker pool.
+LegOutcome RunSessions(uint16_t port, size_t sessions,
+                       const std::vector<std::string>& schemes,
+                       pbs::SessionEngine::SharedElements elements,
+                       double exact_d) {
+  LegOutcome out;
+  constexpr size_t kWorkers = 64;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> misses{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  for (size_t w = 0; w < std::min(kWorkers, sessions); ++w) {
+    workers.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < sessions;
+           i = next.fetch_add(1)) {
+        pbs::SessionConfig config;
+        config.scheme_name = schemes[i % schemes.size()];
+        config.options.pbs.max_rounds = 8;
+        config.options.pbs.target_rounds = 3;
+        config.seed = 0xBE9C + static_cast<uint64_t>(i) * 0x9E37;
+        config.exact_d = exact_d;
+        std::string error;
+        auto transport = pbs::TcpConnect("127.0.0.1", port, &error);
+        if (!transport) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const pbs::SessionResult result =
+            pbs::RunInitiatorSession(*transport, config, *elements);
+        if (!result.ok) {
+          failures.fetch_add(1);
+        } else if (!result.outcome.success) {
+          misses.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  out.wall_ms = SecondsSince(start) * 1000.0;
+  out.failures = failures.load();
+  out.decode_misses = misses.load();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  pbs::bench::Recorder updates_table(
+      "mutable_churn_updates",
+      {"path", "set_size", "d_used", "ns_per_op", "Mops"});
+
+  std::printf("== mutable store churn: update + serving throughput ==\n");
+  std::printf("mode=%s\n\n", pbs::bench::FullMode() ? "FULL" : "quick");
+
+  // ---- Stage 1: incremental vs rebuild update throughput -------------
+  bool speedup_ok = true;
+  for (const size_t set_size : {size_t{10000}, size_t{1000000}}) {
+    const UpdateRates rates = MeasureUpdates(set_size);
+    const double speedup = rates.rebuild_ns / rates.incremental_ns;
+    updates_table.AddRow({"incremental", std::to_string(set_size), "100",
+                          Format1(rates.incremental_ns),
+                          pbs::bench::FormatMops(rates.incremental_ns)});
+    updates_table.AddRow({"rebuild", std::to_string(set_size), "100",
+                          Format1(rates.rebuild_ns),
+                          pbs::bench::FormatMops(rates.rebuild_ns)});
+    std::printf("|set|=%zu: incremental %.0f ns/update, rebuild %.0f "
+                "ns/update — %.0fx\n",
+                set_size, rates.incremental_ns, rates.rebuild_ns, speedup);
+    if (set_size == 1000000 && speedup < 10.0) speedup_ok = false;
+  }
+  updates_table.Print();
+
+  // ---- Stage 2: mixed-scheme sessions/s, static vs 10% churn ---------
+  const char* sessions_env = std::getenv("PBS_BENCH_SESSIONS");
+  const size_t sessions =
+      sessions_env != nullptr
+          ? static_cast<size_t>(std::max(1L, std::strtol(sessions_env,
+                                                         nullptr, 10)))
+          : 1000;
+  const char* shards_env = std::getenv("PBS_BENCH_SHARDS");
+  const int shards =
+      shards_env != nullptr ? std::max(1, std::atoi(shards_env)) : 4;
+
+  // The pr6 concurrent-sessions throughput shape: |B| = 1000, d ~ 20.
+  const pbs::SetPair small = pbs::GenerateTwoSidedPair(1000, 10, 10, 32, 11);
+  auto shared_a = std::make_shared<const std::vector<uint64_t>>(small.a);
+  const std::vector<std::string> schemes =
+      pbs::SchemeRegistry::Instance().Names();
+  // Covers the base divergence plus the bounded churn drift (the writer
+  // oscillates within a 2 x 50-element pool, so any served epoch is at
+  // most 100 elements from the base set).
+  const double exact_d =
+      static_cast<double>(small.truth_diff.size()) + 100.0;
+
+  auto store = std::make_shared<pbs::MutableElementStore>(small.b);
+  pbs::PbsConfig layout_config;
+  layout_config.sig_bits = 32;
+  std::string error;
+  if (!store->ConfigureLayout(layout_config, 0xC11, /*d_used=*/120,
+                              &error)) {
+    std::fprintf(stderr, "ConfigureLayout: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Two disjoint 50-element pools, disjoint from both base sets.
+  std::vector<uint64_t> pool_a, pool_b;
+  for (uint64_t i = 0; i < 50; ++i) {
+    pool_a.push_back(0xA0000000u + i);
+    pool_b.push_back(0xB0000000u + i);
+  }
+
+  pbs::bench::Recorder sessions_table(
+      "mutable_churn_sessions",
+      {"leg", "sessions", "shards", "set_size", "churn_pct", "wall_ms",
+       "sessions_per_s"});
+
+  std::printf("\nserving: %zu mixed-scheme sessions, |B|=%zu, shards=%d\n\n",
+              sessions, small.b.size(), shards);
+
+  bool all_ok = true;
+  for (const bool churn : {false, true}) {
+    pbs::ServerOptions options;
+    options.shards = shards;
+    options.max_sessions = 128;
+    options.idle_timeout_ms = 120000;
+    options.mutable_store = store;
+    auto server = pbs::ReconcileServer::Create(options, {}, &error);
+    if (!server) {
+      std::fprintf(stderr, "server: %s\n", error.c_str());
+      return 1;
+    }
+    std::thread serving([&server] { server->Run(); });
+
+    std::atomic<bool> stop{false};
+    uint64_t batches_applied = 0;
+    std::thread writer;
+    if (churn) {
+      writer = std::thread([&] {
+        // Prime pool A in, then oscillate: each batch swaps one 50-pool
+        // for the other — 100 mutations on a 1000-element set, 10% churn
+        // per published epoch.
+        pbs::UpdateBatch prime;
+        prime.inserts = pool_a;
+        store->Apply(prime);
+        bool a_in = true;
+        while (!stop.load(std::memory_order_relaxed)) {
+          pbs::UpdateBatch batch;
+          batch.inserts = a_in ? pool_b : pool_a;
+          batch.deletes = a_in ? pool_a : pool_b;
+          store->Apply(batch);
+          a_in = !a_in;
+          ++batches_applied;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      });
+    }
+
+    const LegOutcome outcome = RunSessions(
+        server->port(), sessions, schemes, shared_a, exact_d);
+
+    if (churn) {
+      stop.store(true);
+      writer.join();
+    }
+    server->Stop();
+    serving.join();
+
+    const double per_s = sessions / (outcome.wall_ms / 1000.0);
+    all_ok = all_ok && outcome.failures == 0;
+    std::printf("%s: %.1f ms wall, %.1f sessions/s, %zu failures, %zu "
+                "decode misses%s\n",
+                churn ? "churn " : "static", outcome.wall_ms, per_s,
+                outcome.failures, outcome.decode_misses,
+                churn ? (" (" + std::to_string(batches_applied) +
+                         " churn batches applied)")
+                            .c_str()
+                      : "");
+    sessions_table.AddRow({churn ? "churn" : "static",
+                           std::to_string(sessions), std::to_string(shards),
+                           std::to_string(small.b.size()),
+                           churn ? "10" : "0", Format1(outcome.wall_ms),
+                           Format1(per_s)});
+  }
+  std::printf("\n");
+  sessions_table.Print();
+
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "FAIL: incremental maintenance < 10x faster than rebuild "
+                 "at |set|=1e6\n");
+    return 1;
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: a session failed\n");
+    return 1;
+  }
+  return 0;
+}

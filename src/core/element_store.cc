@@ -1,0 +1,377 @@
+#include "pbs/core/element_store.h"
+
+#include <atomic>
+#include <utility>
+
+#include "pbs/common/checksum.h"
+#include "pbs/core/group_state.h"
+#include "pbs/gf/gf2m.h"
+#include "pbs/hash/hash_family.h"
+
+namespace pbs {
+
+namespace {
+
+// Open-addressing key -> position map sized for zero-allocation steady
+// state. Keys are nonzero signatures at most 63 bits wide (sig_bits <= 63
+// would suffice; the store admits up to 64-bit values only when no layout
+// is configured, and even then ~0 is reserved), so 0 marks an empty slot
+// and ~0 a tombstone. Tombstones are reused on insert, which keeps a
+// balanced insert/delete workload from ever growing the table.
+class KeyIndex {
+ public:
+  static constexpr uint64_t kEmpty = 0;
+  static constexpr uint64_t kTombstone = ~uint64_t{0};
+
+  explicit KeyIndex(size_t expected = 0) { Rehash(CapacityFor(expected)); }
+
+  // Returns the stored position of `key`, or SIZE_MAX if absent.
+  size_t Find(uint64_t key) const {
+    size_t i = Mix(key) & mask_;
+    while (true) {
+      const uint64_t k = keys_[i];
+      if (k == key) return vals_[i];
+      if (k == kEmpty) return SIZE_MAX;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // Inserts key -> pos. Returns false if the key is already present.
+  bool Insert(uint64_t key, size_t pos) {
+    if (used_ + 1 > (keys_.size() * 3) / 4) Rehash(keys_.size() * 2);
+    size_t i = Mix(key) & mask_;
+    size_t grave = SIZE_MAX;
+    while (true) {
+      const uint64_t k = keys_[i];
+      if (k == key) return false;
+      if (k == kTombstone && grave == SIZE_MAX) grave = i;
+      if (k == kEmpty) break;
+      i = (i + 1) & mask_;
+    }
+    if (grave != SIZE_MAX) {
+      i = grave;  // Reuse the tombstone: used_ stays flat.
+    } else {
+      ++used_;
+    }
+    keys_[i] = key;
+    vals_[i] = pos;
+    ++size_;
+    return true;
+  }
+
+  // Removes `key`. Returns its old position, or SIZE_MAX if absent.
+  size_t Erase(uint64_t key) {
+    size_t i = Mix(key) & mask_;
+    while (true) {
+      const uint64_t k = keys_[i];
+      if (k == key) {
+        keys_[i] = kTombstone;
+        --size_;
+        return vals_[i];
+      }
+      if (k == kEmpty) return SIZE_MAX;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // Repoints an existing key at a new position (swap-with-last deletes).
+  void Reposition(uint64_t key, size_t pos) {
+    size_t i = Mix(key) & mask_;
+    while (keys_[i] != key) i = (i + 1) & mask_;
+    vals_[i] = pos;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    // SplitMix64 finalizer: full-avalanche so clustered signatures probe
+    // uniformly.
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  static size_t CapacityFor(size_t expected) {
+    size_t cap = 16;
+    while (cap * 3 < (expected + 1) * 4) cap *= 2;
+    return cap;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<size_t> old_vals = std::move(vals_);
+    keys_.assign(new_capacity, kEmpty);
+    vals_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    used_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      const uint64_t k = old_keys[i];
+      if (k != kEmpty && k != kTombstone) {
+        Insert(k, old_vals[i]);
+      }
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<size_t> vals_;
+  size_t mask_ = 0;
+  size_t size_ = 0;  // Live keys.
+  size_t used_ = 0;  // Live keys + tombstones (probe-chain load).
+};
+
+}  // namespace
+
+struct MutableElementStore::Impl {
+  mutable std::mutex mu;
+
+  // Writer-side state (guarded by mu).
+  std::vector<uint64_t> elements;
+  KeyIndex index;
+  uint64_t epoch = 0;
+
+  // Incrementally maintained layout (guarded by mu; absent until
+  // ConfigureLayout).
+  bool configured = false;
+  uint64_t seed = 0;
+  PbsConfig config;
+  PbsPlan plan;
+  uint64_t sig_mask = ~uint64_t{0};
+  GF2m field{2};  // Placeholder until ConfigureLayout (GF2m needs m >= 2).
+  std::vector<uint64_t> bin_salts;    // Round-1 bin salt per root group.
+  std::vector<ParityBitmap> bitmaps;  // g bitmaps over [1, n].
+  std::vector<uint64_t> syndromes;    // g * t flat odd syndromes.
+  std::vector<SetChecksum> checksums;
+  PowerSumSketch toggle_scratch{GF2m(2), 1};  // Reused per parity flip.
+
+  // Published snapshot, swapped atomically (C++17 shared_ptr atomics).
+  std::shared_ptr<const StoreSnapshot> snapshot;
+
+  Impl() { PublishLocked(); }
+
+  // Toggles bin `bin` of group `group` in the flat syndrome block: the
+  // bin entered or left the odd-parity set, either way its odd power sums
+  // XOR in. O(t) field multiplies, no allocation once scratch is sized.
+  void ToggleSyndrome(uint32_t group, uint64_t bin) {
+    toggle_scratch.Reset();
+    toggle_scratch.Toggle(bin);
+    const std::vector<uint64_t>& odd = toggle_scratch.odd_syndromes();
+    uint64_t* block = syndromes.data() + group * static_cast<size_t>(plan.params.t);
+    for (int k = 0; k < plan.params.t; ++k) block[k] ^= odd[k];
+  }
+
+  // Folds element `e` in or out of its group's bitmap/sketch/checksum.
+  void ToggleLayout(uint64_t e, bool add) {
+    if (!configured) return;
+    const HashFamily family(seed);
+    const uint32_t group =
+        GroupOf(family, e, static_cast<uint32_t>(plan.params.g));
+    const SaltedHash h(bin_salts[group]);
+    const uint64_t bin = BinIndex(e, h, plan.params.n);
+    ParityBitmap& pb = bitmaps[group];
+    pb.xor_sum[bin] ^= e;
+    pb.parity[bin] ^= 1;
+    ToggleSyndrome(group, bin);
+    checksums[group].Toggle(e, add);
+  }
+
+  bool InsertLocked(uint64_t e) {
+    if (e == 0 || e == KeyIndex::kTombstone) return false;
+    if (configured && (e & ~sig_mask) != 0) return false;
+    if (!index.Insert(e, elements.size())) return false;
+    elements.push_back(e);
+    ToggleLayout(e, /*add=*/true);
+    return true;
+  }
+
+  bool DeleteLocked(uint64_t e) {
+    const size_t pos = index.Erase(e);
+    if (pos == SIZE_MAX) return false;
+    const uint64_t last = elements.back();
+    elements.pop_back();
+    if (pos < elements.size()) {
+      elements[pos] = last;
+      index.Reposition(last, pos);
+    }
+    ToggleLayout(e, /*add=*/false);
+    return true;
+  }
+
+  std::shared_ptr<const PbsStoreLayout> CopyLayoutLocked() const {
+    if (!configured) return nullptr;
+    auto out = std::make_shared<PbsStoreLayout>();
+    out->seed = seed;
+    out->config = config;
+    out->plan = plan;
+    out->bitmaps = bitmaps;
+    out->syndromes = syndromes;
+    out->checksums.reserve(checksums.size());
+    for (const SetChecksum& c : checksums) out->checksums.push_back(c.value());
+    return out;
+  }
+
+  void PublishLocked() {
+    auto snap = std::make_shared<StoreSnapshot>();
+    snap->epoch = ++epoch;
+    snap->elements =
+        std::make_shared<const std::vector<uint64_t>>(elements);
+    snap->layout = CopyLayoutLocked();
+    std::atomic_store_explicit(
+        &snapshot, std::shared_ptr<const StoreSnapshot>(std::move(snap)),
+        std::memory_order_release);
+  }
+};
+
+MutableElementStore::MutableElementStore(std::vector<uint64_t> initial)
+    : impl_(std::make_unique<Impl>()) {
+  if (initial.empty()) return;  // Impl() already published the empty epoch.
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->elements.reserve(initial.size());
+  for (uint64_t e : initial) impl_->InsertLocked(e);
+  impl_->PublishLocked();
+}
+
+MutableElementStore::~MutableElementStore() = default;
+
+bool MutableElementStore::ConfigureLayout(const PbsConfig& config,
+                                          uint64_t seed, int d_used,
+                                          std::string* error) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl& s = *impl_;
+  const uint64_t mask = SetChecksum::MaskFor(config.sig_bits);
+  for (uint64_t e : s.elements) {
+    if ((e & ~mask) != 0) {
+      if (error) {
+        *error = "stored element wider than config.sig_bits; cannot build "
+                 "a layout for this session profile";
+      }
+      return false;
+    }
+  }
+  s.configured = true;
+  s.seed = seed;
+  s.config = config;
+  s.sig_mask = mask;
+  s.plan = PlanFor(config, d_used);
+  const int g = s.plan.params.g;
+  const int n = s.plan.params.n;
+  const int t = s.plan.params.t;
+  s.field = GF2m(s.plan.params.m);
+  s.toggle_scratch = PowerSumSketch(s.field, t);
+  const HashFamily family(seed);
+  s.bin_salts.resize(g);
+  for (int i = 0; i < g; ++i) {
+    s.bin_salts[i] =
+        UnitCore::Root(family, static_cast<uint32_t>(i)).BinSalt(family, 1);
+  }
+  s.bitmaps.assign(g, ParityBitmap{});
+  for (ParityBitmap& pb : s.bitmaps) {
+    pb.n = n;
+    pb.xor_sum.assign(n + 1, 0);
+    pb.parity.assign(n + 1, 0);
+  }
+  s.syndromes.assign(static_cast<size_t>(g) * t, 0);
+  s.checksums.assign(g, SetChecksum(config.sig_bits));
+  for (uint64_t e : s.elements) s.ToggleLayout(e, /*add=*/true);
+  s.PublishLocked();
+  return true;
+}
+
+bool MutableElementStore::ApplyInsert(uint64_t element) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->InsertLocked(element);
+}
+
+bool MutableElementStore::ApplyDelete(uint64_t element) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->DeleteLocked(element);
+}
+
+ApplyResult MutableElementStore::Apply(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ApplyResult result;
+  for (uint64_t e : batch.inserts) {
+    if (impl_->InsertLocked(e)) {
+      ++result.inserted;
+    } else {
+      ++result.rejected_inserts;
+    }
+  }
+  for (uint64_t e : batch.deletes) {
+    if (impl_->DeleteLocked(e)) {
+      ++result.deleted;
+    } else {
+      ++result.rejected_deletes;
+    }
+  }
+  impl_->PublishLocked();
+  result.epoch = impl_->epoch;
+  return result;
+}
+
+uint64_t MutableElementStore::Publish() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->PublishLocked();
+  return impl_->epoch;
+}
+
+std::shared_ptr<const StoreSnapshot> MutableElementStore::snapshot() const {
+  return std::atomic_load_explicit(&impl_->snapshot,
+                                   std::memory_order_acquire);
+}
+
+uint64_t MutableElementStore::epoch() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->epoch;
+}
+
+size_t MutableElementStore::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->elements.size();
+}
+
+std::shared_ptr<const PbsStoreLayout> MutableElementStore::RebuildLayout()
+    const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const Impl& s = *impl_;
+  if (!s.configured) return nullptr;
+  auto out = std::make_shared<PbsStoreLayout>();
+  out->seed = s.seed;
+  out->config = s.config;
+  out->plan = s.plan;
+  const int g = s.plan.params.g;
+  const int n = s.plan.params.n;
+  const int t = s.plan.params.t;
+  const HashFamily family(s.seed);
+  out->bitmaps.assign(g, ParityBitmap{});
+  for (ParityBitmap& pb : out->bitmaps) {
+    pb.n = n;
+    pb.xor_sum.assign(n + 1, 0);
+    pb.parity.assign(n + 1, 0);
+  }
+  std::vector<SetChecksum> sums(g, SetChecksum(s.config.sig_bits));
+  for (uint64_t e : s.elements) {
+    const uint32_t group = GroupOf(family, e, static_cast<uint32_t>(g));
+    const SaltedHash h(s.bin_salts[group]);
+    const uint64_t bin = BinIndex(e, h, n);
+    out->bitmaps[group].xor_sum[bin] ^= e;
+    out->bitmaps[group].parity[bin] ^= 1;
+    sums[group].Add(e);
+  }
+  out->syndromes.assign(static_cast<size_t>(g) * t, 0);
+  PowerSumSketch sketch(s.field, t);
+  for (int u = 0; u < g; ++u) {
+    out->bitmaps[u].ToSketchInto(&sketch);
+    const std::vector<uint64_t>& odd = sketch.odd_syndromes();
+    for (int k = 0; k < t; ++k) {
+      out->syndromes[static_cast<size_t>(u) * t + k] = odd[k];
+    }
+  }
+  out->checksums.reserve(g);
+  for (const SetChecksum& c : sums) out->checksums.push_back(c.value());
+  return out;
+}
+
+}  // namespace pbs

@@ -14,6 +14,7 @@
 #include "pbs/common/mset_hash.h"
 #include "pbs/common/parallel.h"
 #include "pbs/common/workspace.h"
+#include "pbs/core/element_store.h"
 #include "pbs/core/messages.h"
 #include "pbs/core/parity_bitmap.h"
 #include "pbs/estimator/tow.h"
@@ -370,9 +371,20 @@ struct PbsBob::Impl {
   PbsConfig config;
   HashFamily family;
   std::vector<uint64_t> elements;
+  // Snapshot mode (core/element_store.h): the set is shared, not owned,
+  // and `layout` (when non-null and matching the session plan) supplies
+  // round 1's bitmaps/syndromes/checksums so BuildUnits' O(|B|) partition
+  // can be deferred until a second round actually happens.
+  std::shared_ptr<const std::vector<uint64_t>> shared_elements;
+  std::shared_ptr<const PbsStoreLayout> layout;
+  bool partitioned = true;  // False while adopted units' elements are lazy.
   PbsPlan plan;
   bool plan_ready = false;
   GF2m field{6};
+
+  const std::vector<uint64_t>& elems() const {
+    return shared_elements != nullptr ? *shared_elements : elements;
+  }
 
   struct Unit {
     UnitCore core;
@@ -420,8 +432,7 @@ struct PbsBob::Impl {
     return c.value();
   }
 
-  void BuildUnits() {
-    const uint32_t g = static_cast<uint32_t>(plan.params.g);
+  void SetupWorkers() {
     field = GF2m(plan.params.m);
     const int nthreads = ParallelFor::ResolveThreads(config.decode_threads);
     if (nthreads > 1 && pool == nullptr) {
@@ -433,13 +444,58 @@ struct PbsBob::Impl {
       workers.push_back(std::make_unique<WorkerScratch>());
       workers.back()->diff_sketch.emplace(field, plan.params.t);
     }
+  }
+
+  void BuildUnits() {
+    const uint32_t g = static_cast<uint32_t>(plan.params.g);
+    SetupWorkers();
     units.clear();
     units.resize(g);
     for (uint32_t i = 0; i < g; ++i) units[i].core = UnitCore::Root(family, i);
-    for (uint64_t e : elements) {
+    for (uint64_t e : elems()) {
       units[GroupOf(family, e, g)].elements.push_back(e);
     }
     for (Unit& u : units) u.checksum = ChecksumOf(u.elements);
+    partitioned = true;
+  }
+
+  /// True when the adopted layout is exactly what this session would have
+  /// built: layout contents depend only on (seed, sig_bits, g, n, m, t),
+  /// so a d_used mismatch is fine as long as the planned shape coincides.
+  bool LayoutMatchesPlan() const {
+    return layout != nullptr && layout->seed == family.master_seed() &&
+           layout->config.sig_bits == config.sig_bits &&
+           layout->plan.params.g == plan.params.g &&
+           layout->plan.params.n == plan.params.n &&
+           layout->plan.params.m == plan.params.m &&
+           layout->plan.params.t == plan.params.t;
+  }
+
+  /// Snapshot fast path: root units carry the store's checksums; their
+  /// element lists stay empty until EnsurePartitioned. Round 1 then reads
+  /// bitmaps/syndromes straight out of the layout.
+  void AdoptLayout() {
+    const uint32_t g = static_cast<uint32_t>(plan.params.g);
+    SetupWorkers();
+    units.clear();
+    units.resize(g);
+    for (uint32_t i = 0; i < g; ++i) {
+      units[i].core = UnitCore::Root(family, i);
+      units[i].checksum = layout->checksums[i];
+    }
+    partitioned = false;
+  }
+
+  /// Deferred O(|B|) group partition of the adopted path. Must run while
+  /// the unit table is still exactly the g roots in group order -- i.e. at
+  /// the top of round 2, before any split/settle evolution.
+  void EnsurePartitioned() {
+    if (partitioned) return;
+    partitioned = true;
+    const uint32_t g = static_cast<uint32_t>(plan.params.g);
+    for (uint64_t e : elems()) {
+      units[GroupOf(family, e, g)].elements.push_back(e);
+    }
   }
 
   std::vector<Unit> SplitUnit(Unit& parent) {
@@ -462,6 +518,17 @@ PbsBob::PbsBob(std::vector<uint64_t> elements, const PbsConfig& config,
   ValidateElements(impl_->elements, config.sig_bits, "PbsBob");
 }
 
+PbsBob::PbsBob(std::shared_ptr<const std::vector<uint64_t>> elements,
+               std::shared_ptr<const PbsStoreLayout> layout,
+               const PbsConfig& config, uint64_t seed)
+    : impl_(std::make_unique<Impl>(std::vector<uint64_t>{}, config, seed)) {
+  // The store's insert path already enforces the ValidateElements
+  // invariants; re-checking here would reintroduce the O(|B|) setup scan
+  // this constructor exists to avoid.
+  impl_->shared_elements = std::move(elements);
+  impl_->layout = std::move(layout);
+}
+
 PbsBob::~PbsBob() = default;
 
 std::vector<uint8_t> PbsBob::HandleEstimateRequest(
@@ -472,7 +539,7 @@ std::vector<uint8_t> PbsBob::HandleEstimateRequest(
   TowSketch alice_sketch = TowSketch::Deserialize(
       &r, b.config.ell, b.family.Salt(HashFamily::kEstimator), alice_size);
   TowSketch bob_sketch(b.config.ell, b.family.Salt(HashFamily::kEstimator));
-  bob_sketch.AddAll(b.elements);
+  bob_sketch.AddAll(b.elems());
   const double d_hat = TowSketch::Estimate(alice_sketch, bob_sketch);
   const int d_used = InflateEstimate(d_hat, b.config.gamma);
   SetDifferenceEstimate(d_used);
@@ -485,7 +552,12 @@ void PbsBob::SetDifferenceEstimate(int d_used) {
   Impl& b = *impl_;
   b.plan = PlanFor(b.config, d_used);
   b.plan_ready = true;
-  b.BuildUnits();
+  if (b.LayoutMatchesPlan()) {
+    b.AdoptLayout();
+  } else {
+    b.layout.reset();  // Mismatched layout is useless; drop it.
+    b.BuildUnits();
+  }
 }
 
 std::vector<uint8_t> PbsBob::HandleRoundRequest(
@@ -505,6 +577,10 @@ void PbsBob::HandleRoundRequest(const std::vector<uint8_t>& request,
   // Evolve the unit table exactly as Alice did: consume her settled flags
   // for units whose decode succeeded last round, split the failed ones.
   if (b.round > 1) {
+    // Adopted sessions deferred the O(|B|) partition; any second round
+    // needs real per-unit element lists (for splits and later bin salts),
+    // and the table is still exactly the g roots here.
+    b.EnsurePartitioned();
     std::vector<Impl::Unit>& next_units = b.next_units_scratch;
     next_units.clear();
     next_units.reserve(b.units.size());
@@ -558,10 +634,23 @@ void PbsBob::HandleRoundRequest(const std::vector<uint8_t>& request,
   const auto decode_unit = [&b, n, stride](size_t u, int worker) {
     const Impl::Unit& unit = b.units[u];
     Impl::WorkerScratch& scratch = *b.workers[worker];
-    const SaltedHash h(unit.core.BinSalt(b.family, b.round));
-    ParityBitmap::BuildInto(unit.elements, h, n, &scratch.pb);
     PowerSumSketch& diff_sketch = *scratch.diff_sketch;
-    scratch.pb.ToSketchInto(&diff_sketch);
+    const ParityBitmap* pb;
+    if (!b.partitioned) {
+      // Adopted round 1: units are the g roots in group order, and the
+      // store maintained exactly the bitmap/sketch this unit would have
+      // built (same seed, same round-1 bin salt), so read both straight
+      // out of the layout instead of re-binning the group.
+      pb = &b.layout->bitmaps[u];
+      diff_sketch.Reset();
+      diff_sketch.MergeOdd(Span<const uint64_t>(
+          b.layout->syndromes.data() + u * stride, stride));
+    } else {
+      const SaltedHash h(unit.core.BinSalt(b.family, b.round));
+      ParityBitmap::BuildInto(unit.elements, h, n, &scratch.pb);
+      pb = &scratch.pb;
+      scratch.pb.ToSketchInto(&diff_sketch);
+    }
     diff_sketch.MergeOdd(Span<const uint64_t>(
         b.alice_syndromes.data() + u * stride, stride));
     if (!diff_sketch.DecodeInto(&scratch.positions, scratch.ws)) {
@@ -575,7 +664,7 @@ void PbsBob::HandleRoundRequest(const std::vector<uint8_t>& request,
     for (int i = 0; i < count; ++i) {
       const uint64_t pos = scratch.positions[i];
       positions[i] = pos;
-      xors[i] = scratch.pb.xor_sum[pos];
+      xors[i] = pb->xor_sum[pos];
     }
   };
   if (b.pool != nullptr) {
@@ -612,7 +701,7 @@ void PbsBob::HandleRoundRequest(const std::vector<uint8_t>& request,
 
 std::vector<uint8_t> PbsBob::MakeStrongDigest() const {
   MsetHash hash(impl_->family.Salt(HashFamily::kEstimator, 0x5742));
-  for (uint64_t e : impl_->elements) hash.Add(e);
+  for (uint64_t e : impl_->elems()) hash.Add(e);
   BitWriter w;
   for (uint64_t lane : hash.digest()) w.WriteBits(lane, 64);
   return w.TakeBytes();

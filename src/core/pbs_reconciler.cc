@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "pbs/common/bitio.h"
+#include "pbs/core/element_store.h"
 #include "pbs/core/pbs_endpoints.h"
 #include "pbs/core/reconciler.h"
 
@@ -129,6 +130,13 @@ class PbsResponder : public ReconcileResponder {
                const PbsConfig& config)
       : bob_(std::move(elements), config, seed) {}
 
+  /// Snapshot form: shared elements + optional pre-built layout (adopted
+  /// inside PbsBob iff it matches the session's plan).
+  PbsResponder(std::shared_ptr<const std::vector<uint64_t>> elements,
+               std::shared_ptr<const PbsStoreLayout> layout, uint64_t seed,
+               const PbsConfig& config)
+      : bob_(std::move(elements), std::move(layout), config, seed) {}
+
   bool HandleRequest(const std::vector<uint8_t>& request,
                      std::vector<uint8_t>* reply) override {
     BitReader r(request);
@@ -207,6 +215,17 @@ std::unique_ptr<ReconcileInitiator> PbsReconciler::CreateInitiator(
 std::unique_ptr<ReconcileResponder> PbsReconciler::CreateResponder(
     std::vector<uint64_t> elements, double /*d_hat*/, uint64_t seed) const {
   return std::make_unique<PbsResponder>(std::move(elements), seed, config_);
+}
+
+std::unique_ptr<ReconcileResponder> PbsReconciler::CreateSnapshotResponder(
+    std::shared_ptr<const StoreSnapshot> snapshot, double /*d_hat*/,
+    uint64_t seed) const {
+  if (snapshot == nullptr || snapshot->elements == nullptr ||
+      snapshot->layout == nullptr) {
+    return nullptr;  // No pre-built state: use the validating plain path.
+  }
+  return std::make_unique<PbsResponder>(snapshot->elements, snapshot->layout,
+                                        seed, config_);
 }
 
 }  // namespace pbs

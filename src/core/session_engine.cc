@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -184,6 +185,50 @@ std::string ErrorText(const WireFrame& frame) {
   return std::string(frame.payload.begin(), frame.payload.end());
 }
 
+// ---------------------------------------------------------------- update --
+
+// Per-direction cap on one UPDATE batch, mirroring the d_used cap: the
+// counts size the responder's decode buffers before validation finishes.
+constexpr uint64_t kMaxUpdateBatch = 1u << 20;
+
+// UPDATE payload: varint insert count, varint delete count, then each
+// element as 64 bits (inserts first). The whole payload must parse and the
+// counts must match the payload size exactly before anything is applied —
+// a truncated or padded frame is rejected with no store mutation at all.
+void EncodeUpdate(const UpdateBatch& batch, BitWriter* w) {
+  w->Clear();
+  w->WriteVarint(batch.inserts.size());
+  w->WriteVarint(batch.deletes.size());
+  for (uint64_t e : batch.inserts) w->WriteBits(e, 64);
+  for (uint64_t e : batch.deletes) w->WriteBits(e, 64);
+}
+
+bool DecodeUpdate(const std::vector<uint8_t>& payload, UpdateBatch* batch) {
+  BitReader r(payload);
+  const uint64_t n_inserts = r.ReadVarint();
+  const uint64_t n_deletes = r.ReadVarint();
+  if (r.overflowed() || n_inserts > kMaxUpdateBatch ||
+      n_deletes > kMaxUpdateBatch ||
+      (n_inserts + n_deletes) * 64 > r.remaining_bits()) {
+    return false;
+  }
+  batch->inserts.clear();
+  batch->deletes.clear();
+  batch->inserts.reserve(n_inserts);
+  batch->deletes.reserve(n_deletes);
+  for (uint64_t i = 0; i < n_inserts; ++i) {
+    batch->inserts.push_back(r.ReadBits(64));
+  }
+  for (uint64_t i = 0; i < n_deletes; ++i) {
+    batch->deletes.push_back(r.ReadBits(64));
+  }
+  // Anything beyond byte-rounding slack is a length/content mismatch.
+  return !r.overflowed() && r.remaining_bits() < 8;
+}
+
+// UPDATE_ACK payload: published epoch, then applied/rejected counts.
+constexpr size_t kUpdateAckBits = 64 + 4 * 32;
+
 }  // namespace
 
 // ------------------------------------------------------------ lifecycle --
@@ -224,6 +269,38 @@ SessionEngine SessionEngine::Responder(const SessionConfig& local_config,
   // seeding config_ here is all that "honoring local defaults" takes.
   return SessionEngine(/*is_initiator=*/false, local_config,
                        std::move(elements), registry);
+}
+
+SessionEngine SessionEngine::Responder(
+    const SessionConfig& local_config,
+    std::shared_ptr<const StoreSnapshot> snapshot,
+    std::shared_ptr<MutableElementStore> store,
+    const SchemeRegistry* registry) {
+  SessionEngine engine(/*is_initiator=*/false, local_config,
+                       snapshot != nullptr ? snapshot->elements : nullptr,
+                       registry);
+  engine.snapshot_ = std::move(snapshot);
+  engine.store_ = std::move(store);
+  return engine;
+}
+
+SessionEngine SessionEngine::Updater(std::vector<UpdateBatch> batches,
+                                     const SchemeRegistry* registry) {
+  // Built through the responder-shaped ctor (no HELLO, no reconciler),
+  // then flipped to the initiating role: the updater speaks only
+  // kUpdate/kUpdateAck/kDone and needs neither a scheme nor elements.
+  SessionEngine engine(/*is_initiator=*/false, SessionConfig(), nullptr,
+                       registry);
+  engine.is_initiator_ = true;
+  engine.is_updater_ = true;
+  engine.result_.scheme = "update";
+  engine.batches_ = std::move(batches);
+  if (engine.batches_.empty()) {
+    engine.FinishUpdater();  // Nothing to send: go straight to DONE.
+  } else {
+    engine.EmitNextUpdate();
+  }
+  return engine;
 }
 
 SessionEngine::SessionEngine(bool is_initiator, const SessionConfig& config,
@@ -483,6 +560,29 @@ void SessionEngine::DispatchInitiator() {
       state_ = State::kAwaitDoneAck;
       return;
     }
+    case State::kAwaitUpdateAck: {
+      if (frame_.type != FrameType::kUpdateAck) {
+        Fail("expected UPDATE_ACK");
+        return;
+      }
+      BitReader r(frame_.payload);
+      update_epoch_ = r.ReadBits(64);
+      update_inserted_ += static_cast<uint32_t>(r.ReadBits(32));
+      update_deleted_ += static_cast<uint32_t>(r.ReadBits(32));
+      update_rejected_ += static_cast<uint32_t>(r.ReadBits(32));
+      update_rejected_ += static_cast<uint32_t>(r.ReadBits(32));
+      if (r.overflowed()) {
+        Fail("malformed UPDATE_ACK");
+        return;
+      }
+      ++batch_pos_;
+      if (batch_pos_ < batches_.size()) {
+        EmitNextUpdate();
+      } else {
+        FinishUpdater();
+      }
+      return;
+    }
     case State::kAwaitDoneAck: {
       if (frame_.type != FrameType::kDone) {
         Fail("expected DONE ack");
@@ -518,6 +618,32 @@ void SessionEngine::EmitNextRequest() {
                  payload_scratch_.size(), "sending round request");
 }
 
+// --------------------------------------------------------------- updater --
+
+void SessionEngine::EmitNextUpdate() {
+  ++exchange_;
+  BitWriter w;
+  EncodeUpdate(batches_[batch_pos_], &w);
+  AppendOutbound(FrameType::kUpdate, exchange_, w.bytes().data(),
+                 w.byte_size(), "sending update");
+  state_ = State::kAwaitUpdateAck;
+}
+
+void SessionEngine::FinishUpdater() {
+  result_.outcome.success = true;
+  result_.outcome.rounds = static_cast<int>(batch_pos_);
+  char summary[96];
+  std::snprintf(summary, sizeof(summary),
+                "epoch=%llu inserted=%u deleted=%u rejected=%u",
+                static_cast<unsigned long long>(update_epoch_),
+                update_inserted_, update_deleted_, update_rejected_);
+  result_.outcome.params_summary = summary;
+  const std::vector<uint8_t> done = EncodeDone(result_.outcome);
+  AppendOutbound(FrameType::kDone, exchange_, done.data(), done.size(),
+                 "sending DONE");
+  state_ = State::kAwaitDoneAck;
+}
+
 // ------------------------------------------------------------- responder --
 
 void SessionEngine::DispatchResponder() {
@@ -525,8 +651,21 @@ void SessionEngine::DispatchResponder() {
     Fail("initiator error: " + ErrorText(frame_));
     return;
   }
+  if (frame_.type == FrameType::kUpdate) {
+    // UPDATE sessions skip the HELLO: the first kUpdate frame *is* the
+    // handshake. Interception before HandleHello keeps the two session
+    // kinds from interleaving (see HandleUpdate for the rejections).
+    HandleUpdate();
+    return;
+  }
   if (state_ == State::kAwaitHello) {
     HandleHello();
+    return;
+  }
+  if (update_session_ && frame_.type != FrameType::kDone) {
+    // An update session carries only kUpdate frames and a final kDone.
+    AppendError("unexpected frame");
+    Fail("unexpected frame");
     return;
   }
   switch (frame_.type) {
@@ -613,6 +752,44 @@ void SessionEngine::HandleEstimateRequest() {
                  "sending estimate");
 }
 
+void SessionEngine::HandleUpdate() {
+  if (store_ == nullptr) {
+    AppendError("server is read-only");
+    Fail("update on read-only server");
+    return;
+  }
+  if (state_ != State::kAwaitHello && !update_session_) {
+    // kUpdate arriving mid-reconciliation: sessions are single-purpose.
+    AppendError("unexpected frame");
+    Fail("unexpected frame");
+    return;
+  }
+  update_session_ = true;
+  state_ = State::kServing;
+  result_.scheme = "update";
+  if (!DecodeUpdate(frame_.payload, &update_scratch_)) {
+    // Nothing was applied: DecodeUpdate validates the entire payload
+    // before HandleUpdate touches the store.
+    AppendError("malformed UPDATE");
+    Fail("malformed UPDATE");
+    return;
+  }
+  const ApplyResult applied = store_->Apply(update_scratch_);
+  update_epoch_ = applied.epoch;
+  update_inserted_ += applied.inserted;
+  update_deleted_ += applied.deleted;
+  update_rejected_ += applied.rejected_inserts + applied.rejected_deletes;
+  BitWriter w;
+  w.WriteBits(applied.epoch, 64);
+  w.WriteBits(applied.inserted, 32);
+  w.WriteBits(applied.deleted, 32);
+  w.WriteBits(applied.rejected_inserts, 32);
+  w.WriteBits(applied.rejected_deletes, 32);
+  static_assert(kUpdateAckBits == 64 + 4 * 32, "ack layout drifted");
+  AppendOutbound(FrameType::kUpdateAck, frame_.round, w.bytes().data(),
+                 w.byte_size(), "sending update ack");
+}
+
 void SessionEngine::HandleSchemeRequest() {
   if (!responder_engine_) {
     if (d_hat_ < 0.0) {
@@ -620,8 +797,17 @@ void SessionEngine::HandleSchemeRequest() {
       Fail("scheme round before estimate");
       return;
     }
-    responder_engine_ =
-        reconciler_->CreateResponder(*elements_, d_hat_, config_.seed);
+    if (snapshot_ != nullptr) {
+      // Snapshot fast path: schemes that can adopt the store's pre-built
+      // sketch state skip the per-session O(|B|) rebuild. nullptr means
+      // "no fast path"; fall through to the classic copying responder.
+      responder_engine_ =
+          reconciler_->CreateSnapshotResponder(snapshot_, d_hat_, config_.seed);
+    }
+    if (!responder_engine_) {
+      responder_engine_ =
+          reconciler_->CreateResponder(*elements_, d_hat_, config_.seed);
+    }
     if (!responder_engine_) {
       AppendError("scheme has no wire protocol");
       Fail("scheme '" + config_.scheme_name +

@@ -56,6 +56,12 @@ SessionResult RunResponderSession(ByteTransport& transport,
   return DriveBlocking(&engine, transport);
 }
 
+SessionResult RunUpdateSession(ByteTransport& transport,
+                               const std::vector<UpdateBatch>& batches) {
+  SessionEngine engine = SessionEngine::Updater(batches);
+  return DriveBlocking(&engine, transport);
+}
+
 SessionResult RunLoopbackSession(const SessionConfig& config,
                                  const std::vector<uint64_t>& a,
                                  const std::vector<uint64_t>& b) {

@@ -85,6 +85,12 @@ enum class FrameType : uint8_t {
   kSchemeReply = 6,     ///< Scheme-specific round payload, responder side.
   kDone = 7,            ///< Initiator's outcome summary; responder echoes.
   kError = 8,           ///< Either side aborts; payload is a UTF-8 message.
+  kUpdate = 9,          ///< Writer's insert/delete batch for a mutable
+                        ///< served set (core/element_store.h). Round is the
+                        ///< 1-based batch index. Rejected with kError by
+                        ///< read-only servers.
+  kUpdateAck = 10,      ///< Server's per-batch result: the published epoch
+                        ///< and apply/reject counts.
 };
 
 /// Stable one-byte ids for the built-in schemes, carried in the header so

@@ -30,6 +30,8 @@
 
 namespace pbs {
 
+struct PbsStoreLayout;
+
 /// Cumulative wall-time breakdown of one endpoint (seconds). Encode is
 /// everything that *produces* sketches and wire bytes: Alice's whole
 /// round request (her per-group bin + sketch pipeline -- parallel when
@@ -102,6 +104,21 @@ class PbsAlice {
 class PbsBob {
  public:
   PbsBob(std::vector<uint64_t> elements, const PbsConfig& config,
+         uint64_t seed);
+
+  /// Snapshot form (core/element_store.h): shares the element vector
+  /// instead of copying it and, when the session's (seed, sig_bits, plan)
+  /// match the layout's, adopts the store's pre-built round-1 bitmaps /
+  /// syndromes / checksums -- turning session setup from O(|B|) into O(g),
+  /// with the O(|B|) group partitioning deferred until a second round is
+  /// actually needed. On any mismatch it falls back to the from-scratch
+  /// build, so adoption never changes the wire bytes (pinned by
+  /// ElementStore differential tests). `elements` must come from a
+  /// MutableElementStore, whose insert path enforces the nonzero /
+  /// sig_bits-wide element invariants this constructor therefore does not
+  /// re-validate. `layout` may be null (pure shared-vector mode).
+  PbsBob(std::shared_ptr<const std::vector<uint64_t>> elements,
+         std::shared_ptr<const PbsStoreLayout> layout, const PbsConfig& config,
          uint64_t seed);
   ~PbsBob();
 

@@ -32,6 +32,16 @@ class PbsReconciler : public SetReconciler {
       std::vector<uint64_t> elements, double d_hat,
       uint64_t seed) const override;
 
+  /// Snapshot fast path (core/element_store.h): shares the snapshot's
+  /// element vector and hands PbsBob the pre-built layout; Bob adopts it
+  /// when the session's (seed, sig_bits, plan shape) match and silently
+  /// rebuilds otherwise. Returns nullptr only when the snapshot carries no
+  /// layout at all (the engine then uses the plain CreateResponder path,
+  /// which re-validates elements).
+  std::unique_ptr<ReconcileResponder> CreateSnapshotResponder(
+      std::shared_ptr<const StoreSnapshot> snapshot, double d_hat,
+      uint64_t seed) const override;
+
  private:
   PbsConfig config_;       // options.pbs with sig_bits folded in.
   int report_sig_bits_ = 0;

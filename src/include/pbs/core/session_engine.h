@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "pbs/core/element_store.h"
 #include "pbs/core/messages.h"
 #include "pbs/core/set_reconciler.h"
 
@@ -120,6 +121,27 @@ class SessionEngine {
                                  SharedElements elements,
                                  const SchemeRegistry* registry = nullptr);
 
+  /// Responder over a mutable store (core/element_store.h): serves
+  /// reconciliations against `snapshot` (one consistent epoch for the
+  /// whole session, however fast the set churns) and, because `store` is
+  /// attached, also accepts UPDATE sessions that mutate the live set.
+  /// Schemes with a snapshot fast path (PBS) adopt the snapshot's
+  /// pre-built sketches instead of rebuilding at session setup. `snapshot`
+  /// must be non-null (take it from store->snapshot() at admit time);
+  /// `store` may be null for a frozen snapshot server that still rejects
+  /// UPDATE as read-only.
+  static SessionEngine Responder(const SessionConfig& local_config,
+                                 std::shared_ptr<const StoreSnapshot> snapshot,
+                                 std::shared_ptr<MutableElementStore> store,
+                                 const SchemeRegistry* registry = nullptr);
+
+  /// Mints the writer side of an UPDATE session: sends each batch as one
+  /// kUpdate frame (strict ping-pong with the server's kUpdateAck), then a
+  /// DONE summary. No HELLO/estimate/scheme phases run. The result's
+  /// params_summary reports the final epoch and cumulative apply counts.
+  static SessionEngine Updater(std::vector<UpdateBatch> batches,
+                               const SchemeRegistry* registry = nullptr);
+
   SessionEngine(SessionEngine&&) = default;
   SessionEngine& operator=(SessionEngine&&) = default;
   SessionEngine(const SessionEngine&) = delete;
@@ -176,6 +198,7 @@ class SessionEngine {
     kAwaitHelloAck,
     kAwaitEstimateReply,
     kAwaitSchemeReply,
+    kAwaitUpdateAck,  // Updater role: batch in flight.
     kAwaitDoneAck,
     // Responder.
     kAwaitHello,
@@ -196,8 +219,11 @@ class SessionEngine {
   void HandleHello();
   void HandleEstimateRequest();
   void HandleSchemeRequest();
+  void HandleUpdate();
   void StartSchemePhase();
   void EmitNextRequest();
+  void EmitNextUpdate();
+  void FinishUpdater();
   void AppendOutbound(wire::FrameType type, uint32_t round,
                       const uint8_t* payload, size_t size, const char* label);
   void AppendError(const std::string& message);
@@ -209,6 +235,24 @@ class SessionEngine {
   State state_;
   SessionConfig config_;
   SharedElements elements_;
+  // Mutable-store plumbing: the snapshot pins this session's view of the
+  // set (and carries the adoptable pre-built layout); the store, when
+  // attached, accepts UPDATE sessions. Both null for classic sessions.
+  std::shared_ptr<const StoreSnapshot> snapshot_;
+  std::shared_ptr<MutableElementStore> store_;
+  // Updater role (initiator side).
+  bool is_updater_ = false;
+  std::vector<UpdateBatch> batches_;
+  size_t batch_pos_ = 0;
+  // Responder side: true once this session's first frame was kUpdate;
+  // reconciliation frames are then rejected (sessions are single-purpose).
+  bool update_session_ = false;
+  UpdateBatch update_scratch_;  // Reused decode target.
+  // Cumulative UPDATE accounting (both roles).
+  uint64_t update_epoch_ = 0;
+  uint32_t update_inserted_ = 0;
+  uint32_t update_deleted_ = 0;
+  uint32_t update_rejected_ = 0;
   const SchemeRegistry* registry_;  // nullptr = SchemeRegistry::Instance().
   uint8_t scheme_id_ = 0;
   std::unique_ptr<SetReconciler> reconciler_;

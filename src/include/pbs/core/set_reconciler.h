@@ -26,6 +26,8 @@
 
 namespace pbs {
 
+struct StoreSnapshot;
+
 /// Unified outcome of one reconciliation, merging what used to be
 /// core/PbsResult and baselines/BaselineOutcome.
 struct ReconcileOutcome {
@@ -166,6 +168,19 @@ class SetReconciler {
   /// derive from `d_hat` arrive in the first request payload.
   virtual std::unique_ptr<ReconcileResponder> CreateResponder(
       std::vector<uint64_t> /*elements*/, double /*d_hat*/,
+      uint64_t /*seed*/) const {
+    return nullptr;
+  }
+
+  /// Mints a responder over a published store snapshot
+  /// (core/element_store.h): the element vector is shared rather than
+  /// copied and, when the scheme can, the snapshot's pre-built sketch
+  /// state replaces the per-session O(|B|) rebuild. The default (and any
+  /// scheme without a snapshot fast path) returns nullptr, in which case
+  /// the session layer falls back to CreateResponder over the snapshot's
+  /// elements -- adoption is an optimization, never a requirement.
+  virtual std::unique_ptr<ReconcileResponder> CreateSnapshotResponder(
+      std::shared_ptr<const StoreSnapshot> /*snapshot*/, double /*d_hat*/,
       uint64_t /*seed*/) const {
     return nullptr;
   }

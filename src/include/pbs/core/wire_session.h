@@ -58,6 +58,14 @@ SessionResult RunInitiatorSession(ByteTransport& transport,
 SessionResult RunResponderSession(ByteTransport& transport,
                                   const std::vector<uint64_t>& elements);
 
+/// Drives the writer side of an UPDATE session against a --mutable server:
+/// each batch goes out as one kUpdate frame (strict ping-pong with the
+/// server's kUpdateAck), then DONE. No HELLO/estimate/scheme phases run.
+/// The result's params_summary carries the final published epoch and the
+/// cumulative inserted/deleted/rejected counts. Blocks until settled.
+SessionResult RunUpdateSession(ByteTransport& transport,
+                               const std::vector<UpdateBatch>& batches);
+
 /// Convenience for tests and demos: pumps an initiator and a responder
 /// SessionEngine against each other on the calling thread (sans-I/O: no
 /// transport, no second thread, no blocking anywhere) and returns the

@@ -82,6 +82,16 @@ struct ServerOptions {
   /// nullptr = the process-wide SchemeRegistry::Instance(); tests inject
   /// their own.
   const SchemeRegistry* registry = nullptr;
+  /// Live mutable served set (core/element_store.h). When set, the
+  /// `elements` vector passed to Create() is ignored: every admitted
+  /// session pins the store's snapshot at admit time (one consistent
+  /// epoch per session, however fast writers churn the set), schemes
+  /// with a snapshot fast path adopt the store's incrementally-maintained
+  /// sketches instead of rebuilding per session, and UPDATE sessions
+  /// (kUpdate frames, e.g. `pbs_cli update`) mutate the store in place.
+  /// The store must outlive the server; writers may call Apply() from any
+  /// thread concurrently with serving. nullptr = classic immutable set.
+  std::shared_ptr<MutableElementStore> mutable_store;
   /// Per-group decode parallelism handed to every session's responder
   /// engine (PbsConfig::decode_threads: 1 = serial, 0 = one worker per
   /// hardware thread). A server-local knob -- it never affects the wire

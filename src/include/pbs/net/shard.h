@@ -90,9 +90,13 @@ class Shard {
     EventLoop::Backend backend = EventLoop::Backend::kAuto;
   };
 
+  /// `store` is optional: when non-null, each adopted connection pins the
+  /// store's current snapshot (one consistent epoch per session) instead
+  /// of using `elements`, and the session accepts UPDATE frames.
   Shard(int index, const Options& options,
-        SessionEngine::SharedElements elements, const SchemeRegistry* registry,
-        ShardShared* shared);
+        SessionEngine::SharedElements elements,
+        std::shared_ptr<MutableElementStore> store,
+        const SchemeRegistry* registry, ShardShared* shared);
   ~Shard();
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
@@ -156,6 +160,7 @@ class Shard {
   const int index_;
   const Options options_;
   const SessionEngine::SharedElements elements_;
+  const std::shared_ptr<MutableElementStore> store_;
   const SchemeRegistry* const registry_;
   ShardShared* const shared_;
 

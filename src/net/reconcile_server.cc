@@ -64,7 +64,8 @@ class ReconcileServer::Impl {
     shards_.reserve(shard_count);
     for (int i = 0; i < shard_count; ++i) {
       shards_.push_back(std::make_unique<Shard>(
-          i, shard_options, elements_, options_.registry, &shared_));
+          i, shard_options, elements_, options_.mutable_store,
+          options_.registry, &shared_));
     }
   }
 

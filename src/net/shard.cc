@@ -30,10 +30,12 @@ bool SetNonBlockingFd(int fd) {
 
 Shard::Shard(int index, const Options& options,
              SessionEngine::SharedElements elements,
+             std::shared_ptr<MutableElementStore> store,
              const SchemeRegistry* registry, ShardShared* shared)
     : index_(index),
       options_(options),
       elements_(std::move(elements)),
+      store_(std::move(store)),
       registry_(registry),
       shared_(shared),
       loop_(options.backend) {
@@ -138,8 +140,17 @@ void Shard::Adopt(int fd) {
   s.fd = fd;
   SessionConfig local_config;
   local_config.options.pbs.decode_threads = options_.decode_threads;
-  s.engine = std::make_unique<SessionEngine>(
-      SessionEngine::Responder(local_config, elements_, registry_));
+  if (store_ != nullptr) {
+    // Mutable serving: pin the store's current snapshot for this whole
+    // session. Concurrent writers keep publishing new epochs; this
+    // session reconciles against exactly the one it admitted with (and,
+    // with the store attached, also accepts UPDATE sessions).
+    s.engine = std::make_unique<SessionEngine>(SessionEngine::Responder(
+        local_config, store_->snapshot(), store_, registry_));
+  } else {
+    s.engine = std::make_unique<SessionEngine>(
+        SessionEngine::Responder(local_config, elements_, registry_));
+  }
   s.last_active = Clock::now();
   s.interest = EventLoop::kRead;
   if (!loop_.Add(fd, s.interest, static_cast<uint64_t>(slot))) {

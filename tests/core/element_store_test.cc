@@ -1,0 +1,343 @@
+// MutableElementStore: incremental sketch maintenance vs the from-scratch
+// oracle, mutation rejection rules, and snapshot isolation.
+//
+// The load-bearing guarantee is differential: after ANY seeded sequence of
+// insert/delete batches — including delete-then-reinsert and duplicate
+// inserts — the incrementally maintained layout (parity bitmaps, odd power
+// sums, group checksums) must be bit-identical to RebuildLayout(), which
+// rebuilds the same structures from the current element set from scratch.
+// On top of that: snapshots are immutable epochs, so a session that pinned
+// one keeps reconciling correctly against it while a writer churns the
+// store through a thousand further mutations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "pbs/common/rng.h"
+#include "pbs/core/element_store.h"
+#include "pbs/core/session_engine.h"
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+// Distinct plan shapes: d_used drives (g, n, t) through the Section-5.1
+// optimizer, delta/rounds shift the per-group failure budget, sig_bits
+// moves the checksum modulus. Together these cover small/large groups,
+// narrow/wide bins, and non-default signature widths.
+struct LayoutCase {
+  int delta;
+  int target_rounds;
+  int d_used;
+  int sig_bits;
+};
+
+const LayoutCase kLayoutCases[] = {
+    {5, 3, 10, 32},  {5, 3, 100, 32},   {3, 2, 400, 32},
+    {5, 3, 60, 24},  {7, 4, 1200, 48},
+};
+
+PbsConfig ConfigFor(const LayoutCase& c) {
+  PbsConfig config;
+  config.delta = c.delta;
+  config.target_rounds = c.target_rounds;
+  config.max_rounds = c.target_rounds + 2;
+  config.sig_bits = c.sig_bits;
+  return config;
+}
+
+void ExpectLayoutsIdentical(const PbsStoreLayout& incremental,
+                            const PbsStoreLayout& rebuilt) {
+  ASSERT_EQ(incremental.plan.params.g, rebuilt.plan.params.g);
+  ASSERT_EQ(incremental.plan.params.n, rebuilt.plan.params.n);
+  ASSERT_EQ(incremental.plan.params.m, rebuilt.plan.params.m);
+  ASSERT_EQ(incremental.plan.params.t, rebuilt.plan.params.t);
+  ASSERT_EQ(incremental.bitmaps.size(), rebuilt.bitmaps.size());
+  for (size_t i = 0; i < incremental.bitmaps.size(); ++i) {
+    EXPECT_EQ(incremental.bitmaps[i].xor_sum, rebuilt.bitmaps[i].xor_sum)
+        << "group " << i << " xor sums diverged";
+    EXPECT_EQ(incremental.bitmaps[i].parity, rebuilt.bitmaps[i].parity)
+        << "group " << i << " parity bits diverged";
+  }
+  EXPECT_EQ(incremental.syndromes, rebuilt.syndromes)
+      << "incremental odd power sums diverged from the rebuild";
+  EXPECT_EQ(incremental.checksums, rebuilt.checksums)
+      << "incremental group checksums diverged from the rebuild";
+}
+
+uint64_t RandomSig(Xoshiro256* rng, int sig_bits) {
+  const uint64_t mask = (sig_bits >= 64) ? ~uint64_t{0}
+                                         : ((uint64_t{1} << sig_bits) - 1);
+  while (true) {
+    const uint64_t v = rng->Next() & mask;
+    if (v != 0) return v;
+  }
+}
+
+// Seeded random churn: mixed batches with fresh inserts, duplicate inserts
+// (must be rejected), deletes of live elements, deletes of absent elements
+// (must be rejected), and reinserts of recently deleted values. After each
+// batch the incremental layout must equal the from-scratch rebuild.
+TEST(ElementStore, IncrementalMatchesRebuildUnderChurn) {
+  for (const LayoutCase& layout_case : kLayoutCases) {
+    SCOPED_TRACE(testing::Message()
+                 << "delta=" << layout_case.delta
+                 << " r=" << layout_case.target_rounds
+                 << " d_used=" << layout_case.d_used
+                 << " sig_bits=" << layout_case.sig_bits);
+    Xoshiro256 rng(0xD1FF ^ static_cast<uint64_t>(layout_case.d_used));
+
+    std::vector<uint64_t> live;
+    std::unordered_set<uint64_t> live_set;
+    for (int i = 0; i < 1200; ++i) {
+      const uint64_t v = RandomSig(&rng, layout_case.sig_bits);
+      if (live_set.insert(v).second) live.push_back(v);
+    }
+    MutableElementStore store(live);
+    std::string error;
+    ASSERT_TRUE(store.ConfigureLayout(ConfigFor(layout_case), 0xC11,
+                                      layout_case.d_used, &error))
+        << error;
+
+    // Values deleted in PRIOR batches: reinsert fodder. Same-batch
+    // reinserts would be rejected (the store applies a batch's inserts
+    // before its deletes), so deletions only graduate to the graveyard
+    // after their batch applies.
+    std::vector<uint64_t> graveyard;
+    for (int batch_index = 0; batch_index < 24; ++batch_index) {
+      UpdateBatch batch;
+      uint32_t expect_inserted = 0, expect_deleted = 0;
+      uint32_t expect_rej_ins = 0, expect_rej_del = 0;
+      std::unordered_set<uint64_t> pending_inserts;
+      std::unordered_set<uint64_t> absent_probes;  // kind==2 targets.
+      std::vector<uint64_t> deleted_this_batch;
+      for (int i = 0; i < 20; ++i) {
+        const uint64_t kind = rng.NextBounded(5);
+        if (kind == 0 && !live.empty()) {
+          // Duplicate insert: already live, must be rejected.
+          batch.inserts.push_back(live[rng.NextBounded(live.size())]);
+          ++expect_rej_ins;
+        } else if (kind == 1 && !graveyard.empty()) {
+          // Delete-then-reinsert.
+          const uint64_t v = graveyard.back();
+          graveyard.pop_back();
+          if (live_set.count(v) == 0 && pending_inserts.insert(v).second) {
+            batch.inserts.push_back(v);
+            ++expect_inserted;
+          }
+        } else if (kind == 2) {
+          // Delete an absent value: must be rejected. (Also absent from
+          // this batch's inserts, which the store applies first.)
+          uint64_t v = RandomSig(&rng, layout_case.sig_bits);
+          while (live_set.count(v) != 0 || pending_inserts.count(v) != 0) {
+            v = RandomSig(&rng, layout_case.sig_bits);
+          }
+          absent_probes.insert(v);
+          batch.deletes.push_back(v);
+          ++expect_rej_del;
+        } else if (kind == 3 && !live.empty()) {
+          const size_t j = rng.NextBounded(live.size());
+          const uint64_t v = live[j];
+          live[j] = live.back();
+          live.pop_back();
+          live_set.erase(v);
+          deleted_this_batch.push_back(v);
+          batch.deletes.push_back(v);
+          ++expect_deleted;
+        } else {
+          uint64_t v = RandomSig(&rng, layout_case.sig_bits);
+          while (live_set.count(v) != 0 || pending_inserts.count(v) != 0 ||
+                 absent_probes.count(v) != 0) {
+            v = RandomSig(&rng, layout_case.sig_bits);
+          }
+          pending_inserts.insert(v);
+          batch.inserts.push_back(v);
+          ++expect_inserted;
+        }
+      }
+      for (uint64_t v : pending_inserts) {
+        live.push_back(v);
+        live_set.insert(v);
+      }
+
+      const ApplyResult applied = store.Apply(batch);
+      graveyard.insert(graveyard.end(), deleted_this_batch.begin(),
+                       deleted_this_batch.end());
+      EXPECT_EQ(applied.inserted, expect_inserted);
+      EXPECT_EQ(applied.deleted, expect_deleted);
+      EXPECT_EQ(applied.rejected_inserts, expect_rej_ins);
+      EXPECT_EQ(applied.rejected_deletes, expect_rej_del);
+      EXPECT_EQ(applied.epoch, store.epoch());
+      EXPECT_EQ(store.size(), live.size());
+
+      const auto snapshot = store.snapshot();
+      ASSERT_NE(snapshot, nullptr);
+      ASSERT_NE(snapshot->layout, nullptr);
+      const auto rebuilt = store.RebuildLayout();
+      ASSERT_NE(rebuilt, nullptr);
+      ExpectLayoutsIdentical(*snapshot->layout, *rebuilt);
+
+      std::vector<uint64_t> published = *snapshot->elements;
+      std::vector<uint64_t> expected = live;
+      std::sort(published.begin(), published.end());
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(published, expected);
+    }
+  }
+}
+
+TEST(ElementStore, RejectsZeroDuplicatesAndOutOfUniverseValues) {
+  MutableElementStore store;
+  PbsConfig config;
+  config.sig_bits = 32;
+  ASSERT_TRUE(store.ConfigureLayout(config, 0xC11, 50));
+
+  EXPECT_FALSE(store.ApplyInsert(0));  // Zero is outside the universe.
+  EXPECT_TRUE(store.ApplyInsert(42));
+  EXPECT_FALSE(store.ApplyInsert(42));  // Duplicate.
+  EXPECT_FALSE(store.ApplyInsert(uint64_t{1} << 40));  // Wider than 32 bits.
+  EXPECT_FALSE(store.ApplyDelete(7));  // Absent.
+  EXPECT_TRUE(store.ApplyDelete(42));
+  EXPECT_TRUE(store.ApplyInsert(42));  // Delete-then-reinsert is fine.
+  EXPECT_EQ(store.size(), 1u);
+
+  // The single-element paths do not publish; a batch does.
+  const uint64_t epoch_before = store.epoch();
+  EXPECT_TRUE(store.ApplyInsert(43));
+  EXPECT_EQ(store.epoch(), epoch_before);
+  EXPECT_EQ(store.Publish(), epoch_before + 1);
+}
+
+TEST(ElementStore, ConfigureLayoutRejectsStoredElementsWiderThanSigBits) {
+  MutableElementStore store({uint64_t{1} << 40, 3, 5});
+  PbsConfig config;
+  config.sig_bits = 32;
+  std::string error;
+  EXPECT_FALSE(store.ConfigureLayout(config, 0xC11, 50, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// Snapshot isolation, end to end: a responder session that pinned an epoch
+// keeps reconciling against exactly that epoch's set while a writer churns
+// the store through 1000 further mutations (and epochs). The recovered
+// difference must match the pinned epoch's ground truth — and be identical
+// to a plain non-snapshot session over the same two sets, pinning that the
+// snapshot fast path never changes wire behavior.
+TEST(ElementStore, PinnedSnapshotReconcilesAcrossThousandMutations) {
+  const SetPair pair = GenerateTwoSidedPair(3000, 25, 35, 32, 0x0DD);
+  MutableElementStore store(pair.b);
+  PbsConfig layout_config;
+  layout_config.sig_bits = 32;
+  std::string error;
+  ASSERT_TRUE(store.ConfigureLayout(
+      layout_config, 0xC11,
+      InflateEstimate(static_cast<double>(pair.truth_diff.size()),
+                      layout_config.gamma),
+      &error))
+      << error;
+
+  const auto pinned = store.snapshot();
+  ASSERT_NE(pinned, nullptr);
+  const uint64_t pinned_epoch = pinned->epoch;
+
+  // Churn: 1000 mutations in 50 batches, each publishing a new epoch.
+  Xoshiro256 rng(0xC0DE);
+  std::vector<uint64_t> live = *pinned->elements;
+  for (int batch_index = 0; batch_index < 50; ++batch_index) {
+    UpdateBatch batch;
+    for (int i = 0; i < 10; ++i) {
+      batch.inserts.push_back(RandomSig(&rng, 32));
+      const size_t j = rng.NextBounded(live.size());
+      batch.deletes.push_back(live[j]);
+      live[j] = live.back();
+      live.pop_back();
+    }
+    store.Apply(batch);
+  }
+  EXPECT_GE(store.epoch(), pinned_epoch + 50);
+
+  SessionConfig config;
+  config.scheme_name = "pbs";
+  config.seed = 0xC11;
+  config.exact_d = static_cast<double>(pair.truth_diff.size());
+
+  // Pinned-snapshot session.
+  SessionEngine initiator = SessionEngine::Initiator(config, pair.a);
+  SessionEngine responder =
+      SessionEngine::Responder(SessionConfig(), pinned, nullptr);
+  std::vector<uint8_t> buffer(1 << 16);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    while (initiator.Status() == SessionStatus::kWantWrite) {
+      const size_t n = initiator.Poll(buffer.data(), buffer.size());
+      responder.Feed(buffer.data(), n);
+      progress = true;
+    }
+    while (responder.Status() == SessionStatus::kWantWrite) {
+      const size_t n = responder.Poll(buffer.data(), buffer.size());
+      initiator.Feed(buffer.data(), n);
+      progress = true;
+    }
+  }
+  const SessionResult snapshot_run = initiator.TakeResult();
+  ASSERT_TRUE(snapshot_run.ok) << snapshot_run.error;
+  ASSERT_TRUE(snapshot_run.outcome.success);
+
+  std::vector<uint64_t> recovered = snapshot_run.outcome.difference;
+  std::vector<uint64_t> truth = pair.truth_diff;
+  std::sort(recovered.begin(), recovered.end());
+  std::sort(truth.begin(), truth.end());
+  EXPECT_EQ(recovered, truth)
+      << "pinned snapshot no longer reconciles its own epoch";
+
+  // Byte-for-byte parity with the classic (copying, from-scratch) path.
+  const SessionResult plain = [&] {
+    SessionEngine init2 = SessionEngine::Initiator(config, pair.a);
+    SessionEngine resp2 = SessionEngine::Responder(pair.b);
+    bool moving = true;
+    while (moving) {
+      moving = false;
+      while (init2.Status() == SessionStatus::kWantWrite) {
+        const size_t n = init2.Poll(buffer.data(), buffer.size());
+        resp2.Feed(buffer.data(), n);
+        moving = true;
+      }
+      while (resp2.Status() == SessionStatus::kWantWrite) {
+        const size_t n = resp2.Poll(buffer.data(), buffer.size());
+        init2.Feed(buffer.data(), n);
+        moving = true;
+      }
+    }
+    return init2.TakeResult();
+  }();
+  ASSERT_TRUE(plain.ok) << plain.error;
+  EXPECT_EQ(snapshot_run.outcome.difference, plain.outcome.difference);
+  EXPECT_EQ(snapshot_run.outcome.rounds, plain.outcome.rounds);
+  EXPECT_EQ(snapshot_run.outcome.wire_bytes, plain.outcome.wire_bytes)
+      << "snapshot adoption changed the wire bytes";
+  EXPECT_EQ(snapshot_run.outcome.wire_frames, plain.outcome.wire_frames);
+}
+
+// Epochs advance by exactly one per publishing operation, and snapshot()
+// returns the newest published epoch.
+TEST(ElementStore, EpochsAreMonotonicPerPublish) {
+  MutableElementStore store({1, 2, 3});
+  const uint64_t e0 = store.epoch();
+  EXPECT_EQ(store.snapshot()->epoch, e0);
+  UpdateBatch batch;
+  batch.inserts = {10, 11};
+  EXPECT_EQ(store.Apply(batch).epoch, e0 + 1);
+  PbsConfig config;
+  config.sig_bits = 32;
+  ASSERT_TRUE(store.ConfigureLayout(config, 0xC11, 20));
+  EXPECT_EQ(store.epoch(), e0 + 2);
+  EXPECT_EQ(store.Publish(), e0 + 3);
+  EXPECT_EQ(store.snapshot()->epoch, e0 + 3);
+}
+
+}  // namespace
+}  // namespace pbs

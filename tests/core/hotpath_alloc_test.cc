@@ -29,6 +29,7 @@
 #include "pbs/bch/power_sum_sketch.h"
 #include "pbs/common/bitio.h"
 #include "pbs/common/workspace.h"
+#include "pbs/core/element_store.h"
 #include "pbs/core/params.h"
 #include "pbs/core/parity_bitmap.h"
 #include "pbs/core/pbs_endpoints.h"
@@ -529,6 +530,47 @@ TEST(HotpathAlloc, IbfDecodeIntoIsAllocationFree) {
   EXPECT_EQ(after - before, 0u)
       << "IBF peeling allocated " << (after - before) << " times";
   EXPECT_TRUE(result.complete);
+}
+
+// A single insert and a single delete on a warm, layout-configured
+// MutableElementStore are allocation-free: the open-addressing key index
+// reuses tombstones instead of growing, the element array has spare
+// capacity from the warm-up churn, and the incremental parity-bitmap /
+// syndrome / checksum maintenance runs entirely in preallocated scratch.
+// Publish() (snapshot deep-copy) is the explicitly allocating slow path
+// and deliberately outside this pin.
+TEST(HotpathAlloc, MutableStoreSingleUpdateIsAllocationFree) {
+  std::vector<uint64_t> initial;
+  for (uint64_t e = 1; e <= 500; ++e) {
+    // Odd multiplier mod 2^32 is a bijection: unique nonzero signatures.
+    initial.push_back((e * 2654435761u) & 0xFFFFFFFFu);
+  }
+  MutableElementStore store(std::move(initial));
+  PbsConfig config;
+  config.sig_bits = 32;
+  std::string error;
+  ASSERT_TRUE(store.ConfigureLayout(config, 0xC11, 50, &error)) << error;
+
+  // Warm-up: one insert/delete cycle sizes the element array past its
+  // snap-fit reserve and leaves the fresh value's probe chain ending in a
+  // reusable tombstone.
+  const uint64_t fresh = 0xF00DF00Du;
+  ASSERT_TRUE(store.ApplyInsert(fresh));
+  ASSERT_TRUE(store.ApplyDelete(fresh));
+
+  const std::uint64_t before = AllocCount();
+  const bool inserted = store.ApplyInsert(fresh);
+  const bool deleted = store.ApplyDelete(fresh);
+  const std::uint64_t after = AllocCount();
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(deleted);
+  EXPECT_EQ(after - before, 0u)
+      << "warm store insert+delete allocated " << (after - before)
+      << " times";
+
+  // The store still works and publishes correctly after the counted ops.
+  store.Publish();
+  EXPECT_EQ(store.snapshot()->elements->size(), 500u);
 }
 
 }  // namespace

@@ -16,7 +16,9 @@
 
 #include "pbs/common/bitio.h"
 #include "pbs/common/rng.h"
+#include "pbs/core/element_store.h"
 #include "pbs/core/messages.h"
+#include "pbs/core/session_engine.h"
 #include "pbs/core/set_reconciler.h"
 #include "pbs/core/transport.h"
 #include "pbs/core/wire_session.h"
@@ -31,7 +33,7 @@ using wire::WireFrame;
 
 WireFrame RandomFrame(Xoshiro256* rng) {
   WireFrame frame;
-  frame.type = static_cast<FrameType>(1 + rng->NextBounded(8));
+  frame.type = static_cast<FrameType>(1 + rng->NextBounded(10));
   frame.scheme = static_cast<uint8_t>(rng->NextBounded(6));
   frame.round = static_cast<uint32_t>(rng->Next());
   frame.payload.resize(rng->NextBounded(512));
@@ -250,6 +252,290 @@ TEST(WireSession, RespondersRejectOversizedSizingFields) {
     }
     EXPECT_FALSE(responder->HandleRequest(request, &reply));
   }
+}
+
+// ------------------------------------------------------- UPDATE frames --
+
+std::vector<uint8_t> UpdatePayload(uint64_t claim_inserts,
+                                   uint64_t claim_deletes,
+                                   const std::vector<uint64_t>& values) {
+  BitWriter w;
+  w.WriteVarint(claim_inserts);
+  w.WriteVarint(claim_deletes);
+  for (uint64_t v : values) w.WriteBits(v, 64);
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> FrameBytes(FrameType type, uint32_t round,
+                                const std::vector<uint8_t>& payload) {
+  WireFrame frame;
+  frame.type = type;
+  frame.round = round;
+  frame.payload = payload;
+  return wire::EncodeFrame(frame);
+}
+
+// Feeds raw bytes, drains the responder's reply frames, and returns its
+// terminal/ongoing status alongside any queued error text.
+SessionStatus FeedAndDrain(SessionEngine* engine,
+                           const std::vector<uint8_t>& bytes) {
+  engine->Feed(bytes.data(), bytes.size());
+  uint8_t sink[4096];
+  while (engine->Status() == SessionStatus::kWantWrite) {
+    engine->Poll(sink, sizeof(sink));
+  }
+  return engine->Status();
+}
+
+std::shared_ptr<MutableElementStore> StoreWithLayout(
+    std::vector<uint64_t> elements) {
+  auto store = std::make_shared<MutableElementStore>(std::move(elements));
+  PbsConfig config;
+  config.sig_bits = 32;
+  EXPECT_TRUE(store->ConfigureLayout(config, 0xC11, 50));
+  return store;
+}
+
+SessionEngine MutableResponder(
+    const std::shared_ptr<MutableElementStore>& store) {
+  return SessionEngine::Responder(SessionConfig(), store->snapshot(), store);
+}
+
+TEST(UpdateSession, LoopbackApplyAndAckCounts) {
+  auto store = StoreWithLayout({1, 2, 3, 4, 5});
+  std::vector<UpdateBatch> batches(2);
+  batches[0].inserts = {10, 11, 3};  // 3 is a duplicate: rejected.
+  batches[0].deletes = {1, 99};      // 99 absent: rejected.
+  batches[1].inserts = {12};
+  batches[1].deletes = {10};
+
+  SessionEngine updater = SessionEngine::Updater(batches);
+  SessionEngine responder = MutableResponder(store);
+  uint8_t chunk[4096];
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    while (updater.Status() == SessionStatus::kWantWrite) {
+      const size_t n = updater.Poll(chunk, sizeof(chunk));
+      responder.Feed(chunk, n);
+      progress = true;
+    }
+    while (responder.Status() == SessionStatus::kWantWrite) {
+      const size_t n = responder.Poll(chunk, sizeof(chunk));
+      updater.Feed(chunk, n);
+      progress = true;
+    }
+  }
+  const SessionResult result = updater.TakeResult();
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.outcome.success);
+  EXPECT_EQ(result.outcome.rounds, 2);
+  EXPECT_EQ(result.scheme, "update");
+  EXPECT_NE(result.outcome.params_summary.find("inserted=3"),
+            std::string::npos)
+      << result.outcome.params_summary;
+  EXPECT_NE(result.outcome.params_summary.find("deleted=2"),
+            std::string::npos);
+  EXPECT_NE(result.outcome.params_summary.find("rejected=2"),
+            std::string::npos);
+  EXPECT_TRUE(responder.result().ok) << responder.result().error;
+  EXPECT_EQ(responder.result().scheme, "update");
+  EXPECT_EQ(store->size(), 6u);  // {2,3,4,5,11,12}; insert 10 deleted.
+}
+
+// A claimed count larger than the payload's actual values must be
+// rejected before anything is applied — a truncated update is all-or-
+// nothing, never a silent partial apply.
+TEST(UpdateSession, TruncatedUpdateRejectedWithoutPartialApply) {
+  auto store = StoreWithLayout({1, 2, 3});
+  const uint64_t epoch_before = store->epoch();
+  SessionEngine responder = MutableResponder(store);
+  // Claims 5 inserts, carries 2.
+  const auto payload = UpdatePayload(5, 0, {10, 11});
+  EXPECT_EQ(FeedAndDrain(&responder,
+                         FrameBytes(FrameType::kUpdate, 1, payload)),
+            SessionStatus::kError);
+  EXPECT_NE(responder.result().error.find("malformed UPDATE"),
+            std::string::npos)
+      << responder.result().error;
+  EXPECT_EQ(store->size(), 3u) << "truncated update partially applied";
+  EXPECT_EQ(store->epoch(), epoch_before);
+}
+
+TEST(UpdateSession, TrailingGarbageRejected) {
+  auto store = StoreWithLayout({1, 2, 3});
+  SessionEngine responder = MutableResponder(store);
+  auto payload = UpdatePayload(1, 0, {10});
+  payload.resize(payload.size() + 8, 0xAB);  // 8 bytes beyond the counts.
+  EXPECT_EQ(FeedAndDrain(&responder,
+                         FrameBytes(FrameType::kUpdate, 1, payload)),
+            SessionStatus::kError);
+  EXPECT_EQ(store->size(), 3u);
+}
+
+TEST(UpdateSession, HostileCountsRejectedBeforeAllocation) {
+  auto store = StoreWithLayout({1, 2, 3});
+  SessionEngine responder = MutableResponder(store);
+  // 2^40 claimed inserts in a 20-byte payload.
+  const auto payload = UpdatePayload(uint64_t{1} << 40, 0, {10});
+  EXPECT_EQ(FeedAndDrain(&responder,
+                         FrameBytes(FrameType::kUpdate, 1, payload)),
+            SessionStatus::kError);
+  EXPECT_EQ(store->size(), 3u);
+}
+
+// Seeded fuzz: random byte payloads and random truncations of a valid
+// update frame must never crash the responder or mutate the store — every
+// malformed variant ends in ERROR (or, for truncated frame envelopes,
+// more-bytes-wanted), and the element set stays exactly as seeded.
+TEST(UpdateSession, FuzzedUpdatePayloadsNeverCrashOrApply) {
+  Xoshiro256 rng(0x0F12);
+  auto store = StoreWithLayout({1, 2, 3, 4});
+  const auto valid =
+      FrameBytes(FrameType::kUpdate, 1, UpdatePayload(2, 1, {10, 11, 3}));
+  for (int i = 0; i < 200; ++i) {
+    SessionEngine responder = MutableResponder(store);
+    std::vector<uint8_t> bytes;
+    if (i % 2 == 0) {
+      // Random garbage payload under a well-formed envelope.
+      std::vector<uint8_t> payload(rng.NextBounded(64));
+      for (auto& b : payload) b = static_cast<uint8_t>(rng.Next());
+      bytes = FrameBytes(FrameType::kUpdate, 1, payload);
+    } else {
+      // Truncation of a valid update frame at a random boundary.
+      bytes.assign(valid.begin(),
+                   valid.begin() + 1 + rng.NextBounded(valid.size() - 1));
+    }
+    const SessionStatus status = FeedAndDrain(&responder, bytes);
+    EXPECT_NE(status, SessionStatus::kDone);
+    if (status == SessionStatus::kWantRead) {
+      // Envelope still incomplete; EOF must fail it, not settle it.
+      responder.FeedEof();
+      EXPECT_EQ(responder.Status(), SessionStatus::kError);
+    }
+  }
+  EXPECT_EQ(store->size(), 4u) << "a fuzzed update mutated the store";
+}
+
+TEST(UpdateSession, ReadOnlyServerRejectsUpdates) {
+  // Classic responder (no store): UPDATE is refused with a diagnostic.
+  SessionEngine responder = SessionEngine::Responder({1, 2, 3});
+  EXPECT_EQ(FeedAndDrain(&responder,
+                         FrameBytes(FrameType::kUpdate, 1,
+                                    UpdatePayload(1, 0, {10}))),
+            SessionStatus::kError);
+  EXPECT_NE(responder.result().error.find("read-only"), std::string::npos)
+      << responder.result().error;
+}
+
+// Out-of-order: an UPDATE frame arriving inside a reconciliation session
+// must be rejected even on a mutable server — sessions are single-purpose.
+TEST(UpdateSession, UpdateInsideReconcileSessionRejected) {
+  auto store = StoreWithLayout({1, 2, 3});
+  SessionEngine responder = MutableResponder(store);
+  SessionConfig config;
+  config.scheme_name = "pbs";
+  config.exact_d = 2.0;
+  SessionEngine initiator = SessionEngine::Initiator(config, {1, 2, 9});
+  // Deliver the HELLO so the responder enters the reconcile path.
+  uint8_t chunk[4096];
+  while (initiator.Status() == SessionStatus::kWantWrite) {
+    const size_t n = initiator.Poll(chunk, sizeof(chunk));
+    responder.Feed(chunk, n);
+  }
+  ASSERT_NE(responder.Status(), SessionStatus::kError);
+  EXPECT_EQ(FeedAndDrain(&responder,
+                         FrameBytes(FrameType::kUpdate, 1,
+                                    UpdatePayload(1, 0, {10}))),
+            SessionStatus::kError);
+  EXPECT_NE(responder.result().error.find("unexpected frame"),
+            std::string::npos)
+      << responder.result().error;
+  EXPECT_EQ(store->size(), 3u);
+}
+
+// Conversely, reconciliation frames inside an update session are rejected.
+TEST(UpdateSession, ReconcileFrameInsideUpdateSessionRejected) {
+  auto store = StoreWithLayout({1, 2, 3});
+  SessionEngine responder = MutableResponder(store);
+  ASSERT_NE(FeedAndDrain(&responder,
+                         FrameBytes(FrameType::kUpdate, 1,
+                                    UpdatePayload(1, 0, {10}))),
+            SessionStatus::kError);
+  EXPECT_EQ(FeedAndDrain(&responder,
+                         FrameBytes(FrameType::kEstimateRequest, 0, {})),
+            SessionStatus::kError);
+  EXPECT_NE(responder.result().error.find("unexpected frame"),
+            std::string::npos);
+}
+
+// Unknown opcodes stay rejected on a mutable server, exactly as on a
+// read-only one.
+TEST(UpdateSession, UnknownOpcodeRejectedOnMutableServer) {
+  auto store = StoreWithLayout({1, 2, 3});
+  {
+    SessionEngine responder = MutableResponder(store);
+    EXPECT_EQ(FeedAndDrain(
+                  &responder,
+                  FrameBytes(static_cast<FrameType>(12), 0, {1, 2, 3})),
+              SessionStatus::kError);
+  }
+  {
+    // Mid-update-session unknown opcode.
+    SessionEngine responder = MutableResponder(store);
+    ASSERT_NE(FeedAndDrain(&responder,
+                           FrameBytes(FrameType::kUpdate, 1,
+                                      UpdatePayload(1, 0, {10}))),
+              SessionStatus::kError);
+    EXPECT_EQ(FeedAndDrain(
+                  &responder,
+                  FrameBytes(static_cast<FrameType>(12), 1, {1, 2, 3})),
+              SessionStatus::kError);
+  }
+}
+
+// RunUpdateSession over a real transport: the blocking driver speaks the
+// same protocol the engines do.
+TEST(UpdateSession, BlockingDriverOverLoopbackTransport) {
+  auto store = StoreWithLayout({1, 2, 3});
+  auto transports = MakeLoopbackTransportPair();
+  std::thread server([&transports, &store] {
+    SessionEngine responder = MutableResponder(store);
+    ByteTransport& transport = *transports.second;
+    uint8_t buffer[4096];
+    for (;;) {
+      switch (responder.Status()) {
+        case SessionStatus::kWantWrite: {
+          const size_t n = responder.Poll(buffer, sizeof(buffer));
+          if (!transport.Send(buffer, n)) return;
+          break;
+        }
+        case SessionStatus::kWantRead: {
+          const size_t need =
+              std::min(responder.NeededBytes(), sizeof(buffer));
+          if (!transport.Recv(buffer, need)) {
+            responder.FeedEof();
+            break;
+          }
+          responder.Feed(buffer, need);
+          break;
+        }
+        default:
+          return;
+      }
+    }
+  });
+  std::vector<UpdateBatch> batches(1);
+  batches[0].inserts = {20, 21};
+  batches[0].deletes = {1};
+  const SessionResult result =
+      RunUpdateSession(*transports.first, batches);
+  transports.first.reset();
+  server.join();
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.outcome.params_summary.find("inserted=2"),
+            std::string::npos);
+  EXPECT_EQ(store->size(), 4u);
 }
 
 TEST(WireSession, TcpEndToEnd) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "pbs/common/rng.h"
+#include "pbs/core/element_store.h"
 #include "pbs/core/session_engine.h"
 #include "pbs/core/transport.h"
 #include "pbs/core/wire_session.h"
@@ -252,6 +253,170 @@ TEST(ReconcileServer, PartialHelloIsReapedAndSlotReused) {
   EXPECT_EQ(stats.accepted, 2u);
   EXPECT_EQ(stats.timed_out, 1u);
   EXPECT_EQ(stats.rejected_capacity, 0u);
+
+  server->Stop();
+  serving.join();
+}
+
+// Churn stress: a writer thread mutates the served set through a
+// MutableElementStore while 32 mixed-scheme clients reconcile against a
+// 4-shard server. Snapshot isolation is the property under test: each
+// session is admitted with one store snapshot, so every client's
+// recovered difference must equal its symmetric difference against SOME
+// published epoch — a diff matching no epoch would mean a torn read
+// (elements from two epochs mixed inside one session). Also the TSan
+// target for writer-publish vs shard-snapshot-load and the incremental
+// sketch maintenance under concurrent readers.
+TEST(ReconcileServer, ChurnStressEveryClientSeesOnePublishedEpoch) {
+  constexpr int kClients = 32;
+  constexpr int kBatches = 25;
+  constexpr int kChurnPerSide = 2;
+  // 12k base elements and <=100 elements of churn drift keep the largest
+  // per-client d_hat (2*31 + 5 + 100 = 167) inside every baseline's
+  // comfort zone — graphene in particular only tolerates a d_hat
+  // overestimate in its no-Bloom-filter regime, which for |B| = 12000
+  // holds up to d_hat ~ 200.
+  const SetPair base = GenerateTwoSidedPair(12000, 0, 0, 32, 0xB0B);
+
+  auto store = std::make_shared<MutableElementStore>(base.b);
+  PbsConfig layout_config;
+  layout_config.sig_bits = 32;
+  std::string error;
+  ASSERT_TRUE(store->ConfigureLayout(layout_config, 0xC11, 300, &error))
+      << error;
+
+  ServerOptions options;
+  options.max_sessions = kClients;
+  options.shards = 4;
+  options.mutable_store = store;
+  auto server = ReconcileServer::Create(options, {}, &error);
+  ASSERT_NE(server, nullptr) << error;
+  std::thread serving([&server] { server->Run(); });
+
+  // Epoch log: every published (epoch, sorted element set), starting from
+  // the snapshot the first sessions may be admitted with. The writer is
+  // the only mutator, so this log is exhaustive.
+  std::vector<std::pair<uint64_t, std::vector<uint64_t>>> epochs;
+  {
+    auto snap = store->snapshot();
+    std::vector<uint64_t> sorted = *snap->elements;
+    std::sort(sorted.begin(), sorted.end());
+    epochs.emplace_back(snap->epoch, std::move(sorted));
+  }
+  std::thread writer([&store, &base, &epochs] {
+    Xoshiro256 rng(0xC0FFEE);
+    std::vector<uint64_t> mirror = base.b;
+    std::unordered_set<uint64_t> used(base.b.begin(), base.b.end());
+    for (int b = 0; b < kBatches; ++b) {
+      UpdateBatch batch;
+      for (int k = 0; k < kChurnPerSide;) {
+        const uint64_t fresh = rng.Next() & 0xFFFFFFFFu;
+        if (fresh == 0 || !used.insert(fresh).second) continue;
+        batch.inserts.push_back(fresh);
+        ++k;
+      }
+      for (int k = 0; k < kChurnPerSide; ++k) {
+        // Swap-remove keeps the picks distinct and live pre-batch
+        // (inserts are fresh, so insert-before-delete order is safe).
+        const size_t idx = rng.NextBounded(mirror.size());
+        batch.deletes.push_back(mirror[idx]);
+        mirror[idx] = mirror.back();
+        mirror.pop_back();
+      }
+      mirror.insert(mirror.end(), batch.inserts.begin(),
+                    batch.inserts.end());
+      const ApplyResult applied = store->Apply(batch);
+      EXPECT_EQ(applied.inserted, static_cast<uint32_t>(kChurnPerSide));
+      EXPECT_EQ(applied.deleted, static_cast<uint32_t>(kChurnPerSide));
+      std::vector<uint64_t> sorted = mirror;
+      std::sort(sorted.begin(), sorted.end());
+      epochs.emplace_back(applied.epoch, std::move(sorted));
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  const std::vector<std::string> schemes =
+      SchemeRegistry::Instance().Names();
+  std::vector<std::thread> clients;
+  std::vector<SessionResult> results(kClients);
+  std::vector<std::vector<uint64_t>> locals(kClients);
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      // Divergent copy of the INITIAL set: drop the first i elements,
+      // add i + 5 fresh ones (epochs only grow the true difference).
+      std::vector<uint64_t> local(base.b.begin() + i, base.b.end());
+      Xoshiro256 rng(0x2000 + static_cast<uint64_t>(i));
+      std::unordered_set<uint64_t> taken(base.b.begin(), base.b.end());
+      for (int added = 0; added < i + 5;) {
+        const uint64_t fresh = rng.Next() & 0xFFFFFFFFu;
+        if (fresh == 0 || !taken.insert(fresh).second) continue;
+        local.push_back(fresh);
+        ++added;
+      }
+      locals[i] = local;
+
+      SessionConfig config;
+      config.scheme_name = schemes[i % schemes.size()];
+      config.options.pbs.max_rounds = 8;
+      config.options.pbs.target_rounds = 3;
+      config.seed = 0x5EED + static_cast<uint64_t>(i);
+      config.estimate_seed = 0xE571 + static_cast<uint64_t>(i);
+      // Upper bound over every epoch the session could be served from:
+      // initial divergence plus the worst-case churn drift.
+      config.exact_d = static_cast<double>(2 * i + 5) +
+                       2.0 * kChurnPerSide * kBatches;
+
+      std::string connect_error;
+      auto transport =
+          TcpConnect("127.0.0.1", server->port(), &connect_error);
+      if (!transport) {
+        failures.fetch_add(1);
+        return;
+      }
+      results[i] = RunInitiatorSession(*transport, config, local);
+      if (!results[i].ok) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : clients) t.join();
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_EQ(epochs.size(), static_cast<size_t>(kBatches) + 1);
+
+  // Every client's diff is exact against exactly the epoch it was served
+  // — so it must equal the symmetric difference against one of them.
+  for (int i = 0; i < kClients; ++i) {
+    SCOPED_TRACE("client " + std::to_string(i) + " scheme " +
+                 schemes[i % schemes.size()]);
+    ASSERT_TRUE(results[i].ok) << results[i].error;
+    EXPECT_TRUE(results[i].outcome.success);
+    std::vector<uint64_t> recovered = results[i].outcome.difference;
+    std::sort(recovered.begin(), recovered.end());
+    std::vector<uint64_t> local = locals[i];
+    std::sort(local.begin(), local.end());
+    bool matched = false;
+    for (const auto& [epoch, elements] : epochs) {
+      std::vector<uint64_t> diff;
+      std::set_symmetric_difference(local.begin(), local.end(),
+                                    elements.begin(), elements.end(),
+                                    std::back_inserter(diff));
+      if (diff == recovered) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched)
+        << "recovered diff of " << recovered.size()
+        << " elements matches no published epoch (torn read?)";
+  }
+
+  ASSERT_TRUE(WaitForStats(*server, [](const ServerStats& s) {
+    return s.completed + s.failed + s.timed_out >= kClients && s.active == 0;
+  }));
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.failed, 0u);
 
   server->Stop();
   serving.join();

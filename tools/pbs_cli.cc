@@ -18,7 +18,7 @@
 //       Show the (g, n, t) parameterization the Section-5.1 optimizer
 //       picks for an expected difference of d.
 //   pbs_cli serve <file> [--port N] [--once] [--max-sessions N] [--stats]
-//           [--threads N] [--shards N]
+//           [--threads N] [--shards N] [--mutable] [--layout-d D]
 //       Hold a key set and serve framed reconciliation sessions over TCP
 //       from N event-loop shards (any scheme; the client picks; many
 //       clients concurrently). --once exits after one session;
@@ -26,6 +26,17 @@
 //       prints the server's counters on exit; --threads sets each
 //       session's per-group decode parallelism; --shards sets the
 //       event-loop thread count (default 1, 0 = all hardware threads).
+//       --mutable serves the set from a live MutableElementStore: each
+//       session pins one consistent snapshot epoch, `pbs_cli update`
+//       sessions mutate the set in place, and the store maintains the PBS
+//       sketches incrementally (sized for an expected difference of
+//       --layout-d, default 100) so matching sessions skip the per-session
+//       sketch rebuild.
+//   pbs_cli update --host H --port N [--insert <file>] [--delete <file>]
+//           [--batch N]
+//       Send insert/delete batches (signature files) to a --mutable serve
+//       instance over one UPDATE session; --batch splits the changes into
+//       chunks of N per direction (default: one batch).
 //   pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]
 //           [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]
 //           [--threads N]
@@ -65,7 +76,10 @@ int Usage() {
       "          [--delta N] [--threads N]\n"
       "  pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]\n"
       "  pbs_cli serve <file> [--port N] [--once] [--max-sessions N]\n"
-      "          [--stats] [--threads N] [--shards N]\n"
+      "          [--stats] [--threads N] [--shards N] [--mutable]\n"
+      "          [--layout-d D]\n"
+      "  pbs_cli update --host H --port N [--insert <file>]\n"
+      "          [--delete <file>] [--batch N]\n"
       "  pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]\n"
       "          [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]\n"
       "          [--threads N]\n"
@@ -284,6 +298,31 @@ int CmdServe(int argc, char** argv) {
 
   std::string error;
   const size_t key_count = elements.size();
+  const bool mutable_store = FlagPresent(argc, argv, "--mutable");
+  if (mutable_store) {
+    // Live served set: sessions pin store snapshots and `pbs_cli update`
+    // can mutate it. The layout config mirrors the `connect` defaults so
+    // a default client's sessions adopt the store's pre-built sketches.
+    auto store = std::make_shared<pbs::MutableElementStore>();
+    pbs::PbsConfig layout_config;
+    layout_config.max_rounds = 3;
+    layout_config.target_rounds = 3;
+    layout_config.p0 = 0.99;
+    layout_config.delta = 5;
+    layout_config.sig_bits = 32;
+    const int layout_d =
+        static_cast<int>(FlagU64(argc, argv, "--layout-d", 100));
+    if (!store->ConfigureLayout(layout_config, /*seed=*/0xC11, layout_d,
+                                &error)) {
+      std::fprintf(stderr, "serve: %s\n", error.c_str());
+      return 1;
+    }
+    pbs::UpdateBatch initial;
+    initial.inserts = std::move(elements);
+    elements.clear();
+    store->Apply(initial);
+    options.mutable_store = std::move(store);
+  }
   auto server =
       pbs::ReconcileServer::Create(options, std::move(elements), &error);
   if (!server) {
@@ -333,6 +372,64 @@ int CmdServe(int argc, char** argv) {
     }
   }
   return once ? (last_session_ok ? 0 : 1) : 0;
+}
+
+int CmdUpdate(int argc, char** argv) {
+  std::vector<uint64_t> inserts, deletes;
+  const char* insert_path = FlagStr(argc, argv, "--insert", nullptr);
+  const char* delete_path = FlagStr(argc, argv, "--delete", nullptr);
+  if (insert_path == nullptr && delete_path == nullptr) {
+    std::fprintf(stderr, "update: need --insert and/or --delete\n");
+    return Usage();
+  }
+  if (insert_path != nullptr && !LoadSignatures(insert_path, &inserts)) {
+    return 1;
+  }
+  if (delete_path != nullptr && !LoadSignatures(delete_path, &deletes)) {
+    return 1;
+  }
+
+  std::vector<pbs::UpdateBatch> batches;
+  const uint64_t batch_size = FlagU64(argc, argv, "--batch", 0);
+  if (batch_size == 0) {
+    pbs::UpdateBatch batch;
+    batch.inserts = std::move(inserts);
+    batch.deletes = std::move(deletes);
+    batches.push_back(std::move(batch));
+  } else {
+    // Chunk each direction independently; a chunk may carry both kinds.
+    const size_t total = std::max(inserts.size(), deletes.size());
+    for (size_t start = 0; start < total; start += batch_size) {
+      pbs::UpdateBatch batch;
+      for (size_t i = start; i < inserts.size() && i < start + batch_size;
+           ++i) {
+        batch.inserts.push_back(inserts[i]);
+      }
+      for (size_t i = start; i < deletes.size() && i < start + batch_size;
+           ++i) {
+        batch.deletes.push_back(deletes[i]);
+      }
+      batches.push_back(std::move(batch));
+    }
+  }
+
+  const char* host = FlagStr(argc, argv, "--host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(FlagU64(argc, argv, "--port", 7557));
+  std::string error;
+  auto transport = pbs::TcpConnect(host, port, &error);
+  if (!transport) {
+    std::fprintf(stderr, "update: %s\n", error.c_str());
+    return 1;
+  }
+  const pbs::SessionResult result = pbs::RunUpdateSession(*transport, batches);
+  if (!result.ok) {
+    std::fprintf(stderr, "update failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("update ok: %d batch%s, %s\n", result.outcome.rounds,
+              result.outcome.rounds == 1 ? "" : "es",
+              result.outcome.params_summary.c_str());
+  return 0;
 }
 
 int CmdConnect(int argc, char** argv) {
@@ -434,6 +531,7 @@ int main(int argc, char** argv) {
   if (cmd == "plan") return CmdPlan(argc - 2, argv + 2);
   if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
   if (cmd == "connect") return CmdConnect(argc - 2, argv + 2);
+  if (cmd == "update") return CmdUpdate(argc - 2, argv + 2);
   if (cmd == "list-schemes" || cmd == "--list-schemes") {
     return CmdListSchemes();
   }
