@@ -120,12 +120,17 @@ class JsonEmitter {
 
   bool enabled() const { return file_ != nullptr; }
 
-  /// Emits {"bench": <bench>, "mode": quick|full, <key>: <value>, ...}.
+  /// Emits {"bench": <bench>, "mode": quick|full, "cpu": <features>,
+  /// <key>: <value>, ...}. The "cpu" tag (cpu::FeatureString(), e.g.
+  /// "clmul+avx2" or "portable") attributes every record to the hardware
+  /// capability it ran under; scripts/collect_bench.py treats it as
+  /// metadata, not identity, so runs remain comparable across machines.
   void Emit(const std::string& bench,
             const std::vector<std::pair<std::string, std::string>>& fields) {
     if (file_ == nullptr) return;
     std::string line = "{\"bench\":" + Quote(bench) + ",\"mode\":" +
-                       Quote(FullMode() ? "full" : "quick");
+                       Quote(FullMode() ? "full" : "quick") + ",\"cpu\":" +
+                       Quote(cpu::FeatureString());
     for (const auto& [key, value] : fields) {
       line += "," + Quote(key) + ":" + ValueLiteral(value);
     }

@@ -40,6 +40,12 @@ SCHEMA = 1
 MEASUREMENT_KEYS = {
     "ns_per_op", "Mops", "wall_ms", "sessions_per_s", "p50_ms", "p99_ms",
     "wire_B_per_session", "parity", "run_id",
+    # Derived ratio (simd vs scalar ns_per_op): a measurement like its
+    # inputs, never part of a record's identity.
+    "speedup",
+    # Hardware-capability tag (cpu::FeatureString()): metadata, not
+    # identity, so records stay comparable across machines.
+    "cpu",
 }
 
 # Metrics --compare gates on, and which direction is better. A record is
@@ -99,8 +105,16 @@ def compare(new_records, trajectory, baseline_run_id, tolerance, report_path):
                 if r.get("run_id") == baseline_run_id
                 and compare_metric(r)[0] is not None]
     if not baseline:
+        available = sorted({str(r["run_id"]) for r in trajectory
+                            if r.get("run_id") is not None})
         print(f"--compare: no comparable records with run_id "
               f"'{baseline_run_id}' in the trajectory", file=sys.stderr)
+        if available:
+            print("available run_ids: " + ", ".join(available),
+                  file=sys.stderr)
+        else:
+            print("the trajectory has no tagged records at all "
+                  "(merge with --run-id first)", file=sys.stderr)
         return 1
 
     lines = [f"speedups vs run_id '{baseline_run_id}' "

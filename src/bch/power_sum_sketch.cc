@@ -88,6 +88,112 @@ bool PowerSumSketch::DecodeInto(std::vector<uint64_t>* out, Workspace& ws,
   return true;
 }
 
+void PowerSumSketch::DecodeBatchInto(Span<const PowerSumSketch* const> sketches,
+                                     Span<std::vector<uint64_t>* const> outs,
+                                     Span<uint8_t> ok, Workspace& ws,
+                                     bool verify, uint64_t seed) {
+  const size_t n = sketches.size();
+  assert(outs.size() == n && ok.size() == n);
+  if (n == 0) return;
+  const GF2m& field = sketches[0]->field_;
+  const int t = sketches[0]->t_;
+
+  if (field.order() >= kChienThreshold || !field.has_tables()) {
+    // Large (PinSketch) fields root-find by trace splitting, which has no
+    // batched form; decode serially.
+    for (size_t i = 0; i < n; ++i) {
+      ok[i] = sketches[i]->DecodeInto(outs[i], ws, verify, seed) ? 1 : 0;
+    }
+    return;
+  }
+
+  // Pass 1: per-sketch syndrome expansion + Berlekamp-Massey. Every locator
+  // that reaches root finding is staged into one flat coefficient/root
+  // arena so a single cross-group Chien search can walk them in lock-step.
+  const size_t stride = static_cast<size_t>(2 * t) + 1;
+  auto syndromes = ws.Take<uint64_t>(2 * t);
+  auto lambdas = ws.Take<uint64_t>(n * stride);
+  auto roots = ws.Take<uint64_t>(n * static_cast<size_t>(t));
+  auto deg = ws.Take<int>(n);            // -1: settled (ok already final).
+  auto polys = ws.Take<ChienBatchPoly>(n);
+  auto sketch_of_poly = ws.Take<size_t>(n);
+  size_t n_polys = 0;
+
+  for (size_t i = 0; i < n; ++i) {
+    const PowerSumSketch& s = *sketches[i];
+    assert(s.field_ == field && s.t_ == t);
+    outs[i]->clear();
+    ok[i] = 0;
+    deg[i] = -1;
+    if (s.IsZero()) {
+      ok[i] = 1;
+      continue;
+    }
+    for (int k = 1; k <= 2 * t; ++k) {
+      if (k % 2 == 1) {
+        syndromes[k - 1] = s.odd_[(k - 1) / 2];
+      } else {
+        syndromes[k - 1] = field.Sqr(syndromes[k / 2 - 1]);
+      }
+    }
+    Span<uint64_t> lambda(lambdas.data() + i * stride, stride);
+    const BmWsResult bm =
+        BerlekampMasseyWs(field, syndromes.cspan(), ws, lambda);
+    if (!bm.IsConsistent() || bm.linear_complexity > t) continue;
+    // Mirrors FindDistinctNonzeroRootsWs's Chien-path pre-checks exactly.
+    const Span<const uint64_t> coeffs =
+        Span<const uint64_t>(lambda.data(), lambda.size())
+            .first(static_cast<size_t>(bm.degree) + 1);
+    const int d = PolyDegree(coeffs);
+    if (d < 0) continue;
+    if (d == 0) {
+      deg[i] = 0;  // Zero roots to find; still runs the push/verify tail.
+      continue;
+    }
+    if (coeffs[0] == 0) continue;  // Root at zero: miscorrected decode.
+    deg[i] = d;
+    sketch_of_poly[n_polys] = i;
+    polys[n_polys] = ChienBatchPoly{
+        coeffs.first(static_cast<size_t>(d) + 1),
+        Span<uint64_t>(roots.data() + i * static_cast<size_t>(t),
+                       static_cast<size_t>(d)),
+        0};
+    ++n_polys;
+  }
+
+  ChienSearchBatch(field, Span<ChienBatchPoly>(polys.data(), n_polys), ws);
+
+  for (size_t p = 0; p < n_polys; ++p) {
+    const size_t i = sketch_of_poly[p];
+    if (polys[p].count != deg[i]) deg[i] = -1;  // Not deg distinct roots.
+  }
+
+  // Pass 2: invert roots into the output sets and (optionally) verify, in
+  // the same order DecodeInto would have.
+  for (size_t i = 0; i < n; ++i) {
+    if (deg[i] < 0) continue;
+    const PowerSumSketch& s = *sketches[i];
+    const uint64_t* r = roots.data() + i * static_cast<size_t>(t);
+    for (int j = 0; j < deg[i]; ++j) outs[i]->push_back(field.Inv(r[j]));
+    if (verify) {
+      auto check = ws.Take<uint64_t>(t);
+      for (uint64_t e : *outs[i]) ToggleInto(field, e, check.span());
+      bool match = true;
+      for (int k = 0; k < t; ++k) {
+        if (check[k] != s.odd_[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) {
+        outs[i]->clear();
+        continue;
+      }
+    }
+    ok[i] = 1;
+  }
+}
+
 std::optional<std::vector<uint64_t>> PowerSumSketch::Decode(
     bool verify, uint64_t seed) const {
   Workspace ws;

@@ -25,6 +25,41 @@ bool DetectCarrylessMul() {
 #endif
 }
 
+bool DetectAvx2() {
+#if defined(PBS_DISABLE_SIMD)
+  return false;
+#elif defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool DetectAvx512() {
+#if defined(PBS_DISABLE_SIMD)
+  return false;
+#elif defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // The wide-lane kernels that dispatch above AVX2 rely on AVX-512F zmm
+  // ops plus DQ's vpmullq (native 64-bit lane multiply); VL is required
+  // as well so future kernels may use EVEX forms on 256-bit registers.
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+bool DetectNeon() {
+#if defined(PBS_DISABLE_SIMD)
+  return false;
+#elif defined(__aarch64__)
+  return true;  // NEON (AdvSIMD) is architecturally mandatory on AArch64.
+#else
+  return false;
+#endif
+}
+
 }  // namespace
 
 bool HasCarrylessMul() {
@@ -34,6 +69,47 @@ bool HasCarrylessMul() {
 
 const char* CarrylessMulBackend() {
   return HasCarrylessMul() ? "clmul" : "portable";
+}
+
+bool HasAvx2() {
+  static const bool has = DetectAvx2();
+  return has;
+}
+
+bool HasAvx512() {
+  static const bool has = DetectAvx512();
+  return has;
+}
+
+bool HasNeon() {
+  static const bool has = DetectNeon();
+  return has;
+}
+
+const char* SimdBackend() {
+  if (HasAvx512()) return "avx512";
+  if (HasAvx2()) return "avx2";
+  if (HasNeon()) return "neon";
+  return "portable";
+}
+
+const char* FeatureString() {
+  static const char* const str = [] {
+    static char buf[32];
+    char* p = buf;
+    const auto append = [&p](const char* s) {
+      if (p != buf) *p++ = '+';
+      while (*s != '\0') *p++ = *s++;
+    };
+    if (HasCarrylessMul()) append("clmul");
+    if (HasAvx2()) append("avx2");
+    if (HasAvx512()) append("avx512");
+    if (HasNeon()) append("neon");
+    if (p == buf) append("portable");
+    *p = '\0';
+    return buf;
+  }();
+  return str;
 }
 
 }  // namespace pbs::cpu

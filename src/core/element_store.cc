@@ -1,5 +1,6 @@
 #include "pbs/core/element_store.h"
 
+#include <algorithm>
 #include <atomic>
 #include <utility>
 
@@ -212,6 +213,56 @@ struct MutableElementStore::Impl {
     return out;
   }
 
+  // From-scratch layout rebuild (the differential oracle). Elements are
+  // partitioned in hash-kernel-sized blocks: one batched hash computes the
+  // block's groups, a second per-lane-salt batched hash computes each
+  // element's bin under its own group's round-1 salt.
+  std::shared_ptr<const PbsStoreLayout> RebuildLocked() const {
+    if (!configured) return nullptr;
+    auto out = std::make_shared<PbsStoreLayout>();
+    out->seed = seed;
+    out->config = config;
+    out->plan = plan;
+    const int g = plan.params.g;
+    const int n = plan.params.n;
+    const int t = plan.params.t;
+    const HashFamily family(seed);
+    out->bitmaps.assign(g, ParityBitmap{});
+    for (ParityBitmap& pb : out->bitmaps) {
+      pb.n = n;
+      pb.xor_sum.assign(n + 1, 0);
+      pb.parity.assign(n + 1, 0);
+    }
+    std::vector<SetChecksum> sums(g, SetChecksum(config.sig_bits));
+    uint64_t groups[kXxHashBatch];
+    uint64_t salts[kXxHashBatch];
+    uint64_t bins[kXxHashBatch];
+    for (size_t base = 0; base < elements.size(); base += kXxHashBatch) {
+      const size_t blk = std::min(kXxHashBatch, elements.size() - base);
+      const uint64_t* xs = elements.data() + base;
+      GroupOfMany(family, xs, blk, static_cast<uint32_t>(g), groups);
+      for (size_t i = 0; i < blk; ++i) salts[i] = bin_salts[groups[i]];
+      BinIndexManySalted(xs, salts, blk, n, bins);
+      for (size_t i = 0; i < blk; ++i) {
+        out->bitmaps[groups[i]].xor_sum[bins[i]] ^= xs[i];
+        out->bitmaps[groups[i]].parity[bins[i]] ^= 1;
+        sums[groups[i]].Add(xs[i]);
+      }
+    }
+    out->syndromes.assign(static_cast<size_t>(g) * t, 0);
+    PowerSumSketch sketch(field, t);
+    for (int u = 0; u < g; ++u) {
+      out->bitmaps[u].ToSketchInto(&sketch);
+      const std::vector<uint64_t>& odd = sketch.odd_syndromes();
+      for (int k = 0; k < t; ++k) {
+        out->syndromes[static_cast<size_t>(u) * t + k] = odd[k];
+      }
+    }
+    out->checksums.reserve(g);
+    for (const SetChecksum& c : sums) out->checksums.push_back(c.value());
+    return out;
+  }
+
   void PublishLocked() {
     auto snap = std::make_shared<StoreSnapshot>();
     snap->epoch = ++epoch;
@@ -335,43 +386,23 @@ size_t MutableElementStore::size() const {
 std::shared_ptr<const PbsStoreLayout> MutableElementStore::RebuildLayout()
     const {
   std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->RebuildLocked();
+}
+
+bool MutableElementStore::VerifyLayout() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
   const Impl& s = *impl_;
-  if (!s.configured) return nullptr;
-  auto out = std::make_shared<PbsStoreLayout>();
-  out->seed = s.seed;
-  out->config = s.config;
-  out->plan = s.plan;
+  if (!s.configured) return true;
+  const auto rebuilt = s.RebuildLocked();
   const int g = s.plan.params.g;
-  const int n = s.plan.params.n;
-  const int t = s.plan.params.t;
-  const HashFamily family(s.seed);
-  out->bitmaps.assign(g, ParityBitmap{});
-  for (ParityBitmap& pb : out->bitmaps) {
-    pb.n = n;
-    pb.xor_sum.assign(n + 1, 0);
-    pb.parity.assign(n + 1, 0);
+  for (int i = 0; i < g; ++i) {
+    if (!s.bitmaps[i].Equals(rebuilt->bitmaps[i])) return false;
   }
-  std::vector<SetChecksum> sums(g, SetChecksum(s.config.sig_bits));
-  for (uint64_t e : s.elements) {
-    const uint32_t group = GroupOf(family, e, static_cast<uint32_t>(g));
-    const SaltedHash h(s.bin_salts[group]);
-    const uint64_t bin = BinIndex(e, h, n);
-    out->bitmaps[group].xor_sum[bin] ^= e;
-    out->bitmaps[group].parity[bin] ^= 1;
-    sums[group].Add(e);
+  if (s.syndromes != rebuilt->syndromes) return false;
+  for (int i = 0; i < g; ++i) {
+    if (s.checksums[i].value() != rebuilt->checksums[i]) return false;
   }
-  out->syndromes.assign(static_cast<size_t>(g) * t, 0);
-  PowerSumSketch sketch(s.field, t);
-  for (int u = 0; u < g; ++u) {
-    out->bitmaps[u].ToSketchInto(&sketch);
-    const std::vector<uint64_t>& odd = sketch.odd_syndromes();
-    for (int k = 0; k < t; ++k) {
-      out->syndromes[static_cast<size_t>(u) * t + k] = odd[k];
-    }
-  }
-  out->checksums.reserve(g);
-  for (const SetChecksum& c : sums) out->checksums.push_back(c.value());
-  return out;
+  return true;
 }
 
 }  // namespace pbs

@@ -1,4 +1,142 @@
 #include "pbs/core/parity_bitmap.h"
 
-// ParityBitmap is header-only (template Build); this translation unit
-// anchors the module in the build graph.
+#include <cassert>
+#include <cstring>
+
+#include "pbs/common/cpu_features.h"
+
+// 32-byte-wide bitmap kernels (odd-bin scan, XOR fold, equality). Same
+// dispatch pattern as gf/gf2x.cc: the AVX2 bodies are compiled per-function
+// via target attributes, selected once at runtime through cpu::HasAvx2(),
+// and every scalar reference stays live for the differential tests and as
+// the portable / PBS_DISABLE_SIMD fallback. NEON gains little here (the
+// scan is movemask-shaped), so AArch64 uses the scalar forms.
+#if !defined(PBS_DISABLE_SIMD) && defined(__x86_64__)
+#include <immintrin.h>
+#define PBS_HAVE_AVX2_BITMAP_KERNEL 1
+#endif
+
+namespace pbs {
+
+namespace {
+
+#if defined(PBS_HAVE_AVX2_BITMAP_KERNEL)
+
+// Toggles every odd-parity bin in [1, n] into the sketch, testing 32
+// parity bytes per step: a zero-compare + movemask yields one bit per
+// byte, and only the (typically sparse) set bits reach the O(t) field
+// toggle.
+__attribute__((target("avx2"))) void ScanOddBinsAvx2(const uint8_t* parity,
+                                                     int n,
+                                                     PowerSumSketch* sketch) {
+  const __m256i zero = _mm256_setzero_si256();
+  int i = 1;
+  for (; i + 32 <= n + 1; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(parity + i));
+    uint32_t mask = ~static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    while (mask != 0) {
+      const int bit = __builtin_ctz(mask);
+      mask &= mask - 1;
+      sketch->Toggle(static_cast<uint64_t>(i + bit));
+    }
+  }
+  for (; i <= n; ++i) {
+    if (parity[i]) sketch->Toggle(static_cast<uint64_t>(i));
+  }
+}
+
+__attribute__((target("avx2"))) void XorBytesAvx2(uint8_t* dst,
+                                                  const uint8_t* src,
+                                                  size_t bytes) {
+  size_t i = 0;
+  for (; i + 32 <= bytes; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+  for (; i < bytes; ++i) dst[i] ^= src[i];
+}
+
+__attribute__((target("avx2"))) bool BytesEqualAvx2(const uint8_t* a,
+                                                    const uint8_t* b,
+                                                    size_t bytes) {
+  size_t i = 0;
+  for (; i + 32 <= bytes; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (static_cast<uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb))) != 0xFFFFFFFFu) {
+      return false;
+    }
+  }
+  for (; i < bytes; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+#endif  // PBS_HAVE_AVX2_BITMAP_KERNEL
+
+}  // namespace
+
+void ParityBitmap::ToSketchInto(PowerSumSketch* sketch) const {
+#if defined(PBS_HAVE_AVX2_BITMAP_KERNEL)
+  static const bool use_hw = cpu::HasAvx2();
+  if (use_hw) {
+    sketch->Reset();
+    ScanOddBinsAvx2(parity.data(), n, sketch);
+    return;
+  }
+#endif
+  ToSketchIntoScalar(sketch);
+}
+
+void ParityBitmap::FoldXorScalar(const ParityBitmap& other) {
+  assert(n == other.n);
+  for (size_t i = 0; i < xor_sum.size(); ++i) xor_sum[i] ^= other.xor_sum[i];
+  for (size_t i = 0; i < parity.size(); ++i) parity[i] ^= other.parity[i];
+}
+
+void ParityBitmap::FoldXor(const ParityBitmap& other) {
+#if defined(PBS_HAVE_AVX2_BITMAP_KERNEL)
+  static const bool use_hw = cpu::HasAvx2();
+  if (use_hw) {
+    assert(n == other.n);
+    XorBytesAvx2(reinterpret_cast<uint8_t*>(xor_sum.data()),
+                 reinterpret_cast<const uint8_t*>(other.xor_sum.data()),
+                 xor_sum.size() * sizeof(uint64_t));
+    XorBytesAvx2(parity.data(), other.parity.data(), parity.size());
+    return;
+  }
+#endif
+  FoldXorScalar(other);
+}
+
+bool ParityBitmap::EqualsScalar(const ParityBitmap& other) const {
+  return n == other.n && xor_sum == other.xor_sum && parity == other.parity;
+}
+
+bool ParityBitmap::Equals(const ParityBitmap& other) const {
+#if defined(PBS_HAVE_AVX2_BITMAP_KERNEL)
+  static const bool use_hw = cpu::HasAvx2();
+  if (use_hw) {
+    return n == other.n && xor_sum.size() == other.xor_sum.size() &&
+           parity.size() == other.parity.size() &&
+           BytesEqualAvx2(reinterpret_cast<const uint8_t*>(xor_sum.data()),
+                          reinterpret_cast<const uint8_t*>(
+                              other.xor_sum.data()),
+                          xor_sum.size() * sizeof(uint64_t)) &&
+           BytesEqualAvx2(parity.data(), other.parity.data(), parity.size());
+  }
+#endif
+  return EqualsScalar(other);
+}
+
+}  // namespace pbs

@@ -14,7 +14,10 @@
 #include "pbs/common/mset_hash.h"
 #include "pbs/common/parallel.h"
 #include "pbs/common/workspace.h"
+#include <algorithm>
+
 #include "pbs/core/element_store.h"
+#include "pbs/core/group_state.h"
 #include "pbs/core/messages.h"
 #include "pbs/core/parity_bitmap.h"
 #include "pbs/estimator/tow.h"
@@ -128,10 +131,15 @@ struct PbsAlice::Impl {
       units[i].core = UnitCore::Root(family, i);
       units[i].checksum = SetChecksum(config.sig_bits);
     }
-    for (uint64_t e : elements) {
-      Unit& u = units[GroupOf(family, e, g)];
-      u.working.insert(e);
-      u.checksum.Add(e);
+    uint64_t groups[kXxHashBatch];
+    for (size_t base = 0; base < elements.size(); base += kXxHashBatch) {
+      const size_t blk = std::min(kXxHashBatch, elements.size() - base);
+      GroupOfMany(family, elements.data() + base, blk, g, groups);
+      for (size_t i = 0; i < blk; ++i) {
+        Unit& u = units[groups[i]];
+        u.working.insert(elements[base + i]);
+        u.checksum.Add(elements[base + i]);
+      }
     }
   }
 
@@ -418,6 +426,17 @@ struct PbsBob::Impl {
   };
   std::vector<std::unique_ptr<WorkerScratch>> workers;
   std::unique_ptr<ParallelFor> pool;  // Null when decode_threads == 1.
+  // Serial lane-blocked decode scratch (decode_threads == 1): up to
+  // PowerSumSketch::kDecodeBatch units are staged and handed to one
+  // DecodeBatchInto call, so neighboring groups' Chien searches advance in
+  // SIMD lanes instead of serially. Results are identical to the per-unit
+  // path (DecodeBatchInto is pinned bit-identical to DecodeInto).
+  struct LaneScratch {
+    std::vector<ParityBitmap> bitmaps;
+    std::vector<PowerSumSketch> sketches;  // Re-made per plan.
+    std::vector<std::vector<uint64_t>> positions;
+  };
+  LaneScratch lanes;
   std::vector<uint64_t> alice_syndromes;  // units.size() * t, wire order.
   std::vector<uint64_t> unit_positions;   // units.size() * t result slots.
   std::vector<uint64_t> unit_xors;        // Matching per-position XOR sums.
@@ -444,6 +463,14 @@ struct PbsBob::Impl {
       workers.push_back(std::make_unique<WorkerScratch>());
       workers.back()->diff_sketch.emplace(field, plan.params.t);
     }
+    const size_t kB = static_cast<size_t>(PowerSumSketch::kDecodeBatch);
+    lanes.bitmaps.resize(kB);
+    lanes.positions.resize(kB);
+    lanes.sketches.clear();
+    lanes.sketches.reserve(kB);
+    for (size_t i = 0; i < kB; ++i) {
+      lanes.sketches.emplace_back(field, plan.params.t);
+    }
   }
 
   void BuildUnits() {
@@ -452,11 +479,23 @@ struct PbsBob::Impl {
     units.clear();
     units.resize(g);
     for (uint32_t i = 0; i < g; ++i) units[i].core = UnitCore::Root(family, i);
-    for (uint64_t e : elems()) {
-      units[GroupOf(family, e, g)].elements.push_back(e);
-    }
+    PartitionIntoUnits(g);
     for (Unit& u : units) u.checksum = ChecksumOf(u.elements);
     partitioned = true;
+  }
+
+  // Scatters the element list into the g root units, computing groups in
+  // hash-kernel-sized blocks through the batched lanes.
+  void PartitionIntoUnits(uint32_t g) {
+    const std::vector<uint64_t>& xs = elems();
+    uint64_t groups[kXxHashBatch];
+    for (size_t base = 0; base < xs.size(); base += kXxHashBatch) {
+      const size_t blk = std::min(kXxHashBatch, xs.size() - base);
+      GroupOfMany(family, xs.data() + base, blk, g, groups);
+      for (size_t i = 0; i < blk; ++i) {
+        units[groups[i]].elements.push_back(xs[base + i]);
+      }
+    }
   }
 
   /// True when the adopted layout is exactly what this session would have
@@ -492,10 +531,7 @@ struct PbsBob::Impl {
   void EnsurePartitioned() {
     if (partitioned) return;
     partitioned = true;
-    const uint32_t g = static_cast<uint32_t>(plan.params.g);
-    for (uint64_t e : elems()) {
-      units[GroupOf(family, e, g)].elements.push_back(e);
-    }
+    PartitionIntoUnits(static_cast<uint32_t>(plan.params.g));
   }
 
   std::vector<Unit> SplitUnit(Unit& parent) {
@@ -670,7 +706,60 @@ void PbsBob::HandleRoundRequest(const std::vector<uint8_t>& request,
   if (b.pool != nullptr) {
     b.pool->Run(n_units, decode_unit);
   } else {
-    for (size_t u = 0; u < n_units; ++u) decode_unit(u, 0);
+    // Serial path: stage up to kDecodeBatch units per block and decode them
+    // through one DecodeBatchInto call, so the per-group Chien searches run
+    // in SIMD lanes. Per-unit results are bit-identical to decode_unit, so
+    // the reply bytes stay the same as the pool path's.
+    constexpr size_t kB = static_cast<size_t>(PowerSumSketch::kDecodeBatch);
+    const PowerSumSketch* lane_sketch[kB];
+    std::vector<uint64_t>* lane_out[kB];
+    const ParityBitmap* lane_pb[kB];
+    uint8_t lane_ok[kB];
+    Workspace& ws = b.workers[0]->ws;
+    for (size_t base = 0; base < n_units; base += kB) {
+      const size_t blk = std::min(kB, n_units - base);
+      for (size_t l = 0; l < blk; ++l) {
+        const size_t u = base + l;
+        const Impl::Unit& unit = b.units[u];
+        PowerSumSketch& diff_sketch = b.lanes.sketches[l];
+        if (!b.partitioned) {
+          lane_pb[l] = &b.layout->bitmaps[u];
+          diff_sketch.Reset();
+          diff_sketch.MergeOdd(Span<const uint64_t>(
+              b.layout->syndromes.data() + u * stride, stride));
+        } else {
+          const SaltedHash h(unit.core.BinSalt(b.family, b.round));
+          ParityBitmap::BuildInto(unit.elements, h, n, &b.lanes.bitmaps[l]);
+          lane_pb[l] = &b.lanes.bitmaps[l];
+          b.lanes.bitmaps[l].ToSketchInto(&diff_sketch);
+        }
+        diff_sketch.MergeOdd(Span<const uint64_t>(
+            b.alice_syndromes.data() + u * stride, stride));
+        lane_sketch[l] = &diff_sketch;
+        lane_out[l] = &b.lanes.positions[l];
+      }
+      PowerSumSketch::DecodeBatchInto(
+          Span<const PowerSumSketch* const>(lane_sketch, blk),
+          Span<std::vector<uint64_t>* const>(lane_out, blk),
+          Span<uint8_t>(lane_ok, blk), ws);
+      for (size_t l = 0; l < blk; ++l) {
+        const size_t u = base + l;
+        if (!lane_ok[l]) {
+          b.unit_counts[u] = -1;
+          continue;
+        }
+        const std::vector<uint64_t>& decoded = b.lanes.positions[l];
+        const int count = static_cast<int>(decoded.size());
+        b.unit_counts[u] = count;
+        uint64_t* positions = b.unit_positions.data() + u * stride;
+        uint64_t* xors = b.unit_xors.data() + u * stride;
+        for (int i = 0; i < count; ++i) {
+          const uint64_t pos = decoded[i];
+          positions[i] = pos;
+          xors[i] = lane_pb[l]->xor_sum[pos];
+        }
+      }
+    }
   }
 
   // Phase 3 (serial): the reply in canonical unit order -- byte-identical

@@ -2,7 +2,20 @@
 
 #include <cassert>
 
+#include "pbs/common/cpu_features.h"
 #include "pbs/common/rng.h"
+
+// The cross-group batch Chien kernel gathers four lanes' worth of antilog
+// entries per term slot with VPGATHERQQ, so it is AVX2-only; it is compiled
+// with a per-function target attribute and called only after cpu::HasAvx2()
+// confirmed support. PBS_DISABLE_SIMD compiles it out, and AArch64 (no
+// gather instruction in NEON) always uses the scalar per-polynomial kernel,
+// which the batched API degrades to bit-identically.
+#if !defined(PBS_DISABLE_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define PBS_HAVE_AVX2_CHIEN_KERNEL 1
+#endif
 
 namespace pbs {
 
@@ -175,6 +188,214 @@ int ChienSearchIncremental(const GF2m& field, Span<const uint64_t> coeffs,
     if (acc == 0) out[count++] = exp[i];
   }
   return count;
+}
+
+void ChienSearchBatchPortable(const GF2m& field, Span<ChienBatchPoly> polys,
+                              Workspace& ws) {
+  for (ChienBatchPoly& p : polys) {
+    p.count = ChienSearchIncremental(field, p.coeffs, ws, p.out);
+  }
+}
+
+#if defined(PBS_HAVE_AVX2_CHIEN_KERNEL)
+
+namespace {
+
+// Four locator polynomials (degree >= 2 each) advanced in lock-step, one
+// per 64-bit lane. The data layout is term-major: slot k holds the
+// lane-packed running logs and strides (as 32-bit lanes -- logs stay below
+// 2*order < 2^17) of the k-th nonzero coefficient of each polynomial.
+// Lanes past a polynomial's term count are padded with a zero log and zero
+// stride, so they contribute exp[0] = 1 to every accumulator; the padding
+// is cancelled up front by flipping the constant term's low bit once per
+// padded slot, which keeps the gathers unmasked (VPGATHERQQ's masked form
+// adds a merge dependency on the destination). Each iteration evaluates
+// FOUR points x = g^i .. g^(i+3): two unwrapped doubled-table gathers off
+// the current log (exp[l], exp[l+j]) and two off the once-advanced log
+// (exp[l'], exp[l'+j] with l' = l+2j mod order), amortizing the wrap and
+// the log store over four points. Root order and counts match
+// ChienSearchIncremental bit-for-bit.
+__attribute__((target("avx2"))) void ChienBatch4Avx2(
+    const GF2m& field, ChienBatchPoly* const* polys, Workspace& ws) {
+  constexpr int kLanes = kChienBatchLanes;
+  const uint64_t order = field.order();
+  const uint64_t* exp = field.exp_data();
+
+  int degree[kLanes];
+  int found[kLanes] = {0, 0, 0, 0};
+  uint64_t c0[kLanes];
+  uint64_t c0_padded[kLanes];
+  int max_terms = 0;
+  for (int l = 0; l < kLanes; ++l) {
+    degree[l] = PolyDegree(polys[l]->coeffs);
+    assert(degree[l] >= 2);
+    assert(static_cast<int>(polys[l]->out.size()) >= degree[l]);
+    c0[l] = polys[l]->coeffs[0];
+    max_terms = degree[l] > max_terms ? degree[l] : max_terms;
+  }
+
+  auto logs = ws.Take<uint32_t>(static_cast<size_t>(max_terms) * kLanes);
+  auto js = ws.Take<uint32_t>(static_cast<size_t>(max_terms) * kLanes);
+  auto j2s = ws.Take<uint32_t>(static_cast<size_t>(max_terms) * kLanes);
+  int terms[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    const Span<const uint64_t>& coeffs = polys[l]->coeffs;
+    int k = 0;
+    for (int j = 1; j <= degree[l]; ++j) {
+      if (coeffs[j] != 0) {
+        const size_t slot = static_cast<size_t>(k) * kLanes + l;
+        logs[slot] = field.Log(coeffs[j]);
+        const uint32_t stride =
+            static_cast<uint32_t>(static_cast<uint64_t>(j) % order);
+        js[slot] = stride;
+        const uint32_t twice = 2 * stride;
+        j2s[slot] =
+            twice >= order ? twice - static_cast<uint32_t>(order) : twice;
+        ++k;
+      }
+    }
+    terms[l] = k;
+    // Padded slots keep log = stride = 0 (Take zero-fills): a constant
+    // exp[0] = 1 per point, cancelled here once per padded slot.
+    c0_padded[l] = c0[l] ^ static_cast<uint64_t>((max_terms - k) & 1);
+  }
+
+  const __m256i zero = _mm256_setzero_si256();
+  const __m128i orderv =
+      _mm_set1_epi32(static_cast<int>(static_cast<uint32_t>(order)));
+  const __m128i order_m1 =
+      _mm_set1_epi32(static_cast<int>(static_cast<uint32_t>(order) - 1));
+  const __m256i c0v =
+      _mm256_setr_epi64x(static_cast<long long>(c0_padded[0]),
+                         static_cast<long long>(c0_padded[1]),
+                         static_cast<long long>(c0_padded[2]),
+                         static_cast<long long>(c0_padded[3]));
+  const long long* base = reinterpret_cast<const long long*>(exp);
+  uint32_t* logs_p = logs.data();
+  const uint32_t* js_p = js.data();
+  const uint32_t* j2s_p = j2s.data();
+
+  int remaining = degree[0] + degree[1] + degree[2] + degree[3];
+  uint64_t i = 0;
+  for (; i + 3 < order && remaining > 0; i += 4) {
+    __m256i acc0 = c0v;
+    __m256i acc1 = c0v;
+    __m256i acc2 = c0v;
+    __m256i acc3 = c0v;
+    for (int k = 0; k < max_terms; ++k) {
+      const __m128i idx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(logs_p + k * kLanes));
+      const __m128i jv = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(js_p + k * kLanes));
+      // Points i and i+1 read the doubled table at l and l+j (both below
+      // 2*order, no wrap needed first).
+      acc0 = _mm256_xor_si256(acc0, _mm256_i32gather_epi64(base, idx, 8));
+      acc1 = _mm256_xor_si256(
+          acc1, _mm256_i32gather_epi64(base, _mm_add_epi32(idx, jv), 8));
+      // One wrapped advance by 2j mod order covers points i+2 and i+3; the
+      // signed 32-bit compare is exact (everything is below 2^17).
+      __m128i next = _mm_add_epi32(
+          idx, _mm_loadu_si128(
+                   reinterpret_cast<const __m128i*>(j2s_p + k * kLanes)));
+      next =
+          _mm_sub_epi32(next, _mm_and_si128(_mm_cmpgt_epi32(next, order_m1),
+                                            orderv));
+      acc2 = _mm256_xor_si256(acc2, _mm256_i32gather_epi64(base, next, 8));
+      acc3 = _mm256_xor_si256(
+          acc3, _mm256_i32gather_epi64(base, _mm_add_epi32(next, jv), 8));
+      // The stored log advances by 4j mod order: one more 2j step.
+      __m128i next2 = _mm_add_epi32(
+          next, _mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(j2s_p + k * kLanes)));
+      next2 =
+          _mm_sub_epi32(next2, _mm_and_si128(_mm_cmpgt_epi32(next2, order_m1),
+                                             orderv));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(logs_p + k * kLanes),
+                       next2);
+    }
+    // Root hits are rare (at most deg per lane over the whole scan), so
+    // one branch covers the common all-nonzero case.
+    const int z0 = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(acc0, zero)));
+    const int z1 = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(acc1, zero)));
+    const int z2 = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(acc2, zero)));
+    const int z3 = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(acc3, zero)));
+    if ((z0 | z1 | z2 | z3) != 0) {
+      for (int l = 0; l < kLanes; ++l) {
+        const int hits = ((z0 >> l) & 1) | (((z1 >> l) & 1) << 1) |
+                         (((z2 >> l) & 1) << 2) | (((z3 >> l) & 1) << 3);
+        for (int p = 0; p < 4; ++p) {
+          if (((hits >> p) & 1) != 0 && found[l] < degree[l]) {
+            polys[l]->out[found[l]++] = exp[i + static_cast<uint64_t>(p)];
+            --remaining;
+          }
+        }
+      }
+    }
+  }
+  // Tail points (order mod 4 of them, order = 2^m - 1 is never a multiple
+  // of 4): evaluate scalar per lane from the staged running logs, which
+  // advance by the one-point stride j here.
+  for (; i < order && remaining > 0; ++i) {
+    for (int l = 0; l < kLanes; ++l) {
+      uint64_t acc = c0[l];
+      for (int k = 0; k < terms[l]; ++k) {
+        acc ^= exp[logs_p[static_cast<size_t>(k) * kLanes + l]];
+      }
+      if (acc == 0 && found[l] < degree[l]) {
+        polys[l]->out[found[l]++] = exp[i];
+        --remaining;
+      }
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      for (int k = 0; k < terms[l]; ++k) {
+        const size_t slot = static_cast<size_t>(k) * kLanes + l;
+        const uint32_t next = logs_p[slot] + js_p[slot];
+        logs_p[slot] =
+            next >= order ? next - static_cast<uint32_t>(order) : next;
+      }
+    }
+  }
+  for (int l = 0; l < kLanes; ++l) polys[l]->count = found[l];
+}
+
+}  // namespace
+
+#endif  // PBS_HAVE_AVX2_CHIEN_KERNEL
+
+void ChienSearchBatch(const GF2m& field, Span<ChienBatchPoly> polys,
+                      Workspace& ws) {
+  assert(field.has_tables());
+#if defined(PBS_HAVE_AVX2_CHIEN_KERNEL)
+  static const bool use_hw = cpu::HasAvx2();
+  if (use_hw) {
+    // Quads of degree >= 2 locators run in lanes; degree <= 1 polynomials
+    // (solved directly by the scalar kernel) and the ragged tail fall back
+    // to ChienSearchIncremental, which the lane kernel matches bit-for-bit.
+    ChienBatchPoly* lanes[kChienBatchLanes];
+    int staged = 0;
+    for (ChienBatchPoly& p : polys) {
+      if (PolyDegree(p.coeffs) >= 2) {
+        lanes[staged++] = &p;
+        if (staged == kChienBatchLanes) {
+          ChienBatch4Avx2(field, lanes, ws);
+          staged = 0;
+        }
+      } else {
+        p.count = ChienSearchIncremental(field, p.coeffs, ws, p.out);
+      }
+    }
+    for (int l = 0; l < staged; ++l) {
+      lanes[l]->count =
+          ChienSearchIncremental(field, lanes[l]->coeffs, ws, lanes[l]->out);
+    }
+    return;
+  }
+#endif
+  ChienSearchBatchPortable(field, polys, ws);
 }
 
 int FindDistinctNonzeroRootsWs(const GF2m& field, Span<const uint64_t> coeffs,

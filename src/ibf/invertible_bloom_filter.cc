@@ -4,9 +4,106 @@
 #include <cassert>
 #include <cstring>
 
+#include "pbs/common/cpu_features.h"
 #include "pbs/hash/xxhash64.h"
 
+// Lane-wide IBF cell arithmetic, dispatched like gf/gf2x.cc: the AVX2
+// bodies carry per-function target attributes and are chosen once at
+// runtime via cpu::HasAvx2(); SubtractScalar and the byte loops stay live
+// as the portable / PBS_DISABLE_SIMD fallback and as the differential
+// references. Cells are {count, key_sum, hash_sum} -- three u64 in AoS
+// order -- so four cells span exactly three 32-byte vectors, with the
+// count lanes (u64 index == 0 mod 3) needing subtraction and the rest XOR.
+#if !defined(PBS_DISABLE_SIMD) && defined(__x86_64__)
+#include <immintrin.h>
+#define PBS_HAVE_AVX2_IBF_KERNEL 1
+#endif
+
 namespace pbs {
+
+namespace {
+
+#if defined(PBS_HAVE_AVX2_IBF_KERNEL)
+
+// a - b where the count lanes subtract and the key/hash lanes XOR, four
+// cells (12 u64) per iteration. The count-lane pattern repeats every three
+// vectors: u64 lanes {0,3} / {2} / {1}, i.e. epi32 blend immediates
+// 0b11000011 / 0b00110000 / 0b00001100 (epi32 lanes 2l, 2l+1 make up u64
+// lane l).
+__attribute__((target("avx2"))) void SubtractCellsAvx2(IbfCell* dst,
+                                                       const IbfCell* src,
+                                                       size_t n_cells) {
+  uint64_t* d = reinterpret_cast<uint64_t*>(dst);
+  const uint64_t* s = reinterpret_cast<const uint64_t*>(src);
+  const size_t words = n_cells * 3;
+  size_t i = 0;
+  for (; i + 12 <= words; i += 12) {
+    const __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i));
+    const __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i + 4));
+    const __m256i a2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i + 8));
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 4));
+    const __m256i b2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 8));
+    const __m256i r0 = _mm256_blend_epi32(_mm256_xor_si256(a0, b0),
+                                          _mm256_sub_epi64(a0, b0), 0xC3);
+    const __m256i r1 = _mm256_blend_epi32(_mm256_xor_si256(a1, b1),
+                                          _mm256_sub_epi64(a1, b1), 0x30);
+    const __m256i r2 = _mm256_blend_epi32(_mm256_xor_si256(a2, b2),
+                                          _mm256_sub_epi64(a2, b2), 0x0C);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i), r0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i + 4), r1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i + 8), r2);
+  }
+  for (; i < words; i += 3) {
+    d[i] = static_cast<uint64_t>(static_cast<int64_t>(d[i]) -
+                                 static_cast<int64_t>(s[i]));
+    d[i + 1] ^= s[i + 1];
+    d[i + 2] ^= s[i + 2];
+  }
+}
+
+__attribute__((target("avx2"))) bool AllZeroAvx2(const uint8_t* p,
+                                                 size_t bytes) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= bytes; i += 32) {
+    acc = _mm256_or_si256(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)));
+  }
+  if (!_mm256_testz_si256(acc, acc)) return false;
+  for (; i < bytes; ++i) {
+    if (p[i] != 0) return false;
+  }
+  return true;
+}
+
+#endif  // PBS_HAVE_AVX2_IBF_KERNEL
+
+// True iff every cell is fully zeroed (peeling emptied the IBF).
+bool CellsAllZero(const IbfCell* cells, size_t n) {
+#if defined(PBS_HAVE_AVX2_IBF_KERNEL)
+  static const bool use_hw = cpu::HasAvx2();
+  if (use_hw) {
+    return AllZeroAvx2(reinterpret_cast<const uint8_t*>(cells),
+                       n * sizeof(IbfCell));
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    if (cells[i].count != 0 || cells[i].key_sum != 0 ||
+        cells[i].hash_sum != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 InvertibleBloomFilter::InvertibleBloomFilter(size_t cells, int num_hashes,
                                              uint64_t salt, int sig_bits)
@@ -34,18 +131,36 @@ void InvertibleBloomFilter::Apply(uint64_t key, int64_t delta) {
 void InvertibleBloomFilter::ApplyTo(IbfCell* cells, uint64_t key,
                                     int64_t delta) const {
   const uint64_t check = CheckHash(key);
-  for (int s = 0; s < num_hashes_; ++s) {
-    IbfCell& cell = cells[CellIndex(key, s)];
-    cell.count += delta;
-    cell.key_sum ^= key;
-    cell.hash_sum ^= check;
+  // One hash per subtable, all of the same key under consecutive salts:
+  // the per-lane-seed batch kernel computes a block of them at once
+  // (bit-identical to scalar CellIndex).
+  uint64_t xs[kXxHashBatch];
+  uint64_t seeds[kXxHashBatch];
+  for (int s0 = 0; s0 < num_hashes_;
+       s0 += static_cast<int>(kXxHashBatch)) {
+    const size_t blk = std::min(kXxHashBatch,
+                                static_cast<size_t>(num_hashes_ - s0));
+    for (size_t i = 0; i < blk; ++i) {
+      xs[i] = key;
+      seeds[i] = salt_ + static_cast<uint64_t>(s0) + i;
+    }
+    XxHash64Batch(xs, seeds, blk, xs);
+    for (size_t i = 0; i < blk; ++i) {
+      const size_t idx =
+          (static_cast<size_t>(s0) + i) * subtable_size_ +
+          static_cast<size_t>(xs[i] % subtable_size_);
+      IbfCell& cell = cells[idx];
+      cell.count += delta;
+      cell.key_sum ^= key;
+      cell.hash_sum ^= check;
+    }
   }
 }
 
 void InvertibleBloomFilter::Insert(uint64_t key) { Apply(key, +1); }
 void InvertibleBloomFilter::Erase(uint64_t key) { Apply(key, -1); }
 
-void InvertibleBloomFilter::Subtract(const InvertibleBloomFilter& other) {
+void InvertibleBloomFilter::SubtractScalar(const InvertibleBloomFilter& other) {
   assert(cells_.size() == other.cells_.size());
   assert(num_hashes_ == other.num_hashes_ && salt_ == other.salt_);
   for (size_t i = 0; i < cells_.size(); ++i) {
@@ -53,6 +168,19 @@ void InvertibleBloomFilter::Subtract(const InvertibleBloomFilter& other) {
     cells_[i].key_sum ^= other.cells_[i].key_sum;
     cells_[i].hash_sum ^= other.cells_[i].hash_sum;
   }
+}
+
+void InvertibleBloomFilter::Subtract(const InvertibleBloomFilter& other) {
+#if defined(PBS_HAVE_AVX2_IBF_KERNEL)
+  static const bool use_hw = cpu::HasAvx2();
+  if (use_hw) {
+    assert(cells_.size() == other.cells_.size());
+    assert(num_hashes_ == other.num_hashes_ && salt_ == other.salt_);
+    SubtractCellsAvx2(cells_.data(), other.cells_.data(), cells_.size());
+    return;
+  }
+#endif
+  SubtractScalar(other);
 }
 
 bool InvertibleBloomFilter::IsPure(const IbfCell& cell) const {
@@ -92,6 +220,8 @@ void InvertibleBloomFilter::DecodeInto(Workspace& ws,
   for (size_t i = 0; i < n; ++i) {
     if (IsPure(work[i])) push(i);
   }
+  uint64_t xs[kXxHashBatch];
+  uint64_t seeds[kXxHashBatch];
   while (stack_size > 0) {
     const size_t idx = stack[--stack_size];
     const IbfCell cell = work[idx];
@@ -103,21 +233,34 @@ void InvertibleBloomFilter::DecodeInto(Workspace& ws,
     } else {
       out->negative.push_back(key);
     }
-    ApplyTo(work.data(), key, -side);
-    for (int s = 0; s < num_hashes_; ++s) {
-      const size_t neighbor = CellIndex(key, s);
-      if (IsPure(work[neighbor])) push(neighbor);
+    // Peel the key out of its k cells. The k cells are distinct (one per
+    // subtable), so updating and purity-testing each one immediately is
+    // equivalent to the update-all-then-test order -- and the per-subtable
+    // hashes come from one batched call instead of 2k scalar ones.
+    const uint64_t check = CheckHash(key);
+    for (int s0 = 0; s0 < num_hashes_;
+         s0 += static_cast<int>(kXxHashBatch)) {
+      const size_t blk = std::min(kXxHashBatch,
+                                  static_cast<size_t>(num_hashes_ - s0));
+      for (size_t i = 0; i < blk; ++i) {
+        xs[i] = key;
+        seeds[i] = salt_ + static_cast<uint64_t>(s0) + i;
+      }
+      XxHash64Batch(xs, seeds, blk, xs);
+      for (size_t i = 0; i < blk; ++i) {
+        const size_t neighbor =
+            (static_cast<size_t>(s0) + i) * subtable_size_ +
+            static_cast<size_t>(xs[i] % subtable_size_);
+        IbfCell& c = work[neighbor];
+        c.count -= side;
+        c.key_sum ^= key;
+        c.hash_sum ^= check;
+        if (IsPure(c)) push(neighbor);
+      }
     }
   }
 
-  out->complete = true;
-  for (size_t i = 0; i < n; ++i) {
-    const IbfCell& cell = work[i];
-    if (cell.count != 0 || cell.key_sum != 0 || cell.hash_sum != 0) {
-      out->complete = false;
-      break;
-    }
-  }
+  out->complete = CellsAllZero(work.data(), n);
 }
 
 void InvertibleBloomFilter::Serialize(BitWriter* writer) const {

@@ -66,6 +66,24 @@ class PowerSumSketch {
                   bool verify = true,
                   uint64_t seed = 0x9E3779B97F4A7C15ull) const;
 
+  /// Preferred number of sketches per DecodeBatchInto call: two quads of
+  /// Chien lanes (gf/roots.h kChienBatchLanes) in flight.
+  static constexpr int kDecodeBatch = 8;
+
+  /// Cross-group batched decode: for each i,
+  /// `ok[i] = sketches[i]->DecodeInto(outs[i], ws, verify, seed)`
+  /// bit-for-bit (same recovered elements in the same order), but the
+  /// per-sketch Berlekamp-Massey locators are root-searched together
+  /// through ChienSearchBatch, so groups advance through the Chien scan in
+  /// SIMD lanes instead of serially. All sketches must share one field and
+  /// t. Chien-sized fields (every PBS parity-bitmap field) are zero-alloc
+  /// at steady state; large fields degrade to per-sketch DecodeInto.
+  static void DecodeBatchInto(Span<const PowerSumSketch* const> sketches,
+                              Span<std::vector<uint64_t>* const> outs,
+                              Span<uint8_t> ok, Workspace& ws,
+                              bool verify = true,
+                              uint64_t seed = 0x9E3779B97F4A7C15ull);
+
   /// Serializes as t fields of m bits each.
   void Serialize(BitWriter* writer) const;
 

@@ -127,9 +127,18 @@ class MutableElementStore {
 
   /// Rebuilds the configured layout from scratch off the current set --
   /// the differential oracle the incremental maintenance is tested
-  /// against, and the cost baseline for bench_mutable_churn. Returns null
-  /// when no layout is configured.
+  /// against, and the cost baseline for bench_mutable_churn. Elements are
+  /// group/bin-partitioned in hash-kernel-sized blocks through the batched
+  /// lanes (group_state.h GroupOfMany + parity_bitmap.h BinIndexManySalted).
+  /// Returns null when no layout is configured.
   std::shared_ptr<const PbsStoreLayout> RebuildLayout() const;
+
+  /// Drift self-check: rebuilds the layout from the element list and
+  /// compares it against the incrementally maintained one (32-byte-wide
+  /// ParityBitmap::Equals plus syndrome/checksum compares). Always true
+  /// unless incremental maintenance has a bug; cheap enough to run
+  /// periodically on a live store. True when no layout is configured.
+  bool VerifyLayout() const;
 
  private:
   struct Impl;

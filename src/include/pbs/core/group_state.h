@@ -11,6 +11,7 @@
 #ifndef PBS_CORE_GROUP_STATE_H_
 #define PBS_CORE_GROUP_STATE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -59,6 +60,16 @@ inline uint32_t GroupOf(const HashFamily& family, uint64_t x,
                         uint32_t num_groups) {
   return static_cast<uint32_t>(
       family.Get(HashFamily::kGroupPartition).Bucket(x, num_groups));
+}
+
+/// Batch form of GroupOf: `out[i] = GroupOf(family, xs[i], num_groups)` for
+/// `count` elements, hashed through the lane-batched xxHash64 kernel (out
+/// may alias xs). Used by the endpoint/store partition loops, which walk
+/// their element lists in kXxHashBatch-sized blocks.
+inline void GroupOfMany(const HashFamily& family, const uint64_t* xs,
+                        size_t count, uint32_t num_groups, uint64_t* out) {
+  family.Get(HashFamily::kGroupPartition).BucketMany(xs, count, num_groups,
+                                                     out);
 }
 
 }  // namespace pbs

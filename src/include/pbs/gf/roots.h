@@ -74,6 +74,40 @@ int ChienSearchInto(const GF2m& field, Span<const uint64_t> coeffs,
 int ChienSearchIncremental(const GF2m& field, Span<const uint64_t> coeffs,
                            Workspace& ws, Span<uint64_t> out);
 
+/// One polynomial of a cross-group batch root search. `coeffs` holds the
+/// locator coefficients c_0..c_deg; roots land in `out` (at least
+/// PolyDegree(coeffs) slots) and `count` reports how many were found --
+/// exactly what ChienSearchIncremental would have returned and written.
+struct ChienBatchPoly {
+  Span<const uint64_t> coeffs;  ///< Locator coefficients, low-to-high.
+  Span<uint64_t> out;           ///< Root output, generator order.
+  int count = 0;                ///< Roots found (result).
+};
+
+/// Lane width of the batched Chien kernel: the AVX2 path advances this
+/// many locator polynomials (one per BCH group) in lock-step through the
+/// doubled antilog table. Callers batching group decodes should aim for
+/// multiples of this.
+inline constexpr int kChienBatchLanes = 4;
+
+/// Cross-group batch Chien search: finds the roots of every polynomial in
+/// `polys` over the shared field, bit-identical (same roots, same order,
+/// same counts) to calling ChienSearchIncremental per polynomial. With
+/// AVX2, quads of degree >= 2 polynomials are evaluated in SIMD lanes --
+/// each lane is one group's locator, advanced in lock-step through the
+/// doubled antilog table -- and ragged tails (fewer than kChienBatchLanes
+/// polynomials, or degree <= 1 locators) fall back to the scalar kernel.
+/// Zero-alloc once `ws` is at steady-state capacity. Precondition:
+/// field.has_tables().
+void ChienSearchBatch(const GF2m& field, Span<ChienBatchPoly> polys,
+                      Workspace& ws);
+
+/// Portable reference for ChienSearchBatch (per-polynomial scalar kernel,
+/// no SIMD dispatch): the differential tests pin the batched path against
+/// this.
+void ChienSearchBatchPortable(const GF2m& field, Span<ChienBatchPoly> polys,
+                              Workspace& ws);
+
 }  // namespace pbs
 
 #endif  // PBS_GF_ROOTS_H_

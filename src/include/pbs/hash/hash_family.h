@@ -31,6 +31,15 @@ class SaltedHash {
         (static_cast<__uint128_t>(operator()(x)) * buckets) >> 64);
   }
 
+  /// Batch form of Bucket: `out[i] = Bucket(xs[i], buckets)` for `count`
+  /// keys, hashing through the lane-batched xxHash64 kernel (out may alias
+  /// xs). Bit-identical to the scalar form; feeding multiples of
+  /// kXxHashBatch keys keeps every lane busy.
+  void BucketMany(const uint64_t* xs, size_t count, uint64_t buckets,
+                  uint64_t* out) const {
+    XxHash64BucketBatch(xs, count, salt_, buckets, /*bias=*/0, out);
+  }
+
   uint64_t salt() const { return salt_; }
 
  private:

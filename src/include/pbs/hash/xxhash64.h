@@ -21,6 +21,48 @@ uint64_t XxHash64(const void* data, size_t len, uint64_t seed);
 /// Convenience overload hashing one 64-bit integer (little-endian bytes).
 uint64_t XxHash64(uint64_t value, uint64_t seed);
 
+/// Preferred block size for the batched u64 hashing kernels below: feeding
+/// multiples of this many keys per call keeps every SIMD lane busy.
+inline constexpr size_t kXxHashBatch = 8;
+
+/// Hashes `count` 64-bit keys under one shared seed:
+/// `out[i] = XxHash64(values[i], seed)` bit-for-bit. Dispatches to the
+/// AVX2 4-lane kernel when the CPU has it; otherwise runs the portable
+/// multi-chain fallback. Any `count` is accepted (ragged tails are hashed
+/// scalar); `out` may alias `values`.
+void XxHash64Batch(const uint64_t* values, size_t count, uint64_t seed,
+                   uint64_t* out);
+
+/// Per-lane-seed variant: `out[i] = XxHash64(values[i], seeds[i])`. Used
+/// where consecutive keys hash under different salts (per-group bin salts,
+/// IBF subtable salts). `out` may alias `values` or `seeds`.
+void XxHash64Batch(const uint64_t* values, const uint64_t* seeds, size_t count,
+                   uint64_t* out);
+
+/// Fused hash + bucket reduce: `out[i] = ((XxHash64(values[i], seed) *
+/// buckets) >> 64) + bias` (the fixed-point bucket map of
+/// SaltedHash::Bucket, bias-shifted for 1-based bin indices). Keeping the
+/// reduce in vector registers avoids the extra memory pass a separate
+/// BucketMany would cost; the AVX2 path engages for buckets < 2^32 (every
+/// bin/group/bucket count in PBS), larger bucket counts run scalar.
+/// `out` may alias `values`.
+void XxHash64BucketBatch(const uint64_t* values, size_t count, uint64_t seed,
+                         uint64_t buckets, uint64_t bias, uint64_t* out);
+
+/// Portable reference for the batched kernels (multi-chain scalar, no SIMD
+/// dispatch): the differential tests pin the dispatched paths against this.
+void XxHash64BatchPortable(const uint64_t* values, size_t count, uint64_t seed,
+                           uint64_t* out);
+
+/// Portable reference for XxHash64BucketBatch.
+void XxHash64BucketBatchPortable(const uint64_t* values, size_t count,
+                                 uint64_t seed, uint64_t buckets,
+                                 uint64_t bias, uint64_t* out);
+
+/// Portable reference, per-lane-seed form.
+void XxHash64BatchPortable(const uint64_t* values, const uint64_t* seeds,
+                           size_t count, uint64_t* out);
+
 }  // namespace pbs
 
 #endif  // PBS_HASH_XXHASH64_H_

@@ -48,8 +48,15 @@ class InvertibleBloomFilter {
   void Erase(uint64_t key);
 
   /// Cell-wise subtraction: afterwards this IBF represents
-  /// (this-set) minus (other-set) with signed counts.
+  /// (this-set) minus (other-set) with signed counts. Under AVX2 the cell
+  /// stream is processed four cells (three 32-byte vectors) per step, with
+  /// the count lanes subtracted and the key/hash lanes XORed in one blend;
+  /// bit-identical to SubtractScalar.
   void Subtract(const InvertibleBloomFilter& other);
+
+  /// Cell-at-a-time reference for Subtract; the differential tests pin the
+  /// vectorized path against this.
+  void SubtractScalar(const InvertibleBloomFilter& other);
 
   struct DecodeResult {
     std::vector<uint64_t> positive;  ///< Keys with net count +1 (this side).
@@ -85,7 +92,8 @@ class InvertibleBloomFilter {
   uint64_t CheckHash(uint64_t key) const;
   void Apply(uint64_t key, int64_t delta);
   // Apply against an external cell array laid out like cells_ (the
-  // peeling working copy).
+  // peeling working copy). The per-subtable cell indices are hashed in
+  // lane-batched blocks (one lane per subtable salt).
   void ApplyTo(IbfCell* cells, uint64_t key, int64_t delta) const;
   // Peeling helper: is this cell recoverable right now?
   bool IsPure(const IbfCell& cell) const;

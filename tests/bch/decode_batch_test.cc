@@ -1,0 +1,147 @@
+// Differential tests for PowerSumSketch::DecodeBatchInto: for every sketch
+// in a batch the outcome (ok flag, recovered elements, and their order)
+// must be bit-identical to a per-sketch DecodeInto call, across randomized
+// mixes of empty, decodable, and overloaded (> t differences) sketches,
+// ragged batch sizes, verify on/off, and every Chien-sized field.
+
+#include "pbs/bch/power_sum_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint64_t> DistinctElements(const GF2m& f, size_t count,
+                                       Xoshiro256* rng) {
+  std::set<uint64_t> xs;
+  while (xs.size() < count) xs.insert(rng->NextBounded(f.order()) + 1);
+  return {xs.begin(), xs.end()};
+}
+
+TEST(DecodeBatchDiff, MatchesPerSketchDecodeAcrossRandomMixes) {
+  Xoshiro256 rng(0xDEC0DE);
+  for (int m : {5, 8, 11, 16}) {
+    const GF2m field(m);
+    const int t = 16;
+    Workspace ws_batch, ws_serial;
+    for (bool verify : {true, false}) {
+      for (int iter = 0; iter < 8; ++iter) {
+        // Ragged batch sizes: below, at, and above kDecodeBatch.
+        const int n = 1 + static_cast<int>(rng.NextBounded(11));
+        std::vector<PowerSumSketch> sketches;
+        sketches.reserve(n);
+        for (int i = 0; i < n; ++i) {
+          sketches.emplace_back(field, t);
+          // Mix: ~1/4 empty, ~1/2 decodable (<= t), ~1/4 overloaded (> t,
+          // capped by the field size so elements stay distinct).
+          const uint64_t kind = rng.NextBounded(4);
+          size_t count = 0;
+          if (kind == 1 || kind == 2) {
+            count = rng.NextBounded(t) + 1;
+          } else if (kind == 3) {
+            count = std::min<uint64_t>(t + 1 + rng.NextBounded(t),
+                                       field.order() - 1);
+          }
+          for (uint64_t x : DistinctElements(field, count, &rng)) {
+            sketches[i].Toggle(x);
+          }
+        }
+
+        std::vector<const PowerSumSketch*> ptrs(n);
+        std::vector<std::vector<uint64_t>> batch_out(n);
+        std::vector<std::vector<uint64_t>*> out_ptrs(n);
+        std::vector<uint8_t> ok(n, 0xCC);
+        for (int i = 0; i < n; ++i) {
+          ptrs[i] = &sketches[i];
+          out_ptrs[i] = &batch_out[i];
+        }
+        PowerSumSketch::DecodeBatchInto(
+            Span<const PowerSumSketch* const>(ptrs.data(), n),
+            Span<std::vector<uint64_t>* const>(out_ptrs.data(), n),
+            Span<uint8_t>(ok.data(), n), ws_batch, verify);
+
+        for (int i = 0; i < n; ++i) {
+          std::vector<uint64_t> serial_out;
+          const bool serial_ok =
+              sketches[i].DecodeInto(&serial_out, ws_serial, verify);
+          ASSERT_EQ(ok[i] != 0, serial_ok)
+              << "m=" << m << " verify=" << verify << " iter=" << iter
+              << " sketch=" << i;
+          ASSERT_EQ(batch_out[i], serial_out)
+              << "m=" << m << " verify=" << verify << " iter=" << iter
+              << " sketch=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(DecodeBatchDiff, EmptyBatchIsANoOp) {
+  Workspace ws;
+  PowerSumSketch::DecodeBatchInto(Span<const PowerSumSketch* const>(nullptr, 0),
+                                  Span<std::vector<uint64_t>* const>(nullptr, 0),
+                                  Span<uint8_t>(nullptr, 0), ws);
+}
+
+TEST(DecodeBatchDiff, OutputsAreClearedBeforeRefill) {
+  const GF2m field(11);
+  const int t = 8;
+  Workspace ws;
+  PowerSumSketch a(field, t), b(field, t);
+  a.Toggle(41);
+  a.Toggle(977);
+  // b stays empty: decodes to the empty set, must still clear its out.
+  std::vector<uint64_t> out_a = {1, 2, 3}, out_b = {4, 5, 6};
+  const PowerSumSketch* ptrs[] = {&a, &b};
+  std::vector<uint64_t>* outs[] = {&out_a, &out_b};
+  uint8_t ok[2] = {0, 0};
+  PowerSumSketch::DecodeBatchInto(Span<const PowerSumSketch* const>(ptrs, 2),
+                                  Span<std::vector<uint64_t>* const>(outs, 2),
+                                  Span<uint8_t>(ok, 2), ws);
+  EXPECT_EQ(ok[0], 1);
+  EXPECT_EQ(ok[1], 1);
+  std::set<uint64_t> got(out_a.begin(), out_a.end());
+  EXPECT_EQ(got, (std::set<uint64_t>{41, 977}));
+  EXPECT_TRUE(out_b.empty());
+}
+
+TEST(DecodeBatchDiff, LargeFieldFallbackMatchesSerial) {
+  // Above the Chien threshold DecodeBatchInto degrades to per-sketch
+  // DecodeInto; the contract (identical results) must still hold.
+  const GF2m field(32);
+  const int t = 4;
+  Xoshiro256 rng(0xB16F1E1D);
+  Workspace ws_batch, ws_serial;
+  std::vector<PowerSumSketch> sketches;
+  for (int i = 0; i < 3; ++i) {
+    sketches.emplace_back(field, t);
+    for (uint64_t x : DistinctElements(field, i + 1, &rng)) {
+      sketches[i].Toggle(x);
+    }
+  }
+  std::vector<const PowerSumSketch*> ptrs = {&sketches[0], &sketches[1],
+                                             &sketches[2]};
+  std::vector<std::vector<uint64_t>> batch_out(3);
+  std::vector<std::vector<uint64_t>*> out_ptrs = {&batch_out[0], &batch_out[1],
+                                                  &batch_out[2]};
+  uint8_t ok[3] = {0, 0, 0};
+  PowerSumSketch::DecodeBatchInto(
+      Span<const PowerSumSketch* const>(ptrs.data(), 3),
+      Span<std::vector<uint64_t>* const>(out_ptrs.data(), 3),
+      Span<uint8_t>(ok, 3), ws_batch);
+  for (int i = 0; i < 3; ++i) {
+    std::vector<uint64_t> serial_out;
+    const bool serial_ok = sketches[i].DecodeInto(&serial_out, ws_serial);
+    ASSERT_EQ(ok[i] != 0, serial_ok) << "sketch=" << i;
+    ASSERT_EQ(batch_out[i], serial_out) << "sketch=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace pbs

@@ -36,6 +36,8 @@
 #include "pbs/core/session_engine.h"
 #include "pbs/core/transport.h"
 #include "pbs/gf/gf2m.h"
+#include "pbs/gf/gfpoly.h"
+#include "pbs/gf/roots.h"
 #include "pbs/hash/hash_family.h"
 #include "pbs/ibf/invertible_bloom_filter.h"
 #include "pbs/net/reconcile_server.h"
@@ -571,6 +573,87 @@ TEST(HotpathAlloc, MutableStoreSingleUpdateIsAllocationFree) {
   // The store still works and publishes correctly after the counted ops.
   store.Publish();
   EXPECT_EQ(store.snapshot()->elements->size(), 500u);
+}
+
+// The lane-batched SIMD kernels behind the cross-group decode: once warm,
+// DecodeBatchInto over a full batch of sketches, a raw ChienSearchBatch
+// over eight staged locators, the lane-blocked ParityBitmap::BuildInto,
+// and the vectorized odd-bin scan are all allocation-free at steady state.
+TEST(HotpathAlloc, BatchKernelsAreAllocationFree) {
+  const GF2m field(11);  // n = 2047: the benchmark plan's field.
+  const int n = 2047;
+  const int t = 16;
+  constexpr int kB = PowerSumSketch::kDecodeBatch;
+
+  // kB sketches with varying loads (empty through near capacity).
+  std::vector<PowerSumSketch> sketches;
+  sketches.reserve(kB);
+  for (int i = 0; i < kB; ++i) {
+    sketches.emplace_back(field, t);
+    for (int e = 1; e <= 2 * i; ++e) {
+      sketches[i].Toggle(static_cast<uint64_t>(e * 131 + i + 1));
+    }
+  }
+  const PowerSumSketch* ptrs[kB];
+  std::vector<std::vector<uint64_t>> outs(kB);
+  std::vector<uint64_t>* out_ptrs[kB];
+  uint8_t ok[kB];
+  for (int i = 0; i < kB; ++i) {
+    ptrs[i] = &sketches[i];
+    out_ptrs[i] = &outs[i];
+  }
+  Workspace ws;
+
+  // Raw batch-Chien inputs: kB planted full-capacity locators, built with
+  // allocating GFPoly arithmetic outside the measured region.
+  std::vector<std::vector<uint64_t>> coeffs(kB);
+  std::vector<std::vector<uint64_t>> roots(kB);
+  std::vector<ChienBatchPoly> polys(kB);
+  for (int p = 0; p < kB; ++p) {
+    GFPoly locator = GFPoly::One(field);
+    for (uint64_t r = 1; r <= static_cast<uint64_t>(t); ++r) {
+      locator = locator.Mul(GFPoly(field, {r * 37 + p, 1}));
+    }
+    coeffs[p] = locator.coeffs();
+    roots[p].assign(t, 0);
+  }
+
+  // Batched bitmap build + vectorized odd-bin scan inputs.
+  std::vector<uint64_t> elems;
+  for (uint64_t e = 1; e <= 1000; ++e) elems.push_back(e * 2654435761u | 1);
+  const SaltedHash h(0xB00B1E5);
+  ParityBitmap pb;
+  PowerSumSketch scan(field, t);
+
+  const auto run_batch = [&] {
+    PowerSumSketch::DecodeBatchInto(
+        Span<const PowerSumSketch* const>(ptrs, kB),
+        Span<std::vector<uint64_t>* const>(out_ptrs, kB),
+        Span<uint8_t>(ok, kB), ws);
+    for (int p = 0; p < kB; ++p) {
+      polys[p] = ChienBatchPoly{coeffs[p], roots[p], 0};
+    }
+    ChienSearchBatch(field, Span<ChienBatchPoly>(polys.data(), kB), ws);
+    ParityBitmap::BuildInto(elems, h, n, &pb);
+    pb.ToSketchInto(&scan);
+  };
+
+  // Warm-up twice: the first pass grows buffers, the second lets the LIFO
+  // pool's buffer-to-call-site assignment reach its fixed point.
+  run_batch();
+  run_batch();
+
+  const std::uint64_t before = AllocCount();
+  for (int i = 0; i < 10; ++i) run_batch();
+  const std::uint64_t after = AllocCount();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state batch kernels allocated " << (after - before)
+      << " times";
+  for (int i = 0; i < kB; ++i) {
+    EXPECT_EQ(ok[i], 1) << "sketch " << i;
+    EXPECT_EQ(outs[i].size(), static_cast<size_t>(2 * i)) << "sketch " << i;
+  }
+  for (int p = 0; p < kB; ++p) EXPECT_EQ(polys[p].count, t) << "poly " << p;
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+// Differential tests for the vectorized ParityBitmap paths: the batched
+// build, the 32-byte-wide odd-bin scan, XOR fold, and equality compare
+// must all be bit-identical to their scalar references across randomized
+// sizes (including sizes that are not multiples of the vector width).
+
+#include "pbs/core/parity_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pbs/common/rng.h"
+#include "pbs/gf/gf2m.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint64_t> RandomElements(size_t count, Xoshiro256* rng) {
+  std::vector<uint64_t> xs(count);
+  for (auto& x : xs) x = rng->Next() | 1;  // Nonzero.
+  return xs;
+}
+
+TEST(BitmapSimdDiff, BatchedBuildMatchesScalarBuild) {
+  Xoshiro256 rng(0xB17347);
+  for (int n : {3, 31, 255, 1023, 2047}) {
+    for (size_t count : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                         size_t{9}, size_t{100}, size_t{1000}}) {
+      const SaltedHash h(rng.Next());
+      const auto xs = RandomElements(count, &rng);
+      ParityBitmap batched, scalar;
+      ParityBitmap::BuildInto(xs, h, n, &batched);
+      ParityBitmap::BuildIntoScalar(xs, h, n, &scalar);
+      ASSERT_EQ(batched.xor_sum, scalar.xor_sum)
+          << "n=" << n << " count=" << count;
+      ASSERT_EQ(batched.parity, scalar.parity)
+          << "n=" << n << " count=" << count;
+    }
+  }
+}
+
+TEST(BitmapSimdDiff, OddBinScanMatchesScalarScan) {
+  Xoshiro256 rng(0x0DD5CA);
+  const int t = 16;
+  // Densities from empty through every-bin-odd, plus ragged n values that
+  // leave a sub-vector tail.
+  for (int small_n : {3, 30, 255, 2047}) {
+    for (int fill : {0, 1, 5, 64, small_n}) {
+      ParityBitmap pb;
+      pb.n = small_n;
+      pb.xor_sum.assign(small_n + 1, 0);
+      pb.parity.assign(small_n + 1, 0);
+      for (int i = 0; i < fill; ++i) {
+        pb.parity[1 + rng.NextBounded(small_n)] ^= 1;
+      }
+      const GF2m f(small_n == 3     ? 2
+                   : small_n == 30  ? 5
+                   : small_n == 255 ? 8
+                                    : 11);
+      PowerSumSketch vec(f, t), ref(f, t);
+      pb.ToSketchInto(&vec);
+      pb.ToSketchIntoScalar(&ref);
+      ASSERT_EQ(vec.odd_syndromes(), ref.odd_syndromes())
+          << "n=" << small_n << " fill=" << fill;
+    }
+  }
+}
+
+TEST(BitmapSimdDiff, FoldXorMatchesScalarFold) {
+  Xoshiro256 rng(0xF01DF0);
+  for (int n : {3, 100, 255, 2047}) {
+    const SaltedHash h(rng.Next());
+    ParityBitmap a = ParityBitmap::Build(RandomElements(200, &rng), h, n);
+    const ParityBitmap b = ParityBitmap::Build(RandomElements(150, &rng), h, n);
+    ParityBitmap a_ref = a;
+    a.FoldXor(b);
+    a_ref.FoldXorScalar(b);
+    ASSERT_EQ(a.xor_sum, a_ref.xor_sum) << "n=" << n;
+    ASSERT_EQ(a.parity, a_ref.parity) << "n=" << n;
+  }
+}
+
+TEST(BitmapSimdDiff, FoldingABitmapIntoItselfCancels) {
+  Xoshiro256 rng(0xCA9CE1);
+  const int n = 1023;
+  const SaltedHash h(rng.Next());
+  ParityBitmap a = ParityBitmap::Build(RandomElements(300, &rng), h, n);
+  const ParityBitmap b = a;
+  a.FoldXor(b);
+  const ParityBitmap empty = ParityBitmap::Build(std::vector<uint64_t>{}, h, n);
+  EXPECT_TRUE(a.Equals(empty));
+}
+
+TEST(BitmapSimdDiff, EqualsMatchesScalarEquals) {
+  Xoshiro256 rng(0xE9A175);
+  for (int n : {3, 100, 255, 2047}) {
+    const SaltedHash h(rng.Next());
+    const auto xs = RandomElements(200, &rng);
+    const ParityBitmap a = ParityBitmap::Build(xs, h, n);
+    ParityBitmap b = ParityBitmap::Build(xs, h, n);
+    ASSERT_TRUE(a.Equals(b));
+    ASSERT_TRUE(a.EqualsScalar(b));
+    // Flip one parity byte / one xor_sum word at random offsets: both
+    // forms must notice, wherever in the vectorized stride it lands.
+    for (int trial = 0; trial < 16; ++trial) {
+      ParityBitmap c = b;
+      if (trial % 2 == 0) {
+        c.parity[1 + rng.NextBounded(n)] ^= 1;
+      } else {
+        c.xor_sum[1 + rng.NextBounded(n)] ^= (rng.Next() | 1);
+      }
+      ASSERT_EQ(a.Equals(c), a.EqualsScalar(c)) << "n=" << n;
+      ASSERT_FALSE(a.Equals(c)) << "n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,111 @@
+// Differential tests for the lane-batched xxHash64 kernel and the batch
+// partition helpers built on it: every batched form must be bit-identical
+// to its scalar counterpart for every count (full lanes, ragged tails,
+// zero), with and without output aliasing.
+
+#include "pbs/hash/xxhash64.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pbs/common/rng.h"
+#include "pbs/core/group_state.h"
+#include "pbs/core/parity_bitmap.h"
+#include "pbs/hash/hash_family.h"
+
+namespace pbs {
+namespace {
+
+TEST(HashBatchDiff, SharedSeedBatchMatchesScalar) {
+  Xoshiro256 rng(0xBA7C4);
+  for (size_t count = 0; count <= 64; ++count) {
+    const uint64_t seed = rng.Next();
+    std::vector<uint64_t> xs(count), out(count, ~uint64_t{0});
+    for (auto& x : xs) x = rng.Next();
+    XxHash64Batch(xs.data(), count, seed, out.data());
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out[i], XxHash64(xs[i], seed))
+          << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST(HashBatchDiff, PerLaneSeedBatchMatchesScalar) {
+  Xoshiro256 rng(0x5EED5);
+  for (size_t count = 0; count <= 64; ++count) {
+    std::vector<uint64_t> xs(count), seeds(count), out(count, ~uint64_t{0});
+    for (auto& x : xs) x = rng.Next();
+    for (auto& s : seeds) s = rng.Next();
+    XxHash64Batch(xs.data(), seeds.data(), count, out.data());
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out[i], XxHash64(xs[i], seeds[i]))
+          << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST(HashBatchDiff, OutputMayAliasInput) {
+  Xoshiro256 rng(0xA11A5);
+  const uint64_t seed = rng.Next();
+  std::vector<uint64_t> xs(37), expect(37);
+  for (auto& x : xs) x = rng.Next();
+  for (size_t i = 0; i < xs.size(); ++i) expect[i] = XxHash64(xs[i], seed);
+  XxHash64Batch(xs.data(), xs.size(), seed, xs.data());  // In place.
+  EXPECT_EQ(xs, expect);
+}
+
+TEST(HashBatchDiff, BucketManyMatchesBucket) {
+  Xoshiro256 rng(0xB0C4E7);
+  const SaltedHash h(rng.Next());
+  for (uint64_t buckets : {1ull, 3ull, 7ull, 255ull, 2047ull, 1000000ull}) {
+    std::vector<uint64_t> xs(29), out(29);
+    for (auto& x : xs) x = rng.Next();
+    h.BucketMany(xs.data(), xs.size(), buckets, out.data());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      ASSERT_EQ(out[i], h.Bucket(xs[i], buckets)) << "buckets=" << buckets;
+    }
+  }
+}
+
+TEST(HashBatchDiff, GroupOfManyMatchesGroupOf) {
+  Xoshiro256 rng(0x96011F);
+  const HashFamily family(rng.Next());
+  std::vector<uint64_t> xs(61), out(61);
+  for (auto& x : xs) x = rng.Next();
+  for (uint32_t g : {1u, 2u, 5u, 32u, 1000u}) {
+    GroupOfMany(family, xs.data(), xs.size(), g, out.data());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      ASSERT_EQ(out[i], GroupOf(family, xs[i], g)) << "g=" << g;
+    }
+  }
+}
+
+TEST(HashBatchDiff, BinIndexManyMatchesBinIndex) {
+  Xoshiro256 rng(0xB191DE);
+  const SaltedHash h(rng.Next());
+  const int n = 2047;
+  std::vector<uint64_t> xs(45), out(45);
+  for (auto& x : xs) x = rng.Next();
+  BinIndexMany(xs.data(), xs.size(), h, n, out.data());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(out[i], BinIndex(xs[i], h, n));
+    ASSERT_GE(out[i], 1u);
+    ASSERT_LE(out[i], static_cast<uint64_t>(n));
+  }
+}
+
+TEST(HashBatchDiff, BinIndexManySaltedMatchesPerSaltScalar) {
+  Xoshiro256 rng(0x5A17ED);
+  const int n = 255;
+  std::vector<uint64_t> xs(45), salts(45), out(45);
+  for (auto& x : xs) x = rng.Next();
+  for (auto& s : salts) s = rng.Next();
+  BinIndexManySalted(xs.data(), salts.data(), xs.size(), n, out.data());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(out[i], BinIndex(xs[i], SaltedHash(salts[i]), n));
+  }
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,121 @@
+// Differential tests for the vectorized IBF paths: Subtract's four-cell
+// sub/xor blend must be bit-identical to SubtractScalar across cell counts
+// that do and do not fill whole vector blocks, and the batched-hash peel
+// must recover exactly the same sets as before.
+
+#include "pbs/ibf/invertible_bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint64_t> RandomKeys(size_t count, int sig_bits, Xoshiro256* rng) {
+  const uint64_t mask =
+      sig_bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << sig_bits) - 1;
+  std::set<uint64_t> keys;
+  while (keys.size() < count) {
+    const uint64_t k = rng->Next() & mask;
+    if (k != 0) keys.insert(k);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+TEST(IbfSimdDiff, SubtractMatchesScalarSubtract) {
+  Xoshiro256 rng(0x5B74AC);
+  // Cell counts chosen to land on and off the 4-cell vector block
+  // boundary after the constructor's subtable rounding.
+  for (size_t cells : {size_t{3}, size_t{4}, size_t{7}, size_t{12},
+                       size_t{50}, size_t{128}, size_t{333}}) {
+    for (int num_hashes : {1, 3, 4}) {
+      const uint64_t salt = rng.Next();
+      const int sig_bits = 32;
+      InvertibleBloomFilter a(cells, num_hashes, salt, sig_bits);
+      InvertibleBloomFilter b(cells, num_hashes, salt, sig_bits);
+      for (uint64_t k : RandomKeys(40, sig_bits, &rng)) a.Insert(k);
+      for (uint64_t k : RandomKeys(35, sig_bits, &rng)) b.Insert(k);
+      InvertibleBloomFilter a_ref = a;
+      a.Subtract(b);
+      a_ref.SubtractScalar(b);
+      ASSERT_EQ(a.cell_count(), a_ref.cell_count());
+      for (size_t i = 0; i < a.cell_count(); ++i) {
+        ASSERT_EQ(a.cell(i).count, a_ref.cell(i).count)
+            << "cells=" << cells << " k=" << num_hashes << " i=" << i;
+        ASSERT_EQ(a.cell(i).key_sum, a_ref.cell(i).key_sum)
+            << "cells=" << cells << " k=" << num_hashes << " i=" << i;
+        ASSERT_EQ(a.cell(i).hash_sum, a_ref.cell(i).hash_sum)
+            << "cells=" << cells << " k=" << num_hashes << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(IbfSimdDiff, BatchedPeelRecoversExactDifference) {
+  Xoshiro256 rng(0x9EE1ED);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int sig_bits = 32;
+    const size_t d = 1 + rng.NextBounded(20);
+    const size_t cells = 3 * d + 6;
+    const uint64_t salt = rng.Next();
+    InvertibleBloomFilter alice(cells, 4, salt, sig_bits);
+    InvertibleBloomFilter bob(cells, 4, salt, sig_bits);
+    const auto shared = RandomKeys(50, sig_bits, &rng);
+    auto uniq = RandomKeys(2 * d, sig_bits, &rng);
+    // Keep the two unique pools disjoint from the shared pool.
+    std::vector<uint64_t> alice_only, bob_only;
+    for (size_t i = 0; i < uniq.size(); ++i) {
+      if (std::find(shared.begin(), shared.end(), uniq[i]) != shared.end()) {
+        continue;
+      }
+      (i % 2 == 0 ? alice_only : bob_only).push_back(uniq[i]);
+    }
+    for (uint64_t k : shared) alice.Insert(k), bob.Insert(k);
+    for (uint64_t k : alice_only) alice.Insert(k);
+    for (uint64_t k : bob_only) bob.Insert(k);
+
+    alice.Subtract(bob);
+    Workspace ws;
+    InvertibleBloomFilter::DecodeResult result;
+    alice.DecodeInto(ws, &result);
+    ASSERT_TRUE(result.complete) << "trial=" << trial;
+    std::sort(result.positive.begin(), result.positive.end());
+    std::sort(result.negative.begin(), result.negative.end());
+    std::sort(alice_only.begin(), alice_only.end());
+    std::sort(bob_only.begin(), bob_only.end());
+    EXPECT_EQ(result.positive, alice_only) << "trial=" << trial;
+    EXPECT_EQ(result.negative, bob_only) << "trial=" << trial;
+  }
+}
+
+TEST(IbfSimdDiff, WireRoundTripSurvivesVectorizedSubtract) {
+  Xoshiro256 rng(0x31BEEF);
+  const int sig_bits = 24;
+  const uint64_t salt = rng.Next();
+  InvertibleBloomFilter a(60, 3, salt, sig_bits);
+  InvertibleBloomFilter b(60, 3, salt, sig_bits);
+  for (uint64_t k : RandomKeys(30, sig_bits, &rng)) a.Insert(k);
+  for (uint64_t k : RandomKeys(5, sig_bits, &rng)) b.Insert(k);
+  a.Subtract(b);  // Mixed-sign counts on the wire.
+  BitWriter w;
+  a.Serialize(&w);
+  BitReader r(w.bytes());
+  InvertibleBloomFilter back = InvertibleBloomFilter::Deserialize(
+      &r, 60, 3, salt, sig_bits);
+  ASSERT_EQ(back.cell_count(), a.cell_count());
+  for (size_t i = 0; i < a.cell_count(); ++i) {
+    const uint64_t mask = (uint64_t{1} << sig_bits) - 1;
+    EXPECT_EQ(back.cell(i).count & mask,
+              static_cast<uint64_t>(a.cell(i).count) & mask);
+    EXPECT_EQ(back.cell(i).key_sum, a.cell(i).key_sum & mask);
+    EXPECT_EQ(back.cell(i).hash_sum, a.cell(i).hash_sum & mask);
+  }
+}
+
+}  // namespace
+}  // namespace pbs

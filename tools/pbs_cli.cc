@@ -55,6 +55,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "pbs/common/cpu_features.h"
 #include "pbs/common/rng.h"
 #include "pbs/core/set_reconciler.h"
 #include "pbs/core/transport.h"
@@ -347,11 +348,11 @@ int CmdServe(int argc, char** argv) {
   });
   std::fprintf(stderr,
                "serving %zu keys on port %u (%s, max %d concurrent, "
-               "%d shard%s)\n",
+               "%d shard%s, cpu %s)\n",
                key_count, server->port(),
                once ? "single session" : "loop", options.max_sessions,
                server->shard_count(),
-               server->shard_count() == 1 ? "" : "s");
+               server->shard_count() == 1 ? "" : "s", pbs::cpu::FeatureString());
   server->Run();
   if (print_stats) {
     const pbs::ServerStats stats = server->stats();
