@@ -1,0 +1,256 @@
+// Sharded vs monolithic session economics (sync/sharded_session.h).
+//
+// Two stories, both forked per path so each gets an honest peak-RSS
+// reading from wait4's ru_maxrss:
+//
+//  1. Identical-fraction sweep: one big set pair whose differences are
+//     confined to a shrinking subset of keyspace shards. The Merkle
+//     pre-filter prices identical shards at 8 leaf bytes each, and once
+//     few enough shards survive, the coordinator skips the ToW estimate
+//     exchange entirely -- the regime where the sharded session
+//     undercuts the monolithic wire total. At 100% identical the roots
+//     match and the whole session is four frames. At 0% identical the
+//     sweep shows the honest loss: leaves plus per-shard scheme
+//     quantization cost more than one monolithic sketch.
+//
+//  2. Peak-memory story: at 10^7 elements (full mode) the monolithic
+//     initiator hands its scheme engine a full copy of the set, while
+//     the sharded coordinator partitions only the differing shards'
+//     slices (sync/shard_planner.h PartitionSelected) -- peak RSS stays
+//     near the shared base set while the monolithic path exceeds it.
+//
+// Wire bytes, frames, rounds, wall time, and RSS per path land in
+// BENCH_pbs.json via PBS_BENCH_JSON (scripts/collect_bench.py).
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "pbs/common/rng.h"
+#include "pbs/core/set_reconciler.h"
+#include "pbs/core/wire_session.h"
+#include "pbs/sim/metrics.h"
+#include "pbs/sync/shard_planner.h"
+
+using namespace pbs;
+
+namespace {
+
+constexpr uint64_t kSigMask = (uint64_t{1} << 48) - 1;
+constexpr uint64_t kSeed = 0x5EED;
+
+struct PathMetrics {
+  double success = 0;
+  double wire_bytes = 0;
+  double frames = 0;
+  double rounds = 0;
+  double wall_ms = 0;
+  double estimator_bytes = 0;
+};
+
+// Base set of `count` distinct nonzero 48-bit signatures.
+std::vector<uint64_t> BaseSet(size_t count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    while (out.size() < count) {
+      const uint64_t v = rng.Next() & kSigMask;
+      if (v != 0) out.push_back(v);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return out;
+}
+
+// `count` fresh signatures owned by shards [0, allowed_shards) of `plan`,
+// disjoint from the (sorted) base set and from each other.
+std::vector<uint64_t> ClusteredDiffs(size_t count, int allowed_shards,
+                                     const sync::ShardPlan& plan,
+                                     const std::vector<uint64_t>& base,
+                                     uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const uint64_t v = rng.Next() & kSigMask;
+    if (v == 0) continue;
+    if (plan.ShardOf(v) >= static_cast<uint32_t>(allowed_shards)) continue;
+    if (std::binary_search(base.begin(), base.end(), v)) continue;
+    if (std::find(out.begin(), out.end(), v) != out.end()) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+// One reconciliation case: builds the pair inside the (forked) caller so
+// peak RSS reflects this path alone, runs a loopback session, reports.
+PathMetrics RunCase(size_t set_size, size_t d, int diff_shards,
+                    int keyspace_shards, int plan_shards) {
+  const auto base = BaseSet(set_size, 0xBA5E + set_size);
+  const sync::ShardPlan plan = sync::ShardPlan::Derive(plan_shards, kSeed);
+  const auto diffs =
+      ClusteredDiffs(d, diff_shards, plan, base, 0xD1FF + d * 31);
+  std::vector<uint64_t> a = base, b = base;
+  for (size_t i = 0; i < diffs.size(); ++i) {
+    (i % 2 == 0 ? a : b).push_back(diffs[i]);
+  }
+
+  SessionConfig config;
+  config.scheme_name = "pbs";
+  config.options.pbs.max_rounds = 8;
+  config.options.pbs.target_rounds = 3;
+  config.options.sig_bits = 48;
+  config.seed = kSeed;
+  config.estimate_seed = 0xE571;
+  config.keyspace_shards = keyspace_shards;
+
+  const auto start = std::chrono::steady_clock::now();
+  const SessionResult r = RunLoopbackSession(config, a, b);
+  const auto stop = std::chrono::steady_clock::now();
+
+  PathMetrics m;
+  m.success = (r.ok && r.outcome.success &&
+               r.outcome.difference.size() == diffs.size())
+                  ? 1
+                  : 0;
+  m.wire_bytes = static_cast<double>(r.outcome.wire_bytes);
+  m.frames = r.outcome.wire_frames;
+  m.rounds = r.outcome.rounds;
+  m.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  m.estimator_bytes = static_cast<double>(r.outcome.estimator_bytes);
+  return m;
+}
+
+// Forks, runs `fn` in the child, ships PathMetrics back over a pipe, and
+// reads the child's peak RSS from wait4. The child does ALL the heavy
+// allocation (set generation included), so ru_maxrss isolates the path.
+template <typename Fn>
+bool RunForked(const Fn& fn, PathMetrics* out, double* rss_mb) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const PathMetrics m = fn();
+    ssize_t ignored = write(fds[1], &m, sizeof(m));
+    (void)ignored;
+    _exit(0);
+  }
+  close(fds[1]);
+  PathMetrics m;
+  const ssize_t got = read(fds[0], &m, sizeof(m));
+  close(fds[0]);
+  int status = 0;
+  struct rusage usage;
+  std::memset(&usage, 0, sizeof(usage));
+  if (wait4(pid, &status, 0, &usage) != pid) return false;
+  if (got != static_cast<ssize_t>(sizeof(m)) || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    return false;
+  }
+  *out = m;
+  *rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux.
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = bench::FullMode();
+  const size_t sweep_n = full ? 10000000 : 1000000;
+  std::printf("== Sharded vs monolithic sessions (scheme=pbs) ==\n");
+  std::printf("mode=%s sweep |A|=%zu\n\n", full ? "FULL" : "quick", sweep_n);
+
+  bench::Recorder table(
+      "sharded_sync",
+      {"n", "shards", "identical_pct", "d", "path", "success", "wire_B",
+       "frames", "rounds", "wall_ms", "rss_mb"});
+
+  // --- 1. Identical-fraction sweep (S=8, d=8). ---------------------------
+  // diff_shards = how many shards the differences are confined to; the
+  // identical fraction is 1 - diff_shards/S. Crossing the coordinator's
+  // estimate-skip threshold (<= 4 differing shards) is where the sharded
+  // wire total drops below the monolithic one.
+  const int kSweepShards = 8;
+  const size_t kSweepD = 8;
+  struct SweepPoint {
+    int identical_pct;
+    int diff_shards;
+  };
+  const SweepPoint kSweep[] = {{0, 8}, {50, 4}, {99, 1}, {100, 0}};
+  for (const SweepPoint& point : kSweep) {
+    const size_t d = point.diff_shards == 0 ? 0 : kSweepD;
+    for (const bool sharded : {false, true}) {
+      PathMetrics m;
+      double rss = 0;
+      const int keyspace = sharded ? kSweepShards : 0;
+      const bool ok = RunForked(
+          [&] {
+            return RunCase(sweep_n, d, std::max(point.diff_shards, 1),
+                           keyspace, kSweepShards);
+          },
+          &m, &rss);
+      if (!ok) {
+        std::fprintf(stderr, "sweep case failed to run (fork/pipe)\n");
+        return 1;
+      }
+      table.AddRow({std::to_string(sweep_n), std::to_string(kSweepShards),
+                    std::to_string(point.identical_pct), std::to_string(d),
+                    sharded ? "sharded" : "mono", FormatDouble(m.success, 0),
+                    FormatDouble(m.wire_bytes, 0), FormatDouble(m.frames, 0),
+                    FormatDouble(m.rounds, 0), FormatDouble(m.wall_ms, 1),
+                    FormatDouble(rss, 1)});
+    }
+  }
+
+  // --- 2. Peak-RSS story (S=512, d=64 in 4 shards). ----------------------
+  // The monolithic initiator engine copies the full set; the sharded
+  // coordinator partitions only the differing shards' slices. At 10^7
+  // elements that is the difference between ~3x and ~1x the base set.
+  const size_t rss_n = full ? 10000000 : 1000000;
+  const int kRssShards = 512;
+  const size_t kRssD = 64;
+  for (const bool sharded : {false, true}) {
+    PathMetrics m;
+    double rss = 0;
+    const int keyspace = sharded ? kRssShards : 0;
+    const bool ok = RunForked(
+        [&] { return RunCase(rss_n, kRssD, 4, keyspace, kRssShards); }, &m,
+        &rss);
+    if (!ok) {
+      std::fprintf(stderr, "rss case failed to run (fork/pipe)\n");
+      return 1;
+    }
+    table.AddRow({std::to_string(rss_n), std::to_string(kRssShards), "99",
+                  std::to_string(kRssD), sharded ? "sharded" : "mono",
+                  FormatDouble(m.success, 0), FormatDouble(m.wire_bytes, 0),
+                  FormatDouble(m.frames, 0), FormatDouble(m.rounds, 0),
+                  FormatDouble(m.wall_ms, 1), FormatDouble(rss, 1)});
+  }
+
+  table.Print();
+  std::printf(
+      "\nidentical_pct = share of keyspace shards with no differences.\n"
+      "sharded wins the wire once few enough shards survive the Merkle\n"
+      "pre-filter to skip the estimate exchange; at 100%% identical the\n"
+      "session is four frames. rss_mb is the forked path's peak RSS --\n"
+      "the sharded path partitions only differing slices, the monolithic\n"
+      "engine copies the whole set.\n");
+  return 0;
+}

@@ -40,6 +40,10 @@ SCHEMA = 1
 MEASUREMENT_KEYS = {
     "ns_per_op", "Mops", "wall_ms", "sessions_per_s", "p50_ms", "p99_ms",
     "wire_B_per_session", "parity", "run_id",
+    # Sharded-session economics (bench_sharded_sync): wire_B is the
+    # deterministic gated metric, the rest are machine-dependent
+    # observations riding on the same row.
+    "wire_B", "frames", "rounds", "rss_mb",
     # Derived ratio (simd vs scalar ns_per_op): a measurement like its
     # inputs, never part of a record's identity.
     "speedup",
@@ -53,6 +57,10 @@ MEASUREMENT_KEYS = {
 COMPARE_METRICS = (
     ("ns_per_op", "lower"),
     ("sessions_per_s", "higher"),
+    # Framed session bytes (bench_sharded_sync): fully determined by the
+    # seeds, so any drift at all is a protocol change -- the tolerance
+    # only forgives one that got *cheaper*.
+    ("wire_B", "lower"),
 )
 
 
@@ -94,7 +102,8 @@ def matches(new, base):
 def describe(record):
     parts = [str(record.get("bench", "?"))]
     for key in ("kernel", "path", "scheme", "m", "n", "t", "d", "size",
-                "sessions", "window", "shards", "threads", "mode"):
+                "sessions", "window", "shards", "identical_pct", "threads",
+                "mode"):
         if key in record:
             parts.append(f"{key}={record[key]}")
     return " ".join(parts)
@@ -122,6 +131,7 @@ def compare(new_records, trajectory, baseline_run_id, tolerance, report_path):
              f"regression threshold {tolerance:.0%}):", ""]
     regressions = []
     compared = 0
+    matched_baseline_ids = set()
     for new in new_records:
         metric, direction = compare_metric(new)
         if metric is None:
@@ -130,6 +140,7 @@ def compare(new_records, trajectory, baseline_run_id, tolerance, report_path):
                       if metric in b and matches(new, b)]
         if not candidates:
             continue
+        matched_baseline_ids.update(id(b) for b in candidates)
         # Ambiguity (a baseline predating a new identity column) resolves
         # to the strictest bar for the new record: the fastest baseline.
         if direction == "lower":
@@ -151,6 +162,22 @@ def compare(new_records, trajectory, baseline_run_id, tolerance, report_path):
         lines.append(f"  {describe(new):<60} {base_val:>12.1f} -> "
                      f"{new_val:>12.1f} {metric}   x{ratio:5.2f}{flag}")
         compared += 1
+
+    # A baseline kernel the new run never produced would otherwise vanish
+    # from the report silently -- exactly how a dropped bench or a renamed
+    # identity column slips past CI. Warn loudly (but do not fail: the
+    # baseline may legitimately contain benches this run did not execute).
+    missing = [b for b in baseline if id(b) not in matched_baseline_ids]
+    if missing:
+        lines.append("")
+        lines.append(f"WARNING: {len(missing)} baseline record(s) matched "
+                     f"no record of this run (bench not run, kernel "
+                     f"removed, or identity fields renamed):")
+        for b in missing:
+            lines.append(f"  {describe(b)}")
+        print(f"--compare: WARNING: {len(missing)} baseline record(s) "
+              f"from run_id '{baseline_run_id}' matched nothing in this "
+              f"run", file=sys.stderr)
 
     lines.append("")
     lines.append(f"{compared} record(s) compared, "

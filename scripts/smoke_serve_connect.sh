@@ -132,3 +132,52 @@ if [[ "$sessions" != 64 ]]; then
   exit 1
 fi
 echo "smoke test passed: 64 parallel clients against a 4-shard server"
+
+# ---- stage 4: keyspace-sharded session on a 10^6-key set ------------------
+# A near-identical million-key pair (2 differences): the Merkle pre-filter
+# names the couple of differing keyspace shards, the estimate exchange is
+# skipped, and the sharded session must land under the monolithic wire
+# total (docs/WIRE_FORMAT.md section 2.5). wire= totals come from the
+# connect summary line on stderr.
+"$CLI" gen "$WORK/big_b.txt" 1000000 --seed 11 >/dev/null
+"$CLI" mutate "$WORK/big_b.txt" "$WORK/big_a.txt" --drop 1 --add 1 \
+  --seed 12 >/dev/null
+
+run_big() {  # run_big <extra connect flags...> -> "<diffs>|<wire bytes>"
+  : >"$WORK/serve.log"
+  "$CLI" serve "$WORK/big_b.txt" --port "$PORT" --once 2>"$WORK/serve.log" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "^serving " "$WORK/serve.log" && break
+    sleep 0.1
+  done
+  local out
+  out=$("$CLI" connect "$WORK/big_a.txt" --host 127.0.0.1 --port "$PORT" \
+        --scheme pbs --quiet "$@" 2>"$WORK/connect.log")
+  wait "$serve_pid" || { echo "FAIL: big-set serve side"; cat "$WORK/serve.log"; exit 1; }
+  local wire
+  wire=$(sed -n 's/.*wire=\([0-9]*\)B.*/\1/p' "$WORK/connect.log")
+  echo "${out}|${wire}"
+}
+
+mono=$(run_big)
+sharded=$(run_big --shards-keyspace 16)
+mono_bytes="${mono##*|}"
+sharded_bytes="${sharded##*|}"
+for result in "$mono" "$sharded"; do
+  if [[ "${result%%|*}" != "2 differences" ]]; then
+    echo "FAIL: big-set reconcile got '${result%%|*}', expected '2 differences'"
+    cat "$WORK/connect.log"
+    exit 1
+  fi
+done
+if [[ -z "$mono_bytes" || -z "$sharded_bytes" ]]; then
+  echo "FAIL: could not parse wire= totals (mono='$mono' sharded='$sharded')"
+  cat "$WORK/connect.log"
+  exit 1
+fi
+if (( sharded_bytes >= mono_bytes )); then
+  echo "FAIL: sharded session spent ${sharded_bytes}B, monolithic ${mono_bytes}B"
+  exit 1
+fi
+echo "smoke test passed: --shards-keyspace 16 reconciled 10^6 keys in ${sharded_bytes}B vs ${mono_bytes}B monolithic"

@@ -41,6 +41,34 @@ MerkleTree::MerkleTree(const std::vector<uint64_t>& leaves)
 
 uint64_t MerkleTree::root() const { return levels_.back()[0]; }
 
+bool MerkleTree::UpdateLeaf(size_t index, uint64_t value) {
+  if (index >= leaf_count_) return false;
+  levels_[0][index] = HashLeaf(value);
+  for (size_t depth = 0; depth + 1 < levels_.size(); ++depth) {
+    const auto& below = levels_[depth];
+    const size_t left = index & ~size_t{1};
+    // Odd node promotes by pairing with itself (matches the constructor).
+    const size_t right = left + 1 < below.size() ? left + 1 : left;
+    index /= 2;
+    levels_[depth + 1][index] = HashInterior(below[left], below[right]);
+  }
+  return true;
+}
+
+std::vector<size_t> MerkleTree::DiffLeaves(const MerkleTree& a,
+                                           const MerkleTree& b) {
+  std::vector<size_t> diff;
+  const size_t shared = a.leaf_count_ < b.leaf_count_ ? a.leaf_count_
+                                                      : b.leaf_count_;
+  const size_t longest = a.leaf_count_ < b.leaf_count_ ? b.leaf_count_
+                                                       : a.leaf_count_;
+  for (size_t i = 0; i < shared; ++i) {
+    if (a.levels_[0][i] != b.levels_[0][i]) diff.push_back(i);
+  }
+  for (size_t i = shared; i < longest; ++i) diff.push_back(i);
+  return diff;
+}
+
 std::vector<MerkleTree::ProofNode> MerkleTree::Prove(size_t index) const {
   std::vector<ProofNode> proof;
   for (size_t depth = 0; depth + 1 < levels_.size(); ++depth) {

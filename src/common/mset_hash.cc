@@ -13,6 +13,19 @@ void MsetHash::Add(uint64_t element) {
   mix_ += h3 ^ (h1 * 0x9E3779B97F4A7C15ull);
 }
 
+uint64_t MsetHash::Fold64() const {
+  // SplitMix64 finalizer over the three lanes (plus the salt, so folds
+  // under different salts stay incomparable even for equal states).
+  uint64_t h = xor_ + 0x9E3779B97F4A7C15ull * sum_;
+  h ^= mix_ + 0x517CC1B727220A95ull * salt_;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
 void MsetHash::Remove(uint64_t element) {
   const uint64_t h1 = XxHash64(element, salt_ ^ 0x4D534554ull);
   const uint64_t h2 = XxHash64(element, salt_ ^ 0x58303152ull);

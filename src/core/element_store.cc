@@ -5,9 +5,11 @@
 #include <utility>
 
 #include "pbs/common/checksum.h"
+#include "pbs/common/mset_hash.h"
 #include "pbs/core/group_state.h"
 #include "pbs/gf/gf2m.h"
 #include "pbs/hash/hash_family.h"
+#include "pbs/sync/shard_planner.h"
 
 namespace pbs {
 
@@ -147,6 +149,12 @@ struct MutableElementStore::Impl {
   std::vector<SetChecksum> checksums;
   PowerSumSketch toggle_scratch{GF2m(2), 1};  // Reused per parity flip.
 
+  // Incrementally maintained per-shard multiset digests (guarded by mu;
+  // absent until ConfigureShardChecksums).
+  bool shards_configured = false;
+  sync::ShardPlan shard_plan;
+  std::vector<MsetHash> shard_sums;
+
   // Published snapshot, swapped atomically (C++17 shared_ptr atomics).
   std::shared_ptr<const StoreSnapshot> snapshot;
 
@@ -178,12 +186,20 @@ struct MutableElementStore::Impl {
     checksums[group].Toggle(e, add);
   }
 
+  // Folds element `e` in or out of its keyspace shard's multiset digest
+  // (amortized O(1): one bucket hash plus three lane updates).
+  void ToggleShard(uint64_t e, bool add) {
+    if (!shards_configured) return;
+    shard_sums[shard_plan.ShardOf(e)].Toggle(e, add);
+  }
+
   bool InsertLocked(uint64_t e) {
     if (e == 0 || e == KeyIndex::kTombstone) return false;
     if (configured && (e & ~sig_mask) != 0) return false;
     if (!index.Insert(e, elements.size())) return false;
     elements.push_back(e);
     ToggleLayout(e, /*add=*/true);
+    ToggleShard(e, /*add=*/true);
     return true;
   }
 
@@ -197,6 +213,7 @@ struct MutableElementStore::Impl {
       index.Reposition(last, pos);
     }
     ToggleLayout(e, /*add=*/false);
+    ToggleShard(e, /*add=*/false);
     return true;
   }
 
@@ -269,6 +286,14 @@ struct MutableElementStore::Impl {
     snap->elements =
         std::make_shared<const std::vector<uint64_t>>(elements);
     snap->layout = CopyLayoutLocked();
+    if (shards_configured) {
+      auto shards = std::make_shared<ShardChecksums>();
+      shards->shard_count = shard_plan.shard_count;
+      shards->seed = shard_plan.session_seed;
+      shards->leaves.reserve(shard_sums.size());
+      for (const MsetHash& h : shard_sums) shards->leaves.push_back(h.Fold64());
+      snap->shard_checksums = std::move(shards);
+    }
     std::atomic_store_explicit(
         &snapshot, std::shared_ptr<const StoreSnapshot>(std::move(snap)),
         std::memory_order_release);
@@ -326,6 +351,27 @@ bool MutableElementStore::ConfigureLayout(const PbsConfig& config,
   s.syndromes.assign(static_cast<size_t>(g) * t, 0);
   s.checksums.assign(g, SetChecksum(config.sig_bits));
   for (uint64_t e : s.elements) s.ToggleLayout(e, /*add=*/true);
+  s.PublishLocked();
+  return true;
+}
+
+bool MutableElementStore::ConfigureShardChecksums(int shard_count,
+                                                  uint64_t seed,
+                                                  std::string* error) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl& s = *impl_;
+  if (shard_count < sync::kMinKeyspaceShards ||
+      shard_count > sync::kMaxKeyspaceShards) {
+    if (error) {
+      *error = "shard_count outside [2, 4096]";
+    }
+    return false;
+  }
+  s.shards_configured = true;
+  s.shard_plan = sync::ShardPlan::Derive(shard_count, seed);
+  s.shard_sums.assign(static_cast<size_t>(shard_count),
+                      MsetHash(s.shard_plan.checksum_salt));
+  for (uint64_t e : s.elements) s.ToggleShard(e, /*add=*/true);
   s.PublishLocked();
   return true;
 }

@@ -8,6 +8,8 @@
 
 #include "pbs/common/bitio.h"
 #include "pbs/estimator/tow.h"
+#include "pbs/sync/merkle_prefilter.h"
+#include "pbs/sync/sharded_session.h"
 
 namespace pbs {
 
@@ -93,6 +95,15 @@ bool ValidateSessionConfig(const SessionConfig& config, std::string* error) {
   if (pbs.ell < 1 || pbs.ell > 65535) return fail("ell (1-65535)");
   if (config.exact_d >= 0.0 && !ValidEstimate(config.exact_d)) {
     return fail("exact_d (finite, <= 1e9)");
+  }
+  // 0 and 1 both mean "monolithic"; a sharded session's count must fit
+  // the u16 SHARD_PLAN field and the negotiation bounds.
+  if (config.keyspace_shards < 0 ||
+      config.keyspace_shards > sync::kMaxKeyspaceShards) {
+    return fail("keyspace_shards (0-4096)");
+  }
+  if (config.shard_pipeline < 1 || config.shard_pipeline > 65535) {
+    return fail("shard_pipeline (1-65535)");
   }
   return true;
 }
@@ -183,6 +194,60 @@ bool DecodeDone(const std::vector<uint8_t>& payload, bool* success,
 
 std::string ErrorText(const WireFrame& frame) {
   return std::string(frame.payload.begin(), frame.payload.end());
+}
+
+// ---------------------------------------------------------------- sharded --
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int b = 0; b < 8; ++b) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * b)));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) v |= static_cast<uint64_t>(p[b]) << (8 * b);
+  return v;
+}
+
+// SHARD_PLAN payload: u16 proposed shard count (LE), u64 Merkle root of
+// the initiator's per-shard digests (LE), then the HELLO payload
+// verbatim (docs/WIRE_FORMAT.md section 2.5).
+std::vector<uint8_t> EncodeShardPlan(int shards, uint64_t root,
+                                     const std::vector<uint8_t>& hello) {
+  std::vector<uint8_t> payload;
+  payload.reserve(10 + hello.size());
+  PutU16(static_cast<uint16_t>(shards), &payload);
+  PutU64(root, &payload);
+  payload.insert(payload.end(), hello.begin(), hello.end());
+  return payload;
+}
+
+bool DecodeShardPlanHeader(const std::vector<uint8_t>& payload, int* shards,
+                           uint64_t* root, std::vector<uint8_t>* hello) {
+  if (payload.size() < 10) return false;
+  *shards = GetU16(payload.data());
+  *root = GetU64(payload.data() + 2);
+  hello->assign(payload.begin() + 10, payload.end());
+  return true;
+}
+
+// SHARD_PLAN_ACK payload: u16 accepted shard count, u64 responder root.
+std::vector<uint8_t> EncodeShardPlanAck(int accepted, uint64_t root) {
+  std::vector<uint8_t> payload;
+  payload.reserve(10);
+  PutU16(static_cast<uint16_t>(accepted), &payload);
+  PutU64(root, &payload);
+  return payload;
 }
 
 // ---------------------------------------------------------------- update --
@@ -325,10 +390,18 @@ SessionEngine::SessionEngine(bool is_initiator, const SessionConfig& config,
     Fail("unknown scheme '" + config_.scheme_name + "'");
     return;
   }
+  if (config_.keyspace_shards >= sync::kMinKeyspaceShards) {
+    StartShardedInitiator();
+    return;
+  }
   const std::vector<uint8_t> hello = EncodeHello(config_);
   AppendOutbound(FrameType::kHello, 0, hello.data(), hello.size(),
                  "sending HELLO");
 }
+
+SessionEngine::~SessionEngine() = default;
+SessionEngine::SessionEngine(SessionEngine&&) noexcept = default;
+SessionEngine& SessionEngine::operator=(SessionEngine&&) noexcept = default;
 
 const SchemeRegistry& SessionEngine::registry() const {
   return registry_ != nullptr ? *registry_ : SchemeRegistry::Instance();
@@ -464,6 +537,11 @@ void SessionEngine::ProcessInbound() {
     result_.outcome.wire_frames = wire_frames_;
     DispatchFrame();
   }
+  // Sharded sessions batch inbound sub-frames per Feed; process the batch
+  // now that the frame loop drained (sync/sharded_session.h batch model).
+  if (shard_coordinator_ != nullptr || shard_mux_ != nullptr) {
+    FlushShardFrames();
+  }
   // Compact the consumed prefix. Memmove, not erase-with-realloc: the
   // buffer stays at peak capacity, so steady-state rounds never allocate.
   if (in_pos_ == inbound_.size()) {
@@ -505,16 +583,7 @@ void SessionEngine::DispatchInitiator() {
         StartSchemePhase();
         return;
       }
-      TowSketch sketch(config_.options.pbs.ell, config_.estimate_seed);
-      sketch.AddAll(*elements_);
-      BitWriter w;
-      w.WriteBits(elements_->size(), 64);
-      sketch.Serialize(&w, elements_->size());
-      estimator_payload_bytes_ += w.byte_size();
-      const std::vector<uint8_t> payload = w.TakeBytes();
-      AppendOutbound(FrameType::kEstimateRequest, 0, payload.data(),
-                     payload.size(), "sending estimate");
-      state_ = State::kAwaitEstimateReply;
+      SendEstimateRequest();
       return;
     }
     case State::kAwaitEstimateReply: {
@@ -535,6 +604,14 @@ void SessionEngine::DispatchInitiator() {
         return;
       }
       result_.d_hat = d_hat_;
+      if (shard_coordinator_ != nullptr) {
+        // Sharded path: apportion the global estimate across the
+        // differing shards; FlushShardFrames (end of this ProcessInbound
+        // pass) opens the first sub-sessions.
+        shard_coordinator_->SetTotalEstimate(d_hat_);
+        state_ = State::kShardMux;
+        return;
+      }
       StartSchemePhase();
       return;
     }
@@ -583,6 +660,15 @@ void SessionEngine::DispatchInitiator() {
       }
       return;
     }
+    case State::kAwaitShardPlanAck:
+      HandleShardPlanAck();
+      return;
+    case State::kAwaitDigestReply:
+      HandleDigestReply();
+      return;
+    case State::kShardMux:
+      HandleSubSession();
+      return;
     case State::kAwaitDoneAck: {
       if (frame_.type != FrameType::kDone) {
         Fail("expected DONE ack");
@@ -596,6 +682,167 @@ void SessionEngine::DispatchInitiator() {
       Fail("unexpected frame");
       return;
   }
+}
+
+// --------------------------------------------------------------- sharded --
+
+void SessionEngine::StartShardedInitiator() {
+  shard_coordinator_ = std::make_unique<sync::ShardedCoordinator>(
+      config_, elements_, registry_);
+  if (!shard_coordinator_->ok()) {
+    Fail(shard_coordinator_->error());
+    return;
+  }
+  const std::vector<uint8_t> hello = EncodeHello(config_);
+  const std::vector<uint8_t> plan =
+      EncodeShardPlan(config_.keyspace_shards, shard_coordinator_->root(),
+                      hello);
+  AppendOutbound(FrameType::kShardPlan, 0, plan.data(), plan.size(),
+                 "sending SHARD_PLAN");
+  state_ = State::kAwaitShardPlanAck;
+}
+
+void SessionEngine::HandleShardPlanAck() {
+  if (frame_.type != FrameType::kShardPlanAck) {
+    Fail("expected SHARD_PLAN_ACK");
+    return;
+  }
+  if (frame_.payload.size() != 10) {
+    Fail("malformed SHARD_PLAN_ACK");
+    return;
+  }
+  const int accepted = GetU16(frame_.payload.data());
+  const uint64_t remote_root = GetU64(frame_.payload.data() + 2);
+  std::string error;
+  if (!shard_coordinator_->AdoptShardCount(accepted, &error)) {
+    Fail(std::move(error));
+    return;
+  }
+  if (shard_coordinator_->root() == remote_root) {
+    // Equal roots certify every shard identical: settle right here, four
+    // frames total, without ever shipping the digest leaves.
+    result_.outcome.success = true;
+    result_.outcome.rounds = 0;
+    char summary[64];
+    std::snprintf(summary, sizeof(summary),
+                  "shards=%d identical=%d differing=0", accepted, accepted);
+    result_.outcome.params_summary = summary;
+    result_.d_hat = d_hat_ = 0.0;
+    const std::vector<uint8_t> done = EncodeDone(result_.outcome);
+    AppendOutbound(FrameType::kDone, exchange_, done.data(), done.size(),
+                   "sending DONE");
+    state_ = State::kAwaitDoneAck;
+    return;
+  }
+  shard_coordinator_->EncodeDigestTree(&payload_scratch_);
+  AppendOutbound(FrameType::kDigestTree, 0, payload_scratch_.data(),
+                 payload_scratch_.size(), "sending DIGEST_TREE");
+  state_ = State::kAwaitDigestReply;
+}
+
+void SessionEngine::HandleDigestReply() {
+  if (frame_.type != FrameType::kDigestReply) {
+    Fail("expected DIGEST_REPLY");
+    return;
+  }
+  std::string error;
+  if (!shard_coordinator_->BeginSubSessions(frame_.payload, &error)) {
+    Fail(std::move(error));
+    return;
+  }
+  if (shard_coordinator_->NeedsEstimate()) {
+    // Enough shards differ that one global sketch beats blind retry
+    // ladders: run the same estimate exchange a monolithic session uses
+    // and apportion the total. Sub-sessions stay parked until the reply.
+    SendEstimateRequest();
+    return;
+  }
+  // FlushShardFrames (end of this ProcessInbound pass) opens the first
+  // `shard_pipeline` sub-sessions -- or settles directly when the bitmap
+  // named no differing shard.
+  state_ = State::kShardMux;
+}
+
+void SessionEngine::SendEstimateRequest() {
+  TowSketch sketch(config_.options.pbs.ell, config_.estimate_seed);
+  sketch.AddAll(*elements_);
+  BitWriter w;
+  w.WriteBits(elements_->size(), 64);
+  sketch.Serialize(&w, elements_->size());
+  estimator_payload_bytes_ += w.byte_size();
+  const std::vector<uint8_t> payload = w.TakeBytes();
+  AppendOutbound(FrameType::kEstimateRequest, 0, payload.data(),
+                 payload.size(), "sending estimate");
+  state_ = State::kAwaitEstimateReply;
+}
+
+void SessionEngine::HandleSubSession() {
+  std::vector<sync::SubFrame> records;
+  if (frame_.type != FrameType::kSubSession ||
+      !sync::ParseSubRecords(frame_.payload, &records) || records.empty()) {
+    if (!is_initiator_) AppendError("malformed SUB_SESSION");
+    Fail("malformed SUB_SESSION");
+    return;
+  }
+  std::string error;
+  for (auto& sub : records) {
+    const bool ok =
+        is_initiator_
+            ? shard_coordinator_->HandleSubFrame(std::move(sub), &error)
+            : shard_mux_->HandleSubFrame(std::move(sub), &error);
+    if (!ok) {
+      if (!is_initiator_) AppendError(error);
+      Fail(std::move(error));
+      return;
+    }
+  }
+}
+
+void SessionEngine::FlushShardFrames() {
+  if (state_ == State::kSettled || state_ == State::kFailed) return;
+  // One outer frame carries every record the flush produced: the 23-byte
+  // envelope amortizes across all shards with traffic this round.
+  std::vector<uint8_t> batch;
+  const auto emit = [&batch](uint32_t shard, uint8_t inner_type,
+                             const uint8_t* data, size_t size) {
+    sync::AppendSubRecord(shard, inner_type, data, size, &batch);
+  };
+  if (is_initiator_) {
+    if (state_ != State::kShardMux) return;
+    std::string error;
+    if (!shard_coordinator_->Flush(emit, &error)) {
+      Fail(std::move(error));
+      return;
+    }
+    if (!batch.empty()) {
+      ++exchange_;
+      AppendOutbound(FrameType::kSubSession, exchange_, batch.data(),
+                     batch.size(), "sending sub-session batch");
+    }
+    if (shard_coordinator_->done()) FinishShardedInitiator();
+    return;
+  }
+  std::string error;
+  if (!shard_mux_->Flush(emit, &error)) {
+    AppendError(error);
+    Fail(std::move(error));
+    return;
+  }
+  if (!batch.empty()) {
+    AppendOutbound(FrameType::kSubSession, frame_.round, batch.data(),
+                   batch.size(), "sending sub-session batch");
+  }
+}
+
+void SessionEngine::FinishShardedInitiator() {
+  result_.outcome = shard_coordinator_->TakeOutcome();
+  result_.outcome.estimator_bytes += estimator_payload_bytes_;
+  result_.d_hat = d_hat_ = shard_coordinator_->total_d_hat();
+  const std::vector<uint8_t> done = EncodeDone(result_.outcome);
+  ++exchange_;
+  AppendOutbound(FrameType::kDone, exchange_, done.data(), done.size(),
+                 "sending DONE");
+  state_ = State::kAwaitDoneAck;
 }
 
 void SessionEngine::StartSchemePhase() {
@@ -658,6 +905,12 @@ void SessionEngine::DispatchResponder() {
     HandleUpdate();
     return;
   }
+  if (frame_.type == FrameType::kShardPlan) {
+    // Sharded sessions skip the plain HELLO: the SHARD_PLAN embeds it.
+    // Interception mirrors kUpdate above (see HandleShardPlan's checks).
+    HandleShardPlan();
+    return;
+  }
   if (state_ == State::kAwaitHello) {
     HandleHello();
     return;
@@ -674,6 +927,17 @@ void SessionEngine::DispatchResponder() {
       return;
     case FrameType::kSchemeRequest:
       HandleSchemeRequest();
+      return;
+    case FrameType::kDigestTree:
+      HandleDigestTree();
+      return;
+    case FrameType::kSubSession:
+      if (shard_mux_ == nullptr) {
+        AppendError("unexpected frame");
+        Fail("unexpected frame");
+        return;
+      }
+      HandleSubSession();
       return;
     case FrameType::kDone: {
       bool success = false;
@@ -722,6 +986,87 @@ void SessionEngine::HandleHello() {
   d_hat_ = config_.exact_d;  // -1 until the estimate phase runs.
   AppendOutbound(FrameType::kHelloAck, 0, nullptr, 0, "sending ack");
   state_ = State::kServing;
+}
+
+void SessionEngine::HandleShardPlan() {
+  if (state_ != State::kAwaitHello || update_session_) {
+    AppendError("unexpected frame");
+    Fail("unexpected frame");
+    return;
+  }
+  if (elements_ == nullptr) {
+    AppendError("server has no element set");
+    Fail("SHARD_PLAN on a server with no element set");
+    return;
+  }
+  int proposed = 0;
+  uint64_t remote_root = 0;
+  std::vector<uint8_t> hello;
+  if (!DecodeShardPlanHeader(frame_.payload, &proposed, &remote_root,
+                             &hello)) {
+    AppendError("malformed SHARD_PLAN");
+    Fail("malformed SHARD_PLAN");
+    return;
+  }
+  if (proposed < sync::kMinKeyspaceShards ||
+      proposed > sync::kMaxKeyspaceShards) {
+    AppendError("shard count out of range");
+    Fail("shard count out of range");
+    return;
+  }
+  // DecodeHello overwrites every wire-carried field; side-local knobs
+  // (decode_threads, keyspace_shards) survive in config_, which is what
+  // lets a smaller locally-configured shard count clamp the proposal.
+  if (!DecodeHello(hello, &config_)) {
+    AppendError("malformed HELLO");
+    Fail("malformed HELLO");
+    return;
+  }
+  result_.scheme = config_.scheme_name;
+  scheme_id_ = wire::SchemeWireId(config_.scheme_name);
+  if (!registry().Contains(config_.scheme_name)) {
+    const std::string message = "unknown scheme '" + config_.scheme_name + "'";
+    AppendError(message);
+    Fail(message);
+    return;
+  }
+  int accepted = proposed;
+  if (config_.keyspace_shards >= sync::kMinKeyspaceShards &&
+      config_.keyspace_shards < proposed) {
+    accepted = config_.keyspace_shards;
+  }
+  shard_mux_ = std::make_unique<sync::ShardedResponderMux>(
+      config_, elements_, registry_, accepted, snapshot_);
+  if (!shard_mux_->ok()) {
+    const std::string message = shard_mux_->error();
+    AppendError(message);
+    Fail(message);
+    return;
+  }
+  d_hat_ = config_.exact_d;
+  const std::vector<uint8_t> ack =
+      EncodeShardPlanAck(accepted, shard_mux_->root());
+  AppendOutbound(FrameType::kShardPlanAck, 0, ack.data(), ack.size(),
+                 "sending SHARD_PLAN_ACK");
+  state_ = State::kServing;
+}
+
+void SessionEngine::HandleDigestTree() {
+  if (shard_mux_ == nullptr) {
+    AppendError("unexpected frame");
+    Fail("unexpected frame");
+    return;
+  }
+  std::string error;
+  if (!shard_mux_->HandleDigestTree(frame_.payload, &payload_scratch_,
+                                    &error)) {
+    AppendError(error);
+    Fail(std::move(error));
+    return;
+  }
+  AppendOutbound(FrameType::kDigestReply, frame_.round,
+                 payload_scratch_.data(), payload_scratch_.size(),
+                 "sending DIGEST_REPLY");
 }
 
 void SessionEngine::HandleEstimateRequest() {

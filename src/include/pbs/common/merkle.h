@@ -35,8 +35,24 @@ class MerkleTree {
 
   size_t leaf_count() const { return leaf_count_; }
 
+  /// Digest of the leaf at `index` (level-0 node). `index < leaf_count()`.
+  uint64_t leaf_digest(size_t index) const { return levels_[0][index]; }
+
   /// Inclusion proof for the leaf at `index` (root-exclusive, leaf-first).
   std::vector<ProofNode> Prove(size_t index) const;
+
+  /// Replaces the leaf at `index` with `value` and recomputes the O(log n)
+  /// interior nodes on its root path -- the incremental form of
+  /// rebuilding the whole tree with one leaf changed (bit-identical, by
+  /// test). Returns false (tree untouched) when `index` is out of range.
+  bool UpdateLeaf(size_t index, uint64_t value);
+
+  /// Indices of leaves whose digests differ between two trees built over
+  /// leaf lists of equal length (the sharded-session pre-filter's diff
+  /// set). Trees of unequal leaf_count() additionally report every index
+  /// past the shorter tree's end as differing.
+  static std::vector<size_t> DiffLeaves(const MerkleTree& a,
+                                        const MerkleTree& b);
 
   /// Verifies a proof produced by Prove against a root digest.
   static bool Verify(uint64_t leaf_value, const std::vector<ProofNode>& proof,

@@ -37,6 +37,15 @@ class MsetHash {
   /// The 192-bit digest (xor-lane, sum-lane, count-entangled lane).
   std::array<uint64_t, 3> digest() const { return {xor_, sum_, mix_}; }
 
+  /// The 192-bit state folded to one 64-bit word (SplitMix64-style
+  /// finalization over all three lanes). Used where a compact per-set
+  /// fingerprint is enough -- e.g. the per-shard digest leaves of the
+  /// sharded-session Merkle pre-filter (sync/merkle_prefilter.h), where
+  /// each leaf certifies one shard's multiset. Equal states fold equal;
+  /// the 2^-64 collision rate is the pre-filter's false-skip rate per
+  /// shard pair, on par with the tree's own 64-bit digests.
+  uint64_t Fold64() const;
+
   friend bool operator==(const MsetHash& a, const MsetHash& b) {
     return a.xor_ == b.xor_ && a.sum_ == b.sum_ && a.mix_ == b.mix_ &&
            a.salt_ == b.salt_;

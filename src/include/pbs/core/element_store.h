@@ -63,12 +63,27 @@ struct PbsStoreLayout {
   std::vector<uint64_t> checksums;    ///< Per-group SetChecksum values.
 };
 
+/// Incrementally-maintained per-shard multiset digests of one snapshot:
+/// the Merkle pre-filter leaves of a sharded session
+/// (sync/shard_planner.h). Valid only for sessions whose negotiated
+/// (shard_count, seed) match -- the responder mux adopts them when they
+/// do and streams the digests from the element list otherwise, so
+/// adoption is purely a setup optimization, never a correctness
+/// dependency.
+struct ShardChecksums {
+  int shard_count = 0;
+  uint64_t seed = 0;             ///< Session seed the plan derives from.
+  std::vector<uint64_t> leaves;  ///< MsetHash::Fold64 per shard.
+};
+
 /// One published epoch: an immutable view of the element set plus (when a
 /// layout is configured) its pre-built responder state.
 struct StoreSnapshot {
   uint64_t epoch = 0;
   std::shared_ptr<const std::vector<uint64_t>> elements;
   std::shared_ptr<const PbsStoreLayout> layout;  ///< Null when unconfigured.
+  /// Null until ConfigureShardChecksums ran.
+  std::shared_ptr<const ShardChecksums> shard_checksums;
 };
 
 /// Epoch-versioned element set with incremental sketch maintenance.
@@ -97,6 +112,17 @@ class MutableElementStore {
   /// stored element exceeds config.sig_bits. Publishes a new epoch.
   bool ConfigureLayout(const PbsConfig& config, uint64_t seed, int d_used,
                        std::string* error = nullptr);
+
+  /// Configures incremental per-shard multiset checksums for sharded
+  /// sessions keyed by (shard_count, seed): folds the current set into
+  /// shard_count MsetHash digests and keeps them current across every
+  /// subsequent mutation (amortized O(1) per mutation), so a session's
+  /// Merkle pre-filter leaves come straight off the snapshot instead of
+  /// an O(|set|) stream. Replaces any previous shard configuration.
+  /// Returns false (with *error set) when shard_count is outside the
+  /// negotiation bounds. Publishes a new epoch.
+  bool ConfigureShardChecksums(int shard_count, uint64_t seed,
+                               std::string* error = nullptr);
 
   /// Single-element insert. Returns false on rejection (zero, duplicate,
   /// or wider than the configured layout's sig_bits). Does NOT publish;

@@ -91,6 +91,24 @@ enum class FrameType : uint8_t {
                         ///< read-only servers.
   kUpdateAck = 10,      ///< Server's per-batch result: the published epoch
                         ///< and apply/reject counts.
+  // Sharded huge-set reconciliation (docs/WIRE_FORMAT.md section 2.5;
+  // sync/sharded_session.h). A sharded session replaces the kHello
+  // handshake with kShardPlan (which embeds the HELLO payload) and then
+  // multiplexes per-shard sub-sessions over one connection.
+  kShardPlan = 11,      ///< Initiator's shard proposal: shard count, its
+                        ///< shard-digest Merkle root, and the embedded
+                        ///< HELLO payload.
+  kShardPlanAck = 12,   ///< Responder's accepted shard count (possibly
+                        ///< clamped) and its own Merkle root. Equal roots
+                        ///< end the session in O(1) bytes.
+  kDigestTree = 13,     ///< Initiator's per-shard digest leaves (one u64
+                        ///< per shard), sent only when the roots differ.
+  kDigestReply = 14,    ///< Responder's differing-shard bitmap (bit k set
+                        ///< = shard k's digests disagree).
+  kSubSession = 15,     ///< One sub-session frame: shard id, an inner
+                        ///< frame type (estimate/scheme/done), and the
+                        ///< inner payload. Up to `shard_pipeline` shards
+                        ///< are in flight concurrently.
 };
 
 /// Stable one-byte ids for the built-in schemes, carried in the header so

@@ -177,17 +177,69 @@ struct ParityBitmap {
   bool EqualsScalar(const ParityBitmap& other) const;
 
  private:
+  // Binned-scatter policy: once the XOR-sum table outgrows L1, a
+  // random-order scatter touches a fresh cache line for almost every
+  // element. Bucketing each block's (element, bin) pairs by the bin's
+  // top bits first -- a 16-way counting sort over at most kBuildBlock
+  // pairs -- turns the scatter into 16 sweeps over compact, disjoint
+  // regions of the table. XOR's commutativity makes any within-block
+  // reorder bit-identical to the direct scatter (pinned against
+  // BuildIntoScalar by tests/core/parity_bitmap_simd_test.cc).
+  static constexpr int kScatterBuckets = 16;
+  static constexpr int kScatterMinBins = 1 << 12;
+
   // The restrict-qualified locals matter: parity is uint8_t (which aliases
   // everything under C++ rules), so without them every parity store forces
   // the compiler to reload and re-order around the next xor_sum access,
   // serializing the scatter.
-  static void Scatter(ParityBitmap* pb, const uint64_t* __restrict elements,
-                      const uint64_t* __restrict bins, size_t count) {
+  static void ScatterDirect(ParityBitmap* pb,
+                            const uint64_t* __restrict elements,
+                            const uint64_t* __restrict bins, size_t count) {
     uint64_t* __restrict xs = pb->xor_sum.data();
     uint8_t* __restrict par = pb->parity.data();
     for (size_t i = 0; i < count; ++i) {
       xs[bins[i]] ^= elements[i];
       par[bins[i]] ^= 1;
+    }
+  }
+
+  // `count` never exceeds kBuildBlock (every caller feeds block-sized
+  // slices), so the permutation scratch lives on the stack.
+  static void ScatterBinned(ParityBitmap* pb,
+                            const uint64_t* __restrict elements,
+                            const uint64_t* __restrict bins, size_t count) {
+    int shift = 0;
+    while ((static_cast<uint64_t>(pb->n) >> shift) >=
+           static_cast<uint64_t>(kScatterBuckets)) {
+      ++shift;
+    }
+    uint32_t offsets[kScatterBuckets] = {0};
+    for (size_t i = 0; i < count; ++i) {
+      ++offsets[bins[i] >> shift];
+    }
+    uint32_t run = 0;
+    for (int b = 0; b < kScatterBuckets; ++b) {
+      const uint32_t c = offsets[b];
+      offsets[b] = run;
+      run += c;
+    }
+    uint64_t elems_by_bucket[kBuildBlock];
+    uint64_t bins_by_bucket[kBuildBlock];
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t slot = offsets[bins[i] >> shift]++;
+      elems_by_bucket[slot] = elements[i];
+      bins_by_bucket[slot] = bins[i];
+    }
+    ScatterDirect(pb, elems_by_bucket, bins_by_bucket, count);
+  }
+
+  static void Scatter(ParityBitmap* pb, const uint64_t* elements,
+                      const uint64_t* bins, size_t count) {
+    if (pb->n >= kScatterMinBins &&
+        count > static_cast<size_t>(kScatterBuckets)) {
+      ScatterBinned(pb, elements, bins, count);
+    } else {
+      ScatterDirect(pb, elements, bins, count);
     }
   }
 };

@@ -42,6 +42,11 @@
 
 namespace pbs {
 
+namespace sync {
+class ShardedCoordinator;
+class ShardedResponderMux;
+}  // namespace sync
+
 /// Everything the initiator pins for one session. The responder adopts
 /// these from the HELLO frame; it contributes only its element set.
 struct SessionConfig {
@@ -57,8 +62,19 @@ struct SessionConfig {
   uint64_t estimate_seed = 0xE57;
   /// When >= 0, skip the estimate phase and hand this d to both engines
   /// (the "d known" setting of Sections 2-5, and the parity tests' way of
-  /// matching an in-memory Reconcile call exactly).
+  /// matching an in-memory Reconcile call exactly). In a sharded session
+  /// it is the per-shard d (a valid upper bound for every shard).
   double exact_d = -1.0;
+  /// Keyspace sharding (sync/shard_planner.h). 0 or 1 runs the classic
+  /// monolithic session; >= 2 splits the keyspace into that many
+  /// hash-range shards, exchanges the Merkle pre-filter, and reconciles
+  /// only differing shards as pipelined sub-sessions. The initiator
+  /// proposes the count in SHARD_PLAN; a responder configured with a
+  /// smaller (>= 2) count clamps it in SHARD_PLAN_ACK.
+  int keyspace_shards = 0;
+  /// Max sub-sessions in flight at once on the initiator (sharded
+  /// sessions only). Local pacing knob; never travels on the wire.
+  int shard_pipeline = 4;
 };
 
 /// Result of driving one side of a session to completion.
@@ -142,10 +158,11 @@ class SessionEngine {
   static SessionEngine Updater(std::vector<UpdateBatch> batches,
                                const SchemeRegistry* registry = nullptr);
 
-  SessionEngine(SessionEngine&&) = default;
-  SessionEngine& operator=(SessionEngine&&) = default;
+  SessionEngine(SessionEngine&&) noexcept;
+  SessionEngine& operator=(SessionEngine&&) noexcept;
   SessionEngine(const SessionEngine&) = delete;
   SessionEngine& operator=(const SessionEngine&) = delete;
+  ~SessionEngine();
 
   /// Accepts `size` inbound bytes in any chunking. Complete frames are
   /// processed immediately (possibly queueing outbound bytes); a trailing
@@ -199,6 +216,9 @@ class SessionEngine {
     kAwaitEstimateReply,
     kAwaitSchemeReply,
     kAwaitUpdateAck,  // Updater role: batch in flight.
+    kAwaitShardPlanAck,  // Sharded initiator: SHARD_PLAN in flight.
+    kAwaitDigestReply,   // Sharded initiator: DIGEST_TREE in flight.
+    kShardMux,           // Sharded initiator: sub-sessions running.
     kAwaitDoneAck,
     // Responder.
     kAwaitHello,
@@ -220,6 +240,15 @@ class SessionEngine {
   void HandleEstimateRequest();
   void HandleSchemeRequest();
   void HandleUpdate();
+  void StartShardedInitiator();
+  void HandleShardPlan();
+  void HandleShardPlanAck();
+  void HandleDigestTree();
+  void HandleDigestReply();
+  void SendEstimateRequest();
+  void HandleSubSession();
+  void FlushShardFrames();
+  void FinishShardedInitiator();
   void StartSchemePhase();
   void EmitNextRequest();
   void EmitNextUpdate();
@@ -258,6 +287,9 @@ class SessionEngine {
   std::unique_ptr<SetReconciler> reconciler_;
   std::unique_ptr<ReconcileInitiator> initiator_engine_;
   std::unique_ptr<ReconcileResponder> responder_engine_;
+  // Sharded sessions (sync/sharded_session.h); null in monolithic ones.
+  std::unique_ptr<sync::ShardedCoordinator> shard_coordinator_;
+  std::unique_ptr<sync::ShardedResponderMux> shard_mux_;
   double d_hat_ = -1.0;
   uint32_t exchange_ = 0;
   size_t estimator_payload_bytes_ = 0;

@@ -59,6 +59,13 @@ class HashFamily {
     kIbf = 5,
     kBloom = 6,
     kStrata = 7,
+    // Sharded huge-set reconciliation (sync/shard_planner.h): the
+    // keyspace-partition hash, the per-shard multiset-checksum salt, and
+    // the per-shard sub-session seed derivation. Disjoint roles keep the
+    // shard partition independent of every in-shard hash choice.
+    kShardPartition = 8,
+    kShardChecksum = 9,
+    kShardSession = 10,
   };
 
   explicit HashFamily(uint64_t master_seed) : master_seed_(master_seed) {}

@@ -99,6 +99,10 @@ struct ServerOptions {
   /// independent BCH decodes finish. Note each in-flight session owns its
   /// own pool, so the thread budget is decode_threads * active sessions.
   int decode_threads = 1;
+  /// Local keyspace-shard cap for sharded sessions (SHARD_PLAN): a
+  /// proposal above this is clamped down to it in the SHARD_PLAN_ACK.
+  /// 0 = accept whatever the initiator proposes.
+  int keyspace_shards = 0;
 };
 
 /// Monotonic counters, snapshot via ReconcileServer::stats() — an

@@ -87,6 +87,7 @@ class Shard {
   struct Options {
     int idle_timeout_ms = 30000;
     int decode_threads = 1;
+    int keyspace_shards = 0;  // Local SHARD_PLAN clamp; 0 = accept any.
     EventLoop::Backend backend = EventLoop::Backend::kAuto;
   };
 

@@ -1,0 +1,50 @@
+// Merkle pre-filter over per-shard digests: the O(1)-bytes skip path of
+// sharded reconciliation.
+//
+// Both sides fold each shard's multiset into a 64-bit leaf
+// (sync/shard_planner.h ComputeShardLeaves) and build a Merkle tree over
+// the S leaves (common/merkle.h). The roots travel in the
+// SHARD_PLAN / SHARD_PLAN_ACK exchange: equal roots certify every shard
+// identical and the whole session settles in four frames. Differing
+// roots trigger one DIGEST_TREE frame (the initiator's S leaves, 8 bytes
+// each) answered by a DIGEST_REPLY bitmap (bit k = shard k differs), so
+// only surviving shards pay sub-session costs.
+
+#ifndef PBS_SYNC_MERKLE_PREFILTER_H_
+#define PBS_SYNC_MERKLE_PREFILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbs::sync {
+
+/// Merkle root over `leaves` (MerkleTree's empty-list sentinel for S=0).
+uint64_t MerkleRootOf(const std::vector<uint64_t>& leaves);
+
+/// DIGEST_TREE payload: each leaf as 64 little-endian bits.
+std::vector<uint8_t> EncodeDigestLeaves(const std::vector<uint64_t>& leaves);
+
+/// Decodes a DIGEST_TREE payload of exactly `expected` leaves. Returns
+/// false on any size mismatch.
+bool DecodeDigestLeaves(const std::vector<uint8_t>& payload, size_t expected,
+                        std::vector<uint64_t>* leaves);
+
+/// DIGEST_REPLY payload: ceil(S/8) bytes, bit k (byte k/8, bit k%8) set
+/// when shard k differs.
+std::vector<uint8_t> EncodeDiffBitmap(const std::vector<uint8_t>& differs);
+
+/// Decodes a DIGEST_REPLY payload for `shard_count` shards into a
+/// per-shard byte vector (1 = differs). Trailing padding bits must be
+/// zero. Returns false on size mismatch or dirty padding.
+bool DecodeDiffBitmap(const std::vector<uint8_t>& payload, size_t shard_count,
+                      std::vector<uint8_t>* differs);
+
+/// Leafwise diff of two equal-length digest lists: ascending indices
+/// where they disagree.
+std::vector<uint32_t> DiffDigestLeaves(const std::vector<uint64_t>& a,
+                                       const std::vector<uint64_t>& b);
+
+}  // namespace pbs::sync
+
+#endif  // PBS_SYNC_MERKLE_PREFILTER_H_

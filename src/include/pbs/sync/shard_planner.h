@@ -1,0 +1,97 @@
+// Deterministic keyspace sharding for huge-set reconciliation.
+//
+// A monolithic session materializes one sketch over the whole set, so
+// 10^8-element sets blow past bounded memory even though the protocol's
+// wire cost scales with the difference d. The shard planner splits the
+// *keyspace* (not the element list) into S hash-ranges via the session's
+// SaltedHash, so both endpoints assign every element to the same shard
+// with no communication, and each shard reconciles as an independent
+// sub-session over the same connection (sync/sharded_session.h). The
+// per-shard multiset checksums feed the Merkle pre-filter
+// (sync/merkle_prefilter.h) that lets identical shards cost O(1) bytes.
+//
+// All salts derive from the session seed through disjoint HashFamily
+// roles (kShardPartition / kShardChecksum / kShardSession), so the shard
+// partition, the checksum leaves, and each shard's sub-session hashes
+// are mutually independent yet reproducible on both sides.
+
+#ifndef PBS_SYNC_SHARD_PLANNER_H_
+#define PBS_SYNC_SHARD_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pbs/hash/hash_family.h"
+
+namespace pbs::sync {
+
+/// Negotiation bounds for the wire-carried shard count.
+inline constexpr int kMinKeyspaceShards = 2;
+inline constexpr int kMaxKeyspaceShards = 4096;
+
+/// The deterministic shard layout of one sharded session: both sides
+/// derive an identical plan from (shard_count, session seed).
+struct ShardPlan {
+  int shard_count = 0;
+  uint64_t partition_salt = 0;  ///< Keyspace-partition hash salt.
+  uint64_t checksum_salt = 0;   ///< Per-shard MsetHash salt.
+  uint64_t session_seed = 0;    ///< The seed the plan was derived from.
+
+  /// Derives the plan. `shard_count` must be in
+  /// [kMinKeyspaceShards, kMaxKeyspaceShards].
+  static ShardPlan Derive(int shard_count, uint64_t session_seed);
+
+  /// Shard owning element `x`: SaltedHash bucket in [0, shard_count).
+  uint32_t ShardOf(uint64_t x) const {
+    return static_cast<uint32_t>(SaltedHash(partition_salt)
+                                     .Bucket(x, static_cast<uint64_t>(
+                                                    shard_count)));
+  }
+
+  /// Batch form of ShardOf through the lane-batched hash kernel
+  /// (out may alias xs). Bit-identical to the scalar form.
+  void ShardOfMany(const uint64_t* xs, size_t count, uint64_t* out) const {
+    SaltedHash(partition_salt)
+        .BucketMany(xs, count, static_cast<uint64_t>(shard_count), out);
+  }
+
+  /// Scheme seed of shard k's sub-session: derived from the session seed
+  /// under the kShardSession role so no two shards (and no shard and the
+  /// outer session) share hash functions.
+  uint64_t SubSeed(uint32_t shard) const {
+    return HashFamily(session_seed)
+        .Salt(HashFamily::kShardSession, shard);
+  }
+
+  /// Estimator seed of shard k's sub-session, derived from the session's
+  /// estimate seed (kept separate from SubSeed exactly like the outer
+  /// session keeps seed and estimate_seed apart).
+  static uint64_t SubEstimateSeed(uint64_t estimate_seed, uint32_t shard) {
+    return HashFamily(estimate_seed)
+        .Salt(HashFamily::kShardSession, shard);
+  }
+};
+
+/// Streams `elements` once and returns the S folded per-shard multiset
+/// digests (MsetHash::Fold64 of each shard's element multiset under the
+/// plan's checksum salt) -- the Merkle pre-filter's leaves. O(S) memory,
+/// never materializes a partition; elements are sharded in hash-batch
+/// blocks through ShardOfMany.
+std::vector<uint64_t> ComputeShardLeaves(const ShardPlan& plan,
+                                         const uint64_t* elements,
+                                         size_t count);
+
+/// Partitions only the *selected* shards of `elements`: out[i] receives
+/// the elements owned by shard_ids[i] (ascending, deduplicated ids in
+/// [0, shard_count)). Elements of unselected shards are never copied,
+/// which is what bounds the sharded session's peak memory to the
+/// differing fraction of the set plus O(S).
+void PartitionSelected(const uint64_t* elements, size_t count,
+                       const ShardPlan& plan,
+                       const std::vector<uint32_t>& shard_ids,
+                       std::vector<std::vector<uint64_t>>* out);
+
+}  // namespace pbs::sync
+
+#endif  // PBS_SYNC_SHARD_PLANNER_H_

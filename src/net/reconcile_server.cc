@@ -59,6 +59,7 @@ class ReconcileServer::Impl {
     Shard::Options shard_options;
     shard_options.idle_timeout_ms = options_.idle_timeout_ms;
     shard_options.decode_threads = options_.decode_threads;
+    shard_options.keyspace_shards = options_.keyspace_shards;
     shard_options.backend = options_.event_backend;
     const int shard_count = ResolveShardCount(options_.shards);
     shards_.reserve(shard_count);

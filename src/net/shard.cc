@@ -140,6 +140,7 @@ void Shard::Adopt(int fd) {
   s.fd = fd;
   SessionConfig local_config;
   local_config.options.pbs.decode_threads = options_.decode_threads;
+  local_config.keyspace_shards = options_.keyspace_shards;
   if (store_ != nullptr) {
     // Mutable serving: pin the store's current snapshot for this whole
     // session. Concurrent writers keep publishing new epochs; this

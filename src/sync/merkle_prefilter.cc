@@ -1,0 +1,78 @@
+#include "pbs/sync/merkle_prefilter.h"
+
+#include "pbs/common/merkle.h"
+
+namespace pbs::sync {
+
+uint64_t MerkleRootOf(const std::vector<uint64_t>& leaves) {
+  return MerkleTree(leaves).root();
+}
+
+std::vector<uint8_t> EncodeDigestLeaves(const std::vector<uint64_t>& leaves) {
+  std::vector<uint8_t> payload;
+  payload.reserve(leaves.size() * 8);
+  for (uint64_t leaf : leaves) {
+    for (int b = 0; b < 8; ++b) {
+      payload.push_back(static_cast<uint8_t>(leaf >> (8 * b)));
+    }
+  }
+  return payload;
+}
+
+bool DecodeDigestLeaves(const std::vector<uint8_t>& payload, size_t expected,
+                        std::vector<uint64_t>* leaves) {
+  if (payload.size() != expected * 8) return false;
+  leaves->clear();
+  leaves->reserve(expected);
+  for (size_t i = 0; i < expected; ++i) {
+    uint64_t leaf = 0;
+    for (int b = 0; b < 8; ++b) {
+      leaf |= static_cast<uint64_t>(payload[i * 8 + b]) << (8 * b);
+    }
+    leaves->push_back(leaf);
+  }
+  return true;
+}
+
+std::vector<uint8_t> EncodeDiffBitmap(const std::vector<uint8_t>& differs) {
+  std::vector<uint8_t> payload((differs.size() + 7) / 8, 0);
+  for (size_t k = 0; k < differs.size(); ++k) {
+    if (differs[k]) payload[k / 8] |= static_cast<uint8_t>(1u << (k % 8));
+  }
+  return payload;
+}
+
+bool DecodeDiffBitmap(const std::vector<uint8_t>& payload, size_t shard_count,
+                      std::vector<uint8_t>* differs) {
+  if (payload.size() != (shard_count + 7) / 8) return false;
+  // Padding bits past shard_count must be zero (reject sloppy peers so a
+  // future field can safely live there).
+  if (shard_count % 8 != 0 &&
+      (payload.back() & static_cast<uint8_t>(~((1u << (shard_count % 8)) -
+                                               1u))) != 0) {
+    return false;
+  }
+  differs->assign(shard_count, 0);
+  for (size_t k = 0; k < shard_count; ++k) {
+    (*differs)[k] = (payload[k / 8] >> (k % 8)) & 1u;
+  }
+  return true;
+}
+
+std::vector<uint32_t> DiffDigestLeaves(const std::vector<uint64_t>& a,
+                                       const std::vector<uint64_t>& b) {
+  std::vector<uint32_t> diff;
+  const size_t shared = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < shared; ++i) {
+    if (a[i] != b[i]) diff.push_back(static_cast<uint32_t>(i));
+  }
+  for (size_t i = shared; i < a.size(); ++i) {
+    diff.push_back(static_cast<uint32_t>(i));
+  }
+  for (size_t i = shared; i < b.size(); ++i) {
+    diff.push_back(static_cast<uint32_t>(i));
+  }
+  return diff;
+}
+
+}  // namespace pbs::sync

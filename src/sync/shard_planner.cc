@@ -1,0 +1,62 @@
+#include "pbs/sync/shard_planner.h"
+
+#include "pbs/common/mset_hash.h"
+#include "pbs/hash/xxhash64.h"
+
+namespace pbs::sync {
+
+ShardPlan ShardPlan::Derive(int shard_count, uint64_t session_seed) {
+  const HashFamily family(session_seed);
+  ShardPlan plan;
+  plan.shard_count = shard_count;
+  plan.partition_salt = family.Salt(HashFamily::kShardPartition);
+  plan.checksum_salt = family.Salt(HashFamily::kShardChecksum);
+  plan.session_seed = session_seed;
+  return plan;
+}
+
+std::vector<uint64_t> ComputeShardLeaves(const ShardPlan& plan,
+                                         const uint64_t* elements,
+                                         size_t count) {
+  std::vector<MsetHash> sums(static_cast<size_t>(plan.shard_count),
+                             MsetHash(plan.checksum_salt));
+  uint64_t shards[kXxHashBatch];
+  for (size_t base = 0; base < count; base += kXxHashBatch) {
+    const size_t blk =
+        count - base < kXxHashBatch ? count - base : kXxHashBatch;
+    plan.ShardOfMany(elements + base, blk, shards);
+    for (size_t i = 0; i < blk; ++i) {
+      sums[shards[i]].Add(elements[base + i]);
+    }
+  }
+  std::vector<uint64_t> leaves;
+  leaves.reserve(sums.size());
+  for (const MsetHash& h : sums) leaves.push_back(h.Fold64());
+  return leaves;
+}
+
+void PartitionSelected(const uint64_t* elements, size_t count,
+                       const ShardPlan& plan,
+                       const std::vector<uint32_t>& shard_ids,
+                       std::vector<std::vector<uint64_t>>* out) {
+  out->assign(shard_ids.size(), {});
+  // Dense shard -> output-slot map (S entries, SIZE_MAX = unselected):
+  // the inner loop stays a single load instead of a search per element.
+  std::vector<size_t> slot_of(static_cast<size_t>(plan.shard_count),
+                              SIZE_MAX);
+  for (size_t i = 0; i < shard_ids.size(); ++i) {
+    slot_of[shard_ids[i]] = i;
+  }
+  uint64_t shards[kXxHashBatch];
+  for (size_t base = 0; base < count; base += kXxHashBatch) {
+    const size_t blk =
+        count - base < kXxHashBatch ? count - base : kXxHashBatch;
+    plan.ShardOfMany(elements + base, blk, shards);
+    for (size_t i = 0; i < blk; ++i) {
+      const size_t slot = slot_of[shards[i]];
+      if (slot != SIZE_MAX) (*out)[slot].push_back(elements[base + i]);
+    }
+  }
+}
+
+}  // namespace pbs::sync

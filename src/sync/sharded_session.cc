@@ -1,0 +1,670 @@
+#include "pbs/sync/sharded_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "pbs/common/bitio.h"
+#include "pbs/sync/merkle_prefilter.h"
+
+namespace pbs::sync {
+namespace {
+
+using wire::FrameType;
+
+// Mirrors the outer session's estimate-bounds policy
+// (core/session_engine.cc): an estimate above this is a protocol
+// violation, not a big set.
+constexpr double kMaxSubEstimate = static_cast<double>(1 << 19);
+// A failed sub-session attempt retries with its difference bound
+// escalated by this factor: the wasted bytes of the whole ladder stay
+// within a constant factor of the final successful attempt.
+constexpr double kSubRetryGrowth = 4.0;
+constexpr int kMaxSubAttempts = 6;
+// When the pre-filter names at most this many differing shards, the
+// global estimate exchange is skipped: a few retry-ladder escalations
+// from kSkipInitialD cost less than a full-set ToW sketch on the wire.
+constexpr size_t kEstimateSkipShards = 4;
+constexpr double kSkipInitialD = 4.0;
+
+// Per-shard scheme-request prefix: u8 attempt + f64 difference bound.
+constexpr size_t kSubRequestPrefix = 9;
+
+double BitsToDouble(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string ShardError(const char* what, uint32_t shard) {
+  return std::string(what) + " (shard " + std::to_string(shard) + ")";
+}
+
+}  // namespace
+
+void AppendSubRecord(uint32_t shard, uint8_t inner_type, const uint8_t* data,
+                     size_t size, std::vector<uint8_t>* out) {
+  out->reserve(out->size() + 7 + size);
+  out->push_back(static_cast<uint8_t>(shard & 0xFF));
+  out->push_back(static_cast<uint8_t>((shard >> 8) & 0xFF));
+  out->push_back(inner_type);
+  const uint32_t len = static_cast<uint32_t>(size);
+  for (int b = 0; b < 4; ++b) {
+    out->push_back(static_cast<uint8_t>((len >> (8 * b)) & 0xFF));
+  }
+  out->insert(out->end(), data, data + size);
+}
+
+bool ParseSubRecords(const std::vector<uint8_t>& payload,
+                     std::vector<SubFrame>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    if (payload.size() - pos < 7) return false;
+    SubFrame frame;
+    frame.shard = static_cast<uint32_t>(payload[pos]) |
+                  (static_cast<uint32_t>(payload[pos + 1]) << 8);
+    frame.inner_type = payload[pos + 2];
+    uint32_t len = 0;
+    for (int b = 0; b < 4; ++b) {
+      len |= static_cast<uint32_t>(payload[pos + 3 + b]) << (8 * b);
+    }
+    pos += 7;
+    if (payload.size() - pos < len) return false;
+    frame.payload.assign(payload.begin() + pos, payload.begin() + pos + len);
+    pos += len;
+    out->push_back(std::move(frame));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCoordinator (initiator side)
+// ---------------------------------------------------------------------------
+
+struct ShardedCoordinator::Sub {
+  enum Phase : uint8_t {
+    kUnopened,
+    kAwaitScheme,
+    kAwaitDoneAck,
+    kComplete,
+  };
+
+  uint32_t shard = 0;
+  // Retained across attempts (each attempt's engine gets a copy): a
+  // failed decode restarts from the same shard slice.
+  std::vector<uint64_t> elements;
+  std::unique_ptr<ReconcileInitiator> engine;
+  double d_attempt = 1.0;
+  uint8_t attempt = 0;
+  uint8_t phase = kUnopened;
+  bool queued = false;       // An inbound record for this shard is queued.
+  uint8_t pending_type = 0;  // Inner type to emit after Process (0 = none).
+  std::vector<uint8_t> scratch;  // Reused outbound inner payload.
+  std::vector<uint8_t> raw;      // Engine request before prefixing.
+  // Byte/time accounting accumulated across every attempt.
+  uint64_t acc_data_bytes = 0;
+  int acc_rounds = 0;
+  double acc_encode = 0.0;
+  double acc_decode = 0.0;
+  ReconcileOutcome outcome;
+  bool has_outcome = false;
+  std::string error;
+
+  void StageRequest() {
+    scratch.clear();
+    scratch.reserve(9 + raw.size());
+    scratch.push_back(attempt);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d_attempt), "double width");
+    std::memcpy(&bits, &d_attempt, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      scratch.push_back(static_cast<uint8_t>((bits >> (8 * b)) & 0xFF));
+    }
+    scratch.insert(scratch.end(), raw.begin(), raw.end());
+    pending_type = static_cast<uint8_t>(FrameType::kSchemeRequest);
+  }
+};
+
+ShardedCoordinator::ShardedCoordinator(const SessionConfig& config,
+                                       SessionEngine::SharedElements elements,
+                                       const SchemeRegistry* registry)
+    : config_(config), elements_(std::move(elements)) {
+  pipeline_ = config_.shard_pipeline < 1 ? 1 : config_.shard_pipeline;
+  plan_ = ShardPlan::Derive(config_.keyspace_shards, config_.seed);
+  // Per-shard engines run serial: the shard loop owns the parallelism.
+  SchemeOptions options = config_.options;
+  options.pbs.decode_threads = 1;
+  const SchemeRegistry& reg =
+      registry != nullptr ? *registry : SchemeRegistry::Instance();
+  reconciler_ = reg.Create(config_.scheme_name, options);
+  if (reconciler_ == nullptr) {
+    error_ = "unknown scheme '" + config_.scheme_name + "'";
+  }
+}
+
+ShardedCoordinator::~ShardedCoordinator() = default;
+
+const std::vector<uint64_t>& ShardedCoordinator::leaves() {
+  if (!leaves_valid_) {
+    leaves_ = ComputeShardLeaves(plan_, elements_->data(), elements_->size());
+    leaves_valid_ = true;
+  }
+  return leaves_;
+}
+
+uint64_t ShardedCoordinator::root() { return MerkleRootOf(leaves()); }
+
+bool ShardedCoordinator::AdoptShardCount(int accepted, std::string* error) {
+  if (accepted == plan_.shard_count) return true;
+  if (accepted < kMinKeyspaceShards || accepted > plan_.shard_count) {
+    *error = "responder accepted shard count " + std::to_string(accepted) +
+             " outside [" + std::to_string(kMinKeyspaceShards) + ", " +
+             std::to_string(plan_.shard_count) + "]";
+    return false;
+  }
+  plan_ = ShardPlan::Derive(accepted, config_.seed);
+  leaves_valid_ = false;
+  return true;
+}
+
+void ShardedCoordinator::EncodeDigestTree(std::vector<uint8_t>* out) {
+  *out = EncodeDigestLeaves(leaves());
+}
+
+bool ShardedCoordinator::BeginSubSessions(const std::vector<uint8_t>& payload,
+                                          std::string* error) {
+  if (begun_) {
+    *error = "duplicate DIGEST_REPLY";
+    return false;
+  }
+  if (payload.size() !=
+      (static_cast<size_t>(plan_.shard_count) + 7) / 8) {
+    *error = "malformed DIGEST_REPLY";
+    return false;
+  }
+  std::vector<uint8_t> differs;
+  if (!DecodeDiffBitmap(payload, static_cast<size_t>(plan_.shard_count),
+                        &differs)) {
+    *error = "malformed DIGEST_REPLY bitmap";
+    return false;
+  }
+  std::vector<uint32_t> ids;
+  for (size_t k = 0; k < differs.size(); ++k) {
+    if (differs[k] != 0) ids.push_back(static_cast<uint32_t>(k));
+  }
+  identical_ = plan_.shard_count - static_cast<int>(ids.size());
+  if (config_.exact_d >= 0.0) {
+    // exact_d is documented as a valid per-shard upper bound.
+    initial_d_ = std::min(std::max(config_.exact_d, 1.0), kMaxSubEstimate);
+    ready_ = true;
+  } else if (ids.size() <= kEstimateSkipShards) {
+    // Few enough survivors that a sketch costs more than it saves: start
+    // from a small default bound and let the retry ladder escalate.
+    initial_d_ = kSkipInitialD;
+    ready_ = true;
+  }
+  // Otherwise stay unready: the owning engine sees NeedsEstimate(), runs
+  // the global estimate exchange, and SetTotalEstimate unblocks Flush.
+  std::vector<std::vector<uint64_t>> parts;
+  PartitionSelected(elements_->data(), elements_->size(), plan_, ids, &parts);
+  subs_.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto sub = std::make_unique<Sub>();
+    sub->shard = ids[i];
+    sub->elements = std::move(parts[i]);
+    subs_.push_back(std::move(sub));
+  }
+  begun_ = true;
+  return true;
+}
+
+void ShardedCoordinator::SetTotalEstimate(double d_hat) {
+  d_hat_total_ = d_hat;
+  // Mean apportioned share plus a one-sigma Poisson cushion; the retry
+  // ladder covers shards whose slice clusters beyond it.
+  const double mean =
+      d_hat / static_cast<double>(std::max<size_t>(1, subs_.size()));
+  initial_d_ = std::ceil(mean + std::sqrt(mean) + 1.0);
+  initial_d_ = std::min(std::max(initial_d_, 1.0), kMaxSubEstimate);
+  ready_ = true;
+}
+
+ShardedCoordinator::Sub* ShardedCoordinator::FindSub(uint32_t shard) {
+  auto it = std::lower_bound(
+      subs_.begin(), subs_.end(), shard,
+      [](const std::unique_ptr<Sub>& s, uint32_t id) { return s->shard < id; });
+  if (it == subs_.end() || (*it)->shard != shard) return nullptr;
+  return it->get();
+}
+
+bool ShardedCoordinator::HandleSubFrame(SubFrame frame, std::string* error) {
+  if (!begun_) {
+    *error = "sub-session record before DIGEST_REPLY";
+    return false;
+  }
+  Sub* sub = FindSub(frame.shard);
+  if (sub == nullptr) {
+    *error = ShardError("sub-session record for unknown shard", frame.shard);
+    return false;
+  }
+  if (sub->phase == Sub::kUnopened || sub->phase == Sub::kComplete) {
+    *error = ShardError("sub-session record for inactive shard", frame.shard);
+    return false;
+  }
+  if (sub->queued) {
+    *error = ShardError("overlapping sub-session records", frame.shard);
+    return false;
+  }
+  sub->queued = true;
+  queue_.push_back(std::move(frame));
+  return true;
+}
+
+void ShardedCoordinator::StartAttempt(Sub& sub) {
+  sub.engine = reconciler_->CreateInitiator(sub.elements, sub.d_attempt,
+                                            plan_.SubSeed(sub.shard));
+  if (sub.engine == nullptr) {
+    sub.error = "scheme '" + config_.scheme_name + "' has no wire protocol";
+    return;
+  }
+  sub.engine->NextRequestInto(&sub.raw);
+  sub.StageRequest();
+  sub.phase = Sub::kAwaitScheme;
+}
+
+void ShardedCoordinator::Open(Sub& sub) {
+  sub.attempt = 1;
+  sub.d_attempt = initial_d_;
+  StartAttempt(sub);
+}
+
+void ShardedCoordinator::Process(Sub& sub, const SubFrame& frame) {
+  switch (sub.phase) {
+    case Sub::kAwaitScheme: {
+      if (frame.inner_type != static_cast<uint8_t>(FrameType::kSchemeReply)) {
+        sub.error = ShardError("unexpected sub-session reply", sub.shard);
+        return;
+      }
+      if (!sub.engine->HandleReply(frame.payload)) {
+        sub.error = ShardError("malformed sub-session reply", sub.shard);
+        return;
+      }
+      if (!sub.engine->done()) {
+        // Later rounds of the same attempt keep the prefix: the record
+        // format stays uniform and the responder re-checks consistency.
+        sub.engine->NextRequestInto(&sub.raw);
+        sub.StageRequest();
+        return;
+      }
+      ReconcileOutcome attempt_outcome = sub.engine->TakeOutcome();
+      sub.engine.reset();
+      sub.acc_data_bytes += attempt_outcome.data_bytes;
+      sub.acc_rounds += attempt_outcome.rounds;
+      sub.acc_encode += attempt_outcome.encode_seconds;
+      sub.acc_decode += attempt_outcome.decode_seconds;
+      if (!attempt_outcome.success && sub.attempt < kMaxSubAttempts &&
+          sub.d_attempt < kMaxSubEstimate) {
+        // Escalate the bound and retry from scratch. Every scheme's
+        // responder sizes itself from the request prefix, so the remote
+        // engine follows without renegotiation.
+        ++sub.attempt;
+        sub.d_attempt =
+            std::min(sub.d_attempt * kSubRetryGrowth, kMaxSubEstimate);
+        StartAttempt(sub);
+        return;
+      }
+      sub.outcome = std::move(attempt_outcome);
+      sub.outcome.data_bytes = sub.acc_data_bytes;
+      sub.outcome.rounds = sub.acc_rounds;
+      sub.outcome.encode_seconds = sub.acc_encode;
+      sub.outcome.decode_seconds = sub.acc_decode;
+      sub.has_outcome = true;
+      BitWriter w;
+      w.WriteBits(sub.outcome.success ? 1 : 0, 8);
+      w.WriteBits(static_cast<uint64_t>(sub.outcome.rounds), 32);
+      w.WriteBits(static_cast<uint64_t>(sub.outcome.difference.size()), 64);
+      sub.scratch = w.TakeBytes();
+      sub.pending_type = static_cast<uint8_t>(FrameType::kDone);
+      sub.phase = Sub::kAwaitDoneAck;
+      return;
+    }
+    case Sub::kAwaitDoneAck: {
+      if (frame.inner_type != static_cast<uint8_t>(FrameType::kDone)) {
+        sub.error = ShardError("unexpected sub-session done ack", sub.shard);
+        return;
+      }
+      sub.phase = Sub::kComplete;
+      sub.elements = {};
+      return;
+    }
+    default:
+      sub.error =
+          ShardError("sub-session record for inactive shard", sub.shard);
+  }
+}
+
+bool ShardedCoordinator::Flush(const SubEmit& emit, std::string* error) {
+  if (!queue_.empty()) {
+    const size_t n = queue_.size();
+    if (pool_ == nullptr && n > 1) {
+      const int threads =
+          ParallelFor::ResolveThreads(config_.options.pbs.decode_threads);
+      if (threads > 1) pool_ = std::make_unique<ParallelFor>(threads);
+    }
+    // Every queued record targets a distinct shard (enforced at enqueue),
+    // so the processing loop is embarrassingly parallel; emissions below
+    // stay in arrival order regardless of the thread count.
+    if (pool_ != nullptr && n > 1) {
+      pool_->Run(n, [this](size_t i, int /*worker*/) {
+        Process(*FindSub(queue_[i].shard), queue_[i]);
+      });
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        Process(*FindSub(queue_[i].shard), queue_[i]);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      Sub* sub = FindSub(queue_[i].shard);
+      sub->queued = false;
+      if (!sub->error.empty()) {
+        *error = sub->error;
+        queue_.clear();
+        return false;
+      }
+      if (sub->phase == Sub::kComplete) {
+        ++completed_;
+        --open_;
+      }
+      if (sub->pending_type != 0) {
+        emit(sub->shard, sub->pending_type, sub->scratch.data(),
+             sub->scratch.size());
+        sub->pending_type = 0;
+      }
+    }
+    queue_.clear();
+  }
+  while (begun_ && ready_ && open_ < static_cast<size_t>(pipeline_) &&
+         next_open_ < subs_.size()) {
+    Sub& sub = *subs_[next_open_++];
+    Open(sub);
+    if (!sub.error.empty()) {
+      *error = sub.error;
+      return false;
+    }
+    emit(sub.shard, sub.pending_type, sub.scratch.data(), sub.scratch.size());
+    sub.pending_type = 0;
+    ++open_;
+  }
+  return true;
+}
+
+double ShardedCoordinator::total_d_hat() const {
+  if (d_hat_total_ >= 0.0) return d_hat_total_;
+  if (config_.exact_d >= 0.0) return config_.exact_d;
+  // Estimation was skipped: report the negotiated bound the sub-sessions
+  // actually settled at.
+  double sum = 0.0;
+  for (const auto& sub : subs_) sum += sub->d_attempt;
+  return sum;
+}
+
+ReconcileOutcome ShardedCoordinator::TakeOutcome() {
+  ReconcileOutcome out;
+  out.success = true;
+  out.rounds = 0;
+  size_t total_diff = 0;
+  int retries = 0;
+  for (const auto& sub : subs_) {
+    if (sub->has_outcome) total_diff += sub->outcome.difference.size();
+    retries += sub->attempt > 1 ? sub->attempt - 1 : 0;
+  }
+  out.difference.reserve(total_diff);
+  for (auto& subp : subs_) {
+    Sub& sub = *subp;
+    if (!sub.has_outcome) {
+      out.success = false;
+      continue;
+    }
+    out.success = out.success && sub.outcome.success;
+    out.rounds = std::max(out.rounds, sub.outcome.rounds);
+    out.difference.insert(out.difference.end(),
+                          sub.outcome.difference.begin(),
+                          sub.outcome.difference.end());
+    out.data_bytes += sub.outcome.data_bytes;
+    out.estimator_bytes += sub.outcome.estimator_bytes;
+    out.encode_seconds += sub.outcome.encode_seconds;
+    out.decode_seconds += sub.outcome.decode_seconds;
+  }
+  char summary[112];
+  std::snprintf(summary, sizeof(summary),
+                "shards=%d identical=%d differing=%zu pipeline=%d retries=%d",
+                plan_.shard_count, identical_, subs_.size(), pipeline_,
+                retries);
+  out.params_summary = summary;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedResponderMux (responder side)
+// ---------------------------------------------------------------------------
+
+struct ShardedResponderMux::Sub {
+  uint32_t shard = 0;
+  // Retained until the inner done: a retried attempt rebuilds the
+  // responder engine from the same shard slice.
+  std::vector<uint64_t> elements;
+  std::unique_ptr<ReconcileResponder> engine;
+  uint8_t attempt = 0;
+  bool complete = false;
+  bool queued = false;
+  uint8_t pending_type = 0;
+  std::vector<uint8_t> scratch;
+  std::string error;
+};
+
+ShardedResponderMux::ShardedResponderMux(
+    const SessionConfig& config, SessionEngine::SharedElements elements,
+    const SchemeRegistry* registry, int accepted_shards,
+    std::shared_ptr<const StoreSnapshot> snapshot)
+    : config_(config), elements_(std::move(elements)) {
+  plan_ = ShardPlan::Derive(accepted_shards, config_.seed);
+  SchemeOptions options = config_.options;
+  options.pbs.decode_threads = 1;
+  const SchemeRegistry& reg =
+      registry != nullptr ? *registry : SchemeRegistry::Instance();
+  reconciler_ = reg.Create(config_.scheme_name, options);
+  if (reconciler_ == nullptr) {
+    error_ = "unknown scheme '" + config_.scheme_name + "'";
+    return;
+  }
+  // A store snapshot that maintained checksums for exactly this layout
+  // hands us the leaves for free (core/element_store.h).
+  if (snapshot != nullptr && snapshot->shard_checksums != nullptr &&
+      snapshot->shard_checksums->shard_count == accepted_shards &&
+      snapshot->shard_checksums->seed == config_.seed) {
+    leaves_ = snapshot->shard_checksums->leaves;
+    leaves_valid_ = true;
+  }
+}
+
+ShardedResponderMux::~ShardedResponderMux() = default;
+
+void ShardedResponderMux::EnsureLeaves() {
+  if (!leaves_valid_) {
+    leaves_ = ComputeShardLeaves(plan_, elements_->data(), elements_->size());
+    leaves_valid_ = true;
+  }
+}
+
+uint64_t ShardedResponderMux::root() {
+  EnsureLeaves();
+  return MerkleRootOf(leaves_);
+}
+
+bool ShardedResponderMux::HandleDigestTree(const std::vector<uint8_t>& payload,
+                                           std::vector<uint8_t>* reply,
+                                           std::string* error) {
+  if (partitioned_) {
+    *error = "duplicate DIGEST_TREE";
+    return false;
+  }
+  std::vector<uint64_t> remote;
+  if (!DecodeDigestLeaves(payload, static_cast<size_t>(plan_.shard_count),
+                          &remote)) {
+    *error = "malformed DIGEST_TREE payload";
+    return false;
+  }
+  EnsureLeaves();
+  std::vector<uint8_t> differs(static_cast<size_t>(plan_.shard_count), 0);
+  std::vector<uint32_t> ids;
+  for (size_t k = 0; k < differs.size(); ++k) {
+    if (remote[k] != leaves_[k]) {
+      differs[k] = 1;
+      ids.push_back(static_cast<uint32_t>(k));
+    }
+  }
+  *reply = EncodeDiffBitmap(differs);
+  std::vector<std::vector<uint64_t>> parts;
+  PartitionSelected(elements_->data(), elements_->size(), plan_, ids, &parts);
+  subs_.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto sub = std::make_unique<Sub>();
+    sub->shard = ids[i];
+    sub->elements = std::move(parts[i]);
+    subs_.push_back(std::move(sub));
+  }
+  partitioned_ = true;
+  return true;
+}
+
+ShardedResponderMux::Sub* ShardedResponderMux::FindSub(uint32_t shard) {
+  auto it = std::lower_bound(
+      subs_.begin(), subs_.end(), shard,
+      [](const std::unique_ptr<Sub>& s, uint32_t id) { return s->shard < id; });
+  if (it == subs_.end() || (*it)->shard != shard) return nullptr;
+  return it->get();
+}
+
+bool ShardedResponderMux::HandleSubFrame(SubFrame frame, std::string* error) {
+  if (!partitioned_) {
+    *error = "sub-session record before DIGEST_TREE";
+    return false;
+  }
+  Sub* sub = FindSub(frame.shard);
+  if (sub == nullptr) {
+    *error = ShardError("sub-session record for unknown shard", frame.shard);
+    return false;
+  }
+  if (sub->complete) {
+    *error = ShardError("sub-session record for settled shard", frame.shard);
+    return false;
+  }
+  if (sub->queued) {
+    *error = ShardError("overlapping sub-session records", frame.shard);
+    return false;
+  }
+  sub->queued = true;
+  queue_.push_back(std::move(frame));
+  return true;
+}
+
+void ShardedResponderMux::Process(Sub& sub, const SubFrame& frame) {
+  switch (static_cast<FrameType>(frame.inner_type)) {
+    case FrameType::kSchemeRequest: {
+      if (frame.payload.size() < kSubRequestPrefix) {
+        sub.error = ShardError("malformed sub-session request", sub.shard);
+        return;
+      }
+      const uint8_t attempt = frame.payload[0];
+      uint64_t bits = 0;
+      for (int b = 0; b < 8; ++b) {
+        bits |= static_cast<uint64_t>(frame.payload[1 + b]) << (8 * b);
+      }
+      const double d = BitsToDouble(bits);
+      if (!std::isfinite(d) || d < 0.0 || d > kMaxSubEstimate) {
+        sub.error = ShardError("sub-session bound out of range", sub.shard);
+        return;
+      }
+      if (sub.engine == nullptr || attempt != sub.attempt) {
+        // First round of a (possibly retried) attempt: build a fresh
+        // responder engine sized from the carried bound. Attempts only
+        // ever advance by one.
+        if (attempt != sub.attempt + 1) {
+          sub.error =
+              ShardError("sub-session attempt out of order", sub.shard);
+          return;
+        }
+        sub.attempt = attempt;
+        sub.engine = reconciler_->CreateResponder(sub.elements, d,
+                                                  plan_.SubSeed(sub.shard));
+        if (sub.engine == nullptr) {
+          sub.error =
+              "scheme '" + config_.scheme_name + "' has no wire protocol";
+          return;
+        }
+      }
+      const std::vector<uint8_t> inner(
+          frame.payload.begin() + kSubRequestPrefix, frame.payload.end());
+      if (!sub.engine->HandleRequest(inner, &sub.scratch)) {
+        sub.error = ShardError("malformed sub-session request", sub.shard);
+        return;
+      }
+      sub.pending_type = static_cast<uint8_t>(FrameType::kSchemeReply);
+      return;
+    }
+    case FrameType::kDone: {
+      // 13-byte summary: u8 success, u32 rounds, u64 recovered diff size.
+      if (frame.payload.size() < 13) {
+        sub.error = ShardError("malformed sub-session done", sub.shard);
+        return;
+      }
+      sub.complete = true;
+      sub.engine.reset();
+      sub.elements = {};
+      sub.scratch.clear();
+      sub.pending_type = static_cast<uint8_t>(FrameType::kDone);
+      return;
+    }
+    default:
+      sub.error = ShardError("unexpected sub-session record type", sub.shard);
+  }
+}
+
+bool ShardedResponderMux::Flush(const SubEmit& emit, std::string* error) {
+  if (queue_.empty()) return true;
+  const size_t n = queue_.size();
+  if (pool_ == nullptr && n > 1) {
+    const int threads =
+        ParallelFor::ResolveThreads(config_.options.pbs.decode_threads);
+    if (threads > 1) pool_ = std::make_unique<ParallelFor>(threads);
+  }
+  if (pool_ != nullptr && n > 1) {
+    pool_->Run(n, [this](size_t i, int /*worker*/) {
+      Process(*FindSub(queue_[i].shard), queue_[i]);
+    });
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      Process(*FindSub(queue_[i].shard), queue_[i]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Sub* sub = FindSub(queue_[i].shard);
+    sub->queued = false;
+    if (!sub->error.empty()) {
+      *error = sub->error;
+      queue_.clear();
+      return false;
+    }
+    if (sub->pending_type != 0) {
+      emit(sub->shard, sub->pending_type, sub->scratch.data(),
+           sub->scratch.size());
+      sub->pending_type = 0;
+    }
+  }
+  queue_.clear();
+  return true;
+}
+
+}  // namespace pbs::sync

@@ -92,6 +92,88 @@ TEST(MerkleTree, ProofLengthIsLogarithmic) {
   EXPECT_EQ(tree.Prove(0).size(), 8u);
 }
 
+TEST(Merkle, UpdateLeafMatchesFullRebuild) {
+  auto leaves = Leaves(100, 9);
+  MerkleTree incremental(leaves);
+  Xoshiro256 rng(10);
+  for (int step = 0; step < 50; ++step) {
+    const size_t index = rng.NextBounded(leaves.size());
+    leaves[index] = rng.Next();
+    ASSERT_TRUE(incremental.UpdateLeaf(index, leaves[index]));
+    const MerkleTree rebuilt(leaves);
+    ASSERT_EQ(incremental.root(), rebuilt.root()) << "step " << step;
+    ASSERT_EQ(incremental.leaf_digest(index), rebuilt.leaf_digest(index));
+  }
+}
+
+TEST(Merkle, UpdateLeafOddSizesPromoteCorrectly) {
+  // Odd leaf counts exercise the promoted-node path of the root walk.
+  for (size_t count : {1u, 3u, 5u, 13u, 257u}) {
+    auto leaves = Leaves(count, count * 31);
+    MerkleTree tree(leaves);
+    leaves[count - 1] ^= 0xABCD;
+    ASSERT_TRUE(tree.UpdateLeaf(count - 1, leaves[count - 1]));
+    EXPECT_EQ(tree.root(), MerkleTree(leaves).root()) << count << " leaves";
+  }
+}
+
+TEST(Merkle, UpdateLeafOutOfRangeLeavesTreeUntouched) {
+  const auto leaves = Leaves(8, 11);
+  MerkleTree tree(leaves);
+  const uint64_t root = tree.root();
+  EXPECT_FALSE(tree.UpdateLeaf(8, 1));
+  EXPECT_FALSE(tree.UpdateLeaf(1000, 1));
+  EXPECT_EQ(tree.root(), root);
+}
+
+TEST(Merkle, UpdateLeafKeepsProofsValid) {
+  auto leaves = Leaves(33, 12);
+  MerkleTree tree(leaves);
+  leaves[20] = 0xF00D;
+  ASSERT_TRUE(tree.UpdateLeaf(20, 0xF00D));
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_TRUE(MerkleTree::Verify(leaves[i], tree.Prove(i), tree.root()))
+        << "leaf " << i;
+  }
+}
+
+TEST(Merkle, DiffLeavesFindsExactChangedSet) {
+  auto a = Leaves(64, 13);
+  auto b = a;
+  b[0] ^= 1;
+  b[31] ^= 2;
+  b[63] ^= 3;
+  EXPECT_EQ(MerkleTree::DiffLeaves(MerkleTree(a), MerkleTree(b)),
+            (std::vector<size_t>{0, 31, 63}));
+}
+
+TEST(Merkle, DiffLeavesOfEqualTreesIsEmpty) {
+  const auto leaves = Leaves(50, 14);
+  EXPECT_TRUE(
+      MerkleTree::DiffLeaves(MerkleTree(leaves), MerkleTree(leaves)).empty());
+}
+
+TEST(Merkle, DiffLeavesReportsLengthMismatchTail) {
+  const auto a = Leaves(6, 15);
+  std::vector<uint64_t> b(a.begin(), a.begin() + 4);
+  EXPECT_EQ(MerkleTree::DiffLeaves(MerkleTree(a), MerkleTree(b)),
+            (std::vector<size_t>{4, 5}));
+}
+
+TEST(Merkle, DiffLeavesEmptyTrees) {
+  EXPECT_TRUE(MerkleTree::DiffLeaves(MerkleTree({}), MerkleTree({})).empty());
+  EXPECT_EQ(MerkleTree::DiffLeaves(MerkleTree({7}), MerkleTree({})),
+            (std::vector<size_t>{0}));
+}
+
+TEST(Merkle, LeafDigestMatchesHashLeaf) {
+  const auto leaves = Leaves(5, 16);
+  MerkleTree tree(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(tree.leaf_digest(i), MerkleTree::HashLeaf(leaves[i]));
+  }
+}
+
 TEST(MerkleTree, LeafAndInteriorDomainsSeparated) {
   // A leaf digest must not be confusable with an interior digest of the
   // same bytes (second-preimage structure attacks).

@@ -71,6 +71,51 @@ TEST(MsetHash, RandomSetsCollisionFree) {
   }
 }
 
+TEST(MsetHash, Fold64EqualStatesFoldEqual) {
+  MsetHash a(7), b(7);
+  a.Add(1); a.Add(2);
+  b.Add(2); b.Add(1);
+  EXPECT_EQ(a.Fold64(), b.Fold64());
+}
+
+TEST(MsetHash, Fold64SeparatesDistinctMultisets) {
+  // The 64-bit fold is the sharded session's per-shard digest leaf; it
+  // must keep distinguishing the full 192-bit states it compresses.
+  Xoshiro256 rng(21);
+  MsetHash reference(5);
+  for (int i = 0; i < 50; ++i) reference.Add(rng.Next());
+  const uint64_t folded = reference.Fold64();
+  for (int trial = 0; trial < 500; ++trial) {
+    MsetHash other(5);
+    for (int i = 0; i < 50; ++i) other.Add(rng.Next());
+    EXPECT_NE(other.Fold64(), folded);
+  }
+}
+
+TEST(MsetHash, Fold64SensitiveToSalt) {
+  MsetHash a(1), b(2);
+  a.Add(42);
+  b.Add(42);
+  EXPECT_NE(a.Fold64(), b.Fold64());
+}
+
+TEST(MsetHash, ToggleMatchesAddRemove) {
+  MsetHash toggled(3), explicit_ops(3);
+  toggled.Toggle(10, true);
+  toggled.Toggle(20, true);
+  toggled.Toggle(10, false);
+  explicit_ops.Add(10);
+  explicit_ops.Add(20);
+  explicit_ops.Remove(10);
+  EXPECT_TRUE(toggled == explicit_ops);
+  EXPECT_EQ(toggled.Fold64(), explicit_ops.Fold64());
+}
+
+TEST(MsetHash, Fold64EmptyIsStable) {
+  EXPECT_EQ(MsetHash(9).Fold64(), MsetHash(9).Fold64());
+  EXPECT_NE(MsetHash(9).Fold64(), MsetHash(8).Fold64());
+}
+
 TEST(MsetHash, ResetClearsState) {
   MsetHash a(1);
   a.Add(99);

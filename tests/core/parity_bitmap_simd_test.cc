@@ -23,7 +23,9 @@ std::vector<uint64_t> RandomElements(size_t count, Xoshiro256* rng) {
 
 TEST(BitmapSimdDiff, BatchedBuildMatchesScalarBuild) {
   Xoshiro256 rng(0xB17347);
-  for (int n : {3, 31, 255, 1023, 2047}) {
+  // 4095+ crosses the binned-scatter gate (kScatterMinBins): those sizes
+  // pin the bucketed reorder against the element-order scalar scatter.
+  for (int n : {3, 31, 255, 1023, 2047, 4095, 65535}) {
     for (size_t count : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
                          size_t{9}, size_t{100}, size_t{1000}}) {
       const SaltedHash h(rng.Next());

@@ -1,0 +1,116 @@
+// Merkle pre-filter codecs: digest-leaf and diff-bitmap wire round trips,
+// strict size validation, dirty-padding rejection, and leafwise diffing.
+
+#include "pbs/sync/merkle_prefilter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pbs/common/rng.h"
+
+namespace pbs::sync {
+namespace {
+
+std::vector<uint64_t> RandomLeaves(size_t count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> leaves(count);
+  for (auto& leaf : leaves) leaf = rng.Next();
+  return leaves;
+}
+
+TEST(MerklePrefilter, RootMatchesForEqualLeaves) {
+  const auto leaves = RandomLeaves(100, 1);
+  EXPECT_EQ(MerkleRootOf(leaves), MerkleRootOf(leaves));
+}
+
+TEST(MerklePrefilter, RootSensitiveToAnyLeaf) {
+  auto leaves = RandomLeaves(64, 2);
+  const uint64_t root = MerkleRootOf(leaves);
+  for (size_t k = 0; k < leaves.size(); k += 9) {
+    auto mutated = leaves;
+    mutated[k] ^= 1;
+    EXPECT_NE(MerkleRootOf(mutated), root) << "leaf " << k;
+  }
+}
+
+TEST(MerklePrefilter, EmptyRootsAgree) {
+  EXPECT_EQ(MerkleRootOf({}), MerkleRootOf({}));
+}
+
+TEST(MerklePrefilter, DigestLeavesRoundTrip) {
+  const auto leaves = RandomLeaves(37, 3);
+  const auto payload = EncodeDigestLeaves(leaves);
+  EXPECT_EQ(payload.size(), 37u * 8u);
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(DecodeDigestLeaves(payload, 37, &decoded));
+  EXPECT_EQ(decoded, leaves);
+}
+
+TEST(MerklePrefilter, DigestLeavesRejectWrongCount) {
+  const auto payload = EncodeDigestLeaves(RandomLeaves(8, 4));
+  std::vector<uint64_t> decoded;
+  EXPECT_FALSE(DecodeDigestLeaves(payload, 7, &decoded));
+  EXPECT_FALSE(DecodeDigestLeaves(payload, 9, &decoded));
+}
+
+TEST(MerklePrefilter, DigestLeavesRejectTruncatedPayload) {
+  auto payload = EncodeDigestLeaves(RandomLeaves(4, 5));
+  payload.pop_back();
+  std::vector<uint64_t> decoded;
+  EXPECT_FALSE(DecodeDigestLeaves(payload, 4, &decoded));
+}
+
+TEST(MerklePrefilter, DiffBitmapRoundTripAllWidths) {
+  // Exercise every padding width: shard counts crossing byte boundaries.
+  for (size_t shards : {1u, 2u, 7u, 8u, 9u, 16u, 17u, 100u}) {
+    Xoshiro256 rng(shards);
+    std::vector<uint8_t> differs(shards);
+    for (auto& bit : differs) bit = rng.Next() & 1;
+    const auto payload = EncodeDiffBitmap(differs);
+    EXPECT_EQ(payload.size(), (shards + 7) / 8);
+    std::vector<uint8_t> decoded;
+    ASSERT_TRUE(DecodeDiffBitmap(payload, shards, &decoded))
+        << shards << " shards";
+    EXPECT_EQ(decoded, differs);
+  }
+}
+
+TEST(MerklePrefilter, DiffBitmapBitLayoutIsLsbFirst) {
+  // Bit k lives at byte k/8, bit k%8 -- pinned because it is wire format.
+  std::vector<uint8_t> differs(10, 0);
+  differs[0] = 1;
+  differs[9] = 1;
+  const auto payload = EncodeDiffBitmap(differs);
+  ASSERT_EQ(payload.size(), 2u);
+  EXPECT_EQ(payload[0], 0x01);
+  EXPECT_EQ(payload[1], 0x02);
+}
+
+TEST(MerklePrefilter, DiffBitmapRejectsWrongSize) {
+  std::vector<uint8_t> decoded;
+  EXPECT_FALSE(DecodeDiffBitmap({0x00}, 9, &decoded));        // Too short.
+  EXPECT_FALSE(DecodeDiffBitmap({0x00, 0x00}, 8, &decoded));  // Too long.
+}
+
+TEST(MerklePrefilter, DiffBitmapRejectsDirtyPadding) {
+  // 9 shards need 2 bytes with 7 padding bits; any of them set is a
+  // malformed (possibly hostile) frame, not silently-ignored noise.
+  std::vector<uint8_t> decoded;
+  EXPECT_TRUE(DecodeDiffBitmap({0xFF, 0x01}, 9, &decoded));
+  EXPECT_FALSE(DecodeDiffBitmap({0xFF, 0x02}, 9, &decoded));
+  EXPECT_FALSE(DecodeDiffBitmap({0x00, 0x80}, 9, &decoded));
+}
+
+TEST(MerklePrefilter, DiffDigestLeavesFindsExactIndices) {
+  auto a = RandomLeaves(50, 6);
+  auto b = a;
+  b[3] ^= 1;
+  b[17] ^= 0xFF;
+  b[49] ^= 1ULL << 40;
+  EXPECT_EQ(DiffDigestLeaves(a, b), (std::vector<uint32_t>{3, 17, 49}));
+  EXPECT_TRUE(DiffDigestLeaves(a, a).empty());
+}
+
+}  // namespace
+}  // namespace pbs::sync

@@ -1,0 +1,204 @@
+// Deterministic keyspace sharding: plan derivation, scalar/batch shard
+// assignment parity, streamed leaf digests vs the naive per-shard fold,
+// selective partitioning, and sub-session seed separation.
+
+#include "pbs/sync/shard_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pbs/common/mset_hash.h"
+#include "pbs/common/rng.h"
+
+namespace pbs::sync {
+namespace {
+
+std::vector<uint64_t> RandomElements(size_t count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::set<uint64_t> unique;
+  while (unique.size() < count) {
+    const uint64_t e = rng.Next();
+    if (e != 0) unique.insert(e);
+  }
+  return std::vector<uint64_t>(unique.begin(), unique.end());
+}
+
+TEST(ShardPlan, DerivationIsDeterministic) {
+  const ShardPlan a = ShardPlan::Derive(16, 0xC11);
+  const ShardPlan b = ShardPlan::Derive(16, 0xC11);
+  EXPECT_EQ(a.shard_count, 16);
+  EXPECT_EQ(a.partition_salt, b.partition_salt);
+  EXPECT_EQ(a.checksum_salt, b.checksum_salt);
+  EXPECT_EQ(a.session_seed, b.session_seed);
+}
+
+TEST(ShardPlan, SeedSeparatesPlans) {
+  const ShardPlan a = ShardPlan::Derive(16, 1);
+  const ShardPlan b = ShardPlan::Derive(16, 2);
+  EXPECT_NE(a.partition_salt, b.partition_salt);
+  EXPECT_NE(a.checksum_salt, b.checksum_salt);
+}
+
+TEST(ShardPlan, RolesSeparateSalts) {
+  // Partition and checksum salts of one plan must be independent hash
+  // functions (disjoint HashFamily roles).
+  const ShardPlan plan = ShardPlan::Derive(64, 0xABCDEF);
+  EXPECT_NE(plan.partition_salt, plan.checksum_salt);
+}
+
+TEST(ShardPlan, ShardOfStaysInRange) {
+  const ShardPlan plan = ShardPlan::Derive(7, 0x5EED);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(plan.ShardOf(rng.Next()), 7u);
+  }
+}
+
+TEST(ShardPlan, ShardOfManyMatchesScalar) {
+  const ShardPlan plan = ShardPlan::Derive(23, 0x7777);
+  const auto elements = RandomElements(4097, 9);  // Off-block-boundary size.
+  std::vector<uint64_t> batch(elements.size());
+  plan.ShardOfMany(elements.data(), elements.size(), batch.data());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    ASSERT_EQ(batch[i], plan.ShardOf(elements[i])) << "element " << i;
+  }
+}
+
+TEST(ShardPlan, ShardOfManyAliasingIsSafe) {
+  const ShardPlan plan = ShardPlan::Derive(11, 0x1234);
+  auto elements = RandomElements(513, 10);
+  std::vector<uint64_t> expected(elements.size());
+  plan.ShardOfMany(elements.data(), elements.size(), expected.data());
+  plan.ShardOfMany(elements.data(), elements.size(), elements.data());
+  EXPECT_EQ(elements, expected);
+}
+
+TEST(ShardPlan, PartitionIsReasonablyBalanced) {
+  const ShardPlan plan = ShardPlan::Derive(16, 0xBA1A);
+  const auto elements = RandomElements(16000, 11);
+  std::vector<size_t> counts(16, 0);
+  for (uint64_t e : elements) counts[plan.ShardOf(e)]++;
+  for (size_t c : counts) {
+    EXPECT_GT(c, 500u);   // Mean 1000; a decent hash stays well above half.
+    EXPECT_LT(c, 2000u);  // ... and below double.
+  }
+}
+
+TEST(ComputeShardLeaves, MatchesNaivePerShardFold) {
+  const ShardPlan plan = ShardPlan::Derive(13, 0xFEED);
+  const auto elements = RandomElements(3001, 12);
+  const auto leaves = ComputeShardLeaves(plan, elements.data(),
+                                         elements.size());
+  ASSERT_EQ(leaves.size(), 13u);
+  std::vector<MsetHash> naive(13, MsetHash(plan.checksum_salt));
+  for (uint64_t e : elements) naive[plan.ShardOf(e)].Add(e);
+  for (size_t k = 0; k < 13; ++k) {
+    EXPECT_EQ(leaves[k], naive[k].Fold64()) << "shard " << k;
+  }
+}
+
+TEST(ComputeShardLeaves, OrderIndependent) {
+  const ShardPlan plan = ShardPlan::Derive(8, 0xCAFE);
+  auto elements = RandomElements(500, 13);
+  const auto forward = ComputeShardLeaves(plan, elements.data(),
+                                          elements.size());
+  std::reverse(elements.begin(), elements.end());
+  EXPECT_EQ(ComputeShardLeaves(plan, elements.data(), elements.size()),
+            forward);
+}
+
+TEST(ComputeShardLeaves, EmptySetGivesIdenticalLeavesEverywhere) {
+  const ShardPlan plan = ShardPlan::Derive(5, 0x1);
+  const auto leaves = ComputeShardLeaves(plan, nullptr, 0);
+  ASSERT_EQ(leaves.size(), 5u);
+  // All empty shards share the empty-multiset digest.
+  for (uint64_t leaf : leaves) EXPECT_EQ(leaf, leaves[0]);
+}
+
+TEST(ComputeShardLeaves, SingleElementMovesExactlyOneLeaf) {
+  const ShardPlan plan = ShardPlan::Derive(9, 0x99);
+  const auto empty = ComputeShardLeaves(plan, nullptr, 0);
+  const uint64_t element = 0xDEADBEEF;
+  const auto one = ComputeShardLeaves(plan, &element, 1);
+  const uint32_t owner = plan.ShardOf(element);
+  for (size_t k = 0; k < 9; ++k) {
+    if (k == owner) {
+      EXPECT_NE(one[k], empty[k]);
+    } else {
+      EXPECT_EQ(one[k], empty[k]);
+    }
+  }
+}
+
+TEST(PartitionSelected, CopiesExactlyTheSelectedShards) {
+  const ShardPlan plan = ShardPlan::Derive(10, 0x505);
+  const auto elements = RandomElements(2000, 14);
+  const std::vector<uint32_t> selected = {0, 3, 7, 9};
+  std::vector<std::vector<uint64_t>> parts;
+  PartitionSelected(elements.data(), elements.size(), plan, selected, &parts);
+  ASSERT_EQ(parts.size(), selected.size());
+  size_t copied = 0, expected_copied = 0;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    for (uint64_t e : parts[i]) {
+      EXPECT_EQ(plan.ShardOf(e), selected[i]);
+    }
+    copied += parts[i].size();
+  }
+  for (uint64_t e : elements) {
+    const uint32_t owner = plan.ShardOf(e);
+    if (std::find(selected.begin(), selected.end(), owner) != selected.end()) {
+      ++expected_copied;
+    }
+  }
+  EXPECT_EQ(copied, expected_copied);
+  // Every selected element really landed in its owner's bucket.
+  std::set<uint64_t> seen;
+  for (const auto& part : parts) seen.insert(part.begin(), part.end());
+  EXPECT_EQ(seen.size(), expected_copied);
+}
+
+TEST(PartitionSelected, SelectedShardsPreserveMultisetDigest) {
+  // The partitioned shard must fold to the same leaf the streaming pass
+  // computed -- that equality is what makes the pre-filter sound.
+  const ShardPlan plan = ShardPlan::Derive(6, 0x606);
+  const auto elements = RandomElements(999, 15);
+  const auto leaves = ComputeShardLeaves(plan, elements.data(),
+                                         elements.size());
+  std::vector<std::vector<uint64_t>> parts;
+  PartitionSelected(elements.data(), elements.size(), plan, {1, 4}, &parts);
+  for (size_t i = 0; i < 2; ++i) {
+    MsetHash fold(plan.checksum_salt);
+    for (uint64_t e : parts[i]) fold.Add(e);
+    EXPECT_EQ(fold.Fold64(), leaves[i == 0 ? 1 : 4]);
+  }
+}
+
+TEST(ShardPlan, SubSeedsAreDistinctAcrossShards) {
+  const ShardPlan plan = ShardPlan::Derive(4096, 0xC11);
+  std::set<uint64_t> seeds;
+  for (uint32_t k = 0; k < 4096; ++k) seeds.insert(plan.SubSeed(k));
+  EXPECT_EQ(seeds.size(), 4096u);
+  // ... and none equals the outer session seed itself.
+  EXPECT_EQ(seeds.count(plan.session_seed), 0u);
+}
+
+TEST(ShardPlan, SubEstimateSeedIndependentOfSubSeed) {
+  const ShardPlan plan = ShardPlan::Derive(16, 0xC11);
+  for (uint32_t k = 0; k < 16; ++k) {
+    EXPECT_NE(plan.SubSeed(k), ShardPlan::SubEstimateSeed(0xE57, k));
+  }
+}
+
+TEST(ShardPlan, SubSeedsDeterministicAcrossDerivations) {
+  const ShardPlan a = ShardPlan::Derive(32, 0xBEEF);
+  const ShardPlan b = ShardPlan::Derive(32, 0xBEEF);
+  for (uint32_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(a.SubSeed(k), b.SubSeed(k));
+  }
+}
+
+}  // namespace
+}  // namespace pbs::sync

@@ -19,6 +19,7 @@
 //       picks for an expected difference of d.
 //   pbs_cli serve <file> [--port N] [--once] [--max-sessions N] [--stats]
 //           [--threads N] [--shards N] [--mutable] [--layout-d D]
+//           [--shards-keyspace S]
 //       Hold a key set and serve framed reconciliation sessions over TCP
 //       from N event-loop shards (any scheme; the client picks; many
 //       clients concurrently). --once exits after one session;
@@ -31,7 +32,11 @@
 //       sessions mutate the set in place, and the store maintains the PBS
 //       sketches incrementally (sized for an expected difference of
 //       --layout-d, default 100) so matching sessions skip the per-session
-//       sketch rebuild.
+//       sketch rebuild. --shards-keyspace caps the keyspace-shard count a
+//       sharded client may negotiate (proposals above S are clamped; 0 =
+//       accept any), and with --mutable also pre-maintains the S
+//       per-shard digests incrementally so sharded sessions skip the
+//       O(|set|) leaf stream.
 //   pbs_cli update --host H --port N [--insert <file>] [--delete <file>]
 //           [--batch N]
 //       Send insert/delete batches (signature files) to a --mutable serve
@@ -39,9 +44,13 @@
 //       chunks of N per direction (default: one batch).
 //   pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]
 //           [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]
-//           [--threads N]
+//           [--threads N] [--shards-keyspace S]
 //       Reconcile the local file against a remote serve instance and
 //       print the symmetric difference (relative to the local set).
+//       --shards-keyspace S runs the session sharded: the keyspace is
+//       split into S hash-range shards, a Merkle pre-filter drops the
+//       identical ones, and the rest reconcile as pipelined sub-sessions
+//       over the same connection (docs/WIRE_FORMAT.md section 2.5).
 //   pbs_cli list-schemes   (also: pbs_cli --list-schemes)
 //       List every scheme registered with the SchemeRegistry.
 
@@ -78,12 +87,12 @@ int Usage() {
       "  pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]\n"
       "  pbs_cli serve <file> [--port N] [--once] [--max-sessions N]\n"
       "          [--stats] [--threads N] [--shards N] [--mutable]\n"
-      "          [--layout-d D]\n"
+      "          [--layout-d D] [--shards-keyspace S]\n"
       "  pbs_cli update --host H --port N [--insert <file>]\n"
       "          [--delete <file>] [--batch N]\n"
       "  pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]\n"
       "          [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]\n"
-      "          [--threads N]\n"
+      "          [--threads N] [--shards-keyspace S]\n"
       "  pbs_cli list-schemes\n");
   return 2;
 }
@@ -296,6 +305,8 @@ int CmdServe(int argc, char** argv) {
   options.serve_limit = once ? 1 : 0;
   options.decode_threads =
       static_cast<int>(FlagU64(argc, argv, "--threads", 1));
+  options.keyspace_shards =
+      static_cast<int>(FlagU64(argc, argv, "--shards-keyspace", 0));
 
   std::string error;
   const size_t key_count = elements.size();
@@ -322,6 +333,17 @@ int CmdServe(int argc, char** argv) {
     initial.inserts = std::move(elements);
     elements.clear();
     store->Apply(initial);
+    if (options.keyspace_shards > 0) {
+      // Maintain the per-shard digests incrementally under the default
+      // `connect` seed (the plan is keyed by the initiator's seed):
+      // matching sharded sessions take their pre-filter leaves straight
+      // off the snapshot instead of streaming the whole set.
+      if (!store->ConfigureShardChecksums(options.keyspace_shards,
+                                          /*seed=*/0xC11, &error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 1;
+      }
+    }
     options.mutable_store = std::move(store);
   }
   auto server =
@@ -454,6 +476,8 @@ int CmdConnect(int argc, char** argv) {
   config.seed = FlagU64(argc, argv, "--seed", 0xC11);
   config.estimate_seed = config.seed ^ 0xE57A11CE;
   config.exact_d = FlagDouble(argc, argv, "--exact-d", -1.0);
+  config.keyspace_shards =
+      static_cast<int>(FlagU64(argc, argv, "--shards-keyspace", 0));
   const bool quiet = FlagPresent(argc, argv, "--quiet");
 
   if (!pbs::SchemeRegistry::Instance().Contains(config.scheme_name)) {
