@@ -47,6 +47,9 @@ MEASUREMENT_KEYS = {
     # Derived ratio (simd vs scalar ns_per_op): a measurement like its
     # inputs, never part of a record's identity.
     "speedup",
+    # Fault-recovery economics (bench_fault_recovery): reconnect attempt
+    # counts and cross-attempt byte totals are observations, not identity.
+    "attempts", "resumed", "wire_total_B",
     # Hardware-capability tag (cpu::FeatureString()): metadata, not
     # identity, so records stay comparable across machines.
     "cpu",

@@ -181,3 +181,56 @@ if (( sharded_bytes >= mono_bytes )); then
   exit 1
 fi
 echo "smoke test passed: --shards-keyspace 16 reconciled 10^6 keys in ${sharded_bytes}B vs ${mono_bytes}B monolithic"
+
+# ---- stage 5: kill mid-sharded-sync, reconnect, resume --------------------
+# The injector cuts the first connection before its 10th outgoing frame
+# (mid sub-session stream); the client reconnects under --retries and
+# re-attaches via RESUME. The resumed attempt must settle only the
+# remaining shards, so its wire-last= bytes land strictly under a fresh
+# session's wire= total, with the exact same difference.
+: >"$WORK/serve.log"
+"$CLI" serve "$WORK/b.txt" --port "$PORT" --stats 2>"$WORK/serve.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+for _ in $(seq 1 100); do
+  grep -q "^serving " "$WORK/serve.log" && break
+  sleep 0.1
+done
+
+out=$("$CLI" connect "$WORK/a.txt" --host 127.0.0.1 --port "$PORT" \
+      --shards-keyspace 16 --seed 5001 --quiet 2>"$WORK/fresh.log")
+fresh_bytes=$(sed -n 's/.*wire=\([0-9]*\)B.*/\1/p' "$WORK/fresh.log")
+if [[ "$out" != "100 differences" || -z "$fresh_bytes" ]]; then
+  echo "FAIL: fresh sharded session got '$out' (wire='$fresh_bytes')"
+  cat "$WORK/fresh.log"
+  exit 1
+fi
+
+out=$("$CLI" connect "$WORK/a.txt" --host 127.0.0.1 --port "$PORT" \
+      --shards-keyspace 16 --seed 5001 --retries 3 \
+      --fault disconnect_after_frames=9,once=1,seed=1 \
+      --quiet 2>"$WORK/resume.log")
+if [[ "$out" != "100 differences" ]]; then
+  echo "FAIL: resumed session got '$out', expected '100 differences'"
+  cat "$WORK/resume.log"
+  exit 1
+fi
+grep -q "resilience: attempts=2 resumed=yes stale=no" "$WORK/resume.log" || {
+  echo "FAIL: client did not reconnect+resume after the injected disconnect"
+  cat "$WORK/resume.log"
+  exit 1
+}
+resumed_bytes=$(sed -n 's/.*wire-last=\([0-9]*\)B.*/\1/p' "$WORK/resume.log")
+if [[ -z "$resumed_bytes" ]]; then
+  echo "FAIL: could not parse wire-last= from resume summary"
+  cat "$WORK/resume.log"
+  exit 1
+fi
+if (( resumed_bytes >= fresh_bytes )); then
+  echo "FAIL: resumed attempt spent ${resumed_bytes}B, fresh session ${fresh_bytes}B"
+  cat "$WORK/resume.log"
+  exit 1
+fi
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+echo "smoke test passed: mid-sync disconnect resumed in ${resumed_bytes}B vs ${fresh_bytes}B fresh"

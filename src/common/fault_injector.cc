@@ -1,0 +1,261 @@
+#include "pbs/common/fault_injector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "pbs/core/messages.h"
+
+namespace pbs {
+
+namespace {
+
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == text.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt64(const std::string& text, long long* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == text.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == text.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool FaultSpec::active() const {
+  return loss > 0.0 || corrupt > 0.0 || truncate > 0.0 || delay_ms > 0 ||
+         disconnect_after_frames >= 0 || disconnect_after_bytes >= 0 ||
+         short_writes;
+}
+
+bool FaultSpec::Parse(const std::string& text, FaultSpec* spec,
+                      std::string* error) {
+  FaultSpec parsed;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      if (error) *error = "fault spec item '" + item + "' is not key=value";
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    auto fail = [error, &item](const char* what) {
+      if (error) {
+        *error = std::string("fault spec item '") + item + "': " + what;
+      }
+      return false;
+    };
+    if (key == "loss" || key == "corrupt" || key == "truncate" ||
+        key == "trunc") {
+      double p = 0.0;
+      if (!ParseDouble(value, &p) || p < 0.0 || p > 1.0) {
+        return fail("expected a probability in [0, 1]");
+      }
+      if (key == "loss") {
+        parsed.loss = p;
+      } else if (key == "corrupt") {
+        parsed.corrupt = p;
+      } else {
+        parsed.truncate = p;
+      }
+    } else if (key == "delay_ms") {
+      long long ms = 0;
+      if (!ParseInt64(value, &ms) || ms < 0 || ms > 60'000) {
+        return fail("expected milliseconds in [0, 60000]");
+      }
+      parsed.delay_ms = static_cast<int>(ms);
+    } else if (key == "seed") {
+      if (!ParseU64(value, &parsed.seed)) return fail("expected an integer");
+    } else if (key == "disconnect_after_frames") {
+      if (!ParseInt64(value, &parsed.disconnect_after_frames) ||
+          parsed.disconnect_after_frames < -1) {
+        return fail("expected a frame index >= -1");
+      }
+    } else if (key == "disconnect_after_bytes") {
+      if (!ParseInt64(value, &parsed.disconnect_after_bytes) ||
+          parsed.disconnect_after_bytes < -1) {
+        return fail("expected a byte count >= -1");
+      }
+    } else if (key == "short_writes") {
+      long long v = 0;
+      if (!ParseInt64(value, &v) || (v != 0 && v != 1)) {
+        return fail("expected 0 or 1");
+      }
+      parsed.short_writes = v != 0;
+    } else if (key == "once") {
+      long long v = 0;
+      if (!ParseInt64(value, &v) || (v != 0 && v != 1)) {
+        return fail("expected 0 or 1");
+      }
+      parsed.first_conn_only = v != 0;
+    } else {
+      if (error) *error = "unknown fault spec key '" + key + "'";
+      return false;
+    }
+  }
+  *spec = parsed;
+  return true;
+}
+
+bool FaultSpec::FromEnv(FaultSpec* spec, std::string* error) {
+  const char* raw = std::getenv("PBS_FAULT_SPEC");
+  if (raw == nullptr || raw[0] == '\0') {
+    *spec = FaultSpec{};
+    return true;
+  }
+  return Parse(raw, spec, error);
+}
+
+FaultyTransport::FaultyTransport(std::unique_ptr<ByteTransport> inner,
+                                 const FaultSpec& spec)
+    : inner_(std::move(inner)),
+      spec_(spec),
+      rng_(spec.seed != 0 ? spec.seed : 1) {}
+
+FaultyTransport::~FaultyTransport() = default;
+
+bool FaultyTransport::Send(const uint8_t* data, size_t size) {
+  if (dead_) return false;
+  pending_.insert(pending_.end(), data, data + size);
+  // Carve complete frames off the front; a trailing partial frame waits
+  // for the caller's next Send.
+  size_t pos = 0;
+  while (pending_.size() - pos >= wire::kFrameHeaderSize) {
+    size_t payload_length = 0;
+    if (wire::InspectFrameHeader(pending_.data() + pos, &payload_length) !=
+        wire::FrameStatus::kOk) {
+      // Not a frame boundary (a caller sending non-frame bytes): forward
+      // the remainder verbatim and stop carving this batch.
+      if (!ForwardFrame(pending_.data() + pos, pending_.size() - pos)) {
+        pending_.clear();
+        return false;
+      }
+      pos = pending_.size();
+      break;
+    }
+    const size_t frame_size = wire::kFrameHeaderSize + payload_length;
+    if (pending_.size() - pos < frame_size) break;
+    if (!ApplyFaults(pending_.data() + pos, frame_size)) {
+      pending_.clear();
+      return false;
+    }
+    pos += frame_size;
+  }
+  pending_.erase(pending_.begin(), pending_.begin() + pos);
+  return true;
+}
+
+bool FaultyTransport::ApplyFaults(const uint8_t* frame, size_t size) {
+  const uint64_t index = stats_.frames_seen++;
+  if (spec_.disconnect_after_frames >= 0 &&
+      index >= static_cast<uint64_t>(spec_.disconnect_after_frames)) {
+    ++stats_.disconnects;
+    dead_ = true;
+    return false;
+  }
+  if (spec_.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec_.delay_ms));
+  }
+  if (spec_.loss > 0.0 && rng_.NextDouble() < spec_.loss) {
+    ++stats_.frames_dropped;
+    return true;  // The stream stays parseable: the next frame aligns.
+  }
+  if (spec_.truncate > 0.0 && rng_.NextDouble() < spec_.truncate) {
+    ++stats_.frames_truncated;
+    const size_t cut = 1 + static_cast<size_t>(rng_.NextBounded(size - 1));
+    ForwardFrame(frame, cut);
+    ++stats_.disconnects;
+    dead_ = true;  // A truncated frame is only observable if the link dies.
+    return false;
+  }
+  if (spec_.corrupt > 0.0 && rng_.NextDouble() < spec_.corrupt) {
+    ++stats_.frames_corrupted;
+    scratch_.assign(frame, frame + size);
+    const uint64_t bit = rng_.NextBounded(size * 8);
+    scratch_[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    return ForwardFrame(scratch_.data(), size);
+  }
+  return ForwardFrame(frame, size);
+}
+
+bool FaultyTransport::ForwardFrame(const uint8_t* data, size_t size) {
+  if (spec_.disconnect_after_bytes >= 0 &&
+      stats_.bytes_forwarded + size >
+          static_cast<uint64_t>(spec_.disconnect_after_bytes)) {
+    const size_t room = static_cast<size_t>(
+        static_cast<uint64_t>(spec_.disconnect_after_bytes) -
+        stats_.bytes_forwarded);
+    if (room > 0) {
+      inner_->Send(data, room);
+      stats_.bytes_forwarded += room;
+    }
+    ++stats_.disconnects;
+    dead_ = true;
+    return false;
+  }
+  if (spec_.short_writes) {
+    size_t sent = 0;
+    while (sent < size) {
+      const size_t chunk = std::min<size_t>(
+          size - sent, 1 + static_cast<size_t>(rng_.NextBounded(17)));
+      if (!inner_->Send(data + sent, chunk)) {
+        dead_ = true;
+        return false;
+      }
+      sent += chunk;
+      stats_.bytes_forwarded += chunk;
+    }
+    return true;
+  }
+  if (!inner_->Send(data, size)) {
+    dead_ = true;
+    return false;
+  }
+  stats_.bytes_forwarded += size;
+  return true;
+}
+
+bool FaultyTransport::Recv(uint8_t* data, size_t size) {
+  if (dead_) return false;
+  return inner_->Recv(data, size);
+}
+
+size_t FaultyTransport::TryRecv(uint8_t* data, size_t size) {
+  if (dead_) return 0;
+  return inner_->TryRecv(data, size);
+}
+
+RecvStatus FaultyTransport::RecvTimed(uint8_t* data, size_t size,
+                                      int timeout_ms) {
+  if (dead_) return RecvStatus::kClosed;
+  return inner_->RecvTimed(data, size, timeout_ms);
+}
+
+std::unique_ptr<ByteTransport> MakeFaultyTransport(
+    std::unique_ptr<ByteTransport> inner, const FaultSpec& spec) {
+  return std::make_unique<FaultyTransport>(std::move(inner), spec);
+}
+
+}  // namespace pbs

@@ -33,6 +33,17 @@ uint8_t SchemeWireId(const std::string& name) {
   return 0;
 }
 
+std::string SchemeNameFromWireId(uint8_t id) {
+  switch (id) {
+    case 1: return "pbs";
+    case 2: return "pinsketch";
+    case 3: return "pinsketch-wp";
+    case 4: return "ddigest";
+    case 5: return "graphene";
+    default: return std::string();
+  }
+}
+
 std::vector<uint8_t> EncodeFrame(const WireFrame& frame) {
   std::vector<uint8_t> out(kFrameHeaderSize + frame.payload.size());
   std::memcpy(out.data(), kMagic, 4);

@@ -1,6 +1,7 @@
 #include "pbs/core/session_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -104,6 +105,9 @@ bool ValidateSessionConfig(const SessionConfig& config, std::string* error) {
   }
   if (config.shard_pipeline < 1 || config.shard_pipeline > 65535) {
     return fail("shard_pipeline (1-65535)");
+  }
+  if (config.phase_deadline_ms < 0) {
+    return fail("phase_deadline_ms (>= 0)");
   }
   return true;
 }
@@ -250,6 +254,73 @@ std::vector<uint8_t> EncodeShardPlanAck(int accepted, uint64_t root) {
   return payload;
 }
 
+// RESUME payload: u16 negotiated shard count, u64 responder root the
+// initiator saw before the disconnect, u16 pending count, pending count
+// x (u16 shard, u8 last attempt) ascending, then the HELLO payload
+// verbatim (docs/WIRE_FORMAT.md section 2.6). Only the ladder positions
+// travel; settled differences stay banked on the client.
+std::vector<uint8_t> EncodeResume(const sync::ShardResumeState& token,
+                                  const std::vector<uint8_t>& hello) {
+  std::vector<uint8_t> payload;
+  payload.reserve(12 + token.pending.size() * 3 + hello.size());
+  PutU16(static_cast<uint16_t>(token.shard_count), &payload);
+  PutU64(token.remote_root, &payload);
+  PutU16(static_cast<uint16_t>(token.pending.size()), &payload);
+  for (const auto& p : token.pending) {
+    PutU16(static_cast<uint16_t>(p.shard), &payload);
+    payload.push_back(p.attempt);
+  }
+  payload.insert(payload.end(), hello.begin(), hello.end());
+  return payload;
+}
+
+bool DecodeResumeHeader(const std::vector<uint8_t>& payload, int* shards,
+                        uint64_t* root,
+                        std::vector<std::pair<uint32_t, uint8_t>>* entries,
+                        std::vector<uint8_t>* hello) {
+  if (payload.size() < 12) return false;
+  *shards = GetU16(payload.data());
+  *root = GetU64(payload.data() + 2);
+  const size_t count = GetU16(payload.data() + 10);
+  if (payload.size() < 12 + count * 3) return false;
+  entries->clear();
+  entries->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const uint8_t* p = payload.data() + 12 + i * 3;
+    entries->emplace_back(GetU16(p), p[2]);
+  }
+  hello->assign(payload.begin() + 12 + count * 3, payload.end());
+  return true;
+}
+
+// Resume tokens come from a prior session of this same binary, but the
+// driver may hold them across reconnects; reject anything that could not
+// have been produced by a sane coordinator before trusting it with a
+// wire frame. Attempt counters beyond this bound cannot advance without
+// overflowing the 7-bit attempt field (the top bit flags a scheme
+// override).
+constexpr int kMaxResumeAttempt = 120;
+
+bool ValidResumeToken(const sync::ShardResumeState& token) {
+  if (token.shard_count < sync::kMinKeyspaceShards ||
+      token.shard_count > sync::kMaxKeyspaceShards) {
+    return false;
+  }
+  if (token.pending.size() > static_cast<size_t>(token.shard_count)) {
+    return false;
+  }
+  uint32_t prev = 0;
+  bool first = true;
+  for (const auto& p : token.pending) {
+    if (p.shard >= static_cast<uint32_t>(token.shard_count)) return false;
+    if (p.attempt > kMaxResumeAttempt) return false;
+    if (!first && p.shard <= prev) return false;
+    prev = p.shard;
+    first = false;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------- update --
 
 // Per-direction cap on one UPDATE batch, mirroring the d_used cap: the
@@ -376,6 +447,7 @@ SessionEngine::SessionEngine(bool is_initiator, const SessionConfig& config,
       config_(config),
       elements_(std::move(elements)),
       registry_(registry) {
+  phase_start_ = std::chrono::steady_clock::now();
   if (!is_initiator_) return;
 
   result_.scheme = config_.scheme_name;
@@ -388,6 +460,10 @@ SessionEngine::SessionEngine(bool is_initiator, const SessionConfig& config,
   reconciler_ = this->registry().Create(config_.scheme_name, config_.options);
   if (!reconciler_) {
     Fail("unknown scheme '" + config_.scheme_name + "'");
+    return;
+  }
+  if (config_.resume != nullptr) {
+    StartResumedInitiator();
     return;
   }
   if (config_.keyspace_shards >= sync::kMinKeyspaceShards) {
@@ -416,6 +492,46 @@ SessionStatus SessionEngine::Status() const {
   if (state_ == State::kSettled) return SessionStatus::kDone;
   if (state_ == State::kFailed) return SessionStatus::kError;
   return SessionStatus::kWantRead;
+}
+
+const char* SessionEngine::phase_name() const {
+  switch (state_) {
+    case State::kAwaitHelloAck: return "awaiting HELLO_ACK";
+    case State::kAwaitEstimateReply: return "awaiting estimate reply";
+    case State::kAwaitSchemeReply: return "awaiting scheme reply";
+    case State::kAwaitUpdateAck: return "awaiting UPDATE_ACK";
+    case State::kAwaitShardPlanAck: return "awaiting SHARD_PLAN_ACK";
+    case State::kAwaitResumeAck: return "awaiting RESUME_ACK";
+    case State::kAwaitDigestReply: return "awaiting digest reply";
+    case State::kShardMux: return "running sub-sessions";
+    case State::kAwaitDoneAck: return "awaiting DONE ack";
+    case State::kAwaitHello: return "awaiting HELLO";
+    case State::kServing: return "serving";
+    case State::kSettled: return "settled";
+    case State::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+int64_t SessionEngine::DeadlineRemainingMs() const {
+  if (config_.phase_deadline_ms <= 0) return -1;
+  if (state_ == State::kSettled || state_ == State::kFailed) return -1;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - phase_start_)
+                           .count();
+  const int64_t remaining = config_.phase_deadline_ms - elapsed;
+  return remaining > 0 ? remaining : 0;
+}
+
+bool SessionEngine::CheckDeadline() {
+  if (DeadlineRemainingMs() != 0) return false;
+  const std::string message =
+      std::string("phase deadline exceeded while ") + phase_name();
+  // The responder tells the stalled peer why it is being dropped; the
+  // initiator's driver reads the error from the result.
+  if (!is_initiator_) AppendError(message);
+  Fail(message);
+  return true;
 }
 
 size_t SessionEngine::NeededBytes() const {
@@ -536,6 +652,11 @@ void SessionEngine::ProcessInbound() {
     result_.outcome.wire_bytes = wire_bytes_;
     result_.outcome.wire_frames = wire_frames_;
     DispatchFrame();
+    // The deadline is per *phase*, not per session: any complete frame
+    // from the peer is progress and restarts the clock.
+    if (config_.phase_deadline_ms > 0) {
+      phase_start_ = std::chrono::steady_clock::now();
+    }
   }
   // Sharded sessions batch inbound sub-frames per Feed; process the batch
   // now that the frame loop drained (sync/sharded_session.h batch model).
@@ -663,6 +784,9 @@ void SessionEngine::DispatchInitiator() {
     case State::kAwaitShardPlanAck:
       HandleShardPlanAck();
       return;
+    case State::kAwaitResumeAck:
+      HandleResumeAck();
+      return;
     case State::kAwaitDigestReply:
       HandleDigestReply();
       return;
@@ -713,6 +837,7 @@ void SessionEngine::HandleShardPlanAck() {
   }
   const int accepted = GetU16(frame_.payload.data());
   const uint64_t remote_root = GetU64(frame_.payload.data() + 2);
+  remote_root_ = remote_root;  // A later resume token must carry it.
   std::string error;
   if (!shard_coordinator_->AdoptShardCount(accepted, &error)) {
     Fail(std::move(error));
@@ -738,6 +863,47 @@ void SessionEngine::HandleShardPlanAck() {
   AppendOutbound(FrameType::kDigestTree, 0, payload_scratch_.data(),
                  payload_scratch_.size(), "sending DIGEST_TREE");
   state_ = State::kAwaitDigestReply;
+}
+
+void SessionEngine::StartResumedInitiator() {
+  const sync::ShardResumeState& token = *config_.resume;
+  if (!ValidResumeToken(token)) {
+    Fail("invalid resume token");
+    return;
+  }
+  shard_coordinator_ = std::make_unique<sync::ShardedCoordinator>(
+      config_, elements_, registry_, token);
+  if (!shard_coordinator_->ok()) {
+    Fail(shard_coordinator_->error());
+    return;
+  }
+  remote_root_ = token.remote_root;
+  const std::vector<uint8_t> hello = EncodeHello(config_);
+  const std::vector<uint8_t> payload = EncodeResume(token, hello);
+  AppendOutbound(FrameType::kResume, 0, payload.data(), payload.size(),
+                 "sending RESUME");
+  state_ = State::kAwaitResumeAck;
+}
+
+void SessionEngine::HandleResumeAck() {
+  if (frame_.type != FrameType::kResumeAck) {
+    Fail("expected RESUME_ACK");
+    return;
+  }
+  if (frame_.payload.size() != 8) {
+    Fail("malformed RESUME_ACK");
+    return;
+  }
+  if (GetU64(frame_.payload.data()) != remote_root_) {
+    // The responder accepted but reports a different root than the token
+    // carries: its set changed under us. Same taxonomy as the responder's
+    // own rejection so drivers can fall back to a fresh session.
+    Fail("stale resume: responder set changed");
+    return;
+  }
+  // FlushShardFrames (end of this ProcessInbound pass) reopens the
+  // pending sub-sessions -- or settles directly when none were staged.
+  state_ = State::kShardMux;
 }
 
 void SessionEngine::HandleDigestReply() {
@@ -837,6 +1003,7 @@ void SessionEngine::FlushShardFrames() {
 void SessionEngine::FinishShardedInitiator() {
   result_.outcome = shard_coordinator_->TakeOutcome();
   result_.outcome.estimator_bytes += estimator_payload_bytes_;
+  result_.degraded_shards = shard_coordinator_->degraded_shards();
   result_.d_hat = d_hat_ = shard_coordinator_->total_d_hat();
   const std::vector<uint8_t> done = EncodeDone(result_.outcome);
   ++exchange_;
@@ -911,6 +1078,12 @@ void SessionEngine::DispatchResponder() {
     HandleShardPlan();
     return;
   }
+  if (frame_.type == FrameType::kResume) {
+    // A resumed sharded session: the RESUME embeds the HELLO just like
+    // SHARD_PLAN does, and replaces the digest exchange entirely.
+    HandleResume();
+    return;
+  }
   if (state_ == State::kAwaitHello) {
     HandleHello();
     return;
@@ -953,6 +1126,9 @@ void SessionEngine::DispatchResponder() {
       result_.d_hat = d_hat_ < 0.0 ? 0.0 : d_hat_;
       result_.outcome.success = success;
       result_.outcome.rounds = rounds;
+      if (shard_mux_ != nullptr) {
+        result_.degraded_shards = shard_mux_->degraded_shards();
+      }
       Settle();
       return;
     }
@@ -1048,6 +1224,88 @@ void SessionEngine::HandleShardPlan() {
       EncodeShardPlanAck(accepted, shard_mux_->root());
   AppendOutbound(FrameType::kShardPlanAck, 0, ack.data(), ack.size(),
                  "sending SHARD_PLAN_ACK");
+  state_ = State::kServing;
+}
+
+void SessionEngine::HandleResume() {
+  if (state_ != State::kAwaitHello || update_session_) {
+    AppendError("unexpected frame");
+    Fail("unexpected frame");
+    return;
+  }
+  if (elements_ == nullptr) {
+    AppendError("server has no element set");
+    Fail("RESUME on a server with no element set");
+    return;
+  }
+  int shards = 0;
+  uint64_t remote_root = 0;
+  std::vector<std::pair<uint32_t, uint8_t>> entries;
+  std::vector<uint8_t> hello;
+  if (!DecodeResumeHeader(frame_.payload, &shards, &remote_root, &entries,
+                          &hello)) {
+    AppendError("malformed RESUME");
+    Fail("malformed RESUME");
+    return;
+  }
+  if (shards < sync::kMinKeyspaceShards || shards > sync::kMaxKeyspaceShards) {
+    AppendError("shard count out of range");
+    Fail("shard count out of range");
+    return;
+  }
+  if (!DecodeHello(hello, &config_)) {
+    AppendError("malformed HELLO");
+    Fail("malformed HELLO");
+    return;
+  }
+  result_.scheme = config_.scheme_name;
+  scheme_id_ = wire::SchemeWireId(config_.scheme_name);
+  if (!registry().Contains(config_.scheme_name)) {
+    const std::string message = "unknown scheme '" + config_.scheme_name + "'";
+    AppendError(message);
+    Fail(message);
+    return;
+  }
+  // The resumed count was *negotiated* by the interrupted session, but
+  // this server's local clamp still binds (the reconnect may have landed
+  // on a differently-configured replica).
+  if (config_.keyspace_shards >= sync::kMinKeyspaceShards &&
+      config_.keyspace_shards < shards) {
+    const std::string message = "resume shard count exceeds server limit";
+    AppendError(message);
+    Fail(message);
+    return;
+  }
+  shard_mux_ = std::make_unique<sync::ShardedResponderMux>(
+      config_, elements_, registry_, shards, snapshot_);
+  if (!shard_mux_->ok()) {
+    const std::string message = shard_mux_->error();
+    AppendError(message);
+    Fail(message);
+    return;
+  }
+  if (shard_mux_->root() != remote_root) {
+    // The served set changed between the interrupted session and this
+    // resume, so the shard outcomes the client banked may be invalid.
+    // Reject; the client falls back to a fresh session against the
+    // current set.
+    const std::string message = "stale resume: responder set changed";
+    AppendError(message);
+    Fail(message);
+    return;
+  }
+  std::string error;
+  if (!shard_mux_->BeginResume(entries, &error)) {
+    AppendError(error);
+    Fail(std::move(error));
+    return;
+  }
+  d_hat_ = config_.exact_d;
+  std::vector<uint8_t> ack;
+  ack.reserve(8);
+  PutU64(shard_mux_->root(), &ack);
+  AppendOutbound(FrameType::kResumeAck, 0, ack.data(), ack.size(),
+                 "sending RESUME_ACK");
   state_ = State::kServing;
 }
 
@@ -1176,6 +1434,14 @@ void SessionEngine::Fail(std::string error) {
   result_.error = std::move(error);
   result_.outcome.wire_bytes = wire_bytes_;
   result_.outcome.wire_frames = wire_frames_;
+  // A failing sharded initiator leaves a resume token behind so a
+  // reconnecting driver can finish only the unsettled shards.
+  // MakeResumeState returns null when there is nothing worth resuming
+  // (plan not agreed yet, or every shard settled).
+  if (is_initiator_ && shard_coordinator_ != nullptr &&
+      result_.resume_state == nullptr && state_ != State::kFailed) {
+    result_.resume_state = shard_coordinator_->MakeResumeState(remote_root_);
+  }
   state_ = State::kFailed;
 }
 

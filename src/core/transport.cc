@@ -1,5 +1,6 @@
 #include "pbs/core/transport.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -71,6 +72,26 @@ class LoopbackTransport : public ByteTransport {
     return true;
   }
 
+  RecvStatus RecvTimed(uint8_t* data, size_t size, int timeout_ms) override {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    std::unique_lock<std::mutex> lock(in_->mutex);
+    size_t got = 0;
+    while (got < size) {
+      if (!in_->ready.wait_until(lock, deadline, [this] {
+            return !in_->buffer.empty() || in_->closed;
+          })) {
+        return RecvStatus::kTimeout;
+      }
+      if (in_->buffer.empty()) return RecvStatus::kClosed;
+      while (got < size && !in_->buffer.empty()) {
+        data[got++] = in_->buffer.front();
+        in_->buffer.pop_front();
+      }
+    }
+    return RecvStatus::kOk;
+  }
+
   // Drains whatever is buffered without ever touching the condition
   // variable, so one thread can pump both ends of a pair (sans-I/O
   // session engines) with no deadlock path.
@@ -137,6 +158,36 @@ class FdTransport : public ByteTransport {
       got += static_cast<size_t>(n);
     }
     return true;
+  }
+
+  RecvStatus RecvTimed(uint8_t* data, size_t size, int timeout_ms) override {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    size_t got = 0;
+    while (got < size) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return RecvStatus::kTimeout;
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count();
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return RecvStatus::kClosed;
+      }
+      if (pr == 0) return RecvStatus::kTimeout;
+      const ssize_t n = ::read(fd_, data + got, size - got);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        return RecvStatus::kClosed;
+      }
+      if (n == 0) return RecvStatus::kClosed;  // EOF mid-message.
+      got += static_cast<size_t>(n);
+    }
+    return RecvStatus::kOk;
   }
 
   size_t TryRecv(uint8_t* data, size_t size) override {

@@ -1,5 +1,10 @@
 #include "pbs/core/wire_session.h"
 
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace pbs {
@@ -27,9 +32,28 @@ SessionResult DriveBlocking(SessionEngine* engine, ByteTransport& transport) {
       case SessionStatus::kWantRead: {
         const size_t need = engine->NeededBytes();
         buffer.resize(need);
-        if (!transport.Recv(buffer.data(), need)) {
-          engine->FeedEof();
-          break;
+        const int64_t remaining = engine->DeadlineRemainingMs();
+        if (remaining < 0) {
+          // No phase deadline: classic unbounded blocking read.
+          if (!transport.Recv(buffer.data(), need)) {
+            engine->FeedEof();
+            break;
+          }
+        } else {
+          if (remaining == 0) {
+            engine->CheckDeadline();  // Fails with a phase diagnostic.
+            break;
+          }
+          const RecvStatus status = transport.RecvTimed(
+              buffer.data(), need, static_cast<int>(remaining));
+          if (status == RecvStatus::kTimeout) {
+            engine->CheckDeadline();
+            break;
+          }
+          if (status == RecvStatus::kClosed) {
+            engine->FeedEof();
+            break;
+          }
         }
         engine->Feed(buffer.data(), need);
         break;
@@ -60,6 +84,69 @@ SessionResult RunUpdateSession(ByteTransport& transport,
                                const std::vector<UpdateBatch>& batches) {
   SessionEngine engine = SessionEngine::Updater(batches);
   return DriveBlocking(&engine, transport);
+}
+
+SessionResult RunResilientInitiatorSession(
+    const TransportFactory& factory, const SessionConfig& config,
+    const std::vector<uint64_t>& elements, const ResilientOptions& options,
+    ResilienceReport* report) {
+  ResilienceReport local;
+  ResilienceReport& rep = report != nullptr ? *report : local;
+  rep = ResilienceReport();
+  // One shared copy of the set across every attempt: re-attempts (and
+  // especially resumes) must reconcile exactly the same elements.
+  const auto shared =
+      std::make_shared<const std::vector<uint64_t>>(elements);
+  RetryBackoff backoff(options.retry);
+  SessionConfig attempt_config = config;
+  std::shared_ptr<const sync::ShardResumeState> resume;
+  SessionResult last;
+  last.ok = false;
+  last.error = "no attempts made";
+  const int max_attempts =
+      options.retry.max_attempts < 1 ? 1 : options.retry.max_attempts;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++rep.connect_attempts;
+    std::string connect_error;
+    std::unique_ptr<ByteTransport> transport = factory(&connect_error);
+    if (transport == nullptr) {
+      last = SessionResult();
+      last.ok = false;
+      last.error =
+          connect_error.empty() ? "connect failed" : std::move(connect_error);
+    } else {
+      attempt_config.resume = resume;
+      SessionEngine engine = SessionEngine::Initiator(attempt_config, shared);
+      ++rep.sessions_run;
+      if (resume != nullptr) {
+        ++rep.resumed_sessions;
+        rep.used_resume = true;
+      }
+      last = DriveBlocking(&engine, *transport);
+      rep.last_wire_bytes = last.outcome.wire_bytes;
+      rep.total_wire_bytes += last.outcome.wire_bytes;
+      if (last.ok) return last;
+      if (last.error.find("stale resume") != std::string::npos) {
+        // The responder's set changed: the banked shard outcomes are
+        // worthless. Drop the token and restart clean.
+        rep.stale_resume = true;
+        resume = nullptr;
+        backoff.Reset();
+      } else if (options.allow_resume && last.resume_state != nullptr) {
+        resume = last.resume_state;
+      }
+    }
+    if (attempt == max_attempts) break;
+    const int delay = backoff.NextDelayMs();
+    if (options.log) {
+      options.log("session attempt " + std::to_string(attempt) + " failed (" +
+                  last.error + "); " +
+                  (resume != nullptr ? "resuming" : "restarting") + " in " +
+                  std::to_string(delay) + "ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  return last;
 }
 
 SessionResult RunLoopbackSession(const SessionConfig& config,

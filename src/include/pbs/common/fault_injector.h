@@ -1,0 +1,123 @@
+// Deterministic fault injection for the framed session layer.
+//
+// FaultyTransport decorates any ByteTransport with a *seeded* schedule of
+// send-side faults: whole-frame drops, single-bit corruption, truncation,
+// fixed delays, short writes, and mid-session disconnects at an exact
+// frame or byte boundary. Because the decorator is frame-aware (it carves
+// the outbound byte stream into wire frames with InspectFrameHeader
+// before deciding each frame's fate), every fault lands on a protocol
+// boundary the tests can reason about: "drop the 3rd frame" or
+// "disconnect before frame k" reproduce bit-identically from the seed.
+//
+// The schedule is configured by a FaultSpec, parsed from a compact
+// key=value string (`loss=0.01,seed=42`) that travels through the
+// PBS_FAULT_SPEC environment variable (CI fault legs) or a CLI flag
+// (`pbs_cli connect --fault ...`). An all-defaults spec is inactive: the
+// decorator then forwards bytes untouched but still counts frames, which
+// the disconnect-at-every-frame tests use to size their schedules.
+//
+// Faults are send-side only; wrap both endpoints (with distinct seeds)
+// for bidirectional damage. Receive paths forward to the inner transport
+// unchanged, so a FaultyTransport composes with the blocking drivers,
+// the resilient reconnect runner, and the benches alike.
+
+#ifndef PBS_COMMON_FAULT_INJECTOR_H_
+#define PBS_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pbs/common/rng.h"
+#include "pbs/core/transport.h"
+
+namespace pbs {
+
+/// One reproducible fault schedule. Probabilities are per *frame*, not
+/// per byte, so a spec means the same thing for a 60-byte handshake frame
+/// and a 2 MiB sketch frame.
+struct FaultSpec {
+  double loss = 0.0;      ///< P(drop a frame entirely).
+  double corrupt = 0.0;   ///< P(flip one random payload/header bit).
+  double truncate = 0.0;  ///< P(send a prefix, then kill the link).
+  int delay_ms = 0;       ///< Fixed delay before each forwarded frame.
+  uint64_t seed = 1;      ///< Drives every probabilistic choice.
+  /// Kill the link immediately before the Nth outgoing frame (0-based).
+  /// -1 = never.
+  long long disconnect_after_frames = -1;
+  /// Kill the link once this many bytes were forwarded. -1 = never.
+  long long disconnect_after_bytes = -1;
+  /// Deliver each frame in random 1..17-byte chunks (stresses the
+  /// peer's partial-frame reassembly).
+  bool short_writes = false;
+  /// Apply the schedule to the first connection only (reconnects run
+  /// clean). Used by `pbs_cli connect --fault ...,once=1` so a forced
+  /// disconnect exercises resume instead of looping forever.
+  bool first_conn_only = false;
+
+  /// True when any fault can ever fire.
+  bool active() const;
+
+  /// Parses `loss=0.01,corrupt=0.001,seed=42,...` (keys: loss, corrupt,
+  /// truncate, delay_ms, seed, disconnect_after_frames,
+  /// disconnect_after_bytes, short_writes, once). Unknown keys and
+  /// out-of-range values fail with a diagnostic; an empty string parses
+  /// to the inactive default spec.
+  static bool Parse(const std::string& text, FaultSpec* spec,
+                    std::string* error);
+
+  /// Parses the PBS_FAULT_SPEC environment variable. Unset or empty
+  /// yields the inactive default spec (and returns true).
+  static bool FromEnv(FaultSpec* spec, std::string* error);
+};
+
+/// Monotonic tallies of what the injector actually did — assertions pin
+/// determinism ("same seed, same counts") and schedules size themselves
+/// ("a clean session is N frames; now disconnect before each of them").
+struct FaultStats {
+  uint64_t frames_seen = 0;       ///< Complete frames carved from sends.
+  uint64_t frames_dropped = 0;    ///< Frames silently discarded.
+  uint64_t frames_corrupted = 0;  ///< Frames forwarded with one bit flipped.
+  uint64_t frames_truncated = 0;  ///< Frames cut short (link then killed).
+  uint64_t disconnects = 0;       ///< Scheduled link kills that fired.
+  uint64_t bytes_forwarded = 0;   ///< Bytes actually handed to the inner
+                                  ///< transport.
+};
+
+/// ByteTransport decorator applying a FaultSpec to the send direction.
+/// Owns the inner transport. Once a truncation or scheduled disconnect
+/// kills the link, every further Send/Recv fails like a closed peer.
+class FaultyTransport : public ByteTransport {
+ public:
+  FaultyTransport(std::unique_ptr<ByteTransport> inner, const FaultSpec& spec);
+  ~FaultyTransport() override;
+
+  bool Send(const uint8_t* data, size_t size) override;
+  bool Recv(uint8_t* data, size_t size) override;
+  size_t TryRecv(uint8_t* data, size_t size) override;
+  RecvStatus RecvTimed(uint8_t* data, size_t size, int timeout_ms) override;
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  bool ForwardFrame(const uint8_t* data, size_t size);
+  bool ApplyFaults(const uint8_t* frame, size_t size);
+
+  std::unique_ptr<ByteTransport> inner_;
+  FaultSpec spec_;
+  Xoshiro256 rng_;
+  std::vector<uint8_t> pending_;  // Send bytes awaiting a frame boundary.
+  std::vector<uint8_t> scratch_;  // Mutable copy for corruption faults.
+  bool dead_ = false;
+  FaultStats stats_;
+};
+
+/// Convenience factory mirroring MakeFdTransport and friends.
+std::unique_ptr<ByteTransport> MakeFaultyTransport(
+    std::unique_ptr<ByteTransport> inner, const FaultSpec& spec);
+
+}  // namespace pbs
+
+#endif  // PBS_COMMON_FAULT_INJECTOR_H_

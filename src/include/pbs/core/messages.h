@@ -109,12 +109,28 @@ enum class FrameType : uint8_t {
                         ///< frame type (estimate/scheme/done), and the
                         ///< inner payload. Up to `shard_pipeline` shards
                         ///< are in flight concurrently.
+  // Session resilience (docs/WIRE_FORMAT.md section 2.6). A reconnecting
+  // sharded initiator re-attaches to an interrupted session instead of
+  // restarting it from scratch.
+  kResume = 16,         ///< Initiator's resume token: the responder Merkle
+                        ///< root it saw before the disconnect, the list of
+                        ///< unsettled shards with their attempt counters,
+                        ///< and the embedded HELLO payload. Rejected with
+                        ///< kError ("stale resume ...") when the root no
+                        ///< longer matches the responder's current set.
+  kResumeAck = 17,      ///< Responder accepts the resume; echoes its
+                        ///< current Merkle root.
 };
 
 /// Stable one-byte ids for the built-in schemes, carried in the header so
 /// sniffers/loggers can classify frames without parsing the HELLO payload.
 /// Out-of-tree schemes use 0 and are identified by name in the HELLO.
 uint8_t SchemeWireId(const std::string& name);
+
+/// Inverse of SchemeWireId for the built-in ids; empty string for 0 or an
+/// unknown id. Used by graceful degradation, where a sub-session's
+/// alternate scheme travels as its one-byte id.
+std::string SchemeNameFromWireId(uint8_t id);
 
 /// A decoded frame: header fields plus the payload bytes.
 struct WireFrame {

@@ -30,6 +30,7 @@
 #ifndef PBS_CORE_SESSION_ENGINE_H_
 #define PBS_CORE_SESSION_ENGINE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -45,6 +46,7 @@ namespace pbs {
 namespace sync {
 class ShardedCoordinator;
 class ShardedResponderMux;
+struct ShardResumeState;
 }  // namespace sync
 
 /// Everything the initiator pins for one session. The responder adopts
@@ -75,6 +77,20 @@ struct SessionConfig {
   /// Max sub-sessions in flight at once on the initiator (sharded
   /// sessions only). Local pacing knob; never travels on the wire.
   int shard_pipeline = 4;
+  /// Per-phase deadline in milliseconds: how long this side waits for the
+  /// peer's next frame in any one protocol phase before failing the
+  /// session with "phase deadline exceeded". 0 disables (wait forever).
+  /// Local knob, never on the wire; distinct from the server's idle reap
+  /// (which closes whole connections, not phases). Enforced by embeddings
+  /// via SessionEngine::CheckDeadline() / DeadlineRemainingMs().
+  int phase_deadline_ms = 0;
+  /// When set, the sharded initiator re-attaches to a previous partial
+  /// session instead of starting fresh: it sends RESUME (instead of
+  /// SHARD_PLAN) carrying the token's Merkle root and pending-shard list,
+  /// and reconciles only the shards the token left unsettled. Taken from
+  /// SessionResult::resume_state of the failed attempt. Ignored for
+  /// monolithic sessions and responders.
+  std::shared_ptr<const sync::ShardResumeState> resume;
 };
 
 /// Result of driving one side of a session to completion.
@@ -87,6 +103,14 @@ struct SessionResult {
   /// initiator recovers the difference; the responder's outcome carries
   /// accounting fields (and success mirrored from the DONE summary).
   ReconcileOutcome outcome;
+  /// Shards that settled only after degrading to an alternate scheme
+  /// (graceful degradation; sharded sessions only).
+  int degraded_shards = 0;
+  /// On a failed sharded-initiator session: everything a reconnecting
+  /// client needs to finish the job via SessionConfig::resume. Null when
+  /// the session was not resumable (monolithic, responder, or failed
+  /// before the shard plan was agreed).
+  std::shared_ptr<sync::ShardResumeState> resume_state;
 };
 
 /// What the engine needs from its embedding to make progress.
@@ -203,6 +227,24 @@ class SessionEngine {
   /// "sending round request" -- for the embedding's diagnostics.
   const char* pending_write_label() const { return write_label_; }
 
+  /// Enforces SessionConfig::phase_deadline_ms: when a deadline is set,
+  /// the session is not settled, and the current phase has overrun, fails
+  /// the session with "phase deadline exceeded while <phase>" (a
+  /// responder also queues an ERROR frame first so the peer learns why)
+  /// and returns true. Embeddings call this whenever they wake up with no
+  /// inbound progress (event-loop ticks, RecvTimed timeouts). No-op when
+  /// the deadline is disabled or the session already settled.
+  bool CheckDeadline();
+
+  /// Milliseconds left in the current phase: -1 when no deadline is set
+  /// (or the session settled), otherwise >= 0. Blocking drivers pass this
+  /// to ByteTransport::RecvTimed.
+  int64_t DeadlineRemainingMs() const;
+
+  /// Human-readable name of the phase in flight ("awaiting HELLO_ACK",
+  /// "running sub-sessions", ...) for deadline diagnostics.
+  const char* phase_name() const;
+
   /// The session result; final once Status() is kDone or kError.
   const SessionResult& result() const { return result_; }
 
@@ -217,6 +259,7 @@ class SessionEngine {
     kAwaitSchemeReply,
     kAwaitUpdateAck,  // Updater role: batch in flight.
     kAwaitShardPlanAck,  // Sharded initiator: SHARD_PLAN in flight.
+    kAwaitResumeAck,     // Sharded initiator: RESUME in flight.
     kAwaitDigestReply,   // Sharded initiator: DIGEST_TREE in flight.
     kShardMux,           // Sharded initiator: sub-sessions running.
     kAwaitDoneAck,
@@ -241,8 +284,11 @@ class SessionEngine {
   void HandleSchemeRequest();
   void HandleUpdate();
   void StartShardedInitiator();
+  void StartResumedInitiator();
   void HandleShardPlan();
   void HandleShardPlanAck();
+  void HandleResume();
+  void HandleResumeAck();
   void HandleDigestTree();
   void HandleDigestReply();
   void SendEstimateRequest();
@@ -293,6 +339,13 @@ class SessionEngine {
   double d_hat_ = -1.0;
   uint32_t exchange_ = 0;
   size_t estimator_payload_bytes_ = 0;
+  // Sharded initiator: the responder's Merkle root from SHARD_PLAN_ACK /
+  // RESUME_ACK — carried into resume tokens so the responder can detect
+  // a set that changed between attempts (stale resume).
+  uint64_t remote_root_ = 0;
+  // Phase deadline clock: re-stamped at construction and after every
+  // dispatched frame; only read when config_.phase_deadline_ms > 0.
+  std::chrono::steady_clock::time_point phase_start_{};
 
   // Byte plumbing: inbound accumulates fed bytes ahead of a consumed
   // prefix; outbound accumulates encoded frames ahead of a drained

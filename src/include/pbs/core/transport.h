@@ -18,6 +18,14 @@
 
 namespace pbs {
 
+/// Outcome of a bounded-wait receive (ByteTransport::RecvTimed).
+enum class RecvStatus {
+  kOk,       ///< All requested bytes arrived.
+  kClosed,   ///< EOF or a transport error before they did.
+  kTimeout,  ///< The timeout elapsed first (bytes consumed so far, if
+             ///< any, are discarded — callers fail the session anyway).
+};
+
 /// A reliable, ordered, blocking byte stream — the minimal contract the
 /// framed wire format needs. Implementations must deliver bytes exactly
 /// once and in order (TCP semantics); framing, checksums, and message
@@ -33,6 +41,17 @@ class ByteTransport {
   /// Reads exactly `size` bytes, blocking until they arrive. Returns false
   /// on EOF or error before `size` bytes were received.
   virtual bool Recv(uint8_t* data, size_t size) = 0;
+
+  /// Reads exactly `size` bytes or gives up after `timeout_ms`
+  /// milliseconds — what lets the blocking drivers enforce
+  /// SessionConfig::phase_deadline_ms without a watchdog thread. The
+  /// default ignores the timeout and degrades to Recv (custom transports
+  /// then simply cannot time out; the deadline is best-effort for them);
+  /// the fd and loopback transports honor it exactly.
+  virtual RecvStatus RecvTimed(uint8_t* data, size_t size, int timeout_ms) {
+    (void)timeout_ms;
+    return Recv(data, size) ? RecvStatus::kOk : RecvStatus::kClosed;
+  }
 
   /// Best-effort non-blocking read: moves up to `size` bytes that are
   /// *already available* into `data` and returns the count — 0 when

@@ -38,10 +38,14 @@
 #define PBS_CORE_WIRE_SESSION_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "pbs/core/session_engine.h"
 #include "pbs/core/transport.h"
+#include "pbs/net/retry_policy.h"
 
 namespace pbs {
 
@@ -65,6 +69,51 @@ SessionResult RunResponderSession(ByteTransport& transport,
 /// cumulative inserted/deleted/rejected counts. Blocks until settled.
 SessionResult RunUpdateSession(ByteTransport& transport,
                                const std::vector<UpdateBatch>& batches);
+
+/// Produces a fresh connection for each (re)attempt of a resilient
+/// session. Returns null on connect failure with *error describing why;
+/// the runner backs off and tries again until its retry budget runs out.
+using TransportFactory =
+    std::function<std::unique_ptr<ByteTransport>(std::string* error)>;
+
+/// Knobs of RunResilientInitiatorSession.
+struct ResilientOptions {
+  /// Attempt budget and backoff shape shared by connect failures and
+  /// mid-session faults. max_attempts counts sessions, not connects.
+  RetryPolicy retry;
+  /// Reconnects re-attach to an interrupted sharded session via its
+  /// resume token (RESUME frame) instead of restarting from scratch.
+  /// False forces every attempt to be a fresh session.
+  bool allow_resume = true;
+  /// Optional progress hook ("session attempt 1 failed (...); resuming
+  /// in 83ms"); null discards.
+  std::function<void(const std::string&)> log;
+};
+
+/// What the resilient runner actually did, for stats and assertions.
+struct ResilienceReport {
+  int connect_attempts = 0;  ///< Transport factory invocations.
+  int sessions_run = 0;      ///< Sessions driven to a terminal state.
+  int resumed_sessions = 0;  ///< Of those, sessions started from a token.
+  bool used_resume = false;  ///< Any attempt re-attached via RESUME.
+  bool stale_resume = false; ///< A token was rejected as stale.
+  size_t total_wire_bytes = 0;  ///< Sum over every attempt.
+  size_t last_wire_bytes = 0;   ///< The final attempt alone.
+};
+
+/// Fault-tolerant initiator driver: runs the session, and on transport
+/// failure or phase-deadline expiry reconnects through `factory` under
+/// capped decorrelated-jitter backoff (net/retry_policy.h). A failed
+/// *sharded* session leaves a resume token (SessionResult::resume_state);
+/// the next attempt re-attaches with RESUME and finishes only the
+/// unsettled shards, so recovery costs strictly less wire than a fresh
+/// restart. A "stale resume" rejection (responder set changed) drops the
+/// token and restarts clean. Returns the final attempt's result; `report`
+/// (optional) says how the session got there.
+SessionResult RunResilientInitiatorSession(
+    const TransportFactory& factory, const SessionConfig& config,
+    const std::vector<uint64_t>& elements, const ResilientOptions& options,
+    ResilienceReport* report = nullptr);
 
 /// Convenience for tests and demos: pumps an initiator and a responder
 /// SessionEngine against each other on the calling thread (sans-I/O: no

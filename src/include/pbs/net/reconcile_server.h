@@ -103,6 +103,11 @@ struct ServerOptions {
   /// proposal above this is clamped down to it in the SHARD_PLAN_ACK.
   /// 0 = accept whatever the initiator proposes.
   int keyspace_shards = 0;
+  /// Per-phase deadline for every served session (SessionConfig::
+  /// phase_deadline_ms): a peer that sends no complete frame for this
+  /// long is failed with "phase deadline exceeded while <phase>" rather
+  /// than holding a slot until the idle timeout. 0 = disabled.
+  int phase_deadline_ms = 0;
 };
 
 /// Monotonic counters, snapshot via ReconcileServer::stats() — an
@@ -120,7 +125,27 @@ struct ServerStats {
   std::map<std::string, uint64_t> completed_by_scheme;
   /// Sessions currently in flight (gauge, not a counter).
   uint64_t active = 0;
+  /// Keyspace sub-sessions served with a degraded (fallback) scheme
+  /// after the initiator's retry ladder exhausted its primary.
+  uint64_t degraded_shards = 0;
 };
+
+/// What the accept loop should do about a failed accept(2). Exposed for
+/// tests; the classification is the load-bearing part of the server's
+/// accept resilience.
+enum class AcceptErrorAction {
+  /// Transient, per-connection: the next accept may succeed right away
+  /// (ECONNABORTED, EINTR, EPROTO, and the transient network errnos).
+  kRetry,
+  /// Resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) or anything
+  /// unrecognized: retrying immediately would spin hot on a readiness
+  /// the kernel cannot satisfy, so leave the accept loop for a backoff
+  /// window.
+  kBackoff,
+};
+
+/// Maps an accept(2) errno to the loop's reaction.
+AcceptErrorAction ClassifyAcceptError(int error);
 
 /// Sharded event-loop server holding one responder SessionEngine per
 /// accepted connection. Construct with Create(), then either hand the

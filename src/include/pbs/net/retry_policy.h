@@ -1,0 +1,50 @@
+// Reconnect backoff policy for resilient session drivers.
+//
+// RunResilientInitiatorSession (core/wire_session.h) and `pbs_cli
+// connect --retries` sleep between connection attempts according to a
+// RetryPolicy: capped exponential backoff with *decorrelated jitter*
+// (each delay is drawn uniformly from [base, 3 * previous] and clamped
+// to the cap), which avoids the synchronized retry stampedes plain
+// exponential backoff produces when many clients lose the same server
+// at once. The jitter stream is seeded, so a given policy replays the
+// same delay sequence — tests assert exact schedules.
+
+#ifndef PBS_NET_RETRY_POLICY_H_
+#define PBS_NET_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "pbs/common/rng.h"
+
+namespace pbs {
+
+/// Tunables for one reconnect ladder.
+struct RetryPolicy {
+  int max_attempts = 3;    ///< Total connection attempts (>= 1).
+  int base_delay_ms = 50;  ///< Floor of every delay draw.
+  int max_delay_ms = 2000; ///< Cap on any single delay.
+  uint64_t seed = 0x9E37;  ///< Jitter stream seed (deterministic replay).
+};
+
+/// Stateful delay generator for one reconnect sequence. Not thread-safe;
+/// make one per session attempt loop.
+class RetryBackoff {
+ public:
+  explicit RetryBackoff(const RetryPolicy& policy);
+
+  /// The delay to sleep before the *next* attempt. Successive calls grow
+  /// toward the cap; Reset() restarts the ladder (e.g. after a success).
+  int NextDelayMs();
+
+  /// Restarts the ladder at the base delay.
+  void Reset();
+
+ private:
+  RetryPolicy policy_;
+  Xoshiro256 rng_;
+  int prev_ms_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_NET_RETRY_POLICY_H_

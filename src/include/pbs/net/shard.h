@@ -57,6 +57,9 @@ struct ShardStats {
   std::atomic<uint64_t> bytes_in{0};
   std::atomic<uint64_t> bytes_out{0};
   std::atomic<uint64_t> active{0};  ///< Sessions adopted, not yet finished.
+  /// Sub-sessions served with a degraded (fallback) scheme, summed over
+  /// completed sessions (SessionResult::degraded_shards).
+  std::atomic<uint64_t> degraded{0};
 
   mutable std::mutex scheme_mutex;
   std::map<std::string, uint64_t> completed_by_scheme;
@@ -88,6 +91,11 @@ class Shard {
     int idle_timeout_ms = 30000;
     int decode_threads = 1;
     int keyspace_shards = 0;  // Local SHARD_PLAN clamp; 0 = accept any.
+    // Per-phase deadline handed to every session engine (SessionConfig::
+    // phase_deadline_ms): a session whose peer sends no complete frame
+    // for this long is failed with a phase diagnostic instead of waiting
+    // for the (longer) idle timeout. 0 = disabled.
+    int phase_deadline_ms = 0;
     EventLoop::Backend backend = EventLoop::Backend::kAuto;
   };
 
@@ -156,6 +164,7 @@ class Shard {
   void UpdateInterest(int slot);
   void MaybeFinalize(int slot, bool peer_gone);
   void SweepIdle();
+  void SweepDeadlines();
   void FinishSession(int slot, bool timed_out);
 
   const int index_;

@@ -45,11 +45,13 @@
 #ifndef PBS_SYNC_SHARDED_SESSION_H_
 #define PBS_SYNC_SHARDED_SESSION_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pbs/common/parallel.h"
@@ -81,6 +83,45 @@ bool ParseSubRecords(const std::vector<uint8_t>& payload,
 using SubEmit = std::function<void(uint32_t shard, uint8_t inner_type,
                                    const uint8_t* data, size_t size)>;
 
+/// Everything a reconnecting initiator needs to finish an interrupted
+/// sharded session. Captured by SessionEngine::Fail() from the
+/// coordinator (SessionResult::resume_state), carried across the
+/// reconnect by the resilient driver, and handed back via
+/// SessionConfig::resume. The settled_* fields keep the work already
+/// banked (differences recovered, accounting) on the client; only
+/// `pending` travels to the responder inside the RESUME frame.
+struct ShardResumeState {
+  /// The negotiated (post-clamp) shard count of the interrupted session.
+  int shard_count = 0;
+  /// The responder's Merkle root from SHARD_PLAN_ACK / RESUME_ACK. The
+  /// responder re-validates it on resume: a mismatch means its set
+  /// changed between attempts and the resume is stale.
+  uint64_t remote_root = 0;
+  /// The per-shard first-attempt bound the interrupted session used.
+  double initial_d = 1.0;
+  /// Pre-filter / ladder accounting carried into the final summary.
+  int identical_shards = 0;
+  int retries = 0;
+  int degraded = 0;
+
+  /// One unsettled shard: where its retry/degradation ladder stood.
+  struct Pending {
+    uint32_t shard = 0;
+    uint8_t attempt = 0;        ///< Last attempt number used (>= 1).
+    uint8_t degrade_level = 0;  ///< 0 = primary scheme; >0 = fallback index.
+    double d_attempt = 1.0;     ///< The bound that attempt ran with.
+  };
+  std::vector<Pending> pending;  ///< Ascending shard id.
+
+  /// Work already settled before the disconnect, kept client-side.
+  std::vector<uint64_t> settled_difference;
+  uint64_t settled_data_bytes = 0;
+  int settled_rounds = 0;
+  double settled_encode_seconds = 0.0;
+  double settled_decode_seconds = 0.0;
+  int settled_count = 0;  ///< Differing shards that completed.
+};
+
 /// Initiator-side orchestrator of one sharded session.
 ///
 /// Lifecycle: construct (derives the plan, streams the per-shard digest
@@ -94,6 +135,17 @@ class ShardedCoordinator {
   ShardedCoordinator(const SessionConfig& config,
                      SessionEngine::SharedElements elements,
                      const SchemeRegistry* registry);
+
+  /// Resuming constructor: re-attaches to the session `token` describes.
+  /// The plan is derived from the token's shard count, the settled work
+  /// is banked, and only the token's pending shards are staged (each
+  /// continuing its ladder one attempt past where it stood). The engine
+  /// sends RESUME instead of SHARD_PLAN / DIGEST_TREE, so no pre-filter
+  /// runs again.
+  ShardedCoordinator(const SessionConfig& config,
+                     SessionEngine::SharedElements elements,
+                     const SchemeRegistry* registry,
+                     const ShardResumeState& token);
   ~ShardedCoordinator();
 
   /// False when construction failed (unknown scheme); error() says why.
@@ -149,6 +201,19 @@ class ShardedCoordinator {
   int differing_shards() const { return static_cast<int>(subs_.size()); }
   int identical_shards() const { return identical_; }
 
+  /// Shards that settled only after degrading to a fallback scheme
+  /// (includes degradations carried in by a resume token).
+  int degraded_shards() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the session for a later resume: the settled work plus
+  /// each unsettled shard's ladder position. `remote_root` is the
+  /// responder root the owning engine saw in SHARD_PLAN_ACK/RESUME_ACK.
+  /// Null before the shard plan was agreed (nothing to resume) or once
+  /// every shard settled.
+  std::shared_ptr<ShardResumeState> MakeResumeState(uint64_t remote_root) const;
+
   /// The negotiated total difference bound: the global ToW estimate,
   /// config.exact_d when estimation was pre-empted, or -- when the
   /// pre-filter let the session skip estimation -- the sum of the final
@@ -164,11 +229,13 @@ class ShardedCoordinator {
   struct Sub;
   void Open(Sub& sub);
   void StartAttempt(Sub& sub);
+  bool TryDegrade(Sub& sub);
   void Process(Sub& sub, const SubFrame& frame);
   Sub* FindSub(uint32_t shard);
 
   SessionConfig config_;
   SessionEngine::SharedElements elements_;
+  const SchemeRegistry* registry_;  // nullptr = SchemeRegistry::Instance().
   std::unique_ptr<SetReconciler> reconciler_;  // decode_threads forced to 1.
   ShardPlan plan_;
   std::vector<uint64_t> leaves_;
@@ -183,12 +250,23 @@ class ShardedCoordinator {
   bool begun_ = false;
   int identical_ = 0;
   int retries_ = 0;
+  // Incremented from Process(), which may run on ParallelFor workers.
+  std::atomic<int> degraded_{0};
   size_t completed_ = 0;
   size_t open_ = 0;
   size_t next_open_ = 0;
   int pipeline_ = 1;
   std::vector<SubFrame> queue_;
   std::unique_ptr<ParallelFor> pool_;  // Lazily created; null = serial.
+  // Work banked by a resume token (empty/zero on fresh sessions).
+  bool resumed_ = false;
+  std::vector<uint64_t> carried_difference_;
+  uint64_t carried_data_bytes_ = 0;
+  int carried_rounds_ = 0;
+  double carried_encode_ = 0.0;
+  double carried_decode_ = 0.0;
+  int carried_settled_ = 0;
+  int carried_retries_ = 0;
 };
 
 /// Responder-side demultiplexer of one sharded session.
@@ -215,6 +293,19 @@ class ShardedResponderMux {
   bool HandleDigestTree(const std::vector<uint8_t>& payload,
                         std::vector<uint8_t>* reply, std::string* error);
 
+  /// Resume path: skips the digest exchange and stages exactly the
+  /// shards a RESUME frame named, seeding each shard's attempt counter
+  /// where the interrupted session left it (the reconnecting initiator
+  /// opens at attempt + 1, which the in-order check then accepts).
+  /// `entries` are (shard id, last attempt) pairs, ascending and unique.
+  bool BeginResume(const std::vector<std::pair<uint32_t, uint8_t>>& entries,
+                   std::string* error);
+
+  /// Shards this responder served with a degraded (fallback) scheme.
+  int degraded_shards() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueues one inbound sub-record; Flush processes and emits.
   bool HandleSubFrame(SubFrame frame, std::string* error);
 
@@ -230,6 +321,7 @@ class ShardedResponderMux {
 
   SessionConfig config_;
   SessionEngine::SharedElements elements_;
+  const SchemeRegistry* registry_;  // nullptr = SchemeRegistry::Instance().
   std::unique_ptr<SetReconciler> reconciler_;  // decode_threads forced to 1.
   ShardPlan plan_;
   std::vector<uint64_t> leaves_;
@@ -238,6 +330,8 @@ class ShardedResponderMux {
 
   std::vector<std::unique_ptr<Sub>> subs_;
   bool partitioned_ = false;
+  // Incremented from Process(), which may run on ParallelFor workers.
+  std::atomic<int> degraded_{0};
   std::vector<SubFrame> queue_;
   std::unique_ptr<ParallelFor> pool_;
 };

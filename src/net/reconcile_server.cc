@@ -39,6 +39,33 @@ int ResolveShardCount(int requested) {
 
 }  // namespace
 
+AcceptErrorAction ClassifyAcceptError(int error) {
+  switch (error) {
+    // Per-connection failures: the aborted/broken connection is consumed
+    // by the failed accept itself, so the very next accept can succeed.
+    // Linux also surfaces errors of the *accepted* socket here (the
+    // network-down family), which likewise say nothing about the
+    // listener's health.
+    case ECONNABORTED:
+    case EINTR:
+    case EPROTO:
+    case EPERM:
+    case ENETDOWN:
+    case ENETUNREACH:
+    case EHOSTDOWN:
+    case EHOSTUNREACH:
+    case EOPNOTSUPP:
+#ifdef ENONET
+    case ENONET:
+#endif
+      return AcceptErrorAction::kRetry;
+    // EMFILE/ENFILE/ENOBUFS/ENOMEM, and anything unrecognized: retrying
+    // immediately spins hot on a readiness the kernel cannot satisfy.
+    default:
+      return AcceptErrorAction::kBackoff;
+  }
+}
+
 class ReconcileServer::Impl {
  public:
   Impl(const ServerOptions& options, std::vector<uint64_t> elements,
@@ -60,6 +87,7 @@ class ReconcileServer::Impl {
     shard_options.idle_timeout_ms = options_.idle_timeout_ms;
     shard_options.decode_threads = options_.decode_threads;
     shard_options.keyspace_shards = options_.keyspace_shards;
+    shard_options.phase_deadline_ms = options_.phase_deadline_ms;
     shard_options.backend = options_.event_backend;
     const int shard_count = ResolveShardCount(options_.shards);
     shards_.reserve(shard_count);
@@ -140,6 +168,7 @@ class ReconcileServer::Impl {
       out.timed_out += s.timed_out.load(std::memory_order_relaxed);
       out.bytes_in += s.bytes_in.load(std::memory_order_relaxed);
       out.bytes_out += s.bytes_out.load(std::memory_order_relaxed);
+      out.degraded_shards += s.degraded.load(std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(s.scheme_mutex);
       for (const auto& [scheme, count] : s.completed_by_scheme) {
         out.completed_by_scheme[scheme] += count;
@@ -219,17 +248,16 @@ class ReconcileServer::Impl {
       const int fd = listener_->AcceptRaw();
       if (fd < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-            errno == ENOMEM) {
-          // Out of fds (or kernel memory): readiness can't be satisfied,
-          // so polling the listener again would spin hot. Drop it from
-          // the loop for a backoff window; in-flight sessions keep
-          // draining and freeing fds in the meantime.
+        if (ClassifyAcceptError(errno) == AcceptErrorAction::kBackoff) {
+          // Out of fds (or kernel memory, or something unrecognized):
+          // readiness can't be satisfied, so polling the listener again
+          // would spin hot. Drop it from the loop for a backoff window;
+          // in-flight sessions keep draining and freeing fds meanwhile.
           PauseAccepting();
           return;
         }
-        // Transient per-connection failures (ECONNABORTED, EPROTO, ...):
-        // skip this connection, keep draining the queue.
+        // Transient per-connection failures (ECONNABORTED, EINTR,
+        // EPROTO, ...): skip this connection, keep draining the queue.
         continue;
       }
       if (ShouldStop()) {

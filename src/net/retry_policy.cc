@@ -1,0 +1,30 @@
+#include "pbs/net/retry_policy.h"
+
+#include <algorithm>
+
+namespace pbs {
+
+RetryBackoff::RetryBackoff(const RetryPolicy& policy)
+    : policy_(policy), rng_(policy.seed != 0 ? policy.seed : 1) {
+  policy_.base_delay_ms = std::max(1, policy_.base_delay_ms);
+  policy_.max_delay_ms = std::max(policy_.base_delay_ms, policy_.max_delay_ms);
+  prev_ms_ = policy_.base_delay_ms;
+}
+
+int RetryBackoff::NextDelayMs() {
+  // Decorrelated jitter (Brooker): next = min(cap, U(base, prev * 3)).
+  const int64_t lo = policy_.base_delay_ms;
+  const int64_t hi =
+      std::min<int64_t>(policy_.max_delay_ms, int64_t{prev_ms_} * 3);
+  int64_t next = lo;
+  if (hi > lo) {
+    next = lo + static_cast<int64_t>(
+                    rng_.NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+  prev_ms_ = static_cast<int>(next);
+  return prev_ms_;
+}
+
+void RetryBackoff::Reset() { prev_ms_ = policy_.base_delay_ms; }
+
+}  // namespace pbs

@@ -106,6 +106,7 @@ bool Shard::LoopOnce(int timeout_ms) {
       ServiceSlot(static_cast<int>(event.tag), event.ready);
     }
   }
+  SweepDeadlines();
   SweepIdle();
   return !shared_->stop.load(std::memory_order_acquire);
 }
@@ -141,6 +142,7 @@ void Shard::Adopt(int fd) {
   SessionConfig local_config;
   local_config.options.pbs.decode_threads = options_.decode_threads;
   local_config.keyspace_shards = options_.keyspace_shards;
+  local_config.phase_deadline_ms = options_.phase_deadline_ms;
   if (store_ != nullptr) {
     // Mutable serving: pin the store's current snapshot for this whole
     // session. Concurrent writers keep publishing new epochs; this
@@ -241,6 +243,11 @@ void Shard::ServiceSlot(int slot, uint32_t ready) {
   if ((ready & (EventLoop::kRead | EventLoop::kHangup)) != 0) {
     peer_gone = !ReadReady(s);
   }
+  // Catch slow-loris peers that keep the socket warm with partial
+  // frames: bytes arrived but the phase clock (which only restarts on
+  // complete frames) may still have expired. CheckDeadline queues the
+  // ERROR diagnostic, which the flush below delivers.
+  if (!peer_gone) (void)s.engine->CheckDeadline();
   if (!peer_gone && (s.engine->outbound_size() > 0)) FlushWrites(s);
   MaybeFinalize(slot, peer_gone);
 }
@@ -318,6 +325,22 @@ void Shard::MaybeFinalize(int slot, bool peer_gone) {
   FinishSession(slot, /*timed_out=*/false);
 }
 
+// Fails sessions whose peer sent no complete frame within the phase
+// deadline, even if the fd never becomes ready again (a silent peer
+// generates no events, so ServiceSlot alone cannot catch it). Only runs
+// when the feature is on; the walk is O(slots) per loop tick.
+void Shard::SweepDeadlines() {
+  if (options_.phase_deadline_ms <= 0) return;
+  for (int slot = 0; slot < static_cast<int>(slots_.size()); ++slot) {
+    Slot& s = slots_[slot];
+    if (s.fd < 0 || s.engine == nullptr) continue;
+    if (s.engine->CheckDeadline()) {
+      FlushWrites(s);  // Best-effort delivery of the queued ERROR frame.
+      FinishSession(slot, /*timed_out=*/false);
+    }
+  }
+}
+
 void Shard::SweepIdle() {
   if (options_.idle_timeout_ms <= 0) return;
   const Clock::time_point cutoff =
@@ -347,6 +370,10 @@ void Shard::FinishSession(int slot, bool timed_out) {
     stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
   } else if (result.ok) {
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    if (result.degraded_shards > 0) {
+      stats_.degraded.fetch_add(static_cast<uint64_t>(result.degraded_shards),
+                                std::memory_order_relaxed);
+    }
     std::lock_guard<std::mutex> lock(stats_.scheme_mutex);
     stats_.completed_by_scheme[result.scheme] += 1;
   } else {

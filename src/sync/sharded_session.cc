@@ -29,7 +29,35 @@ constexpr size_t kEstimateSkipShards = 4;
 constexpr double kSkipInitialD = 4.0;
 
 // Per-shard scheme-request prefix: u8 attempt + f64 difference bound.
+// When the attempt byte's top bit is set (graceful degradation), one
+// scheme-id byte follows the attempt before the bound — clean sessions
+// keep the classic 9-byte prefix bit-for-bit.
 constexpr size_t kSubRequestPrefix = 9;
+constexpr uint8_t kSubSchemeOverride = 0x80;
+// Attempt counters share the byte with the override bit, so they are
+// capped well below 0x80 (the ladders never get near this in practice).
+constexpr uint8_t kMaxAttemptCounter = 120;
+
+// Degradation ladder: when a shard's retry ladder exhausts under the
+// primary scheme, it falls back to the first usable alternate from this
+// list, then the next. Ordered by robustness under a wrong bound.
+constexpr const char* kFallbackSchemes[] = {"graphene", "ddigest",
+                                            "pinsketch"};
+
+// The `level`-th (1-based) usable fallback for `primary`: registered,
+// different from the primary, and with a nonzero wire id (the id is how
+// the choice travels). Empty when the ladder is out of options.
+std::string FallbackSchemeAt(const std::string& primary, int level,
+                             const SchemeRegistry& reg) {
+  int found = 0;
+  for (const char* name : kFallbackSchemes) {
+    if (primary == name) continue;
+    if (!reg.Contains(name)) continue;
+    if (wire::SchemeWireId(name) == 0) continue;
+    if (++found == level) return name;
+  }
+  return std::string();
+}
 
 double BitsToDouble(uint64_t bits) {
   double value;
@@ -98,6 +126,17 @@ struct ShardedCoordinator::Sub {
   std::unique_ptr<ReconcileInitiator> engine;
   double d_attempt = 1.0;
   uint8_t attempt = 0;
+  // First attempt of the current ladder: fresh shards start at 1; a
+  // resumed or degraded shard restarts its retry budget here, so
+  // (attempt - ladder_start + 1) attempts have run on this ladder.
+  uint8_t ladder_start = 1;
+  // Graceful degradation: 0 = primary scheme; >0 indexes the fallback
+  // list. `alt` is the fallback reconciler, announced to the responder
+  // via the override prefix (attempt | 0x80, then the scheme id).
+  uint8_t degrade_level = 0;
+  uint8_t scheme_wire_id = 0;
+  std::string scheme_name;
+  std::unique_ptr<SetReconciler> alt;
   uint8_t phase = kUnopened;
   bool queued = false;       // An inbound record for this shard is queued.
   uint8_t pending_type = 0;  // Inner type to emit after Process (0 = none).
@@ -114,8 +153,12 @@ struct ShardedCoordinator::Sub {
 
   void StageRequest() {
     scratch.clear();
-    scratch.reserve(9 + raw.size());
-    scratch.push_back(attempt);
+    const bool degraded = scheme_wire_id != 0;
+    scratch.reserve((degraded ? 10 : 9) + raw.size());
+    scratch.push_back(degraded
+                          ? static_cast<uint8_t>(attempt | kSubSchemeOverride)
+                          : attempt);
+    if (degraded) scratch.push_back(scheme_wire_id);
     uint64_t bits;
     static_assert(sizeof(bits) == sizeof(d_attempt), "double width");
     std::memcpy(&bits, &d_attempt, sizeof(bits));
@@ -130,7 +173,7 @@ struct ShardedCoordinator::Sub {
 ShardedCoordinator::ShardedCoordinator(const SessionConfig& config,
                                        SessionEngine::SharedElements elements,
                                        const SchemeRegistry* registry)
-    : config_(config), elements_(std::move(elements)) {
+    : config_(config), elements_(std::move(elements)), registry_(registry) {
   pipeline_ = config_.shard_pipeline < 1 ? 1 : config_.shard_pipeline;
   plan_ = ShardPlan::Derive(config_.keyspace_shards, config_.seed);
   // Per-shard engines run serial: the shard loop owns the parallelism.
@@ -142,6 +185,67 @@ ShardedCoordinator::ShardedCoordinator(const SessionConfig& config,
   if (reconciler_ == nullptr) {
     error_ = "unknown scheme '" + config_.scheme_name + "'";
   }
+}
+
+ShardedCoordinator::ShardedCoordinator(const SessionConfig& config,
+                                       SessionEngine::SharedElements elements,
+                                       const SchemeRegistry* registry,
+                                       const ShardResumeState& token)
+    : ShardedCoordinator(config, std::move(elements), registry) {
+  if (!error_.empty()) return;
+  // The plan comes from the token, not the config: the interrupted
+  // session may have been clamped by the responder.
+  plan_ = ShardPlan::Derive(token.shard_count, config_.seed);
+  leaves_valid_ = false;
+  resumed_ = true;
+  initial_d_ = std::min(std::max(token.initial_d, 1.0), kMaxSubEstimate);
+  identical_ = token.identical_shards;
+  degraded_.store(token.degraded, std::memory_order_relaxed);
+  carried_retries_ = token.retries;
+  carried_difference_ = token.settled_difference;
+  carried_data_bytes_ = token.settled_data_bytes;
+  carried_rounds_ = token.settled_rounds;
+  carried_encode_ = token.settled_encode_seconds;
+  carried_decode_ = token.settled_decode_seconds;
+  carried_settled_ = token.settled_count;
+  const SchemeRegistry& reg =
+      registry_ != nullptr ? *registry_ : SchemeRegistry::Instance();
+  // Stage exactly the unsettled shards, each ladder where it stood.
+  std::vector<uint32_t> ids;
+  ids.reserve(token.pending.size());
+  for (const auto& p : token.pending) ids.push_back(p.shard);
+  std::vector<std::vector<uint64_t>> parts;
+  PartitionSelected(elements_->data(), elements_->size(), plan_, ids, &parts);
+  subs_.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const ShardResumeState::Pending& p = token.pending[i];
+    auto sub = std::make_unique<Sub>();
+    sub->shard = ids[i];
+    sub->elements = std::move(parts[i]);
+    sub->attempt = p.attempt;
+    sub->d_attempt = std::isfinite(p.d_attempt)
+                         ? std::min(std::max(p.d_attempt, 1.0), kMaxSubEstimate)
+                         : initial_d_;
+    if (p.degrade_level > 0) {
+      // Rebuild the fallback reconciler the interrupted ladder reached.
+      sub->degrade_level = p.degrade_level;
+      sub->scheme_name =
+          FallbackSchemeAt(config_.scheme_name, p.degrade_level, reg);
+      sub->scheme_wire_id = wire::SchemeWireId(sub->scheme_name);
+      SchemeOptions options = config_.options;
+      options.pbs.decode_threads = 1;
+      if (!sub->scheme_name.empty()) {
+        sub->alt = reg.Create(sub->scheme_name, options);
+      }
+      if (sub->alt == nullptr || sub->scheme_wire_id == 0) {
+        error_ = "resume token names an unavailable fallback scheme";
+        return;
+      }
+    }
+    subs_.push_back(std::move(sub));
+  }
+  begun_ = true;
+  ready_ = true;
 }
 
 ShardedCoordinator::~ShardedCoordinator() = default;
@@ -263,10 +367,13 @@ bool ShardedCoordinator::HandleSubFrame(SubFrame frame, std::string* error) {
 }
 
 void ShardedCoordinator::StartAttempt(Sub& sub) {
-  sub.engine = reconciler_->CreateInitiator(sub.elements, sub.d_attempt,
-                                            plan_.SubSeed(sub.shard));
+  SetReconciler* maker = sub.alt != nullptr ? sub.alt.get() : reconciler_.get();
+  sub.engine = maker->CreateInitiator(sub.elements, sub.d_attempt,
+                                      plan_.SubSeed(sub.shard));
   if (sub.engine == nullptr) {
-    sub.error = "scheme '" + config_.scheme_name + "' has no wire protocol";
+    const std::string& name =
+        sub.alt != nullptr ? sub.scheme_name : config_.scheme_name;
+    sub.error = "scheme '" + name + "' has no wire protocol";
     return;
   }
   sub.engine->NextRequestInto(&sub.raw);
@@ -274,9 +381,43 @@ void ShardedCoordinator::StartAttempt(Sub& sub) {
   sub.phase = Sub::kAwaitScheme;
 }
 
+// Exhausted retry ladder: switch the shard to the next fallback scheme
+// (fresh retry budget, current bound) instead of failing the session.
+bool ShardedCoordinator::TryDegrade(Sub& sub) {
+  if (sub.attempt >= kMaxAttemptCounter) return false;
+  const SchemeRegistry& reg =
+      registry_ != nullptr ? *registry_ : SchemeRegistry::Instance();
+  const std::string name =
+      FallbackSchemeAt(config_.scheme_name, sub.degrade_level + 1, reg);
+  if (name.empty()) return false;
+  SchemeOptions options = config_.options;
+  options.pbs.decode_threads = 1;
+  auto alt = reg.Create(name, options);
+  if (alt == nullptr) return false;
+  if (sub.degrade_level == 0) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++sub.degrade_level;
+  sub.alt = std::move(alt);
+  sub.scheme_name = name;
+  sub.scheme_wire_id = wire::SchemeWireId(name);
+  ++sub.attempt;
+  sub.ladder_start = sub.attempt;  // Fresh retry budget under the fallback.
+  StartAttempt(sub);
+  return true;
+}
+
 void ShardedCoordinator::Open(Sub& sub) {
-  sub.attempt = 1;
-  sub.d_attempt = initial_d_;
+  if (sub.attempt == 0) {
+    sub.attempt = 1;
+    sub.ladder_start = 1;
+    sub.d_attempt = initial_d_;
+  } else {
+    // Resumed shard: the new connection needs a new attempt (the
+    // responder rebuilds its engine), continuing at the carried bound.
+    ++sub.attempt;
+    sub.ladder_start = sub.attempt;
+  }
   StartAttempt(sub);
 }
 
@@ -304,16 +445,22 @@ void ShardedCoordinator::Process(Sub& sub, const SubFrame& frame) {
       sub.acc_rounds += attempt_outcome.rounds;
       sub.acc_encode += attempt_outcome.encode_seconds;
       sub.acc_decode += attempt_outcome.decode_seconds;
-      if (!attempt_outcome.success && sub.attempt < kMaxSubAttempts &&
-          sub.d_attempt < kMaxSubEstimate) {
-        // Escalate the bound and retry from scratch. Every scheme's
-        // responder sizes itself from the request prefix, so the remote
-        // engine follows without renegotiation.
-        ++sub.attempt;
-        sub.d_attempt =
-            std::min(sub.d_attempt * kSubRetryGrowth, kMaxSubEstimate);
-        StartAttempt(sub);
-        return;
+      if (!attempt_outcome.success) {
+        if (sub.attempt - sub.ladder_start + 1 < kMaxSubAttempts &&
+            sub.d_attempt < kMaxSubEstimate &&
+            sub.attempt < kMaxAttemptCounter) {
+          // Escalate the bound and retry from scratch. Every scheme's
+          // responder sizes itself from the request prefix, so the remote
+          // engine follows without renegotiation.
+          ++sub.attempt;
+          sub.d_attempt =
+              std::min(sub.d_attempt * kSubRetryGrowth, kMaxSubEstimate);
+          StartAttempt(sub);
+          return;
+        }
+        // Ladder exhausted: degrade to a fallback scheme for this shard
+        // instead of failing the whole session.
+        if (TryDegrade(sub)) return;
       }
       sub.outcome = std::move(attempt_outcome);
       sub.outcome.data_bytes = sub.acc_data_bytes;
@@ -410,17 +557,73 @@ double ShardedCoordinator::total_d_hat() const {
   return sum;
 }
 
+std::shared_ptr<ShardResumeState> ShardedCoordinator::MakeResumeState(
+    uint64_t remote_root) const {
+  // Resumable only once the shard plan was agreed and the sub-sessions
+  // could open (an estimate-phase failure restarts fresh — nothing is
+  // banked yet anyway).
+  if (!begun_ || !ready_) return nullptr;
+  auto token = std::make_shared<ShardResumeState>();
+  token->shard_count = plan_.shard_count;
+  token->remote_root = remote_root;
+  token->initial_d = initial_d_;
+  token->identical_shards = identical_;
+  token->degraded = degraded_.load(std::memory_order_relaxed);
+  token->settled_difference = carried_difference_;
+  token->settled_data_bytes = carried_data_bytes_;
+  token->settled_rounds = carried_rounds_;
+  token->settled_encode_seconds = carried_encode_;
+  token->settled_decode_seconds = carried_decode_;
+  token->settled_count = carried_settled_;
+  int retries = carried_retries_;
+  for (const auto& subp : subs_) {
+    const Sub& sub = *subp;
+    if (sub.attempt > sub.ladder_start) {
+      retries += sub.attempt - sub.ladder_start;
+    }
+    if (sub.has_outcome && sub.outcome.success) {
+      // Settled this connection (possibly still awaiting the sub DONE
+      // ack — the responder already served the data; don't re-open).
+      token->settled_difference.insert(token->settled_difference.end(),
+                                       sub.outcome.difference.begin(),
+                                       sub.outcome.difference.end());
+      token->settled_data_bytes += sub.outcome.data_bytes;
+      token->settled_rounds =
+          std::max(token->settled_rounds, sub.outcome.rounds);
+      token->settled_encode_seconds += sub.outcome.encode_seconds;
+      token->settled_decode_seconds += sub.outcome.decode_seconds;
+      ++token->settled_count;
+      continue;
+    }
+    ShardResumeState::Pending p;
+    p.shard = sub.shard;
+    p.attempt = sub.attempt;  // 0 for never-opened shards.
+    p.degrade_level = sub.degrade_level;
+    p.d_attempt = sub.attempt == 0 ? initial_d_ : sub.d_attempt;
+    token->pending.push_back(p);
+  }
+  token->retries = retries;
+  return token;
+}
+
 ReconcileOutcome ShardedCoordinator::TakeOutcome() {
   ReconcileOutcome out;
   out.success = true;
-  out.rounds = 0;
-  size_t total_diff = 0;
-  int retries = 0;
+  out.rounds = carried_rounds_;
+  size_t total_diff = carried_difference_.size();
+  int retries = carried_retries_;
   for (const auto& sub : subs_) {
     if (sub->has_outcome) total_diff += sub->outcome.difference.size();
-    retries += sub->attempt > 1 ? sub->attempt - 1 : 0;
+    retries += sub->attempt > sub->ladder_start
+                   ? sub->attempt - sub->ladder_start
+                   : 0;
   }
   out.difference.reserve(total_diff);
+  out.difference.insert(out.difference.end(), carried_difference_.begin(),
+                        carried_difference_.end());
+  out.data_bytes += carried_data_bytes_;
+  out.encode_seconds += carried_encode_;
+  out.decode_seconds += carried_decode_;
   for (auto& subp : subs_) {
     Sub& sub = *subp;
     if (!sub.has_outcome) {
@@ -437,12 +640,21 @@ ReconcileOutcome ShardedCoordinator::TakeOutcome() {
     out.encode_seconds += sub.outcome.encode_seconds;
     out.decode_seconds += sub.outcome.decode_seconds;
   }
+  const size_t differing = subs_.size() + static_cast<size_t>(carried_settled_);
   char summary[112];
   std::snprintf(summary, sizeof(summary),
                 "shards=%d identical=%d differing=%zu pipeline=%d retries=%d",
-                plan_.shard_count, identical_, subs_.size(), pipeline_,
-                retries);
+                plan_.shard_count, identical_, differing, pipeline_, retries);
   out.params_summary = summary;
+  // Appended only when they happened, so clean sessions keep the classic
+  // summary (and the pr9 byte-exact bench gate) untouched.
+  const int degraded = degraded_.load(std::memory_order_relaxed);
+  if (degraded > 0) {
+    out.params_summary += " degraded=" + std::to_string(degraded);
+  }
+  if (resumed_) {
+    out.params_summary += " resumed=" + std::to_string(carried_settled_);
+  }
   return out;
 }
 
@@ -457,6 +669,10 @@ struct ShardedResponderMux::Sub {
   std::vector<uint64_t> elements;
   std::unique_ptr<ReconcileResponder> engine;
   uint8_t attempt = 0;
+  // Graceful degradation: the fallback reconciler announced by the
+  // initiator's override prefix (0 = still on the primary scheme).
+  std::unique_ptr<SetReconciler> alt;
+  uint8_t alt_wire_id = 0;
   bool complete = false;
   bool queued = false;
   uint8_t pending_type = 0;
@@ -468,7 +684,7 @@ ShardedResponderMux::ShardedResponderMux(
     const SessionConfig& config, SessionEngine::SharedElements elements,
     const SchemeRegistry* registry, int accepted_shards,
     std::shared_ptr<const StoreSnapshot> snapshot)
-    : config_(config), elements_(std::move(elements)) {
+    : config_(config), elements_(std::move(elements)), registry_(registry) {
   plan_ = ShardPlan::Derive(accepted_shards, config_.seed);
   SchemeOptions options = config_.options;
   options.pbs.decode_threads = 1;
@@ -539,6 +755,42 @@ bool ShardedResponderMux::HandleDigestTree(const std::vector<uint8_t>& payload,
   return true;
 }
 
+bool ShardedResponderMux::BeginResume(
+    const std::vector<std::pair<uint32_t, uint8_t>>& entries,
+    std::string* error) {
+  if (partitioned_) {
+    *error = "duplicate RESUME";
+    return false;
+  }
+  std::vector<uint32_t> ids;
+  ids.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (e.first >= static_cast<uint32_t>(plan_.shard_count)) {
+      *error = ShardError("resume names an unknown shard", e.first);
+      return false;
+    }
+    if (!ids.empty() && e.first <= ids.back()) {
+      *error = "resume shard list not ascending";
+      return false;
+    }
+    ids.push_back(e.first);
+  }
+  std::vector<std::vector<uint64_t>> parts;
+  PartitionSelected(elements_->data(), elements_->size(), plan_, ids, &parts);
+  subs_.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto sub = std::make_unique<Sub>();
+    sub->shard = ids[i];
+    sub->elements = std::move(parts[i]);
+    // The initiator reopens at the carried attempt + 1, which the
+    // in-order check in Process then accepts.
+    sub->attempt = entries[i].second;
+    subs_.push_back(std::move(sub));
+  }
+  partitioned_ = true;
+  return true;
+}
+
 ShardedResponderMux::Sub* ShardedResponderMux::FindSub(uint32_t shard) {
   auto it = std::lower_bound(
       subs_.begin(), subs_.end(), shard,
@@ -573,14 +825,26 @@ bool ShardedResponderMux::HandleSubFrame(SubFrame frame, std::string* error) {
 void ShardedResponderMux::Process(Sub& sub, const SubFrame& frame) {
   switch (static_cast<FrameType>(frame.inner_type)) {
     case FrameType::kSchemeRequest: {
-      if (frame.payload.size() < kSubRequestPrefix) {
+      if (frame.payload.empty()) {
         sub.error = ShardError("malformed sub-session request", sub.shard);
         return;
       }
-      const uint8_t attempt = frame.payload[0];
+      // Override prefix (graceful degradation): attempt byte's top bit
+      // set means one scheme-id byte follows before the bound.
+      const uint8_t attempt_byte = frame.payload[0];
+      const bool degraded = (attempt_byte & kSubSchemeOverride) != 0;
+      const uint8_t attempt =
+          static_cast<uint8_t>(attempt_byte & ~kSubSchemeOverride);
+      const size_t prefix =
+          degraded ? kSubRequestPrefix + 1 : kSubRequestPrefix;
+      if (frame.payload.size() < prefix) {
+        sub.error = ShardError("malformed sub-session request", sub.shard);
+        return;
+      }
+      const size_t d_off = prefix - 8;
       uint64_t bits = 0;
       for (int b = 0; b < 8; ++b) {
-        bits |= static_cast<uint64_t>(frame.payload[1 + b]) << (8 * b);
+        bits |= static_cast<uint64_t>(frame.payload[d_off + b]) << (8 * b);
       }
       const double d = BitsToDouble(bits);
       if (!std::isfinite(d) || d < 0.0 || d > kMaxSubEstimate) {
@@ -597,16 +861,44 @@ void ShardedResponderMux::Process(Sub& sub, const SubFrame& frame) {
           return;
         }
         sub.attempt = attempt;
-        sub.engine = reconciler_->CreateResponder(sub.elements, d,
-                                                  plan_.SubSeed(sub.shard));
+        SetReconciler* maker = reconciler_.get();
+        if (degraded) {
+          const uint8_t wire_id = frame.payload[1];
+          if (sub.alt == nullptr || sub.alt_wire_id != wire_id) {
+            const std::string name = wire::SchemeNameFromWireId(wire_id);
+            const SchemeRegistry& reg = registry_ != nullptr
+                                            ? *registry_
+                                            : SchemeRegistry::Instance();
+            std::unique_ptr<SetReconciler> alt;
+            if (!name.empty() && reg.Contains(name)) {
+              SchemeOptions options = config_.options;
+              options.pbs.decode_threads = 1;
+              alt = reg.Create(name, options);
+            }
+            if (alt == nullptr) {
+              sub.error = ShardError(
+                  "sub-session names an unavailable fallback scheme",
+                  sub.shard);
+              return;
+            }
+            if (sub.alt_wire_id == 0) {
+              degraded_.fetch_add(1, std::memory_order_relaxed);
+            }
+            sub.alt = std::move(alt);
+            sub.alt_wire_id = wire_id;
+          }
+          maker = sub.alt.get();
+        }
+        sub.engine = maker->CreateResponder(sub.elements, d,
+                                            plan_.SubSeed(sub.shard));
         if (sub.engine == nullptr) {
           sub.error =
               "scheme '" + config_.scheme_name + "' has no wire protocol";
           return;
         }
       }
-      const std::vector<uint8_t> inner(
-          frame.payload.begin() + kSubRequestPrefix, frame.payload.end());
+      const std::vector<uint8_t> inner(frame.payload.begin() + prefix,
+                                       frame.payload.end());
       if (!sub.engine->HandleRequest(inner, &sub.scratch)) {
         sub.error = ShardError("malformed sub-session request", sub.shard);
         return;

@@ -1,0 +1,424 @@
+// Fault-injection matrix for the resilient session layer.
+//
+// The contract under test (docs/ARCHITECTURE.md §8): a session driven
+// through a FaultyTransport either settles with a difference
+// bit-identical to the fault-free run, or fails closed with a
+// diagnostic — it never hangs, never crashes, and never applies a
+// partial result. On top of that, the resilient runner turns a
+// mid-session disconnect of a *sharded* session into a RESUME
+// re-attachment that finishes only the unsettled shards (strictly
+// fewer wire bytes than a fresh restart), rejects stale tokens when
+// the responder's set changed, and degrades a shard to a fallback
+// scheme when the primary's retry ladder exhausts.
+//
+// Every test here runs under the CI TSan leg (gtest filter
+// FaultInjection.*), so the loopback responder threads double as a
+// race check on the transport pair and the resilient runner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "pbs/common/fault_injector.h"
+#include "pbs/core/session_engine.h"
+#include "pbs/core/set_reconciler.h"
+#include "pbs/core/transport.h"
+#include "pbs/core/wire_session.h"
+#include "pbs/net/reconcile_server.h"
+#include "pbs/net/retry_policy.h"
+#include "pbs/sim/workload.h"
+
+namespace pbs {
+namespace {
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// One initiator session against a live loopback responder thread, with
+// the initiator's send direction filtered through a FaultyTransport.
+// Returns the initiator's result plus what the injector actually did.
+struct FaultedRun {
+  SessionResult initiator;
+  FaultStats stats;
+};
+
+FaultedRun RunFaultedSession(const SessionConfig& config,
+                             const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b,
+                             const FaultSpec& spec) {
+  auto ends = MakeLoopbackTransportPair();
+  auto faulty =
+      std::make_unique<FaultyTransport>(std::move(ends.first), spec);
+  FaultyTransport* probe = faulty.get();
+  std::thread responder(
+      [&b, transport = std::move(ends.second)]() mutable {
+        RunResponderSession(*transport, b);
+      });
+  FaultedRun run;
+  run.initiator = RunInitiatorSession(*faulty, config, a);
+  run.stats = probe->stats();
+  faulty.reset();  // EOF unblocks the responder whatever state it is in.
+  responder.join();
+  return run;
+}
+
+// ------------------------------------------------------------ FaultSpec --
+
+TEST(FaultInjection, SpecParsing) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(FaultSpec::Parse(
+      "loss=0.01,corrupt=0.5,trunc=0.25,delay_ms=3,seed=42,"
+      "disconnect_after_frames=7,disconnect_after_bytes=1024,"
+      "short_writes=1,once=1",
+      &spec, &error))
+      << error;
+  EXPECT_DOUBLE_EQ(spec.loss, 0.01);
+  EXPECT_DOUBLE_EQ(spec.corrupt, 0.5);
+  EXPECT_DOUBLE_EQ(spec.truncate, 0.25);
+  EXPECT_EQ(spec.delay_ms, 3);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.disconnect_after_frames, 7);
+  EXPECT_EQ(spec.disconnect_after_bytes, 1024);
+  EXPECT_TRUE(spec.short_writes);
+  EXPECT_TRUE(spec.first_conn_only);
+  EXPECT_TRUE(spec.active());
+
+  // An empty spec parses to the inactive default.
+  ASSERT_TRUE(FaultSpec::Parse("", &spec, &error));
+  EXPECT_FALSE(spec.active());
+
+  // Out-of-range and malformed items fail with a diagnostic.
+  EXPECT_FALSE(FaultSpec::Parse("loss=1.5", &spec, &error));
+  EXPECT_FALSE(FaultSpec::Parse("loss=-0.1", &spec, &error));
+  EXPECT_FALSE(FaultSpec::Parse("delay_ms=-1", &spec, &error));
+  EXPECT_FALSE(FaultSpec::Parse("short_writes=2", &spec, &error));
+  EXPECT_FALSE(FaultSpec::Parse("loss", &spec, &error));
+  EXPECT_FALSE(FaultSpec::Parse("bogus_key=1", &spec, &error));
+  EXPECT_NE(error.find("bogus_key"), std::string::npos) << error;
+}
+
+TEST(FaultInjection, SpecFromEnv) {
+  ASSERT_EQ(setenv("PBS_FAULT_SPEC", "loss=0.25,seed=9", 1), 0);
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(FaultSpec::FromEnv(&spec, &error)) << error;
+  EXPECT_DOUBLE_EQ(spec.loss, 0.25);
+  EXPECT_EQ(spec.seed, 9u);
+
+  ASSERT_EQ(setenv("PBS_FAULT_SPEC", "nope", 1), 0);
+  EXPECT_FALSE(FaultSpec::FromEnv(&spec, &error));
+
+  ASSERT_EQ(unsetenv("PBS_FAULT_SPEC"), 0);
+  ASSERT_TRUE(FaultSpec::FromEnv(&spec, &error));
+  EXPECT_FALSE(spec.active());
+}
+
+// ------------------------------------------------------- injector basics --
+
+TEST(FaultInjection, InactiveInjectorIsTransparent) {
+  const SetPair pair = GenerateTwoSidedPair(800, 10, 10, 32, 0xA1);
+  SessionConfig config;
+  config.scheme_name = "pbs";
+  config.exact_d = static_cast<double>(pair.truth_diff.size());
+  const FaultedRun run =
+      RunFaultedSession(config, pair.a, pair.b, FaultSpec{});
+  ASSERT_TRUE(run.initiator.ok) << run.initiator.error;
+  EXPECT_EQ(Sorted(run.initiator.outcome.difference),
+            Sorted(pair.truth_diff));
+  // Even inactive, the decorator counts frames — disconnect schedules
+  // size themselves from a passthrough run.
+  EXPECT_GE(run.stats.frames_seen, 3u);
+  EXPECT_GT(run.stats.bytes_forwarded, 0u);
+  EXPECT_EQ(run.stats.frames_dropped, 0u);
+  EXPECT_EQ(run.stats.disconnects, 0u);
+}
+
+TEST(FaultInjection, ShortWritesDeliverIdenticalBytes) {
+  const SetPair pair = GenerateTwoSidedPair(800, 12, 12, 32, 0xB2);
+  SessionConfig config;
+  config.scheme_name = "pbs";
+  config.exact_d = static_cast<double>(pair.truth_diff.size());
+  FaultSpec spec;
+  spec.short_writes = true;
+  spec.seed = 5;
+  const FaultedRun run = RunFaultedSession(config, pair.a, pair.b, spec);
+  ASSERT_TRUE(run.initiator.ok) << run.initiator.error;
+  EXPECT_EQ(Sorted(run.initiator.outcome.difference),
+            Sorted(pair.truth_diff));
+}
+
+TEST(FaultInjection, SameSeedReplaysTheSameSchedule) {
+  const SetPair pair = GenerateTwoSidedPair(700, 8, 8, 32, 0xC3);
+  SessionConfig config;
+  config.scheme_name = "pbs";
+  config.exact_d = static_cast<double>(pair.truth_diff.size());
+  config.phase_deadline_ms = 200;
+  FaultSpec spec;
+  spec.loss = 0.3;
+  spec.corrupt = 0.2;
+  spec.seed = 42;
+  const FaultedRun r1 = RunFaultedSession(config, pair.a, pair.b, spec);
+  const FaultedRun r2 = RunFaultedSession(config, pair.a, pair.b, spec);
+  EXPECT_EQ(r1.stats.frames_seen, r2.stats.frames_seen);
+  EXPECT_EQ(r1.stats.frames_dropped, r2.stats.frames_dropped);
+  EXPECT_EQ(r1.stats.frames_corrupted, r2.stats.frames_corrupted);
+  EXPECT_EQ(r1.stats.frames_truncated, r2.stats.frames_truncated);
+  EXPECT_EQ(r1.stats.bytes_forwarded, r2.stats.bytes_forwarded);
+  EXPECT_EQ(r1.initiator.ok, r2.initiator.ok);
+}
+
+// ----------------------------------------------------------- the matrix --
+
+// Every registered scheme, under frame drops, single-bit corruption, and
+// truncation-with-disconnect: a run either recovers the exact fault-free
+// difference or fails closed with a diagnostic. Phase deadlines bound
+// the drop case (a dropped frame has no retransmit at this layer, so the
+// session *must* time out rather than hang).
+TEST(FaultInjection, MatrixEverySchemeSucceedsExactlyOrFailsClosed) {
+  const SetPair pair = GenerateTwoSidedPair(400, 8, 8, 32, 0xFA);
+  const std::vector<uint64_t> truth = Sorted(pair.truth_diff);
+  for (const std::string& name : SchemeRegistry::Instance().Names()) {
+    SessionConfig config;
+    config.scheme_name = name;
+    config.options.pbs.max_rounds = 8;
+    config.exact_d = static_cast<double>(pair.truth_diff.size());
+    config.seed = 0x5EED;
+    config.phase_deadline_ms = 250;
+
+    const SessionResult clean = RunLoopbackSession(config, pair.a, pair.b);
+    ASSERT_TRUE(clean.ok) << name << ": " << clean.error;
+
+    for (int kind = 0; kind < 3; ++kind) {
+      for (uint64_t seed = 1; seed <= 2; ++seed) {
+        FaultSpec spec;
+        const char* kind_name = "";
+        switch (kind) {
+          case 0:
+            spec.loss = 0.4;
+            kind_name = "drop";
+            break;
+          case 1:
+            spec.corrupt = 0.4;
+            kind_name = "corrupt";
+            break;
+          default:
+            spec.truncate = 0.4;
+            kind_name = "truncate";
+            break;
+        }
+        spec.seed = seed;
+        SCOPED_TRACE(name + " / " + kind_name + " / seed " +
+                     std::to_string(seed));
+        const FaultedRun run =
+            RunFaultedSession(config, pair.a, pair.b, spec);
+        if (run.initiator.ok && run.initiator.outcome.success) {
+          // The schedule happened not to fire destructively: the result
+          // must be bit-identical to the fault-free run.
+          EXPECT_EQ(Sorted(run.initiator.outcome.difference), truth);
+        } else {
+          EXPECT_FALSE(run.initiator.error.empty())
+              << "failed without a diagnostic";
+        }
+      }
+    }
+  }
+}
+
+// Disconnect immediately before EVERY frame index of a clean session:
+// each cut must fail the session closed (the initiator needs an ack
+// after its last frame, so no prefix of the conversation is enough).
+TEST(FaultInjection, DisconnectAtEveryFrameIndexFailsClosed) {
+  const SetPair pair = GenerateTwoSidedPair(600, 6, 6, 32, 0xDC);
+  SessionConfig config;
+  config.scheme_name = "pbs";
+  config.exact_d = static_cast<double>(pair.truth_diff.size());
+  config.phase_deadline_ms = 300;
+
+  const FaultedRun clean =
+      RunFaultedSession(config, pair.a, pair.b, FaultSpec{});
+  ASSERT_TRUE(clean.initiator.ok) << clean.initiator.error;
+  const uint64_t frames = clean.stats.frames_seen;
+  ASSERT_GE(frames, 3u);
+
+  for (uint64_t k = 0; k < frames; ++k) {
+    SCOPED_TRACE("disconnect before frame " + std::to_string(k));
+    FaultSpec spec;
+    spec.disconnect_after_frames = static_cast<long long>(k);
+    const FaultedRun run = RunFaultedSession(config, pair.a, pair.b, spec);
+    EXPECT_FALSE(run.initiator.ok);
+    EXPECT_FALSE(run.initiator.error.empty());
+    EXPECT_EQ(run.stats.disconnects, 1u);
+  }
+}
+
+// -------------------------------------------------------- phase deadline --
+
+TEST(FaultInjection, PhaseDeadlineFailsASilentPeer) {
+  auto ends = MakeLoopbackTransportPair();
+  SessionConfig config;
+  config.scheme_name = "pbs";
+  config.exact_d = 4.0;
+  config.phase_deadline_ms = 100;
+  // Nobody ever answers; the held peer end keeps the link open so only
+  // the deadline can end the session.
+  const SessionResult result =
+      RunInitiatorSession(*ends.first, config, {1, 2, 3});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("phase deadline exceeded"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("awaiting HELLO_ACK"), std::string::npos)
+      << result.error;
+}
+
+// ------------------------------------------------------- resume / RESUME --
+
+SessionConfig ShardedConfig(const SetPair& pair) {
+  SessionConfig config;
+  config.scheme_name = "pbs";
+  config.exact_d = 32.0;  // Per-shard bound, ample for these workloads.
+  config.keyspace_shards = 16;
+  config.seed = 0x5EED;
+  config.phase_deadline_ms = 3000;
+  (void)pair;
+  return config;
+}
+
+TEST(FaultInjection, ResumeFinishesShardedSessionWithLessWire) {
+  const SetPair pair = GenerateTwoSidedPair(8000, 60, 60, 32, 0x1234);
+  const SessionConfig config = ShardedConfig(pair);
+
+  const FaultedRun clean =
+      RunFaultedSession(config, pair.a, pair.b, FaultSpec{});
+  ASSERT_TRUE(clean.initiator.ok) << clean.initiator.error;
+  ASSERT_GT(clean.stats.frames_seen, 10u)
+      << "workload too small to disconnect mid-stream";
+
+  std::vector<std::thread> servers;
+  int connections = 0;
+  const TransportFactory factory =
+      [&](std::string*) -> std::unique_ptr<ByteTransport> {
+    auto ends = MakeLoopbackTransportPair();
+    servers.emplace_back(
+        [&pair, transport = std::move(ends.second)]() mutable {
+          RunResponderSession(*transport, pair.b);
+        });
+    if (connections++ == 0) {
+      FaultSpec spec;
+      spec.disconnect_after_frames = 9;  // Mid sub-session stream.
+      return MakeFaultyTransport(std::move(ends.first), spec);
+    }
+    return std::move(ends.first);
+  };
+
+  ResilientOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.base_delay_ms = 1;
+  options.retry.max_delay_ms = 4;
+  ResilienceReport report;
+  const SessionResult result = RunResilientInitiatorSession(
+      factory, config, pair.a, options, &report);
+  for (auto& t : servers) t.join();
+
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(Sorted(result.outcome.difference), Sorted(pair.truth_diff));
+  EXPECT_TRUE(report.used_resume);
+  EXPECT_FALSE(report.stale_resume);
+  EXPECT_EQ(report.sessions_run, 2);
+  EXPECT_EQ(report.resumed_sessions, 1);
+  // The resumed attempt re-attaches to the surviving shards: it must be
+  // strictly cheaper on the wire than the fresh fault-free session.
+  EXPECT_LT(report.last_wire_bytes, clean.initiator.outcome.wire_bytes);
+  EXPECT_GT(report.total_wire_bytes, report.last_wire_bytes);
+}
+
+TEST(FaultInjection, StaleResumeRejectedAndCleanRestartSucceeds) {
+  const SetPair pair = GenerateTwoSidedPair(4000, 40, 40, 32, 0xAB);
+  const SessionConfig config = ShardedConfig(pair);
+
+  // Force a mid-session disconnect to mint a resume token.
+  FaultSpec spec;
+  spec.disconnect_after_frames = 8;
+  const FaultedRun broken = RunFaultedSession(config, pair.a, pair.b, spec);
+  ASSERT_FALSE(broken.initiator.ok);
+  ASSERT_NE(broken.initiator.resume_state, nullptr)
+      << "failed sharded session left no resume token: "
+      << broken.initiator.error;
+
+  SessionConfig resume_config = config;
+  resume_config.resume = broken.initiator.resume_state;
+
+  // The responder's set changed between attempts: the Merkle root no
+  // longer matches and the token must be rejected as stale.
+  std::vector<uint64_t> changed = pair.b;
+  const uint64_t extra = 0x1234567890ABCDEFull;
+  ASSERT_EQ(std::find(changed.begin(), changed.end(), extra), changed.end());
+  changed.push_back(extra);
+  const SessionResult stale =
+      RunLoopbackSession(resume_config, pair.a, changed);
+  EXPECT_FALSE(stale.ok);
+  EXPECT_NE(stale.error.find("stale resume"), std::string::npos)
+      << stale.error;
+
+  // Against the unchanged set, the resumed session finishes the job and
+  // reports the FULL difference (settled shards from the token plus the
+  // shards reconciled on this attempt).
+  const SessionResult resumed =
+      RunLoopbackSession(resume_config, pair.a, pair.b);
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_EQ(Sorted(resumed.outcome.difference), Sorted(pair.truth_diff));
+}
+
+// ---------------------------------------------------------- degradation --
+
+// Graphene cannot decode a difference this large at any bound in its
+// per-shard retry ladder; instead of failing the session, each starved
+// shard degrades to the ddigest fallback (which settles immediately at
+// the carried bound) and the session still recovers the exact
+// difference.
+TEST(FaultInjection, GracefulDegradationFallsBackPerShard) {
+  const SetPair pair = GenerateTwoSidedPair(1500, 1000, 1000, 32, 0xD16);
+  SessionConfig config;
+  config.scheme_name = "graphene";
+  config.exact_d = 1.0;
+  config.keyspace_shards = 2;
+  config.seed = 0x5EED;
+  const SessionResult result = RunLoopbackSession(config, pair.a, pair.b);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.outcome.success);
+  EXPECT_EQ(Sorted(result.outcome.difference), Sorted(pair.truth_diff));
+  EXPECT_GE(result.degraded_shards, 1);
+  EXPECT_NE(result.outcome.params_summary.find(" degraded="),
+            std::string::npos)
+      << result.outcome.params_summary;
+}
+
+// ------------------------------------------------------ accept classifier --
+
+TEST(FaultInjection, ClassifyAcceptErrorNarrowsTheBackoff) {
+  // Per-connection transients: keep accepting.
+  EXPECT_EQ(ClassifyAcceptError(ECONNABORTED), AcceptErrorAction::kRetry);
+  EXPECT_EQ(ClassifyAcceptError(EINTR), AcceptErrorAction::kRetry);
+  EXPECT_EQ(ClassifyAcceptError(EPROTO), AcceptErrorAction::kRetry);
+  EXPECT_EQ(ClassifyAcceptError(ENETDOWN), AcceptErrorAction::kRetry);
+  EXPECT_EQ(ClassifyAcceptError(EHOSTUNREACH), AcceptErrorAction::kRetry);
+  // Resource exhaustion: leave the accept loop for a backoff window.
+  EXPECT_EQ(ClassifyAcceptError(EMFILE), AcceptErrorAction::kBackoff);
+  EXPECT_EQ(ClassifyAcceptError(ENFILE), AcceptErrorAction::kBackoff);
+  EXPECT_EQ(ClassifyAcceptError(ENOBUFS), AcceptErrorAction::kBackoff);
+  EXPECT_EQ(ClassifyAcceptError(ENOMEM), AcceptErrorAction::kBackoff);
+  // Anything unrecognized backs off too (fail safe, never spin hot).
+  EXPECT_EQ(ClassifyAcceptError(EINVAL), AcceptErrorAction::kBackoff);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,79 @@
+// Reconnect backoff: bounds, growth toward the cap, determinism, Reset.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pbs/net/retry_policy.h"
+
+namespace pbs {
+namespace {
+
+TEST(RetryPolicy, DelaysStayWithinBounds) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 50;
+  policy.max_delay_ms = 2000;
+  RetryBackoff backoff(policy);
+  for (int i = 0; i < 50; ++i) {
+    const int delay = backoff.NextDelayMs();
+    EXPECT_GE(delay, policy.base_delay_ms) << "draw " << i;
+    EXPECT_LE(delay, policy.max_delay_ms) << "draw " << i;
+  }
+}
+
+TEST(RetryPolicy, FirstDelayIsNearTheBase) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 100;
+  policy.max_delay_ms = 10000;
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    policy.seed = seed;
+    RetryBackoff backoff(policy);
+    // Decorrelated jitter draws the first delay from [base, 3 * base].
+    const int first = backoff.NextDelayMs();
+    EXPECT_GE(first, 100);
+    EXPECT_LE(first, 300);
+  }
+}
+
+TEST(RetryPolicy, SameSeedReplaysTheSameSchedule) {
+  RetryPolicy policy;
+  policy.seed = 0xFEED;
+  RetryBackoff a(policy);
+  RetryBackoff b(policy);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.NextDelayMs(), b.NextDelayMs()) << "draw " << i;
+  }
+  policy.seed = 0xBEEF;
+  RetryBackoff c(policy);
+  bool any_diff = false;
+  RetryBackoff d(RetryPolicy{});  // Default seed.
+  for (int i = 0; i < 20; ++i) {
+    any_diff |= (c.NextDelayMs() != d.NextDelayMs());
+  }
+  EXPECT_TRUE(any_diff) << "different seeds produced identical schedules";
+}
+
+TEST(RetryPolicy, ResetRestartsTheLadder) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 10;
+  policy.max_delay_ms = 5000;
+  RetryBackoff backoff(policy);
+  for (int i = 0; i < 10; ++i) backoff.NextDelayMs();  // Climb the ladder.
+  backoff.Reset();
+  const int after_reset = backoff.NextDelayMs();
+  EXPECT_GE(after_reset, 10);
+  EXPECT_LE(after_reset, 30) << "Reset did not restart at the base delay";
+}
+
+TEST(RetryPolicy, DegenerateCapsClampSanely) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 500;
+  policy.max_delay_ms = 500;  // Cap == base: every delay is exactly 500.
+  RetryBackoff backoff(policy);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(backoff.NextDelayMs(), 500);
+  }
+}
+
+}  // namespace
+}  // namespace pbs

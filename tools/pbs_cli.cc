@@ -19,7 +19,7 @@
 //       picks for an expected difference of d.
 //   pbs_cli serve <file> [--port N] [--once] [--max-sessions N] [--stats]
 //           [--threads N] [--shards N] [--mutable] [--layout-d D]
-//           [--shards-keyspace S]
+//           [--shards-keyspace S] [--phase-deadline MS]
 //       Hold a key set and serve framed reconciliation sessions over TCP
 //       from N event-loop shards (any scheme; the client picks; many
 //       clients concurrently). --once exits after one session;
@@ -44,13 +44,21 @@
 //       chunks of N per direction (default: one batch).
 //   pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]
 //           [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]
-//           [--threads N] [--shards-keyspace S]
+//           [--threads N] [--shards-keyspace S] [--retries N]
+//           [--retry-base-ms MS] [--deadline MS] [--fault SPEC]
 //       Reconcile the local file against a remote serve instance and
 //       print the symmetric difference (relative to the local set).
 //       --shards-keyspace S runs the session sharded: the keyspace is
 //       split into S hash-range shards, a Merkle pre-filter drops the
 //       identical ones, and the rest reconcile as pipelined sub-sessions
 //       over the same connection (docs/WIRE_FORMAT.md section 2.5).
+//       --retries N reconnects with capped decorrelated-jitter backoff on
+//       transport failure; an interrupted sharded session resumes via a
+//       RESUME frame and finishes only the unsettled shards (section
+//       2.6). --deadline MS fails a phase that makes no progress for that
+//       long. --fault SPEC (or the PBS_FAULT_SPEC env var) wraps each
+//       connection in the fault injector, e.g. "loss=0.01,seed=42"
+//       (common/fault_injector.h lists the keys).
 //   pbs_cli list-schemes   (also: pbs_cli --list-schemes)
 //       List every scheme registered with the SchemeRegistry.
 
@@ -65,6 +73,7 @@
 #include <vector>
 
 #include "pbs/common/cpu_features.h"
+#include "pbs/common/fault_injector.h"
 #include "pbs/common/rng.h"
 #include "pbs/core/set_reconciler.h"
 #include "pbs/core/transport.h"
@@ -87,12 +96,13 @@ int Usage() {
       "  pbs_cli plan <d> [--p0 X] [--rounds N] [--delta N]\n"
       "  pbs_cli serve <file> [--port N] [--once] [--max-sessions N]\n"
       "          [--stats] [--threads N] [--shards N] [--mutable]\n"
-      "          [--layout-d D] [--shards-keyspace S]\n"
+      "          [--layout-d D] [--shards-keyspace S] [--phase-deadline MS]\n"
       "  pbs_cli update --host H --port N [--insert <file>]\n"
       "          [--delete <file>] [--batch N]\n"
       "  pbs_cli connect <file> --host H --port N [--scheme S] [--rounds N]\n"
       "          [--p0 X] [--delta N] [--seed N] [--exact-d D] [--quiet]\n"
-      "          [--threads N] [--shards-keyspace S]\n"
+      "          [--threads N] [--shards-keyspace S] [--retries N]\n"
+      "          [--retry-base-ms MS] [--deadline MS] [--fault SPEC]\n"
       "  pbs_cli list-schemes\n");
   return 2;
 }
@@ -307,6 +317,8 @@ int CmdServe(int argc, char** argv) {
       static_cast<int>(FlagU64(argc, argv, "--threads", 1));
   options.keyspace_shards =
       static_cast<int>(FlagU64(argc, argv, "--shards-keyspace", 0));
+  options.phase_deadline_ms =
+      static_cast<int>(FlagU64(argc, argv, "--phase-deadline", 0));
 
   std::string error;
   const size_t key_count = elements.size();
@@ -478,6 +490,8 @@ int CmdConnect(int argc, char** argv) {
   config.exact_d = FlagDouble(argc, argv, "--exact-d", -1.0);
   config.keyspace_shards =
       static_cast<int>(FlagU64(argc, argv, "--shards-keyspace", 0));
+  config.phase_deadline_ms =
+      static_cast<int>(FlagU64(argc, argv, "--deadline", 0));
   const bool quiet = FlagPresent(argc, argv, "--quiet");
 
   if (!pbs::SchemeRegistry::Instance().Contains(config.scheme_name)) {
@@ -486,20 +500,67 @@ int CmdConnect(int argc, char** argv) {
     return 2;
   }
 
-  const char* host = FlagStr(argc, argv, "--host", "127.0.0.1");
-  const auto port = static_cast<uint16_t>(FlagU64(argc, argv, "--port", 7557));
-  std::string error;
-  auto transport = pbs::TcpConnect(host, port, &error);
-  if (!transport) {
-    std::fprintf(stderr, "connect: %s\n", error.c_str());
-    return 1;
+  // Fault injection: --fault takes precedence, else the PBS_FAULT_SPEC
+  // env var (inactive default when unset).
+  pbs::FaultSpec fault;
+  std::string fault_error;
+  const char* fault_text = FlagStr(argc, argv, "--fault", nullptr);
+  const bool fault_parsed =
+      fault_text != nullptr
+          ? pbs::FaultSpec::Parse(fault_text, &fault, &fault_error)
+          : pbs::FaultSpec::FromEnv(&fault, &fault_error);
+  if (!fault_parsed) {
+    std::fprintf(stderr, "connect: bad fault spec: %s\n", fault_error.c_str());
+    return 2;
   }
 
-  const pbs::SessionResult result =
-      pbs::RunInitiatorSession(*transport, config, elements);
+  const char* host = FlagStr(argc, argv, "--host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(FlagU64(argc, argv, "--port", 7557));
+
+  // Each (re)connect builds a fresh transport; with faults configured the
+  // connection is wrapped in the injector under a per-connection seed so
+  // every attempt sees an independent (but reproducible) schedule.
+  // once=1 (first_conn_only) faults only the first connection — the
+  // deterministic way to demo "fail once, then resume cleanly".
+  int connections = 0;
+  const auto factory =
+      [&](std::string* err) -> std::unique_ptr<pbs::ByteTransport> {
+    auto transport = pbs::TcpConnect(host, port, err);
+    if (transport == nullptr) return nullptr;
+    const int index = connections++;
+    if (!fault.active() || (fault.first_conn_only && index > 0)) {
+      return transport;
+    }
+    pbs::FaultSpec per_conn = fault;
+    per_conn.seed = fault.seed + static_cast<uint64_t>(index);
+    return pbs::MakeFaultyTransport(std::move(transport), per_conn);
+  };
+
+  pbs::ResilientOptions resilient;
+  resilient.retry.max_attempts =
+      static_cast<int>(FlagU64(argc, argv, "--retries", 1));
+  resilient.retry.base_delay_ms =
+      static_cast<int>(FlagU64(argc, argv, "--retry-base-ms", 100));
+  resilient.retry.max_delay_ms =
+      std::max(resilient.retry.base_delay_ms, 2000);
+  resilient.retry.seed = config.seed;
+  resilient.log = [](const std::string& message) {
+    std::fprintf(stderr, "connect: %s\n", message.c_str());
+  };
+  pbs::ResilienceReport report;
+  const pbs::SessionResult result = pbs::RunResilientInitiatorSession(
+      factory, config, elements, resilient, &report);
   if (!result.ok) {
     std::fprintf(stderr, "session failed: %s\n", result.error.c_str());
     return 1;
+  }
+  if (report.sessions_run > 1 || report.used_resume) {
+    std::fprintf(stderr,
+                 "resilience: attempts=%d resumed=%s stale=%s "
+                 "wire-last=%zuB wire-total=%zuB\n",
+                 report.sessions_run, report.used_resume ? "yes" : "no",
+                 report.stale_resume ? "yes" : "no", report.last_wire_bytes,
+                 report.total_wire_bytes);
   }
   std::fprintf(stderr,
                "scheme=%s success=%s rounds=%d d-hat=%.1f payload=%zuB "
